@@ -1,0 +1,27 @@
+# Convenience targets for the AN2 reproduction.
+
+.PHONY: install test bench bench-full examples lint clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/ -q
+
+bench:
+	pytest benchmarks/ --benchmark-only -q
+
+bench-full:
+	REPRO_FULL=1 pytest benchmarks/ --benchmark-only -q
+
+examples:
+	python examples/quickstart.py
+	python examples/hol_blocking_demo.py
+	python examples/multimedia_cbr.py
+	python examples/fairness_statistical.py
+	python examples/network_clientserver.py
+	python examples/multicast_videowall.py
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null || true
+	rm -rf .pytest_cache build *.egg-info src/*.egg-info

@@ -1,0 +1,121 @@
+"""Closing the Section 5 loop: max-min allocation enforced by
+statistical matching across a network.
+
+Section 5.1 sketches the pipeline: compute a fair allocation from
+network load, then divide switch resources accordingly -- statistical
+matching being the mechanism suited to input-buffered switches.  We
+rebuild the Figure 9 parking lot, compute max-min fair rates
+(1/4 each), convert them into per-switch allocation matrices, run the
+network with statistical-matching(+PIM-fill) schedulers, and compare
+the bottleneck shares against plain PIM.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.statistical import StatisticalMatcher
+from repro.fairness.allocator import allocations_for_switch, max_min_allocation
+from repro.fairness.metrics import jain_index
+from repro.network.netsim import FlowSpec, NetworkSimulator
+from repro.network.topology import Topology
+
+from _common import FULL, print_table
+
+SLOTS = 40_000 if FULL else 10_000
+WARMUP = 5_000 if FULL else 2_000
+UNITS = 100
+
+FLOWS = [(1, "ha"), (2, "hb"), (3, "hc"), (4, "hd")]
+
+
+def parking_lot():
+    topo = Topology()
+    for s in ("s1", "s2", "s3"):
+        topo.add_switch(s, 4)
+    for h in ("hd", "hc", "hb", "ha", "sink"):
+        topo.add_host(h)
+    topo.connect("hd", "s1")
+    topo.connect("hc", "s1")
+    topo.connect("s1", "s2")
+    topo.connect("hb", "s2")
+    topo.connect("s2", "s3")
+    topo.connect("ha", "s3")
+    topo.connect("s3", "sink")
+    return topo
+
+
+def fair_rates():
+    """Max-min over the three inter-switch/sink links."""
+    paths = {
+        1: ["s3-sink"],
+        2: ["s2-s3", "s3-sink"],
+        3: ["s1-s2", "s2-s3", "s3-sink"],
+        4: ["s1-s2", "s2-s3", "s3-sink"],
+    }
+    capacities = {"s1-s2": 1.0, "s2-s3": 1.0, "s3-sink": 1.0}
+    return max_min_allocation(paths, capacities)
+
+
+def run(scheduler_kind):
+    topo = parking_lot()
+    sim = NetworkSimulator(topo, seed=42) if scheduler_kind == "pim" else None
+    if sim is None:
+        rates = fair_rates()
+
+        # Build per-switch allocation matrices by walking each flow's
+        # route (installed below) -- we precompute from the topology.
+        def factory(name, ports):
+            flow_ports = {}
+            route_hops = {
+                "s1": {3: ("hc", "s2"), 4: ("hd", "s2")},
+                "s2": {2: ("hb", "s3"), 3: ("s1", "s3"), 4: ("s1", "s3")},
+                "s3": {1: ("ha", "sink"), 2: ("s2", "sink"),
+                       3: ("s2", "sink"), 4: ("s2", "sink")},
+            }[name]
+            for flow_id, (prev_hop, next_hop) in route_hops.items():
+                flow_ports[flow_id] = (
+                    topo.port_toward(name, prev_hop),
+                    topo.port_toward(name, next_hop),
+                )
+            matrix = allocations_for_switch(rates, flow_ports, ports, UNITS)
+            return StatisticalMatcher(
+                matrix, units=UNITS, rounds=2,
+                seed=hash(name) % 2**31, fill=True,
+            )
+
+        sim = NetworkSimulator(topo, scheduler_factory=factory, seed=42)
+    for flow_id, host in FLOWS:
+        sim.add_flow(FlowSpec(flow_id, host, "sink", 1.0))
+    result = sim.run(slots=SLOTS, warmup=WARMUP)
+    return {flow_id: result.throughput(flow_id) for flow_id, _ in FLOWS}
+
+
+def compute_comparison():
+    return run("pim"), run("statistical"), fair_rates()
+
+
+def test_fair_allocation(benchmark):
+    pim, statistical, rates = benchmark.pedantic(compute_comparison, rounds=1, iterations=1)
+    print_table(
+        "Parking-lot bottleneck shares: PIM vs max-min + statistical matching",
+        ["flow", "max-min target", "PIM", "statistical+fill"],
+        [
+            (f"flow {flow_id} ({host})", rates[flow_id], pim[flow_id], statistical[flow_id])
+            for flow_id, host in FLOWS
+        ],
+    )
+    pim_jain = jain_index(list(pim.values()))
+    stat_jain = jain_index(list(statistical.values()))
+    print(f"jain: PIM {pim_jain:.3f} -> statistical {stat_jain:.3f}")
+
+    # Max-min says equal quarters.
+    assert all(rate == pytest.approx(0.25) for rate in rates.values())
+    # PIM alone: the late merger hogs half.
+    assert pim[1] > 0.45
+    # Statistical matching pulls shares toward the fair allocation.
+    assert stat_jain > pim_jain + 0.05
+    assert statistical[1] < pim[1] - 0.05
+    for flow_id in (2, 3, 4):
+        assert statistical[flow_id] > pim[flow_id]
+    # Work conservation: the bottleneck stays fully used.
+    assert sum(statistical.values()) == pytest.approx(1.0, abs=0.06)

@@ -1,0 +1,86 @@
+"""Ablation: cell loss in k-replicated output-buffered switches.
+
+Section 2.4's argument against the Knockout/Sunshine approach: "While
+studies have shown that few cells are dropped with a uniform workload,
+unfortunately local area network traffic is rarely uniform.  Instead,
+a common pattern is client-server communication, where a large
+fraction of incoming cells tend to be destined for the same output
+port ... fiber links have very low error rates ... Thus, loss induced
+by the switch architecture will be more noticeable."
+
+We measure drop rates of a k-replicated switch across k for uniform vs
+client-server traffic at the same average load, with and without a
+re-circulating queue, against the AN2 input-buffered switch's zero
+loss on the identical workloads.
+"""
+
+import pytest
+
+from repro.core.pim import PIMScheduler
+from repro.switch.replicated import ReplicatedOutputSwitch
+from repro.switch.switch import CrossbarSwitch
+from repro.traffic.clientserver import ClientServerTraffic
+from repro.traffic.trace import TraceRecorder
+from repro.traffic.uniform import UniformTraffic
+
+from _common import FULL, PORTS, print_table
+
+SLOTS = 40_000 if FULL else 10_000
+
+
+def drop_rate(result):
+    return result.dropped / max(result.counter.offered, 1)
+
+
+def compute_loss_table():
+    hotspot = ClientServerTraffic(PORTS, load=0.95, servers=1, seed=2)
+    average_load = float(hotspot.connection_rates.sum()) / PORTS
+    rows = []
+    for k in (1, 2, 4, 8):
+        uniform = ReplicatedOutputSwitch(PORTS, replication=k).run(
+            UniformTraffic(PORTS, load=average_load, seed=1), slots=SLOTS
+        )
+        server = ReplicatedOutputSwitch(PORTS, replication=k).run(
+            ClientServerTraffic(PORTS, load=0.95, servers=1, seed=2), slots=SLOTS
+        )
+        recirc = ReplicatedOutputSwitch(
+            PORTS, replication=k, recirculation_ports=8
+        ).run(ClientServerTraffic(PORTS, load=0.95, servers=1, seed=2), slots=SLOTS)
+        rows.append((k, drop_rate(uniform), drop_rate(server), drop_rate(recirc)))
+    return rows, average_load
+
+
+def compute_an2_reference():
+    """The AN2 switch drops nothing on the same hot-spot workload."""
+    recorder = TraceRecorder(ClientServerTraffic(PORTS, load=0.95, servers=1, seed=2))
+    result = CrossbarSwitch(PORTS, PIMScheduler(iterations=4, seed=0)).run(
+        recorder, slots=SLOTS
+    )
+    return result.dropped, result.counter.offered
+
+
+def test_knockout_loss(benchmark):
+    (rows, average_load), (an2_dropped, offered) = benchmark.pedantic(
+        lambda: (compute_loss_table(), compute_an2_reference()), rounds=1, iterations=1
+    )
+    print_table(
+        f"Knockout loss rates (avg load {average_load:.2f}; server link 0.95)",
+        ["k", "uniform", "client-server", "client-server + recirc"],
+        rows,
+    )
+    print(f"AN2 input-buffered switch on the same hot spot: "
+          f"{an2_dropped} drops / {offered} cells")
+
+    by_k = {k: (uniform, server, recirc) for k, uniform, server, recirc in rows}
+    # Few drops with uniform workload at moderate k...
+    assert by_k[4][0] < 0.001
+    # ...but the hot spot keeps dropping at the same k.
+    assert by_k[4][1] > 10 * max(by_k[4][0], 1e-6)
+    # Recirculation helps but does not eliminate loss at small k.
+    assert by_k[2][2] <= by_k[2][1]
+    assert by_k[1][2] > 0
+    # More replication monotonically reduces loss.
+    server_rates = [row[2] for row in rows]
+    assert all(a >= b - 1e-6 for a, b in zip(server_rates, server_rates[1:]))
+    # The AN2 design point: zero loss, same workload.
+    assert an2_dropped == 0

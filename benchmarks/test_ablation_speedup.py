@@ -1,0 +1,74 @@
+"""Ablation: k-replicated fabric (the Section 3.1 k-grant generalization).
+
+"Consider a batcher-banyan switch with k copies of the banyan network.
+With such a switch, up to k cells can be delivered to a single output
+during one time slot ... we can modify parallel iterative matching to
+allow each output to make up to k grants."
+
+We measure delay vs load for k = 1, 2, 4 on bursty hot-spot traffic
+(where multiple inputs pile onto one output -- exactly the case k
+helps) and verify diminishing returns toward output queueing.
+"""
+
+import pytest
+
+from repro.core.output_queueing import OutputQueuedSwitch
+from repro.core.pim import PIMScheduler
+from repro.switch.fabric import ReplicatedBanyanFabric
+from repro.switch.switch import CrossbarSwitch
+from repro.traffic.bursty import BurstyTraffic
+from repro.traffic.trace import TraceRecorder
+
+from _common import FULL, print_table
+
+PORTS = 8
+SLOTS = 30_000 if FULL else 8_000
+WARMUP = 3_000 if FULL else 1_000
+
+
+def make_switch(speedup):
+    if speedup == 1:
+        return CrossbarSwitch(PORTS, PIMScheduler(iterations=4, seed=0))
+    return CrossbarSwitch(
+        PORTS,
+        PIMScheduler(iterations=4, seed=0, output_capacity=speedup),
+        fabric=ReplicatedBanyanFabric(PORTS, copies=speedup),
+        speedup=speedup,
+    )
+
+
+def compute_speedup_ablation():
+    rows = []
+    for load in (0.6, 0.8):
+        recorder = TraceRecorder(
+            BurstyTraffic(PORTS, load=load, burst_length=12, seed=800)
+        )
+        first = True
+        row = [load]
+        for speedup in (1, 2, 4):
+            traffic = recorder if first else recorder.replay()
+            first = False
+            result = make_switch(speedup).run(traffic, slots=SLOTS, warmup=WARMUP)
+            row.append(result.mean_delay)
+        oq = OutputQueuedSwitch(PORTS).run(recorder.replay(), slots=SLOTS, warmup=WARMUP)
+        row.append(oq.mean_delay)
+        rows.append(tuple(row))
+    return rows
+
+
+def test_speedup_ablation(benchmark):
+    rows = benchmark.pedantic(compute_speedup_ablation, rounds=1, iterations=1)
+    print_table(
+        "Ablation: fabric replication k on bursty traffic (mean delay, slots)",
+        ["load", "k=1", "k=2", "k=4", "output queueing"],
+        rows,
+    )
+    for load, k1, k2, k4, oq in rows:
+        # More internal bandwidth never hurts...
+        assert k2 <= k1 * 1.10 + 0.5
+        assert k4 <= k2 * 1.10 + 0.5
+        # ...and approaches (but cannot beat) perfect output queueing.
+        assert oq <= k4 + 1.0
+    # At the higher load, k=2 gives a visible improvement over k=1.
+    high = rows[-1]
+    assert high[2] < high[1]

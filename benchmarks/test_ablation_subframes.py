@@ -1,0 +1,79 @@
+"""Ablation: subdivided frames (the Section 4 latency/granularity knob).
+
+"We are considering schemes in which a large frame is subdivided into
+smaller frames.  This would allow each application to trade off a
+guarantee of lower latency against a smaller granularity of
+allocation."
+
+We sweep the division factor on a 1000-slot frame and tabulate the
+two sides of the trade: the latency bound of the low-latency class
+shrinks by the division factor, while its allocation granularity (the
+smallest reservable bandwidth) coarsens by the same factor.  A
+schedule carrying both classes is validated slot by slot.
+"""
+
+import pytest
+
+from repro.cbr.subframes import HierarchicalFrameScheduler
+
+from _common import print_table
+
+FRAME = 1000
+HOPS = 4
+LINK_LATENCY = 10.0
+
+
+def compute_tradeoff():
+    rows = []
+    for divisions in (1, 4, 10, 20):
+        low_slots = (FRAME // divisions) // 2
+        scheduler = HierarchicalFrameScheduler(4, FRAME, divisions, low_slots)
+        low_bound = scheduler.latency_bound_slots(True, HOPS, LINK_LATENCY)
+        bulk_bound = scheduler.latency_bound_slots(False, HOPS, LINK_LATENCY)
+        granularity = divisions / FRAME  # one cell/subframe in link fraction
+        rows.append((divisions, low_bound, bulk_bound, granularity))
+    return rows
+
+
+def compute_mixed_schedule():
+    """Both classes active at once; every slot stays conflict-free."""
+    scheduler = HierarchicalFrameScheduler(4, 100, divisions=5, low_latency_slots=8)
+    scheduler.add_low_latency(0, 1, 4)       # 20 cells/frame, low latency
+    scheduler.add_low_latency(2, 3, 8)       # the whole low-latency band
+    scheduler.add_whole_frame(0, 2, 30)
+    scheduler.add_whole_frame(1, 1, 25)
+    per_slot_ok = True
+    low_count = 0
+    for slot in range(scheduler.frame_slots):
+        pairings = scheduler.pairings(slot)
+        inputs = [i for i, _ in pairings]
+        outputs = [j for _, j in pairings]
+        if len(set(inputs)) != len(inputs) or len(set(outputs)) != len(outputs):
+            per_slot_ok = False
+        low_count += (0, 1) in pairings
+    return per_slot_ok, low_count, scheduler
+
+
+def test_subframes(benchmark):
+    rows, (per_slot_ok, low_count, scheduler) = benchmark.pedantic(
+        lambda: (compute_tradeoff(), compute_mixed_schedule()), rounds=1, iterations=1
+    )
+    print_table(
+        f"Subframe trade-off ({FRAME}-slot frame, {HOPS} hops)",
+        ["divisions", "low-lat bound (slots)", "bulk bound", "granularity (frac)"],
+        rows,
+    )
+    bounds = [row[1] for row in rows]
+    granularities = [row[3] for row in rows]
+    # Lower latency with more divisions...
+    assert bounds == sorted(bounds, reverse=True)
+    assert bounds[-1] < bounds[0] / 10
+    # ...at coarser allocation granularity.
+    assert granularities == sorted(granularities)
+    # The bulk class keeps the whole-frame bound regardless.
+    assert all(row[2] == rows[0][2] for row in rows)
+    # Mixed schedules stay conflict-free and deliver the reservation.
+    assert per_slot_ok
+    assert low_count == 20
+    assert scheduler.cells_per_frame(0, 1) == 20
+    assert scheduler.cells_per_frame(0, 2) == 30

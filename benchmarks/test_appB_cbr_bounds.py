@@ -1,0 +1,131 @@
+"""Appendix B: CBR latency and buffer bounds under unsynchronized clocks.
+
+Reproduces the appendix's two formulas against the continuous-time
+chain simulator:
+
+- adjusted end-to-end latency  L(c, s_p) <= 2 p (F_s-max + l),
+- buffer occupancy per unit reservation <= Formula 5 (about 4-5 frames
+  for reasonable LAN parameters).
+
+Sweeps path length, clock tolerance, and adversarial drift patterns,
+and reports the frame-size/latency trade-off the paper discusses
+("a smaller frame size would provide lower CBR latency ... at a larger
+granularity of allocation").
+"""
+
+import numpy as np
+import pytest
+
+from repro.cbr.clock import (
+    ClockModel,
+    cbr_buffer_bound,
+    cbr_latency_bound,
+    controller_frame_slots,
+    simulate_cbr_chain,
+)
+
+from _common import FULL, print_table
+
+CELLS = 2_000 if FULL else 400
+TOLERANCE = 1e-4  # clock rate error (crystal-grade: 100 ppm)
+LINK_LATENCY = 10.0  # slots of wire + processing per hop
+#: Extra controller padding beyond the minimum; Appendix B: the buffer
+#: constant "can be made arbitrarily small by increasing controller
+#: frame size, at some cost in reduced throughput".
+MARGIN_SLOTS = 5
+
+
+def make_clock(switch_slots, tolerance=TOLERANCE):
+    return ClockModel(
+        slot_time=1.0,
+        switch_frame_slots=switch_slots,
+        controller_frame_slots=controller_frame_slots(
+            switch_slots, tolerance, margin_slots=MARGIN_SLOTS
+        ),
+        tolerance=tolerance,
+    )
+
+
+def drift_patterns(hops, tolerance, rng):
+    """Adversarial and random clock-rate assignments."""
+    yield "all fast switches", [-tolerance] + [tolerance] * hops
+    yield "all slow switches", [tolerance] + [-tolerance] * hops
+    yield "alternating", [tolerance] + [
+        tolerance if n % 2 == 0 else -tolerance for n in range(hops)
+    ]
+    for index in range(3):
+        yield f"random {index}", list(
+            rng.uniform(-tolerance, tolerance, size=hops + 1)
+        )
+
+
+def compute_bounds_check():
+    rng = np.random.default_rng(0)
+    clock = make_clock(switch_slots=1000)
+    rows = []
+    worst_ratio = 0.0
+    for hops in (1, 2, 4, 8):
+        latency_bound = cbr_latency_bound(hops, clock, LINK_LATENCY)
+        buffer_bound = cbr_buffer_bound(hops, clock, LINK_LATENCY)
+        worst_latency = 0.0
+        worst_buffer = 0
+        for name, errors in drift_patterns(hops, TOLERANCE, rng):
+            result = simulate_cbr_chain(
+                clock, hops=hops, link_latency=LINK_LATENCY, cells=CELLS,
+                rate_errors=errors, seed=hash(name) % 2**31,
+            )
+            worst_latency = max(worst_latency, result.max_adjusted_latency())
+            worst_buffer = max(worst_buffer, max(result.max_buffer_occupancy))
+        rows.append(
+            (hops, worst_latency, latency_bound, worst_buffer, buffer_bound)
+        )
+        worst_ratio = max(worst_ratio, worst_latency / latency_bound)
+    return rows, worst_ratio
+
+
+def compute_frame_size_tradeoff():
+    """Latency bound vs frame size (the Section 4 trade-off)."""
+    rows = []
+    for switch_slots in (125, 250, 500, 1000, 2000):
+        clock = make_clock(switch_slots)
+        rows.append(
+            (
+                switch_slots,
+                cbr_latency_bound(4, clock, LINK_LATENCY),
+                1.0 / switch_slots,  # allocation granularity (fraction of link)
+                clock.reservable_fraction,
+            )
+        )
+    return rows
+
+
+def test_appendix_b(benchmark):
+    (rows, worst_ratio), tradeoff = benchmark.pedantic(
+        lambda: (compute_bounds_check(), compute_frame_size_tradeoff()),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "Appendix B: measured worst cases vs bounds (1000-slot frames, "
+        f"tolerance {TOLERANCE})",
+        ["hops", "max adj latency", "bound 2p(F+l)", "max buffer", "bound (F5)"],
+        rows,
+    )
+    print(f"worst measured/bound latency ratio: {worst_ratio:.3f}")
+    print_table(
+        "Frame-size trade-off (4 hops)",
+        ["frame slots", "latency bound", "granularity", "reservable frac"],
+        tradeoff,
+    )
+    for hops, latency, latency_bound, buffers, buffer_bound in rows:
+        assert latency <= latency_bound
+        assert buffers <= buffer_bound
+    # The bound is not vacuous: measured worst cases come within ~3x.
+    assert worst_ratio > 0.3
+    # Buffer needs are small: 'four or five frames' per unit reservation.
+    assert all(row[4] <= 5.5 for row in rows)
+    # Smaller frames -> lower latency but coarser allocation.
+    latencies = [row[1] for row in tradeoff]
+    granularities = [row[2] for row in tradeoff]
+    assert latencies == sorted(latencies)
+    assert granularities == sorted(granularities, reverse=True)

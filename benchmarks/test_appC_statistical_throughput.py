@@ -1,0 +1,108 @@
+"""Appendix C / Section 5.2: statistical matching throughput.
+
+The paper's claims:
+
+- one round delivers each connection exactly
+  (X_ij/X)(1 - ((X-1)/X)^X) of its allocation -> 63% as X grows;
+- a second round lifts the total to at least
+  (X_ij/X)(1 - q)(1 + q^2) -> 72%;
+- additional rounds add insignificantly;
+- the reservable pattern is arbitrary (any doubly-substochastic
+  allocation);
+- slots left idle can be filled by PIM.
+
+We measure delivered fractions across allocation patterns (uniform,
+diagonal, skewed), X values, and round counts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.statistical_theory import (
+    SINGLE_ROUND_LIMIT,
+    TWO_ROUND_LIMIT,
+    single_round_fraction,
+    two_round_fraction,
+)
+from repro.core.statistical import StatisticalMatcher
+
+from _common import FULL, print_table
+
+PORTS = 8
+TRIALS = 40_000 if FULL else 8_000
+
+
+def allocation_patterns(units):
+    """Fully allocated patterns with different shapes."""
+    uniform = np.full((PORTS, PORTS), units // PORTS, dtype=np.int64)
+    diagonal = np.diag([units] * PORTS).astype(np.int64)
+    skewed = np.zeros((PORTS, PORTS), dtype=np.int64)
+    for i in range(PORTS):
+        skewed[i, i] = units // 2
+        skewed[i, (i + 1) % PORTS] = units // 4
+        skewed[i, (i + 2) % PORTS] = units // 4
+    return {"uniform": uniform, "diagonal": diagonal, "skewed": skewed}
+
+
+def measure_delivered_fraction(alloc, units, rounds, seed, trials=TRIALS):
+    """Mean delivered fraction of allocation, over allocated pairs."""
+    matcher = StatisticalMatcher(alloc, units=units, rounds=rounds, seed=seed)
+    counts = np.zeros((PORTS, PORTS))
+    for _ in range(trials):
+        for i, j in matcher.match():
+            counts[i, j] += 1
+    mask = alloc > 0
+    fractions = counts[mask] / trials / (alloc[mask] / units)
+    return float(fractions.mean())
+
+
+def compute_appC():
+    units = 16
+    rows = []
+    for name, alloc in allocation_patterns(units).items():
+        one = measure_delivered_fraction(alloc, units, rounds=1, seed=1)
+        two = measure_delivered_fraction(alloc, units, rounds=2, seed=2)
+        three = measure_delivered_fraction(alloc, units, rounds=3, seed=3)
+        rows.append((name, one, two, three,
+                     single_round_fraction(units), two_round_fraction(units)))
+    return rows
+
+
+def compute_x_sweep():
+    rows = []
+    for units in (8, 16, 32):
+        alloc = np.full((PORTS, PORTS), units // PORTS, dtype=np.int64)
+        one = measure_delivered_fraction(alloc, units, rounds=1, seed=4)
+        rows.append((units, one, single_round_fraction(units)))
+    return rows
+
+
+def test_appendix_c(benchmark):
+    rows, sweep = benchmark.pedantic(
+        lambda: (compute_appC(), compute_x_sweep()), rounds=1, iterations=1
+    )
+    print_table(
+        "Appendix C: delivered fraction of allocation (X=16, 8x8)",
+        ["pattern", "1 round", "2 rounds", "3 rounds",
+         "theory 1rd", "theory 2rd (lb)"],
+        rows,
+    )
+    print_table(
+        "X sweep (uniform pattern): exact one-round law",
+        ["X", "measured", "(1-((X-1)/X)^X)"],
+        sweep,
+    )
+    print(f"asymptotics: one round -> {SINGLE_ROUND_LIMIT:.3f}, "
+          f"two rounds -> {TWO_ROUND_LIMIT:.3f}")
+
+    for name, one, two, three, theory1, theory2 in rows:
+        # One-round law is exact, for every allocation pattern.
+        assert one == pytest.approx(theory1, rel=0.03)
+        # Two rounds meet the (1-q)(1+q^2) lower bound -> ~72%.
+        assert two >= theory2 * 0.97
+        # The paper: additional iterations yield diminishing gains (the
+        # asymptotic claim is "insignificant"; at finite X = 16 a third
+        # round still adds a little, but visibly less than the second).
+        assert three - two < (two - one) - 0.01
+    for units, measured, theory in sweep:
+        assert measured == pytest.approx(theory, rel=0.03)

@@ -1,0 +1,77 @@
+"""Extension: VBR flow control ("subject to flow control", Section 4).
+
+CBR buffers are statically sized by the Appendix B bound; VBR buffers
+are finite and flow controlled.  We measure the three properties that
+make credit-based backpressure the right mechanism:
+
+1. buffer occupancy is hard-bounded by the credit limit (+ in-flight),
+2. feasible loads lose no throughput,
+3. under overload the bottleneck stays fully utilized while queues are
+   pushed back toward the sources instead of growing inside the
+   network.
+"""
+
+import pytest
+
+from repro.network.netsim import FlowSpec, NetworkSimulator
+from repro.network.topologies import chain
+
+from _common import FULL, print_table
+
+SLOTS = 30_000 if FULL else 8_000
+WARMUP = 3_000 if FULL else 1_000
+
+
+def run_chain(buffer_limit, load_per_flow):
+    topo, left, right = chain(3, hosts_per_end=2)
+    sim = NetworkSimulator(topo, seed=7, buffer_limit=buffer_limit)
+    sim.add_flow(FlowSpec(1, left[0], right[0], load_per_flow))
+    sim.add_flow(FlowSpec(2, left[1], right[0], load_per_flow))
+    peak = 0
+    ship = sim._ship
+
+    def tapped(node, port, cell, slot):
+        nonlocal peak
+        result = ship(node, port, cell, slot)
+        for core in sim._switches.values():
+            for p in range(core.ports):
+                peak = max(peak, core.input_occupancy(p))
+        return result
+
+    sim._ship = tapped
+    result = sim.run(slots=SLOTS, warmup=WARMUP)
+    total = result.throughput(1) + result.throughput(2)
+    return total, peak, sim.backlog()
+
+
+def compute_flow_control():
+    rows = []
+    for limit in (None, 4, 16, 64):
+        for load in (0.4, 1.0):  # feasible vs saturating
+            total, peak, backlog = run_chain(limit, load)
+            rows.append(
+                (str(limit), load, total, peak, backlog)
+            )
+    return rows
+
+
+def test_flow_control(benchmark):
+    rows = benchmark.pedantic(compute_flow_control, rounds=1, iterations=1)
+    print_table(
+        "VBR flow control on a 3-switch chain (2 flows -> 1 sink link)",
+        ["buffer limit", "per-flow load", "carried total", "peak buffer",
+         "final backlog"],
+        rows,
+    )
+    by_key = {(row[0], row[1]): row for row in rows}
+    for limit in ("4", "16", "64"):
+        # Feasible load: full throughput, bounded buffers.
+        total, peak = by_key[(limit, 0.4)][2], by_key[(limit, 0.4)][3]
+        assert total == pytest.approx(0.8, abs=0.06)
+        assert peak <= int(limit) + 1
+        # Saturation: bottleneck full, buffers still bounded.
+        total, peak = by_key[(limit, 1.0)][2], by_key[(limit, 1.0)][3]
+        assert total == pytest.approx(1.0, abs=0.06)
+        assert peak <= int(limit) + 1
+    # Without flow control the saturated run grows unbounded queues.
+    assert by_key[("None", 1.0)][4] > 20 * by_key[("4", 1.0)][4]

@@ -1,0 +1,110 @@
+"""Extension: multicast flows (Section 2's deferred feature).
+
+"Our network also supports multicast flows, but we will not discuss
+that here."  We implement the natural crossbar realization -- the
+fabric replicates, scheduling is PIM with fanout splitting -- and
+quantify the two properties that make hardware multicast worth having:
+
+1. a broadcast consumes ~one input slot instead of N unicast copies,
+2. under mixed fanouts the splitting discipline keeps outputs busy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.switch.multicast import MulticastCell, MulticastPIMScheduler, MulticastSwitch
+
+from _common import FULL, print_table
+
+PORTS = 8
+SLOTS = 20_000 if FULL else 6_000
+WARMUP = 2_000 if FULL else 600
+
+
+class RandomFanoutSource:
+    """Each input receives a cell per slot w.p. rate; fanout size k is
+    drawn uniformly from ``fanouts``."""
+
+    def __init__(self, ports, rate, fanouts, seed):
+        self.ports = ports
+        self.rate = rate
+        self.fanouts = fanouts
+        self._rng = np.random.default_rng(seed)
+        self._seq = 0
+
+    def arrivals(self, slot):
+        cells = []
+        for i in range(self.ports):
+            if self._rng.random() >= self.rate:
+                continue
+            k = int(self._rng.choice(self.fanouts))
+            outputs = self._rng.choice(self.ports, size=k, replace=False)
+            self._seq += 1
+            cells.append(
+                (i, MulticastCell(flow_id=i, fanout=frozenset(int(o) for o in outputs),
+                                  seqno=self._seq))
+            )
+        return cells
+
+
+def run_multicast(rate, fanouts, seed=0):
+    switch = MulticastSwitch(PORTS, MulticastPIMScheduler(iterations=4, seed=seed))
+    source = RandomFanoutSource(PORTS, rate, fanouts, seed + 1)
+    delay, counter = switch.run(source, slots=SLOTS, warmup=WARMUP)
+    window = SLOTS - WARMUP
+    return {
+        "completions_per_slot": counter.carried_per_slot(1),
+        "copies_per_slot": switch.copies_delivered / SLOTS,
+        "mean_delay": delay.mean,
+        "backlog": switch.backlog(),
+    }
+
+
+def unicast_copy_cost(rate, fanouts):
+    """Input slots per slot the copy strawman would need: rate x E[k]."""
+    return rate * float(np.mean(fanouts))
+
+
+def compute_multicast():
+    # Rates sit below each mix's saturation point: with one FIFO per
+    # input (the classic fanout-splitting discipline) unicast traffic
+    # is HOL-limited near 0.6/input, so the offered copy load per
+    # output is kept at ~0.5-0.9.
+    rows = []
+    for rate, fanouts, label in [
+        (0.5, [1], "unicast mix"),
+        (0.3, [2], "fanout 2"),
+        (0.18, [4], "fanout 4"),
+        (0.11, [8], "broadcast"),
+        (0.25, [1, 2, 4], "mixed"),
+    ]:
+        stats = run_multicast(rate, fanouts)
+        rows.append(
+            (label, rate, stats["completions_per_slot"], stats["copies_per_slot"],
+             stats["mean_delay"], unicast_copy_cost(rate, fanouts))
+        )
+    return rows
+
+
+def test_multicast_extension(benchmark):
+    rows = benchmark.pedantic(compute_multicast, rounds=1, iterations=1)
+    print_table(
+        "Multicast fanout splitting (8x8): completions, copies, delay",
+        ["workload", "arrival rate", "done/slot", "copies/slot",
+         "mean delay", "unicast-copy input cost"],
+        rows,
+    )
+    by_label = {row[0]: row for row in rows}
+    # Broadcast: 0.11 broadcasts/input/slot = 0.88 completions/slot
+    # carried with ~one input slot per broadcast -- the copy strawman
+    # would need 8x the input slots (infeasible at this rate).
+    label, rate, done, copies, delay, copy_cost = by_label["broadcast"]
+    assert done == pytest.approx(PORTS * rate, rel=0.10)
+    assert copies == pytest.approx(8 * done, rel=0.10)
+    assert copy_cost > 0.85  # the strawman is near/over input capacity
+    # Stability and output-side sanity at every operating point.
+    for label, rate, done, copies, delay, _ in rows:
+        assert copies / PORTS < 1.0 + 1e-9
+        assert delay < 60  # stable queues at these offered loads
+        # Carried completions equal the offered rate (nothing stuck).
+        assert done == pytest.approx(PORTS * rate, rel=0.12)

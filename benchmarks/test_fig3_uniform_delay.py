@@ -1,0 +1,60 @@
+"""Figure 3: mean queueing delay vs offered load, uniform workload.
+
+Paper (16x16, uniform destinations): FIFO saturates at ~58% load;
+parallel iterative matching (4 iterations) tracks perfect output
+queueing up to very high load with a modest delay gap; at 95% load the
+switch forwards cells in under 13 microseconds on average (< ~30
+slots at 424 ns/slot).
+"""
+
+import pytest
+
+from repro.analysis.hol import KAROL_LIMIT
+from repro.hardware.cost import slots_to_seconds
+from repro.traffic.uniform import UniformTraffic
+
+from _common import PORTS, delay_vs_load, print_curves, standard_switches
+
+LOADS = [0.2, 0.4, 0.6, 0.7, 0.8, 0.9, 0.95]
+
+
+def compute_fig3():
+    return delay_vs_load(
+        LOADS,
+        lambda load, index: UniformTraffic(PORTS, load=load, seed=100 + index),
+        standard_switches(),
+    )
+
+
+def test_fig3(benchmark):
+    curves = benchmark.pedantic(compute_fig3, rounds=1, iterations=1)
+    print_curves(
+        "Figure 3: mean delay (slots) vs offered load, uniform, 16x16",
+        curves,
+        paper_note="FIFO saturates ~0.58; PIM-4 tracks output queueing; "
+        "PIM-4 @0.95 under 13us",
+    )
+    fifo = dict((load, (delay, carried)) for load, delay, carried in curves["fifo"])
+    pim = dict((load, (delay, carried)) for load, delay, carried in curves["pim4"])
+    oq = dict(
+        (load, (delay, carried)) for load, delay, carried in curves["output_queueing"]
+    )
+
+    # Low load: all three algorithms are indistinguishable.
+    assert abs(pim[0.2][0] - oq[0.2][0]) < 0.5
+    assert abs(fifo[0.2][0] - oq[0.2][0]) < 0.5
+
+    # FIFO saturates near Karol's limit: at 0.8+ it cannot carry the load.
+    assert fifo[0.8][1] < 0.8 * 0.85
+    assert fifo[0.95][1] == pytest.approx(KAROL_LIMIT, abs=0.05)
+
+    # PIM carries every load point and sits between OQ and FIFO in delay.
+    for load in LOADS:
+        assert pim[load][1] == pytest.approx(load, rel=0.04)
+        assert oq[load][0] <= pim[load][0] + 0.5
+
+    # Headline: <13 microseconds mean forwarding delay at 95% load.
+    seconds = slots_to_seconds(pim[0.95][0])
+    print(f"\nPIM-4 mean delay at 95% load: {pim[0.95][0]:.1f} slots = "
+          f"{seconds * 1e6:.1f} us (paper: < 13 us)")
+    assert seconds < 13e-6

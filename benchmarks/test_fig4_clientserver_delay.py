@@ -1,0 +1,73 @@
+"""Figure 4: mean queueing delay vs offered load, client-server workload.
+
+Paper: 4 of 16 ports are servers; client-client connections carry 5%
+of the traffic of connections touching a server; offered load is the
+load on a server link.  "The results are qualitatively similar to
+Figure 3 ... Parallel iterative matching performs well on this
+workload, coming even closer to optimal than in the uniform case."
+"""
+
+import pytest
+
+from repro.traffic.clientserver import ClientServerTraffic
+
+from _common import PORTS, delay_vs_load, print_curves, standard_switches
+
+LOADS = [0.2, 0.4, 0.6, 0.8, 0.9, 0.95]
+
+
+def compute_fig4():
+    return delay_vs_load(
+        LOADS,
+        lambda load, index: ClientServerTraffic(PORTS, load=load, seed=200 + index),
+        standard_switches(),
+    )
+
+
+def compute_variants():
+    """The paper's robustness note: 'results were similar for other
+    client/server traffic ratios and for different numbers of
+    servers.'  Spot-check two variants at high load."""
+    results = []
+    for servers, ratio in [(2, 0.05), (6, 0.10)]:
+        curves = delay_vs_load(
+            [0.9],
+            lambda load, index: ClientServerTraffic(
+                PORTS, load=load, servers=servers,
+                client_client_ratio=ratio, seed=300,
+            ),
+            standard_switches(),
+        )
+        results.append((servers, ratio, curves))
+    return results
+
+
+def test_fig4(benchmark):
+    curves = benchmark.pedantic(compute_fig4, rounds=1, iterations=1)
+    print_curves(
+        "Figure 4: mean delay (slots) vs server-link load, client-server, 16x16",
+        curves,
+        paper_note="qualitatively like Fig 3; PIM even closer to optimal",
+    )
+    pim = {load: (delay, carried) for load, delay, carried in curves["pim4"]}
+    oq = {load: (delay, carried) for load, delay, carried in curves["output_queueing"]}
+    fifo = {load: (delay, carried) for load, delay, carried in curves["fifo"]}
+
+    for load in LOADS:
+        # PIM carries the full offered client-server load.
+        assert pim[load][1] == pytest.approx(oq[load][1], rel=0.02)
+        assert oq[load][0] <= pim[load][0] + 0.5
+    # FIFO falls behind at high load (HOL on the hot server outputs).
+    assert fifo[0.95][0] > 3 * pim[0.95][0]
+
+    # PIM/OQ delay gap is proportionally smaller than in the uniform
+    # case at high load -- "even closer to optimal".
+    gap_ratio = pim[0.9][0] / max(oq[0.9][0], 1e-9)
+    assert gap_ratio < 3.0
+
+    for servers, ratio, variant in compute_variants():
+        vp = variant["pim4"][0]
+        vo = variant["output_queueing"][0]
+        print(f"variant servers={servers} ratio={ratio}: pim delay "
+              f"{vp[1]:.2f}, oq delay {vo[1]:.2f}")
+        assert vp[2] == pytest.approx(vo[2], rel=0.03)

@@ -1,0 +1,89 @@
+"""Figure 8: unfairness with parallel iterative matching.
+
+The scenario: inputs 1-3 each have traffic only for output 1 (and,
+in the figure, outputs 2-4 receive traffic only from input 4), while
+input 4 has traffic for all four outputs.  With random grants and
+random accepts, the (4, 1) connection wins only 1/16 of output 1's
+slots: output 1 grants to input 4 w.p. 1/4, and input 4 (holding four
+grants, one from each output) accepts output 1 w.p. 1/4.  Every other
+connection gets five times that throughput.
+
+Statistical matching (Section 5.3) fixes this: weighting output 1's
+grant table to favour input 4 -- or simply allocating equal rates to
+all of output 1's contenders -- delivers roughly equal shares.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pim import PIMScheduler
+from repro.core.statistical import StatisticalMatcher
+from repro.fairness.metrics import jain_index, max_min_ratio
+
+from _common import FULL, print_table
+
+PORTS = 4
+SLOTS = 120_000 if FULL else 30_000
+
+
+def run_pim(slots=SLOTS):
+    """Serve the Figure 8 pattern with PIM; count per-connection wins."""
+    scheduler = PIMScheduler(iterations=4, seed=0)
+    requests = np.zeros((PORTS, PORTS), dtype=bool)
+    requests[0, 0] = requests[1, 0] = requests[2, 0] = True
+    requests[3, :] = True
+    counts = {}
+    for _ in range(slots):
+        for pair in scheduler.schedule(requests):
+            counts[pair] = counts.get(pair, 0) + 1
+    return counts
+
+
+def run_statistical(slots=SLOTS):
+    """Equal allocations for output 0's four contenders; input 3's
+    remaining bandwidth spread over the other outputs."""
+    units = 16
+    alloc = np.zeros((PORTS, PORTS), dtype=np.int64)
+    alloc[0, 0] = alloc[1, 0] = alloc[2, 0] = alloc[3, 0] = 4
+    alloc[3, 1] = alloc[3, 2] = alloc[3, 3] = 4
+    matcher = StatisticalMatcher(alloc, units=units, rounds=2, seed=0)
+    counts = {}
+    for _ in range(slots):
+        for pair in matcher.match():
+            counts[pair] = counts.get(pair, 0) + 1
+    return counts
+
+
+def compute_fig8():
+    return run_pim(), run_statistical()
+
+
+def test_fig8(benchmark):
+    pim_counts, stat_counts = benchmark.pedantic(compute_fig8, rounds=1, iterations=1)
+    output0 = [(i, 0) for i in range(PORTS)]
+    pim_shares = [pim_counts.get(pair, 0) / SLOTS for pair in output0]
+    stat_total = sum(stat_counts.get(pair, 0) for pair in output0)
+    stat_shares = [stat_counts.get(pair, 0) / max(stat_total, 1) for pair in output0]
+    print_table(
+        "Figure 8: output 1's bandwidth split among its four connections",
+        ["connection", "PIM share", "statistical share", "paper PIM"],
+        [
+            (f"({i+1},1)", pim_shares[i],
+             stat_shares[i], "5/16" if i < 3 else "1/16")
+            for i in range(PORTS)
+        ],
+    )
+    print(f"PIM     jain={jain_index(pim_shares):.3f}  "
+          f"max/min={max_min_ratio(pim_shares):.2f}")
+    print(f"stat    jain={jain_index(stat_shares):.3f}  "
+          f"max/min={max_min_ratio(stat_shares):.2f}")
+
+    # Paper's numbers: (4,1) gets 1/16 of the link; others 5/16 each.
+    assert pim_shares[3] == pytest.approx(1 / 16, rel=0.10)
+    for i in range(3):
+        assert pim_shares[i] == pytest.approx(5 / 16, rel=0.05)
+    assert max_min_ratio(pim_shares) == pytest.approx(5.0, rel=0.15)
+
+    # Statistical matching restores near-equal shares.
+    assert jain_index(stat_shares) > 0.98
+    assert max_min_ratio(stat_shares) < 1.3

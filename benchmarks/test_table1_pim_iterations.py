@@ -1,0 +1,79 @@
+"""Table 1: percentage of total matches found within K PIM iterations.
+
+Paper (16x16 switch, uniform request probability p, several hundred
+thousand patterns per p)::
+
+    p      K=1    K=2     K=3      K=4
+    .10    87%    99.8%   100%
+    .25    75%    97.6%   99.97%   100%
+    .50    69%    93%     99.6%    99.997%
+    .75    66%    90%     98.6%    99.97%
+    1.0    64%    88%     97%      99.9%
+
+Regenerate with ``pytest benchmarks/test_table1_pim_iterations.py
+--benchmark-only``; set REPRO_FULL=1 for 200k patterns per p.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pim import pim_match_batch
+
+from _common import FULL, print_table
+
+PORTS = 16
+PROBABILITIES = [0.10, 0.25, 0.50, 0.75, 1.0]
+PATTERNS = 200_000 if FULL else 20_000
+BATCH = 5_000
+
+PAPER_ROWS = {
+    0.10: [87.0, 99.8, 100.0, 100.0],
+    0.25: [75.0, 97.6, 99.97, 100.0],
+    0.50: [69.0, 93.0, 99.6, 99.997],
+    0.75: [66.0, 90.0, 98.6, 99.97],
+    1.0: [64.0, 88.0, 97.0, 99.9],
+}
+
+
+def compute_table1(patterns=PATTERNS, seed=0):
+    """Fraction of run-to-completion matches found within K iterations."""
+    rng = np.random.default_rng(seed)
+    rows = {}
+    for p in PROBABILITIES:
+        found_within = np.zeros(4, dtype=np.float64)
+        total = 0.0
+        remaining = patterns
+        while remaining > 0:
+            count = min(BATCH, remaining)
+            remaining -= count
+            batch = rng.random((count, PORTS, PORTS)) < p
+            cumulative = pim_match_batch(batch, rng)
+            final = cumulative[:, -1]
+            total += final.sum()
+            for k in range(4):
+                col = cumulative[:, min(k, cumulative.shape[1] - 1)]
+                found_within[k] += col.sum()
+        rows[p] = [100.0 * f / total for f in found_within]
+    return rows
+
+
+def test_table1(benchmark):
+    rows = benchmark.pedantic(compute_table1, rounds=1, iterations=1)
+    print_table(
+        "Table 1: % of total matches found within K iterations "
+        f"({PATTERNS} patterns/p, 16x16)",
+        ["p", "K=1", "K=2", "K=3", "K=4", "paper K=1", "paper K=4"],
+        [
+            [p] + rows[p] + [PAPER_ROWS[p][0], PAPER_ROWS[p][3]]
+            for p in PROBABILITIES
+        ],
+    )
+    for p in PROBABILITIES:
+        measured = rows[p]
+        paper = PAPER_ROWS[p]
+        # Monotone in K, converging to 100%.
+        assert all(a <= b + 1e-9 for a, b in zip(measured, measured[1:]))
+        assert measured[3] > 99.5
+        # Within a few points of the paper at K=1 and K=2.
+        assert measured[0] == pytest.approx(paper[0], abs=3.0)
+        assert measured[1] == pytest.approx(paper[1], abs=2.0)

@@ -1,0 +1,60 @@
+"""Table 2: AN2 switch component costs as proportion of total cost.
+
+Paper (16x16 switch)::
+
+    Functional Unit       Prototype    Production (est.)
+    Optoelectronics          48%            63%
+    Crossbar                  4%             5%
+    Buffer RAM/Logic         21%            19%
+    Scheduling Logic         10%             3%
+    Routing/Control CPU      17%            10%
+
+The cost model calibrates per-unit costs from these shares and then
+extrapolates across switch sizes, quantifying the paper's scaling
+claims (optics dominate; the O(N^2) crossbar stays minor at moderate
+scale).
+"""
+
+import pytest
+
+from repro.hardware.cost import PRODUCTION_MODEL, PROTOTYPE_MODEL
+
+from _common import print_table
+
+
+def compute_table2():
+    names = ["optoelectronics", "crossbar", "buffer", "scheduling", "control"]
+    prototype = dict(PROTOTYPE_MODEL.table2_rows())
+    production = dict(PRODUCTION_MODEL.table2_rows())
+    return [(name, prototype[name], production[name]) for name in names]
+
+
+def compute_scaling():
+    return [
+        (ports, 100 * PRODUCTION_MODEL.shares(ports)["optoelectronics"],
+         100 * PRODUCTION_MODEL.shares(ports)["crossbar"],
+         PRODUCTION_MODEL.cost_per_port(ports))
+        for ports in (4, 8, 16, 32, 64)
+    ]
+
+
+def test_table2(benchmark):
+    rows = benchmark.pedantic(compute_table2, rounds=1, iterations=1)
+    print_table(
+        "Table 2: component costs (% of total, 16x16)",
+        ["unit", "prototype %", "production %"],
+        rows,
+    )
+    scaling = compute_scaling()
+    print_table(
+        "Cost-model extrapolation (production technology)",
+        ["ports", "optics %", "crossbar %", "cost/port"],
+        scaling,
+    )
+    by_name = {name: (proto, prod) for name, proto, prod in rows}
+    assert by_name["optoelectronics"] == (pytest.approx(48.0), pytest.approx(63.0))
+    assert by_name["scheduling"] == (pytest.approx(10.0), pytest.approx(3.0))
+    # Scaling claims: optics dominate throughout the AN2 design range.
+    for ports, optics, crossbar, _ in scaling:
+        assert optics > crossbar
+    assert scaling[-1][0] == 64 and scaling[-1][1] > 40.0

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Fair bandwidth allocation with statistical matching (Section 5).
+
+Reproduces the Figure 8 unfairness -- PIM gives the (4, 1) connection
+one sixteenth of output 1 while the others get five sixteenths each --
+then fixes it with statistical matching, and demonstrates the cheap
+rate adjustment that is statistical matching's reason to exist: a
+rate change touches only the two ports involved, no frame-schedule
+recomputation.
+
+Run:  python examples/fairness_statistical.py
+"""
+
+import numpy as np
+
+from repro import PIMScheduler, StatisticalMatcher
+from repro.analysis.ascii_plot import bar_chart
+from repro.fairness.metrics import jain_index, max_min_ratio
+
+PORTS = 4
+SLOTS = 40_000
+
+
+def figure8_requests():
+    """Inputs 1-3 want only output 1; input 4 wants every output."""
+    requests = np.zeros((PORTS, PORTS), dtype=bool)
+    requests[0, 0] = requests[1, 0] = requests[2, 0] = True
+    requests[3, :] = True
+    return requests
+
+
+def serve(scheduler, requests, slots=SLOTS):
+    """Tally per-connection wins; requests=None drives a standalone
+    statistical matcher (its allocations already encode the demand)."""
+    counts = {}
+    for _ in range(slots):
+        matching = scheduler.match() if requests is None else scheduler.schedule(requests)
+        for pair in matching:
+            counts[pair] = counts.get(pair, 0) + 1
+    return counts
+
+
+def output0_shares(counts):
+    total = sum(counts.get((i, 0), 0) for i in range(PORTS))
+    return [counts.get((i, 0), 0) / total for i in range(PORTS)]
+
+
+def main() -> None:
+    requests = figure8_requests()
+
+    print("Figure 8 demand pattern: inputs 1-3 -> output 1 only; "
+          "input 4 -> all outputs\n")
+
+    pim = PIMScheduler(iterations=4, seed=0)
+    pim_shares = output0_shares(serve(pim, requests))
+    print("PIM (fair dice): output 1's bandwidth split")
+    print(bar_chart(
+        {f"({i + 1},1)": share for i, share in enumerate(pim_shares)},
+        width=32, reference=0.25, reference_label="fair share",
+    ))
+    print(f"  jain index {jain_index(pim_shares):.3f}, "
+          f"max/min {max_min_ratio(pim_shares):.1f}"
+          "   <-- connection (4,1) starved to ~1/16\n")
+
+    # Statistical matching with equal allocations on output 1.
+    units = 16
+    alloc = np.zeros((PORTS, PORTS), dtype=np.int64)
+    alloc[:, 0] = 4                       # output 1 split four ways
+    alloc[3, 1] = alloc[3, 2] = alloc[3, 3] = 4   # input 4's other traffic
+    matcher = StatisticalMatcher(alloc, units=units, rounds=2, seed=1)
+    stat_shares = output0_shares(serve(matcher, requests=None))
+    print("Statistical matching (weighted dice): output 1's split")
+    for i, share in enumerate(stat_shares):
+        print(f"  connection ({i + 1},1): {share:.3f}")
+    print(f"  jain index {jain_index(stat_shares):.3f}, "
+          f"max/min {max_min_ratio(stat_shares):.2f}\n")
+
+    # Rapid rate adjustment: double connection (1,1)'s allocation.
+    # Only input 1's and output 1's tables change -- O(1) ports, no
+    # Slepian-Duguid rescheduling.
+    matcher.set_allocation(1, 0, 0)       # free 4 units on output 1
+    matcher.set_allocation(0, 0, 8)       # give them to connection (1,1)
+    adjusted = output0_shares(serve(matcher, requests=None))
+    print("After doubling connection (1,1)'s rate at runtime:")
+    for i, share in enumerate(adjusted):
+        print(f"  connection ({i + 1},1): {share:.3f}")
+    print("  (the 2:0:1:1 split follows the new allocations; no "
+          "frame schedule was recomputed)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Multimedia over AN2: CBR reservations with a VBR datagram flood.
+
+The Section 4 scenario: video streams need guaranteed bandwidth and
+bounded latency, datagram traffic takes whatever is left.  This
+example:
+
+1. admits four "video" CBR flows across a switch via the
+   Slepian-Duguid frame schedule (reject an over-committing fifth),
+2. runs the integrated switch with the CBR sources plus a saturating
+   VBR background,
+3. shows the guarantees held: CBR throughput equals the reservation
+   and worst-case CBR delay stays within two frames, regardless of the
+   VBR load,
+4. checks the Appendix B end-to-end bounds for a multi-hop path with
+   drifting clocks.
+
+Run:  python examples/multimedia_cbr.py
+"""
+
+from repro import IntegratedSwitch, PIMScheduler, ReservationTable, UniformTraffic
+from repro.cbr.clock import (
+    ClockModel,
+    cbr_buffer_bound,
+    cbr_latency_bound,
+    controller_frame_slots,
+    simulate_cbr_chain,
+)
+from repro.switch.cell import ServiceClass
+from repro.switch.flow import Flow
+from repro.traffic.cbr_source import CBRSource
+
+PORTS = 8
+FRAME = 50
+SLOTS = 20_000
+WARMUP = 2_000
+
+
+def video_flow(flow_id, src, dst, cells_per_frame):
+    return Flow(
+        flow_id=flow_id,
+        src=src,
+        dst=dst,
+        service=ServiceClass.CBR,
+        cells_per_frame=cells_per_frame,
+    )
+
+
+def main() -> None:
+    table = ReservationTable(PORTS, FRAME)
+
+    print(f"Frame: {FRAME} slots; admitting video flows...")
+    flows = [
+        video_flow(1, src=0, dst=4, cells_per_frame=20),   # 40% of a link
+        video_flow(2, src=1, dst=4, cells_per_frame=20),   # shares output 4
+        video_flow(3, src=0, dst=5, cells_per_frame=25),   # shares input 0
+        video_flow(4, src=2, dst=6, cells_per_frame=50),   # a full link
+    ]
+    for flow in flows:
+        table.admit(flow)
+        print(f"  flow {flow.flow_id}: {flow.src}->{flow.dst}, "
+              f"{flow.cells_per_frame}/{FRAME} cells/frame  ADMITTED")
+
+    # A fifth flow that would over-commit output 4 (20+20+15 > 50).
+    greedy = video_flow(5, src=3, dst=4, cells_per_frame=15)
+    print(f"  flow 5: 3->4, 15/{FRAME} cells/frame  "
+          f"{'ADMITTED' if table.can_admit(greedy) else 'REJECTED (output 4 full)'}")
+
+    switch = IntegratedSwitch(table, scheduler=PIMScheduler(seed=0))
+    cbr_source = CBRSource(PORTS, flows, frame_slots=FRAME, jitter=True, seed=1)
+    vbr_source = UniformTraffic(PORTS, load=1.0, seed=2)  # saturating datagrams
+    result = switch.run([cbr_source, vbr_source], slots=SLOTS, warmup=WARMUP)
+
+    reserved_rate = sum(f.cells_per_frame for f in flows) / FRAME
+    measured_rate = result.cbr_delay.count / (SLOTS - WARMUP)
+    print("\nUnder a saturating VBR flood:")
+    print(f"  CBR reserved rate  : {reserved_rate:.2f} cells/slot")
+    print(f"  CBR measured rate  : {measured_rate:.2f} cells/slot")
+    print(f"  CBR delay (mean/max): {result.cbr_delay.mean:.1f} / "
+          f"{result.cbr_delay.max} slots (frame = {FRAME})")
+    print(f"  VBR carried        : {result.vbr_delay.count} cells "
+          f"(mean delay {result.vbr_delay.mean:.0f} slots -- no guarantee)")
+    print(f"  reserved slots donated to VBR: {switch.cbr_slots_donated}")
+
+    # End-to-end bounds with unsynchronized clocks (Appendix B).
+    tolerance = 5e-4
+    clock = ClockModel(
+        slot_time=1.0,
+        switch_frame_slots=1000,
+        controller_frame_slots=controller_frame_slots(1000, tolerance),
+        tolerance=tolerance,
+    )
+    hops, link_latency = 4, 10.0
+    chain = simulate_cbr_chain(clock, hops=hops, link_latency=link_latency,
+                               cells=500, seed=3)
+    print(f"\n{hops}-hop path with clock drift +/-{tolerance:.0e}:")
+    print(f"  worst adjusted latency : {chain.max_adjusted_latency():.0f} slots "
+          f"(bound {cbr_latency_bound(hops, clock, link_latency):.0f})")
+    print(f"  worst buffer occupancy : {max(chain.max_buffer_occupancy)} cells "
+          f"(bound {cbr_buffer_bound(hops, clock, link_latency):.1f} per unit)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Reproduction of *High Speed Switch Scheduling for Local Area Networks*.
+
+Anderson, Owicki, Saxe, and Thacker (ASPLOS 1992) describe the AN2
+switch: an input-buffered crossbar switch scheduled by **Parallel
+Iterative Matching** (PIM), with frame-based **CBR** bandwidth
+guarantees built via the Slepian-Duguid algorithm, and **Statistical
+Matching** for dynamically adjustable bandwidth allocation.
+
+This package implements the paper's algorithms and every substrate they
+rest on -- cell-slotted simulation, per-flow random-access input
+buffers, crossbar and batcher-banyan fabrics, traffic generators, a
+multi-switch network simulator -- plus the baselines the paper compares
+against (FIFO input queueing, perfect output queueing, maximum
+matching) and its direct descendants (iSLIP, wavefront arbitration).
+
+Quickstart::
+
+    from repro import CrossbarSwitch, PIMScheduler, UniformTraffic
+
+    switch = CrossbarSwitch(ports=16, scheduler=PIMScheduler(iterations=4, seed=1))
+    traffic = UniformTraffic(ports=16, load=0.9, seed=2)
+    result = switch.run(traffic, slots=20_000, warmup=2_000)
+    print(result.mean_delay, result.throughput)
+"""
+
+from repro.core.fifo import FIFOScheduler
+from repro.core.islip import ISLIPScheduler
+from repro.core.matching import Matching
+from repro.core.maximum import MaximumMatchingScheduler, hopcroft_karp
+from repro.core.output_queueing import OutputQueuedSwitch
+from repro.core.pim import PIMScheduler, pim_match
+from repro.core.statistical import StatisticalMatcher
+from repro.core.wavefront import WavefrontScheduler
+from repro.cbr.frame import FrameSchedule
+from repro.cbr.reservations import ReservationTable
+from repro.cbr.slepian_duguid import SlepianDuguidScheduler
+from repro.cbr.integrated import IntegratedSwitch
+from repro.switch.cell import Cell, ServiceClass
+from repro.switch.switch import CrossbarSwitch, FIFOSwitch, SwitchResult
+from repro.traffic.uniform import UniformTraffic
+from repro.traffic.clientserver import ClientServerTraffic
+from repro.traffic.periodic import PeriodicTraffic
+from repro.traffic.bursty import BurstyTraffic
+from repro.network.topology import Topology
+from repro.network.netsim import NetworkSimulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cell",
+    "ServiceClass",
+    "Matching",
+    "PIMScheduler",
+    "pim_match",
+    "StatisticalMatcher",
+    "FIFOScheduler",
+    "ISLIPScheduler",
+    "WavefrontScheduler",
+    "MaximumMatchingScheduler",
+    "hopcroft_karp",
+    "OutputQueuedSwitch",
+    "CrossbarSwitch",
+    "FIFOSwitch",
+    "SwitchResult",
+    "FrameSchedule",
+    "ReservationTable",
+    "SlepianDuguidScheduler",
+    "IntegratedSwitch",
+    "UniformTraffic",
+    "ClientServerTraffic",
+    "PeriodicTraffic",
+    "BurstyTraffic",
+    "Topology",
+    "NetworkSimulator",
+    "__version__",
+]

@@ -1,0 +1,53 @@
+"""Closed-form results from the paper's appendices, as checkable code.
+
+- :mod:`repro.analysis.iterations` -- Appendix A: the 3/4 resolution
+  lemma and the E[C] <= log2(N) + 4/3 iteration bound,
+- :mod:`repro.analysis.statistical_theory` -- Appendix C: the 63% / 72%
+  statistical-matching throughput fractions,
+- :mod:`repro.analysis.hol` -- Karol's 2 - sqrt(2) head-of-line
+  saturation limit for FIFO input queueing.
+"""
+
+from repro.analysis.iterations import (
+    expected_iterations_bound,
+    measure_iterations,
+    measure_unresolved_decay,
+)
+from repro.analysis.statistical_theory import (
+    single_round_fraction,
+    two_round_fraction,
+    SINGLE_ROUND_LIMIT,
+    TWO_ROUND_LIMIT,
+)
+from repro.analysis.hol import KAROL_LIMIT, fifo_saturation_throughput
+from repro.analysis.queueing import (
+    hol_saturation_limit,
+    output_queueing_delay,
+    output_queueing_mean_queue,
+)
+from repro.analysis.pim_theory import (
+    one_iteration_match_fraction,
+    pim1_saturation_throughput,
+    saturated_first_iteration_fraction,
+)
+from repro.analysis.ascii_plot import bar_chart, line_chart
+
+__all__ = [
+    "hol_saturation_limit",
+    "output_queueing_delay",
+    "output_queueing_mean_queue",
+    "one_iteration_match_fraction",
+    "pim1_saturation_throughput",
+    "saturated_first_iteration_fraction",
+    "bar_chart",
+    "line_chart",
+    "expected_iterations_bound",
+    "measure_iterations",
+    "measure_unresolved_decay",
+    "single_round_fraction",
+    "two_round_fraction",
+    "SINGLE_ROUND_LIMIT",
+    "TWO_ROUND_LIMIT",
+    "KAROL_LIMIT",
+    "fifo_saturation_throughput",
+]

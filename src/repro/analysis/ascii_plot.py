@@ -1,0 +1,131 @@
+"""Terminal plotting for delay/throughput curves.
+
+The library deliberately has no plotting dependency; these helpers
+render the paper's figure shapes as ASCII so the examples and benches
+can show -- not just tabulate -- curves like Figure 3's delay
+explosion at the FIFO saturation knee.
+
+>>> chart = line_chart({"a": [(0, 0.0), (1, 1.0)]}, width=20, height=4)
+>>> print(chart)  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["line_chart", "bar_chart"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def line_chart(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    logy: bool = False,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render (x, y) series as an ASCII scatter/line chart.
+
+    Parameters
+    ----------
+    series:
+        Mapping from series name to its (x, y) points.
+    width, height:
+        Plot area in characters.
+    logy:
+        Log-scale the y axis (useful for delay curves, which span
+        orders of magnitude near saturation).
+    x_label, y_label:
+        Axis annotations.
+
+    Returns a multi-line string; the legend maps marker characters to
+    series names.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 8 or height < 4:
+        raise ValueError("chart must be at least 8x4")
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ValueError("series contain no points")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    if logy:
+        floor = min(y for y in ys if y > 0) if any(y > 0 for y in ys) else 1e-3
+        transform = lambda y: math.log10(max(y, floor / 10))
+    else:
+        transform = lambda y: y
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(transform(y) for y in ys), max(transform(y) for y in ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for index, (name, pts) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in pts:
+            col = int(round((x - x_low) / x_span * (width - 1)))
+            row = int(round((transform(y) - y_low) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    top_value = 10**y_high if logy else y_high
+    bottom_value = 10**y_low if logy else y_low
+    lines = []
+    if y_label:
+        lines.append(y_label + ("  (log scale)" if logy else ""))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = f"{top_value:8.1f} |"
+        elif row_index == height - 1:
+            prefix = f"{bottom_value:8.1f} |"
+        else:
+            prefix = " " * 9 + "|"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    axis = f"{x_low:<10.2f}{' ' * max(width - 20, 0)}{x_high:>10.2f}"
+    lines.append(" " * 10 + axis)
+    if x_label:
+        lines.append(" " * 10 + x_label.center(width))
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append("  " + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 40,
+    reference: Optional[float] = None,
+    reference_label: str = "",
+) -> str:
+    """Render labelled values as horizontal ASCII bars.
+
+    ``reference`` draws a vertical tick at that value (e.g. the fair
+    share in the Figure 8/9 charts).
+    """
+    if not values:
+        raise ValueError("need at least one value")
+    if any(v < 0 for v in values.values()):
+        raise ValueError("values must be non-negative")
+    peak = max(values.values()) or 1.0
+    label_width = max(len(str(k)) for k in values)
+    tick = None
+    if reference is not None:
+        tick = int(round(reference / peak * width))
+    lines = []
+    for key, value in values.items():
+        filled = int(round(value / peak * width))
+        chars = ["#"] * filled + [" "] * (width - filled)
+        if tick is not None and 0 <= tick < width and chars[tick] == " ":
+            chars[tick] = "|"
+        lines.append(f"{str(key):>{label_width}} |{''.join(chars)}| {value:.3f}")
+    if reference is not None and reference_label:
+        tick = int(round(reference / peak * width))
+        lines.append(
+            f"{'':>{label_width}} " + " " * (tick + 1) + f"^ {reference_label}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Head-of-line blocking limits for FIFO input queueing.
+
+Karol, Hluchyj & Morgan [1987] (cited in Section 2.4) showed that a
+FIFO-input-buffered switch saturates at 2 - sqrt(2) ~ 58.6% of link
+capacity under uniform traffic as N grows.  The Figure 3 bench checks
+the measured FIFO saturation against this limit, and
+:func:`fifo_saturation_throughput` measures it directly by driving a
+FIFO switch at full load.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+__all__ = ["KAROL_LIMIT", "fifo_saturation_throughput"]
+
+#: Karol's asymptotic HOL saturation throughput: 2 - sqrt(2).
+KAROL_LIMIT = 2.0 - math.sqrt(2.0)
+
+
+def fifo_saturation_throughput(
+    ports: int,
+    slots: int = 20_000,
+    warmup: int = 2_000,
+    seed: Optional[int] = None,
+) -> float:
+    """Measured per-link throughput of a saturated FIFO switch.
+
+    Drives a FIFO-input switch at offered load 1.0 with uniform
+    destinations and returns the carried load per link.  For a 16x16
+    switch the result lands close to (slightly above) the asymptotic
+    :data:`KAROL_LIMIT`.
+    """
+    # Imported here to keep the analysis layer import-light.
+    from repro.core.fifo import FIFOScheduler
+    from repro.switch.switch import FIFOSwitch
+    from repro.traffic.uniform import UniformTraffic
+
+    switch = FIFOSwitch(ports, FIFOScheduler(policy="random", seed=seed))
+    traffic = UniformTraffic(ports, load=1.0, seed=None if seed is None else seed + 1)
+    result = switch.run(traffic, slots=slots, warmup=warmup)
+    return result.throughput

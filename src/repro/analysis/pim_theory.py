@@ -1,0 +1,85 @@
+"""Closed forms for single-iteration PIM throughput.
+
+Under saturation (every VOQ non-empty, the Table 1 p = 1.0 regime),
+one PIM iteration matches an input exactly when at least one output
+grants to it.  Each output grants uniformly among the N requesting
+inputs, independently, so an input receives no grant with probability
+(1 - 1/N)^N and the expected matching size after one iteration is
+
+    N * (1 - (1 - 1/N)^N)  ->  N (1 - 1/e)  ~  0.632 N.
+
+This is simultaneously:
+
+- Table 1's K=1 row at p = 1.0 (the paper measures 64%),
+- the saturation throughput of a PIM-1 switch (the sharply rising
+  PIM-1 curve in Figure 5, quantified by our arbiter ablation), and
+- the same (1 - 1/e) that caps one *round* of statistical matching
+  (Appendix C) -- the two results share the balls-in-bins core.
+
+For request probability p < 1, conditioning on the number of
+requesters of each output gives the one-iteration match fraction
+computed by :func:`one_iteration_match_fraction`.
+"""
+
+from __future__ import annotations
+
+
+__all__ = [
+    "saturated_first_iteration_fraction",
+    "one_iteration_match_fraction",
+    "pim1_saturation_throughput",
+]
+
+
+def saturated_first_iteration_fraction(ports: int) -> float:
+    """Expected fraction of inputs matched by iteration 1 at p = 1.
+
+    1 - (1 - 1/N)^N; approaches 1 - 1/e from below as N grows.
+
+    >>> round(saturated_first_iteration_fraction(16), 3)
+    0.644
+    """
+    if ports < 1:
+        raise ValueError(f"ports must be >= 1, got {ports}")
+    return 1.0 - (1.0 - 1.0 / ports) ** ports
+
+
+def one_iteration_match_fraction(ports: int, request_probability: float) -> float:
+    """Expected matched-inputs fraction after one iteration, Bernoulli(p).
+
+    An input with at least one request is matched iff some output
+    grants to it.  Output j grants to input i with probability
+    E[ R_ij / (number of requesters of j) ]; summing over outputs and
+    using symmetry, the probability input i receives no grant is
+
+        prod_j (1 - p * E[1 / (1 + Binomial(N-1, p))])
+
+    with E[1/(1+B)] = (1 - (1-p)^N) / (N p) in closed form.
+
+    Returns matched inputs / expected requesting inputs, the quantity
+    Table 1's columns normalize (for K=1 the normalization by total
+    maximal-match size differs slightly; the bench uses simulation for
+    the exact Table 1 numbers and this formula as a sanity band).
+    """
+    if ports < 1:
+        raise ValueError(f"ports must be >= 1, got {ports}")
+    if not 0.0 < request_probability <= 1.0:
+        raise ValueError(f"p must be in (0, 1], got {request_probability}")
+    p = request_probability
+    n = ports
+    # E[1 / (1 + Binomial(n-1, p))] = (1 - (1-p)^n) / (n p)
+    grant_to_me = (1.0 - (1.0 - p) ** n) / n
+    no_grant = (1.0 - grant_to_me) ** n
+    matched_inputs = n * (1.0 - no_grant)
+    requesting_inputs = n * (1.0 - (1.0 - p) ** n)
+    return matched_inputs / requesting_inputs
+
+
+def pim1_saturation_throughput(ports: int) -> float:
+    """Saturation throughput per link of a PIM-1 switch.
+
+    In steady state every VOQ is backlogged, so each slot is the p = 1
+    single-iteration experiment: carried load per link equals
+    :func:`saturated_first_iteration_fraction`.
+    """
+    return saturated_first_iteration_fraction(ports)

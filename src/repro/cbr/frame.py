@@ -1,0 +1,146 @@
+"""The per-switch frame schedule (Section 4, Figures 6 and 7).
+
+A frame is a fixed number of slots; the schedule assigns each slot a
+set of conflict-free (input, output) pairings, repeated every frame to
+deliver each reservation its cells per frame.  "Frame boundaries are
+internal to the switch; they are not encoded on the link."
+
+Guarantees depend only on *how many* slots per frame a connection
+holds, not *which* slots, so the schedule may be freely rearranged --
+the property the Slepian-Duguid insertion algorithm exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["FrameSchedule"]
+
+
+class FrameSchedule:
+    """A frame's worth of conflict-free slot pairings.
+
+    Parameters
+    ----------
+    ports:
+        Switch size N.
+    frame_slots:
+        Frame length F in slots (the AN2 prototype uses 1000).
+
+    Each slot holds a partial matching of inputs to outputs; the class
+    enforces the matching property on every mutation.
+    """
+
+    def __init__(self, ports: int, frame_slots: int):
+        if ports <= 0:
+            raise ValueError(f"ports must be positive, got {ports}")
+        if frame_slots <= 0:
+            raise ValueError(f"frame_slots must be positive, got {frame_slots}")
+        self.ports = ports
+        self.frame_slots = frame_slots
+        self._in_to_out: List[Dict[int, int]] = [dict() for _ in range(frame_slots)]
+        self._out_to_in: List[Dict[int, int]] = [dict() for _ in range(frame_slots)]
+
+    def _check_slot(self, slot: int) -> None:
+        if not 0 <= slot < self.frame_slots:
+            raise ValueError(f"slot {slot} out of range for frame of {self.frame_slots}")
+
+    def _check_ports(self, input_port: int, output_port: int) -> None:
+        if not 0 <= input_port < self.ports:
+            raise ValueError(f"input {input_port} out of range")
+        if not 0 <= output_port < self.ports:
+            raise ValueError(f"output {output_port} out of range")
+
+    def assign(self, slot: int, input_port: int, output_port: int) -> None:
+        """Pair ``input_port`` with ``output_port`` in ``slot``.
+
+        Raises ``ValueError`` if either port is already paired in the
+        slot (a scheduling bug, since callers must clear first).
+        """
+        self._check_slot(slot)
+        self._check_ports(input_port, output_port)
+        if input_port in self._in_to_out[slot]:
+            raise ValueError(f"input {input_port} already paired in slot {slot}")
+        if output_port in self._out_to_in[slot]:
+            raise ValueError(f"output {output_port} already paired in slot {slot}")
+        self._in_to_out[slot][input_port] = output_port
+        self._out_to_in[slot][output_port] = input_port
+
+    def clear(self, slot: int, input_port: int, output_port: int) -> None:
+        """Remove the pairing (raises ``KeyError`` if absent)."""
+        self._check_slot(slot)
+        if self._in_to_out[slot].get(input_port) != output_port:
+            raise KeyError(f"({input_port}, {output_port}) not paired in slot {slot}")
+        del self._in_to_out[slot][input_port]
+        del self._out_to_in[slot][output_port]
+
+    def output_of(self, slot: int, input_port: int) -> Optional[int]:
+        """Output paired with ``input_port`` in ``slot``, or None."""
+        self._check_slot(slot)
+        return self._in_to_out[slot].get(input_port)
+
+    def input_of(self, slot: int, output_port: int) -> Optional[int]:
+        """Input paired with ``output_port`` in ``slot``, or None."""
+        self._check_slot(slot)
+        return self._out_to_in[slot].get(output_port)
+
+    def input_free(self, slot: int, input_port: int) -> bool:
+        """True when ``input_port`` is unpaired in ``slot``."""
+        self._check_slot(slot)
+        return input_port not in self._in_to_out[slot]
+
+    def output_free(self, slot: int, output_port: int) -> bool:
+        """True when ``output_port`` is unpaired in ``slot``."""
+        self._check_slot(slot)
+        return output_port not in self._out_to_in[slot]
+
+    def pairings(self, slot: int) -> List[Tuple[int, int]]:
+        """All (input, output) pairs scheduled in ``slot``."""
+        self._check_slot(slot)
+        return sorted(self._in_to_out[slot].items())
+
+    def slots_for(self, input_port: int, output_port: int) -> List[int]:
+        """Slots in which this connection is scheduled."""
+        self._check_ports(input_port, output_port)
+        return [
+            s
+            for s in range(self.frame_slots)
+            if self._in_to_out[s].get(input_port) == output_port
+        ]
+
+    def reservation_matrix(self) -> np.ndarray:
+        """N x N matrix of scheduled cells per frame per connection."""
+        matrix = np.zeros((self.ports, self.ports), dtype=np.int64)
+        for slot_map in self._in_to_out:
+            for i, j in slot_map.items():
+                matrix[i, j] += 1
+        return matrix
+
+    def validate(self) -> None:
+        """Check internal consistency; raises ``AssertionError`` on a bug."""
+        for s in range(self.frame_slots):
+            forward = self._in_to_out[s]
+            backward = self._out_to_in[s]
+            if len(forward) != len(backward):
+                raise AssertionError(f"slot {s}: map sizes differ")
+            for i, j in forward.items():
+                if backward.get(j) != i:
+                    raise AssertionError(f"slot {s}: maps disagree on ({i}, {j})")
+
+    def utilization(self) -> float:
+        """Scheduled pairings as a fraction of frame capacity (F x N)."""
+        scheduled = sum(len(m) for m in self._in_to_out)
+        return scheduled / (self.frame_slots * self.ports)
+
+    def __iter__(self) -> Iterator[List[Tuple[int, int]]]:
+        """Iterate slot by slot over the pairings."""
+        for s in range(self.frame_slots):
+            yield self.pairings(s)
+
+    def __repr__(self) -> str:
+        return (
+            f"FrameSchedule(ports={self.ports}, frame_slots={self.frame_slots}, "
+            f"utilization={self.utilization():.2f})"
+        )

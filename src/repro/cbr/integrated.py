@@ -1,0 +1,190 @@
+"""The integrated CBR + VBR switch (Section 4).
+
+"CBR cells are routed across the switch during scheduled slots.  VBR
+cells are transmitted during slots not used by CBR cells.  In addition,
+VBR cells can use an allocated slot if no cell from the scheduled flow
+is present at the switch."
+
+Per slot:
+
+1. Look up the frame schedule's pairings for the slot's position in the
+   frame.  For each reserved (input, output) pair with a queued CBR
+   cell, that pairing is taken by CBR.
+2. All remaining inputs and outputs -- including those whose reserved
+   flow had nothing queued -- are handed to PIM over the VBR request
+   matrix, which "fills in the gaps".
+
+CBR and VBR cells use separate buffer pools ("VBR cells use a different
+set of buffers, which are subject to flow control"); CBR buffers are
+statically sized by the Appendix B bound and the model verifies they
+never overflow it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cbr.reservations import ReservationTable
+from repro.core.pim import PIMScheduler
+from repro.sim.stats import DelayStats, ThroughputCounter
+from repro.switch.buffers import VOQBuffer
+from repro.switch.cell import Cell, ServiceClass
+from repro.switch.fabric import CrossbarFabric, Fabric
+from repro.switch.results import SwitchResult
+
+__all__ = ["IntegratedSwitch", "IntegratedResult"]
+
+
+class IntegratedResult(SwitchResult):
+    """SwitchResult plus separate CBR and VBR delay statistics."""
+
+    def __init__(self, base: SwitchResult, cbr_delay: DelayStats, vbr_delay: DelayStats,
+                 cbr_slots_used: int, cbr_slots_donated: int, peak_cbr_buffer: int):
+        super().__init__(
+            delay=base.delay,
+            counter=base.counter,
+            ports=base.ports,
+            slots=base.slots,
+            connection_cells=base.connection_cells,
+            backlog=base.backlog,
+            dropped=base.dropped,
+        )
+        #: Delay statistics for CBR cells only.
+        self.cbr_delay = cbr_delay
+        #: Delay statistics for VBR cells only.
+        self.vbr_delay = vbr_delay
+        #: Reserved slots actually used by CBR cells.
+        self.cbr_slots_used = cbr_slots_used
+        #: Reserved slots donated to VBR because the CBR flow was idle.
+        self.cbr_slots_donated = cbr_slots_donated
+        #: Largest CBR buffer occupancy seen at any input.
+        self.peak_cbr_buffer = peak_cbr_buffer
+
+
+class IntegratedSwitch:
+    """Input-buffered switch carrying pre-scheduled CBR plus PIM'd VBR.
+
+    Parameters
+    ----------
+    reservations:
+        The switch's :class:`repro.cbr.reservations.ReservationTable`
+        (frame schedule included).
+    scheduler:
+        PIM scheduler for the VBR gap fill; defaults to 4-iteration PIM.
+    fabric:
+        Non-blocking fabric; defaults to a crossbar.
+    """
+
+    def __init__(
+        self,
+        reservations: ReservationTable,
+        scheduler: Optional[PIMScheduler] = None,
+        fabric: Optional[Fabric] = None,
+    ):
+        self.reservations = reservations
+        self.ports = reservations.ports
+        self.frame_slots = reservations.frame_slots
+        self.scheduler = scheduler if scheduler is not None else PIMScheduler(seed=0)
+        self.fabric = fabric if fabric is not None else CrossbarFabric(self.ports)
+        if self.fabric.ports != self.ports:
+            raise ValueError("fabric size does not match switch size")
+        self.cbr_buffers = [VOQBuffer(self.ports) for _ in range(self.ports)]
+        self.vbr_buffers = [VOQBuffer(self.ports) for _ in range(self.ports)]
+        self.cbr_slots_used = 0
+        self.cbr_slots_donated = 0
+        self.peak_cbr_buffer = 0
+
+    def _vbr_requests(self) -> np.ndarray:
+        matrix = np.zeros((self.ports, self.ports), dtype=bool)
+        for i, buffer in enumerate(self.vbr_buffers):
+            matrix[i] = buffer.request_vector()
+        return matrix
+
+    def step(self, slot: int, arrivals: Sequence[Tuple[int, Cell]]) -> List[Cell]:
+        """Advance one slot; returns departed cells (CBR and VBR)."""
+        for input_port, cell in arrivals:
+            cell.arrival_slot = slot
+            pool = self.cbr_buffers if cell.service is ServiceClass.CBR else self.vbr_buffers
+            pool[input_port].enqueue(cell)
+        self.peak_cbr_buffer = max(
+            self.peak_cbr_buffer, max(len(b) for b in self.cbr_buffers)
+        )
+
+        # Phase 1: reserved pairings for this slot position in the frame.
+        position = slot % self.frame_slots
+        selected: List[Tuple[int, Cell]] = []
+        taken_inputs = set()
+        taken_outputs = set()
+        for i, j in self.reservations.pairings(position):
+            if self.cbr_buffers[i].has_cell_for(j):
+                selected.append((i, self.cbr_buffers[i].dequeue(j)))
+                taken_inputs.add(i)
+                taken_outputs.add(j)
+                self.cbr_slots_used += 1
+            else:
+                # Idle reservation: the slot is donated to VBR traffic.
+                self.cbr_slots_donated += 1
+
+        # Phase 2: PIM fills every remaining input/output with VBR cells.
+        requests = self._vbr_requests()
+        for i in taken_inputs:
+            requests[i, :] = False
+        for j in taken_outputs:
+            requests[:, j] = False
+        matching = self.scheduler.schedule(requests)
+        for i, j in matching:
+            selected.append((i, self.vbr_buffers[i].dequeue(j)))
+
+        delivered = self.fabric.transfer(selected)
+        return [cells[0] for cells in delivered.values()]
+
+    def backlog(self) -> int:
+        """Cells buffered in both pools."""
+        return sum(len(b) for b in self.cbr_buffers) + sum(len(b) for b in self.vbr_buffers)
+
+    def run(self, traffic, slots: int, warmup: int = 0) -> IntegratedResult:
+        """Simulate; returns combined plus per-class statistics.
+
+        ``traffic`` may be a single source or a sequence of sources
+        (e.g. a :class:`repro.traffic.cbr_source.CBRSource` plus a VBR
+        background); all must agree on ``ports``.
+        """
+        sources = traffic if isinstance(traffic, (list, tuple)) else [traffic]
+        for source in sources:
+            if source.ports != self.ports:
+                raise ValueError("traffic/switch port mismatch")
+        delay = DelayStats(warmup=warmup)
+        cbr_delay = DelayStats(warmup=warmup)
+        vbr_delay = DelayStats(warmup=warmup)
+        counter = ThroughputCounter(warmup=warmup)
+        for slot in range(slots):
+            arrivals: List[Tuple[int, Cell]] = []
+            for source in sources:
+                arrivals.extend(source.arrivals(slot))
+            counter.record_arrival(slot, len(arrivals))
+            departures = self.step(slot, arrivals)
+            counter.record_departure(slot, len(departures))
+            for cell in departures:
+                delay.record(cell.arrival_slot, slot)
+                if cell.service is ServiceClass.CBR:
+                    cbr_delay.record(cell.arrival_slot, slot)
+                else:
+                    vbr_delay.record(cell.arrival_slot, slot)
+        base = SwitchResult(
+            delay=delay,
+            counter=counter,
+            ports=self.ports,
+            slots=slots,
+            backlog=self.backlog(),
+            dropped=0,
+        )
+        return IntegratedResult(
+            base,
+            cbr_delay,
+            vbr_delay,
+            self.cbr_slots_used,
+            self.cbr_slots_donated,
+            self.peak_cbr_buffer,
+        )

@@ -1,0 +1,108 @@
+"""Flow-level reservation table for one switch.
+
+Sits above :class:`repro.cbr.slepian_duguid.SlepianDuguidScheduler`:
+applications reserve in units of flows (Section 4's "an application
+issues a request to the network to reserve a certain bandwidth"), the
+table aggregates flows into the per-connection reservation matrix, and
+the schedule is updated incrementally as flows come and go.
+
+At runtime the integrated switch asks, for a reserved slot's (input,
+output) pairing, *which* CBR flow to serve; the table answers
+round-robin among that connection's flows, matching the buffer
+manager's round-robin flow service (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cbr.slepian_duguid import SlepianDuguidScheduler
+from repro.switch.flow import Flow
+
+__all__ = ["ReservationTable"]
+
+
+class ReservationTable:
+    """CBR flow registry plus frame schedule for one switch.
+
+    Parameters
+    ----------
+    ports:
+        Switch size N.
+    frame_slots:
+        Frame length F.
+    """
+
+    def __init__(self, ports: int, frame_slots: int):
+        self.scheduler = SlepianDuguidScheduler(ports, frame_slots)
+        self._flows: Dict[int, Flow] = {}
+        self._by_connection: Dict[Tuple[int, int], Deque[int]] = {}
+
+    @property
+    def ports(self) -> int:
+        """Switch size N."""
+        return self.scheduler.ports
+
+    @property
+    def frame_slots(self) -> int:
+        """Frame length F."""
+        return self.scheduler.frame_slots
+
+    @property
+    def schedule(self):
+        """The underlying :class:`repro.cbr.frame.FrameSchedule`."""
+        return self.scheduler.schedule
+
+    def flows(self) -> List[Flow]:
+        """All registered CBR flows."""
+        return list(self._flows.values())
+
+    def can_admit(self, flow: Flow) -> bool:
+        """Admission test for a new CBR flow at this switch."""
+        if not flow.is_cbr:
+            raise ValueError(f"flow {flow.flow_id} is not CBR")
+        return self.scheduler.can_accommodate(flow.src, flow.dst, flow.cells_per_frame)
+
+    def admit(self, flow: Flow) -> None:
+        """Admit a flow: reserve its slots in the frame schedule.
+
+        Raises ``ValueError`` when the flow is a duplicate or the
+        admission test fails; on success existing flows' guarantees are
+        untouched (slots may move within the frame, which is allowed).
+        """
+        if flow.flow_id in self._flows:
+            raise ValueError(f"flow {flow.flow_id} already admitted")
+        self.scheduler.add_reservation(flow.src, flow.dst, flow.cells_per_frame)
+        self._flows[flow.flow_id] = flow
+        self._by_connection.setdefault((flow.src, flow.dst), deque()).append(flow.flow_id)
+
+    def release(self, flow_id: int) -> None:
+        """Tear down a flow's reservation."""
+        flow = self._flows.pop(flow_id, None)
+        if flow is None:
+            raise KeyError(f"flow {flow_id} not admitted")
+        self.scheduler.remove_reservation(flow.src, flow.dst, flow.cells_per_frame)
+        connection = self._by_connection[(flow.src, flow.dst)]
+        connection.remove(flow_id)
+        if not connection:
+            del self._by_connection[(flow.src, flow.dst)]
+
+    def next_flow_for(self, input_port: int, output_port: int) -> Optional[int]:
+        """Round-robin pick of a CBR flow for a reserved pairing."""
+        connection = self._by_connection.get((input_port, output_port))
+        if not connection:
+            return None
+        flow_id = connection[0]
+        connection.rotate(-1)
+        return flow_id
+
+    def reserved_matrix(self) -> np.ndarray:
+        """Aggregate reservation matrix (cells per frame)."""
+        return self.scheduler.reservations
+
+    def pairings(self, slot_in_frame: int) -> List[Tuple[int, int]]:
+        """The frame schedule's pairings for one slot position."""
+        return self.schedule.pairings(slot_in_frame)

@@ -1,0 +1,126 @@
+"""Hierarchical (subdivided) frames -- the Section 4 extension.
+
+"A smaller frame size would provide lower CBR latency, but ... it
+would entail a larger granularity in bandwidth reservations.  We are
+considering schemes in which a large frame is subdivided into smaller
+frames.  This would allow each application to trade off a guarantee of
+lower latency against a smaller granularity of allocation."
+
+:class:`HierarchicalFrameScheduler` realises the scheme with a static
+TDM split: the first ``low_latency_slots`` of every subframe belong to
+the *low-latency* class, whose reservations repeat identically in each
+subframe (latency bound 2 subframes per hop instead of 2 frames); the
+remaining slots belong to the ordinary whole-frame class.  Each class
+has its own Slepian-Duguid slot space, so both guarantees are exact
+and admission stays a simple capacity test per class.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.cbr.slepian_duguid import SlepianDuguidScheduler
+
+__all__ = ["HierarchicalFrameScheduler"]
+
+
+class HierarchicalFrameScheduler:
+    """Two-class frame schedule: per-subframe and per-frame reservations.
+
+    Parameters
+    ----------
+    ports:
+        Switch size N.
+    frame_slots:
+        Base frame length F.
+    divisions:
+        Number of subframes; must divide ``frame_slots``.
+    low_latency_slots:
+        Slots at the start of each subframe dedicated to the
+        low-latency class (the remaining subframe slots serve the
+        whole-frame class).
+
+    Trade-off, per the paper: a low-latency reservation is made in
+    units of cells *per subframe*, i.e. its granularity is
+    ``divisions`` cells per frame -- coarser -- but its per-hop delay
+    bound shrinks from 2 F to 2 F / divisions.
+    """
+
+    def __init__(self, ports: int, frame_slots: int, divisions: int, low_latency_slots: int):
+        if divisions < 1:
+            raise ValueError(f"divisions must be >= 1, got {divisions}")
+        if frame_slots % divisions != 0:
+            raise ValueError(
+                f"divisions ({divisions}) must divide the frame ({frame_slots})"
+            )
+        subframe = frame_slots // divisions
+        if not 0 <= low_latency_slots <= subframe:
+            raise ValueError(
+                f"low_latency_slots must be in 0..{subframe}, got {low_latency_slots}"
+            )
+        self.ports = ports
+        self.frame_slots = frame_slots
+        self.divisions = divisions
+        self.subframe_slots = subframe
+        self.low_latency_slots = low_latency_slots
+        self._low = SlepianDuguidScheduler(ports, max(low_latency_slots, 1))
+        self._low_enabled = low_latency_slots > 0
+        bulk = frame_slots - low_latency_slots * divisions
+        self._bulk = SlepianDuguidScheduler(ports, max(bulk, 1))
+        self._bulk_slots = bulk
+
+    def can_accommodate_low_latency(self, input_port: int, output_port: int, cells: int) -> bool:
+        """Admission for ``cells`` per *subframe* (low-latency class)."""
+        if not self._low_enabled:
+            return cells == 0
+        return self._low.can_accommodate(input_port, output_port, cells)
+
+    def can_accommodate(self, input_port: int, output_port: int, cells: int) -> bool:
+        """Admission for ``cells`` per *frame* (ordinary class)."""
+        if self._bulk_slots == 0:
+            return cells == 0
+        return self._bulk.can_accommodate(input_port, output_port, cells)
+
+    def add_low_latency(self, input_port: int, output_port: int, cells_per_subframe: int) -> None:
+        """Reserve ``cells_per_subframe`` in every subframe."""
+        if not self.can_accommodate_low_latency(input_port, output_port, cells_per_subframe):
+            raise ValueError(
+                f"cannot reserve {cells_per_subframe} cells/subframe from "
+                f"{input_port} to {output_port}"
+            )
+        self._low.add_reservation(input_port, output_port, cells_per_subframe)
+
+    def add_whole_frame(self, input_port: int, output_port: int, cells_per_frame: int) -> None:
+        """Reserve ``cells_per_frame`` at whole-frame granularity."""
+        if not self.can_accommodate(input_port, output_port, cells_per_frame):
+            raise ValueError(
+                f"cannot reserve {cells_per_frame} cells/frame from "
+                f"{input_port} to {output_port}"
+            )
+        self._bulk.add_reservation(input_port, output_port, cells_per_frame)
+
+    def pairings(self, slot_in_frame: int) -> List[Tuple[int, int]]:
+        """The pairings active in one slot of the base frame."""
+        if not 0 <= slot_in_frame < self.frame_slots:
+            raise ValueError(f"slot {slot_in_frame} out of range")
+        offset = slot_in_frame % self.subframe_slots
+        if offset < self.low_latency_slots:
+            return self._low.schedule.pairings(offset)
+        subframe_index = slot_in_frame // self.subframe_slots
+        bulk_per_subframe = self.subframe_slots - self.low_latency_slots
+        bulk_slot = subframe_index * bulk_per_subframe + (offset - self.low_latency_slots)
+        return self._bulk.schedule.pairings(bulk_slot)
+
+    def cells_per_frame(self, input_port: int, output_port: int) -> int:
+        """Total scheduled cells per frame for a connection, both classes."""
+        low = int(self._low.reservations[input_port, output_port]) if self._low_enabled else 0
+        bulk = int(self._bulk.reservations[input_port, output_port])
+        return low * self.divisions + bulk
+
+    def latency_bound_slots(self, low_latency: bool, hops: int, link_latency_slots: float) -> float:
+        """Per-class 2p(F + l) bound (synchronized clocks), in slots.
+
+        The low-latency class's effective frame is one subframe.
+        """
+        frame = self.subframe_slots if low_latency else self.frame_slots
+        return 2.0 * hops * (frame + link_latency_slots)

@@ -1,0 +1,276 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Installed as the ``repro-an2`` console script::
+
+    repro-an2 info
+    repro-an2 delay --scheduler pim --load 0.9 --ports 16
+    repro-an2 sweep --workload clientserver --loads 0.5 0.7 0.9
+    repro-an2 table1 --patterns 5000
+    repro-an2 cbr-bounds --hops 4 --tolerance 1e-4
+    repro-an2 fairness
+
+Each subcommand is a thin wrapper over the library; the full
+regeneration harness lives in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _build_scheduler(name: str, ports: int, iterations: int, seed: int):
+    from repro.core.islip import ISLIPScheduler
+    from repro.core.maximum import MaximumMatchingScheduler
+    from repro.core.pim import PIMScheduler
+    from repro.core.wavefront import WavefrontScheduler
+
+    if name == "pim":
+        return PIMScheduler(iterations=iterations, seed=seed)
+    if name == "pim-inf":
+        return PIMScheduler(iterations=None, seed=seed)
+    if name == "islip":
+        return ISLIPScheduler(iterations=iterations)
+    if name == "wavefront":
+        return WavefrontScheduler()
+    if name == "maximum":
+        return MaximumMatchingScheduler()
+    raise argparse.ArgumentTypeError(f"unknown scheduler: {name}")
+
+
+def _build_traffic(name: str, ports: int, load: float, seed: int):
+    from repro.traffic.bursty import BurstyTraffic
+    from repro.traffic.clientserver import ClientServerTraffic
+    from repro.traffic.periodic import PeriodicTraffic
+    from repro.traffic.uniform import UniformTraffic
+
+    if name == "uniform":
+        return UniformTraffic(ports, load=load, seed=seed)
+    if name == "clientserver":
+        return ClientServerTraffic(ports, load=load, seed=seed)
+    if name == "bursty":
+        return BurstyTraffic(ports, load=min(load, 0.99), seed=seed)
+    if name == "periodic":
+        return PeriodicTraffic(ports, load=load, burst=2 * ports, seed=seed)
+    raise argparse.ArgumentTypeError(f"unknown workload: {name}")
+
+
+def _build_switch(scheduler_name: str, ports: int, iterations: int, seed: int):
+    from repro.core.fifo import FIFOScheduler
+    from repro.core.output_queueing import OutputQueuedSwitch
+    from repro.switch.switch import CrossbarSwitch, FIFOSwitch
+
+    if scheduler_name == "fifo":
+        return FIFOSwitch(ports, FIFOScheduler(policy="random", seed=seed))
+    if scheduler_name == "output-queueing":
+        return OutputQueuedSwitch(ports)
+    return CrossbarSwitch(ports, _build_scheduler(scheduler_name, ports, iterations, seed))
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    """Print the AN2 headline hardware numbers."""
+    from repro.hardware.cost import (
+        PRODUCTION_MODEL,
+        PROTOTYPE_MODEL,
+        cell_rate,
+        schedule_time_budget,
+        uncontended_latency,
+    )
+
+    print("AN2 switch (16 ports, 1 Gb/s links, 53-byte ATM cells)")
+    print(f"  scheduling budget per slot : {schedule_time_budget() * 1e9:.0f} ns")
+    print(f"  aggregate cell rate        : {cell_rate() / 1e6:.1f} M cells/s")
+    print(f"  uncontended latency        : {uncontended_latency() * 1e6:.1f} us")
+    print("\nComponent cost shares (Table 2):")
+    print(f"  {'unit':<18}{'prototype':>10}{'production':>12}")
+    production = dict(PRODUCTION_MODEL.table2_rows())
+    for name, share in PROTOTYPE_MODEL.table2_rows():
+        print(f"  {name:<18}{share:>9.0f}%{production[name]:>11.0f}%")
+    return 0
+
+
+def cmd_delay(args: argparse.Namespace) -> int:
+    """One (scheduler, workload, load) point."""
+    switch = _build_switch(args.scheduler, args.ports, args.iterations, args.seed)
+    traffic = _build_traffic(args.workload, args.ports, args.load, args.seed + 1)
+    result = switch.run(traffic, slots=args.slots, warmup=args.warmup)
+    print(result.summary())
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Delay vs load for FIFO / PIM-4 / output queueing (Figures 3-4)."""
+    from repro.traffic.trace import TraceRecorder
+
+    names = ["fifo", "pim", "output-queueing"]
+    print(f"{'load':>6}" + "".join(f"{name:>22}" for name in names))
+    for load in args.loads:
+        recorder = TraceRecorder(
+            _build_traffic(args.workload, args.ports, load, args.seed)
+        )
+        cells = []
+        first = True
+        for name in names:
+            traffic = recorder if first else recorder.replay()
+            first = False
+            switch = _build_switch(name, args.ports, args.iterations, args.seed)
+            result = switch.run(traffic, slots=args.slots, warmup=args.warmup)
+            cells.append(f"{result.mean_delay:12.2f} ({result.throughput:4.2f})")
+        print(f"{load:6.2f}" + "".join(f"{cell:>22}" for cell in cells))
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    """Regenerate Table 1 at a chosen sample size."""
+    from repro.core.pim import pim_match_batch
+
+    rng = np.random.default_rng(args.seed)
+    print(f"{'p':>5}  K=1     K=2     K=3     K=4    ({args.patterns} patterns each)")
+    for p in (0.10, 0.25, 0.50, 0.75, 1.0):
+        batch = rng.random((args.patterns, args.ports, args.ports)) < p
+        cumulative = pim_match_batch(batch, rng)
+        total = cumulative[:, -1].sum()
+        row = []
+        for k in range(4):
+            col = cumulative[:, min(k, cumulative.shape[1] - 1)]
+            row.append(100.0 * col.sum() / total)
+        print(f"{p:5.2f}  " + "  ".join(f"{x:6.2f}" for x in row))
+    return 0
+
+
+def cmd_cbr_bounds(args: argparse.Namespace) -> int:
+    """Appendix B bounds vs a simulated drifting-clock chain."""
+    from repro.cbr.clock import (
+        ClockModel,
+        cbr_buffer_bound,
+        cbr_latency_bound,
+        controller_frame_slots,
+        simulate_cbr_chain,
+    )
+
+    clock = ClockModel(
+        slot_time=1.0,
+        switch_frame_slots=args.frame,
+        controller_frame_slots=controller_frame_slots(args.frame, args.tolerance, 5),
+        tolerance=args.tolerance,
+    )
+    result = simulate_cbr_chain(
+        clock, hops=args.hops, link_latency=args.link_latency,
+        cells=args.cells, seed=args.seed,
+    )
+    latency_bound = cbr_latency_bound(args.hops, clock, args.link_latency)
+    buffer_bound = cbr_buffer_bound(args.hops, clock, args.link_latency)
+    print(f"{args.hops} hops, frame {args.frame} slots, tolerance {args.tolerance:g}")
+    print(f"  max adjusted latency : {result.max_adjusted_latency():10.1f} slots "
+          f"(bound {latency_bound:.1f})")
+    print(f"  max buffer occupancy : {max(result.max_buffer_occupancy):10d} cells "
+          f"(bound {buffer_bound:.1f} per unit reservation)")
+    return 0
+
+
+def cmd_fairness(args: argparse.Namespace) -> int:
+    """The Figure 8 unfairness and the statistical-matching fix."""
+    from repro.core.pim import PIMScheduler
+    from repro.core.statistical import StatisticalMatcher
+    from repro.fairness.metrics import jain_index
+
+    ports = 4
+    requests = np.zeros((ports, ports), dtype=bool)
+    requests[0, 0] = requests[1, 0] = requests[2, 0] = True
+    requests[3, :] = True
+    pim = PIMScheduler(iterations=4, seed=args.seed)
+    counts = np.zeros(ports)
+    for _ in range(args.slots):
+        for i, j in pim.schedule(requests):
+            if j == 0:
+                counts[i] += 1
+    shares = counts / counts.sum()
+    print("Figure 8 with PIM: output 1 split", [f"{s:.3f}" for s in shares],
+          f"jain={jain_index(list(shares)):.3f}")
+
+    alloc = np.zeros((ports, ports), dtype=np.int64)
+    alloc[:, 0] = 4
+    alloc[3, 1] = alloc[3, 2] = alloc[3, 3] = 4
+    matcher = StatisticalMatcher(alloc, units=16, rounds=2, seed=args.seed)
+    counts = np.zeros(ports)
+    for _ in range(args.slots):
+        for i, j in matcher.match():
+            if j == 0:
+                counts[i] += 1
+    shares = counts / counts.sum()
+    print("With statistical matching:      ", [f"{s:.3f}" for s in shares],
+          f"jain={jain_index(list(shares)):.3f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-an2`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-an2",
+        description="Experiments from 'High Speed Switch Scheduling for LANs' (ASPLOS 1992)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="AN2 headline hardware numbers").set_defaults(func=cmd_info)
+
+    delay = sub.add_parser("delay", help="one scheduler/workload/load point")
+    delay.add_argument("--scheduler", default="pim",
+                       choices=["pim", "pim-inf", "islip", "wavefront",
+                                "maximum", "fifo", "output-queueing"])
+    delay.add_argument("--workload", default="uniform",
+                       choices=["uniform", "clientserver", "bursty", "periodic"])
+    delay.add_argument("--load", type=float, default=0.9)
+    delay.add_argument("--ports", type=int, default=16)
+    delay.add_argument("--iterations", type=int, default=4)
+    delay.add_argument("--slots", type=int, default=10_000)
+    delay.add_argument("--warmup", type=int, default=1_000)
+    delay.add_argument("--seed", type=int, default=0)
+    delay.set_defaults(func=cmd_delay)
+
+    sweep = sub.add_parser("sweep", help="Figure 3/4 style load sweep")
+    sweep.add_argument("--workload", default="uniform",
+                       choices=["uniform", "clientserver", "bursty"])
+    sweep.add_argument("--loads", type=float, nargs="+",
+                       default=[0.4, 0.6, 0.8, 0.9, 0.95])
+    sweep.add_argument("--ports", type=int, default=16)
+    sweep.add_argument("--iterations", type=int, default=4)
+    sweep.add_argument("--slots", type=int, default=10_000)
+    sweep.add_argument("--warmup", type=int, default=1_000)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.set_defaults(func=cmd_sweep)
+
+    table1 = sub.add_parser("table1", help="regenerate Table 1")
+    table1.add_argument("--patterns", type=int, default=5_000)
+    table1.add_argument("--ports", type=int, default=16)
+    table1.add_argument("--seed", type=int, default=0)
+    table1.set_defaults(func=cmd_table1)
+
+    cbr = sub.add_parser("cbr-bounds", help="Appendix B latency/buffer bounds")
+    cbr.add_argument("--hops", type=int, default=4)
+    cbr.add_argument("--frame", type=int, default=1000)
+    cbr.add_argument("--tolerance", type=float, default=1e-4)
+    cbr.add_argument("--link-latency", type=float, default=10.0)
+    cbr.add_argument("--cells", type=int, default=500)
+    cbr.add_argument("--seed", type=int, default=0)
+    cbr.set_defaults(func=cmd_cbr_bounds)
+
+    fairness = sub.add_parser("fairness", help="Figure 8 and the statistical fix")
+    fairness.add_argument("--slots", type=int, default=20_000)
+    fairness.add_argument("--seed", type=int, default=0)
+    fairness.set_defaults(func=cmd_fairness)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Console-script entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

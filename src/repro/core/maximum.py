@@ -1,0 +1,111 @@
+"""Maximum bipartite matching -- the "more sophisticated" alternative.
+
+Section 3.4 weighs maximum matching against PIM's maximal matching:
+maximum matching squeezes out the most pairs per slot, but (i) known
+algorithms are too slow for one ATM cell time at gigabit rates, and
+(ii) always preferring the larger matching can **starve** a connection
+indefinitely (the Figure 2 example: input 1 to output 2 is never served
+because serving it would shrink the matching).
+
+:func:`hopcroft_karp` is the classic O(E sqrt(V)) algorithm;
+:class:`MaximumMatchingScheduler` wraps it as a per-slot scheduler so
+the ablation bench can measure both its (slight) throughput edge and
+its starvation pathology.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.matching import Matching, as_request_matrix
+
+__all__ = ["hopcroft_karp", "MaximumMatchingScheduler"]
+
+_INF = float("inf")
+
+
+def hopcroft_karp(requests: np.ndarray) -> Matching:
+    """Maximum bipartite matching of a request matrix via Hopcroft-Karp.
+
+    Returns one maximum matching (ties broken deterministically by
+    index order -- this determinism is precisely what produces the
+    starvation behaviour Section 3.4 warns about).
+
+    >>> import numpy as np
+    >>> len(hopcroft_karp(np.eye(3, dtype=bool)))
+    3
+    """
+    matrix = as_request_matrix(requests)
+    n = matrix.shape[0]
+    adjacency: List[np.ndarray] = [np.nonzero(matrix[i])[0] for i in range(n)]
+    match_input: List[Optional[int]] = [None] * n   # input  -> output
+    match_output: List[Optional[int]] = [None] * n  # output -> input
+    distances: List[float] = [0.0] * n
+
+    def bfs() -> bool:
+        queue = deque()
+        for i in range(n):
+            if match_input[i] is None:
+                distances[i] = 0.0
+                queue.append(i)
+            else:
+                distances[i] = _INF
+        found_free = False
+        while queue:
+            i = queue.popleft()
+            for j in adjacency[i]:
+                owner = match_output[j]
+                if owner is None:
+                    found_free = True
+                elif distances[owner] == _INF:
+                    distances[owner] = distances[i] + 1
+                    queue.append(owner)
+        return found_free
+
+    def dfs(i: int) -> bool:
+        for j in adjacency[i]:
+            owner = match_output[j]
+            if owner is None or (distances[owner] == distances[i] + 1 and dfs(owner)):
+                match_input[i] = int(j)
+                match_output[j] = i
+                return True
+        distances[i] = _INF
+        return False
+
+    while bfs():
+        for i in range(n):
+            if match_input[i] is None:
+                dfs(i)
+
+    pairs = [(i, match_input[i]) for i in range(n) if match_input[i] is not None]
+    return Matching.from_pairs(pairs)
+
+
+class MaximumMatchingScheduler:
+    """Per-slot maximum matching (deterministic Hopcroft-Karp).
+
+    Used for the Section 3.4 ablation: on the Figure 2 request pattern
+    this scheduler never serves the (input 1, output 2) connection
+    because every maximum matching excludes it -- starvation that PIM's
+    randomness avoids.
+    """
+
+    name = "maximum"
+
+    def __init__(self) -> None:
+        self.slots_scheduled = 0
+
+    def schedule(self, requests: np.ndarray) -> Matching:
+        """Return a maximum matching of the request matrix."""
+        self.slots_scheduled += 1
+        return hopcroft_karp(requests)
+
+    def reset(self) -> None:
+        """No cross-slot state beyond the slot counter."""
+        self.slots_scheduled = 0
+
+    def __repr__(self) -> str:
+        return "MaximumMatchingScheduler()"

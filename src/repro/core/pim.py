@@ -1,0 +1,367 @@
+"""Parallel Iterative Matching (PIM) -- the paper's core algorithm.
+
+Section 3.1: each cell slot, starting from an empty matching, the
+switch iterates three phases until an iteration budget is spent (the
+AN2 prototype uses **four** iterations) or the matching is maximal:
+
+1. **Request.**  Each unmatched input requests *every* output for which
+   it has a buffered cell.
+2. **Grant.**  Each unmatched output that receives requests grants one,
+   chosen **uniformly at random** -- the independent per-output
+   randomness is what yields the O(log N) expected convergence
+   (Appendix A).
+3. **Accept.**  Each input that receives grants accepts one.  The paper
+   requires the accept choice to be "round-robin or other fair" for
+   starvation freedom (Section 3.4); both random and round-robin
+   accept policies are provided.
+
+Matches made in earlier iterations are retained; later iterations only
+fill in the gaps, so the per-slot result is always a legal matching and
+is maximal when run to completion.
+
+The module provides:
+
+- :func:`pim_match` -- one slot's matching for a single request matrix,
+  with a per-iteration trace (used for Table 1 / Figure 2),
+- :func:`pim_match_batch` -- vectorized over a batch of request
+  matrices (used to regenerate Table 1 at the paper's sample sizes),
+- :class:`PIMScheduler` -- the stateful scheduler object plugged into
+  :class:`repro.switch.switch.CrossbarSwitch`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Literal, Optional, Tuple
+
+import numpy as np
+
+from repro.core.matching import Matching, as_request_matrix
+
+__all__ = ["PIMResult", "PIMIterationTrace", "pim_match", "pim_match_batch", "PIMScheduler"]
+
+AcceptPolicy = Literal["random", "round_robin"]
+
+#: Iteration count of the AN2 prototype (Section 3.2).
+AN2_ITERATIONS = 4
+
+
+@dataclass(frozen=True)
+class PIMIterationTrace:
+    """What happened in one request/grant/accept iteration.
+
+    Attributes are N x N boolean matrices (requests, grants) and a list
+    of accepted (input, output) pairs; useful for rendering Figure 2's
+    anatomy and for the Appendix A resolution-rate checks.
+    """
+
+    requests: np.ndarray
+    grants: np.ndarray
+    accepted: Tuple[Tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
+class PIMResult:
+    """Result of running PIM on one request matrix.
+
+    Attributes
+    ----------
+    matching:
+        The final matching.
+    cumulative_sizes:
+        ``cumulative_sizes[k]`` is the matching size after iteration
+        k+1.  Its length is the number of iterations actually executed.
+    completed:
+        True when the final matching is maximal (the algorithm stopped
+        because no unresolved request remained rather than because the
+        iteration budget ran out).
+    trace:
+        Per-iteration traces when requested, else empty.
+    """
+
+    matching: Matching
+    cumulative_sizes: Tuple[int, ...]
+    completed: bool
+    trace: Tuple[PIMIterationTrace, ...] = ()
+
+    @property
+    def iterations(self) -> int:
+        """Number of iterations executed."""
+        return len(self.cumulative_sizes)
+
+
+def _grant_phase(active: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Each output with pending requests grants one uniformly at random.
+
+    ``active`` is the N x N matrix of unresolved requests.  Returns an
+    N x N boolean grant matrix with at most one True per column.
+    Choosing the argmax of i.i.d. uniform keys over the requesting
+    inputs is a uniform choice among them.
+    """
+    n = active.shape[0]
+    keys = np.where(active, rng.random(active.shape), -1.0)
+    chosen = keys.argmax(axis=0)
+    granted = keys.max(axis=0) >= 0.0
+    grants = np.zeros_like(active)
+    cols = np.nonzero(granted)[0]
+    grants[chosen[cols], cols] = True
+    return grants
+
+
+def _accept_random(grants: np.ndarray, rng: np.random.Generator) -> List[Tuple[int, int]]:
+    """Each input with grants accepts one uniformly at random."""
+    keys = np.where(grants, rng.random(grants.shape), -1.0)
+    chosen = keys.argmax(axis=1)
+    has_grant = keys.max(axis=1) >= 0.0
+    return [(i, int(chosen[i])) for i in np.nonzero(has_grant)[0]]
+
+
+def _accept_round_robin(grants: np.ndarray, pointers: np.ndarray) -> List[Tuple[int, int]]:
+    """Each input accepts the first granted output at/after its pointer.
+
+    The pointer advances one past the accepted output, giving the
+    "round-robin or other fair fashion" accept of Section 3.4.
+    ``pointers`` is mutated in place.
+    """
+    n = grants.shape[0]
+    accepted = []
+    for i in range(n):
+        row = np.nonzero(grants[i])[0]
+        if row.size == 0:
+            continue
+        offsets = (row - pointers[i]) % n
+        j = int(row[offsets.argmin()])
+        accepted.append((i, j))
+        pointers[i] = (j + 1) % n
+    return accepted
+
+
+def pim_match(
+    requests: np.ndarray,
+    rng: np.random.Generator,
+    iterations: Optional[int] = AN2_ITERATIONS,
+    accept: AcceptPolicy = "random",
+    accept_pointers: Optional[np.ndarray] = None,
+    output_capacity: int = 1,
+    keep_trace: bool = False,
+) -> PIMResult:
+    """Run parallel iterative matching on one request matrix.
+
+    Parameters
+    ----------
+    requests:
+        N x N boolean matrix; ``requests[i, j]`` means input i has at
+        least one queued cell for output j.
+    rng:
+        Random generator for the grant (and random-accept) choices.
+    iterations:
+        Iteration budget; ``None`` runs to completion (until maximal).
+        The AN2 prototype uses 4 (Section 3.2).
+    accept:
+        ``"random"`` or ``"round_robin"`` input accept policy.
+    accept_pointers:
+        Round-robin pointers (length N int array), mutated in place so a
+        stateful scheduler carries fairness across slots.  Ignored for
+        the random policy; allocated fresh when needed and absent.
+    output_capacity:
+        The k-grant generalization of Section 3.1 for fabrics that can
+        deliver k cells per output per slot: each output may grant (and
+        be matched) up to k times.  Inputs still accept at most one
+        grant per slot.  With k > 1 the result is a legal *b-matching*
+        on the output side and is returned as plain pairs rather than a
+        :class:`Matching`-validated object only when k == 1.
+    keep_trace:
+        Record per-iteration request/grant/accept matrices.
+
+    Returns a :class:`PIMResult`.  With ``output_capacity == 1`` the
+    matching is always legal, and maximal whenever ``completed``.
+    """
+    matrix = as_request_matrix(requests)
+    n = matrix.shape[0]
+    if output_capacity < 1:
+        raise ValueError(f"output_capacity must be >= 1, got {output_capacity}")
+    if iterations is not None and iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    if accept == "round_robin" and accept_pointers is None:
+        accept_pointers = np.zeros(n, dtype=np.int64)
+
+    input_matched = np.zeros(n, dtype=bool)
+    output_slots = np.full(n, output_capacity, dtype=np.int64)
+    pairs: List[Tuple[int, int]] = []
+    sizes: List[int] = []
+    traces: List[PIMIterationTrace] = []
+    completed = False
+
+    iteration = 0
+    while iterations is None or iteration < iterations:
+        iteration += 1
+        active = matrix & ~input_matched[:, None] & (output_slots > 0)[None, :]
+        if not active.any():
+            completed = True
+            # Account the no-op iteration only if nothing ran yet, so
+            # cumulative_sizes is never empty for a valid call.
+            if not sizes:
+                sizes.append(0)
+            break
+        grants = _grant_phase(active, rng)
+        if accept == "random":
+            accepted = _accept_random(grants, rng)
+        elif accept == "round_robin":
+            assert accept_pointers is not None
+            accepted = _accept_round_robin(grants, accept_pointers)
+        else:
+            raise ValueError(f"unknown accept policy: {accept!r}")
+        for i, j in accepted:
+            pairs.append((i, j))
+            input_matched[i] = True
+            output_slots[j] -= 1
+        sizes.append(len(pairs))
+        if keep_trace:
+            traces.append(PIMIterationTrace(active, grants, tuple(accepted)))
+
+    if not completed:
+        # Budget exhausted; check whether we happen to be maximal anyway.
+        active = matrix & ~input_matched[:, None] & (output_slots > 0)[None, :]
+        completed = not active.any()
+
+    if output_capacity == 1:
+        matching = Matching.from_pairs(pairs)
+    else:
+        # k > 1 legitimately matches an output up to k times, which the
+        # Matching validator forbids; store the pairs unvalidated.
+        matching = Matching.__new__(Matching)
+        object.__setattr__(matching, "pairs", tuple(sorted(pairs)))
+    return PIMResult(matching, tuple(sizes), completed, tuple(traces))
+
+
+def pim_match_batch(
+    requests: np.ndarray,
+    rng: np.random.Generator,
+    max_iterations: int = 32,
+) -> np.ndarray:
+    """Vectorized PIM over a batch of request matrices.
+
+    Runs random-grant/random-accept PIM simultaneously on ``B`` request
+    matrices until every one is maximal or ``max_iterations`` is hit.
+
+    Parameters
+    ----------
+    requests:
+        (B, N, N) boolean array of request matrices.
+    rng:
+        Random generator.
+    max_iterations:
+        Safety cap; maximality is virtually always reached far sooner
+        (Appendix A: expected O(log N) iterations).
+
+    Returns
+    -------
+    (B, K) int array of cumulative matching sizes, where K is the
+    number of iterations executed; column k holds each pattern's
+    matching size after iteration k+1.  The last column is the
+    run-to-completion ("100%") size used as Table 1's denominator.
+    """
+    batch = np.asarray(requests).astype(bool)
+    if batch.ndim != 3 or batch.shape[1] != batch.shape[2]:
+        raise ValueError(f"expected (B, N, N) requests, got shape {batch.shape}")
+    b, n, _ = batch.shape
+    input_matched = np.zeros((b, n), dtype=bool)
+    output_matched = np.zeros((b, n), dtype=bool)
+    cumulative: List[np.ndarray] = []
+
+    for _ in range(max_iterations):
+        active = batch & ~input_matched[:, :, None] & ~output_matched[:, None, :]
+        if not active.any():
+            break
+        # Grant: each output picks a requesting input uniformly.
+        keys = np.where(active, rng.random(active.shape), -1.0)
+        grant_input = keys.argmax(axis=1)          # (B, N) input granted per output
+        has_request = keys.max(axis=1) >= 0.0      # (B, N)
+        grants = np.zeros_like(active)
+        bb, jj = np.nonzero(has_request)
+        grants[bb, grant_input[bb, jj], jj] = True
+        # Accept: each input picks a granting output uniformly.
+        keys2 = np.where(grants, rng.random(grants.shape), -1.0)
+        accept_output = keys2.argmax(axis=2)       # (B, N)
+        has_grant = keys2.max(axis=2) >= 0.0       # (B, N)
+        bb, ii = np.nonzero(has_grant)
+        input_matched[bb, ii] = True
+        output_matched[bb, accept_output[bb, ii]] = True
+        cumulative.append(input_matched.sum(axis=1))
+
+    if not cumulative:
+        return np.zeros((b, 1), dtype=np.int64)
+    return np.stack(cumulative, axis=1)
+
+
+class PIMScheduler:
+    """Stateful PIM scheduler for the slot-clocked switch model.
+
+    Parameters
+    ----------
+    iterations:
+        Per-slot iteration budget (AN2 uses 4); ``None`` runs each slot
+        to a maximal match ("PIM-infinity" in Figure 5).
+    accept:
+        Input accept policy; round-robin pointers persist across slots.
+    seed:
+        Seed for this scheduler's private random stream.
+    output_capacity:
+        k-grant generalization for replicated fabrics.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> sched = PIMScheduler(iterations=4, seed=7)
+    >>> requests = np.ones((4, 4), dtype=bool)
+    >>> len(sched.schedule(requests)) == 4  # full matrix -> perfect match
+    True
+    """
+
+    name = "pim"
+
+    def __init__(
+        self,
+        iterations: Optional[int] = AN2_ITERATIONS,
+        accept: AcceptPolicy = "random",
+        seed: Optional[int] = None,
+        output_capacity: int = 1,
+        rng=None,
+    ):
+        self.iterations = iterations
+        self.accept = accept
+        self.output_capacity = output_capacity
+        # ``rng`` lets callers substitute a hardware-grade randomness
+        # source (e.g. repro.hardware.random_select.lfsr_pim_rng) for
+        # the Section 3.3 randomness-approximation ablation; it only
+        # needs a numpy-compatible ``random(shape)``.
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
+        self._pointers: Optional[np.ndarray] = None
+        self.last_result: Optional[PIMResult] = None
+
+    def schedule(self, requests: np.ndarray) -> Matching:
+        """Compute the matching for one slot from the request matrix."""
+        matrix = as_request_matrix(requests)
+        n = matrix.shape[0]
+        if self.accept == "round_robin":
+            if self._pointers is None or self._pointers.shape[0] != n:
+                self._pointers = np.zeros(n, dtype=np.int64)
+        result = pim_match(
+            matrix,
+            self._rng,
+            iterations=self.iterations,
+            accept=self.accept,
+            accept_pointers=self._pointers,
+            output_capacity=self.output_capacity,
+        )
+        self.last_result = result
+        return result.matching
+
+    def reset(self) -> None:
+        """Clear cross-slot state (round-robin pointers)."""
+        self._pointers = None
+        self.last_result = None
+
+    def __repr__(self) -> str:
+        its = "inf" if self.iterations is None else self.iterations
+        return f"PIMScheduler(iterations={its}, accept={self.accept!r})"

@@ -1,0 +1,280 @@
+"""Statistical Matching (Section 5, Appendix C).
+
+Statistical matching generalizes PIM by *weighting the dice*: the
+allocatable bandwidth of each link is divided into ``X`` discrete
+units, ``X[i, j]`` of which are allocated to traffic from input i to
+output j.  Each slot, independently:
+
+1. **Grant.**  Output j grants input i with probability ``X[i, j]/X``
+   (with the residual probability it grants its *imaginary* input,
+   i.e. nobody) -- a table lookup in hardware.
+2. **Virtual-grant reinterpretation.**  A granted input i re-draws the
+   grant from output j as ``m`` *virtual grants*, distributed so that
+   unconditionally ``m ~ Binomial(X[i, j], 1/X)`` -- as if each of the
+   X[i, j] allocated units had been granted independently.  An
+   under-reserved input also draws ``Binomial(X_i0, 1/X)`` virtual
+   grants from its imaginary output.
+3. **Accept.**  The input accepts one virtual grant uniformly (an
+   imaginary pick means it stays unmatched).
+
+The result (Appendix C): input i connects to output j with probability
+``X[i, j]/X * (1 - ((X-1)/X)^X)`` -- at least ``(1 - 1/e) ~ 63%`` of
+its allocation -- in one round, and at least
+``(1 - 1/e)(1 + 1/e^2) ~ 72%`` with a second independent round whose
+matches are kept where both endpoints were left unmatched.  Slots not
+used by statistical matching can be filled by ordinary PIM.
+
+Unlike the Slepian-Duguid frame schedule (Section 4), changing a rate
+here touches only the two ports involved -- the property that makes
+statistical matching suitable for rapidly-changing allocations and for
+fairness enforcement (Figure 8).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.matching import Matching, as_request_matrix
+from repro.core.pim import pim_match
+
+__all__ = ["StatisticalMatcher", "virtual_grant_pmf"]
+
+
+def virtual_grant_pmf(x_ij: int, x_total: int) -> np.ndarray:
+    """Conditional virtual-grant distribution for a granted input.
+
+    Returns the vector ``p[m]`` for m = 0..x_ij with, per Appendix C::
+
+        p[m] = C(x_ij, m) (1/X)^m ((X-1)/X)^(x_ij-m) * X / x_ij   (m >= 1)
+        p[0] = 1 - sum(p[1:])
+
+    so that grant-probability x_ij/X times this conditional equals the
+    unconditional Binomial(x_ij, 1/X) for every m >= 1.
+    """
+    if x_ij < 1:
+        raise ValueError(f"x_ij must be >= 1, got {x_ij}")
+    if x_total < x_ij:
+        raise ValueError(f"x_total ({x_total}) must be >= x_ij ({x_ij})")
+    p = np.zeros(x_ij + 1)
+    for m in range(1, x_ij + 1):
+        p[m] = (
+            math.comb(x_ij, m)
+            * (1.0 / x_total) ** m
+            * ((x_total - 1.0) / x_total) ** (x_ij - m)
+            * (x_total / x_ij)
+        )
+    tail = p[1:].sum()
+    if tail > 1.0 + 1e-9:
+        raise AssertionError(f"virtual-grant pmf exceeds 1: {tail}")
+    p[0] = max(0.0, 1.0 - tail)
+    return p
+
+
+class StatisticalMatcher:
+    """Statistical matching over an integer allocation matrix.
+
+    Parameters
+    ----------
+    allocations:
+        N x N non-negative integer matrix; ``allocations[i, j]`` is the
+        number of bandwidth units reserved from input i to output j.
+    units:
+        X, the number of units each link's allocatable bandwidth is
+        divided into.  Every row and column of ``allocations`` must sum
+        to at most ``units``.
+    rounds:
+        Independent grant/accept rounds per slot (the paper shows 2
+        captures nearly all the benefit).
+    seed:
+        Seed for this matcher's private random stream.
+    fill:
+        When True, slots and ports left idle by statistical matching
+        are filled with ordinary PIM over the remaining requests
+        (Section 5.2: "Any slot not used by statistical matching can be
+        filled with other traffic by parallel iterative matching").
+    fill_iterations:
+        PIM iteration budget for the fill phase.
+
+    The matcher can be used standalone (:meth:`match`, no queue state
+    needed -- useful for the Appendix C throughput bench) or as a
+    switch scheduler (:meth:`schedule`, which drops statistical matches
+    that have no queued cell and then PIM-fills).
+    """
+
+    name = "statistical"
+
+    def __init__(
+        self,
+        allocations: np.ndarray,
+        units: int,
+        rounds: int = 2,
+        seed: Optional[int] = None,
+        fill: bool = False,
+        fill_iterations: int = 4,
+    ):
+        if units < 1:
+            raise ValueError(f"units must be >= 1, got {units}")
+        if rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {rounds}")
+        matrix = np.asarray(allocations, dtype=np.int64)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError(f"allocations must be square, got shape {matrix.shape}")
+        if (matrix < 0).any():
+            raise ValueError("allocations must be non-negative")
+        self._check_feasible(matrix, units)
+        self.units = units
+        self.rounds = rounds
+        self.fill = fill
+        self.fill_iterations = fill_iterations
+        self._rng = np.random.default_rng(seed)
+        self._alloc = matrix
+        self._pmf_cache: Dict[int, np.ndarray] = {}
+        self._rebuild_tables()
+
+    @staticmethod
+    def _check_feasible(matrix: np.ndarray, units: int) -> None:
+        rows = matrix.sum(axis=1)
+        cols = matrix.sum(axis=0)
+        if (rows > units).any():
+            bad = int(np.argmax(rows > units))
+            raise ValueError(
+                f"input {bad} over-allocated: {int(rows[bad])} units > X = {units}"
+            )
+        if (cols > units).any():
+            bad = int(np.argmax(cols > units))
+            raise ValueError(
+                f"output {bad} over-allocated: {int(cols[bad])} units > X = {units}"
+            )
+
+    def _rebuild_tables(self) -> None:
+        """Precompute the hardware 'table lookup' distributions."""
+        n = self._alloc.shape[0]
+        # Per-output grant distribution over inputs 0..N-1 plus the
+        # imaginary input at index N.
+        self._grant_tables = np.zeros((n, n + 1))
+        for j in range(n):
+            col = self._alloc[:, j].astype(float) / self.units
+            self._grant_tables[j, :n] = col
+            self._grant_tables[j, n] = 1.0 - col.sum()
+
+    @property
+    def ports(self) -> int:
+        """Switch size N."""
+        return self._alloc.shape[0]
+
+    @property
+    def allocations(self) -> np.ndarray:
+        """Copy of the allocation matrix."""
+        return self._alloc.copy()
+
+    def set_allocation(self, input_port: int, output_port: int, allocation_units: int) -> None:
+        """Change one connection's rate.
+
+        This is the operation statistical matching makes cheap: "only
+        the input and output ports used by a flow need be informed of a
+        change in its rate" (Section 5.2).
+        """
+        if allocation_units < 0:
+            raise ValueError("allocation must be non-negative")
+        trial = self._alloc.copy()
+        trial[input_port, output_port] = allocation_units
+        self._check_feasible(trial, self.units)
+        self._alloc = trial
+        self._rebuild_tables()
+
+    def _pmf(self, x_ij: int) -> np.ndarray:
+        if x_ij not in self._pmf_cache:
+            self._pmf_cache[x_ij] = virtual_grant_pmf(x_ij, self.units)
+        return self._pmf_cache[x_ij]
+
+    def _one_round(self) -> List[Tuple[int, int]]:
+        """One grant / virtual-grant / accept round; returns matched pairs."""
+        n = self.ports
+        rng = self._rng
+        # Step 1: each output grants one input (or its imaginary input).
+        granted_input = np.array(
+            [rng.choice(n + 1, p=self._grant_tables[j]) for j in range(n)]
+        )
+        # Step 2a: virtual-grant counts per input.
+        virtual: List[Dict[int, int]] = [dict() for _ in range(n)]
+        for j in range(n):
+            i = int(granted_input[j])
+            if i == n:
+                continue  # imaginary grant: output j grants nobody
+            x_ij = int(self._alloc[i, j])
+            m = int(rng.choice(x_ij + 1, p=self._pmf(x_ij)))
+            if m > 0:
+                virtual[i][j] = m
+        pairs: List[Tuple[int, int]] = []
+        # Step 2b: accept one virtual grant, counting the imaginary
+        # output's Binomial(X_i0, 1/X) virtual grants as decoys.
+        for i in range(n):
+            slack = self.units - int(self._alloc[i].sum())
+            imaginary = int(rng.binomial(slack, 1.0 / self.units)) if slack > 0 else 0
+            total = sum(virtual[i].values()) + imaginary
+            if total == 0:
+                continue
+            pick = rng.integers(total)
+            for j, m in virtual[i].items():
+                if pick < m:
+                    pairs.append((i, j))
+                    break
+                pick -= m
+            # Falling through means the imaginary output won: unmatched.
+        return pairs
+
+    def match(self) -> Matching:
+        """Compute one slot's statistical matching (no queue state).
+
+        Round 2 (and later) matches are kept only when both endpoints
+        were left unmatched by earlier rounds; per Appendix C, a
+        round-2 conflict with an *imaginary* match does not discard the
+        round-2 pair (imaginary matches leave the port physically idle).
+        """
+        matched_inputs: Dict[int, int] = {}
+        matched_outputs: Dict[int, int] = {}
+        for _ in range(self.rounds):
+            for i, j in self._one_round():
+                if i in matched_inputs or j in matched_outputs:
+                    continue
+                matched_inputs[i] = j
+                matched_outputs[j] = i
+        return Matching.from_pairs(matched_inputs.items())
+
+    def schedule(self, requests: np.ndarray) -> Matching:
+        """Switch-scheduler entry point.
+
+        Statistical matches lacking a queued cell are released (the
+        reserved slot is idle), and -- when ``fill`` is on -- idle
+        ports are handed to PIM over the remaining requests.
+        """
+        matrix = as_request_matrix(requests)
+        if matrix.shape[0] != self.ports:
+            raise ValueError(
+                f"request matrix is {matrix.shape[0]}x{matrix.shape[0]}, "
+                f"allocations are {self.ports}x{self.ports}"
+            )
+        pairs = [(i, j) for i, j in self.match() if matrix[i, j]]
+        if not self.fill:
+            return Matching.from_pairs(pairs)
+        taken_inputs = {i for i, _ in pairs}
+        taken_outputs = {j for _, j in pairs}
+        residual = matrix.copy()
+        for i in taken_inputs:
+            residual[i, :] = False
+        for j in taken_outputs:
+            residual[:, j] = False
+        fill_result = pim_match(residual, self._rng, iterations=self.fill_iterations)
+        return Matching.from_pairs(pairs + list(fill_result.matching.pairs))
+
+    def reset(self) -> None:
+        """No cross-slot state to clear; present for scheduler protocol."""
+
+    def __repr__(self) -> str:
+        return (
+            f"StatisticalMatcher(ports={self.ports}, units={self.units}, "
+            f"rounds={self.rounds}, fill={self.fill})"
+        )

@@ -1,0 +1,22 @@
+"""Fairness metrics and the Virtual Clock reference discipline.
+
+Section 5.1 motivates statistical matching with two unfairness modes:
+PIM's per-port contention bias (Figure 8) and the parking-lot effect in
+multi-switch topologies (Figure 9).  This subpackage provides the
+measurement tools (:mod:`repro.fairness.metrics`) and Zhang's Virtual
+Clock (:mod:`repro.fairness.virtual_clock`), the output-queued
+fair-allocation baseline the paper compares against.
+"""
+
+from repro.fairness.allocator import allocations_for_switch, max_min_allocation
+from repro.fairness.metrics import jain_index, max_min_ratio, throughput_shares
+from repro.fairness.virtual_clock import VirtualClockLink
+
+__all__ = [
+    "jain_index",
+    "max_min_ratio",
+    "throughput_shares",
+    "VirtualClockLink",
+    "max_min_allocation",
+    "allocations_for_switch",
+]

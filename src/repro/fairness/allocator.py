@@ -1,0 +1,125 @@
+"""Network-wide max-min fair bandwidth allocation (Section 5.1).
+
+"One class of techniques involves using some measure of network load
+to determine a fair allocation of bandwidth among competing flows.
+Once such an allocation has been determined, the problem remains of
+dividing network resources according to the allocation."
+
+:func:`max_min_allocation` computes the classic progressive-filling
+max-min fair rates for a set of flows over shared links (the Demers/
+Ramakrishnan notion of fairness the paper cites), and
+:func:`allocations_for_switch` converts the resulting flow rates into
+the integer allocation matrix a per-switch
+:class:`repro.core.statistical.StatisticalMatcher` consumes -- closing
+the loop the paper sketches: measure -> allocate -> enforce with
+statistical matching.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Mapping, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["max_min_allocation", "allocations_for_switch"]
+
+
+def max_min_allocation(
+    flows: Mapping[Hashable, Sequence[Hashable]],
+    capacities: Mapping[Hashable, float],
+) -> Dict[Hashable, float]:
+    """Progressive-filling max-min fair rates.
+
+    Parameters
+    ----------
+    flows:
+        Mapping from flow id to the sequence of links (any hashable
+        ids) the flow crosses.
+    capacities:
+        Capacity of each link, in cells per slot.
+
+    Returns the max-min fair rate per flow: rates rise together until
+    some link saturates; flows through it are frozen at the bottleneck
+    share; the rest continue.  Raises ``ValueError`` for flows crossing
+    unknown links or non-positive capacities.
+    """
+    for flow_id, path in flows.items():
+        if not path:
+            raise ValueError(f"flow {flow_id} crosses no links")
+        for link in path:
+            if link not in capacities:
+                raise ValueError(f"flow {flow_id} crosses unknown link {link!r}")
+    for link, capacity in capacities.items():
+        if capacity <= 0:
+            raise ValueError(f"link {link!r} capacity must be positive")
+
+    rates: Dict[Hashable, float] = {}
+    active = set(flows)
+    remaining = dict(capacities)
+    while active:
+        # Bottleneck link: the one with the smallest equal share.
+        shares = {}
+        for link, capacity in remaining.items():
+            crossing = [f for f in active if link in flows[f]]
+            if crossing:
+                shares[link] = (capacity / len(crossing), crossing)
+        if not shares:
+            # Remaining flows cross only unconstrained links (cannot
+            # happen with finite capacities) -- defensive.
+            for flow_id in active:
+                rates[flow_id] = math.inf
+            break
+        bottleneck = min(shares, key=lambda link: shares[link][0])
+        share, frozen = shares[bottleneck]
+        for flow_id in frozen:
+            rates[flow_id] = share
+            active.discard(flow_id)
+            for link in flows[flow_id]:
+                remaining[link] -= share
+        remaining = {k: max(v, 0.0) for k, v in remaining.items()}
+    return rates
+
+
+def allocations_for_switch(
+    flow_rates: Mapping[Hashable, float],
+    flow_ports: Mapping[Hashable, Tuple[int, int]],
+    ports: int,
+    units: int,
+    reservable_fraction: float = 0.72,
+) -> np.ndarray:
+    """Convert fair flow rates into a statistical-matching allocation.
+
+    Parameters
+    ----------
+    flow_rates:
+        Max-min fair rate per flow (cells per slot).
+    flow_ports:
+        (input_port, output_port) of each flow at this switch.
+    ports:
+        Switch size N.
+    units:
+        X, allocation units per link.
+    reservable_fraction:
+        Statistical matching can reserve only ~72% of a link
+        (Appendix C); rates are scaled into that envelope so row and
+        column sums stay feasible.
+
+    Returns the integer N x N allocation matrix (floor rounding, so the
+    result is always feasible).
+    """
+    if not 0.0 < reservable_fraction <= 1.0:
+        raise ValueError("reservable_fraction must be in (0, 1]")
+    matrix = np.zeros((ports, ports), dtype=np.int64)
+    for flow_id, rate in flow_rates.items():
+        if flow_id not in flow_ports:
+            continue
+        i, j = flow_ports[flow_id]
+        if not (0 <= i < ports and 0 <= j < ports):
+            raise ValueError(f"flow {flow_id} ports ({i}, {j}) out of range")
+        matrix[i, j] += int(math.floor(rate * reservable_fraction * units))
+    # Clamp any rounding overflow (defensive; floor keeps sums under
+    # units when input rates are feasible).
+    if matrix.sum(axis=1).max() > units or matrix.sum(axis=0).max() > units:
+        raise ValueError("rates over-commit a link even after scaling")
+    return matrix

@@ -1,0 +1,58 @@
+"""Fairness metrics over per-flow (or per-connection) throughput.
+
+Ramakrishnan & Jain's notion (cited in Section 5.1): every user should
+receive an equal share of every resource that cannot satisfy all
+demand.  We quantify closeness to that ideal with Jain's fairness
+index and the max/min share ratio; both appear in the Figure 8/9
+benches comparing PIM against statistical matching.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Sequence
+
+__all__ = ["jain_index", "max_min_ratio", "throughput_shares"]
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: (sum x)^2 / (n * sum x^2).
+
+    1.0 means perfectly equal; 1/n means one flow takes everything.
+
+    >>> jain_index([1.0, 1.0, 1.0, 1.0])
+    1.0
+    >>> round(jain_index([1.0, 0.0, 0.0, 0.0]), 3)
+    0.25
+    """
+    if not values:
+        raise ValueError("need at least one value")
+    if any(v < 0 for v in values):
+        raise ValueError("values must be non-negative")
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares == 0.0:
+        return 1.0  # all zero: vacuously equal
+    return (total * total) / (len(values) * squares)
+
+
+def max_min_ratio(values: Sequence[float]) -> float:
+    """Largest share divided by smallest (inf when the smallest is 0).
+
+    Figure 8's headline is a 5:1 ratio between the favoured connections
+    and the (4, 1) connection.
+    """
+    if not values:
+        raise ValueError("need at least one value")
+    smallest = min(values)
+    largest = max(values)
+    if smallest == 0.0:
+        return float("inf") if largest > 0.0 else 1.0
+    return largest / smallest
+
+
+def throughput_shares(counts: Mapping[Hashable, int]) -> Dict[Hashable, float]:
+    """Normalize per-flow delivery counts to fractions of the total."""
+    total = sum(counts.values())
+    if total == 0:
+        return {key: 0.0 for key in counts}
+    return {key: value / total for key, value in counts.items()}

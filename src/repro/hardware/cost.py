@@ -1,0 +1,223 @@
+"""AN2 switch cost and timing model (Table 2 and the headline numbers).
+
+Table 2 reports each functional unit's share of the total cost of a
+16x16 AN2 switch.  We model the bill of materials with per-unit
+relative costs and N-dependent device counts:
+
+- optoelectronics: one transceiver per port               -- O(N)
+- crossbar: crosspoint logic                              -- O(N^2)
+- buffer RAM/logic: one buffer bank + manager per port    -- O(N)
+- scheduling logic: one arbiter per port pair's wiring    -- O(N^2)
+  (the request/grant wires grow as N^2; Section 3.3)
+- routing/control CPU: one per switch                     -- O(1)
+
+Per-unit costs are calibrated so the N = 16 proportions reproduce
+Table 2 exactly (they are the table's percentages divided by the unit
+counts); the value of the model is that it then *extrapolates*: it
+quantifies the paper's claims that "the cost of the optoelectronics
+dominates" and that the crossbar's O(N^2) growth "is not a significant
+portion of the switch cost, at least for moderate scale switches"
+(Section 2.2 caps AN2's designs at 64x64).
+
+Timing: with 53-byte cells on 1 Gb/s links, a 16x16 switch must
+schedule 16 cells every 424 ns -- "over 37 million cells per second"
+-- and the scheduler has one cell time to run its four PIM iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.switch.cell import ATM_CELL, CellFormat
+
+__all__ = [
+    "CostComponent",
+    "SwitchCostModel",
+    "PROTOTYPE_MODEL",
+    "PRODUCTION_MODEL",
+    "cell_rate",
+    "schedule_time_budget",
+    "uncontended_latency",
+    "AN2_PORTS",
+    "AN2_LINK_BPS",
+]
+
+#: The AN2 prototype's port count and link speed.
+AN2_PORTS = 16
+AN2_LINK_BPS = 1.0e9
+
+#: Cell latency across an uncontended AN2 switch (Section 1).
+AN2_UNCONTENDED_LATENCY_S = 2.2e-6
+
+
+@dataclass(frozen=True)
+class CostComponent:
+    """One functional unit of the switch BOM.
+
+    ``count`` maps the port count N to the number of cost units the
+    component needs (e.g. ``lambda n: n * n`` for the crossbar).
+    """
+
+    name: str
+    unit_cost: float
+    count: Callable[[int], float]
+
+    def cost(self, ports: int) -> float:
+        """Total relative cost at switch size ``ports``."""
+        return self.unit_cost * self.count(ports)
+
+
+class SwitchCostModel:
+    """A BOM cost model calibrated against Table 2.
+
+    Parameters
+    ----------
+    shares_at_16:
+        Mapping from component name to its share of total cost at
+        N = 16 (Table 2's column, as fractions summing to 1).
+
+    The scaling law for each component is fixed (see module docstring);
+    unit costs are derived from the N = 16 shares.
+    """
+
+    _SCALING: Dict[str, Callable[[int], float]] = {
+        "optoelectronics": lambda n: n,
+        "crossbar": lambda n: n * n,
+        "buffer": lambda n: n,
+        "scheduling": lambda n: n * n,
+        "control": lambda n: 1,
+    }
+
+    def __init__(self, shares_at_16: Dict[str, float]):
+        unknown = set(shares_at_16) - set(self._SCALING)
+        if unknown:
+            raise ValueError(f"unknown components: {sorted(unknown)}")
+        missing = set(self._SCALING) - set(shares_at_16)
+        if missing:
+            raise ValueError(f"missing components: {sorted(missing)}")
+        total = sum(shares_at_16.values())
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"shares must sum to 1, got {total}")
+        self.components: List[CostComponent] = [
+            CostComponent(
+                name=name,
+                unit_cost=share / self._SCALING[name](AN2_PORTS),
+                count=self._SCALING[name],
+            )
+            for name, share in shares_at_16.items()
+        ]
+
+    def total_cost(self, ports: int) -> float:
+        """Total relative cost at switch size ``ports`` (1.0 at N=16)."""
+        if ports <= 0:
+            raise ValueError(f"ports must be positive, got {ports}")
+        return sum(c.cost(ports) for c in self.components)
+
+    def shares(self, ports: int) -> Dict[str, float]:
+        """Each component's share of total cost at size ``ports``."""
+        total = self.total_cost(ports)
+        return {c.name: c.cost(ports) / total for c in self.components}
+
+    def cost_per_port(self, ports: int) -> float:
+        """Relative cost per port -- the economy-of-scale curve."""
+        return self.total_cost(ports) / ports
+
+    def table2_rows(self, ports: int = AN2_PORTS) -> List[Tuple[str, float]]:
+        """(component, percent) rows in Table 2's order."""
+        order = ["optoelectronics", "crossbar", "buffer", "scheduling", "control"]
+        shares = self.shares(ports)
+        return [(name, 100.0 * shares[name]) for name in order]
+
+
+#: Table 2, prototype column (Xilinx FPGAs).
+PROTOTYPE_MODEL = SwitchCostModel(
+    {
+        "optoelectronics": 0.48,
+        "crossbar": 0.04,
+        "buffer": 0.21,
+        "scheduling": 0.10,
+        "control": 0.17,
+    }
+)
+
+#: Table 2, production estimate column (custom CMOS).
+PRODUCTION_MODEL = SwitchCostModel(
+    {
+        "optoelectronics": 0.63,
+        "crossbar": 0.05,
+        "buffer": 0.19,
+        "scheduling": 0.03,
+        "control": 0.10,
+    }
+)
+
+
+def cell_rate(
+    ports: int = AN2_PORTS,
+    link_bps: float = AN2_LINK_BPS,
+    cell: CellFormat = ATM_CELL,
+) -> float:
+    """Aggregate scheduled cells per second.
+
+    One cell may leave each port per slot, so the rate is
+    ports / slot_time.  For the AN2 parameters this is the paper's
+    "over 37 million cells per second".
+    """
+    if ports <= 0:
+        raise ValueError(f"ports must be positive, got {ports}")
+    return ports / cell.slot_time_seconds(link_bps)
+
+
+def schedule_time_budget(
+    link_bps: float = AN2_LINK_BPS, cell: CellFormat = ATM_CELL
+) -> float:
+    """Seconds available to compute one matching: one cell time."""
+    return cell.slot_time_seconds(link_bps)
+
+
+def uncontended_latency(
+    pipeline_slots: float = AN2_UNCONTENDED_LATENCY_S
+    / (ATM_CELL.total_bytes * 8 / AN2_LINK_BPS),
+    link_bps: float = AN2_LINK_BPS,
+    cell: CellFormat = ATM_CELL,
+) -> float:
+    """Uncontended cell latency across the switch, in seconds.
+
+    The AN2's 2.2 us corresponds to ~5.2 cell times of pipeline
+    (receive + schedule + crossbar + transmit); expressing it in slots
+    lets the model re-derive wall-clock latency for other link speeds
+    or cell formats, including converting Figure 3's slot-denominated
+    delays into the paper's "13 microseconds at 95% load".
+    """
+    return pipeline_slots * cell.slot_time_seconds(link_bps)
+
+
+def slots_to_seconds(
+    slots: float, link_bps: float = AN2_LINK_BPS, cell: CellFormat = ATM_CELL
+) -> float:
+    """Convert a delay in cell slots to wall-clock seconds."""
+    return slots * cell.slot_time_seconds(link_bps)
+
+
+def fabric_element_counts(ports: int) -> Dict[str, int]:
+    """Switching-element counts of the candidate fabrics (Section 2.2).
+
+    Crossbar: N^2 crosspoints.  Batcher-banyan: 2x2 sorting/routing
+    elements -- (N/2)(log2 N)(log2 N + 1)/2 for the Batcher stage plus
+    (N/2) log2 N for the banyan.  The crossbar loses asymptotically but
+    wins on constant factors and latency at the AN2's moderate scale,
+    which is the paper's §2.2 argument; the fabric-scaling bench
+    tabulates the crossover.
+    """
+    if ports < 2 or (ports & (ports - 1)) != 0:
+        raise ValueError(f"ports must be a power of two >= 2, got {ports}")
+    stages = ports.bit_length() - 1
+    batcher = (ports // 2) * stages * (stages + 1) // 2
+    banyan = (ports // 2) * stages
+    return {
+        "crossbar_crosspoints": ports * ports,
+        "batcher_elements": batcher,
+        "banyan_elements": banyan,
+        "batcher_banyan_total": batcher + banyan,
+    }

@@ -1,0 +1,32 @@
+"""Arbitrary-topology network substrate.
+
+The paper's network is "a collection of switches, links, and host
+network controllers ... connected ... in any topology" (Section 2),
+with flow-based routing: a routing table in each switch, built at
+configuration time, fixes the output port for every flow.
+
+- :mod:`repro.network.topology` -- the node/link graph,
+- :mod:`repro.network.routing` -- per-switch flow routing tables,
+- :mod:`repro.network.netsim` -- the slot-clocked multi-switch
+  simulator (used for the Figure 9 fairness experiment and end-to-end
+  latency checks),
+- :mod:`repro.network.admission` -- network-level CBR admission
+  control: find a path with uncommitted capacity and reserve it at
+  every switch (Section 4).
+"""
+
+from repro.network.topology import Topology
+from repro.network.routing import Router
+from repro.network.netsim import NetworkSimulator, HostSource, FlowSpec
+from repro.network.admission import NetworkAdmission
+from repro.network import topologies
+
+__all__ = [
+    "Topology",
+    "Router",
+    "NetworkSimulator",
+    "HostSource",
+    "FlowSpec",
+    "NetworkAdmission",
+    "topologies",
+]

@@ -1,0 +1,164 @@
+"""Network-level CBR admission control (Section 4).
+
+"When a request is issued, network management software must determine
+whether it can be granted.  In our approach, this is possible if there
+is a path from source to destination on which each link's uncommitted
+capacity can accommodate the requested bandwidth.  If network software
+finds such a path, it grants the request, and notifies the involved
+switches of the additional reservation."
+
+:class:`NetworkAdmission` keeps a
+:class:`repro.cbr.reservations.ReservationTable` per switch and a
+committed-cells-per-frame counter per link direction; a request
+searches (BFS, shortest feasible path first) for a path whose links
+all have capacity, then installs the reservation at every switch on it
+-- each switch recomputing its own frame schedule, which "the selected
+switches can compute ... in parallel".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.cbr.reservations import ReservationTable
+from repro.network.topology import Topology
+from repro.switch.cell import ServiceClass
+from repro.switch.flow import Flow
+
+__all__ = ["NetworkAdmission", "AdmittedFlow"]
+
+
+class AdmittedFlow:
+    """Record of one admitted CBR flow."""
+
+    def __init__(self, flow_id: int, src: str, dst: str, cells_per_frame: int, path: List[str]):
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.cells_per_frame = cells_per_frame
+        self.path = list(path)
+
+    @property
+    def hops(self) -> int:
+        """Number of switches on the path."""
+        return len(self.path) - 2
+
+    def __repr__(self) -> str:
+        return (
+            f"AdmittedFlow({self.flow_id}, {self.src}->{self.dst}, "
+            f"{self.cells_per_frame} cells/frame, path={self.path})"
+        )
+
+
+class NetworkAdmission:
+    """CBR admission control over a topology.
+
+    Parameters
+    ----------
+    topology:
+        The network graph.
+    frame_slots:
+        Frame length F, a network-wide parameter (Section 4).
+    """
+
+    def __init__(self, topology: Topology, frame_slots: int):
+        self.topology = topology
+        self.frame_slots = frame_slots
+        self.tables: Dict[str, ReservationTable] = {
+            node.name: ReservationTable(node.ports, frame_slots)
+            for node in topology.switches()
+        }
+        # Committed cells/frame per directed link hop (from, to).
+        self._committed: Dict[Tuple[str, str], int] = {}
+        self._admitted: Dict[int, AdmittedFlow] = {}
+
+    def committed(self, from_node: str, to_node: str) -> int:
+        """Cells per frame committed on the directed hop."""
+        return self._committed.get((from_node, to_node), 0)
+
+    def _hop_has_capacity(self, from_node: str, to_node: str, cells: int) -> bool:
+        return self.committed(from_node, to_node) + cells <= self.frame_slots
+
+    def find_path(self, src: str, dst: str, cells_per_frame: int) -> Optional[List[str]]:
+        """Shortest path whose every directed hop has spare capacity."""
+        if src == dst:
+            raise ValueError("source and destination must differ")
+        parents: Dict[str, str] = {}
+        queue = deque([src])
+        seen = {src}
+        while queue:
+            current = queue.popleft()
+            for neighbor in self.topology.neighbors(current):
+                if neighbor in seen:
+                    continue
+                if not self._hop_has_capacity(current, neighbor, cells_per_frame):
+                    continue
+                # Interior nodes must be switches.
+                if neighbor != dst and not self.topology.node(neighbor).is_switch:
+                    continue
+                parents[neighbor] = current
+                if neighbor == dst:
+                    path = [dst]
+                    while path[-1] != src:
+                        path.append(parents[path[-1]])
+                    return list(reversed(path))
+                seen.add(neighbor)
+                queue.append(neighbor)
+        return None
+
+    def request(self, flow_id: int, src: str, dst: str, cells_per_frame: int) -> Optional[AdmittedFlow]:
+        """Try to admit a CBR flow; returns None when no path fits.
+
+        On success every switch on the path holds the reservation in
+        its frame schedule and the link commitments are updated; the
+        operation is atomic (switch-level admission cannot fail once
+        :meth:`find_path` succeeded, because link commitments equal the
+        switch port commitments).
+        """
+        if flow_id in self._admitted:
+            raise ValueError(f"flow {flow_id} already admitted")
+        if cells_per_frame < 1 or cells_per_frame > self.frame_slots:
+            raise ValueError(
+                f"cells_per_frame must be in 1..{self.frame_slots}, got {cells_per_frame}"
+            )
+        path = self.find_path(src, dst, cells_per_frame)
+        if path is None:
+            return None
+        for index in range(1, len(path) - 1):
+            switch = path[index]
+            in_port = self.topology.port_toward(switch, path[index - 1])
+            out_port = self.topology.port_toward(switch, path[index + 1])
+            self.tables[switch].admit(
+                Flow(
+                    flow_id=flow_id,
+                    src=in_port,
+                    dst=out_port,
+                    service=ServiceClass.CBR,
+                    cells_per_frame=cells_per_frame,
+                )
+            )
+        for index in range(len(path) - 1):
+            hop = (path[index], path[index + 1])
+            self._committed[hop] = self._committed.get(hop, 0) + cells_per_frame
+        admitted = AdmittedFlow(flow_id, src, dst, cells_per_frame, path)
+        self._admitted[flow_id] = admitted
+        return admitted
+
+    def release(self, flow_id: int) -> None:
+        """Tear down an admitted flow everywhere."""
+        admitted = self._admitted.pop(flow_id, None)
+        if admitted is None:
+            raise KeyError(f"flow {flow_id} not admitted")
+        path = admitted.path
+        for index in range(1, len(path) - 1):
+            self.tables[path[index]].release(flow_id)
+        for index in range(len(path) - 1):
+            hop = (path[index], path[index + 1])
+            self._committed[hop] -= admitted.cells_per_frame
+            if self._committed[hop] == 0:
+                del self._committed[hop]
+
+    def admitted_flows(self) -> List[AdmittedFlow]:
+        """All currently admitted flows."""
+        return list(self._admitted.values())

@@ -1,0 +1,91 @@
+"""Flow routing tables.
+
+"A routing table in each switch, built during network configuration,
+determines the output port for each flow.  All cells from a flow take
+the same path through the network." (Section 2.)
+
+:class:`Router` owns the per-switch tables.  Installing a flow walks
+its path and records, at every switch on it, the output port toward
+the next hop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.network.topology import Topology
+
+__all__ = ["Router", "FlowRoute"]
+
+
+@dataclass(frozen=True)
+class FlowRoute:
+    """An installed flow's path through the network."""
+
+    flow_id: int
+    src: str
+    dst: str
+    path: Tuple[str, ...]
+
+    @property
+    def hops(self) -> int:
+        """Number of switches traversed."""
+        return len(self.path) - 2  # exclude the two hosts
+
+
+class Router:
+    """Per-switch flow routing tables over a :class:`Topology`."""
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+        # switch name -> flow_id -> output port
+        self._tables: Dict[str, Dict[int, int]] = {
+            node.name: {} for node in topology.switches()
+        }
+        self._routes: Dict[int, FlowRoute] = {}
+
+    def install(self, flow_id: int, src: str, dst: str, path: Optional[List[str]] = None) -> FlowRoute:
+        """Install a flow from host ``src`` to host ``dst``.
+
+        Uses the BFS shortest path when ``path`` is omitted.  Raises
+        ``ValueError`` for duplicate flows, unknown hosts, disconnected
+        pairs, or an invalid explicit path.
+        """
+        if flow_id in self._routes:
+            raise ValueError(f"flow {flow_id} already installed")
+        for name in (src, dst):
+            if self.topology.node(name).is_switch:
+                raise ValueError(f"{name} is a switch; flows run host to host")
+        if path is None:
+            path = self.topology.shortest_path(src, dst)
+            if path is None:
+                raise ValueError(f"no path from {src} to {dst}")
+        if path[0] != src or path[-1] != dst:
+            raise ValueError("explicit path must start at src and end at dst")
+        for index in range(1, len(path) - 1):
+            switch = path[index]
+            if not self.topology.node(switch).is_switch:
+                raise ValueError(f"path interior node {switch} is not a switch")
+            out_port = self.topology.port_toward(switch, path[index + 1])
+            self._tables[switch][flow_id] = out_port
+        route = FlowRoute(flow_id, src, dst, tuple(path))
+        self._routes[flow_id] = route
+        return route
+
+    def output_port(self, switch: str, flow_id: int) -> int:
+        """The configured output port for a flow at a switch.
+
+        Raises ``KeyError`` when the flow is not routed through the
+        switch -- a misdelivered cell, which the simulator treats as a
+        hard error.
+        """
+        return self._tables[switch][flow_id]
+
+    def route(self, flow_id: int) -> FlowRoute:
+        """The installed route of a flow."""
+        return self._routes[flow_id]
+
+    def flows(self) -> List[FlowRoute]:
+        """All installed routes."""
+        return list(self._routes.values())

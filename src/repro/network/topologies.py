@@ -1,0 +1,147 @@
+"""Prebuilt topology factories for common experiment shapes.
+
+The paper's network-level discussions revolve around a handful of
+shapes: chains of switches (Figure 9's parking lot), a server behind a
+backbone (the client-server motivation), redundant-path meshes
+(Section 1's availability argument).  These factories build them in
+one call; each returns the :class:`repro.network.topology.Topology`
+plus the host names, so tests, benches, and user code stop hand-wiring
+the same graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.network.topology import Topology
+
+__all__ = ["chain", "parking_lot", "star", "campus", "diamond"]
+
+
+def chain(switches: int, hosts_per_end: int = 1, switch_ports: int = 4) -> Tuple[Topology, List[str], List[str]]:
+    """A linear chain of switches with hosts at both ends.
+
+    Returns ``(topology, left_hosts, right_hosts)``; hosts are named
+    ``l0..`` and ``r0..``.
+    """
+    if switches < 1:
+        raise ValueError("need at least one switch")
+    topo = Topology()
+    names = [f"s{i}" for i in range(switches)]
+    for name in names:
+        topo.add_switch(name, switch_ports)
+    for a, b in zip(names, names[1:]):
+        topo.connect(a, b)
+    left, right = [], []
+    for index in range(hosts_per_end):
+        l_name, r_name = f"l{index}", f"r{index}"
+        topo.add_host(l_name)
+        topo.add_host(r_name)
+        topo.connect(l_name, names[0])
+        topo.connect(r_name, names[-1])
+        left.append(l_name)
+        right.append(r_name)
+    return topo, left, right
+
+
+def parking_lot(stages: int = 3, switch_ports: int = 4) -> Tuple[Topology, List[str], str]:
+    """The Figure 9 merge chain: two hosts at the first switch, one
+    more joining at every later switch, one sink after the last.
+
+    Returns ``(topology, source_hosts, sink)`` with sources ordered by
+    merge point (earliest first).
+    """
+    if stages < 2:
+        raise ValueError("need at least two stages")
+    topo = Topology()
+    names = [f"s{i}" for i in range(stages)]
+    for name in names:
+        topo.add_switch(name, switch_ports)
+    for a, b in zip(names, names[1:]):
+        topo.connect(a, b)
+    sources = []
+    for index in range(2):
+        host = f"h{index}"
+        topo.add_host(host)
+        topo.connect(host, names[0])
+        sources.append(host)
+    for stage in range(1, stages):
+        host = f"h{stage + 1}"
+        topo.add_host(host)
+        topo.connect(host, names[stage])
+        sources.append(host)
+    topo.add_host("sink")
+    topo.connect("sink", names[-1])
+    return topo, sources, "sink"
+
+
+def star(clients: int, switch_ports: int = None) -> Tuple[Topology, List[str], str]:
+    """One switch, one server, ``clients`` client hosts.
+
+    Returns ``(topology, client_hosts, server)``.
+    """
+    if clients < 1:
+        raise ValueError("need at least one client")
+    ports = switch_ports if switch_ports is not None else clients + 1
+    if ports < clients + 1:
+        raise ValueError(f"switch needs at least {clients + 1} ports")
+    topo = Topology()
+    topo.add_switch("hub", ports)
+    topo.add_host("server")
+    topo.connect("server", "hub")
+    names = []
+    for index in range(clients):
+        name = f"c{index}"
+        topo.add_host(name)
+        topo.connect(name, "hub")
+        names.append(name)
+    return topo, names, "server"
+
+
+def campus(workgroups: int = 2, clients_per_group: int = 2) -> Tuple[Topology, List[str], str]:
+    """Workgroup switches under one backbone with a server.
+
+    Returns ``(topology, client_hosts, server)``.
+    """
+    if workgroups < 1 or clients_per_group < 1:
+        raise ValueError("need at least one workgroup and one client")
+    topo = Topology()
+    topo.add_switch("backbone", workgroups + 1)
+    topo.add_host("server")
+    topo.connect("server", "backbone")
+    clients = []
+    for group in range(workgroups):
+        switch = f"wg{group}"
+        topo.add_switch(switch, clients_per_group + 1)
+        topo.connect(switch, "backbone")
+        for index in range(clients_per_group):
+            name = f"c{group}_{index}"
+            topo.add_host(name)
+            topo.connect(name, switch)
+            clients.append(name)
+    return topo, clients, "server"
+
+
+def diamond() -> Tuple[Topology, Dict[str, List[str]]]:
+    """Two disjoint equal-cost paths between two host pairs -- the
+    redundant-path availability shape of Section 1.
+
+    Returns ``(topology, {"left": [...], "right": [...]})``.
+    """
+    topo = Topology()
+    for name in ("in", "upper", "lower", "out"):
+        topo.add_switch(name, 4)
+    topo.connect("in", "upper")
+    topo.connect("in", "lower")
+    topo.connect("upper", "out")
+    topo.connect("lower", "out")
+    hosts = {"left": [], "right": []}
+    for index in range(2):
+        l_name, r_name = f"hl{index}", f"hr{index}"
+        topo.add_host(l_name)
+        topo.add_host(r_name)
+        topo.connect(l_name, "in")
+        topo.connect(r_name, "out")
+        hosts["left"].append(l_name)
+        hosts["right"].append(r_name)
+    return topo, hosts

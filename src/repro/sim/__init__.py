@@ -1,0 +1,32 @@
+"""Slot-synchronous simulation kernel.
+
+The AN2 switch reconfigures its crossbar once per ATM cell time, so the
+natural simulation model is *slot-synchronous*: global time advances in
+units of one cell slot, and every component observes arrivals, makes a
+scheduling decision, and transfers at most one cell per port per slot.
+
+This subpackage provides the pieces shared by every simulation in the
+reproduction:
+
+- :mod:`repro.sim.rng` -- deterministic, independently seeded random
+  streams so that experiments are reproducible and components do not
+  perturb each other's randomness,
+- :mod:`repro.sim.stats` -- delay/throughput accumulators with warm-up
+  discarding and batch-means confidence intervals,
+- :mod:`repro.sim.engine` -- a minimal slotted event loop for composing
+  multiple components (used by the network simulator).
+"""
+
+from repro.sim.engine import SimulationEngine, SlotProcess
+from repro.sim.rng import RandomStreams
+from repro.sim.stats import DelayStats, RunningMeanVar, ThroughputCounter, batch_means_ci
+
+__all__ = [
+    "SimulationEngine",
+    "SlotProcess",
+    "RandomStreams",
+    "DelayStats",
+    "RunningMeanVar",
+    "ThroughputCounter",
+    "batch_means_ci",
+]

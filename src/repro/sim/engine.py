@@ -1,0 +1,109 @@
+"""A minimal slot-synchronous simulation engine.
+
+Single-switch experiments drive themselves (see
+:meth:`repro.switch.switch.CrossbarSwitch.run`); the engine exists for
+compositions of several clocked components -- most importantly the
+multi-switch network simulator, where sources, switches, and links must
+advance in a consistent per-slot order.
+
+Each slot the engine runs three deterministic sub-phases over all
+registered processes:
+
+1. ``begin_slot``  -- arrivals are injected / cells land from links,
+2. ``transfer``    -- each component makes its scheduling decision and
+   moves cells (switch crossbar transfers, link propagation),
+3. ``end_slot``    -- bookkeeping, statistics, departures.
+
+This three-phase split mirrors the hardware pipeline: the AN2 runs
+parallel iterative matching for the *next* slot while the current
+slot's cells cross the crossbar, so a cell arriving in slot t is first
+eligible to depart in slot t+1 at the earliest; our switch model
+documents where it makes the same assumption.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Protocol, runtime_checkable
+
+__all__ = ["SlotProcess", "SimulationEngine"]
+
+
+@runtime_checkable
+class SlotProcess(Protocol):
+    """Protocol for components driven by :class:`SimulationEngine`.
+
+    All three hooks are optional in spirit; components implement the
+    phases they care about and leave the rest as no-ops.
+    """
+
+    def begin_slot(self, slot: int) -> None:
+        """Phase 1: accept arrivals for this slot."""
+
+    def transfer(self, slot: int) -> None:
+        """Phase 2: schedule and move cells."""
+
+    def end_slot(self, slot: int) -> None:
+        """Phase 3: account departures and update statistics."""
+
+
+class SimulationEngine:
+    """Drives a set of :class:`SlotProcess` components slot by slot.
+
+    Processes run in registration order within each phase, and all
+    processes complete a phase before any process starts the next; this
+    makes cross-component interactions (e.g. a link delivering into a
+    downstream switch) independent of registration order so long as
+    producers write in ``transfer`` and consumers read in the following
+    slot's ``begin_slot``.
+    """
+
+    def __init__(self) -> None:
+        self._processes: List[SlotProcess] = []
+        self._slot = 0
+        self._slot_hooks: List[Callable[[int], None]] = []
+
+    @property
+    def slot(self) -> int:
+        """The next slot to be executed."""
+        return self._slot
+
+    def add_process(self, process: SlotProcess) -> None:
+        """Register a component; it joins at the current slot."""
+        self._processes.append(process)
+
+    def add_slot_hook(self, hook: Callable[[int], None]) -> None:
+        """Register a callback invoked after each completed slot."""
+        self._slot_hooks.append(hook)
+
+    def run(self, slots: int, until: Optional[Callable[[int], bool]] = None) -> int:
+        """Advance the simulation by up to ``slots`` slots.
+
+        Parameters
+        ----------
+        slots:
+            Maximum number of slots to execute.
+        until:
+            Optional early-stop predicate evaluated after each slot with
+            the slot index just completed; simulation stops when it
+            returns True.
+
+        Returns the number of slots actually executed.
+        """
+        if slots < 0:
+            raise ValueError(f"slots must be non-negative, got {slots}")
+        executed = 0
+        for _ in range(slots):
+            current = self._slot
+            for process in self._processes:
+                process.begin_slot(current)
+            for process in self._processes:
+                process.transfer(current)
+            for process in self._processes:
+                process.end_slot(current)
+            for hook in self._slot_hooks:
+                hook(current)
+            self._slot += 1
+            executed += 1
+            if until is not None and until(current):
+                break
+        return executed

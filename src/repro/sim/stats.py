@@ -1,0 +1,275 @@
+"""Statistics accumulators for slotted simulations.
+
+The paper's Figures 3-5 plot *average queueing delay in cell slots*
+against *offered load*, after discarding the initial transient
+("All simulations were run for long enough to eliminate the effect of
+any initial transient", Section 3.5).  The classes here provide:
+
+- :class:`RunningMeanVar` -- Welford one-pass mean/variance,
+- :class:`DelayStats` -- per-cell delay with warm-up discarding,
+  histograms, and percentiles,
+- :class:`ThroughputCounter` -- offered vs carried load accounting,
+- :func:`batch_means_ci` -- batch-means confidence interval for a
+  steady-state mean, used by the benches to report convergence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "RunningMeanVar",
+    "DelayStats",
+    "ThroughputCounter",
+    "batch_means_ci",
+    "stationarity_ratio",
+]
+
+
+class RunningMeanVar:
+    """One-pass (Welford) accumulator of mean and variance.
+
+    >>> acc = RunningMeanVar()
+    >>> for x in [1.0, 2.0, 3.0]:
+    ...     acc.add(x)
+    >>> acc.mean
+    2.0
+    >>> round(acc.variance, 6)
+    1.0
+    """
+
+    __slots__ = ("count", "_mean", "_m2")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, x: float) -> None:
+        """Incorporate one observation."""
+        self.count += 1
+        delta = x - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (x - self._mean)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 with fewer than 2 samples)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean."""
+        if self.count < 2:
+            return 0.0
+        return self.stddev / math.sqrt(self.count)
+
+    def merge(self, other: "RunningMeanVar") -> None:
+        """Fold another accumulator into this one (parallel Welford)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count, self._mean, self._m2 = other.count, other._mean, other._m2
+            return
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self._mean += delta * other.count / total
+        self.count = total
+
+
+@dataclass
+class DelayStats:
+    """Per-cell queueing-delay statistics with warm-up discarding.
+
+    Delays are recorded in integer cell slots (departure slot minus
+    arrival slot).  Observations from cells that *arrived* before
+    ``warmup`` are discarded, matching the paper's transient removal.
+
+    Attributes
+    ----------
+    warmup:
+        Arrival-slot threshold below which observations are ignored.
+    """
+
+    warmup: int = 0
+    _acc: RunningMeanVar = field(default_factory=RunningMeanVar)
+    _histogram: Dict[int, int] = field(default_factory=dict)
+    _max: int = 0
+
+    def record(self, arrival_slot: int, departure_slot: int) -> None:
+        """Record one cell's delay; ignored if it arrived during warm-up."""
+        if arrival_slot < self.warmup:
+            return
+        delay = departure_slot - arrival_slot
+        if delay < 0:
+            raise ValueError(
+                f"negative delay: departed slot {departure_slot} before arrival slot {arrival_slot}"
+            )
+        self._acc.add(float(delay))
+        self._histogram[delay] = self._histogram.get(delay, 0) + 1
+        if delay > self._max:
+            self._max = delay
+
+    @property
+    def count(self) -> int:
+        """Number of recorded (post-warm-up) cells."""
+        return self._acc.count
+
+    @property
+    def mean(self) -> float:
+        """Mean delay in slots."""
+        return self._acc.mean
+
+    @property
+    def stddev(self) -> float:
+        """Standard deviation of delay in slots."""
+        return self._acc.stddev
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean delay."""
+        return self._acc.stderr
+
+    @property
+    def max(self) -> int:
+        """Largest observed delay in slots."""
+        return self._max
+
+    def percentile(self, q: float) -> int:
+        """Return the smallest delay d with at least ``q`` of mass <= d.
+
+        ``q`` is a fraction in (0, 1].  Raises ``ValueError`` when empty.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"q must be in (0, 1], got {q}")
+        if not self._histogram:
+            raise ValueError("no observations recorded")
+        target = q * self.count
+        running = 0
+        for delay in sorted(self._histogram):
+            running += self._histogram[delay]
+            if running >= target:
+                return delay
+        return self._max
+
+    def histogram(self) -> Dict[int, int]:
+        """Copy of the delay histogram {delay_slots: cell_count}."""
+        return dict(self._histogram)
+
+
+@dataclass
+class ThroughputCounter:
+    """Offered vs carried traffic accounting over a measurement window.
+
+    *Offered load* counts cells injected by the traffic source; *carried
+    load* counts cells that departed the switch.  Normalizing carried
+    cells by (slots x ports) yields per-link utilization, the x/y axes
+    of Figures 1 and 3-5.
+    """
+
+    warmup: int = 0
+    offered: int = 0
+    carried: int = 0
+    _first_slot: Optional[int] = None
+    _last_slot: Optional[int] = None
+
+    def record_arrival(self, slot: int, count: int = 1) -> None:
+        """Record ``count`` cells offered in ``slot``."""
+        if slot < self.warmup:
+            return
+        self._touch(slot)
+        self.offered += count
+
+    def record_departure(self, slot: int, count: int = 1) -> None:
+        """Record ``count`` cells carried in ``slot``."""
+        if slot < self.warmup:
+            return
+        self._touch(slot)
+        self.carried += count
+
+    def _touch(self, slot: int) -> None:
+        if self._first_slot is None or slot < self._first_slot:
+            self._first_slot = slot
+        if self._last_slot is None or slot > self._last_slot:
+            self._last_slot = slot
+
+    @property
+    def window(self) -> int:
+        """Number of slots spanned by the measurement window."""
+        if self._first_slot is None or self._last_slot is None:
+            return 0
+        return self._last_slot - self._first_slot + 1
+
+    def carried_per_slot(self, ports: int = 1) -> float:
+        """Mean carried cells per slot per port (link utilization)."""
+        if self.window == 0:
+            return 0.0
+        return self.carried / (self.window * ports)
+
+    def offered_per_slot(self, ports: int = 1) -> float:
+        """Mean offered cells per slot per port."""
+        if self.window == 0:
+            return 0.0
+        return self.offered / (self.window * ports)
+
+
+def stationarity_ratio(samples: List[float]) -> float:
+    """Second-half mean over first-half mean of a series.
+
+    A cheap check that the warm-up truly removed the transient (the
+    paper: "run for long enough to eliminate the effect of any initial
+    transient"): a ratio far from 1 means the mean is still drifting
+    and the measurement window should grow.  Returns ``inf`` when the
+    first half's mean is zero but the second's is not.
+    """
+    if len(samples) < 4:
+        raise ValueError("need at least 4 samples")
+    half = len(samples) // 2
+    first = sum(samples[:half]) / half
+    second = sum(samples[half : 2 * half]) / half
+    if first == 0.0:
+        return 1.0 if second == 0.0 else math.inf
+    return second / first
+
+
+def batch_means_ci(samples: List[float], batches: int = 20, z: float = 1.96) -> Tuple[float, float]:
+    """Batch-means estimate of (mean, half-width) for a correlated series.
+
+    Slotted-simulation delay series are autocorrelated, so the naive
+    standard error understates uncertainty.  Batch means splits the
+    series into ``batches`` contiguous batches and treats batch averages
+    as approximately independent.
+
+    Returns ``(mean, half_width)``; half-width is ``z`` times the batch
+    standard error.  Raises ``ValueError`` if there are fewer samples
+    than batches.
+    """
+    n = len(samples)
+    if batches < 2:
+        raise ValueError("need at least 2 batches")
+    if n < batches:
+        raise ValueError(f"need at least {batches} samples, got {n}")
+    size = n // batches
+    means = []
+    for b in range(batches):
+        chunk = samples[b * size : (b + 1) * size]
+        means.append(sum(chunk) / len(chunk))
+    grand = sum(means) / batches
+    var = sum((m - grand) ** 2 for m in means) / (batches - 1)
+    half = z * math.sqrt(var / batches)
+    return grand, half

@@ -1,0 +1,55 @@
+"""Switch substrate: cells, flows, buffers, fabrics, and the switch model.
+
+The AN2 switch (Section 2 of the paper) is an input-buffered crossbar
+switch: fixed-length ATM-style cells arrive on N input links, wait in
+random-access per-flow FIFO queues at the inputs, cross a non-blocking
+fabric when the scheduler pairs their input with their output, and
+depart on N output links.
+
+Modules:
+
+- :mod:`repro.switch.cell` -- fixed-length cells and service classes,
+- :mod:`repro.switch.flow` -- flow descriptors (the unit of routing),
+- :mod:`repro.switch.buffers` -- per-flow FIFO queues, eligible-flow
+  lists, FIFO input queues, output queues,
+- :mod:`repro.switch.crossbar` -- the non-blocking crossbar fabric,
+- :mod:`repro.switch.batcher` / :mod:`repro.switch.banyan` /
+  :mod:`repro.switch.fabric` -- Batcher sorting network, banyan
+  self-routing network, and the batcher-banyan composition,
+- :mod:`repro.switch.switch` -- the slot-clocked switch model.
+"""
+
+from repro.switch.cell import Cell, ServiceClass
+from repro.switch.flow import Flow
+from repro.switch.buffers import (
+    FIFOInputBuffer,
+    OutputQueue,
+    VOQBuffer,
+)
+from repro.switch.concentrator import Concentrator
+from repro.switch.crossbar import Crossbar
+from repro.switch.multicast import MulticastCell, MulticastPIMScheduler, MulticastSwitch
+from repro.switch.packets import Packet, Reassembler, Segmenter
+from repro.switch.replicated import ReplicatedOutputSwitch
+from repro.switch.switch import CrossbarSwitch, FIFOSwitch, SwitchResult
+
+__all__ = [
+    "Cell",
+    "ServiceClass",
+    "Flow",
+    "VOQBuffer",
+    "FIFOInputBuffer",
+    "OutputQueue",
+    "Concentrator",
+    "Crossbar",
+    "MulticastCell",
+    "MulticastPIMScheduler",
+    "MulticastSwitch",
+    "Packet",
+    "Segmenter",
+    "Reassembler",
+    "ReplicatedOutputSwitch",
+    "CrossbarSwitch",
+    "FIFOSwitch",
+    "SwitchResult",
+]

@@ -1,0 +1,137 @@
+"""Banyan (omega / shuffle-exchange) self-routing network.
+
+Section 2.2: a banyan delivers each cell to its output "based solely on
+the information in the cell header", but suffers *internal blocking* --
+two cells bound for different outputs can collide at an internal 2x2
+element.  The classic remedy is to present the cells sorted by
+destination and concentrated (Batcher + shuffle), which makes the
+banyan non-blocking.
+
+We implement the omega variant: ``log2(N)`` stages, each preceded by a
+perfect shuffle of the N lines; each 2x2 element routes by one
+destination bit, most significant first.  :func:`route` simulates a
+slot and reports both delivered and internally blocked cells, so the
+blocking behaviour itself (not just the happy path) is observable --
+that is what the Figure-free Section 2.2 discussion and our fabric
+tests exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["BanyanNetwork", "BanyanResult", "perfect_shuffle"]
+
+
+def perfect_shuffle(position: int, n_bits: int) -> int:
+    """Rotate the ``n_bits``-bit position label left by one bit.
+
+    The perfect shuffle wiring between stages: line ``b_{k-1}..b_1 b_0``
+    moves to ``b_{k-2}..b_0 b_{k-1}``.
+    """
+    mask = (1 << n_bits) - 1
+    return ((position << 1) | (position >> (n_bits - 1))) & mask
+
+
+@dataclass(frozen=True)
+class BanyanResult:
+    """Outcome of routing one slot's cells through the banyan.
+
+    ``delivered`` maps output port to the payload that reached it;
+    ``blocked`` lists payloads dropped at internal collisions, with the
+    stage at which each collision occurred.
+    """
+
+    delivered: Dict[int, object]
+    blocked: Tuple[Tuple[object, int], ...]
+
+    @property
+    def blocking_occurred(self) -> bool:
+        """True when any cell was lost to an internal collision."""
+        return bool(self.blocked)
+
+
+class BanyanNetwork:
+    """An N x N omega network with internal-blocking simulation.
+
+    Parameters
+    ----------
+    ports:
+        Network size; must be a power of two.
+
+    Collisions resolve in favour of the cell on the numerically lower
+    line (deterministic, as in hardware where one element input wins).
+    """
+
+    def __init__(self, ports: int):
+        if ports <= 1 or (ports & (ports - 1)) != 0:
+            raise ValueError(f"banyan size must be a power of two >= 2, got {ports}")
+        self.ports = ports
+        self.n_bits = ports.bit_length() - 1
+
+    @property
+    def stages(self) -> int:
+        """Number of 2x2-element stages: log2(N)."""
+        return self.n_bits
+
+    @property
+    def element_count(self) -> int:
+        """Total 2x2 switching elements: (N/2) log2(N)."""
+        return (self.ports // 2) * self.n_bits
+
+    def route(self, cells: Sequence[Tuple[int, int, object]]) -> BanyanResult:
+        """Route one slot of cells.
+
+        ``cells`` is a sequence of ``(input_line, destination, payload)``
+        triples; input lines must be distinct.  Returns a
+        :class:`BanyanResult` with delivered and blocked payloads.
+        """
+        lines: List[Optional[Tuple[int, object]]] = [None] * self.ports
+        for input_line, destination, payload in cells:
+            if not 0 <= input_line < self.ports:
+                raise ValueError(f"input line {input_line} out of range")
+            if not 0 <= destination < self.ports:
+                raise ValueError(f"destination {destination} out of range")
+            if lines[input_line] is not None:
+                raise ValueError(f"two cells on input line {input_line}")
+            lines[input_line] = (destination, payload)
+
+        blocked: List[Tuple[object, int]] = []
+        for stage in range(self.n_bits):
+            # Perfect shuffle wiring into this stage.
+            shuffled: List[Optional[Tuple[int, object]]] = [None] * self.ports
+            for pos, occupant in enumerate(lines):
+                if occupant is not None:
+                    shuffled[perfect_shuffle(pos, self.n_bits)] = occupant
+            # Each element e owns lines 2e and 2e+1; it routes by the
+            # destination bit for this stage (MSB first).
+            bit_shift = self.n_bits - 1 - stage
+            next_lines: List[Optional[Tuple[int, object]]] = [None] * self.ports
+            for element in range(self.ports // 2):
+                upper = shuffled[2 * element]
+                lower = shuffled[2 * element + 1]
+                for occupant in (upper, lower):
+                    if occupant is None:
+                        continue
+                    destination, payload = occupant
+                    out_line = 2 * element + ((destination >> bit_shift) & 1)
+                    if next_lines[out_line] is None:
+                        next_lines[out_line] = occupant
+                    else:
+                        # Internal collision: the earlier (upper) cell
+                        # already holds the element output; this one is
+                        # blocked at this stage.
+                        blocked.append((payload, stage))
+            lines = next_lines
+
+        delivered: Dict[int, object] = {}
+        for pos, occupant in enumerate(lines):
+            if occupant is not None:
+                destination, payload = occupant
+                if destination != pos:
+                    raise AssertionError(
+                        f"banyan routing bug: cell for {destination} emerged at {pos}"
+                    )
+                delivered[pos] = payload
+        return BanyanResult(delivered, tuple(blocked))

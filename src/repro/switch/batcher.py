@@ -1,0 +1,92 @@
+"""Batcher bitonic sorting network.
+
+Section 2.2: banyan networks are internally non-blocking "if cells are
+sorted according to output destination and then shuffled before being
+placed into the network", so a common self-routing switch design is a
+Batcher sorting network [Batcher 68] in front of a banyan.  The AN2
+uses a crossbar instead, but the paper's argument that its scheduler
+works with either fabric is reproduced by
+:class:`repro.switch.fabric.BatcherBanyanFabric`, which needs this
+sorter.
+
+The network is the classic bitonic merge sorter for N = 2^k lines:
+``log2(N) * (log2(N)+1) / 2`` stages of N/2 compare-exchange elements.
+:func:`batcher_comparators` emits the comparator list (hardware view);
+:func:`batcher_sort` applies it to a key vector (simulation view).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["batcher_comparators", "batcher_sort", "batcher_stage_count", "comparator_count"]
+
+
+def _is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def batcher_comparators(n: int) -> List[List[Tuple[int, int, bool]]]:
+    """Comparator stages of a bitonic sorter for ``n`` = 2^k lines.
+
+    Returns a list of stages; each stage is a list of
+    ``(line_a, line_b, ascending)`` comparators that act on disjoint
+    line pairs and may therefore fire in parallel (one hardware stage).
+    ``ascending`` True routes the smaller key to ``line_a``.
+    """
+    if not _is_power_of_two(n):
+        raise ValueError(f"batcher network size must be a power of two, got {n}")
+    stages: List[List[Tuple[int, int, bool]]] = []
+    k = 2
+    while k <= n:  # size of the bitonic sequences being merged
+        j = k // 2
+        while j >= 1:  # comparator distance within the merge
+            stage = []
+            for i in range(n):
+                partner = i ^ j
+                if partner > i:
+                    ascending = (i & k) == 0
+                    stage.append((i, partner, ascending))
+            stages.append(stage)
+            j //= 2
+        k *= 2
+    return stages
+
+
+def batcher_sort(keys: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Sort ``keys`` through the bitonic network.
+
+    Returns ``(sorted_keys, permutation)`` where ``permutation[p]`` is
+    the original line whose key ended at position p -- the permutation
+    the physical network applies to the cells riding the keys.
+
+    Idle lines are conventionally carried as ``float('inf')`` keys so
+    they sink to the bottom, concentrating active cells at the top --
+    the "sorted and shuffled" precondition for non-blocking banyan
+    routing.
+    """
+    values = np.asarray(keys, dtype=float).copy()
+    n = values.shape[0]
+    perm = np.arange(n)
+    for stage in batcher_comparators(n):
+        for a, b, ascending in stage:
+            swap = values[a] > values[b] if ascending else values[a] < values[b]
+            if swap:
+                values[a], values[b] = values[b], values[a]
+                perm[a], perm[b] = perm[b], perm[a]
+    return values, perm
+
+
+def batcher_stage_count(n: int) -> int:
+    """Number of compare-exchange stages: log2(n) * (log2(n)+1) / 2."""
+    if not _is_power_of_two(n):
+        raise ValueError(f"batcher network size must be a power of two, got {n}")
+    k = n.bit_length() - 1
+    return k * (k + 1) // 2
+
+
+def comparator_count(n: int) -> int:
+    """Total comparators in the network: (n/2) per stage."""
+    return batcher_stage_count(n) * (n // 2)

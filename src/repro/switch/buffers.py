@@ -1,0 +1,235 @@
+"""Input and output buffer organizations.
+
+Section 2.4 of the paper surveys buffer organizations; the AN2 switch
+uses *random access input buffers*: cells wait at the input, any queued
+flow's head cell is eligible for transfer, and nothing is ever dropped.
+Section 3.3 describes the concrete structure we implement in
+:class:`VOQBuffer`:
+
+- each flow has its own FIFO queue of buffered cells;
+- a flow is *eligible* when it has at least one queued cell;
+- a list of eligible flows is kept for each (input, output) pair;
+- when a grant is won, one eligible flow is chosen **round-robin**
+  and its head cell crosses the fabric.
+
+This is what later literature calls *virtual output queueing* (VOQ),
+with the twist that the per-output queue is a queue of flows, not of
+cells -- which is exactly what makes per-flow FIFO order free of
+head-of-line blocking ("since all cells from a flow are routed to the
+same output, either none of the cells of a flow are blocked or all
+are", Section 3.1).
+
+:class:`FIFOInputBuffer` is the strawman of Section 2.4 (one FIFO per
+input; only the head cell is eligible) and :class:`OutputQueue` backs
+the perfect-output-queueing baseline.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterator, List, Optional
+
+from repro.switch.cell import Cell
+
+__all__ = ["VOQBuffer", "FIFOInputBuffer", "OutputQueue"]
+
+
+class VOQBuffer:
+    """Random-access input buffer for one input port.
+
+    Cells are stored in per-flow FIFO queues; per-output eligible-flow
+    lists are served round-robin (Section 3.3).
+
+    Parameters
+    ----------
+    ports:
+        Number of output ports (the width of the request vector).
+
+    Invariants (exercised by the property tests):
+
+    - a flow id appears in exactly one output's eligible list, and only
+      while its queue is non-empty;
+    - cells of one flow depart in arrival order;
+    - ``len(buffer)`` equals the sum of all flow-queue lengths.
+    """
+
+    def __init__(self, ports: int):
+        if ports <= 0:
+            raise ValueError(f"ports must be positive, got {ports}")
+        self.ports = ports
+        self._flow_queues: Dict[int, Deque[Cell]] = {}
+        # Round-robin list of eligible flow ids, one per output port.
+        self._eligible: List[Deque[int]] = [deque() for _ in range(ports)]
+        # Output each eligible flow is currently filed under (cells of a
+        # flow always share an output at a given switch).
+        self._flow_output: Dict[int, int] = {}
+        self._total = 0
+
+    def __len__(self) -> int:
+        return self._total
+
+    def enqueue(self, cell: Cell) -> None:
+        """Buffer an arriving cell; its flow becomes eligible if it wasn't."""
+        if not 0 <= cell.output < self.ports:
+            raise ValueError(f"cell output {cell.output} out of range for {self.ports} ports")
+        queue = self._flow_queues.get(cell.flow_id)
+        if queue is None:
+            queue = deque()
+            self._flow_queues[cell.flow_id] = queue
+        if queue and queue[0].output != cell.output:
+            raise ValueError(
+                f"flow {cell.flow_id} changed output {queue[0].output} -> {cell.output}; "
+                "all cells of a flow must be routed to the same output"
+            )
+        if not queue:
+            # Flow transitions empty -> non-empty: add to eligible list.
+            self._eligible[cell.output].append(cell.flow_id)
+            self._flow_output[cell.flow_id] = cell.output
+        queue.append(cell)
+        self._total += 1
+
+    def has_cell_for(self, output: int) -> bool:
+        """True when some flow toward ``output`` has a queued cell."""
+        return bool(self._eligible[output])
+
+    def request_vector(self) -> List[bool]:
+        """Outputs this input would request in a PIM request phase."""
+        return [bool(q) for q in self._eligible]
+
+    def occupancy_for(self, output: int) -> int:
+        """Total queued cells destined for ``output``."""
+        return sum(len(self._flow_queues[f]) for f in self._eligible[output])
+
+    def peek(self, output: int) -> Optional[Cell]:
+        """Head cell of the flow next in round-robin order for ``output``."""
+        if not self._eligible[output]:
+            return None
+        return self._flow_queues[self._eligible[output][0]][0]
+
+    def dequeue(self, output: int) -> Cell:
+        """Remove and return the next cell for ``output``.
+
+        The flow is chosen round-robin among eligible flows for this
+        (input, output) pair; the flow's head cell departs.  Raises
+        ``IndexError`` when no cell is queued for ``output``.
+        """
+        eligible = self._eligible[output]
+        if not eligible:
+            raise IndexError(f"no eligible flow for output {output}")
+        flow_id = eligible.popleft()
+        queue = self._flow_queues[flow_id]
+        cell = queue.popleft()
+        if queue:
+            # Still has cells: rotate to the back (round-robin service).
+            eligible.append(flow_id)
+        else:
+            del self._flow_queues[flow_id]
+            del self._flow_output[flow_id]
+        self._total -= 1
+        return cell
+
+    def dequeue_flow(self, flow_id: int) -> Cell:
+        """Remove and return the head cell of a *specific* flow.
+
+        Used by the CBR path, where the frame schedule names the flow to
+        serve in a reserved slot.  Keeps the eligible lists consistent.
+        Raises ``KeyError`` if the flow has no queued cell.
+        """
+        queue = self._flow_queues.get(flow_id)
+        if not queue:
+            raise KeyError(f"flow {flow_id} has no queued cell")
+        output = self._flow_output[flow_id]
+        cell = queue.popleft()
+        if not queue:
+            self._eligible[output].remove(flow_id)
+            del self._flow_queues[flow_id]
+            del self._flow_output[flow_id]
+        self._total -= 1
+        return cell
+
+    def has_flow(self, flow_id: int) -> bool:
+        """True when the flow has at least one queued cell."""
+        return flow_id in self._flow_queues
+
+    def flow_occupancy(self, flow_id: int) -> int:
+        """Queued cells for one flow (0 if none)."""
+        queue = self._flow_queues.get(flow_id)
+        return len(queue) if queue else 0
+
+    def eligible_flows(self, output: int) -> List[int]:
+        """Flow ids currently eligible toward ``output``, in service order."""
+        return list(self._eligible[output])
+
+    def iter_cells(self) -> Iterator[Cell]:
+        """Iterate over all buffered cells (diagnostics/tests only)."""
+        for queue in self._flow_queues.values():
+            yield from queue
+
+
+class FIFOInputBuffer:
+    """Single FIFO queue per input: only the head cell is eligible.
+
+    This is the baseline of Section 2.4, which suffers head-of-line
+    blocking (Figure 1, Karol's 58% limit).
+    """
+
+    def __init__(self) -> None:
+        self._queue: Deque[Cell] = deque()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def enqueue(self, cell: Cell) -> None:
+        """Append an arriving cell."""
+        self._queue.append(cell)
+
+    def head(self) -> Optional[Cell]:
+        """The only cell eligible for transmission (None when empty)."""
+        return self._queue[0] if self._queue else None
+
+    def pop(self) -> Cell:
+        """Remove and return the head cell."""
+        if not self._queue:
+            raise IndexError("pop from empty FIFO input buffer")
+        return self._queue.popleft()
+
+    def head_window(self, k: int) -> List[Cell]:
+        """First ``k`` queued cells (for windowed-FIFO variants, §2.4)."""
+        if k <= 0:
+            raise ValueError("window must be positive")
+        return [self._queue[i] for i in range(min(k, len(self._queue)))]
+
+    def pop_at(self, position: int) -> Cell:
+        """Remove and return the cell at a queue position.
+
+        Windowed-FIFO hardware (Section 2.4) can extract any of the
+        first w cells; positions beyond the queue raise ``IndexError``.
+        """
+        if not 0 <= position < len(self._queue):
+            raise IndexError(f"no cell at position {position}")
+        cell = self._queue[position]
+        del self._queue[position]
+        return cell
+
+
+class OutputQueue:
+    """FIFO queue at an output port; one cell departs per slot.
+
+    Backs the perfect-output-queueing baseline (Section 2.4), where the
+    fabric is assumed able to deliver any number of simultaneous
+    arrivals to the same output and cells then drain at link rate.
+    """
+
+    def __init__(self) -> None:
+        self._queue: Deque[Cell] = deque()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def enqueue(self, cell: Cell) -> None:
+        """Accept a cell delivered by the fabric."""
+        self._queue.append(cell)
+
+    def depart(self) -> Optional[Cell]:
+        """Send one cell out the link (None when idle)."""
+        return self._queue.popleft() if self._queue else None

@@ -1,0 +1,144 @@
+"""Fixed-length cells.
+
+The network transports data in fixed-length ATM-style cells (Section
+2.3): 53 bytes, of which 5 are header.  The header carries a flow
+identifier; each switch looks the flow up in its routing table to find
+the output port.  The paper notes a 128-byte cell with an 8-byte header
+would have simplified the implementation; both formats are modelled by
+:class:`CellFormat`.
+
+For simulation purposes a :class:`Cell` carries its flow id, its output
+port *at the current switch* (resolved from the routing table when it
+arrives), a per-flow sequence number (used to verify the switch never
+reorders a flow, Section 3.1), and timestamps for delay accounting.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = ["ServiceClass", "CellFormat", "ATM_CELL", "WIDE_CELL", "Cell"]
+
+
+class ServiceClass(enum.Enum):
+    """Traffic class carried in the cell header's flow identifier.
+
+    The paper distinguishes *constant bit rate* (CBR) traffic, which has
+    reserved bandwidth and pre-scheduled slots, from *variable bit rate*
+    (VBR) datagram traffic scheduled by parallel iterative matching
+    (Section 4).
+    """
+
+    VBR = "vbr"
+    CBR = "cbr"
+
+
+@dataclass(frozen=True)
+class CellFormat:
+    """A fixed cell format: total size and header size, in bytes.
+
+    >>> ATM_CELL.payload_bytes
+    48
+    >>> ATM_CELL.header_overhead  # doctest: +ELLIPSIS
+    0.0943...
+    """
+
+    total_bytes: int
+    header_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.header_bytes >= self.total_bytes:
+            raise ValueError(
+                f"header ({self.header_bytes}B) must be smaller than the cell ({self.total_bytes}B)"
+            )
+        if self.header_bytes < 0 or self.total_bytes <= 0:
+            raise ValueError("cell sizes must be positive")
+
+    @property
+    def payload_bytes(self) -> int:
+        """Usable payload bytes per cell."""
+        return self.total_bytes - self.header_bytes
+
+    @property
+    def header_overhead(self) -> float:
+        """Fraction of link bandwidth consumed by headers."""
+        return self.header_bytes / self.total_bytes
+
+    def slot_time_seconds(self, link_bps: float) -> float:
+        """Duration of one cell slot on a link of ``link_bps`` bits/s.
+
+        This is the time budget the scheduler has to compute a matching
+        (Section 3.2: "there is a fixed amount of time to schedule the
+        switch -- the time to receive one cell at link speed").
+        """
+        if link_bps <= 0:
+            raise ValueError(f"link speed must be positive, got {link_bps}")
+        return self.total_bytes * 8 / link_bps
+
+    def cells_for_packet(self, packet_bytes: int) -> int:
+        """Number of cells needed to carry a packet (ceil division).
+
+        Models the sending controller's segmentation of variable-length
+        packets into cells (Section 2.3).
+        """
+        if packet_bytes < 0:
+            raise ValueError("packet size must be non-negative")
+        if packet_bytes == 0:
+            return 1
+        return -(-packet_bytes // self.payload_bytes)
+
+    def fragmentation_overhead(self, packet_bytes: int) -> float:
+        """Fraction of transmitted bytes wasted on headers + padding."""
+        cells = self.cells_for_packet(packet_bytes)
+        transmitted = cells * self.total_bytes
+        return (transmitted - packet_bytes) / transmitted
+
+
+#: Standard ATM cell: 53 bytes with a 5-byte header (what AN2 ships).
+ATM_CELL = CellFormat(total_bytes=53, header_bytes=5)
+
+#: The 128-byte / 8-byte-header format the paper says would have been simpler.
+WIDE_CELL = CellFormat(total_bytes=128, header_bytes=8)
+
+_cell_ids = itertools.count()
+
+
+@dataclass
+class Cell:
+    """One fixed-length cell in flight.
+
+    Attributes
+    ----------
+    flow_id:
+        Identifier of the flow this cell belongs to (carried in the
+        header; the unit of routing and of FIFO ordering).
+    output:
+        Output port at the *current* switch, resolved from the routing
+        table on arrival.  Re-assigned at each hop in multi-switch runs.
+    service:
+        CBR or VBR.
+    seqno:
+        Per-flow sequence number assigned by the source, used to assert
+        the no-reordering guarantee.
+    arrival_slot:
+        Slot in which the cell arrived at the current switch.
+    injected_slot:
+        Slot in which the source injected the cell into the network
+        (for end-to-end latency in multi-switch runs).
+    """
+
+    flow_id: int
+    output: int
+    service: ServiceClass = ServiceClass.VBR
+    seqno: int = 0
+    arrival_slot: int = 0
+    injected_slot: int = 0
+    uid: int = field(default_factory=lambda: next(_cell_ids))
+
+    def __repr__(self) -> str:
+        return (
+            f"Cell(flow={self.flow_id}, out={self.output}, {self.service.value},"
+            f" seq={self.seqno}, arrived={self.arrival_slot})"
+        )

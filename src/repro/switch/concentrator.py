@@ -1,0 +1,103 @@
+"""The 4:1 workstation concentrator (Section 2.1).
+
+"We expect that it will be some time before workstations are able to
+use a full gigabit-per-second link; for AN2, we are designing a
+special concentrator card to connect four workstations, each using a
+slower speed link, to a single AN2 switch port.  A single 16 by 16 AN2
+switch can thus connect up to 64 workstations."
+
+The concentrator multiplexes k tributary links (each running at 1/k of
+the trunk rate, modelled as one tributary cell per k trunk slots) onto
+one switch port, and demultiplexes the reverse direction.  Upstream
+contention among tributaries that have cells ready is resolved
+round-robin, so each workstation gets at least its 1/k share and can
+opportunistically use idle siblings' slots.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.switch.cell import Cell
+
+__all__ = ["Concentrator"]
+
+
+class Concentrator:
+    """Multiplexes ``tributaries`` slow links onto one switch port.
+
+    Parameters
+    ----------
+    tributaries:
+        Number of workstation links sharing the port (AN2: 4).
+    rate_limited:
+        When True each tributary may *offer* at most one cell per
+        ``tributaries`` trunk slots (the physical slow link); when
+        False tributaries are only limited by trunk contention
+        (useful for stress tests).
+    """
+
+    def __init__(self, tributaries: int, rate_limited: bool = True):
+        if tributaries < 1:
+            raise ValueError(f"tributaries must be >= 1, got {tributaries}")
+        self.tributaries = tributaries
+        self.rate_limited = rate_limited
+        self._upstream: List[Deque[Cell]] = [deque() for _ in range(tributaries)]
+        self._downstream: List[Deque[Cell]] = [deque() for _ in range(tributaries)]
+        self._next_offer_slot = [0] * tributaries
+        self._cursor = 0
+
+    def offer(self, tributary: int, cell: Cell, slot: int) -> None:
+        """A workstation hands a cell to its tributary link.
+
+        With rate limiting on, offers faster than the tributary link
+        rate queue at the workstation side of the link.
+        """
+        if not 0 <= tributary < self.tributaries:
+            raise ValueError(f"tributary {tributary} out of range")
+        self._upstream[tributary].append(cell)
+
+    def multiplex(self, slot: int) -> Optional[Cell]:
+        """The cell the concentrator puts on the trunk this slot.
+
+        Round-robin among tributaries that are eligible: non-empty,
+        and (if rate limited) whose link has finished clocking in the
+        previous cell.
+        """
+        for offset in range(self.tributaries):
+            tributary = (self._cursor + offset) % self.tributaries
+            queue = self._upstream[tributary]
+            if not queue:
+                continue
+            if self.rate_limited and slot < self._next_offer_slot[tributary]:
+                continue
+            self._cursor = (tributary + 1) % self.tributaries
+            self._next_offer_slot[tributary] = slot + self.tributaries
+            return queue.popleft()
+        return None
+
+    def demultiplex(self, cell: Cell, tributary: int) -> None:
+        """Deliver a trunk cell toward a workstation's slow link."""
+        if not 0 <= tributary < self.tributaries:
+            raise ValueError(f"tributary {tributary} out of range")
+        self._downstream[tributary].append(cell)
+
+    def drain(self, tributary: int, slot: int) -> Optional[Cell]:
+        """The cell crossing the tributary's downstream link this slot.
+
+        The slow link delivers at 1/k trunk rate: one cell every
+        ``tributaries`` slots per tributary.
+        """
+        if slot % self.tributaries != tributary % self.tributaries:
+            return None
+        queue = self._downstream[tributary]
+        return queue.popleft() if queue else None
+
+    def upstream_backlog(self, tributary: int) -> int:
+        """Cells waiting at a workstation's side of its link."""
+        return len(self._upstream[tributary])
+
+    def downstream_backlog(self, tributary: int) -> int:
+        """Cells waiting to cross a tributary's downstream link."""
+        return len(self._downstream[tributary])

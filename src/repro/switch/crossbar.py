@@ -1,0 +1,87 @@
+"""The crossbar fabric.
+
+The AN2 prototype forwards cells over an N x N crossbar "because it is
+simpler and has lower latency" than a batcher-banyan (Section 2.2).  A
+crossbar is internally non-blocking: any set of cells may cross
+simultaneously provided no two share an input or an output -- exactly
+the matching constraint the scheduler enforces.
+
+The class models configuration (setting the crosspoints from a
+matching) and transfer, and counts crosspoints for the O(N^2) hardware
+cost discussion fed into :mod:`repro.hardware.cost`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.switch.cell import Cell
+
+__all__ = ["Crossbar"]
+
+
+class Crossbar:
+    """An N x N non-blocking crossbar.
+
+    Usage per slot: :meth:`configure` with the slot's matching, then
+    :meth:`transfer` with the cells selected at each matched input.
+
+    >>> xbar = Crossbar(4)
+    >>> xbar.configure([(0, 2), (1, 0)])
+    >>> xbar.crosspoints
+    16
+    """
+
+    def __init__(self, ports: int):
+        if ports <= 0:
+            raise ValueError(f"ports must be positive, got {ports}")
+        self.ports = ports
+        self._config: Dict[int, int] = {}
+        self.slots_configured = 0
+
+    @property
+    def crosspoints(self) -> int:
+        """Number of crosspoints -- the O(N^2) hardware term."""
+        return self.ports * self.ports
+
+    def configure(self, pairs: Sequence[Tuple[int, int]]) -> None:
+        """Set the crosspoints for one slot.
+
+        Raises ``ValueError`` on a conflicting configuration (two pairs
+        sharing an input or output) or out-of-range ports -- a scheduler
+        bug, not a traffic condition.
+        """
+        config: Dict[int, int] = {}
+        seen_outputs = set()
+        for i, j in pairs:
+            if not (0 <= i < self.ports and 0 <= j < self.ports):
+                raise ValueError(f"pair ({i}, {j}) out of range for {self.ports} ports")
+            if i in config:
+                raise ValueError(f"input {i} configured twice")
+            if j in seen_outputs:
+                raise ValueError(f"output {j} configured twice")
+            config[i] = j
+            seen_outputs.add(j)
+        self._config = config
+        self.slots_configured += 1
+
+    def transfer(self, cells: Dict[int, Cell]) -> Dict[int, Cell]:
+        """Move cells through the configured crosspoints.
+
+        ``cells`` maps input port to the cell to send.  Every input with
+        a cell must be configured, and each cell's ``output`` must agree
+        with the configuration (the scheduler chose the cell).  Returns
+        a map from output port to delivered cell.
+        """
+        delivered: Dict[int, Cell] = {}
+        for i, cell in cells.items():
+            if i not in self._config:
+                raise ValueError(f"input {i} offered a cell but is not configured")
+            j = self._config[i]
+            if cell.output != j:
+                raise ValueError(
+                    f"cell at input {i} is destined for output {cell.output}, "
+                    f"but the crossbar is configured to output {j}"
+                )
+            delivered[j] = cell
+        return delivered

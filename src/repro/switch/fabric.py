@@ -1,0 +1,140 @@
+"""Fabric abstraction: crossbar and batcher-banyan data paths.
+
+Section 2.2: "Our scheduling algorithm assumes that data can be
+forwarded through the switch with no internal blocking; this can be
+implemented using either a crossbar or a batcher-banyan network."  This
+module makes that claim concrete: both fabrics expose the same
+``transfer`` interface and both deliver every scheduled cell, so the
+switch model runs identically on either.
+
+:class:`ReplicatedBanyanFabric` models the k-replicated banyan of
+Sections 2.4/3.1 that can deliver up to k cells per output per slot
+(pairing with PIM's ``output_capacity=k`` generalization).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Protocol, Sequence, Tuple, runtime_checkable
+
+from repro.switch.banyan import BanyanNetwork
+from repro.switch.batcher import batcher_sort
+from repro.switch.cell import Cell
+from repro.switch.crossbar import Crossbar
+
+__all__ = ["Fabric", "CrossbarFabric", "BatcherBanyanFabric", "ReplicatedBanyanFabric"]
+
+
+@runtime_checkable
+class Fabric(Protocol):
+    """A switch data path: moves one slot's scheduled cells to outputs."""
+
+    ports: int
+
+    def transfer(self, cells: Sequence[Tuple[int, Cell]]) -> Dict[int, List[Cell]]:
+        """Move ``(input, cell)`` pairs; return cells per output port."""
+
+
+class CrossbarFabric:
+    """Crossbar data path (the AN2 choice): non-blocking by construction."""
+
+    def __init__(self, ports: int):
+        self.ports = ports
+        self._crossbar = Crossbar(ports)
+
+    def transfer(self, cells: Sequence[Tuple[int, Cell]]) -> Dict[int, List[Cell]]:
+        """Configure the crossbar from the cells' outputs and transfer."""
+        pairs = [(i, cell.output) for i, cell in cells]
+        self._crossbar.configure(pairs)
+        delivered = self._crossbar.transfer(dict(cells))
+        return {j: [cell] for j, cell in delivered.items()}
+
+
+class BatcherBanyanFabric:
+    """Batcher sorter + perfect shuffle onto a banyan network.
+
+    Cells are sorted by destination (idle lines carry +inf keys and sink
+    to the bottom), concentrating active cells at the top in destination
+    order -- the precondition under which the banyan is internally
+    non-blocking.  A scheduled transfer (distinct outputs, from the
+    matching) therefore never loses a cell; the fabric raises if it ever
+    observes internal blocking, since that would be a scheduler bug.
+    """
+
+    def __init__(self, ports: int):
+        self._banyan = BanyanNetwork(ports)
+        self.ports = ports
+
+    def transfer(self, cells: Sequence[Tuple[int, Cell]]) -> Dict[int, List[Cell]]:
+        """Sort by destination, then self-route through the banyan."""
+        seen_outputs = set()
+        for _, cell in cells:
+            if cell.output in seen_outputs:
+                raise ValueError(f"two scheduled cells for output {cell.output}")
+            seen_outputs.add(cell.output)
+        keys = [float("inf")] * self.ports
+        payloads: Dict[int, Cell] = {}
+        for i, cell in cells:
+            if keys[i] != float("inf"):
+                raise ValueError(f"two scheduled cells at input {i}")
+            keys[i] = float(cell.output)
+            payloads[i] = cell
+        _, perm = batcher_sort(keys)
+        routed = []
+        for line, source in enumerate(perm):
+            if source in payloads:
+                cell = payloads[int(source)]
+                routed.append((line, cell.output, cell))
+        result = self._banyan.route(routed)
+        if result.blocking_occurred:
+            raise AssertionError(
+                "internal blocking on a conflict-free schedule -- fabric bug"
+            )
+        return {j: [cell] for j, cell in result.delivered.items()}
+
+
+class ReplicatedBanyanFabric:
+    """k parallel banyan copies: up to k cells per output per slot.
+
+    Section 2.4's throughput-expansion technique.  Cells are partitioned
+    across copies so that each copy carries at most one cell per output;
+    within a copy, the batcher-banyan discipline applies.  Requires
+    output buffering downstream (the switch model provides it when
+    constructed with ``speedup=k``).
+    """
+
+    def __init__(self, ports: int, copies: int):
+        if copies < 1:
+            raise ValueError(f"copies must be >= 1, got {copies}")
+        self.ports = ports
+        self.copies = copies
+        self._planes = [BatcherBanyanFabric(ports) for _ in range(copies)]
+
+    def transfer(self, cells: Sequence[Tuple[int, Cell]]) -> Dict[int, List[Cell]]:
+        """Spread cells over the banyan copies and merge deliveries."""
+        per_plane: List[List[Tuple[int, Cell]]] = [[] for _ in range(self.copies)]
+        output_use: Dict[int, int] = {}
+        input_use: Dict[int, int] = {}
+        for i, cell in cells:
+            plane = output_use.get(cell.output, 0)
+            if plane >= self.copies:
+                raise ValueError(
+                    f"more than {self.copies} cells scheduled for output {cell.output}"
+                )
+            if input_use.get(i, 0) >= 1:
+                raise ValueError(f"two scheduled cells at input {i}")
+            # A plane carries at most one cell per input as well; place
+            # the cell on the first plane free at both its input & output.
+            while plane < self.copies and any(pi == i for pi, _ in per_plane[plane]):
+                plane += 1
+            if plane >= self.copies:
+                raise ValueError(f"cannot place cell from input {i} on any plane")
+            per_plane[plane].append((i, cell))
+            output_use[cell.output] = plane + 1
+            input_use[i] = 1
+        merged: Dict[int, List[Cell]] = {}
+        for plane, plane_cells in zip(self._planes, per_plane):
+            if not plane_cells:
+                continue
+            for j, delivered in plane.transfer(plane_cells).items():
+                merged.setdefault(j, []).extend(delivered)
+        return merged

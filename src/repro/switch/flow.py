@@ -1,0 +1,59 @@
+"""Flow descriptors.
+
+Routing in the AN2 network is based on *flows*: a flow is a stream of
+cells between a pair of hosts, identified by the flow id in each cell
+header (Section 2).  All cells of a flow take the same path, and each
+switch keeps a per-flow FIFO queue so cells within a flow are never
+reordered even though the scheduler may reorder cells *across* flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.switch.cell import ServiceClass
+
+__all__ = ["Flow"]
+
+
+@dataclass(frozen=True)
+class Flow:
+    """A unidirectional stream of cells between two hosts.
+
+    At a single switch only the (input port, output port) pair matters;
+    in the network simulator a flow also records its source/destination
+    hosts and its path.
+
+    Attributes
+    ----------
+    flow_id:
+        Globally unique identifier carried in cell headers.
+    src:
+        Source host (or input-port) identifier.
+    dst:
+        Destination host (or output-port) identifier.
+    service:
+        CBR flows have a bandwidth reservation; VBR flows do not.
+    cells_per_frame:
+        For CBR flows, the reservation in cells per frame (Section 4).
+        Zero for VBR flows.
+    """
+
+    flow_id: int
+    src: int
+    dst: int
+    service: ServiceClass = ServiceClass.VBR
+    cells_per_frame: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cells_per_frame < 0:
+            raise ValueError("cells_per_frame must be non-negative")
+        if self.service is ServiceClass.VBR and self.cells_per_frame:
+            raise ValueError("VBR flows cannot carry a reservation")
+        if self.service is ServiceClass.CBR and self.cells_per_frame == 0:
+            raise ValueError("CBR flows need a positive cells_per_frame reservation")
+
+    @property
+    def is_cbr(self) -> bool:
+        """True when this flow holds a bandwidth reservation."""
+        return self.service is ServiceClass.CBR

@@ -1,0 +1,78 @@
+"""Result records shared by the switch models.
+
+Both the input-buffered switch models and the output-queued baseline
+return a :class:`SwitchResult`, so the Figure 3/4/5 benches can sweep
+algorithms uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.sim.stats import DelayStats, ThroughputCounter
+
+__all__ = ["SwitchResult"]
+
+
+@dataclass
+class SwitchResult:
+    """Outcome of a single-switch simulation run.
+
+    Attributes
+    ----------
+    delay:
+        Per-cell queueing delay statistics (post-warm-up), in slots.
+    counter:
+        Offered/carried cell accounting (post-warm-up).
+    ports:
+        Switch size N.
+    slots:
+        Total slots simulated (including warm-up).
+    connection_cells:
+        Carried cells per (input, output) connection, post-warm-up --
+        feeds the Figure 8 fairness analysis.
+    backlog:
+        Cells still buffered when the run ended; with a no-loss switch
+        this plus carried equals offered over the whole run.
+    dropped:
+        Cells dropped (always 0 for the AN2-style switch; non-zero only
+        for lossy baselines such as the k-replicated output switch with
+        finite output speedup admission).
+    """
+
+    delay: DelayStats
+    counter: ThroughputCounter
+    ports: int
+    slots: int
+    connection_cells: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    backlog: int = 0
+    dropped: int = 0
+
+    @property
+    def mean_delay(self) -> float:
+        """Mean queueing delay in cell slots."""
+        return self.delay.mean
+
+    @property
+    def throughput(self) -> float:
+        """Carried cells per slot per port (per-link utilization)."""
+        return self.counter.carried_per_slot(self.ports)
+
+    @property
+    def offered(self) -> float:
+        """Offered cells per slot per port."""
+        return self.counter.offered_per_slot(self.ports)
+
+    @property
+    def aggregate_throughput(self) -> float:
+        """Carried cells per slot across the whole switch."""
+        return self.counter.carried_per_slot(1)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.ports}x{self.ports} switch, {self.slots} slots: "
+            f"offered {self.offered:.3f}, carried {self.throughput:.3f} per link, "
+            f"mean delay {self.mean_delay:.2f} slots, backlog {self.backlog}"
+        )

@@ -1,0 +1,302 @@
+"""Slot-clocked single-switch models.
+
+:class:`CrossbarSwitch` is the AN2 model: random-access (per-flow VOQ)
+input buffers, a pluggable matching scheduler (PIM, iSLIP, wavefront,
+maximum matching, statistical matching), and a non-blocking fabric.  It
+never drops a cell and never reorders a flow.
+
+:class:`FIFOSwitch` is the Section 2.4 baseline: one FIFO per input,
+only head cells contend, head-of-line blocking and all.
+
+Timing convention (uniform across all models so the Figure 3/4/5 curves
+are comparable): arrivals land at the start of a slot, the scheduler
+then computes the matching from the post-arrival queue state, matched
+cells cross the fabric and depart at the end of the same slot.  A cell
+that arrives and is immediately scheduled thus has queueing delay 0.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
+
+import numpy as np
+
+from repro.core.matching import Matching
+from repro.sim.stats import DelayStats, ThroughputCounter
+from repro.switch.buffers import FIFOInputBuffer, OutputQueue, VOQBuffer
+from repro.switch.cell import Cell
+from repro.switch.fabric import CrossbarFabric, Fabric
+from repro.switch.results import SwitchResult
+
+__all__ = ["MatchScheduler", "TrafficSource", "CrossbarSwitch", "FIFOSwitch", "SwitchResult"]
+
+
+@runtime_checkable
+class MatchScheduler(Protocol):
+    """Anything that maps a request matrix to a matching, once per slot."""
+
+    def schedule(self, requests: np.ndarray) -> Matching:
+        """Return the matching for this slot."""
+
+    def reset(self) -> None:
+        """Clear cross-slot state before a fresh run."""
+
+
+@runtime_checkable
+class TrafficSource(Protocol):
+    """A single-switch arrival process."""
+
+    ports: int
+
+    def arrivals(self, slot: int) -> List[Tuple[int, Cell]]:
+        """Cells arriving in ``slot`` as (input_port, cell) pairs."""
+
+
+class _OrderChecker:
+    """Asserts per-flow FIFO order at departure (Section 3.1 guarantee)."""
+
+    def __init__(self) -> None:
+        self._last_seqno: Dict[int, int] = {}
+        self.violations = 0
+
+    def observe(self, cell: Cell) -> None:
+        last = self._last_seqno.get(cell.flow_id)
+        if last is not None and cell.seqno <= last:
+            self.violations += 1
+        self._last_seqno[cell.flow_id] = cell.seqno
+
+
+class CrossbarSwitch:
+    """Input-buffered switch with random-access buffers (the AN2 model).
+
+    Parameters
+    ----------
+    ports:
+        Switch size N.
+    scheduler:
+        A :class:`MatchScheduler`; typically
+        :class:`repro.core.pim.PIMScheduler`.
+    fabric:
+        Data path; defaults to a crossbar.  Any non-blocking
+        :class:`repro.switch.fabric.Fabric` works (Section 2.2).
+    speedup:
+        Cells the fabric may deliver per output per slot (Section 2.4's
+        k-replication).  With ``speedup > 1`` cells pass through output
+        queues and depart at one per slot; the scheduler must be
+        configured with a matching ``output_capacity``.
+
+    Examples
+    --------
+    >>> from repro.core.pim import PIMScheduler
+    >>> from repro.traffic.uniform import UniformTraffic
+    >>> switch = CrossbarSwitch(4, PIMScheduler(seed=0))
+    >>> result = switch.run(UniformTraffic(4, load=0.5, seed=1), slots=500)
+    >>> result.dropped
+    0
+    """
+
+    def __init__(
+        self,
+        ports: int,
+        scheduler: MatchScheduler,
+        fabric: Optional[Fabric] = None,
+        speedup: int = 1,
+    ):
+        if ports <= 0:
+            raise ValueError(f"ports must be positive, got {ports}")
+        if speedup < 1:
+            raise ValueError(f"speedup must be >= 1, got {speedup}")
+        self.ports = ports
+        self.scheduler = scheduler
+        self.fabric = fabric if fabric is not None else CrossbarFabric(ports)
+        if self.fabric.ports != ports:
+            raise ValueError("fabric size does not match switch size")
+        self.speedup = speedup
+        self.buffers = [VOQBuffer(ports) for _ in range(ports)]
+        self.output_queues = [OutputQueue() for _ in range(ports)] if speedup > 1 else None
+
+    def request_matrix(self) -> np.ndarray:
+        """Boolean N x N occupancy snapshot the scheduler sees."""
+        matrix = np.zeros((self.ports, self.ports), dtype=bool)
+        for i, buffer in enumerate(self.buffers):
+            matrix[i] = buffer.request_vector()
+        return matrix
+
+    def occupancy_matrix(self) -> np.ndarray:
+        """Queued-cell counts per (input, output) VOQ.
+
+        Supplied to schedulers that declare ``needs_occupancy`` (e.g.
+        :class:`repro.core.lqf.LQFScheduler`); the AN2 schedulers use
+        only the boolean request matrix.
+        """
+        matrix = np.zeros((self.ports, self.ports), dtype=np.int64)
+        for i, buffer in enumerate(self.buffers):
+            for j in range(self.ports):
+                matrix[i, j] = buffer.occupancy_for(j)
+        return matrix
+
+    def step(self, slot: int, arrivals: Sequence[Tuple[int, Cell]]) -> List[Cell]:
+        """Advance one slot; returns the cells that departed.
+
+        Arrivals are enqueued first, so a cell can be scheduled in its
+        arrival slot (delay 0).  With ``speedup == 1`` the fabric
+        delivers straight onto the output links; with ``speedup > 1``
+        delivered cells enter output queues and one per output departs.
+        """
+        for input_port, cell in arrivals:
+            if not 0 <= input_port < self.ports:
+                raise ValueError(f"arrival at invalid input {input_port}")
+            cell.arrival_slot = slot
+            self.buffers[input_port].enqueue(cell)
+
+        if getattr(self.scheduler, "needs_occupancy", False):
+            matching = self.scheduler.schedule(
+                self.request_matrix(), self.occupancy_matrix()
+            )
+        else:
+            matching = self.scheduler.schedule(self.request_matrix())
+        selected: List[Tuple[int, Cell]] = []
+        for i, j in matching:
+            # The scheduler may only match requested pairs; dequeue
+            # raises if it matched an empty VOQ.
+            selected.append((i, self.buffers[i].dequeue(j)))
+        delivered = self.fabric.transfer(selected)
+
+        if self.output_queues is None:
+            return [cells[0] for cells in delivered.values()]
+        departures: List[Cell] = []
+        for j, queue in enumerate(self.output_queues):
+            for cell in delivered.get(j, []):
+                queue.enqueue(cell)
+            departed = queue.depart()
+            if departed is not None:
+                departures.append(departed)
+        return departures
+
+    def backlog(self) -> int:
+        """Cells currently buffered anywhere in the switch."""
+        total = sum(len(b) for b in self.buffers)
+        if self.output_queues is not None:
+            total += sum(len(q) for q in self.output_queues)
+        return total
+
+    def run(self, traffic: TrafficSource, slots: int, warmup: int = 0) -> SwitchResult:
+        """Simulate ``slots`` slots of ``traffic`` and collect statistics.
+
+        Observations from cells arriving before ``warmup`` are
+        discarded, per the paper's transient elimination.  Raises
+        ``ValueError`` if the traffic source's port count mismatches.
+        """
+        if traffic.ports != self.ports:
+            raise ValueError(
+                f"traffic is for {traffic.ports} ports, switch has {self.ports}"
+            )
+        self.scheduler.reset()
+        delay = DelayStats(warmup=warmup)
+        counter = ThroughputCounter(warmup=warmup)
+        connection: Dict[Tuple[int, int], int] = {}
+        order = _OrderChecker()
+        input_of_cell: Dict[int, int] = {}
+
+        for slot in range(slots):
+            arrivals = traffic.arrivals(slot)
+            counter.record_arrival(slot, len(arrivals))
+            for input_port, cell in arrivals:
+                input_of_cell[cell.uid] = input_port
+            departures = self.step(slot, arrivals)
+            counter.record_departure(slot, len(departures))
+            for cell in departures:
+                delay.record(cell.arrival_slot, slot)
+                order.observe(cell)
+                src = input_of_cell.pop(cell.uid, None)
+                if src is not None and cell.arrival_slot >= warmup:
+                    key = (src, cell.output)
+                    connection[key] = connection.get(key, 0) + 1
+
+        if order.violations:
+            raise AssertionError(
+                f"{order.violations} per-flow order violations -- switch bug"
+            )
+        return SwitchResult(
+            delay=delay,
+            counter=counter,
+            ports=self.ports,
+            slots=slots,
+            connection_cells=connection,
+            backlog=self.backlog(),
+            dropped=0,
+        )
+
+
+class FIFOSwitch:
+    """FIFO-input-buffered switch baseline (Section 2.4).
+
+    One FIFO per input; only head cells contend for outputs.  Output
+    contention is resolved by the supplied
+    :class:`repro.core.fifo.FIFOScheduler` (random or rotating
+    priority).  Exhibits head-of-line blocking (Karol's 58.6% uniform
+    saturation) and stationary blocking under periodic traffic
+    (Figure 1).
+    """
+
+    def __init__(self, ports: int, scheduler: "HeadArbiter"):
+        if ports <= 0:
+            raise ValueError(f"ports must be positive, got {ports}")
+        self.ports = ports
+        self.scheduler = scheduler
+        self.buffers = [FIFOInputBuffer() for _ in range(ports)]
+        self.fabric = CrossbarFabric(ports)
+
+    def step(self, slot: int, arrivals: Sequence[Tuple[int, Cell]]) -> List[Cell]:
+        """Advance one slot; returns departed cells."""
+        for input_port, cell in arrivals:
+            cell.arrival_slot = slot
+            self.buffers[input_port].enqueue(cell)
+        heads = np.full(self.ports, -1, dtype=np.int64)
+        for i, buffer in enumerate(self.buffers):
+            head = buffer.head()
+            if head is not None:
+                heads[i] = head.output
+        matching = self.scheduler.arbitrate(heads)
+        selected = [(i, self.buffers[i].pop()) for i, _ in matching]
+        delivered = self.fabric.transfer(selected)
+        return [cells[0] for cells in delivered.values()]
+
+    def backlog(self) -> int:
+        """Cells currently buffered at the inputs."""
+        return sum(len(b) for b in self.buffers)
+
+    def run(self, traffic: TrafficSource, slots: int, warmup: int = 0) -> SwitchResult:
+        """Simulate and collect statistics; mirrors CrossbarSwitch.run."""
+        if traffic.ports != self.ports:
+            raise ValueError(
+                f"traffic is for {traffic.ports} ports, switch has {self.ports}"
+            )
+        self.scheduler.reset()
+        delay = DelayStats(warmup=warmup)
+        counter = ThroughputCounter(warmup=warmup)
+        for slot in range(slots):
+            arrivals = traffic.arrivals(slot)
+            counter.record_arrival(slot, len(arrivals))
+            departures = self.step(slot, arrivals)
+            counter.record_departure(slot, len(departures))
+            for cell in departures:
+                delay.record(cell.arrival_slot, slot)
+        return SwitchResult(
+            delay=delay,
+            counter=counter,
+            ports=self.ports,
+            slots=slots,
+            backlog=self.backlog(),
+            dropped=0,
+        )
+
+
+class HeadArbiter(Protocol):
+    """Resolves output contention among FIFO head cells."""
+
+    def arbitrate(self, head_destinations: np.ndarray) -> Matching:
+        """Given each input's head-cell destination (-1 = empty), match."""
+
+    def reset(self) -> None:
+        """Clear cross-slot state."""

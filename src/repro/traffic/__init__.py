@@ -1,0 +1,35 @@
+"""Workload generators for the paper's experiments.
+
+Each generator implements the
+:class:`repro.switch.switch.TrafficSource` protocol -- ``ports`` plus
+``arrivals(slot)`` -- and assigns cells to per-(input, output) flows so
+the switch's per-flow FIFO machinery is exercised:
+
+- :mod:`repro.traffic.uniform` -- Bernoulli i.i.d. arrivals, uniform
+  destinations (Figures 3 and 5, Table 1's request statistics),
+- :mod:`repro.traffic.clientserver` -- the 4-servers-of-16 hot-spot
+  workload of Figure 4,
+- :mod:`repro.traffic.periodic` -- Li's periodic pattern that induces
+  stationary blocking in FIFO switches (Figure 1),
+- :mod:`repro.traffic.bursty` -- on/off markov-modulated bursts,
+- :mod:`repro.traffic.cbr_source` -- reserved cells-per-frame sources
+  for the Section 4 guarantees,
+- :mod:`repro.traffic.trace` -- record/replay of any other source.
+"""
+
+from repro.traffic.uniform import UniformTraffic
+from repro.traffic.clientserver import ClientServerTraffic
+from repro.traffic.periodic import PeriodicTraffic
+from repro.traffic.bursty import BurstyTraffic
+from repro.traffic.cbr_source import CBRSource
+from repro.traffic.trace import TraceRecorder, TraceTraffic
+
+__all__ = [
+    "UniformTraffic",
+    "ClientServerTraffic",
+    "PeriodicTraffic",
+    "BurstyTraffic",
+    "CBRSource",
+    "TraceRecorder",
+    "TraceTraffic",
+]

@@ -1,0 +1,112 @@
+"""On/off bursty traffic.
+
+Section 2.4 motivates random-access buffering with bursty patterns:
+"if several input ports each receive a burst of cells for the same
+output, cells that arrive later for other outputs will be delayed
+while the burst cells are forwarded sequentially through the
+bottleneck link."  LAN traffic is rarely uniform (the paper cites the
+Owicki & Karlin AN1 measurements), so the delay benches also sweep this
+markov-modulated on/off source.
+
+Each input alternates between ON periods -- every slot carries a cell,
+all cells of one burst share a single destination (geometric length,
+mean ``burst_length``) -- and OFF periods sized so the long-run offered
+load equals ``load``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.switch.cell import Cell, ServiceClass
+
+__all__ = ["BurstyTraffic"]
+
+
+class BurstyTraffic:
+    """Markov-modulated on/off arrivals with per-burst destinations.
+
+    Parameters
+    ----------
+    ports:
+        Switch size N.
+    load:
+        Long-run offered load per input link in [0, 1).
+    burst_length:
+        Mean ON-period length in cells (geometric); must be >= 1.
+    seed:
+        Seed for the modulation and destination draws.
+
+    With mean ON length B and load rho, the mean OFF length is
+    B (1 - rho) / rho, giving on-fraction rho.
+    """
+
+    def __init__(
+        self,
+        ports: int,
+        load: float,
+        burst_length: float = 10.0,
+        seed: Optional[int] = None,
+    ):
+        if ports <= 0:
+            raise ValueError(f"ports must be positive, got {ports}")
+        if not 0.0 <= load < 1.0:
+            raise ValueError(f"load must be in [0, 1), got {load}")
+        if burst_length < 1.0:
+            raise ValueError(f"burst_length must be >= 1, got {burst_length}")
+        self.ports = ports
+        self.load = load
+        self.burst_length = burst_length
+        self._rng = np.random.default_rng(seed)
+        self._p_end_on = 1.0 / burst_length
+        if load > 0:
+            mean_off = burst_length * (1.0 - load) / load
+            self._p_end_off = 1.0 / mean_off if mean_off > 0 else 1.0
+        else:
+            self._p_end_off = 0.0
+        self._on = np.zeros(ports, dtype=bool)
+        self._burst_dest = np.zeros(ports, dtype=np.int64)
+        self._seqno: Dict[int, int] = {}
+
+    def _next_seqno(self, flow_id: int) -> int:
+        seq = self._seqno.get(flow_id, 0)
+        self._seqno[flow_id] = seq + 1
+        return seq
+
+    def arrivals(self, slot: int) -> List[Tuple[int, Cell]]:
+        """Cells arriving in ``slot`` as (input, cell) pairs."""
+        if self.load == 0.0:
+            return []
+        cells: List[Tuple[int, Cell]] = []
+        for i in range(self.ports):
+            if self._on[i]:
+                if self._rng.random() < self._p_end_on:
+                    self._on[i] = False
+            elif self._rng.random() < self._p_end_off:
+                self._on[i] = True
+                self._burst_dest[i] = self._rng.integers(self.ports)
+            if not self._on[i]:
+                continue
+            j = int(self._burst_dest[i])
+            flow_id = i * self.ports + j
+            cells.append(
+                (
+                    i,
+                    Cell(
+                        flow_id=flow_id,
+                        output=j,
+                        service=ServiceClass.VBR,
+                        seqno=self._next_seqno(flow_id),
+                        injected_slot=slot,
+                    ),
+                )
+            )
+        return cells
+
+    def __repr__(self) -> str:
+        return (
+            f"BurstyTraffic(ports={self.ports}, load={self.load}, "
+            f"burst_length={self.burst_length})"
+        )

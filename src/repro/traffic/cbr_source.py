@@ -1,0 +1,114 @@
+"""Constant-bit-rate sources honouring frame reservations (Section 4).
+
+A CBR flow reserves ``cells_per_frame`` slots per frame and may then
+"transmit cells at a rate up to its requested bandwidth".  This source
+emits exactly the reserved number of cells per frame, evenly spaced
+(optionally jittered within the frame), which is the admissible worst
+case for the Section 4 buffer/latency bounds: a conforming application
+never exceeds its reservation over any frame.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.switch.cell import Cell, ServiceClass
+from repro.switch.flow import Flow
+
+__all__ = ["CBRSource"]
+
+
+class CBRSource:
+    """Arrival process for a set of CBR flows at one switch.
+
+    Parameters
+    ----------
+    ports:
+        Switch size N.
+    flows:
+        CBR :class:`repro.switch.flow.Flow` descriptors; ``src`` is the
+        input port and ``dst`` the output port at this switch.
+    frame_slots:
+        Frame length F in slots; each flow emits ``cells_per_frame``
+        cells per frame (must not exceed F).
+    jitter:
+        When True, each frame's emission slots are drawn uniformly
+        without replacement instead of evenly spaced -- still
+        reservation-conforming, but adversarial for buffering.
+    seed:
+        Seed for the jitter draws.
+    """
+
+    def __init__(
+        self,
+        ports: int,
+        flows: Sequence[Flow],
+        frame_slots: int,
+        jitter: bool = False,
+        seed: Optional[int] = None,
+    ):
+        if frame_slots <= 0:
+            raise ValueError(f"frame_slots must be positive, got {frame_slots}")
+        for flow in flows:
+            if not flow.is_cbr:
+                raise ValueError(f"flow {flow.flow_id} is not CBR")
+            if flow.cells_per_frame > frame_slots:
+                raise ValueError(
+                    f"flow {flow.flow_id} reserves {flow.cells_per_frame} cells "
+                    f"in a {frame_slots}-slot frame"
+                )
+            if not (0 <= flow.src < ports and 0 <= flow.dst < ports):
+                raise ValueError(f"flow {flow.flow_id} ports out of range")
+        self.ports = ports
+        self.flows = list(flows)
+        self.frame_slots = frame_slots
+        self.jitter = jitter
+        self._rng = np.random.default_rng(seed)
+        self._seqno: Dict[int, int] = {}
+        self._emission_slots: Dict[int, set] = {}
+        self._current_frame = -1
+
+    def _plan_frame(self, frame_index: int) -> None:
+        """Choose each flow's emission slots within the new frame."""
+        self._current_frame = frame_index
+        self._emission_slots = {}
+        for flow in self.flows:
+            k = flow.cells_per_frame
+            if self.jitter:
+                slots = self._rng.choice(self.frame_slots, size=k, replace=False)
+            else:
+                slots = (np.arange(k) * self.frame_slots) // k
+            self._emission_slots[flow.flow_id] = set(int(s) for s in slots)
+
+    def arrivals(self, slot: int) -> List[Tuple[int, Cell]]:
+        """Cells arriving in ``slot`` as (input, cell) pairs."""
+        frame_index, offset = divmod(slot, self.frame_slots)
+        if frame_index != self._current_frame:
+            self._plan_frame(frame_index)
+        cells: List[Tuple[int, Cell]] = []
+        for flow in self.flows:
+            if offset not in self._emission_slots[flow.flow_id]:
+                continue
+            seq = self._seqno.get(flow.flow_id, 0)
+            self._seqno[flow.flow_id] = seq + 1
+            cells.append(
+                (
+                    flow.src,
+                    Cell(
+                        flow_id=flow.flow_id,
+                        output=flow.dst,
+                        service=ServiceClass.CBR,
+                        seqno=seq,
+                        injected_slot=slot,
+                    ),
+                )
+            )
+        return cells
+
+    def __repr__(self) -> str:
+        return (
+            f"CBRSource(ports={self.ports}, flows={len(self.flows)}, "
+            f"frame_slots={self.frame_slots}, jitter={self.jitter})"
+        )

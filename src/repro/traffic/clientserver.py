@@ -1,0 +1,138 @@
+"""Client-server hot-spot traffic (Figure 4).
+
+"Four of the sixteen ports were assumed to connect to servers, the
+remainder to clients.  Destinations for arriving cells were randomly
+chosen in such a way that client-client connections carried only 5% of
+the traffic of client-server or server-server connections.  Here
+offered load refers to the load on a server link." (Section 3.5.)
+
+We realise this as a connection-weight matrix W with W[i, j] = 1 when
+i or j is a server, ``client_client_ratio`` (default 0.05) when both
+are clients, and 0 on the diagonal; per-connection arrival rates are
+``c * W`` with the scale c chosen so a server link sees exactly the
+requested ``load``.  The generator validates that no input link is
+driven past capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.switch.cell import Cell, ServiceClass
+
+__all__ = ["ClientServerTraffic"]
+
+
+class ClientServerTraffic:
+    """Hot-spot workload with server ports (Figure 4).
+
+    Parameters
+    ----------
+    ports:
+        Switch size N.
+    load:
+        Offered load **on a server link** (the x-axis of Figure 4).
+    servers:
+        Number of server ports (the first ``servers`` indices) or an
+        explicit sequence of server port indices.  Default 4, per the
+        paper.
+    client_client_ratio:
+        Weight of client-client connections relative to connections
+        touching a server (paper: 0.05).
+    seed:
+        Seed for the arrival stream.
+    """
+
+    def __init__(
+        self,
+        ports: int,
+        load: float,
+        servers: "int | Sequence[int]" = 4,
+        client_client_ratio: float = 0.05,
+        seed: Optional[int] = None,
+    ):
+        if ports <= 1:
+            raise ValueError(f"need at least 2 ports, got {ports}")
+        if not 0.0 <= load <= 1.0:
+            raise ValueError(f"load must be in [0, 1], got {load}")
+        if not 0.0 <= client_client_ratio <= 1.0:
+            raise ValueError(f"ratio must be in [0, 1], got {client_client_ratio}")
+        if isinstance(servers, int):
+            if not 0 < servers < ports:
+                raise ValueError(f"server count must be in 1..{ports - 1}, got {servers}")
+            server_set = set(range(servers))
+        else:
+            server_set = set(servers)
+            if not server_set or not server_set.issubset(range(ports)):
+                raise ValueError(f"invalid server indices: {sorted(server_set)}")
+        self.ports = ports
+        self.load = load
+        self.server_ports = sorted(server_set)
+
+        weights = np.full((ports, ports), client_client_ratio)
+        for s in server_set:
+            weights[s, :] = 1.0
+            weights[:, s] = 1.0
+        np.fill_diagonal(weights, 0.0)
+
+        # Scale so the hottest *server* column carries exactly `load`.
+        server_cols = weights[:, self.server_ports].sum(axis=0)
+        scale = load / server_cols.max()
+        self._rates = weights * scale
+
+        row_loads = self._rates.sum(axis=1)
+        if (row_loads > 1.0 + 1e-9).any():
+            hottest = int(row_loads.argmax())
+            raise ValueError(
+                f"infeasible workload: input {hottest} would need load "
+                f"{row_loads[hottest]:.3f} > 1 to put load {load} on a server link"
+            )
+        self._row_loads = np.minimum(row_loads, 1.0)
+        # Destination distribution per input (rows with zero rate stay zero).
+        self._dest_p = np.zeros_like(self._rates)
+        for i in range(ports):
+            if row_loads[i] > 0:
+                self._dest_p[i] = self._rates[i] / row_loads[i]
+        self._rng = np.random.default_rng(seed)
+        self._seqno: Dict[int, int] = {}
+
+    @property
+    def connection_rates(self) -> np.ndarray:
+        """Per-connection arrival rates (cells per slot)."""
+        return self._rates.copy()
+
+    def _next_seqno(self, flow_id: int) -> int:
+        seq = self._seqno.get(flow_id, 0)
+        self._seqno[flow_id] = seq + 1
+        return seq
+
+    def arrivals(self, slot: int) -> List[Tuple[int, Cell]]:
+        """Cells arriving in ``slot`` as (input, cell) pairs."""
+        cells: List[Tuple[int, Cell]] = []
+        draws = self._rng.random(self.ports)
+        for i in range(self.ports):
+            if draws[i] >= self._row_loads[i]:
+                continue
+            j = int(self._rng.choice(self.ports, p=self._dest_p[i]))
+            flow_id = i * self.ports + j
+            cells.append(
+                (
+                    i,
+                    Cell(
+                        flow_id=flow_id,
+                        output=j,
+                        service=ServiceClass.VBR,
+                        seqno=self._next_seqno(flow_id),
+                        injected_slot=slot,
+                    ),
+                )
+            )
+        return cells
+
+    def __repr__(self) -> str:
+        return (
+            f"ClientServerTraffic(ports={self.ports}, load={self.load}, "
+            f"servers={self.server_ports})"
+        )

@@ -1,0 +1,98 @@
+"""Uniform Bernoulli traffic (Figures 3 and 5).
+
+"Offered load is the probability that a cell arrives (departs) on a
+given link in a given time slot.  The destinations of arriving cells
+are uniformly distributed among the outputs." (Section 3.5.)
+
+Each input independently receives a cell with probability ``load`` per
+slot; the destination is uniform over all outputs (optionally excluding
+the cell's own input, for topologies where a host never sends to
+itself).  Cells are tagged with per-(input, output) flows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.switch.cell import Cell, ServiceClass
+
+__all__ = ["UniformTraffic"]
+
+
+class UniformTraffic:
+    """Bernoulli i.i.d. arrivals with uniform destinations.
+
+    Parameters
+    ----------
+    ports:
+        Switch size N.
+    load:
+        Per-link offered load in [0, 1].
+    seed:
+        Seed for the arrival/destination stream.
+    exclude_self:
+        When True, destinations exclude the arriving input's own index.
+        The paper's Figure 1 example "assumes for simplicity that cells
+        can be sent out the same link they came in on", and the
+        Figure 3 simulations follow the same convention, so the default
+        is False.
+    """
+
+    def __init__(
+        self,
+        ports: int,
+        load: float,
+        seed: Optional[int] = None,
+        exclude_self: bool = False,
+    ):
+        if ports <= 0:
+            raise ValueError(f"ports must be positive, got {ports}")
+        if not 0.0 <= load <= 1.0:
+            raise ValueError(f"load must be in [0, 1], got {load}")
+        if exclude_self and ports < 2:
+            raise ValueError("exclude_self needs at least 2 ports")
+        self.ports = ports
+        self.load = load
+        self.exclude_self = exclude_self
+        self._rng = np.random.default_rng(seed)
+        self._seqno: Dict[int, int] = {}
+
+    def _flow_id(self, input_port: int, output_port: int) -> int:
+        return input_port * self.ports + output_port
+
+    def _next_seqno(self, flow_id: int) -> int:
+        seq = self._seqno.get(flow_id, 0)
+        self._seqno[flow_id] = seq + 1
+        return seq
+
+    def arrivals(self, slot: int) -> List[Tuple[int, Cell]]:
+        """Cells arriving in ``slot`` as (input, cell) pairs."""
+        active = np.nonzero(self._rng.random(self.ports) < self.load)[0]
+        cells: List[Tuple[int, Cell]] = []
+        for i in active:
+            i = int(i)
+            if self.exclude_self:
+                j = int(self._rng.integers(self.ports - 1))
+                if j >= i:
+                    j += 1
+            else:
+                j = int(self._rng.integers(self.ports))
+            flow_id = self._flow_id(i, j)
+            cells.append(
+                (
+                    i,
+                    Cell(
+                        flow_id=flow_id,
+                        output=j,
+                        service=ServiceClass.VBR,
+                        seqno=self._next_seqno(flow_id),
+                        injected_slot=slot,
+                    ),
+                )
+            )
+        return cells
+
+    def __repr__(self) -> str:
+        return f"UniformTraffic(ports={self.ports}, load={self.load})"

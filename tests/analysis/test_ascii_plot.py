@@ -1,0 +1,76 @@
+"""Tests for the ASCII chart helpers."""
+
+import pytest
+
+from repro.analysis.ascii_plot import bar_chart, line_chart
+
+
+class TestLineChart:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one series"):
+            line_chart({})
+        with pytest.raises(ValueError, match="no points"):
+            line_chart({"a": []})
+        with pytest.raises(ValueError, match="at least 8x4"):
+            line_chart({"a": [(0, 0)]}, width=2, height=2)
+
+    def test_contains_markers_and_legend(self):
+        chart = line_chart({"fifo": [(0.2, 1.0), (0.8, 100.0)]})
+        assert "*" in chart
+        assert "fifo" in chart
+
+    def test_multiple_series_distinct_markers(self):
+        chart = line_chart(
+            {"a": [(0, 1), (1, 2)], "b": [(0, 2), (1, 1)]}
+        )
+        assert "* a" in chart and "o b" in chart
+
+    def test_log_scale_annotated(self):
+        chart = line_chart(
+            {"a": [(0.1, 0.5), (0.9, 500.0)]}, logy=True, y_label="delay"
+        )
+        assert "log scale" in chart
+
+    def test_extremes_on_edges(self):
+        chart = line_chart({"a": [(0, 0.0), (1, 10.0)]}, width=20, height=6)
+        rows = chart.splitlines()
+        plot_rows = [r for r in rows if "|" in r and "+" not in r]
+        # Max lands on the top plot row, min on the bottom.
+        assert "*" in plot_rows[0]
+        assert "*" in plot_rows[-1]
+
+    def test_constant_series_does_not_crash(self):
+        chart = line_chart({"flat": [(0, 5.0), (1, 5.0)]})
+        assert "flat" in chart
+
+    def test_axis_labels(self):
+        chart = line_chart({"a": [(0, 1), (1, 2)]}, x_label="offered load")
+        assert "offered load" in chart
+
+
+class TestBarChart:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one value"):
+            bar_chart({})
+        with pytest.raises(ValueError, match="non-negative"):
+            bar_chart({"a": -1.0})
+
+    def test_proportional_bars(self):
+        chart = bar_chart({"big": 1.0, "half": 0.5}, width=20)
+        lines = chart.splitlines()
+        big_bar = lines[0].count("#")
+        half_bar = lines[1].count("#")
+        assert big_bar == 20
+        assert half_bar == 10
+
+    def test_values_printed(self):
+        chart = bar_chart({"x": 0.125})
+        assert "0.125" in chart
+
+    def test_reference_tick(self):
+        chart = bar_chart({"a": 1.0, "b": 0.1}, width=20, reference=0.5)
+        assert "|" in chart.splitlines()[1]
+
+    def test_all_zero(self):
+        chart = bar_chart({"a": 0.0})
+        assert "0.000" in chart

@@ -1,0 +1,26 @@
+"""Tests for the head-of-line saturation analysis."""
+
+import math
+
+import pytest
+
+from repro.analysis.hol import KAROL_LIMIT, fifo_saturation_throughput
+
+
+class TestKarolLimit:
+    def test_value(self):
+        assert KAROL_LIMIT == pytest.approx(2 - math.sqrt(2))
+        assert KAROL_LIMIT == pytest.approx(0.586, abs=0.001)
+
+
+class TestMeasuredSaturation:
+    def test_sixteen_port_switch_near_limit(self):
+        """Finite N saturates slightly above the asymptotic limit."""
+        measured = fifo_saturation_throughput(16, slots=10_000, warmup=1_000, seed=0)
+        assert KAROL_LIMIT - 0.02 < measured < KAROL_LIMIT + 0.08
+
+    def test_larger_switch_closer_to_limit(self):
+        small = fifo_saturation_throughput(4, slots=10_000, warmup=1_000, seed=1)
+        large = fifo_saturation_throughput(32, slots=10_000, warmup=1_000, seed=1)
+        # Convergence from above as N grows (Karol et al. 1987).
+        assert large < small

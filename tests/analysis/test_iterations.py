@@ -1,0 +1,60 @@
+"""Tests for the Appendix A iteration analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.iterations import (
+    expected_iterations_bound,
+    measure_iterations,
+    measure_unresolved_decay,
+)
+
+
+class TestExpectedIterationsBound:
+    def test_formula(self):
+        assert expected_iterations_bound(16) == pytest.approx(4 + 4 / 3)
+        assert expected_iterations_bound(1) == pytest.approx(4 / 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            expected_iterations_bound(0)
+
+
+class TestMeasureIterations:
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="one trial"):
+            measure_iterations(4, 0.5, 0, rng)
+        with pytest.raises(ValueError, match="probability"):
+            measure_iterations(4, 1.5, 10, rng)
+
+    def test_mean_within_appendix_a_bound(self, rng):
+        """E[C] <= log2(N) + 4/3, for every request density."""
+        for n in (4, 8, 16):
+            for p in (0.25, 0.5, 1.0):
+                mean, worst = measure_iterations(n, p, 200, rng)
+                assert mean <= expected_iterations_bound(n)
+                assert worst >= mean
+
+    def test_sparse_requests_fast(self, rng):
+        mean, _ = measure_iterations(16, 0.02, 200, rng)
+        assert mean <= 2.0
+
+    def test_empty_pattern_zero_iterations(self, rng):
+        mean, worst = measure_iterations(8, 0.0, 10, rng)
+        assert mean == 0.0 and worst == 0
+
+
+class TestUnresolvedDecay:
+    def test_decays_by_factor_four_on_average(self, rng):
+        """The Appendix A lemma: each iteration resolves >= 3/4 of
+        unresolved requests in expectation."""
+        means = measure_unresolved_decay(16, 1.0, trials=300, rng=rng)
+        assert means[0] == pytest.approx(256)
+        for before, after in zip(means, means[1:]):
+            if before < 1.0:
+                break
+            assert after <= before / 4.0 * 1.15  # slack for sampling noise
+
+    def test_reaches_zero(self, rng):
+        means = measure_unresolved_decay(8, 0.7, trials=100, rng=rng)
+        assert means[-1] < 0.2

@@ -1,0 +1,89 @@
+"""Tests for the single-iteration PIM closed forms."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.pim_theory import (
+    one_iteration_match_fraction,
+    pim1_saturation_throughput,
+    saturated_first_iteration_fraction,
+)
+from repro.core.pim import PIMScheduler, pim_match
+from repro.switch.switch import CrossbarSwitch
+from repro.traffic.uniform import UniformTraffic
+
+
+class TestSaturatedFraction:
+    def test_limit(self):
+        assert saturated_first_iteration_fraction(10_000) == pytest.approx(
+            1 - 1 / math.e, abs=1e-4
+        )
+
+    def test_n16_matches_table1(self):
+        """Table 1's K=1, p=1.0 entry is 64%."""
+        assert saturated_first_iteration_fraction(16) == pytest.approx(0.644, abs=0.002)
+
+    def test_n1(self):
+        assert saturated_first_iteration_fraction(1) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="ports"):
+            saturated_first_iteration_fraction(0)
+
+    def test_monotone_decreasing_in_n(self):
+        values = [saturated_first_iteration_fraction(n) for n in (2, 4, 16, 64)]
+        assert values == sorted(values, reverse=True)
+
+    def test_matches_simulation(self, rng):
+        n, trials = 16, 3000
+        matched = 0
+        for _ in range(trials):
+            result = pim_match(np.ones((n, n), dtype=bool), rng, iterations=1)
+            matched += len(result.matching)
+        assert matched / (trials * n) == pytest.approx(
+            saturated_first_iteration_fraction(n), abs=0.01
+        )
+
+
+class TestOneIterationFraction:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="ports"):
+            one_iteration_match_fraction(0, 0.5)
+        with pytest.raises(ValueError, match="p must be"):
+            one_iteration_match_fraction(8, 0.0)
+
+    def test_p1_reduces_to_saturated_form(self):
+        assert one_iteration_match_fraction(16, 1.0) == pytest.approx(
+            saturated_first_iteration_fraction(16)
+        )
+
+    def test_sparser_requests_match_better(self):
+        values = [one_iteration_match_fraction(16, p) for p in (0.1, 0.25, 0.5, 1.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_matches_simulation_moderate_p(self, rng):
+        """The closed form tracks the simulated matched-input fraction."""
+        n, p, trials = 16, 0.5, 3000
+        matched = 0
+        requesting = 0
+        for _ in range(trials):
+            requests = rng.random((n, n)) < p
+            requesting += int(requests.any(axis=1).sum())
+            matched += len(pim_match(requests, rng, iterations=1).matching)
+        assert matched / requesting == pytest.approx(
+            one_iteration_match_fraction(n, p), abs=0.02
+        )
+
+
+class TestPim1Saturation:
+    def test_switch_saturates_at_formula(self):
+        """A PIM-1 switch offered load 1.0 carries ~1-(1-1/N)^N."""
+        switch = CrossbarSwitch(16, PIMScheduler(iterations=1, seed=0))
+        result = switch.run(
+            UniformTraffic(16, load=1.0, seed=1), slots=10_000, warmup=1_500
+        )
+        assert result.throughput == pytest.approx(
+            pim1_saturation_throughput(16), abs=0.02
+        )

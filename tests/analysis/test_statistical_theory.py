@@ -1,0 +1,57 @@
+"""Tests for the Appendix C closed forms."""
+
+import math
+
+import pytest
+
+from repro.analysis.statistical_theory import (
+    SINGLE_ROUND_LIMIT,
+    TWO_ROUND_LIMIT,
+    single_round_fraction,
+    two_round_fraction,
+)
+
+
+class TestLimits:
+    def test_headline_values(self):
+        """The paper's 63% and 72% headline numbers."""
+        assert SINGLE_ROUND_LIMIT == pytest.approx(0.632, abs=0.001)
+        assert TWO_ROUND_LIMIT == pytest.approx(0.718, abs=0.001)
+
+    def test_two_round_formula_structure(self):
+        q = 1.0 / math.e
+        assert TWO_ROUND_LIMIT == pytest.approx((1 - q) * (1 + q * q))
+
+
+class TestSingleRound:
+    def test_x_equals_one(self):
+        """With one unit, a granted input always has exactly one virtual
+        grant: the full allocation is delivered."""
+        assert single_round_fraction(1) == pytest.approx(1.0)
+
+    def test_approaches_limit_from_above(self):
+        previous = single_round_fraction(2)
+        for units in (4, 8, 16, 64, 256, 4096):
+            current = single_round_fraction(units)
+            assert current < previous
+            assert current > SINGLE_ROUND_LIMIT
+            previous = current
+        assert single_round_fraction(4096) == pytest.approx(
+            SINGLE_ROUND_LIMIT, abs=1e-3
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            single_round_fraction(0)
+
+
+class TestTwoRound:
+    def test_always_above_single_round(self):
+        for units in (2, 8, 32, 128):
+            assert two_round_fraction(units) > single_round_fraction(units)
+
+    def test_approaches_limit(self):
+        assert two_round_fraction(10000) == pytest.approx(TWO_ROUND_LIMIT, abs=1e-3)
+
+    def test_x_equals_one(self):
+        assert two_round_fraction(1) == pytest.approx(1.0)

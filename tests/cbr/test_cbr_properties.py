@@ -1,0 +1,59 @@
+"""Property-based tests for the CBR machinery (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cbr.clock import (
+    ClockModel,
+    cbr_latency_bound,
+    controller_frame_slots,
+    simulate_cbr_chain,
+)
+from repro.cbr.slepian_duguid import SlepianDuguidScheduler
+
+from tests.conftest import feasible_reservations
+
+
+class TestSlepianDuguidRemovalProperties:
+    @given(feasible_reservations(max_ports=5, max_frame=6), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30)
+    def test_remove_then_readd_any_connection(self, matrix_frame, seed):
+        """Tearing down and re-adding any reservation always succeeds
+        and restores the exact per-connection counts."""
+        matrix, frame = matrix_frame
+        rng = np.random.default_rng(seed)
+        scheduler = SlepianDuguidScheduler.from_matrix(matrix, frame)
+        occupied = np.argwhere(matrix > 0)
+        if occupied.size == 0:
+            return
+        i, j = occupied[rng.integers(len(occupied))]
+        cells = int(matrix[i, j])
+        scheduler.remove_reservation(int(i), int(j), cells)
+        scheduler.add_reservation(int(i), int(j), cells)
+        scheduler.schedule.validate()
+        np.testing.assert_array_equal(scheduler.schedule.reservation_matrix(), matrix)
+
+
+class TestClockBoundProperties:
+    @given(
+        st.integers(1, 6),                      # hops
+        st.floats(0.0, 2e-3),                   # tolerance
+        st.floats(0.0, 20.0),                   # link latency
+        st.integers(0, 2**31 - 1),              # seed
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_latency_bound_universal(self, hops, tolerance, link_latency, seed):
+        """The Appendix B bound holds for every admissible drift draw."""
+        clock = ClockModel(
+            slot_time=1.0,
+            switch_frame_slots=50,
+            controller_frame_slots=controller_frame_slots(50, tolerance, 2),
+            tolerance=tolerance,
+        )
+        result = simulate_cbr_chain(
+            clock, hops=hops, link_latency=link_latency, cells=60, seed=seed
+        )
+        assert result.max_adjusted_latency() <= cbr_latency_bound(
+            hops, clock, link_latency
+        ) + 1e-6

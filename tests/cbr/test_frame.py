@@ -1,0 +1,97 @@
+"""Tests for the frame schedule."""
+
+import numpy as np
+import pytest
+
+from repro.cbr.frame import FrameSchedule
+
+
+class TestFrameSchedule:
+    def test_construction_validation(self):
+        with pytest.raises(ValueError, match="ports must be positive"):
+            FrameSchedule(0, 5)
+        with pytest.raises(ValueError, match="frame_slots must be positive"):
+            FrameSchedule(4, 0)
+
+    def test_assign_and_lookup(self):
+        schedule = FrameSchedule(4, 3)
+        schedule.assign(0, 1, 2)
+        assert schedule.output_of(0, 1) == 2
+        assert schedule.input_of(0, 2) == 1
+        assert not schedule.input_free(0, 1)
+        assert not schedule.output_free(0, 2)
+        assert schedule.input_free(0, 0)
+
+    def test_conflicting_input_rejected(self):
+        schedule = FrameSchedule(4, 3)
+        schedule.assign(0, 1, 2)
+        with pytest.raises(ValueError, match="input 1 already paired"):
+            schedule.assign(0, 1, 3)
+
+    def test_conflicting_output_rejected(self):
+        schedule = FrameSchedule(4, 3)
+        schedule.assign(0, 1, 2)
+        with pytest.raises(ValueError, match="output 2 already paired"):
+            schedule.assign(0, 3, 2)
+
+    def test_same_pair_different_slots_allowed(self):
+        schedule = FrameSchedule(4, 3)
+        schedule.assign(0, 1, 2)
+        schedule.assign(1, 1, 2)
+        assert schedule.slots_for(1, 2) == [0, 1]
+
+    def test_clear(self):
+        schedule = FrameSchedule(4, 3)
+        schedule.assign(0, 1, 2)
+        schedule.clear(0, 1, 2)
+        assert schedule.input_free(0, 1)
+        assert schedule.output_free(0, 2)
+
+    def test_clear_missing_raises(self):
+        schedule = FrameSchedule(4, 3)
+        with pytest.raises(KeyError, match="not paired"):
+            schedule.clear(0, 1, 2)
+
+    def test_slot_range_checked(self):
+        schedule = FrameSchedule(4, 3)
+        with pytest.raises(ValueError, match="slot 3 out of range"):
+            schedule.assign(3, 0, 0)
+
+    def test_port_range_checked(self):
+        schedule = FrameSchedule(4, 3)
+        with pytest.raises(ValueError, match="out of range"):
+            schedule.assign(0, 4, 0)
+
+    def test_reservation_matrix(self):
+        schedule = FrameSchedule(3, 2)
+        schedule.assign(0, 0, 1)
+        schedule.assign(1, 0, 1)
+        schedule.assign(0, 2, 0)
+        matrix = schedule.reservation_matrix()
+        assert matrix[0, 1] == 2
+        assert matrix[2, 0] == 1
+        assert matrix.sum() == 3
+
+    def test_pairings_sorted(self):
+        schedule = FrameSchedule(4, 1)
+        schedule.assign(0, 3, 0)
+        schedule.assign(0, 1, 2)
+        assert schedule.pairings(0) == [(1, 2), (3, 0)]
+
+    def test_utilization(self):
+        schedule = FrameSchedule(2, 2)
+        assert schedule.utilization() == 0.0
+        schedule.assign(0, 0, 0)
+        assert schedule.utilization() == 0.25
+
+    def test_iteration_yields_each_slot(self):
+        schedule = FrameSchedule(2, 3)
+        schedule.assign(1, 0, 1)
+        slots = list(schedule)
+        assert len(slots) == 3
+        assert slots[1] == [(0, 1)]
+
+    def test_validate_passes_on_consistent_schedule(self):
+        schedule = FrameSchedule(4, 4)
+        schedule.assign(2, 1, 3)
+        schedule.validate()

@@ -1,0 +1,105 @@
+"""Tests for the integrated CBR + VBR switch."""
+
+import pytest
+
+from repro.cbr.integrated import IntegratedSwitch
+from repro.cbr.reservations import ReservationTable
+from repro.core.pim import PIMScheduler
+from repro.switch.cell import Cell, ServiceClass
+from repro.switch.flow import Flow
+from repro.traffic.cbr_source import CBRSource
+from repro.traffic.uniform import UniformTraffic
+
+
+def cbr_flow(flow_id, src, dst, cells):
+    return Flow(
+        flow_id=flow_id, src=src, dst=dst, service=ServiceClass.CBR, cells_per_frame=cells
+    )
+
+
+def build_switch(ports=4, frame=10, flows=()):
+    table = ReservationTable(ports, frame)
+    for flow in flows:
+        table.admit(flow)
+    return IntegratedSwitch(table, scheduler=PIMScheduler(seed=0)), table
+
+
+class TestIntegratedSwitch:
+    def test_cbr_cell_served_in_reserved_slot(self):
+        flow = cbr_flow(1, 0, 2, 10)  # every slot reserved
+        switch, _ = build_switch(flows=[flow])
+        cell = Cell(flow_id=1, output=2, service=ServiceClass.CBR)
+        departures = switch.step(0, [(0, cell)])
+        assert len(departures) == 1
+        assert switch.cbr_slots_used == 1
+
+    def test_idle_reservation_donated_to_vbr(self):
+        """A reserved slot with no CBR cell carries a VBR cell instead."""
+        flow = cbr_flow(1, 0, 2, 10)
+        switch, _ = build_switch(flows=[flow])
+        vbr = Cell(flow_id=99, output=2, service=ServiceClass.VBR)
+        departures = switch.step(0, [(0, vbr)])
+        assert len(departures) == 1
+        assert departures[0].service is ServiceClass.VBR
+        assert switch.cbr_slots_donated == 1
+
+    def test_cbr_guarantee_under_vbr_overload(self):
+        """CBR throughput and delay guarantees hold at 100% VBR load
+        (Section 4: 'CBR performance guarantees are met no matter how
+        high the load of VBR traffic')."""
+        frame = 10
+        flows = [cbr_flow(100 + i, i, (i + 1) % 4, 5) for i in range(4)]
+        switch, table = build_switch(ports=4, frame=frame, flows=flows)
+        cbr_source = CBRSource(4, flows, frame_slots=frame)
+        vbr_source = UniformTraffic(4, load=1.0, seed=7)
+        result = switch.run([cbr_source, vbr_source], slots=2000, warmup=200)
+        # Every CBR cell injected must have departed promptly: one frame
+        # of cells per flow in flight at most (no drift in this model).
+        assert result.cbr_delay.count > 0
+        assert result.cbr_delay.max <= 2 * frame
+        # CBR carried exactly its reservation: 4 flows x 5 cells / 10 slots.
+        cbr_rate = result.cbr_delay.count / (2000 - 200)
+        assert cbr_rate == pytest.approx(4 * 5 / frame, rel=0.05)
+
+    def test_vbr_uses_leftover_capacity(self):
+        flows = [cbr_flow(1, 0, 1, 5)]
+        switch, _ = build_switch(ports=4, frame=10, flows=flows)
+        cbr_source = CBRSource(4, flows, frame_slots=10)
+        vbr_source = UniformTraffic(4, load=0.5, seed=3)
+        result = switch.run([cbr_source, vbr_source], slots=2000, warmup=200)
+        assert result.vbr_delay.count > 0
+        # Nothing lost anywhere.
+        assert result.dropped == 0
+
+    def test_peak_cbr_buffer_tracked(self):
+        flows = [cbr_flow(1, 0, 2, 1)]
+        switch, _ = build_switch(ports=4, frame=10, flows=flows)
+        source = CBRSource(4, flows, frame_slots=10)
+        switch.run(source, slots=100)
+        assert switch.peak_cbr_buffer >= 1
+
+    def test_fabric_size_mismatch_rejected(self):
+        from repro.switch.fabric import CrossbarFabric
+
+        table = ReservationTable(4, 10)
+        with pytest.raises(ValueError, match="fabric size"):
+            IntegratedSwitch(table, fabric=CrossbarFabric(8))
+
+    def test_port_mismatch_rejected(self):
+        switch, _ = build_switch(ports=4)
+        with pytest.raises(ValueError, match="port mismatch"):
+            switch.run(UniformTraffic(8, load=0.1, seed=0), slots=10)
+
+    def test_separate_buffer_pools(self):
+        """CBR and VBR cells occupy different buffers (Section 4)."""
+        flow = cbr_flow(1, 0, 2, 1)
+        switch, _ = build_switch(ports=4, frame=10, flows=[flow])
+        switch.step(5, [
+            (0, Cell(flow_id=1, output=2, service=ServiceClass.CBR)),
+            (0, Cell(flow_id=50, output=3, service=ServiceClass.VBR)),
+        ])
+        # The reserved slot for (0, 2) is slot 0 of each frame; at slot
+        # 5 the CBR cell waits while VBR was free to go.
+        assert sum(len(b) for b in switch.cbr_buffers) + sum(
+            len(b) for b in switch.vbr_buffers
+        ) == switch.backlog()

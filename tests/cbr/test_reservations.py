@@ -1,0 +1,74 @@
+"""Tests for the flow-level reservation table."""
+
+import pytest
+
+from repro.cbr.reservations import ReservationTable
+from repro.switch.cell import ServiceClass
+from repro.switch.flow import Flow
+
+
+def cbr_flow(flow_id, src, dst, cells):
+    return Flow(
+        flow_id=flow_id, src=src, dst=dst, service=ServiceClass.CBR, cells_per_frame=cells
+    )
+
+
+class TestReservationTable:
+    def test_admit_updates_schedule(self):
+        table = ReservationTable(4, 5)
+        table.admit(cbr_flow(1, 0, 2, 3))
+        assert table.reserved_matrix()[0, 2] == 3
+        assert len(table.schedule.slots_for(0, 2)) == 3
+
+    def test_duplicate_flow_rejected(self):
+        table = ReservationTable(4, 5)
+        table.admit(cbr_flow(1, 0, 2, 1))
+        with pytest.raises(ValueError, match="already admitted"):
+            table.admit(cbr_flow(1, 1, 3, 1))
+
+    def test_vbr_flow_rejected(self):
+        table = ReservationTable(4, 5)
+        with pytest.raises(ValueError, match="not CBR"):
+            table.can_admit(Flow(flow_id=1, src=0, dst=2))
+
+    def test_admission_respects_capacity(self):
+        table = ReservationTable(4, 5)
+        table.admit(cbr_flow(1, 0, 2, 4))
+        assert table.can_admit(cbr_flow(2, 0, 3, 1))
+        assert not table.can_admit(cbr_flow(3, 0, 3, 2))
+
+    def test_release_frees_slots(self):
+        table = ReservationTable(4, 5)
+        table.admit(cbr_flow(1, 0, 2, 5))
+        table.release(1)
+        assert table.reserved_matrix()[0, 2] == 0
+        assert table.can_admit(cbr_flow(2, 0, 2, 5))
+
+    def test_release_unknown_raises(self):
+        table = ReservationTable(4, 5)
+        with pytest.raises(KeyError, match="not admitted"):
+            table.release(9)
+
+    def test_round_robin_among_connection_flows(self):
+        """Two CBR flows sharing (input, output) alternate service."""
+        table = ReservationTable(4, 6)
+        table.admit(cbr_flow(1, 0, 2, 2))
+        table.admit(cbr_flow(2, 0, 2, 2))
+        picks = [table.next_flow_for(0, 2) for _ in range(4)]
+        assert picks == [1, 2, 1, 2]
+
+    def test_next_flow_none_when_unreserved(self):
+        table = ReservationTable(4, 5)
+        assert table.next_flow_for(0, 1) is None
+
+    def test_flows_listing(self):
+        table = ReservationTable(4, 5)
+        table.admit(cbr_flow(1, 0, 2, 1))
+        table.admit(cbr_flow(2, 1, 3, 2))
+        assert {f.flow_id for f in table.flows()} == {1, 2}
+
+    def test_pairings_exposes_schedule(self):
+        table = ReservationTable(4, 2)
+        table.admit(cbr_flow(1, 0, 2, 2))
+        assert table.pairings(0) == [(0, 2)]
+        assert table.pairings(1) == [(0, 2)]

@@ -1,0 +1,108 @@
+"""Tests for hierarchical (subdivided) frames."""
+
+import pytest
+
+from repro.cbr.subframes import HierarchicalFrameScheduler
+
+
+def make(ports=4, frame=40, divisions=4, low=3):
+    return HierarchicalFrameScheduler(ports, frame, divisions, low)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="divisions"):
+            HierarchicalFrameScheduler(4, 40, 0, 1)
+        with pytest.raises(ValueError, match="must divide"):
+            HierarchicalFrameScheduler(4, 40, 3, 1)
+        with pytest.raises(ValueError, match="low_latency_slots"):
+            HierarchicalFrameScheduler(4, 40, 4, 11)
+
+    def test_geometry(self):
+        scheduler = make()
+        assert scheduler.subframe_slots == 10
+        assert scheduler.low_latency_slots == 3
+
+
+class TestAdmission:
+    def test_low_latency_capacity(self):
+        scheduler = make(low=3)
+        assert scheduler.can_accommodate_low_latency(0, 1, 3)
+        assert not scheduler.can_accommodate_low_latency(0, 1, 4)
+
+    def test_whole_frame_capacity(self):
+        scheduler = make(frame=40, divisions=4, low=3)
+        # Bulk space: 40 - 3*4 = 28 slots.
+        assert scheduler.can_accommodate(0, 1, 28)
+        assert not scheduler.can_accommodate(0, 1, 29)
+
+    def test_zero_low_latency_slots(self):
+        scheduler = make(low=0)
+        assert not scheduler.can_accommodate_low_latency(0, 1, 1)
+        assert scheduler.can_accommodate(0, 1, 40)
+
+    def test_rejected_reservations_raise(self):
+        scheduler = make(low=2)
+        with pytest.raises(ValueError, match="cells/subframe"):
+            scheduler.add_low_latency(0, 1, 3)
+        with pytest.raises(ValueError, match="cells/frame"):
+            scheduler.add_whole_frame(0, 1, 33)
+
+
+class TestScheduling:
+    def test_low_latency_repeats_every_subframe(self):
+        scheduler = make(low=3)
+        scheduler.add_low_latency(0, 2, 2)
+        frame_slots = []
+        for slot in range(scheduler.frame_slots):
+            if (0, 2) in scheduler.pairings(slot):
+                frame_slots.append(slot)
+        # Two slots in each of the four subframes, same relative spots.
+        assert len(frame_slots) == 8
+        offsets = {slot % scheduler.subframe_slots for slot in frame_slots}
+        assert len(offsets) == 2
+        assert all(offset < 3 for offset in offsets)
+
+    def test_whole_frame_in_bulk_region(self):
+        scheduler = make(low=3)
+        scheduler.add_whole_frame(1, 3, 5)
+        slots = [
+            slot
+            for slot in range(scheduler.frame_slots)
+            if (1, 3) in scheduler.pairings(slot)
+        ]
+        assert len(slots) == 5
+        assert all(slot % scheduler.subframe_slots >= 3 for slot in slots)
+
+    def test_classes_never_collide(self):
+        scheduler = make(low=5)
+        scheduler.add_low_latency(0, 1, 5)
+        scheduler.add_whole_frame(0, 1, 20)
+        for slot in range(scheduler.frame_slots):
+            pairings = scheduler.pairings(slot)
+            inputs = [i for i, _ in pairings]
+            outputs = [j for _, j in pairings]
+            assert len(set(inputs)) == len(inputs)
+            assert len(set(outputs)) == len(outputs)
+
+    def test_cells_per_frame_combines_classes(self):
+        scheduler = make(low=3)
+        scheduler.add_low_latency(0, 1, 2)   # 2 x 4 subframes = 8/frame
+        scheduler.add_whole_frame(0, 1, 5)
+        assert scheduler.cells_per_frame(0, 1) == 13
+
+    def test_slot_range_checked(self):
+        scheduler = make()
+        with pytest.raises(ValueError, match="out of range"):
+            scheduler.pairings(40)
+
+
+class TestTradeoff:
+    def test_latency_bound_scales_with_subframe(self):
+        """The Section 4 trade-off: divisions x lower latency bound."""
+        scheduler = make(frame=40, divisions=4, low=3)
+        low = scheduler.latency_bound_slots(True, hops=3, link_latency_slots=2.0)
+        bulk = scheduler.latency_bound_slots(False, hops=3, link_latency_slots=2.0)
+        assert low == pytest.approx(2 * 3 * (10 + 2.0))
+        assert bulk == pytest.approx(2 * 3 * (40 + 2.0))
+        assert bulk > 3 * low

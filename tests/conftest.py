@@ -1,0 +1,54 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+# Property tests run simulation steps; relax the per-example deadline.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    max_examples=50,
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+def request_matrices(min_ports: int = 1, max_ports: int = 8):
+    """Hypothesis strategy: square boolean request matrices."""
+    return st.integers(min_ports, max_ports).flatmap(
+        lambda n: arrays(np.bool_, (n, n))
+    )
+
+
+def feasible_reservations(max_ports: int = 6, max_frame: int = 8):
+    """Hypothesis strategy: (matrix, frame_slots) with feasible row/col sums.
+
+    Builds the matrix as a sum of F random partial permutation matrices,
+    which guarantees every row and column sums to at most F.
+    """
+
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(2, max_ports))
+        frame = draw(st.integers(1, max_frame))
+        matrix = np.zeros((n, n), dtype=np.int64)
+        for _ in range(frame):
+            perm = draw(st.permutations(range(n)))
+            keep = draw(arrays(np.bool_, n))
+            for i in range(n):
+                if keep[i]:
+                    matrix[i, perm[i]] += 1
+        return matrix, frame
+
+    return build()

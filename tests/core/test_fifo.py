@@ -1,0 +1,56 @@
+"""Tests for the FIFO head-of-line arbiter."""
+
+import numpy as np
+import pytest
+
+from repro.core.fifo import FIFOScheduler
+
+
+class TestFIFOScheduler:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown FIFO policy"):
+            FIFOScheduler(policy="bogus")
+
+    def test_uncontended_heads_all_matched(self):
+        scheduler = FIFOScheduler(policy="random", seed=0)
+        heads = np.array([1, 2, 3, 0])
+        matching = scheduler.arbitrate(heads)
+        assert len(matching) == 4
+
+    def test_empty_inputs_ignored(self):
+        scheduler = FIFOScheduler(policy="random", seed=0)
+        heads = np.array([-1, -1, 2, -1])
+        matching = scheduler.arbitrate(heads)
+        assert matching.pairs == ((2, 2),)
+
+    def test_contention_one_winner(self):
+        scheduler = FIFOScheduler(policy="random", seed=0)
+        heads = np.array([1, 1, 1, 1])
+        matching = scheduler.arbitrate(heads)
+        assert len(matching) == 1
+        assert matching.pairs[0][1] == 1
+
+    def test_random_policy_spreads_wins(self):
+        scheduler = FIFOScheduler(policy="random", seed=0)
+        heads = np.array([2, 2, 2, 2])
+        winners = set()
+        for _ in range(200):
+            winners.add(scheduler.arbitrate(heads).pairs[0][0])
+        assert winners == {0, 1, 2, 3}
+
+    def test_rotating_policy_is_deterministic_round_robin(self):
+        scheduler = FIFOScheduler(policy="rotating")
+        heads = np.array([0, 0, 0, 0])
+        winners = [scheduler.arbitrate(heads).pairs[0][0] for _ in range(8)]
+        assert winners == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_rotating_reset(self):
+        scheduler = FIFOScheduler(policy="rotating")
+        heads = np.array([0, 0])
+        scheduler.arbitrate(heads)
+        scheduler.reset()
+        assert scheduler.arbitrate(heads).pairs[0][0] == 0
+
+    def test_all_empty(self):
+        scheduler = FIFOScheduler(seed=0)
+        assert len(scheduler.arbitrate(np.array([-1, -1]))) == 0

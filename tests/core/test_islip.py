@@ -1,0 +1,117 @@
+"""Tests for the iSLIP scheduler."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.islip import ISLIPScheduler, islip_match
+from repro.core.matching import is_maximal
+from repro.switch.switch import CrossbarSwitch
+from repro.traffic.uniform import UniformTraffic
+
+from tests.conftest import request_matrices
+
+
+class TestIslipMatch:
+    def test_uncontended_full_match(self):
+        n = 4
+        grant_ptr = np.zeros(n, dtype=np.int64)
+        accept_ptr = np.zeros(n, dtype=np.int64)
+        matching = islip_match(np.eye(n, dtype=bool), grant_ptr, accept_ptr)
+        assert len(matching) == n
+
+    def test_pointer_update_rule(self):
+        """Pointers advance one past the accepted ports, iteration 1 only."""
+        n = 4
+        grant_ptr = np.zeros(n, dtype=np.int64)
+        accept_ptr = np.zeros(n, dtype=np.int64)
+        requests = np.zeros((n, n), dtype=bool)
+        requests[2, 3] = True
+        matching = islip_match(requests, grant_ptr, accept_ptr)
+        assert matching.pairs == ((2, 3),)
+        assert grant_ptr[3] == 3  # (input 2 + 1) % 4
+        assert accept_ptr[2] == 0  # (output 3 + 1) % 4
+
+    def test_unaccepted_grant_does_not_move_pointer(self):
+        """The no-starvation property hinges on this rule."""
+        n = 4
+        grant_ptr = np.zeros(n, dtype=np.int64)
+        accept_ptr = np.zeros(n, dtype=np.int64)
+        # Input 0 requests outputs 0 and 1; both outputs grant to
+        # input 0 (their pointers are at 0); input 0 accepts output 0.
+        requests = np.zeros((n, n), dtype=bool)
+        requests[0, 0] = requests[0, 1] = True
+        islip_match(requests, grant_ptr, accept_ptr, iterations=1)
+        assert grant_ptr[0] == 1  # accepted
+        assert grant_ptr[1] == 0  # granted but not accepted: unchanged
+
+    def test_desynchronization_reaches_full_throughput(self):
+        """Under persistent full demand, pointers desynchronize and the
+        switch settles into perfect (size-N) matchings -- iSLIP's
+        signature behaviour with a single iteration."""
+        n = 8
+        grant_ptr = np.zeros(n, dtype=np.int64)
+        accept_ptr = np.zeros(n, dtype=np.int64)
+        requests = np.ones((n, n), dtype=bool)
+        sizes = [
+            len(islip_match(requests, grant_ptr, accept_ptr, iterations=1))
+            for _ in range(50)
+        ]
+        assert all(size == n for size in sizes[-10:])
+
+    def test_iterations_validated(self):
+        n = 2
+        with pytest.raises(ValueError, match=">= 1"):
+            islip_match(
+                np.ones((n, n), dtype=bool),
+                np.zeros(n, dtype=np.int64),
+                np.zeros(n, dtype=np.int64),
+                iterations=0,
+            )
+
+    @given(request_matrices(), st.integers(1, 4))
+    def test_always_legal(self, requests, iterations):
+        n = requests.shape[0]
+        matching = islip_match(
+            requests,
+            np.zeros(n, dtype=np.int64),
+            np.zeros(n, dtype=np.int64),
+            iterations=iterations,
+        )
+        assert matching.respects(requests)
+
+    @given(request_matrices())
+    def test_n_iterations_maximal(self, requests):
+        """With N iterations iSLIP always reaches a maximal match."""
+        n = requests.shape[0]
+        matching = islip_match(
+            requests,
+            np.zeros(n, dtype=np.int64),
+            np.zeros(n, dtype=np.int64),
+            iterations=n,
+        )
+        assert is_maximal(matching, requests)
+
+
+class TestISLIPScheduler:
+    def test_carries_high_uniform_load(self):
+        switch = CrossbarSwitch(16, ISLIPScheduler(iterations=1))
+        result = switch.run(UniformTraffic(16, load=0.9, seed=1), slots=6000, warmup=1000)
+        assert result.throughput == pytest.approx(result.offered, rel=0.03)
+
+    def test_reset(self):
+        scheduler = ISLIPScheduler(ports=4)
+        scheduler.schedule(np.ones((4, 4), dtype=bool))
+        scheduler.reset()
+        assert scheduler._grant_pointers is None
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            ISLIPScheduler(iterations=0)
+
+    def test_adapts_to_port_count(self):
+        scheduler = ISLIPScheduler()
+        scheduler.schedule(np.ones((4, 4), dtype=bool))
+        scheduler.schedule(np.ones((8, 8), dtype=bool))  # re-allocates
+        assert scheduler._grant_pointers.shape[0] == 8

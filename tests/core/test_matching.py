@@ -1,0 +1,102 @@
+"""Tests for matching datatypes and maximality checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.core.matching import (
+    Matching,
+    as_request_matrix,
+    greedy_maximal_match,
+    is_matching,
+    is_maximal,
+    maximal_ge_half_maximum,
+)
+from repro.core.maximum import hopcroft_karp
+
+from tests.conftest import request_matrices
+
+
+class TestMatching:
+    def test_empty(self):
+        assert len(Matching.empty()) == 0
+
+    def test_duplicate_input_rejected(self):
+        with pytest.raises(ValueError, match="input matched twice"):
+            Matching.from_pairs([(0, 1), (0, 2)])
+
+    def test_duplicate_output_rejected(self):
+        with pytest.raises(ValueError, match="output matched twice"):
+            Matching.from_pairs([(0, 1), (2, 1)])
+
+    def test_lookups(self):
+        matching = Matching.from_pairs([(0, 2), (3, 1)])
+        assert matching.output_of(0) == 2
+        assert matching.output_of(1) is None
+        assert matching.input_of(1) == 3
+        assert matching.input_of(0) is None
+
+    def test_as_dict(self):
+        matching = Matching.from_pairs([(0, 2), (3, 1)])
+        assert matching.as_dict() == {0: 2, 3: 1}
+
+    def test_respects(self):
+        requests = np.zeros((3, 3), dtype=bool)
+        requests[0, 2] = True
+        assert Matching.from_pairs([(0, 2)]).respects(requests)
+        assert not Matching.from_pairs([(1, 1)]).respects(requests)
+
+    def test_iteration_sorted(self):
+        matching = Matching.from_pairs([(3, 1), (0, 2)])
+        assert list(matching) == [(0, 2), (3, 1)]
+
+
+class TestRequestMatrixValidation:
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            as_request_matrix(np.zeros((2, 3)))
+
+    def test_bool_coercion(self):
+        matrix = as_request_matrix(np.array([[2, 0], [0, 1]]))
+        assert matrix.dtype == bool
+        assert matrix[0, 0]
+
+
+class TestIsMatching:
+    def test_valid(self):
+        assert is_matching([(0, 1), (1, 0)])
+
+    def test_invalid(self):
+        assert not is_matching([(0, 1), (1, 1)])
+
+
+class TestGreedyMaximal:
+    def test_identity(self):
+        matching = greedy_maximal_match(np.eye(4, dtype=bool))
+        assert len(matching) == 4
+
+    def test_empty_requests(self):
+        assert len(greedy_maximal_match(np.zeros((4, 4), dtype=bool))) == 0
+
+    @given(request_matrices())
+    def test_always_legal_and_maximal(self, requests):
+        matching = greedy_maximal_match(requests)
+        assert matching.respects(requests)
+        assert is_maximal(matching, requests)
+
+    @given(request_matrices())
+    def test_maximal_at_least_half_maximum(self, requests):
+        """The Section 3.4 bound on maximal vs maximum matching size."""
+        maximal = greedy_maximal_match(requests)
+        maximum = hopcroft_karp(requests)
+        assert maximal_ge_half_maximum(len(maximal), len(maximum))
+
+
+class TestIsMaximal:
+    def test_detects_addable_pair(self):
+        requests = np.ones((2, 2), dtype=bool)
+        assert not is_maximal(Matching.from_pairs([(0, 0)]), requests)
+        assert is_maximal(Matching.from_pairs([(0, 0), (1, 1)]), requests)
+
+    def test_empty_matching_on_empty_requests(self):
+        assert is_maximal(Matching.empty(), np.zeros((3, 3), dtype=bool))

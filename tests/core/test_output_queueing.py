@@ -1,0 +1,59 @@
+"""Tests for the perfect-output-queueing baseline."""
+
+import pytest
+
+from repro.core.output_queueing import OutputQueuedSwitch
+from repro.core.pim import PIMScheduler
+from repro.switch.cell import Cell
+from repro.switch.switch import CrossbarSwitch
+from repro.traffic.uniform import UniformTraffic
+
+
+def make_cell(flow, output):
+    return Cell(flow_id=flow, output=output)
+
+
+class TestOutputQueuedSwitch:
+    def test_simultaneous_arrivals_all_accepted(self):
+        """N cells to one output in a slot: none lost, queued FIFO."""
+        switch = OutputQueuedSwitch(4)
+        arrivals = [(i, make_cell(flow=i, output=2)) for i in range(4)]
+        departures = switch.step(0, arrivals)
+        assert len(departures) == 1
+        assert switch.backlog() == 3
+
+    def test_out_of_range_output_rejected(self):
+        switch = OutputQueuedSwitch(4)
+        with pytest.raises(ValueError, match="out of range"):
+            switch.step(0, [(0, make_cell(flow=1, output=9))])
+
+    def test_invalid_ports(self):
+        with pytest.raises(ValueError, match="positive"):
+            OutputQueuedSwitch(0)
+
+    def test_conservation(self):
+        switch = OutputQueuedSwitch(8)
+        result = switch.run(UniformTraffic(8, load=0.7, seed=1), slots=2000)
+        assert result.counter.offered == result.counter.carried + result.backlog
+
+    def test_port_mismatch_rejected(self):
+        switch = OutputQueuedSwitch(4)
+        with pytest.raises(ValueError, match="traffic is for 8 ports"):
+            switch.run(UniformTraffic(8, load=0.5, seed=1), slots=10)
+
+    def test_sustains_full_load(self):
+        """Output queueing carries offered load 1.0 (the optimum)."""
+        switch = OutputQueuedSwitch(16)
+        result = switch.run(UniformTraffic(16, load=1.0, seed=1), slots=6000, warmup=1000)
+        assert result.throughput > 0.95
+
+    def test_delay_lower_bound_for_any_input_buffered_switch(self):
+        """OQ delay <= PIM delay under identical arrivals (Figure 3 ordering)."""
+        from repro.traffic.trace import TraceRecorder
+
+        recorder = TraceRecorder(UniformTraffic(16, load=0.85, seed=3))
+        oq = OutputQueuedSwitch(16).run(recorder, slots=4000, warmup=500)
+        pim = CrossbarSwitch(16, PIMScheduler(seed=0)).run(
+            recorder.replay(), slots=4000, warmup=500
+        )
+        assert oq.mean_delay <= pim.mean_delay

@@ -1,0 +1,67 @@
+"""Property-based tests for PIM invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.matching import is_maximal, maximal_ge_half_maximum
+from repro.core.maximum import hopcroft_karp
+from repro.core.pim import pim_match
+
+from tests.conftest import request_matrices
+
+
+@given(request_matrices(), st.integers(0, 2**31 - 1))
+def test_pim_output_is_always_a_legal_matching(requests, seed):
+    rng = np.random.default_rng(seed)
+    result = pim_match(requests, rng, iterations=2)
+    matching = result.matching
+    inputs = [i for i, _ in matching.pairs]
+    outputs = [j for _, j in matching.pairs]
+    assert len(set(inputs)) == len(inputs)
+    assert len(set(outputs)) == len(outputs)
+    assert matching.respects(requests)
+
+
+@given(request_matrices(), st.integers(0, 2**31 - 1))
+def test_pim_to_completion_is_maximal(requests, seed):
+    rng = np.random.default_rng(seed)
+    result = pim_match(requests, rng, iterations=None)
+    assert result.completed
+    assert is_maximal(result.matching, requests)
+
+
+@given(request_matrices(), st.integers(0, 2**31 - 1))
+def test_pim_maximal_at_least_half_maximum(requests, seed):
+    """Section 3.4's worst-case bound holds for PIM's maximal matches."""
+    rng = np.random.default_rng(seed)
+    maximal = pim_match(requests, rng, iterations=None).matching
+    maximum = hopcroft_karp(requests)
+    assert maximal_ge_half_maximum(len(maximal), len(maximum))
+
+
+@given(request_matrices(), st.integers(0, 2**31 - 1), st.integers(1, 6))
+def test_more_iterations_never_fewer_matches(requests, seed, budget):
+    """Matches are retained across iterations, so size is monotone in
+    the iteration budget when driven by identical randomness."""
+    first = pim_match(requests, np.random.default_rng(seed), iterations=budget)
+    second = pim_match(requests, np.random.default_rng(seed), iterations=budget + 1)
+    assert len(second.matching) >= len(first.matching)
+
+
+@given(request_matrices(min_ports=2), st.integers(0, 2**31 - 1))
+def test_round_robin_accept_also_maximal(requests, seed):
+    rng = np.random.default_rng(seed)
+    result = pim_match(requests, rng, iterations=None, accept="round_robin")
+    assert is_maximal(result.matching, requests)
+
+
+@given(request_matrices(), st.integers(0, 2**31 - 1), st.integers(2, 3))
+def test_output_capacity_respects_limits(requests, seed, capacity):
+    rng = np.random.default_rng(seed)
+    result = pim_match(requests, rng, iterations=None, output_capacity=capacity)
+    inputs = [i for i, _ in result.matching.pairs]
+    assert len(set(inputs)) == len(inputs)  # inputs still send one cell
+    outputs = [j for _, j in result.matching.pairs]
+    for j in set(outputs):
+        assert outputs.count(j) <= capacity

@@ -1,0 +1,63 @@
+"""Property-based tests for statistical matching (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.statistical import StatisticalMatcher, virtual_grant_pmf
+
+
+@st.composite
+def feasible_allocations(draw, max_ports=5, max_units=12):
+    """(allocations, units) with all row/column sums <= units.
+
+    Built as a sum of random partial permutation matrices scaled by
+    random unit weights, which keeps sums feasible by construction.
+    """
+    n = draw(st.integers(2, max_ports))
+    units = draw(st.integers(2, max_units))
+    matrix = np.zeros((n, n), dtype=np.int64)
+    budget = units
+    while budget > 0:
+        weight = draw(st.integers(1, budget))
+        perm = draw(st.permutations(range(n)))
+        keep = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+        for i in range(n):
+            if keep[i]:
+                matrix[i, perm[i]] += weight
+        budget -= weight
+    return matrix, units
+
+
+class TestStatisticalProperties:
+    @given(feasible_allocations(), st.integers(0, 2**31 - 1), st.integers(1, 3))
+    @settings(max_examples=40)
+    def test_match_always_legal(self, alloc_units, seed, rounds):
+        matrix, units = alloc_units
+        matcher = StatisticalMatcher(matrix, units=units, rounds=rounds, seed=seed)
+        for _ in range(5):
+            matching = matcher.match()
+            inputs = [i for i, _ in matching.pairs]
+            outputs = [j for _, j in matching.pairs]
+            assert len(set(inputs)) == len(inputs)
+            assert len(set(outputs)) == len(outputs)
+            # Only allocated pairs ever match.
+            for i, j in matching.pairs:
+                assert matrix[i, j] > 0
+
+    @given(feasible_allocations(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30)
+    def test_schedule_respects_requests(self, alloc_units, seed):
+        matrix, units = alloc_units
+        matcher = StatisticalMatcher(matrix, units=units, seed=seed, fill=True)
+        rng = np.random.default_rng(seed)
+        requests = rng.random(matrix.shape) < 0.5
+        for _ in range(3):
+            matching = matcher.schedule(requests)
+            assert matching.respects(requests)
+
+    @given(st.integers(1, 10), st.integers(1, 30))
+    def test_pmf_always_valid(self, x_ij, extra):
+        pmf = virtual_grant_pmf(x_ij, x_ij + extra)
+        assert (pmf >= 0).all()
+        assert pmf.sum() == np.float64(1.0) or abs(pmf.sum() - 1.0) < 1e-9

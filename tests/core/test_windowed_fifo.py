@@ -1,0 +1,92 @@
+"""Tests for the windowed-FIFO contention scheme (Section 2.4)."""
+
+import pytest
+
+from repro.core.fifo import FIFOScheduler
+from repro.core.pim import PIMScheduler
+from repro.core.windowed_fifo import WindowedFIFOScheduler, WindowedFIFOSwitch
+from repro.switch.cell import Cell
+from repro.switch.switch import CrossbarSwitch, FIFOSwitch
+from repro.traffic.uniform import UniformTraffic
+from repro.traffic.trace import TraceRecorder
+
+
+def make_cell(flow, output, seqno=0):
+    return Cell(flow_id=flow, output=output, seqno=seqno)
+
+
+class TestWindowedFIFOScheduler:
+    def test_window_validation(self):
+        with pytest.raises(ValueError, match="window"):
+            WindowedFIFOScheduler(window=0)
+
+    def test_window_one_is_head_only(self):
+        scheduler = WindowedFIFOScheduler(window=1, seed=0)
+        winners = scheduler.arbitrate([[2, 3], [2]])
+        # Only positions 0 contend; one of the two inputs wins output 2.
+        assert len(winners) == 1
+        assert winners[0][1] == 0
+        assert winners[0][2] == 2
+
+    def test_second_position_unblocks(self):
+        """The loser's second cell can use an idle output (window=2)."""
+        scheduler = WindowedFIFOScheduler(window=2, seed=0)
+        winners = scheduler.arbitrate([[1, 2], [1]])
+        matched_outputs = {j for _, _, j in winners}
+        assert matched_outputs == {1, 2}
+
+    def test_result_is_a_matching(self):
+        scheduler = WindowedFIFOScheduler(window=3, seed=1)
+        winners = scheduler.arbitrate([[0, 1, 2], [0, 1, 2], [0, 1, 2], [0]])
+        inputs = [i for i, _, _ in winners]
+        outputs = [j for _, _, j in winners]
+        assert len(set(inputs)) == len(inputs)
+        assert len(set(outputs)) == len(outputs)
+
+    def test_matched_input_stops_bidding(self):
+        scheduler = WindowedFIFOScheduler(window=2, seed=0)
+        winners = scheduler.arbitrate([[1, 2]])
+        assert len(winners) == 1  # input 0 wins once, not twice
+
+
+class TestWindowedFIFOSwitch:
+    def test_conservation(self):
+        switch = WindowedFIFOSwitch(8, WindowedFIFOScheduler(window=2, seed=0))
+        result = switch.run(UniformTraffic(8, load=0.7, seed=1), slots=2000)
+        assert result.counter.offered == result.counter.carried + result.backlog
+
+    def test_port_mismatch(self):
+        switch = WindowedFIFOSwitch(4, WindowedFIFOScheduler(seed=0))
+        with pytest.raises(ValueError, match="traffic is for"):
+            switch.run(UniformTraffic(8, load=0.5, seed=1), slots=10)
+
+    def test_window_2_beats_plain_fifo(self):
+        """Larger windows raise saturation throughput (Karol's result)."""
+        recorder = TraceRecorder(UniformTraffic(16, load=1.0, seed=2))
+        fifo = FIFOSwitch(16, FIFOScheduler(policy="random", seed=0)).run(
+            recorder, slots=6000, warmup=1000
+        )
+        windowed = WindowedFIFOSwitch(16, WindowedFIFOScheduler(window=4, seed=0)).run(
+            recorder.replay(), slots=6000, warmup=1000
+        )
+        assert windowed.throughput > fifo.throughput + 0.03
+
+    def test_still_below_pim(self):
+        """'Reduces the impact of head-of-line blocking but does not
+        eliminate it' -- VOQ+PIM still wins at saturation."""
+        recorder = TraceRecorder(UniformTraffic(16, load=1.0, seed=3))
+        windowed = WindowedFIFOSwitch(16, WindowedFIFOScheduler(window=4, seed=0)).run(
+            recorder, slots=6000, warmup=1000
+        )
+        pim = CrossbarSwitch(16, PIMScheduler(iterations=4, seed=0)).run(
+            recorder.replay(), slots=6000, warmup=1000
+        )
+        assert pim.throughput > windowed.throughput + 0.02
+
+    def test_departed_cell_matches_schedule(self):
+        switch = WindowedFIFOSwitch(4, WindowedFIFOScheduler(window=2, seed=0))
+        switch.step(0, [(0, make_cell(1, 1)), (1, make_cell(2, 1))])
+        departed = switch.step(1, [(0, make_cell(3, 2, seqno=1))])
+        # No crash; every departed cell left on its own output.
+        for cell in departed:
+            assert 0 <= cell.output < 4

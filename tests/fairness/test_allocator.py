@@ -1,0 +1,103 @@
+"""Tests for the max-min fair allocator."""
+
+import numpy as np
+import pytest
+
+from repro.core.statistical import StatisticalMatcher
+from repro.fairness.allocator import allocations_for_switch, max_min_allocation
+
+
+class TestMaxMinAllocation:
+    def test_single_bottleneck_equal_split(self):
+        flows = {1: ["L"], 2: ["L"], 3: ["L"], 4: ["L"]}
+        rates = max_min_allocation(flows, {"L": 1.0})
+        assert all(rate == pytest.approx(0.25) for rate in rates.values())
+
+    def test_parking_lot_fair_shares(self):
+        """Figure 9's topology: max-min gives every flow 1/4 of the
+        bottleneck -- the allocation statistical matching should
+        enforce."""
+        flows = {
+            "a": ["L3"],
+            "b": ["L2", "L3"],
+            "c": ["L1", "L2", "L3"],
+            "d": ["L1", "L2", "L3"],
+        }
+        capacities = {"L1": 1.0, "L2": 1.0, "L3": 1.0}
+        rates = max_min_allocation(flows, capacities)
+        for rate in rates.values():
+            assert rate == pytest.approx(0.25)
+
+    def test_unconstrained_flow_gets_leftover(self):
+        flows = {1: ["A"], 2: ["A"], 3: ["B"]}
+        rates = max_min_allocation(flows, {"A": 1.0, "B": 1.0})
+        assert rates[1] == pytest.approx(0.5)
+        assert rates[3] == pytest.approx(1.0)
+
+    def test_classic_two_level_example(self):
+        """One flow crossing both links, one per link: the crossing
+        flow is bottlenecked first, singles soak up the rest."""
+        flows = {"x": ["A", "B"], "a": ["A"], "b": ["B"], "a2": ["A"]}
+        rates = max_min_allocation(flows, {"A": 1.0, "B": 1.0})
+        assert rates["x"] == pytest.approx(1 / 3)
+        assert rates["a"] == pytest.approx(1 / 3)
+        assert rates["a2"] == pytest.approx(1 / 3)
+        assert rates["b"] == pytest.approx(2 / 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="crosses no links"):
+            max_min_allocation({1: []}, {"L": 1.0})
+        with pytest.raises(ValueError, match="unknown link"):
+            max_min_allocation({1: ["Z"]}, {"L": 1.0})
+        with pytest.raises(ValueError, match="capacity must be positive"):
+            max_min_allocation({1: ["L"]}, {"L": 0.0})
+
+    def test_conservation(self):
+        """No link is over-subscribed by the computed rates."""
+        flows = {
+            1: ["A", "C"],
+            2: ["B", "C"],
+            3: ["A"],
+            4: ["C"],
+            5: ["B"],
+        }
+        capacities = {"A": 0.7, "B": 0.4, "C": 1.0}
+        rates = max_min_allocation(flows, capacities)
+        for link, capacity in capacities.items():
+            used = sum(rates[f] for f, path in flows.items() if link in path)
+            assert used <= capacity + 1e-9
+
+
+class TestAllocationsForSwitch:
+    def test_integerization_feasible(self):
+        rates = {1: 0.25, 2: 0.25, 3: 0.5}
+        ports = {1: (0, 3), 2: (1, 3), 3: (2, 3)}
+        matrix = allocations_for_switch(rates, ports, ports=4, units=16)
+        assert matrix.sum(axis=0).max() <= 16
+        # Scaled into the 72% envelope.
+        assert matrix[2, 3] == int(0.5 * 0.72 * 16)
+
+    def test_feeds_statistical_matcher(self):
+        """End to end: fair rates -> allocation -> legal matcher."""
+        rates = {1: 0.25, 2: 0.25, 3: 0.25, 4: 0.25}
+        ports = {1: (0, 0), 2: (1, 0), 3: (2, 0), 4: (3, 0)}
+        matrix = allocations_for_switch(rates, ports, ports=4, units=16)
+        matcher = StatisticalMatcher(matrix, units=16, seed=0)
+        counts = np.zeros(4)
+        for _ in range(4000):
+            for i, j in matcher.match():
+                counts[i] += 1
+        # Equal allocations -> near-equal service.
+        assert counts.min() > 0.7 * counts.max()
+
+    def test_port_range_checked(self):
+        with pytest.raises(ValueError, match="out of range"):
+            allocations_for_switch({1: 0.5}, {1: (9, 0)}, ports=4, units=16)
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError, match="reservable_fraction"):
+            allocations_for_switch({}, {}, ports=4, units=16, reservable_fraction=0.0)
+
+    def test_unknown_flows_skipped(self):
+        matrix = allocations_for_switch({1: 0.5}, {}, ports=4, units=16)
+        assert matrix.sum() == 0

@@ -1,0 +1,67 @@
+"""Tests for fairness metrics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fairness.metrics import jain_index, max_min_ratio, throughput_shares
+
+
+class TestJainIndex:
+    def test_perfectly_fair(self):
+        assert jain_index([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_one_takes_all(self):
+        assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_figure8_pattern(self):
+        """One connection at 1/16 vs five-fold others is clearly unfair."""
+        shares = [5 / 16, 5 / 16, 5 / 16, 1 / 16]
+        assert jain_index(shares) < 0.9
+
+    def test_all_zero(self):
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            jain_index([])
+        with pytest.raises(ValueError, match="non-negative"):
+            jain_index([-1.0])
+
+    @given(st.lists(st.floats(0.001, 1000), min_size=1, max_size=20))
+    def test_bounded(self, values):
+        index = jain_index(values)
+        assert 1.0 / len(values) - 1e-9 <= index <= 1.0 + 1e-9
+
+    @given(st.lists(st.floats(0.001, 1000), min_size=1, max_size=20), st.floats(0.01, 100))
+    def test_scale_invariant(self, values, scale):
+        assert jain_index(values) == pytest.approx(
+            jain_index([v * scale for v in values]), rel=1e-6
+        )
+
+
+class TestMaxMinRatio:
+    def test_equal(self):
+        assert max_min_ratio([2.0, 2.0]) == 1.0
+
+    def test_five_to_one(self):
+        assert max_min_ratio([5.0, 1.0, 5.0]) == 5.0
+
+    def test_zero_minimum(self):
+        assert max_min_ratio([1.0, 0.0]) == float("inf")
+
+    def test_all_zero(self):
+        assert max_min_ratio([0.0, 0.0]) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            max_min_ratio([])
+
+
+class TestThroughputShares:
+    def test_normalizes(self):
+        shares = throughput_shares({"a": 30, "b": 10})
+        assert shares == {"a": 0.75, "b": 0.25}
+
+    def test_empty_counts(self):
+        assert throughput_shares({"a": 0}) == {"a": 0.0}

@@ -1,0 +1,76 @@
+"""Tests for the Virtual Clock reference discipline."""
+
+import pytest
+
+from repro.fairness.virtual_clock import VirtualClockLink
+
+
+class TestVirtualClockLink:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one flow"):
+            VirtualClockLink({})
+        with pytest.raises(ValueError, match="must be positive"):
+            VirtualClockLink({1: 0.0})
+
+    def test_unknown_flow_rejected(self):
+        link = VirtualClockLink({1: 0.5})
+        with pytest.raises(KeyError):
+            link.enqueue(2, now=0.0)
+        with pytest.raises(KeyError):
+            link.lag_of(2, now=0.0)
+
+    def test_earliest_stamp_served_first(self):
+        link = VirtualClockLink({1: 1.0, 2: 0.1})
+        link.enqueue(2, now=0.0)  # stamp 10
+        link.enqueue(1, now=0.0)  # stamp 1
+        assert link.serve()[0] == 1
+        assert link.serve()[0] == 2
+        assert link.serve() is None
+
+    def test_equal_rates_interleave(self):
+        link = VirtualClockLink({1: 0.5, 2: 0.5})
+        for _ in range(5):
+            link.enqueue(1, now=0.0)
+            link.enqueue(2, now=0.0)
+        order = [link.serve()[0] for _ in range(10)]
+        # Perfect alternation given equal rates and stamps.
+        assert order.count(1) == 5 and order.count(2) == 5
+        assert all(order[i] != order[i + 1] for i in range(0, 9, 2))
+
+    def test_rate_proportional_service(self):
+        """A 3:1 rate split yields ~3:1 service of a backlogged pair."""
+        link = VirtualClockLink({1: 0.75, 2: 0.25})
+        for _ in range(100):
+            link.enqueue(1, now=0.0)
+            link.enqueue(2, now=0.0)
+        first_forty = [link.serve()[0] for _ in range(40)]
+        assert first_forty.count(1) == pytest.approx(30, abs=2)
+
+    def test_idle_flow_does_not_bank_credit(self):
+        """Stamps start from max(now, VC): an idle flow cannot burst
+        ahead with saved-up credit."""
+        link = VirtualClockLink({1: 1.0, 2: 1.0})
+        stamp_late = link.enqueue(1, now=100.0)
+        assert stamp_late == pytest.approx(101.0)
+
+    def test_lag_monitoring(self):
+        """A flow sending faster than its rate shows positive lag --
+        Section 5.3's monitoring property."""
+        link = VirtualClockLink({1: 0.1})
+        for _ in range(5):
+            link.enqueue(1, now=0.0)
+        assert link.lag_of(1, now=0.0) == pytest.approx(50.0)
+        assert link.lag_of(1, now=100.0) < 0  # behind contract by then
+
+    def test_backlog_of(self):
+        link = VirtualClockLink({1: 1.0, 2: 1.0})
+        link.enqueue(1, now=0.0)
+        link.enqueue(1, now=0.0)
+        link.enqueue(2, now=0.0)
+        assert link.backlog_of(1) == 2
+        assert len(link) == 3
+
+    def test_payload_passthrough(self):
+        link = VirtualClockLink({1: 1.0})
+        link.enqueue(1, now=0.0, payload="cell-a")
+        assert link.serve() == (1, "cell-a")

@@ -1,0 +1,109 @@
+"""Tests for the hardware cost and timing model (Table 2)."""
+
+import pytest
+
+from repro.hardware.cost import (
+    AN2_LINK_BPS,
+    AN2_PORTS,
+    PRODUCTION_MODEL,
+    PROTOTYPE_MODEL,
+    SwitchCostModel,
+    cell_rate,
+    schedule_time_budget,
+    slots_to_seconds,
+    uncontended_latency,
+)
+from repro.switch.cell import ATM_CELL, WIDE_CELL
+
+
+class TestTable2Calibration:
+    def test_prototype_shares_match_table2(self):
+        rows = dict(PROTOTYPE_MODEL.table2_rows())
+        assert rows["optoelectronics"] == pytest.approx(48.0)
+        assert rows["crossbar"] == pytest.approx(4.0)
+        assert rows["buffer"] == pytest.approx(21.0)
+        assert rows["scheduling"] == pytest.approx(10.0)
+        assert rows["control"] == pytest.approx(17.0)
+
+    def test_production_shares_match_table2(self):
+        rows = dict(PRODUCTION_MODEL.table2_rows())
+        assert rows["optoelectronics"] == pytest.approx(63.0)
+        assert rows["crossbar"] == pytest.approx(5.0)
+        assert rows["buffer"] == pytest.approx(19.0)
+        assert rows["scheduling"] == pytest.approx(3.0)
+        assert rows["control"] == pytest.approx(10.0)
+
+    def test_total_normalized_at_16(self):
+        assert PROTOTYPE_MODEL.total_cost(AN2_PORTS) == pytest.approx(1.0)
+
+    def test_shares_sum_to_one_at_any_size(self):
+        for ports in (4, 16, 64):
+            assert sum(PRODUCTION_MODEL.shares(ports).values()) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown components"):
+            SwitchCostModel({"optoelectronics": 1.0, "bogus": 0.0})
+        with pytest.raises(ValueError, match="missing components"):
+            SwitchCostModel({"optoelectronics": 1.0})
+        with pytest.raises(ValueError, match="sum to 1"):
+            SwitchCostModel(
+                {
+                    "optoelectronics": 0.5,
+                    "crossbar": 0.5,
+                    "buffer": 0.5,
+                    "scheduling": 0.2,
+                    "control": 0.2,
+                }
+            )
+        with pytest.raises(ValueError, match="positive"):
+            PROTOTYPE_MODEL.total_cost(0)
+
+
+class TestScalingClaims:
+    def test_optoelectronics_dominates_up_to_64_ports(self):
+        """Section 3.3: optics dominate switch cost."""
+        for ports in (16, 32, 64):
+            shares = PRODUCTION_MODEL.shares(ports)
+            assert shares["optoelectronics"] == max(shares.values())
+
+    def test_crossbar_minor_at_moderate_scale(self):
+        """Section 2.2: crossbar < 5% at 16 ports, still small at 64."""
+        assert PROTOTYPE_MODEL.shares(16)["crossbar"] <= 0.05
+        assert PROTOTYPE_MODEL.shares(64)["crossbar"] < 0.20
+
+    def test_quadratic_terms_grow_with_ports(self):
+        small = PRODUCTION_MODEL.shares(16)
+        large = PRODUCTION_MODEL.shares(256)
+        assert large["crossbar"] > small["crossbar"]
+        assert large["scheduling"] > small["scheduling"]
+
+    def test_cost_per_port_has_sweet_spot(self):
+        """Very small switches pay the fixed CPU; very large pay O(N^2)."""
+        per_port = {n: PROTOTYPE_MODEL.cost_per_port(n) for n in (2, 16, 512)}
+        assert per_port[16] < per_port[2]
+        assert per_port[16] < per_port[512]
+
+
+class TestTimingHeadlines:
+    def test_37_million_cells_per_second(self):
+        rate = cell_rate(AN2_PORTS, AN2_LINK_BPS, ATM_CELL)
+        assert rate == pytest.approx(37.7e6, rel=0.01)
+        assert rate > 37e6  # "over 37 million cells per second"
+
+    def test_schedule_budget_is_one_cell_time(self):
+        assert schedule_time_budget() == pytest.approx(424e-9)
+
+    def test_wide_cell_budget_longer(self):
+        assert schedule_time_budget(cell=WIDE_CELL) > schedule_time_budget()
+
+    def test_uncontended_latency_2_2_us(self):
+        assert uncontended_latency() == pytest.approx(2.2e-6)
+
+    def test_slots_to_seconds(self):
+        # The Section 3.5 claim: <13 us mean delay at 95% load means
+        # under ~30.7 slots of queueing delay.
+        assert slots_to_seconds(30.0) == pytest.approx(12.72e-6)
+
+    def test_cell_rate_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            cell_rate(0)

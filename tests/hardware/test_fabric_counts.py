@@ -1,0 +1,48 @@
+"""Tests for the fabric element-count model."""
+
+import pytest
+
+from repro.hardware.cost import fabric_element_counts
+from repro.switch.banyan import BanyanNetwork
+from repro.switch.batcher import comparator_count
+
+
+class TestFabricElementCounts:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="power of two"):
+            fabric_element_counts(12)
+        with pytest.raises(ValueError, match="power of two"):
+            fabric_element_counts(1)
+
+    def test_crossbar_quadratic(self):
+        assert fabric_element_counts(16)["crossbar_crosspoints"] == 256
+        assert fabric_element_counts(64)["crossbar_crosspoints"] == 4096
+
+    def test_matches_batcher_module(self):
+        for ports in (4, 8, 16, 32):
+            assert (
+                fabric_element_counts(ports)["batcher_elements"]
+                == comparator_count(ports)
+            )
+
+    def test_matches_banyan_module(self):
+        for ports in (4, 8, 16, 32):
+            assert (
+                fabric_element_counts(ports)["banyan_elements"]
+                == BanyanNetwork(ports).element_count
+            )
+
+    def test_total_is_sum(self):
+        counts = fabric_element_counts(16)
+        assert counts["batcher_banyan_total"] == (
+            counts["batcher_elements"] + counts["banyan_elements"]
+        )
+
+    def test_crossbar_ratio_grows_with_n(self):
+        """O(N^2) vs O(N log^2 N): the crossbar loses asymptotically."""
+        ratios = [
+            fabric_element_counts(n)["crossbar_crosspoints"]
+            / fabric_element_counts(n)["batcher_banyan_total"]
+            for n in (8, 32, 128, 512)
+        ]
+        assert ratios == sorted(ratios)

@@ -1,0 +1,80 @@
+"""End-to-end integration of CBR guarantees with VBR background load."""
+
+import numpy as np
+import pytest
+
+from repro.cbr.integrated import IntegratedSwitch
+from repro.cbr.reservations import ReservationTable
+from repro.core.pim import PIMScheduler
+from repro.switch.cell import ServiceClass
+from repro.switch.flow import Flow
+from repro.traffic.cbr_source import CBRSource
+from repro.traffic.uniform import UniformTraffic
+
+
+def cbr_flow(flow_id, src, dst, cells):
+    return Flow(
+        flow_id=flow_id, src=src, dst=dst, service=ServiceClass.CBR, cells_per_frame=cells
+    )
+
+
+class TestCBRVBRIntegration:
+    def test_full_reservation_matrix_with_vbr_flood(self):
+        """Half of every link reserved, VBR floods the rest: CBR delay
+        stays bounded by ~a frame; VBR soaks up the leftover capacity."""
+        ports, frame = 8, 16
+        flows = []
+        flow_id = 1000
+        rng = np.random.default_rng(0)
+        # Reserve 8 cells/frame per input spread over two destinations.
+        for i in range(ports):
+            for k in range(2):
+                dst = int((i + 1 + k) % ports)
+                flows.append(cbr_flow(flow_id, i, dst, 4))
+                flow_id += 1
+        table = ReservationTable(ports, frame)
+        for flow in flows:
+            table.admit(flow)
+        switch = IntegratedSwitch(table, scheduler=PIMScheduler(seed=1))
+        cbr_src = CBRSource(ports, flows, frame_slots=frame, jitter=True, seed=2)
+        vbr_src = UniformTraffic(ports, load=1.0, seed=3)
+        result = switch.run([cbr_src, vbr_src], slots=4000, warmup=400)
+
+        # CBR throughput equals its aggregate reservation.
+        expected_cbr_rate = len(flows) * 4 / frame
+        measured = result.cbr_delay.count / (4000 - 400)
+        assert measured == pytest.approx(expected_cbr_rate, rel=0.05)
+        # CBR worst-case delay bounded (2 frames covers jittered entry).
+        assert result.cbr_delay.max <= 2 * frame
+        # VBR still makes progress.
+        assert result.vbr_delay.count > 0
+        # Aggregate link utilization is near 100%: CBR + VBR fill slots.
+        assert result.throughput > 0.9
+
+    def test_cbr_latency_independent_of_vbr_load(self):
+        """Raising VBR load must not raise CBR delay (the guarantee)."""
+        ports, frame = 4, 10
+        flows = [cbr_flow(1, 0, 2, 5)]
+
+        def run(vbr_load, seed):
+            table = ReservationTable(ports, frame)
+            table.admit(flows[0])
+            switch = IntegratedSwitch(table, scheduler=PIMScheduler(seed=seed))
+            cbr_src = CBRSource(ports, flows, frame_slots=frame)
+            vbr_src = UniformTraffic(ports, load=vbr_load, seed=seed + 1)
+            return switch.run([cbr_src, vbr_src], slots=3000, warmup=300)
+
+        light = run(0.1, 10)
+        heavy = run(1.0, 20)
+        assert heavy.cbr_delay.max <= light.cbr_delay.max + frame
+
+    def test_releasing_reservation_frees_bandwidth_for_vbr(self):
+        ports, frame = 4, 4
+        table = ReservationTable(ports, frame)
+        flow = cbr_flow(1, 0, 1, 4)
+        table.admit(flow)
+        table.release(1)
+        switch = IntegratedSwitch(table, scheduler=PIMScheduler(seed=0))
+        vbr = UniformTraffic(ports, load=0.9, seed=5)
+        result = switch.run(vbr, slots=2000, warmup=200)
+        assert result.throughput == pytest.approx(result.offered, rel=0.05)

@@ -1,0 +1,104 @@
+"""Integration: 64 workstations on a 16-port switch via concentrators.
+
+Section 2.1: "for AN2, we are designing a special concentrator card to
+connect four workstations, each using [a] slower speed link, to a
+single AN2 switch port.  A single 16 by 16 AN2 switch can thus connect
+up to 64 workstations."
+
+We put 4:1 concentrators in front of a PIM-scheduled switch and verify
+the workstation-level service: each workstation gets its 1/4 link
+share under full contention, idle siblings' bandwidth is reusable, and
+no cells are lost anywhere.
+"""
+
+import pytest
+
+from repro.core.pim import PIMScheduler
+from repro.switch.cell import Cell
+from repro.switch.concentrator import Concentrator
+from repro.switch.switch import CrossbarSwitch
+
+
+class ConcentratedSystem:
+    """A switch whose every input port sits behind a 4:1 concentrator."""
+
+    def __init__(self, ports=16, tributaries=4, seed=0):
+        self.ports = ports
+        self.tributaries = tributaries
+        self.switch = CrossbarSwitch(ports, PIMScheduler(seed=seed))
+        self.concentrators = [Concentrator(tributaries) for _ in range(ports)]
+        self.delivered = {}
+        self._seqno = {}
+
+    def offer(self, port, tributary, output, slot):
+        """A workstation submits one cell."""
+        flow_id = (port * self.tributaries + tributary) * self.ports + output
+        seq = self._seqno.get(flow_id, 0)
+        self._seqno[flow_id] = seq + 1
+        cell = Cell(flow_id=flow_id, output=output, seqno=seq, injected_slot=slot)
+        self.concentrators[port].offer(tributary, cell, slot)
+
+    def step(self, slot):
+        arrivals = []
+        for port, concentrator in enumerate(self.concentrators):
+            cell = concentrator.multiplex(slot)
+            if cell is not None:
+                arrivals.append((port, cell))
+        for cell in self.switch.step(slot, arrivals):
+            key = cell.flow_id
+            self.delivered[key] = self.delivered.get(key, 0) + 1
+
+    def total_delivered(self):
+        return sum(self.delivered.values())
+
+
+class TestConcentratorNetwork:
+    def test_sixty_four_workstations_fair_shares(self):
+        """All 64 workstations saturated toward distinct outputs: each
+        gets ~1/4 of its port's link."""
+        system = ConcentratedSystem()
+        slots = 4000
+        for slot in range(slots):
+            for port in range(16):
+                for tributary in range(4):
+                    # Keep each workstation's queue primed (saturated),
+                    # all traffic of workstation w -> output (port+1)%16.
+                    if system.concentrators[port].upstream_backlog(tributary) < 2:
+                        system.offer(port, tributary, (port + 1) % 16, slot)
+            system.step(slot)
+        # Each port carries ~1 cell/slot split 4 ways.
+        per_workstation = [
+            count / slots for count in system.delivered.values()
+        ]
+        assert len(per_workstation) == 64
+        for share in per_workstation:
+            assert share == pytest.approx(0.25, abs=0.03)
+
+    def test_lone_workstation_capped_by_its_link(self):
+        """With rate limiting, one workstation cannot exceed 1/4 of the
+        trunk even when its siblings are idle (its own link is slow)."""
+        system = ConcentratedSystem()
+        slots = 2000
+        for slot in range(slots):
+            if system.concentrators[0].upstream_backlog(0) < 2:
+                system.offer(0, 0, 5, slot)
+            system.step(slot)
+        delivered = system.total_delivered()
+        assert delivered / slots == pytest.approx(0.25, abs=0.02)
+
+    def test_no_loss_through_the_stack(self):
+        """Offered == delivered + queued everywhere."""
+        system = ConcentratedSystem()
+        offered = 0
+        for slot in range(1000):
+            for port in (0, 3, 7):
+                if slot % 2 == 0:
+                    system.offer(port, slot % 4, (port + 2) % 16, slot)
+                    offered += 1
+            system.step(slot)
+        queued = sum(
+            concentrator.upstream_backlog(t)
+            for concentrator in system.concentrators
+            for t in range(4)
+        ) + system.switch.backlog()
+        assert offered == system.total_delivered() + queued

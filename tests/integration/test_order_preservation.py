@@ -1,0 +1,105 @@
+"""The switch's no-loss / no-reorder guarantees under stress.
+
+Section 1: "The switch does not drop cells, and it preserves the order
+of cells sent between a pair of hosts."  These tests hammer the switch
+models with adversarial and randomized workloads and verify both
+properties end to end (the switch's run() already asserts per-flow
+order; here we also check it across the multi-switch network).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pim import PIMScheduler
+from repro.core.islip import ISLIPScheduler
+from repro.core.wavefront import WavefrontScheduler
+from repro.network.netsim import FlowSpec, NetworkSimulator
+from repro.network.topology import Topology
+from repro.switch.cell import Cell
+from repro.switch.switch import CrossbarSwitch
+from repro.traffic.bursty import BurstyTraffic
+from repro.traffic.trace import TraceTraffic
+
+
+class TestSingleSwitchGuarantees:
+    @pytest.mark.parametrize(
+        "scheduler_factory",
+        [
+            lambda: PIMScheduler(seed=0),
+            lambda: PIMScheduler(seed=0, accept="round_robin"),
+            lambda: ISLIPScheduler(iterations=2),
+            lambda: WavefrontScheduler(),
+        ],
+        ids=["pim-random", "pim-rr", "islip", "wavefront"],
+    )
+    def test_no_loss_no_reorder_under_bursts(self, scheduler_factory):
+        switch = CrossbarSwitch(8, scheduler_factory())
+        traffic = BurstyTraffic(8, load=0.8, burst_length=15, seed=42)
+        # run() raises on any per-flow order violation.
+        result = switch.run(traffic, slots=5000)
+        assert result.dropped == 0
+        assert result.counter.offered == result.counter.carried + result.backlog
+
+    def test_adversarial_single_output_burst(self):
+        """All inputs dump a burst at one output; nothing lost, order kept."""
+        script = []
+        for slot in range(100):
+            for i in range(8):
+                script.append(
+                    (slot, i, Cell(flow_id=i, output=0, seqno=slot))
+                )
+        switch = CrossbarSwitch(8, PIMScheduler(seed=1))
+        result = switch.run(TraceTraffic.from_script(8, script), slots=900)
+        assert result.counter.carried == 800
+        assert result.backlog == 0
+
+
+class TestNetworkOrderPreservation:
+    def test_flow_order_across_three_switches(self):
+        topo = Topology()
+        for s in ("s1", "s2", "s3"):
+            topo.add_switch(s, 4)
+        topo.add_host("src")
+        topo.add_host("other")
+        topo.add_host("dst")
+        topo.connect("src", "s1")
+        topo.connect("other", "s1")
+        topo.connect("s1", "s2")
+        topo.connect("s2", "s3")
+        topo.connect("s3", "dst")
+        sim = NetworkSimulator(topo, seed=5)
+        sim.add_flow(FlowSpec(1, "src", "dst", 0.9))
+        sim.add_flow(FlowSpec(2, "other", "dst", 0.9))
+
+        seen = {}
+        violations = []
+
+        original_run = sim.run
+
+        # Observe deliveries by wrapping the delay recorder: instead we
+        # re-run manually and inspect via a custom hook on _in_transit.
+        # Simpler: drive slots through run() and rely on per-switch VOQ
+        # FIFO; then independently verify using delivered seqnos by
+        # patching NetworkResult -- easiest is to sample from the sink
+        # by replaying with a tap.
+        class Tap:
+            def __init__(self):
+                self.last = {}
+                self.violations = 0
+
+        tap = Tap()
+        ship = sim._ship
+
+        def tapped_ship(node, port, cell, slot):
+            peer = ship(node, port, cell, slot)
+            if peer and peer[0] == "dst":
+                last = tap.last.get(cell.flow_id)
+                if last is not None and cell.seqno <= last:
+                    tap.violations += 1
+                tap.last[cell.flow_id] = cell.seqno
+            return peer
+
+        sim._ship = tapped_ship
+        result = original_run(slots=3000, warmup=0)
+        assert tap.violations == 0
+        assert result.delivered[1] > 0 and result.delivered[2] > 0

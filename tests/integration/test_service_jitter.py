@@ -1,0 +1,81 @@
+"""Service regularity: frame scheduling vs statistical matching.
+
+Section 5's trade-off, measured on the service process itself: a
+Slepian-Duguid frame schedule serves a reserved flow at *fixed* slot
+positions (deterministic inter-service times, zero long-term jitter),
+while statistical matching delivers the same average rate with
+geometric inter-service gaps -- the price of its cheap rate changes.
+Applications choose per their tolerance; both deliver the contracted
+mean rate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cbr.slepian_duguid import SlepianDuguidScheduler
+from repro.core.statistical import StatisticalMatcher
+
+
+def inter_service_gaps(service_slots):
+    return np.diff(np.asarray(service_slots))
+
+
+class TestServiceJitter:
+    def test_frame_schedule_is_periodic(self):
+        frame = 20
+        scheduler = SlepianDuguidScheduler(4, frame)
+        scheduler.add_reservation(0, 2, 4)
+        slots = scheduler.schedule.slots_for(0, 2)
+        # Service repeats the same slots every frame: gaps over two
+        # frames are exactly the within-frame pattern, twice.
+        service = [s + k * frame for k in range(50) for s in slots]
+        service.sort()
+        gaps = inter_service_gaps(service)
+        # Periodic: the gap sequence repeats with period 4.
+        assert (gaps[: len(gaps) - 4] == gaps[4:]).all()
+        # Mean rate is the reservation.
+        assert len(service) / (50 * frame) == pytest.approx(4 / frame)
+
+    def test_statistical_matching_geometric_gaps(self):
+        units = 16
+        alloc = np.zeros((4, 4), dtype=np.int64)
+        alloc[0, 2] = 4  # 25% allocation
+        matcher = StatisticalMatcher(alloc, units=units, rounds=2, seed=3)
+        service = []
+        slots = 40_000
+        for slot in range(slots):
+            if (0, 2) in matcher.match().pairs:
+                service.append(slot)
+        gaps = inter_service_gaps(service)
+        rate = len(service) / slots
+        # With no competing allocations, one round delivers
+        # f = (X_ij/X)(1 - ((X-1)/X)^X) and the second round fills the
+        # complement: rate = f (2 - f).
+        from repro.analysis.statistical_theory import single_round_fraction
+
+        f = (4 / units) * single_round_fraction(units)
+        assert rate == pytest.approx(f * (2 - f), rel=0.05)
+        # Geometric gaps: variance ~ (1-p)/p^2, far from periodic.
+        p = rate
+        assert gaps.var() == pytest.approx((1 - p) / p**2, rel=0.25)
+        # CV close to 1 (memoryless), while the frame schedule's is ~0.
+        cv = gaps.std() / gaps.mean()
+        assert cv > 0.7
+
+    def test_both_deliver_contracted_mean_rate(self):
+        """The guarantee both mechanisms share: cells per frame."""
+        frame = 16
+        scheduler = SlepianDuguidScheduler(4, frame)
+        scheduler.add_reservation(1, 3, 4)
+        assert len(scheduler.schedule.slots_for(1, 3)) == 4
+
+        alloc = np.zeros((4, 4), dtype=np.int64)
+        alloc[1, 3] = 4
+        matcher = StatisticalMatcher(alloc, units=frame, rounds=2, seed=4)
+        served = sum(
+            (1, 3) in matcher.match().pairs for _ in range(20_000)
+        )
+        # Statistical matching's mean is its allocation x efficiency --
+        # lower than the frame schedule's exact k/frame, which is why
+        # the paper reserves only 72% of a link through it.
+        assert served / 20_000 > (4 / frame) * 0.8

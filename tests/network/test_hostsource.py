@@ -1,0 +1,57 @@
+"""Tests for the host injection model."""
+
+import numpy as np
+import pytest
+
+from repro.network.netsim import FlowSpec, HostSource
+
+
+def make_source(specs, seed=0):
+    rng = np.random.default_rng(seed)
+    source = HostSource("h", list(specs), rng)
+    return source
+
+
+class TestHostSource:
+    def test_greedy_flow_always_emits(self):
+        source = make_source([FlowSpec(1, "h", "d", 1.0)])
+        cells = [source.emit(slot) for slot in range(50)]
+        assert all(cell is not None for cell in cells)
+        assert all(cell.flow_id == 1 for cell in cells)
+
+    def test_seqnos_monotone(self):
+        source = make_source([FlowSpec(1, "h", "d", 1.0)])
+        seqs = [source.emit(slot).seqno for slot in range(20)]
+        assert seqs == list(range(20))
+
+    def test_round_robin_between_greedy_flows(self):
+        source = make_source(
+            [FlowSpec(1, "h", "d", 1.0), FlowSpec(2, "h", "e", 1.0)]
+        )
+        flows = [source.emit(slot).flow_id for slot in range(10)]
+        assert flows.count(1) == 5 and flows.count(2) == 5
+
+    def test_stochastic_rate(self):
+        source = make_source([FlowSpec(1, "h", "d", 0.3)], seed=1)
+        emitted = sum(source.emit(slot) is not None for slot in range(5000))
+        assert emitted / 5000 == pytest.approx(0.3, abs=0.03)
+
+    def test_idle_host_emits_nothing(self):
+        source = make_source([FlowSpec(1, "h", "d", 0.0)])
+        assert all(source.emit(slot) is None for slot in range(20))
+
+    def test_pending_queue_drains_in_bursts(self):
+        """Stochastic arrivals accumulate; the host link drains one per
+        slot so nothing is ever lost."""
+        source = make_source([FlowSpec(1, "h", "d", 0.9)], seed=2)
+        emitted = sum(source.emit(slot) is not None for slot in range(10_000))
+        # Emission rate equals arrival rate (the link is faster).
+        assert emitted / 10_000 == pytest.approx(0.9, abs=0.02)
+
+    def test_greedy_flow_does_not_starve_stochastic(self):
+        source = make_source(
+            [FlowSpec(1, "h", "d", 1.0), FlowSpec(2, "h", "e", 0.4)], seed=3
+        )
+        flows = [source.emit(slot).flow_id for slot in range(4000)]
+        share_2 = flows.count(2) / len(flows)
+        assert share_2 == pytest.approx(0.4, abs=0.05)

@@ -1,0 +1,85 @@
+"""Tests for flow routing tables."""
+
+import pytest
+
+from repro.network.routing import Router
+from repro.network.topology import Topology
+
+
+def diamond_topology():
+    """h1 - s1 - {s2, s3} - s4 - h2: two equal-length paths."""
+    topo = Topology()
+    for s in ("s1", "s2", "s3", "s4"):
+        topo.add_switch(s, 4)
+    topo.add_host("h1")
+    topo.add_host("h2")
+    topo.connect("h1", "s1")
+    topo.connect("s1", "s2")
+    topo.connect("s1", "s3")
+    topo.connect("s2", "s4")
+    topo.connect("s3", "s4")
+    topo.connect("s4", "h2")
+    return topo
+
+
+class TestRouter:
+    def test_install_builds_tables(self):
+        topo = diamond_topology()
+        router = Router(topo)
+        route = router.install(1, "h1", "h2")
+        assert route.path[0] == "h1" and route.path[-1] == "h2"
+        assert route.hops == 3
+        for switch in route.path[1:-1]:
+            port = router.output_port(switch, 1)
+            next_hop = route.path[route.path.index(switch) + 1]
+            assert topo.peer(switch, port)[0] == next_hop
+
+    def test_duplicate_flow_rejected(self):
+        router = Router(diamond_topology())
+        router.install(1, "h1", "h2")
+        with pytest.raises(ValueError, match="already installed"):
+            router.install(1, "h2", "h1")
+
+    def test_switch_endpoint_rejected(self):
+        router = Router(diamond_topology())
+        with pytest.raises(ValueError, match="is a switch"):
+            router.install(1, "s1", "h2")
+
+    def test_explicit_path(self):
+        topo = diamond_topology()
+        router = Router(topo)
+        path = ["h1", "s1", "s3", "s4", "h2"]
+        route = router.install(1, "h1", "h2", path=path)
+        assert route.path == tuple(path)
+        assert topo.peer("s1", router.output_port("s1", 1))[0] == "s3"
+
+    def test_explicit_path_endpoints_checked(self):
+        router = Router(diamond_topology())
+        with pytest.raises(ValueError, match="must start at src"):
+            router.install(1, "h1", "h2", path=["h2", "s4", "h1"])
+
+    def test_explicit_path_interior_must_be_switches(self):
+        topo = diamond_topology()
+        topo.add_host("h3")
+        topo.connect("h3", "s2")
+        router = Router(topo)
+        with pytest.raises(ValueError, match="is not a switch"):
+            router.install(1, "h1", "h2", path=["h1", "s1", "s2", "h3", "s2", "s4", "h2"])
+
+    def test_disconnected_rejected(self):
+        topo = diamond_topology()
+        topo.add_host("island")
+        router = Router(topo)
+        with pytest.raises(ValueError, match="no path"):
+            router.install(1, "h1", "island")
+
+    def test_unrouted_flow_lookup_fails(self):
+        router = Router(diamond_topology())
+        with pytest.raises(KeyError):
+            router.output_port("s1", 42)
+
+    def test_flows_listing(self):
+        router = Router(diamond_topology())
+        router.install(1, "h1", "h2")
+        router.install(2, "h2", "h1")
+        assert {r.flow_id for r in router.flows()} == {1, 2}

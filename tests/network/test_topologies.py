@@ -1,0 +1,87 @@
+"""Tests for the prebuilt topology factories."""
+
+import pytest
+
+from repro.network.netsim import FlowSpec, NetworkSimulator
+from repro.network.topologies import campus, chain, diamond, parking_lot, star
+
+
+class TestChain:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one switch"):
+            chain(0)
+
+    def test_shape(self):
+        topo, left, right = chain(3, hosts_per_end=2)
+        assert len(topo.switches()) == 3
+        assert left == ["l0", "l1"] and right == ["r0", "r1"]
+        path = topo.shortest_path("l0", "r0")
+        assert path == ["l0", "s0", "s1", "s2", "r0"]
+
+    def test_runs_traffic(self):
+        topo, left, right = chain(2)
+        sim = NetworkSimulator(topo, seed=0)
+        sim.add_flow(FlowSpec(1, left[0], right[0], 0.5))
+        result = sim.run(slots=1000, warmup=100)
+        assert result.throughput(1) == pytest.approx(0.5, abs=0.06)
+
+
+class TestParkingLot:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="two stages"):
+            parking_lot(1)
+
+    def test_merge_structure(self):
+        topo, sources, sink = parking_lot(3)
+        assert len(sources) == 4  # 2 at the first switch + 1 per later
+        assert sink == "sink"
+        # Each source reaches the sink.
+        for host in sources:
+            assert topo.shortest_path(host, sink) is not None
+        # Later sources are closer to the sink.
+        hops = [len(topo.shortest_path(h, sink)) for h in sources]
+        assert hops[0] >= hops[-1]
+
+
+class TestStar:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one client"):
+            star(0)
+        with pytest.raises(ValueError, match="at least"):
+            star(4, switch_ports=3)
+
+    def test_shape(self):
+        topo, clients, server = star(5)
+        assert len(clients) == 5
+        for client in clients:
+            assert topo.shortest_path(client, server) == [client, "hub", server]
+
+
+class TestCampus:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one workgroup"):
+            campus(0)
+
+    def test_shape(self):
+        topo, clients, server = campus(workgroups=2, clients_per_group=3)
+        assert len(clients) == 6
+        # Intra-group paths avoid the backbone.
+        path = topo.shortest_path("c0_0", "c0_1")
+        assert path == ["c0_0", "wg0", "c0_1"]
+        # Cross-group paths cross the backbone.
+        path = topo.shortest_path("c0_0", "c1_0")
+        assert "backbone" in path
+
+
+class TestDiamond:
+    def test_two_disjoint_paths(self):
+        topo, hosts = diamond()
+        path = topo.shortest_path(hosts["left"][0], hosts["right"][0])
+        assert len(path) == 5  # host, in, middle, out, host
+        # Removing either middle switch still leaves a route: check by
+        # constructing explicit paths through both arms.
+        upper = [hosts["left"][0], "in", "upper", "out", hosts["right"][0]]
+        lower = [hosts["left"][0], "in", "lower", "out", hosts["right"][0]]
+        for candidate in (upper, lower):
+            for a, b in zip(candidate, candidate[1:]):
+                assert b in topo.neighbors(a)

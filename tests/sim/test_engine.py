@@ -1,0 +1,80 @@
+"""Tests for the slot-synchronous engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationEngine
+
+
+class RecordingProcess:
+    """Records the order in which its phases fire."""
+
+    def __init__(self, name, log):
+        self.name = name
+        self.log = log
+
+    def begin_slot(self, slot):
+        self.log.append((slot, "begin", self.name))
+
+    def transfer(self, slot):
+        self.log.append((slot, "transfer", self.name))
+
+    def end_slot(self, slot):
+        self.log.append((slot, "end", self.name))
+
+
+class TestSimulationEngine:
+    def test_runs_requested_slots(self):
+        engine = SimulationEngine()
+        assert engine.run(5) == 5
+        assert engine.slot == 5
+
+    def test_negative_slots_rejected(self):
+        engine = SimulationEngine()
+        with pytest.raises(ValueError, match="non-negative"):
+            engine.run(-1)
+
+    def test_phase_barriers(self):
+        """All processes finish a phase before any starts the next."""
+        log = []
+        engine = SimulationEngine()
+        engine.add_process(RecordingProcess("a", log))
+        engine.add_process(RecordingProcess("b", log))
+        engine.run(1)
+        assert log == [
+            (0, "begin", "a"),
+            (0, "begin", "b"),
+            (0, "transfer", "a"),
+            (0, "transfer", "b"),
+            (0, "end", "a"),
+            (0, "end", "b"),
+        ]
+
+    def test_slots_advance_monotonically(self):
+        log = []
+        engine = SimulationEngine()
+        engine.add_process(RecordingProcess("a", log))
+        engine.run(3)
+        slots = [entry[0] for entry in log]
+        assert slots == sorted(slots)
+        assert set(slots) == {0, 1, 2}
+
+    def test_until_stops_early(self):
+        engine = SimulationEngine()
+        executed = engine.run(100, until=lambda slot: slot == 9)
+        assert executed == 10
+        assert engine.slot == 10
+
+    def test_slot_hooks_fire(self):
+        seen = []
+        engine = SimulationEngine()
+        engine.add_slot_hook(seen.append)
+        engine.run(3)
+        assert seen == [0, 1, 2]
+
+    def test_resume_continues_slot_numbering(self):
+        log = []
+        engine = SimulationEngine()
+        engine.add_process(RecordingProcess("a", log))
+        engine.run(2)
+        engine.run(2)
+        assert [e[0] for e in log if e[1] == "begin"] == [0, 1, 2, 3]

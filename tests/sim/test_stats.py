@@ -1,0 +1,188 @@
+"""Tests for the statistics accumulators."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.stats import (
+    DelayStats,
+    RunningMeanVar,
+    ThroughputCounter,
+    batch_means_ci,
+    stationarity_ratio,
+)
+
+
+class TestRunningMeanVar:
+    def test_empty(self):
+        acc = RunningMeanVar()
+        assert acc.mean == 0.0
+        assert acc.variance == 0.0
+        assert acc.stderr == 0.0
+
+    def test_single_value(self):
+        acc = RunningMeanVar()
+        acc.add(5.0)
+        assert acc.mean == 5.0
+        assert acc.variance == 0.0
+
+    def test_known_values(self):
+        acc = RunningMeanVar()
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]:
+            acc.add(x)
+        assert acc.mean == pytest.approx(5.0)
+        assert acc.variance == pytest.approx(32.0 / 7.0)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=100))
+    def test_matches_two_pass(self, xs):
+        acc = RunningMeanVar()
+        for x in xs:
+            acc.add(x)
+        mean = sum(xs) / len(xs)
+        var = sum((x - mean) ** 2 for x in xs) / (len(xs) - 1)
+        assert acc.mean == pytest.approx(mean, rel=1e-9, abs=1e-6)
+        assert acc.variance == pytest.approx(var, rel=1e-6, abs=1e-6)
+
+    @given(
+        st.lists(st.floats(-100, 100), min_size=1, max_size=30),
+        st.lists(st.floats(-100, 100), min_size=1, max_size=30),
+    )
+    def test_merge_equals_concatenation(self, xs, ys):
+        left = RunningMeanVar()
+        for x in xs:
+            left.add(x)
+        right = RunningMeanVar()
+        for y in ys:
+            right.add(y)
+        left.merge(right)
+        combined = RunningMeanVar()
+        for v in xs + ys:
+            combined.add(v)
+        assert left.count == combined.count
+        assert left.mean == pytest.approx(combined.mean, abs=1e-9)
+        assert left.variance == pytest.approx(combined.variance, rel=1e-6, abs=1e-9)
+
+    def test_merge_empty_is_noop(self):
+        acc = RunningMeanVar()
+        acc.add(1.0)
+        acc.merge(RunningMeanVar())
+        assert acc.count == 1
+
+
+class TestDelayStats:
+    def test_records_delay(self):
+        stats = DelayStats()
+        stats.record(arrival_slot=10, departure_slot=15)
+        assert stats.mean == 5.0
+        assert stats.count == 1
+        assert stats.max == 5
+
+    def test_warmup_discards(self):
+        stats = DelayStats(warmup=100)
+        stats.record(arrival_slot=50, departure_slot=200)
+        assert stats.count == 0
+        stats.record(arrival_slot=100, departure_slot=103)
+        assert stats.count == 1
+
+    def test_negative_delay_rejected(self):
+        stats = DelayStats()
+        with pytest.raises(ValueError, match="negative delay"):
+            stats.record(arrival_slot=10, departure_slot=5)
+
+    def test_percentile(self):
+        stats = DelayStats()
+        for delay in range(1, 101):
+            stats.record(0, delay)
+        assert stats.percentile(0.5) == 50
+        assert stats.percentile(1.0) == 100
+        assert stats.percentile(0.01) == 1
+
+    def test_percentile_validation(self):
+        stats = DelayStats()
+        stats.record(0, 1)
+        with pytest.raises(ValueError, match="in \\(0, 1\\]"):
+            stats.percentile(0.0)
+        with pytest.raises(ValueError, match="in \\(0, 1\\]"):
+            stats.percentile(1.5)
+
+    def test_percentile_empty(self):
+        with pytest.raises(ValueError, match="no observations"):
+            DelayStats().percentile(0.5)
+
+    def test_histogram_copy(self):
+        stats = DelayStats()
+        stats.record(0, 3)
+        stats.record(0, 3)
+        hist = stats.histogram()
+        assert hist == {3: 2}
+        hist[3] = 99
+        assert stats.histogram() == {3: 2}
+
+
+class TestThroughputCounter:
+    def test_carried_per_slot(self):
+        counter = ThroughputCounter()
+        for slot in range(10):
+            counter.record_arrival(slot, 2)
+            counter.record_departure(slot, 1)
+        assert counter.window == 10
+        assert counter.carried_per_slot() == pytest.approx(1.0)
+        assert counter.offered_per_slot() == pytest.approx(2.0)
+        assert counter.carried_per_slot(ports=2) == pytest.approx(0.5)
+
+    def test_warmup(self):
+        counter = ThroughputCounter(warmup=5)
+        counter.record_arrival(3, 100)
+        assert counter.offered == 0
+        counter.record_arrival(5, 1)
+        assert counter.offered == 1
+
+    def test_empty_window(self):
+        counter = ThroughputCounter()
+        assert counter.window == 0
+        assert counter.carried_per_slot() == 0.0
+
+
+class TestStationarityRatio:
+    def test_stationary_series(self):
+        assert stationarity_ratio([5.0] * 100) == pytest.approx(1.0)
+
+    def test_drifting_series_detected(self):
+        ramp = [float(i) for i in range(100)]
+        assert stationarity_ratio(ramp) > 2.0
+
+    def test_zero_first_half(self):
+        assert stationarity_ratio([0.0, 0.0, 1.0, 1.0]) == math.inf
+        assert stationarity_ratio([0.0, 0.0, 0.0, 0.0]) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least 4"):
+            stationarity_ratio([1.0, 2.0])
+
+    def test_odd_length_compares_equal_halves(self):
+        # Halves of length 2: [2, 2] vs [99, 2]; trailing sample unused.
+        assert stationarity_ratio([2.0, 2.0, 99.0, 2.0, 7.0]) == pytest.approx(
+            (99.0 + 2.0) / (2.0 + 2.0)
+        )
+
+
+class TestBatchMeansCI:
+    def test_constant_series(self):
+        mean, half = batch_means_ci([3.0] * 100, batches=10)
+        assert mean == pytest.approx(3.0)
+        assert half == pytest.approx(0.0)
+
+    def test_mean_is_grand_mean_of_batches(self):
+        samples = [float(i % 10) for i in range(200)]
+        mean, half = batch_means_ci(samples, batches=20)
+        assert mean == pytest.approx(4.5)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError, match="at least 20 samples"):
+            batch_means_ci([1.0] * 5, batches=20)
+
+    def test_too_few_batches(self):
+        with pytest.raises(ValueError, match="at least 2 batches"):
+            batch_means_ci([1.0] * 5, batches=1)

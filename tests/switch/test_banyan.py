@@ -1,0 +1,108 @@
+"""Tests for the banyan (omega) self-routing network."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.switch.banyan import BanyanNetwork, perfect_shuffle
+
+
+class TestPerfectShuffle:
+    def test_rotates_left(self):
+        # 3-bit labels: 0b110 -> 0b101
+        assert perfect_shuffle(0b110, 3) == 0b101
+
+    def test_is_a_permutation(self):
+        for bits in (2, 3, 4):
+            n = 2**bits
+            image = {perfect_shuffle(p, bits) for p in range(n)}
+            assert image == set(range(n))
+
+
+class TestBanyanStructure:
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError, match="power of two"):
+            BanyanNetwork(12)
+
+    def test_stage_and_element_counts(self):
+        net = BanyanNetwork(16)
+        assert net.stages == 4
+        assert net.element_count == 8 * 4
+
+
+class TestBanyanRouting:
+    @pytest.mark.parametrize("ports", [2, 4, 8, 16])
+    def test_single_cell_reaches_destination(self, ports):
+        net = BanyanNetwork(ports)
+        for source in range(ports):
+            for destination in range(ports):
+                result = net.route([(source, destination, "payload")])
+                assert result.delivered == {destination: "payload"}
+                assert not result.blocking_occurred
+
+    def test_input_line_conflict_rejected(self):
+        net = BanyanNetwork(4)
+        with pytest.raises(ValueError, match="two cells on input line"):
+            net.route([(0, 1, "a"), (0, 2, "b")])
+
+    def test_out_of_range_rejected(self):
+        net = BanyanNetwork(4)
+        with pytest.raises(ValueError, match="out of range"):
+            net.route([(0, 4, "a")])
+        with pytest.raises(ValueError, match="out of range"):
+            net.route([(5, 1, "a")])
+
+    @given(st.data())
+    def test_sorted_concentrated_never_blocks(self, data):
+        """The Section 2.2 non-blocking condition: sorted + concentrated."""
+        bits = data.draw(st.integers(2, 4))
+        ports = 2**bits
+        k = data.draw(st.integers(1, ports))
+        destinations = sorted(data.draw(
+            st.lists(st.integers(0, ports - 1), min_size=k, max_size=k, unique=True)
+        ))
+        net = BanyanNetwork(ports)
+        cells = [(line, dest, dest) for line, dest in enumerate(destinations)]
+        result = net.route(cells)
+        assert not result.blocking_occurred
+        assert set(result.delivered) == set(destinations)
+
+    def test_unsorted_traffic_can_block(self):
+        """Internal blocking exists (it is why Batcher sorting is needed)."""
+        net = BanyanNetwork(8)
+        random.seed(4)
+        blocked_runs = 0
+        for _ in range(50):
+            perm = random.sample(range(8), 8)
+            result = net.route([(i, perm[i], perm[i]) for i in range(8)])
+            # Delivered + blocked always accounts for every cell.
+            assert len(result.delivered) + len(result.blocked) == 8
+            if result.blocking_occurred:
+                blocked_runs += 1
+        assert blocked_runs > 0
+
+    def test_blocked_cells_report_stage(self):
+        net = BanyanNetwork(4)
+        # Two cells whose paths collide at the first element: inputs 0
+        # and 2 both shuffle into element 0 and both want the upper
+        # branch (destinations 0 and 1 share MSB 0).
+        result = net.route([(0, 0, "a"), (2, 1, "b")])
+        if result.blocking_occurred:
+            payload, stage = result.blocked[0]
+            assert 0 <= stage < net.stages
+
+    def test_delivered_never_misrouted(self):
+        """Whatever is delivered arrives at exactly its destination."""
+        net = BanyanNetwork(8)
+        random.seed(7)
+        for _ in range(100):
+            k = random.randint(1, 8)
+            sources = random.sample(range(8), k)
+            destinations = [random.randrange(8) for _ in range(k)]
+            result = net.route(
+                [(s, d, d) for s, d in zip(sources, destinations)]
+            )
+            for port, payload in result.delivered.items():
+                assert port == payload

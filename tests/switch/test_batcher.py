@@ -1,0 +1,73 @@
+"""Tests for the Batcher bitonic sorting network."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.switch.batcher import (
+    batcher_comparators,
+    batcher_sort,
+    batcher_stage_count,
+    comparator_count,
+)
+
+
+class TestComparatorStructure:
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError, match="power of two"):
+            batcher_comparators(6)
+
+    def test_stage_count_formula(self):
+        assert batcher_stage_count(2) == 1
+        assert batcher_stage_count(4) == 3
+        assert batcher_stage_count(8) == 6
+        assert batcher_stage_count(16) == 10
+
+    def test_stage_count_matches_emitted_stages(self):
+        for n in (2, 4, 8, 16, 32):
+            assert len(batcher_comparators(n)) == batcher_stage_count(n)
+
+    def test_comparator_count(self):
+        assert comparator_count(8) == 6 * 4
+
+    def test_stages_touch_disjoint_lines(self):
+        """Each stage's comparators can fire in parallel in hardware."""
+        for n in (4, 8, 16):
+            for stage in batcher_comparators(n):
+                touched = [line for a, b, _ in stage for line in (a, b)]
+                assert len(touched) == len(set(touched))
+
+    def test_every_stage_covers_all_lines(self):
+        for n in (4, 8, 16):
+            for stage in batcher_comparators(n):
+                touched = {line for a, b, _ in stage for line in (a, b)}
+                assert touched == set(range(n))
+
+
+class TestBatcherSort:
+    @given(st.lists(st.integers(0, 100), min_size=8, max_size=8))
+    def test_sorts_any_input_n8(self, keys):
+        sorted_keys, _ = batcher_sort(keys)
+        assert list(sorted_keys) == sorted(keys)
+
+    @given(st.integers(1, 5).flatmap(lambda k: st.permutations(range(2**k))))
+    def test_sorts_permutations_all_sizes(self, perm):
+        sorted_keys, _ = batcher_sort(list(perm))
+        assert list(sorted_keys) == sorted(perm)
+
+    def test_permutation_tracks_payload_lines(self):
+        keys = [3.0, 1.0, 2.0, 0.0]
+        sorted_keys, perm = batcher_sort(keys)
+        assert [keys[p] for p in perm] == list(sorted_keys)
+
+    def test_idle_lines_sink_to_bottom(self):
+        inf = float("inf")
+        keys = [inf, 2.0, inf, 1.0]
+        sorted_keys, perm = batcher_sort(keys)
+        assert list(sorted_keys[:2]) == [1.0, 2.0]
+        assert all(k == inf for k in sorted_keys[2:])
+
+    def test_duplicate_keys_allowed(self):
+        sorted_keys, _ = batcher_sort([2.0, 2.0, 1.0, 1.0])
+        assert list(sorted_keys) == [1.0, 1.0, 2.0, 2.0]

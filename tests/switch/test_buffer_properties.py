@@ -1,0 +1,67 @@
+"""Property tests mixing VOQ operations (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.switch.buffers import VOQBuffer
+from repro.switch.cell import Cell
+
+
+@st.composite
+def operation_sequences(draw):
+    """Random interleavings of enqueue / dequeue / dequeue_flow."""
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["enqueue", "dequeue", "dequeue_flow"]),
+                st.integers(0, 3),   # output (or flow selector)
+                st.integers(0, 2),   # flow group
+            ),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    return ops
+
+
+class TestVOQOperationInterleavings:
+    @given(operation_sequences())
+    @settings(max_examples=60)
+    def test_invariants_hold_under_any_interleaving(self, ops):
+        buffer = VOQBuffer(4)
+        next_seq = {}
+        in_buffer = {}
+        last_out = {}
+
+        for op, output, group in ops:
+            flow = group * 4 + output
+            if op == "enqueue":
+                seq = next_seq.get(flow, 0)
+                next_seq[flow] = seq + 1
+                buffer.enqueue(Cell(flow_id=flow, output=output, seqno=seq))
+                in_buffer[flow] = in_buffer.get(flow, 0) + 1
+            elif op == "dequeue":
+                if buffer.has_cell_for(output):
+                    cell = buffer.dequeue(output)
+                    in_buffer[cell.flow_id] -= 1
+                    prev = last_out.get(cell.flow_id)
+                    assert prev is None or cell.seqno == prev + 1
+                    last_out[cell.flow_id] = cell.seqno
+            else:  # dequeue_flow
+                if buffer.has_flow(flow):
+                    cell = buffer.dequeue_flow(flow)
+                    assert cell.flow_id == flow
+                    in_buffer[flow] -= 1
+                    prev = last_out.get(flow)
+                    assert prev is None or cell.seqno == prev + 1
+                    last_out[flow] = cell.seqno
+
+            # Global invariants after every operation:
+            assert len(buffer) == sum(in_buffer.values())
+            for f, count in in_buffer.items():
+                assert buffer.flow_occupancy(f) == count
+            for out in range(4):
+                assert buffer.has_cell_for(out) == (
+                    sum(count for f, count in in_buffer.items() if f % 4 == out) > 0
+                )

@@ -1,0 +1,184 @@
+"""Tests for the input/output buffer organizations."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.switch.buffers import FIFOInputBuffer, OutputQueue, VOQBuffer
+from repro.switch.cell import Cell
+
+
+def make_cell(flow, output, seqno=0):
+    return Cell(flow_id=flow, output=output, seqno=seqno)
+
+
+class TestVOQBuffer:
+    def test_empty(self):
+        buf = VOQBuffer(4)
+        assert len(buf) == 0
+        assert buf.request_vector() == [False] * 4
+        assert buf.peek(0) is None
+
+    def test_invalid_ports(self):
+        with pytest.raises(ValueError, match="positive"):
+            VOQBuffer(0)
+
+    def test_enqueue_sets_request(self):
+        buf = VOQBuffer(4)
+        buf.enqueue(make_cell(flow=1, output=2))
+        assert buf.request_vector() == [False, False, True, False]
+        assert buf.has_cell_for(2)
+        assert not buf.has_cell_for(0)
+
+    def test_output_out_of_range(self):
+        buf = VOQBuffer(4)
+        with pytest.raises(ValueError, match="out of range"):
+            buf.enqueue(make_cell(flow=1, output=4))
+
+    def test_flow_cannot_change_output(self):
+        buf = VOQBuffer(4)
+        buf.enqueue(make_cell(flow=1, output=2))
+        with pytest.raises(ValueError, match="changed output"):
+            buf.enqueue(make_cell(flow=1, output=3))
+
+    def test_dequeue_fifo_within_flow(self):
+        buf = VOQBuffer(4)
+        for seq in range(3):
+            buf.enqueue(make_cell(flow=1, output=2, seqno=seq))
+        seqs = [buf.dequeue(2).seqno for _ in range(3)]
+        assert seqs == [0, 1, 2]
+
+    def test_dequeue_empty_raises(self):
+        buf = VOQBuffer(4)
+        with pytest.raises(IndexError, match="no eligible flow"):
+            buf.dequeue(0)
+
+    def test_round_robin_across_flows(self):
+        """Two flows to the same output are served alternately (Section 3.3)."""
+        buf = VOQBuffer(4)
+        for seq in range(2):
+            buf.enqueue(make_cell(flow=10, output=1, seqno=seq))
+            buf.enqueue(make_cell(flow=20, output=1, seqno=seq))
+        served = [buf.dequeue(1).flow_id for _ in range(4)]
+        assert served == [10, 20, 10, 20]
+
+    def test_flow_leaves_eligible_list_when_empty(self):
+        buf = VOQBuffer(4)
+        buf.enqueue(make_cell(flow=1, output=2))
+        buf.dequeue(2)
+        assert not buf.has_cell_for(2)
+        assert not buf.has_flow(1)
+
+    def test_occupancy_for(self):
+        buf = VOQBuffer(4)
+        buf.enqueue(make_cell(flow=1, output=2))
+        buf.enqueue(make_cell(flow=1, output=2, seqno=1))
+        buf.enqueue(make_cell(flow=2, output=2))
+        buf.enqueue(make_cell(flow=3, output=0))
+        assert buf.occupancy_for(2) == 3
+        assert buf.occupancy_for(0) == 1
+        assert len(buf) == 4
+
+    def test_dequeue_flow_specific(self):
+        buf = VOQBuffer(4)
+        buf.enqueue(make_cell(flow=1, output=2))
+        buf.enqueue(make_cell(flow=2, output=2))
+        cell = buf.dequeue_flow(2)
+        assert cell.flow_id == 2
+        assert buf.flow_occupancy(2) == 0
+        assert buf.eligible_flows(2) == [1]
+
+    def test_dequeue_flow_missing(self):
+        buf = VOQBuffer(4)
+        with pytest.raises(KeyError, match="no queued cell"):
+            buf.dequeue_flow(99)
+
+    def test_peek_does_not_remove(self):
+        buf = VOQBuffer(4)
+        buf.enqueue(make_cell(flow=1, output=2, seqno=7))
+        assert buf.peek(2).seqno == 7
+        assert len(buf) == 1
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 3)),  # (flow selector, output)
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_invariants_under_random_operations(self, ops):
+        """Total counts match, per-flow FIFO order holds, eligible lists agree."""
+        buf = VOQBuffer(4)
+        # flow id is derived from (selector, output) so a flow never
+        # changes output.
+        enqueued = {}
+        next_seq = {}
+        for selector, output in ops:
+            flow = selector * 4 + output
+            seq = next_seq.get(flow, 0)
+            next_seq[flow] = seq + 1
+            buf.enqueue(make_cell(flow=flow, output=output, seqno=seq))
+            enqueued[flow] = enqueued.get(flow, 0) + 1
+        assert len(buf) == sum(enqueued.values())
+        # Drain everything; check per-flow order and totals.
+        last_seq = {}
+        drained = 0
+        for output in range(4):
+            while buf.has_cell_for(output):
+                cell = buf.dequeue(output)
+                drained += 1
+                assert cell.output == output
+                if cell.flow_id in last_seq:
+                    assert cell.seqno == last_seq[cell.flow_id] + 1
+                last_seq[cell.flow_id] = cell.seqno
+        assert drained == sum(enqueued.values())
+        assert len(buf) == 0
+
+
+class TestFIFOInputBuffer:
+    def test_head_and_pop(self):
+        buf = FIFOInputBuffer()
+        buf.enqueue(make_cell(flow=1, output=0, seqno=0))
+        buf.enqueue(make_cell(flow=1, output=1, seqno=1))
+        assert buf.head().seqno == 0
+        assert buf.pop().seqno == 0
+        assert buf.head().seqno == 1
+
+    def test_empty(self):
+        buf = FIFOInputBuffer()
+        assert buf.head() is None
+        with pytest.raises(IndexError):
+            buf.pop()
+
+    def test_head_window(self):
+        buf = FIFOInputBuffer()
+        for seq in range(5):
+            buf.enqueue(make_cell(flow=1, output=0, seqno=seq))
+        window = buf.head_window(3)
+        assert [c.seqno for c in window] == [0, 1, 2]
+        assert len(buf) == 5
+
+    def test_head_window_shorter_queue(self):
+        buf = FIFOInputBuffer()
+        buf.enqueue(make_cell(flow=1, output=0))
+        assert len(buf.head_window(4)) == 1
+
+    def test_head_window_validates(self):
+        with pytest.raises(ValueError, match="positive"):
+            FIFOInputBuffer().head_window(0)
+
+
+class TestOutputQueue:
+    def test_fifo_departure(self):
+        queue = OutputQueue()
+        queue.enqueue(make_cell(flow=1, output=0, seqno=0))
+        queue.enqueue(make_cell(flow=1, output=0, seqno=1))
+        assert queue.depart().seqno == 0
+        assert queue.depart().seqno == 1
+        assert queue.depart() is None
+
+    def test_len(self):
+        queue = OutputQueue()
+        queue.enqueue(make_cell(flow=1, output=0))
+        assert len(queue) == 1

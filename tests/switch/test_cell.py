@@ -1,0 +1,77 @@
+"""Tests for cell formats and cells."""
+
+import pytest
+
+from repro.switch.cell import ATM_CELL, WIDE_CELL, Cell, CellFormat, ServiceClass
+
+
+class TestCellFormat:
+    def test_atm_payload(self):
+        assert ATM_CELL.total_bytes == 53
+        assert ATM_CELL.header_bytes == 5
+        assert ATM_CELL.payload_bytes == 48
+
+    def test_wide_cell(self):
+        assert WIDE_CELL.payload_bytes == 120
+
+    def test_header_overhead(self):
+        assert ATM_CELL.header_overhead == pytest.approx(5 / 53)
+
+    def test_header_must_fit(self):
+        with pytest.raises(ValueError, match="smaller than the cell"):
+            CellFormat(total_bytes=10, header_bytes=10)
+
+    def test_sizes_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            CellFormat(total_bytes=0, header_bytes=-1)
+
+    def test_slot_time_at_gigabit(self):
+        # 53 bytes at 1 Gb/s: 424 ns (the AN2 scheduling budget).
+        assert ATM_CELL.slot_time_seconds(1e9) == pytest.approx(424e-9)
+
+    def test_slot_time_rejects_bad_speed(self):
+        with pytest.raises(ValueError, match="positive"):
+            ATM_CELL.slot_time_seconds(0)
+
+    def test_cells_for_packet_exact_fit(self):
+        assert ATM_CELL.cells_for_packet(48) == 1
+        assert ATM_CELL.cells_for_packet(96) == 2
+
+    def test_cells_for_packet_padding(self):
+        assert ATM_CELL.cells_for_packet(49) == 2
+        assert ATM_CELL.cells_for_packet(1) == 1
+
+    def test_empty_packet_still_one_cell(self):
+        assert ATM_CELL.cells_for_packet(0) == 1
+
+    def test_negative_packet_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ATM_CELL.cells_for_packet(-1)
+
+    def test_fragmentation_overhead(self):
+        # A 48-byte packet in one 53-byte cell wastes 5/53.
+        assert ATM_CELL.fragmentation_overhead(48) == pytest.approx(5 / 53)
+        # A 49-byte packet needs 2 cells: 106 bytes sent for 49 useful.
+        assert ATM_CELL.fragmentation_overhead(49) == pytest.approx(57 / 106)
+
+
+class TestCell:
+    def test_defaults(self):
+        cell = Cell(flow_id=3, output=7)
+        assert cell.service is ServiceClass.VBR
+        assert cell.seqno == 0
+
+    def test_uids_unique(self):
+        a = Cell(flow_id=0, output=0)
+        b = Cell(flow_id=0, output=0)
+        assert a.uid != b.uid
+
+    def test_repr_mentions_flow_and_output(self):
+        cell = Cell(flow_id=5, output=2, seqno=9)
+        text = repr(cell)
+        assert "flow=5" in text and "out=2" in text
+
+
+class TestServiceClass:
+    def test_two_classes(self):
+        assert {c.value for c in ServiceClass} == {"vbr", "cbr"}

@@ -1,0 +1,77 @@
+"""Tests for the 4:1 workstation concentrator (Section 2.1)."""
+
+import pytest
+
+from repro.switch.cell import Cell
+from repro.switch.concentrator import Concentrator
+
+
+def make_cell(flow, output=0, seqno=0):
+    return Cell(flow_id=flow, output=output, seqno=seqno)
+
+
+class TestConcentrator:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="tributaries"):
+            Concentrator(0)
+        conc = Concentrator(4)
+        with pytest.raises(ValueError, match="out of range"):
+            conc.offer(4, make_cell(1), slot=0)
+        with pytest.raises(ValueError, match="out of range"):
+            conc.demultiplex(make_cell(1), 9)
+
+    def test_single_tributary_passthrough(self):
+        conc = Concentrator(1)
+        conc.offer(0, make_cell(1), slot=0)
+        assert conc.multiplex(0).flow_id == 1
+        assert conc.multiplex(1) is None
+
+    def test_round_robin_among_busy_tributaries(self):
+        conc = Concentrator(4, rate_limited=False)
+        for tributary in range(4):
+            for seq in range(2):
+                conc.offer(tributary, make_cell(tributary, seqno=seq), slot=0)
+        served = [conc.multiplex(slot).flow_id for slot in range(8)]
+        assert served == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_rate_limit_one_cell_per_k_slots(self):
+        """Each slow link clocks in one cell per k trunk slots."""
+        conc = Concentrator(4, rate_limited=True)
+        for seq in range(4):
+            conc.offer(0, make_cell(0, seqno=seq), slot=0)
+        emissions = [conc.multiplex(slot) for slot in range(12)]
+        sent = [slot for slot, cell in enumerate(emissions) if cell is not None]
+        assert sent == [0, 4, 8]
+
+    def test_idle_sibling_slots_reusable(self):
+        """A lone workstation is limited only by its own link rate; the
+        trunk never idles when any eligible tributary has cells."""
+        conc = Concentrator(2, rate_limited=False)
+        for seq in range(6):
+            conc.offer(1, make_cell(1, seqno=seq), slot=0)
+        sent = sum(conc.multiplex(slot) is not None for slot in range(6))
+        assert sent == 6
+
+    def test_fifo_order_per_tributary(self):
+        conc = Concentrator(2, rate_limited=False)
+        for seq in range(3):
+            conc.offer(0, make_cell(0, seqno=seq), slot=0)
+        seqs = [conc.multiplex(slot).seqno for slot in range(3)]
+        assert seqs == [0, 1, 2]
+
+    def test_downstream_demultiplex_and_drain(self):
+        conc = Concentrator(4)
+        conc.demultiplex(make_cell(7), tributary=1)
+        # Tributary 1's slow link fires on slots where slot % 4 == 1.
+        assert conc.drain(1, slot=0) is None
+        assert conc.drain(1, slot=1).flow_id == 7
+        assert conc.drain(1, slot=5) is None
+        assert conc.downstream_backlog(1) == 0
+
+    def test_backlogs(self):
+        conc = Concentrator(2)
+        conc.offer(0, make_cell(1), slot=0)
+        conc.offer(0, make_cell(2), slot=0)
+        assert conc.upstream_backlog(0) == 2
+        conc.multiplex(0)
+        assert conc.upstream_backlog(0) == 1

@@ -1,0 +1,64 @@
+"""Tests for the crossbar fabric."""
+
+import pytest
+
+from repro.switch.cell import Cell
+from repro.switch.crossbar import Crossbar
+
+
+class TestCrossbar:
+    def test_crosspoints_quadratic(self):
+        assert Crossbar(16).crosspoints == 256
+        assert Crossbar(64).crosspoints == 4096
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError, match="positive"):
+            Crossbar(0)
+
+    def test_transfer_delivers(self):
+        xbar = Crossbar(4)
+        xbar.configure([(0, 2), (1, 0)])
+        cells = {0: Cell(flow_id=1, output=2), 1: Cell(flow_id=2, output=0)}
+        delivered = xbar.transfer(cells)
+        assert delivered[2].flow_id == 1
+        assert delivered[0].flow_id == 2
+
+    def test_conflicting_inputs_rejected(self):
+        xbar = Crossbar(4)
+        with pytest.raises(ValueError, match="input 0 configured twice"):
+            xbar.configure([(0, 1), (0, 2)])
+
+    def test_conflicting_outputs_rejected(self):
+        xbar = Crossbar(4)
+        with pytest.raises(ValueError, match="output 1 configured twice"):
+            xbar.configure([(0, 1), (2, 1)])
+
+    def test_out_of_range_rejected(self):
+        xbar = Crossbar(4)
+        with pytest.raises(ValueError, match="out of range"):
+            xbar.configure([(0, 4)])
+
+    def test_unconfigured_input_rejected(self):
+        xbar = Crossbar(4)
+        xbar.configure([(0, 1)])
+        with pytest.raises(ValueError, match="not configured"):
+            xbar.transfer({2: Cell(flow_id=1, output=3)})
+
+    def test_cell_output_must_match_configuration(self):
+        xbar = Crossbar(4)
+        xbar.configure([(0, 1)])
+        with pytest.raises(ValueError, match="configured to output 1"):
+            xbar.transfer({0: Cell(flow_id=1, output=3)})
+
+    def test_reconfigure_replaces(self):
+        xbar = Crossbar(4)
+        xbar.configure([(0, 1)])
+        xbar.configure([(0, 2)])
+        delivered = xbar.transfer({0: Cell(flow_id=1, output=2)})
+        assert 2 in delivered
+        assert xbar.slots_configured == 2
+
+    def test_empty_configuration_is_valid(self):
+        xbar = Crossbar(4)
+        xbar.configure([])
+        assert xbar.transfer({}) == {}

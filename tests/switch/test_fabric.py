@@ -1,0 +1,117 @@
+"""Tests for the fabric abstraction: crossbar vs batcher-banyan."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.switch.cell import Cell
+from repro.switch.fabric import (
+    BatcherBanyanFabric,
+    CrossbarFabric,
+    Fabric,
+    ReplicatedBanyanFabric,
+)
+
+
+def scheduled_cells(pairs):
+    return [(i, Cell(flow_id=i, output=j)) for i, j in pairs]
+
+
+def random_matching(data, ports):
+    k = data.draw(st.integers(0, ports))
+    inputs = data.draw(
+        st.lists(st.integers(0, ports - 1), min_size=k, max_size=k, unique=True)
+    )
+    outputs = data.draw(
+        st.lists(st.integers(0, ports - 1), min_size=k, max_size=k, unique=True)
+    )
+    return list(zip(inputs, outputs))
+
+
+class TestCrossbarFabric:
+    def test_protocol_conformance(self):
+        assert isinstance(CrossbarFabric(4), Fabric)
+
+    def test_delivers_matching(self):
+        fabric = CrossbarFabric(4)
+        delivered = fabric.transfer(scheduled_cells([(0, 3), (1, 1)]))
+        assert delivered[3][0].flow_id == 0
+        assert delivered[1][0].flow_id == 1
+
+
+class TestBatcherBanyanFabric:
+    def test_protocol_conformance(self):
+        assert isinstance(BatcherBanyanFabric(4), Fabric)
+
+    @given(st.data())
+    def test_any_matching_delivered_losslessly(self, data):
+        """Section 2.2: scheduled (conflict-free) traffic never blocks."""
+        bits = data.draw(st.integers(1, 4))
+        ports = 2**bits
+        pairs = random_matching(data, ports)
+        fabric = BatcherBanyanFabric(ports)
+        delivered = fabric.transfer(scheduled_cells(pairs))
+        assert sorted(delivered) == sorted(j for _, j in pairs)
+        for i, j in pairs:
+            assert delivered[j][0].flow_id == i
+
+    def test_duplicate_output_rejected(self):
+        fabric = BatcherBanyanFabric(4)
+        with pytest.raises(ValueError, match="two scheduled cells for output"):
+            fabric.transfer(scheduled_cells([(0, 1), (2, 1)]))
+
+    def test_duplicate_input_rejected(self):
+        fabric = BatcherBanyanFabric(4)
+        with pytest.raises(ValueError, match="two scheduled cells at input"):
+            fabric.transfer([(0, Cell(flow_id=0, output=1)), (0, Cell(flow_id=1, output=2))])
+
+    @given(st.data())
+    def test_matches_crossbar_exactly(self, data):
+        """Both fabrics implement the same contract (the paper's claim)."""
+        ports = 8
+        pairs = random_matching(data, ports)
+        xbar = CrossbarFabric(ports).transfer(scheduled_cells(pairs))
+        banyan = BatcherBanyanFabric(ports).transfer(scheduled_cells(pairs))
+        assert {j: c[0].flow_id for j, c in xbar.items()} == {
+            j: c[0].flow_id for j, c in banyan.items()
+        }
+
+
+class TestReplicatedBanyanFabric:
+    def test_requires_positive_copies(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            ReplicatedBanyanFabric(4, 0)
+
+    def test_k_cells_per_output(self):
+        fabric = ReplicatedBanyanFabric(4, copies=2)
+        cells = [
+            (0, Cell(flow_id=0, output=3)),
+            (1, Cell(flow_id=1, output=3)),
+            (2, Cell(flow_id=2, output=0)),
+        ]
+        delivered = fabric.transfer(cells)
+        assert sorted(c.flow_id for c in delivered[3]) == [0, 1]
+        assert delivered[0][0].flow_id == 2
+
+    def test_over_capacity_rejected(self):
+        fabric = ReplicatedBanyanFabric(4, copies=2)
+        cells = [(i, Cell(flow_id=i, output=3)) for i in range(3)]
+        with pytest.raises(ValueError, match="more than 2 cells"):
+            fabric.transfer(cells)
+
+    def test_duplicate_input_rejected(self):
+        fabric = ReplicatedBanyanFabric(4, copies=2)
+        cells = [(0, Cell(flow_id=0, output=1)), (0, Cell(flow_id=1, output=2))]
+        with pytest.raises(ValueError, match="two scheduled cells at input"):
+            fabric.transfer(cells)
+
+    def test_single_copy_equals_plain_banyan(self):
+        plain = BatcherBanyanFabric(8)
+        replicated = ReplicatedBanyanFabric(8, copies=1)
+        pairs = [(0, 5), (3, 2), (7, 0)]
+        a = plain.transfer(scheduled_cells(pairs))
+        b = replicated.transfer(scheduled_cells(pairs))
+        assert {j: c[0].flow_id for j, c in a.items()} == {
+            j: c[0].flow_id for j, c in b.items()
+        }

@@ -1,0 +1,56 @@
+"""Edge-case tests for the replicated fabric's plane placement."""
+
+import pytest
+
+from repro.switch.cell import Cell
+from repro.switch.fabric import ReplicatedBanyanFabric
+
+
+def cell(flow, output):
+    return Cell(flow_id=flow, output=output)
+
+
+class TestPlanePlacement:
+    def test_input_conflict_forces_next_plane(self):
+        """Two outputs' second cells land on plane 1; a third cell from
+        an input already used on plane 0 must also avoid plane 0."""
+        fabric = ReplicatedBanyanFabric(4, copies=2)
+        cells = [
+            (0, cell(1, 0)),
+            (1, cell(2, 0)),  # output 0's second copy -> plane 1
+            (2, cell(3, 1)),
+            (3, cell(4, 1)),  # output 1's second copy -> plane 1
+        ]
+        delivered = fabric.transfer(cells)
+        assert sorted(c.flow_id for c in delivered[0]) == [1, 2]
+        assert sorted(c.flow_id for c in delivered[1]) == [3, 4]
+
+    def test_interleaved_outputs_fill_planes(self):
+        """k cells to each of several outputs with shared inputs spread
+        across the planes without loss."""
+        fabric = ReplicatedBanyanFabric(8, copies=2)
+        cells = [
+            (0, cell(10, 5)),
+            (1, cell(11, 5)),
+            (2, cell(12, 6)),
+            (3, cell(13, 6)),
+            (4, cell(14, 7)),
+        ]
+        delivered = fabric.transfer(cells)
+        total = sum(len(v) for v in delivered.values())
+        assert total == 5
+
+    def test_empty_transfer(self):
+        assert ReplicatedBanyanFabric(4, copies=2).transfer([]) == {}
+
+    def test_unplaceable_cell_raises(self):
+        """An input whose cell cannot sit on any plane (input busy on
+        every plane with earlier cells) is rejected loudly.
+
+        Construct: copies=2; input 0 cannot appear twice (inputs send
+        at most one cell per slot), so drive the error via output
+        over-capacity instead -- the only reachable failure.
+        """
+        fabric = ReplicatedBanyanFabric(4, copies=1)
+        with pytest.raises(ValueError, match="more than 1 cells"):
+            fabric.transfer([(0, cell(1, 2)), (1, cell(2, 2))])

@@ -1,0 +1,35 @@
+"""Tests for flow descriptors."""
+
+import pytest
+
+from repro.switch.cell import ServiceClass
+from repro.switch.flow import Flow
+
+
+class TestFlow:
+    def test_vbr_default(self):
+        flow = Flow(flow_id=1, src=0, dst=3)
+        assert not flow.is_cbr
+        assert flow.cells_per_frame == 0
+
+    def test_cbr_flow(self):
+        flow = Flow(flow_id=1, src=0, dst=3, service=ServiceClass.CBR, cells_per_frame=5)
+        assert flow.is_cbr
+
+    def test_cbr_requires_reservation(self):
+        with pytest.raises(ValueError, match="positive cells_per_frame"):
+            Flow(flow_id=1, src=0, dst=3, service=ServiceClass.CBR)
+
+    def test_vbr_cannot_reserve(self):
+        with pytest.raises(ValueError, match="VBR flows cannot carry"):
+            Flow(flow_id=1, src=0, dst=3, cells_per_frame=2)
+
+    def test_negative_reservation_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Flow(flow_id=1, src=0, dst=3, cells_per_frame=-1)
+
+    def test_hashable_and_frozen(self):
+        flow = Flow(flow_id=1, src=0, dst=3)
+        assert flow in {flow}
+        with pytest.raises(AttributeError):
+            flow.src = 5

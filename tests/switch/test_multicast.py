@@ -1,0 +1,135 @@
+"""Tests for multicast fanout-splitting PIM."""
+
+import numpy as np
+import pytest
+
+from repro.switch.multicast import MulticastCell, MulticastPIMScheduler, MulticastSwitch
+
+
+def mc(flow, fanout, seqno=0):
+    return MulticastCell(flow_id=flow, fanout=frozenset(fanout), seqno=seqno)
+
+
+class TestMulticastCell:
+    def test_needs_fanout(self):
+        with pytest.raises(ValueError, match="at least one output"):
+            MulticastCell(flow_id=1, fanout=frozenset())
+
+    def test_residual_initialized(self):
+        cell = mc(1, {0, 2, 3})
+        assert cell.residual == {0, 2, 3}
+
+
+class TestMulticastPIMScheduler:
+    def test_iterations_validated(self):
+        with pytest.raises(ValueError, match="iterations"):
+            MulticastPIMScheduler(iterations=0)
+
+    def test_single_input_gets_full_fanout(self):
+        scheduler = MulticastPIMScheduler(seed=0)
+        granted = scheduler.schedule([{0, 1, 2}], ports=4)
+        assert granted[0] == {0, 1, 2}
+
+    def test_grants_disjoint_across_inputs(self):
+        scheduler = MulticastPIMScheduler(seed=0)
+        for _ in range(100):
+            granted = scheduler.schedule([{0, 1}, {0, 1}, {1, 2}], ports=4)
+            union = set()
+            for outputs in granted:
+                assert not (union & outputs)
+                union |= outputs
+
+    def test_work_conserving(self):
+        """Every requested output with any requester is granted."""
+        scheduler = MulticastPIMScheduler(iterations=8, seed=1)
+        for _ in range(50):
+            granted = scheduler.schedule([{0, 1}, {1, 2}, {2, 3}], ports=4)
+            union = set().union(*granted)
+            assert union == {0, 1, 2, 3}
+
+    def test_empty_inputs_ignored(self):
+        scheduler = MulticastPIMScheduler(seed=0)
+        granted = scheduler.schedule([None, {2}], ports=4)
+        assert granted[0] == set()
+        assert granted[1] == {2}
+
+
+class TestMulticastSwitch:
+    def test_uncontended_broadcast_one_slot(self):
+        switch = MulticastSwitch(4)
+        done = switch.step(0, [(0, mc(1, {0, 1, 2, 3}))])
+        assert len(done) == 1
+        assert switch.copies_delivered == 4
+
+    def test_fanout_splitting_across_slots(self):
+        """Two inputs broadcasting: each slot splits the outputs; both
+        cells complete within a few slots."""
+        switch = MulticastSwitch(4, MulticastPIMScheduler(seed=0))
+        switch.step(0, [(0, mc(1, {0, 1, 2, 3})), (1, mc(2, {0, 1, 2, 3}))])
+        total_done = 0
+        for slot in range(1, 10):
+            total_done += len(switch.step(slot, []))
+            if total_done == 2:
+                break
+        assert total_done == 2
+        assert switch.copies_delivered == 8
+
+    def test_head_holds_until_complete(self):
+        """A second cell cannot overtake a partially-served head."""
+        switch = MulticastSwitch(2, MulticastPIMScheduler(seed=0))
+        switch.step(0, [
+            (0, mc(1, {0, 1}, seqno=0)),
+            (1, mc(2, {0}, seqno=0)),
+        ])
+        switch.step(1, [(0, mc(1, {0}, seqno=1))])
+        # flow 1's first cell must fully finish before its second moves.
+        queue = switch.queues[0]
+        if queue:
+            assert queue[0].seqno in (0, 1)
+            if len(queue) == 2:
+                assert queue[0].seqno == 0
+
+    def test_validation(self):
+        switch = MulticastSwitch(4)
+        with pytest.raises(ValueError, match="invalid input"):
+            switch.step(0, [(9, mc(1, {0}))])
+        with pytest.raises(ValueError, match="out of range"):
+            switch.step(0, [(0, mc(1, {9}))])
+        with pytest.raises(ValueError, match="positive"):
+            MulticastSwitch(0)
+
+    def test_throughput_beats_unicast_copies(self):
+        """Fanout splitting: a broadcast costs ~1 input slot, not N.
+
+        Saturated broadcast sources on all inputs: splitting completes
+        ~N/port-contention cells per slot of input work, while the
+        copy strawman needs N unicast slots per cell.
+        """
+        ports = 4
+
+        class BroadcastSource:
+            def __init__(self):
+                self.ports = ports
+                self._seq = 0
+
+            def arrivals(self, slot):
+                # Keep shallow queues: one new broadcast per input per
+                # N slots (offered input work = 1 slot per cell).
+                if slot % ports:
+                    return []
+                self._seq += 1
+                return [
+                    (i, mc(flow=i, fanout=set(range(ports)), seqno=self._seq))
+                    for i in range(ports)
+                ]
+
+        switch = MulticastSwitch(ports, MulticastPIMScheduler(seed=0))
+        delay, counter = switch.run(BroadcastSource(), slots=2000, warmup=200)
+        completion_rate = counter.carried_per_slot(1)
+        # 4 broadcasts per 4 slots offered = 1 completion/slot when the
+        # fabric replicates; unicast copies could finish at most 1 cell
+        # per 4 slots of input work per input... i.e. 4 copies/slot
+        # total = 1 completed broadcast/slot is the replication win.
+        assert completion_rate == pytest.approx(1.0, abs=0.1)
+        # Each completion delivered all 4 copies.
+        assert switch.copies_delivered >= 4 * counter.carried

@@ -1,0 +1,119 @@
+"""Tests for packet segmentation and reassembly (Section 2.3)."""
+
+import pytest
+
+from repro.core.pim import PIMScheduler
+from repro.switch.cell import ATM_CELL, WIDE_CELL
+from repro.switch.packets import Packet, Reassembler, Segmenter
+from repro.switch.switch import CrossbarSwitch
+
+
+class TestPacket:
+    def test_positive_size(self):
+        with pytest.raises(ValueError, match="positive"):
+            Packet(flow_id=1, size_bytes=0)
+
+    def test_ids_unique(self):
+        assert Packet(1, 10).packet_id != Packet(1, 10).packet_id
+
+
+class TestSegmenter:
+    def test_cell_count_matches_format(self):
+        segmenter = Segmenter(ATM_CELL)
+        packet = Packet(flow_id=1, size_bytes=100)
+        cells = segmenter.segment(packet, output=2, slot=5)
+        assert len(cells) == ATM_CELL.cells_for_packet(100)
+
+    def test_wide_cells_fewer(self):
+        packet = Packet(flow_id=1, size_bytes=1000)
+        atm = Segmenter(ATM_CELL).segment(packet, 0, 0)
+        wide = Segmenter(WIDE_CELL).segment(Packet(1, 1000), 0, 0)
+        assert len(wide) < len(atm)
+
+    def test_seqnos_continuous_across_packets(self):
+        segmenter = Segmenter()
+        first = segmenter.segment(Packet(flow_id=9, size_bytes=100), 0, 0)
+        second = segmenter.segment(Packet(flow_id=9, size_bytes=100), 0, 1)
+        seqs = [c.seqno for c in first + second]
+        assert seqs == list(range(len(seqs)))
+
+    def test_sar_descriptor(self):
+        segmenter = Segmenter()
+        packet = Packet(flow_id=1, size_bytes=100)
+        cells = segmenter.segment(packet, 3, 0)
+        assert cells[0].sar[1] == 0
+        assert cells[-1].sar[2] is True
+        assert all(not c.sar[2] for c in cells[:-1])
+
+
+class TestReassembler:
+    def test_round_trip(self):
+        segmenter = Segmenter()
+        reassembler = Reassembler()
+        packet = Packet(flow_id=1, size_bytes=500)
+        cells = segmenter.segment(packet, 0, 0)
+        completed = None
+        for cell in cells:
+            completed = reassembler.accept(cell, slot=10)
+        assert completed is packet
+        assert reassembler.in_flight() == 0
+
+    def test_incomplete_packet_pending(self):
+        segmenter = Segmenter()
+        reassembler = Reassembler()
+        cells = segmenter.segment(Packet(flow_id=1, size_bytes=500), 0, 0)
+        for cell in cells[:-1]:
+            assert reassembler.accept(cell, slot=0) is None
+        assert reassembler.in_flight() == 1
+
+    def test_interleaved_flows(self):
+        """Cells of different flows interleave freely."""
+        segmenter = Segmenter()
+        reassembler = Reassembler()
+        a = segmenter.segment(Packet(flow_id=1, size_bytes=100), 0, 0)
+        b = segmenter.segment(Packet(flow_id=2, size_bytes=100), 0, 0)
+        order = [cell for pair in zip(a, b) for cell in pair]
+        done = [p.flow_id for p in
+                (reassembler.accept(c, 0) for c in order) if p is not None]
+        assert sorted(done) == [1, 2]
+
+    def test_out_of_order_detected(self):
+        segmenter = Segmenter()
+        reassembler = Reassembler()
+        cells = segmenter.segment(Packet(flow_id=1, size_bytes=500), 0, 0)
+        reassembler.accept(cells[0], 0)
+        with pytest.raises(AssertionError, match="out of order"):
+            reassembler.accept(cells[2], 0)
+
+    def test_foreign_cell_rejected(self):
+        from repro.switch.cell import Cell
+
+        with pytest.raises(ValueError, match="Segmenter"):
+            Reassembler().accept(Cell(flow_id=1, output=0), 0)
+
+
+class TestEndToEndThroughSwitch:
+    def test_packets_survive_the_switch(self):
+        """Segment -> switch under contention -> reassemble: every
+        packet completes, thanks to per-flow FIFO order."""
+        switch = CrossbarSwitch(4, PIMScheduler(seed=0))
+        segmenter = Segmenter()
+        reassembler = Reassembler()
+        pending = []
+        for index in range(10):
+            flow = index % 3  # three flows, all to output 1
+            packet = Packet(flow_id=flow, size_bytes=200)
+            pending.extend(
+                (flow % 2, cell)  # two inputs share the flows
+                for cell in segmenter.segment(packet, output=1, slot=index)
+            )
+        completed = 0
+        slot = 0
+        while pending or switch.backlog():
+            arrivals = [pending.pop(0)] if pending else []
+            for cell in switch.step(slot, arrivals):
+                if reassembler.accept(cell, slot) is not None:
+                    completed += 1
+            slot += 1
+            assert slot < 10_000
+        assert completed == 10

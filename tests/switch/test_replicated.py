@@ -1,0 +1,86 @@
+"""Tests for the lossy k-replicated output switch (Section 2.4)."""
+
+import pytest
+
+from repro.switch.cell import Cell
+from repro.switch.replicated import ReplicatedOutputSwitch
+from repro.traffic.clientserver import ClientServerTraffic
+from repro.traffic.uniform import UniformTraffic
+
+
+def make_cell(flow, output, seqno=0):
+    return Cell(flow_id=flow, output=output, seqno=seqno)
+
+
+class TestReplicatedOutputSwitch:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="ports"):
+            ReplicatedOutputSwitch(0, 1)
+        with pytest.raises(ValueError, match="replication"):
+            ReplicatedOutputSwitch(4, 0)
+        with pytest.raises(ValueError, match="recirculation"):
+            ReplicatedOutputSwitch(4, 1, recirculation_ports=-1)
+
+    def test_within_k_no_drop(self):
+        switch = ReplicatedOutputSwitch(4, replication=2)
+        arrivals = [(i, make_cell(i, 1)) for i in range(2)]
+        switch.step(0, arrivals)
+        assert switch.dropped_cells == 0
+        assert switch.backlog() == 1  # two enqueued, one departed
+
+    def test_knockout_drops_excess(self):
+        switch = ReplicatedOutputSwitch(4, replication=2)
+        arrivals = [(i, make_cell(i, 1)) for i in range(4)]
+        switch.step(0, arrivals)
+        assert switch.dropped_cells == 2
+
+    def test_recirculation_saves_losers(self):
+        switch = ReplicatedOutputSwitch(4, replication=2, recirculation_ports=2)
+        arrivals = [(i, make_cell(i, 1)) for i in range(4)]
+        switch.step(0, arrivals)
+        assert switch.dropped_cells == 0
+        # The two recirculated cells contend (and win) next slot.
+        switch.step(1, [])
+        assert switch.backlog() == 2  # 4 in, 2 departed, 0 dropped
+
+    def test_recirculation_overflow_drops(self):
+        switch = ReplicatedOutputSwitch(4, replication=1, recirculation_ports=1)
+        arrivals = [(i, make_cell(i, 1)) for i in range(4)]
+        switch.step(0, arrivals)
+        assert switch.dropped_cells == 2  # 1 delivered, 1 recirculated
+
+    def test_full_replication_is_lossless(self):
+        switch = ReplicatedOutputSwitch(8, replication=8)
+        result = switch.run(UniformTraffic(8, load=1.0, seed=0), slots=3000)
+        assert result.dropped == 0
+
+    def test_uniform_loss_small_hotspot_loss_large(self):
+        """The Section 2.4 argument: at the same *average* load, a
+        k-replicated switch rarely drops uniform traffic but sheds a
+        lot of a client-server hot spot, because the hot output's
+        column load approaches 1 while the average stays low."""
+        hotspot_traffic = ClientServerTraffic(16, load=0.95, servers=1, seed=2)
+        average_load = float(hotspot_traffic.connection_rates.sum()) / 16
+        uniform = ReplicatedOutputSwitch(16, replication=2).run(
+            UniformTraffic(16, load=average_load, seed=1), slots=8000
+        )
+        hotspot = ReplicatedOutputSwitch(16, replication=2).run(
+            hotspot_traffic, slots=8000
+        )
+        uniform_rate = uniform.dropped / max(uniform.counter.offered, 1)
+        hotspot_rate = hotspot.dropped / max(hotspot.counter.offered, 1)
+        assert uniform_rate < 0.01
+        assert hotspot_rate > 5 * uniform_rate
+
+    def test_out_of_range_output(self):
+        switch = ReplicatedOutputSwitch(4, replication=1)
+        with pytest.raises(ValueError, match="out of range"):
+            switch.step(0, [(0, make_cell(1, 9))])
+
+    def test_conservation_with_drops(self):
+        switch = ReplicatedOutputSwitch(8, replication=2)
+        result = switch.run(UniformTraffic(8, load=0.9, seed=3), slots=2000)
+        assert (
+            result.counter.offered
+            == result.counter.carried + result.backlog + result.dropped
+        )

@@ -1,0 +1,52 @@
+"""Tests for the switch result records."""
+
+import pytest
+
+from repro.sim.stats import DelayStats, ThroughputCounter
+from repro.switch.results import SwitchResult
+
+
+def make_result(ports=4, slots=100, carried=50, offered=60, backlog=10):
+    delay = DelayStats()
+    delay.record(0, 5)
+    counter = ThroughputCounter()
+    counter.record_arrival(0, offered)
+    counter.record_departure(slots - 1, carried)
+    return SwitchResult(
+        delay=delay,
+        counter=counter,
+        ports=ports,
+        slots=slots,
+        backlog=backlog,
+    )
+
+
+class TestSwitchResult:
+    def test_throughput_per_link(self):
+        result = make_result(ports=4, slots=100, carried=50)
+        assert result.throughput == pytest.approx(50 / (100 * 4))
+
+    def test_aggregate_throughput(self):
+        result = make_result(ports=4, slots=100, carried=50)
+        assert result.aggregate_throughput == pytest.approx(0.5)
+
+    def test_offered(self):
+        result = make_result(offered=60)
+        assert result.offered == pytest.approx(60 / 400)
+
+    def test_mean_delay(self):
+        result = make_result()
+        assert result.mean_delay == 5.0
+
+    def test_summary_mentions_key_numbers(self):
+        result = make_result()
+        text = result.summary()
+        assert "4x4" in text
+        assert "backlog 10" in text
+        assert "mean delay 5.00" in text
+
+    def test_connection_cells_default_empty(self):
+        assert make_result().connection_cells == {}
+
+    def test_dropped_default_zero(self):
+        assert make_result().dropped == 0

@@ -1,0 +1,168 @@
+"""Tests for the slot-clocked switch models."""
+
+import numpy as np
+import pytest
+
+from repro.core.fifo import FIFOScheduler
+from repro.core.pim import PIMScheduler
+from repro.switch.cell import Cell
+from repro.switch.fabric import BatcherBanyanFabric, ReplicatedBanyanFabric
+from repro.switch.switch import CrossbarSwitch, FIFOSwitch
+from repro.traffic.uniform import UniformTraffic
+from repro.traffic.trace import TraceTraffic
+
+
+def make_cell(flow, output, seqno=0):
+    return Cell(flow_id=flow, output=output, seqno=seqno)
+
+
+class TestCrossbarSwitchStep:
+    def test_single_cell_crosses_same_slot(self):
+        switch = CrossbarSwitch(4, PIMScheduler(seed=0))
+        departures = switch.step(0, [(1, make_cell(flow=9, output=3))])
+        assert len(departures) == 1
+        assert departures[0].output == 3
+        assert switch.backlog() == 0
+
+    def test_contending_cells_one_wins(self):
+        switch = CrossbarSwitch(4, PIMScheduler(seed=0))
+        arrivals = [(0, make_cell(flow=1, output=2)), (1, make_cell(flow=2, output=2))]
+        departures = switch.step(0, arrivals)
+        assert len(departures) == 1
+        assert switch.backlog() == 1
+
+    def test_invalid_input_rejected(self):
+        switch = CrossbarSwitch(4, PIMScheduler(seed=0))
+        with pytest.raises(ValueError, match="invalid input"):
+            switch.step(0, [(7, make_cell(flow=1, output=2))])
+
+    def test_request_matrix_reflects_buffers(self):
+        switch = CrossbarSwitch(4, PIMScheduler(seed=0))
+        switch.buffers[2].enqueue(make_cell(flow=1, output=3))
+        matrix = switch.request_matrix()
+        assert matrix[2, 3]
+        assert matrix.sum() == 1
+
+    def test_no_cell_is_ever_lost(self, rng):
+        switch = CrossbarSwitch(4, PIMScheduler(seed=0))
+        injected = 0
+        departed = 0
+        for slot in range(200):
+            arrivals = []
+            for i in range(4):
+                if rng.random() < 0.9:
+                    j = int(rng.integers(4))
+                    arrivals.append((i, make_cell(flow=i * 4 + j, output=j, seqno=slot)))
+            injected += len(arrivals)
+            departed += len(switch.step(slot, arrivals))
+        assert injected == departed + switch.backlog()
+
+
+class TestCrossbarSwitchRun:
+    def test_port_mismatch_rejected(self):
+        switch = CrossbarSwitch(4, PIMScheduler(seed=0))
+        with pytest.raises(ValueError, match="traffic is for 8 ports"):
+            switch.run(UniformTraffic(8, load=0.5, seed=1), slots=10)
+
+    def test_conservation(self):
+        switch = CrossbarSwitch(8, PIMScheduler(seed=0))
+        traffic = UniformTraffic(8, load=0.6, seed=1)
+        result = switch.run(traffic, slots=2000)
+        assert result.counter.offered == result.counter.carried + result.backlog
+        assert result.dropped == 0
+
+    def test_low_load_low_delay(self):
+        switch = CrossbarSwitch(8, PIMScheduler(seed=0))
+        result = switch.run(UniformTraffic(8, load=0.1, seed=1), slots=3000, warmup=300)
+        assert result.mean_delay < 1.0
+
+    def test_sustains_high_uniform_load(self):
+        """PIM-4 carries ~full offered load at 0.9 (Figure 3's claim)."""
+        switch = CrossbarSwitch(16, PIMScheduler(iterations=4, seed=0))
+        result = switch.run(UniformTraffic(16, load=0.9, seed=1), slots=8000, warmup=1000)
+        assert result.throughput == pytest.approx(result.offered, rel=0.02)
+
+    def test_connection_cells_recorded(self):
+        switch = CrossbarSwitch(4, PIMScheduler(seed=0))
+        trace = TraceTraffic.from_script(
+            4, [(0, 2, make_cell(flow=11, output=1))]
+        )
+        result = switch.run(trace, slots=5)
+        assert result.connection_cells == {(2, 1): 1}
+
+    def test_order_preserved_within_flow(self):
+        """Cells of one flow depart in order even under heavy contention."""
+        script = []
+        for slot in range(50):
+            script.append((slot, 0, make_cell(flow=100, output=1, seqno=slot)))
+            script.append((slot, 1, make_cell(flow=200, output=1, seqno=slot)))
+        switch = CrossbarSwitch(4, PIMScheduler(seed=0))
+        # run() raises AssertionError internally on order violations.
+        result = switch.run(TraceTraffic.from_script(4, script), slots=200)
+        assert result.counter.carried == 100
+
+    def test_works_on_batcher_banyan_fabric(self):
+        """Section 2.2: the scheduler works with either fabric."""
+        switch = CrossbarSwitch(8, PIMScheduler(seed=0), fabric=BatcherBanyanFabric(8))
+        result = switch.run(UniformTraffic(8, load=0.7, seed=1), slots=1000)
+        assert result.counter.offered == result.counter.carried + result.backlog
+
+    def test_fabric_size_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="fabric size"):
+            CrossbarSwitch(8, PIMScheduler(seed=0), fabric=BatcherBanyanFabric(4))
+
+    def test_speedup_with_replicated_fabric(self):
+        """speedup=2 + output_capacity=2 delivers 2 cells/output/slot."""
+        scheduler = PIMScheduler(seed=0, output_capacity=2)
+        switch = CrossbarSwitch(
+            4, scheduler, fabric=ReplicatedBanyanFabric(4, copies=2), speedup=2
+        )
+        arrivals = [
+            (0, make_cell(flow=1, output=3)),
+            (1, make_cell(flow=2, output=3)),
+        ]
+        departures = switch.step(0, arrivals)
+        # Both cells reach output 3's queue; one departs this slot.
+        assert len(departures) == 1
+        departures = switch.step(1, [])
+        assert len(departures) == 1
+        assert switch.backlog() == 0
+
+    def test_speedup_validation(self):
+        with pytest.raises(ValueError, match="speedup"):
+            CrossbarSwitch(4, PIMScheduler(seed=0), speedup=0)
+
+
+class TestFIFOSwitch:
+    def test_hol_blocking_happens(self):
+        """A blocked head cell blocks a deliverable cell behind it."""
+        switch = FIFOSwitch(4, FIFOScheduler(policy="random", seed=0))
+        # Input 0: head wants output 1 (contended), second wants output 2 (free).
+        # Input 1: head wants output 1.
+        arrivals = [
+            (0, make_cell(flow=1, output=1, seqno=0)),
+            (1, make_cell(flow=2, output=1, seqno=0)),
+        ]
+        switch.step(0, arrivals)
+        switch.step(1, [(0, make_cell(flow=3, output=2, seqno=0))])
+        # After two slots: output 1 served twice at best; the cell for
+        # output 2 can only have departed if input 0 won both rounds.
+        # Force the demonstrative case: at least one of the three cells
+        # is still queued even though output 2 was idle in slot 0.
+        assert switch.backlog() >= 1
+
+    def test_saturation_near_karol_limit(self):
+        """Uniform saturation throughput lands near 2 - sqrt(2)."""
+        switch = FIFOSwitch(16, FIFOScheduler(policy="random", seed=0))
+        result = switch.run(UniformTraffic(16, load=1.0, seed=1), slots=8000, warmup=1000)
+        assert 0.5 < result.throughput < 0.68
+
+    def test_conservation(self):
+        switch = FIFOSwitch(8, FIFOScheduler(policy="random", seed=0))
+        result = switch.run(UniformTraffic(8, load=0.5, seed=1), slots=2000)
+        assert result.counter.offered == result.counter.carried + result.backlog
+
+    def test_port_mismatch_rejected(self):
+        switch = FIFOSwitch(4, FIFOScheduler(seed=0))
+        with pytest.raises(ValueError, match="traffic is for 8 ports"):
+            switch.run(UniformTraffic(8, load=0.5, seed=1), slots=10)

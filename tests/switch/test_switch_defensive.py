@@ -1,0 +1,73 @@
+"""Defensive-path tests: the switch rejects misbehaving schedulers.
+
+The crossbar and buffers validate their inputs so a scheduler bug
+surfaces as an immediate exception rather than silent cell loss or
+misrouting -- important for anyone plugging a new scheduler into the
+framework.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.matching import Matching
+from repro.switch.cell import Cell
+from repro.switch.switch import CrossbarSwitch
+
+
+class MatchEmptyVOQScheduler:
+    """Illegally matches a pair with no queued cell."""
+
+    def schedule(self, requests):
+        return Matching.from_pairs([(0, 0)])
+
+    def reset(self):
+        pass
+
+
+class OutOfRangeScheduler:
+    """Emits a pair outside the switch."""
+
+    def schedule(self, requests):
+        n = requests.shape[0]
+        return Matching.from_pairs([(0, n)])
+
+    def reset(self):
+        pass
+
+
+class HonestScheduler:
+    """Minimal correct scheduler: serves the first request found."""
+
+    def schedule(self, requests):
+        rows, cols = np.nonzero(requests)
+        if rows.size == 0:
+            return Matching.empty()
+        return Matching.from_pairs([(int(rows[0]), int(cols[0]))])
+
+    def reset(self):
+        pass
+
+
+class TestDefensivePaths:
+    def test_matching_empty_voq_raises(self):
+        switch = CrossbarSwitch(4, MatchEmptyVOQScheduler())
+        with pytest.raises(IndexError, match="no eligible flow"):
+            switch.step(0, [])
+
+    def test_out_of_range_pair_raises(self):
+        switch = CrossbarSwitch(4, OutOfRangeScheduler())
+        switch.buffers[0].enqueue(Cell(flow_id=1, output=1))
+        with pytest.raises((IndexError, ValueError)):
+            switch.step(0, [])
+
+    def test_duck_typed_scheduler_works(self):
+        """Any object with schedule/reset participates -- the protocol
+        is structural, not nominal."""
+        switch = CrossbarSwitch(4, HonestScheduler())
+        departed = switch.step(0, [(2, Cell(flow_id=9, output=3))])
+        assert len(departed) == 1
+        assert departed[0].output == 3
+
+    def test_matching_object_itself_validates(self):
+        with pytest.raises(ValueError):
+            Matching.from_pairs([(0, 1), (0, 2)])

@@ -1,0 +1,83 @@
+"""Tests for the repro-an2 command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["delay", "--scheduler", "bogus"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["delay"])
+        assert args.scheduler == "pim"
+        assert args.ports == 16
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "37.7 M cells/s" in out
+        assert "optoelectronics" in out
+
+    def test_delay(self, capsys):
+        code = main([
+            "delay", "--scheduler", "pim", "--load", "0.5",
+            "--ports", "8", "--slots", "500", "--warmup", "50",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "8x8 switch" in out
+
+    def test_delay_fifo_and_oq(self, capsys):
+        for scheduler in ("fifo", "output-queueing"):
+            assert main([
+                "delay", "--scheduler", scheduler, "--load", "0.3",
+                "--ports", "4", "--slots", "300", "--warmup", "30",
+            ]) == 0
+
+    def test_sweep(self, capsys):
+        code = main([
+            "sweep", "--loads", "0.3", "0.6", "--ports", "8",
+            "--slots", "500", "--warmup", "50",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0.30" in out and "0.60" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1", "--patterns", "200", "--ports", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "K=1" in out
+        assert "1.00" in out
+
+    def test_cbr_bounds(self, capsys):
+        assert main(["cbr-bounds", "--hops", "2", "--cells", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "bound" in out
+
+    def test_fairness(self, capsys):
+        assert main(["fairness", "--slots", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "jain" in out
+
+    def test_workload_variants(self, capsys):
+        for workload in ("uniform", "clientserver", "bursty", "periodic"):
+            assert main([
+                "delay", "--workload", workload, "--load", "0.4",
+                "--ports", "8", "--slots", "300", "--warmup", "30",
+            ]) == 0
+
+    def test_scheduler_variants(self, capsys):
+        for scheduler in ("pim-inf", "islip", "wavefront", "maximum"):
+            assert main([
+                "delay", "--scheduler", scheduler, "--load", "0.4",
+                "--ports", "4", "--slots", "200", "--warmup", "20",
+            ]) == 0

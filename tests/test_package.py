@@ -1,0 +1,78 @@
+"""Package-level contract tests: public API importable and coherent."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.sim",
+    "repro.switch",
+    "repro.core",
+    "repro.cbr",
+    "repro.network",
+    "repro.traffic",
+    "repro.fairness",
+    "repro.analysis",
+    "repro.hardware",
+    "repro.cli",
+]
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing name {name}"
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_subpackages_import(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.__all__ lists {name}"
+
+    def test_quickstart_docstring_example_runs(self):
+        """The package docstring's example must actually work."""
+        from repro import CrossbarSwitch, PIMScheduler, UniformTraffic
+
+        switch = CrossbarSwitch(ports=16, scheduler=PIMScheduler(iterations=4, seed=1))
+        traffic = UniformTraffic(ports=16, load=0.9, seed=2)
+        result = switch.run(traffic, slots=2_000, warmup=200)
+        assert result.mean_delay > 0
+        assert 0.8 < result.throughput <= 1.0
+
+    def test_every_public_callable_has_docstring(self):
+        import inspect
+
+        missing = []
+        for module_name in SUBPACKAGES:
+            module = importlib.import_module(module_name)
+            for name in getattr(module, "__all__", []):
+                obj = getattr(module, name)
+                if callable(obj) and not (obj.__doc__ or "").strip():
+                    missing.append(f"{module_name}.{name}")
+        assert not missing, f"public callables without docstrings: {missing}"
+
+    def test_schedulers_share_the_protocol(self):
+        import numpy as np
+
+        from repro.core import (
+            ISLIPScheduler,
+            MaximumMatchingScheduler,
+            PIMScheduler,
+            WavefrontScheduler,
+        )
+
+        requests = np.eye(4, dtype=bool)
+        for scheduler in (
+            PIMScheduler(seed=0),
+            ISLIPScheduler(),
+            WavefrontScheduler(),
+            MaximumMatchingScheduler(),
+        ):
+            matching = scheduler.schedule(requests)
+            assert len(matching) == 4
+            scheduler.reset()

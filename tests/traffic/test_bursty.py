@@ -1,0 +1,71 @@
+"""Tests for the on/off bursty workload."""
+
+import pytest
+
+from repro.traffic.bursty import BurstyTraffic
+
+
+class TestBurstyTraffic:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="ports"):
+            BurstyTraffic(0, load=0.5)
+        with pytest.raises(ValueError, match="load"):
+            BurstyTraffic(4, load=1.0)
+        with pytest.raises(ValueError, match="burst_length"):
+            BurstyTraffic(4, load=0.5, burst_length=0.5)
+
+    def test_zero_load_silent(self):
+        traffic = BurstyTraffic(4, load=0.0, seed=0)
+        assert all(not traffic.arrivals(slot) for slot in range(100))
+
+    def test_long_run_load(self):
+        traffic = BurstyTraffic(8, load=0.4, burst_length=8, seed=1)
+        total = sum(len(traffic.arrivals(slot)) for slot in range(30000))
+        assert total / (30000 * 8) == pytest.approx(0.4, abs=0.05)
+
+    def test_burst_shares_destination(self):
+        """Consecutive cells from one input within a burst go to the
+        same output (the Section 2.4 hot-spot pattern)."""
+        traffic = BurstyTraffic(1, load=0.5, burst_length=20, seed=2)
+        runs = []
+        current_dest, run_length = None, 0
+        last_slot_active = False
+        for slot in range(5000):
+            arrivals = traffic.arrivals(slot)
+            if arrivals:
+                cell = arrivals[0][1]
+                if last_slot_active and cell.output == current_dest:
+                    run_length += 1
+                else:
+                    if run_length:
+                        runs.append(run_length)
+                    current_dest, run_length = cell.output, 1
+                last_slot_active = True
+            else:
+                if run_length:
+                    runs.append(run_length)
+                run_length, current_dest = 0, None
+                last_slot_active = False
+        assert sum(runs) / len(runs) > 3  # mean run well above 1
+
+    def test_mean_burst_length(self):
+        traffic = BurstyTraffic(1, load=0.3, burst_length=10, seed=3)
+        on_lengths = []
+        length = 0
+        for slot in range(50000):
+            if traffic.arrivals(slot):
+                length += 1
+            elif length:
+                on_lengths.append(length)
+                length = 0
+        mean = sum(on_lengths) / len(on_lengths)
+        assert mean == pytest.approx(10, rel=0.25)
+
+    def test_seqnos_increment(self):
+        traffic = BurstyTraffic(2, load=0.5, seed=4)
+        seen = {}
+        for slot in range(1000):
+            for _, cell in traffic.arrivals(slot):
+                if cell.flow_id in seen:
+                    assert cell.seqno == seen[cell.flow_id] + 1
+                seen[cell.flow_id] = cell.seqno

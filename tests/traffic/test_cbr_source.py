@@ -1,0 +1,71 @@
+"""Tests for the CBR reservation-conforming source."""
+
+import pytest
+
+from repro.switch.cell import ServiceClass
+from repro.switch.flow import Flow
+from repro.traffic.cbr_source import CBRSource
+
+
+def cbr(flow_id, src, dst, cells):
+    return Flow(
+        flow_id=flow_id, src=src, dst=dst, service=ServiceClass.CBR, cells_per_frame=cells
+    )
+
+
+class TestCBRSource:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="frame_slots"):
+            CBRSource(4, [], frame_slots=0)
+        with pytest.raises(ValueError, match="not CBR"):
+            CBRSource(4, [Flow(flow_id=1, src=0, dst=1)], frame_slots=10)
+        with pytest.raises(ValueError, match="reserves"):
+            CBRSource(4, [cbr(1, 0, 1, 11)], frame_slots=10)
+        with pytest.raises(ValueError, match="out of range"):
+            CBRSource(4, [cbr(1, 9, 1, 2)], frame_slots=10)
+
+    def test_exactly_reservation_per_frame(self):
+        source = CBRSource(4, [cbr(1, 0, 2, 3)], frame_slots=10)
+        for frame in range(5):
+            cells = sum(
+                len(source.arrivals(frame * 10 + offset)) for offset in range(10)
+            )
+            assert cells == 3
+
+    def test_jittered_still_conforms(self):
+        source = CBRSource(4, [cbr(1, 0, 2, 4)], frame_slots=8, jitter=True, seed=0)
+        for frame in range(20):
+            cells = sum(len(source.arrivals(frame * 8 + o)) for o in range(8))
+            assert cells == 4
+
+    def test_even_spacing_when_not_jittered(self):
+        source = CBRSource(4, [cbr(1, 0, 2, 2)], frame_slots=10)
+        emission_offsets = [
+            offset for offset in range(10) if source.arrivals(offset)
+        ]
+        assert emission_offsets == [0, 5]
+
+    def test_cells_carry_cbr_class_and_ports(self):
+        source = CBRSource(4, [cbr(7, 1, 3, 10)], frame_slots=10)
+        input_port, cell = source.arrivals(0)[0]
+        assert input_port == 1
+        assert cell.output == 3
+        assert cell.service is ServiceClass.CBR
+        assert cell.flow_id == 7
+
+    def test_seqnos_increment(self):
+        source = CBRSource(4, [cbr(1, 0, 2, 5)], frame_slots=5)
+        seqs = []
+        for slot in range(25):
+            for _, cell in source.arrivals(slot):
+                seqs.append(cell.seqno)
+        assert seqs == list(range(25))
+
+    def test_multiple_flows_independent(self):
+        flows = [cbr(1, 0, 2, 2), cbr(2, 1, 3, 5)]
+        source = CBRSource(4, flows, frame_slots=10)
+        per_flow = {1: 0, 2: 0}
+        for slot in range(100):
+            for _, cell in source.arrivals(slot):
+                per_flow[cell.flow_id] += 1
+        assert per_flow == {1: 20, 2: 50}

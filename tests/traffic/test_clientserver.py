@@ -1,0 +1,77 @@
+"""Tests for the client-server workload of Figure 4."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.clientserver import ClientServerTraffic
+
+
+class TestClientServerTraffic:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least 2 ports"):
+            ClientServerTraffic(1, load=0.5)
+        with pytest.raises(ValueError, match="load"):
+            ClientServerTraffic(16, load=1.2)
+        with pytest.raises(ValueError, match="server count"):
+            ClientServerTraffic(16, load=0.5, servers=16)
+        with pytest.raises(ValueError, match="invalid server indices"):
+            ClientServerTraffic(16, load=0.5, servers=[99])
+        with pytest.raises(ValueError, match="ratio"):
+            ClientServerTraffic(16, load=0.5, client_client_ratio=2.0)
+
+    def test_server_link_load_calibrated(self):
+        """A server output link sees exactly the requested load."""
+        traffic = ClientServerTraffic(16, load=0.6, seed=0)
+        rates = traffic.connection_rates
+        for server in traffic.server_ports:
+            assert rates[:, server].sum() == pytest.approx(0.6)
+
+    def test_no_input_overloaded(self):
+        traffic = ClientServerTraffic(16, load=1.0, seed=0)
+        assert (traffic.connection_rates.sum(axis=1) <= 1.0 + 1e-9).all()
+
+    def test_client_client_ratio(self):
+        traffic = ClientServerTraffic(16, load=0.5, seed=0)
+        rates = traffic.connection_rates
+        client_a, client_b = 5, 6  # not in default server set {0..3}
+        server = 0
+        assert rates[client_a, client_b] == pytest.approx(
+            0.05 * rates[client_a, server]
+        )
+
+    def test_no_self_traffic(self):
+        traffic = ClientServerTraffic(16, load=0.5, seed=0)
+        assert (np.diag(traffic.connection_rates) == 0).all()
+
+    def test_explicit_server_indices(self):
+        traffic = ClientServerTraffic(8, load=0.5, servers=[2, 5], seed=0)
+        assert traffic.server_ports == [2, 5]
+
+    def test_empirical_server_load(self):
+        traffic = ClientServerTraffic(16, load=0.5, seed=1)
+        server_cells = 0
+        slots = 8000
+        for slot in range(slots):
+            for _, cell in traffic.arrivals(slot):
+                if cell.output == 0:
+                    server_cells += 1
+        assert server_cells / slots == pytest.approx(0.5, abs=0.04)
+
+    def test_servers_hotter_than_clients(self):
+        traffic = ClientServerTraffic(16, load=0.9, seed=2)
+        counts = np.zeros(16)
+        for slot in range(4000):
+            for _, cell in traffic.arrivals(slot):
+                counts[cell.output] += 1
+        server_mean = counts[traffic.server_ports].mean()
+        client_mean = counts[[p for p in range(16) if p not in traffic.server_ports]].mean()
+        assert server_mean > 2 * client_mean
+
+    def test_seqnos_increment_per_flow(self):
+        traffic = ClientServerTraffic(8, load=0.9, seed=3)
+        seen = {}
+        for slot in range(500):
+            for _, cell in traffic.arrivals(slot):
+                if cell.flow_id in seen:
+                    assert cell.seqno == seen[cell.flow_id] + 1
+                seen[cell.flow_id] = cell.seqno

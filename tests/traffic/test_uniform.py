@@ -1,0 +1,65 @@
+"""Tests for uniform Bernoulli traffic."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.uniform import UniformTraffic
+
+
+class TestUniformTraffic:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="ports"):
+            UniformTraffic(0, load=0.5)
+        with pytest.raises(ValueError, match="load"):
+            UniformTraffic(4, load=1.5)
+        with pytest.raises(ValueError, match="at least 2 ports"):
+            UniformTraffic(1, load=0.5, exclude_self=True)
+
+    def test_zero_load_silent(self):
+        traffic = UniformTraffic(4, load=0.0, seed=0)
+        assert all(not traffic.arrivals(slot) for slot in range(100))
+
+    def test_full_load_every_slot(self):
+        traffic = UniformTraffic(4, load=1.0, seed=0)
+        assert all(len(traffic.arrivals(slot)) == 4 for slot in range(50))
+
+    def test_empirical_rate(self):
+        traffic = UniformTraffic(8, load=0.3, seed=1)
+        total = sum(len(traffic.arrivals(slot)) for slot in range(5000))
+        assert total / (5000 * 8) == pytest.approx(0.3, abs=0.02)
+
+    def test_destinations_uniform(self):
+        traffic = UniformTraffic(4, load=1.0, seed=2)
+        counts = np.zeros(4)
+        for slot in range(3000):
+            for _, cell in traffic.arrivals(slot):
+                counts[cell.output] += 1
+        np.testing.assert_allclose(counts / counts.sum(), 0.25, atol=0.02)
+
+    def test_exclude_self(self):
+        traffic = UniformTraffic(4, load=1.0, seed=3, exclude_self=True)
+        for slot in range(200):
+            for input_port, cell in traffic.arrivals(slot):
+                assert cell.output != input_port
+
+    def test_seqnos_increment_per_flow(self):
+        traffic = UniformTraffic(2, load=1.0, seed=4)
+        seen = {}
+        for slot in range(300):
+            for _, cell in traffic.arrivals(slot):
+                if cell.flow_id in seen:
+                    assert cell.seqno == seen[cell.flow_id] + 1
+                seen[cell.flow_id] = cell.seqno
+
+    def test_flow_id_encodes_connection(self):
+        traffic = UniformTraffic(4, load=1.0, seed=5)
+        for input_port, cell in traffic.arrivals(0):
+            assert cell.flow_id == input_port * 4 + cell.output
+
+    def test_reproducible(self):
+        a = UniformTraffic(4, load=0.5, seed=6)
+        b = UniformTraffic(4, load=0.5, seed=6)
+        for slot in range(50):
+            left = [(i, c.output) for i, c in a.arrivals(slot)]
+            right = [(i, c.output) for i, c in b.arrivals(slot)]
+            assert left == right
