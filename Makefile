@@ -1,6 +1,6 @@
 # Convenience targets for the AN2 reproduction.
 
-.PHONY: install test bench bench-full examples lint clean
+.PHONY: install test bench bench-fastpath bench-full examples lint clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -10,9 +10,14 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only -q
+	$(MAKE) bench-fastpath
+
+bench-fastpath:
+	PYTHONPATH=src python benchmarks/perf/bench_fastpath.py --quick --out BENCH_fastpath.json
 
 bench-full:
 	REPRO_FULL=1 pytest benchmarks/ --benchmark-only -q
+	PYTHONPATH=src python benchmarks/perf/bench_fastpath.py --out BENCH_fastpath.json
 
 examples:
 	python examples/quickstart.py

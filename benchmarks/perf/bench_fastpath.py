@@ -1,0 +1,155 @@
+"""Timing harness: fast-path backend vs object backend slots/sec.
+
+Measures simulation throughput (replica-slots per wall second, i.e.
+``replicas * slots / elapsed``) for the count-based vectorized
+fast-path simulator and the per-cell object model across switch sizes
+N and batch sizes B, plus the grant/accept compact-draw micro-delta in
+:func:`repro.core.pim.pim_match`, and writes ``BENCH_fastpath.json``
+so future PRs have a perf trajectory to regress against.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf/bench_fastpath.py           # full grid
+    PYTHONPATH=src python benchmarks/perf/bench_fastpath.py --quick   # make bench
+
+The object backend's slots/sec is independent of B (replicas would be
+simulated one after another), so it is measured once per N and the
+per-(N, B) speedup is ``fastpath_replica_slots_per_sec / object_slots_per_sec``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.pim import PIMScheduler, pim_match
+from repro.sim.fastpath import run_fastpath
+from repro.switch.switch import CrossbarSwitch
+from repro.traffic.uniform import UniformTraffic
+
+LOAD = 0.8
+ITERATIONS = 4
+
+
+def time_object_backend(ports: int, slots: int, seed: int = 0) -> float:
+    """Object-backend slots per second at one switch size."""
+    switch = CrossbarSwitch(ports, PIMScheduler(iterations=ITERATIONS, seed=seed))
+    traffic = UniformTraffic(ports, load=LOAD, seed=seed + 1)
+    start = time.perf_counter()
+    switch.run(traffic, slots=slots)
+    elapsed = time.perf_counter() - start
+    return slots / elapsed
+
+
+def time_fastpath_backend(ports: int, replicas: int, slots: int, seed: int = 0) -> float:
+    """Fast-path replica-slots per second at one (N, B) point."""
+    start = time.perf_counter()
+    run_fastpath(
+        ports, LOAD, slots, replicas=replicas, iterations=ITERATIONS, seed=seed
+    )
+    elapsed = time.perf_counter() - start
+    return replicas * slots / elapsed
+
+
+def time_compact_draw_delta(
+    ports: int = 128, matrices: int = 200, seed: int = 0
+) -> dict:
+    """Micro-bench: pim_match with compact vs legacy full-N*N key draws.
+
+    Measured at a switch size where the compact path is engaged (it
+    gates itself off below ``pim._COMPACT_MIN_PORTS`` because the
+    submatrix bookkeeping would cost more than the N*N uniforms it
+    saves), with a sparse request probability so most grant/accept
+    rounds run over a nearly-empty active matrix -- the case the
+    compact draw optimizes (the satellite perf micro-fix).
+    """
+    rng = np.random.default_rng(seed)
+    batch = rng.random((matrices, ports, ports)) < 0.05
+    results = {}
+    for compact in (True, False):
+        run_rng = np.random.default_rng(seed + 1)
+        start = time.perf_counter()
+        for matrix in batch:
+            pim_match(matrix, run_rng, iterations=None, compact_draws=compact)
+        elapsed = time.perf_counter() - start
+        results["compact" if compact else "full"] = matrices / elapsed
+    results["speedup_compact_vs_full"] = results["compact"] / results["full"]
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small config for make bench (fewer grid points, fewer slots)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_fastpath.json",
+        help="output JSON path (default: BENCH_fastpath.json)",
+    )
+    args = parser.parse_args()
+
+    if args.quick:
+        grid_n, grid_b, slots, object_slots = [16], [1, 256], 150, 150
+    else:
+        grid_n, grid_b, slots, object_slots = [8, 16, 32], [1, 32, 256], 300, 300
+
+    object_baseline = {}
+    for ports in grid_n:
+        object_baseline[ports] = time_object_backend(ports, object_slots)
+        print(f"object   N={ports:<3}          {object_baseline[ports]:>12.0f} slots/s")
+
+    results = []
+    for ports in grid_n:
+        for replicas in grid_b:
+            sps = time_fastpath_backend(ports, replicas, slots)
+            speedup = sps / object_baseline[ports]
+            results.append(
+                {
+                    "config": {
+                        "backend": "fastpath",
+                        "ports": ports,
+                        "replicas": replicas,
+                        "slots": slots,
+                        "load": LOAD,
+                        "iterations": ITERATIONS,
+                    },
+                    "slots_per_sec": sps,
+                    "speedup_vs_object": speedup,
+                }
+            )
+            print(
+                f"fastpath N={ports:<3} B={replicas:<4} {sps:>12.0f} "
+                f"replica-slots/s  ({speedup:.1f}x object)"
+            )
+
+    micro = time_compact_draw_delta()
+    print(
+        f"pim_match compact draws: {micro['compact']:.0f} vs full "
+        f"{micro['full']:.0f} matches/s ({micro['speedup_compact_vs_full']:.2f}x)"
+    )
+
+    payload = {
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "platform": platform.platform(),
+        "load": LOAD,
+        "iterations": ITERATIONS,
+        "object_baseline_slots_per_sec": {
+            str(n): sps for n, sps in object_baseline.items()
+        },
+        "results": results,
+        "micro_pim_match_draws": micro,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

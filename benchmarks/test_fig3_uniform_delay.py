@@ -13,17 +13,37 @@ from repro.analysis.hol import KAROL_LIMIT
 from repro.hardware.cost import slots_to_seconds
 from repro.traffic.uniform import UniformTraffic
 
-from _common import PORTS, delay_vs_load, print_curves, standard_switches
+from _common import (
+    BACKEND,
+    PORTS,
+    delay_vs_load,
+    fastpath_pim_curve,
+    print_curves,
+    standard_switches,
+)
 
 LOADS = [0.2, 0.4, 0.6, 0.7, 0.8, 0.9, 0.95]
 
 
-def compute_fig3():
-    return delay_vs_load(
+def compute_fig3(backend=None):
+    """Figure 3 curves; ``backend`` switches the PIM-4 simulator.
+
+    ``"object"`` (default) runs the per-cell CrossbarSwitch;
+    ``"fastpath"`` (or REPRO_BACKEND=fastpath) computes the pim4 curve
+    with the vectorized count-based backend on seed-matched arrivals.
+    FIFO and output queueing always use the object models.
+    """
+    backend = backend if backend is not None else BACKEND
+    curves = delay_vs_load(
         LOADS,
         lambda load, index: UniformTraffic(PORTS, load=load, seed=100 + index),
         standard_switches(),
     )
+    if backend == "fastpath":
+        curves["pim4"] = fastpath_pim_curve(LOADS, ports=PORTS, seed_base=100)
+    elif backend != "object":
+        raise ValueError(f"unknown backend: {backend!r}")
+    return curves
 
 
 def test_fig3(benchmark):

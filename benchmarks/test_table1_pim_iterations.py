@@ -17,13 +17,16 @@ Regenerate with ``pytest benchmarks/test_table1_pim_iterations.py
 import numpy as np
 import pytest
 
-from repro.core.pim import pim_match_batch
+from repro.core.pim import pim_match, pim_match_batch
 
 from _common import FULL, print_table
 
 PORTS = 16
 PROBABILITIES = [0.10, 0.25, 0.50, 0.75, 1.0]
 PATTERNS = 200_000 if FULL else 20_000
+#: Sample size cap for the per-pattern object backend (pure-Python
+#: loop; used only as a cross-check of the vectorized kernel).
+OBJECT_PATTERNS = 2_000
 BATCH = 5_000
 
 PAPER_ROWS = {
@@ -35,10 +38,20 @@ PAPER_ROWS = {
 }
 
 
-def compute_table1(patterns=PATTERNS, seed=0):
-    """Fraction of run-to-completion matches found within K iterations."""
+def compute_table1(patterns=PATTERNS, seed=0, backend="fastpath"):
+    """Fraction of run-to-completion matches found within K iterations.
+
+    ``backend="fastpath"`` (default) runs the vectorized batch kernel;
+    ``backend="object"`` cross-checks with the per-pattern
+    :func:`pim_match` loop on a reduced sample (REPRO_BACKEND=object
+    selects it in the bench).
+    """
     rng = np.random.default_rng(seed)
     rows = {}
+    if backend == "object":
+        patterns = min(patterns, OBJECT_PATTERNS)
+    elif backend != "fastpath":
+        raise ValueError(f"unknown backend: {backend!r}")
     for p in PROBABILITIES:
         found_within = np.zeros(4, dtype=np.float64)
         total = 0.0
@@ -47,7 +60,17 @@ def compute_table1(patterns=PATTERNS, seed=0):
             count = min(BATCH, remaining)
             remaining -= count
             batch = rng.random((count, PORTS, PORTS)) < p
-            cumulative = pim_match_batch(batch, rng)
+            if backend == "object":
+                sizes = [
+                    pim_match(matrix, rng, iterations=None).cumulative_sizes
+                    for matrix in batch
+                ]
+                width = max(len(s) for s in sizes)
+                cumulative = np.array(
+                    [s + (s[-1],) * (width - len(s)) for s in sizes]
+                )
+            else:
+                cumulative = pim_match_batch(batch, rng)
             final = cumulative[:, -1]
             total += final.sum()
             for k in range(4):
@@ -58,10 +81,15 @@ def compute_table1(patterns=PATTERNS, seed=0):
 
 
 def test_table1(benchmark):
-    rows = benchmark.pedantic(compute_table1, rounds=1, iterations=1)
+    import os
+
+    backend = os.environ.get("REPRO_BACKEND", "fastpath")
+    rows = benchmark.pedantic(
+        lambda: compute_table1(backend=backend), rounds=1, iterations=1
+    )
     print_table(
         "Table 1: % of total matches found within K iterations "
-        f"({PATTERNS} patterns/p, 16x16)",
+        f"({PATTERNS} patterns/p, 16x16, backend={backend})",
         ["p", "K=1", "K=2", "K=3", "K=4", "paper K=1", "paper K=4"],
         [
             [p] + rows[p] + [PAPER_ROWS[p][0], PAPER_ROWS[p][3]]

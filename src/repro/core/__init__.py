@@ -20,7 +20,7 @@ slot.
 """
 
 from repro.core.matching import Matching, greedy_maximal_match, is_maximal
-from repro.core.pim import PIMScheduler, pim_match
+from repro.core.pim import BatchPIMScheduler, PIMScheduler, pim_match, pim_match_batch
 from repro.core.statistical import StatisticalMatcher
 from repro.core.fifo import FIFOScheduler
 from repro.core.islip import ISLIPScheduler
@@ -32,6 +32,8 @@ from repro.core.lqf import LQFScheduler
 from repro.core.rrm import RRMScheduler
 
 __all__ = [
+    "BatchPIMScheduler",
+    "pim_match_batch",
     "RRMScheduler",
     "WindowedFIFOScheduler",
     "WindowedFIFOSwitch",

@@ -54,9 +54,27 @@ class Matching:
             raise ValueError(f"output matched twice: {sorted(outputs)}")
 
     @classmethod
-    def from_pairs(cls, pairs: Iterable[Tuple[int, int]]) -> "Matching":
-        """Build a matching from any iterable of (input, output) pairs."""
-        return cls(tuple(sorted(pairs)))
+    def from_pairs(
+        cls,
+        pairs: Iterable[Tuple[int, int]],
+        validate_outputs: bool = True,
+    ) -> "Matching":
+        """Build a matching from any iterable of (input, output) pairs.
+
+        ``validate_outputs=False`` is the sanctioned path for *b-matchings*
+        on the output side (the ``output_capacity > 1`` generalization of
+        Section 3.1, where a replicated fabric delivers up to k cells per
+        output per slot): outputs may repeat, inputs still may not.
+        """
+        pairs = tuple(sorted(pairs))
+        if validate_outputs:
+            return cls(pairs)
+        inputs = [i for i, _ in pairs]
+        if len(set(inputs)) != len(inputs):
+            raise ValueError(f"input matched twice: {sorted(inputs)}")
+        matching = object.__new__(cls)
+        object.__setattr__(matching, "pairs", pairs)
+        return matching
 
     @classmethod
     def empty(cls) -> "Matching":

@@ -23,8 +23,12 @@ The module provides:
 
 - :func:`pim_match` -- one slot's matching for a single request matrix,
   with a per-iteration trace (used for Table 1 / Figure 2),
-- :func:`pim_match_batch` -- vectorized over a batch of request
-  matrices (used to regenerate Table 1 at the paper's sample sizes),
+- :class:`BatchPIMScheduler` -- stateful PIM vectorized over B
+  independent replicas at once; the matching kernel of the fast-path
+  simulator (:mod:`repro.sim.fastpath`),
+- :func:`pim_match_batch` -- stateless one-shot wrapper around
+  :class:`BatchPIMScheduler` (used to regenerate Table 1 at the
+  paper's sample sizes),
 - :class:`PIMScheduler` -- the stateful scheduler object plugged into
   :class:`repro.switch.switch.CrossbarSwitch`.
 """
@@ -38,12 +42,25 @@ import numpy as np
 
 from repro.core.matching import Matching, as_request_matrix
 
-__all__ = ["PIMResult", "PIMIterationTrace", "pim_match", "pim_match_batch", "PIMScheduler"]
+__all__ = [
+    "PIMResult",
+    "PIMIterationTrace",
+    "pim_match",
+    "pim_match_batch",
+    "PIMScheduler",
+    "BatchPIMScheduler",
+]
 
 AcceptPolicy = Literal["random", "round_robin"]
 
 #: Iteration count of the AN2 prototype (Section 3.2).
 AN2_ITERATIONS = 4
+
+#: Smallest switch size at which the compact grant/accept key draw
+#: pays for itself.  Below this, numpy per-call overhead of extracting
+#: the active submatrix exceeds the cost of just drawing N*N uniforms
+#: (measured crossover ~N=64; clear win from N=128 up).
+_COMPACT_MIN_PORTS = 64
 
 
 @dataclass(frozen=True)
@@ -70,46 +87,102 @@ class PIMResult:
         The final matching.
     cumulative_sizes:
         ``cumulative_sizes[k]`` is the matching size after iteration
-        k+1.  Its length is the number of iterations actually executed.
+        k+1.  An empty request matrix executes no iteration at all but
+        still reports ``cumulative_sizes == (0,)`` so the tuple is
+        never empty; ``iterations`` is the authoritative count of
+        request/grant/accept rounds actually run (0 in that case).
     completed:
         True when the final matching is maximal (the algorithm stopped
         because no unresolved request remained rather than because the
         iteration budget ran out).
     trace:
         Per-iteration traces when requested, else empty.
+    iterations_run:
+        Request/grant/accept rounds actually executed.  ``None`` (legacy
+        constructions) falls back to ``len(cumulative_sizes)``.
     """
 
     matching: Matching
     cumulative_sizes: Tuple[int, ...]
     completed: bool
     trace: Tuple[PIMIterationTrace, ...] = ()
+    iterations_run: Optional[int] = None
 
     @property
     def iterations(self) -> int:
-        """Number of iterations executed."""
+        """Number of request/grant/accept iterations actually executed.
+
+        Unlike ``len(cumulative_sizes)`` this is 0 for an empty request
+        matrix, where no iteration runs but ``cumulative_sizes`` still
+        holds the sentinel ``(0,)``.
+        """
+        if self.iterations_run is not None:
+            return self.iterations_run
         return len(self.cumulative_sizes)
 
 
-def _grant_phase(active: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+def _grant_phase(
+    active: np.ndarray, rng: np.random.Generator, compact: bool = True
+) -> np.ndarray:
     """Each output with pending requests grants one uniformly at random.
 
     ``active`` is the N x N matrix of unresolved requests.  Returns an
     N x N boolean grant matrix with at most one True per column.
     Choosing the argmax of i.i.d. uniform keys over the requesting
     inputs is a uniform choice among them.
+
+    With ``compact`` (the default) random keys are drawn only over the
+    submatrix of rows/columns that still carry a request; in later PIM
+    iterations ``active`` is nearly empty, so this avoids generating
+    N*N uniforms to resolve a handful of cells.  The compact path only
+    engages from ``_COMPACT_MIN_PORTS`` up -- on small matrices the
+    submatrix bookkeeping costs more than the uniforms it saves.
+    ``compact=False`` forces the legacy full-matrix draw (same
+    distribution, different random-stream consumption); the perf
+    harness reports the delta.
     """
-    n = active.shape[0]
+    grants = np.zeros_like(active)
+    if compact and active.shape[0] >= _COMPACT_MIN_PORTS:
+        rows = np.nonzero(active.any(axis=1))[0]
+        cols = np.nonzero(active.any(axis=0))[0]
+        if cols.size == 0:
+            return grants
+        sub = active[np.ix_(rows, cols)]
+        # Adding the bool mask lifts requesting keys into [1, 2) above
+        # non-requesting [0, 1): same argmax winner as masking with
+        # -1.0, without the np.where temporary.  Every retained column
+        # has at least one requester, so the argmax row is always a
+        # genuine request.
+        keys = rng.random(sub.shape)
+        keys += sub
+        grants[rows[keys.argmax(axis=0)], cols] = True
+        return grants
     keys = np.where(active, rng.random(active.shape), -1.0)
     chosen = keys.argmax(axis=0)
     granted = keys.max(axis=0) >= 0.0
-    grants = np.zeros_like(active)
     cols = np.nonzero(granted)[0]
     grants[chosen[cols], cols] = True
     return grants
 
 
-def _accept_random(grants: np.ndarray, rng: np.random.Generator) -> List[Tuple[int, int]]:
-    """Each input with grants accepts one uniformly at random."""
+def _accept_random(
+    grants: np.ndarray, rng: np.random.Generator, compact: bool = True
+) -> List[Tuple[int, int]]:
+    """Each input with grants accepts one uniformly at random.
+
+    ``compact`` draws keys only over rows/columns that carry a grant,
+    from ``_COMPACT_MIN_PORTS`` up (see :func:`_grant_phase`).
+    """
+    if compact and grants.shape[0] >= _COMPACT_MIN_PORTS:
+        rows = np.nonzero(grants.any(axis=1))[0]
+        cols = np.nonzero(grants.any(axis=0))[0]
+        if rows.size == 0:
+            return []
+        sub = grants[np.ix_(rows, cols)]
+        keys = rng.random(sub.shape)
+        keys += sub
+        chosen = keys.argmax(axis=1)
+        return [(int(i), int(cols[c])) for i, c in zip(rows, chosen)]
     keys = np.where(grants, rng.random(grants.shape), -1.0)
     chosen = keys.argmax(axis=1)
     has_grant = keys.max(axis=1) >= 0.0
@@ -144,6 +217,7 @@ def pim_match(
     accept_pointers: Optional[np.ndarray] = None,
     output_capacity: int = 1,
     keep_trace: bool = False,
+    compact_draws: bool = True,
 ) -> PIMResult:
     """Run parallel iterative matching on one request matrix.
 
@@ -172,9 +246,17 @@ def pim_match(
         :class:`Matching`-validated object only when k == 1.
     keep_trace:
         Record per-iteration request/grant/accept matrices.
+    compact_draws:
+        Draw grant/accept random keys only over the rows/columns still
+        in play (default).  ``False`` restores the legacy full-N*N
+        draws per iteration -- identical distribution, but a different
+        (and for sparse iterations much larger) random-stream
+        consumption; kept for perf comparison in the bench harness.
 
     Returns a :class:`PIMResult`.  With ``output_capacity == 1`` the
-    matching is always legal, and maximal whenever ``completed``.
+    matching is always legal, and maximal whenever ``completed``.  An
+    empty request matrix runs zero iterations (``iterations == 0``)
+    and reports the sentinel ``cumulative_sizes == (0,)``.
     """
     matrix = as_request_matrix(requests)
     n = matrix.shape[0]
@@ -192,20 +274,16 @@ def pim_match(
     traces: List[PIMIterationTrace] = []
     completed = False
 
-    iteration = 0
-    while iterations is None or iteration < iterations:
-        iteration += 1
+    executed = 0
+    while iterations is None or executed < iterations:
         active = matrix & ~input_matched[:, None] & (output_slots > 0)[None, :]
         if not active.any():
             completed = True
-            # Account the no-op iteration only if nothing ran yet, so
-            # cumulative_sizes is never empty for a valid call.
-            if not sizes:
-                sizes.append(0)
             break
-        grants = _grant_phase(active, rng)
+        executed += 1
+        grants = _grant_phase(active, rng, compact=compact_draws)
         if accept == "random":
-            accepted = _accept_random(grants, rng)
+            accepted = _accept_random(grants, rng, compact=compact_draws)
         elif accept == "round_robin":
             assert accept_pointers is not None
             accepted = _accept_round_robin(grants, accept_pointers)
@@ -219,19 +297,207 @@ def pim_match(
         if keep_trace:
             traces.append(PIMIterationTrace(active, grants, tuple(accepted)))
 
+    if not sizes:
+        # No iteration ran (empty request matrix): keep the (0,)
+        # sentinel so cumulative_sizes is never empty, with the
+        # explicit iterations_run == 0 convention.
+        sizes.append(0)
     if not completed:
         # Budget exhausted; check whether we happen to be maximal anyway.
         active = matrix & ~input_matched[:, None] & (output_slots > 0)[None, :]
         completed = not active.any()
 
-    if output_capacity == 1:
-        matching = Matching.from_pairs(pairs)
-    else:
-        # k > 1 legitimately matches an output up to k times, which the
-        # Matching validator forbids; store the pairs unvalidated.
-        matching = Matching.__new__(Matching)
-        object.__setattr__(matching, "pairs", tuple(sorted(pairs)))
-    return PIMResult(matching, tuple(sizes), completed, tuple(traces))
+    # k > 1 legitimately matches an output up to k times (a b-matching
+    # on the output side), which the default validator forbids.
+    matching = Matching.from_pairs(pairs, validate_outputs=output_capacity == 1)
+    return PIMResult(matching, tuple(sizes), completed, tuple(traces), executed)
+
+
+def _as_request_batch(requests: np.ndarray) -> np.ndarray:
+    """Validate and normalize a (B, N, N) boolean request batch."""
+    batch = np.asarray(requests).astype(bool)
+    if batch.ndim != 3 or batch.shape[1] != batch.shape[2]:
+        raise ValueError(f"expected (B, N, N) requests, got shape {batch.shape}")
+    return batch
+
+
+class BatchPIMScheduler:
+    """Stateful PIM vectorized over B independent switch replicas.
+
+    Runs the request/grant/accept rounds of Section 3.1 simultaneously
+    on a ``(B, N, N)`` stack of request matrices -- one matrix per
+    replica -- with every phase expressed as whole-array numpy work, so
+    the per-slot cost is amortized across the batch.  This is the
+    matching kernel of the fast-path simulator
+    (:mod:`repro.sim.fastpath`) and the generalization of the one-shot
+    :func:`pim_match_batch` helper; it carries the same cross-slot
+    state as :class:`PIMScheduler`:
+
+    - an **iteration budget** per slot (AN2 uses 4; ``None`` runs each
+      slot to maximality, which needs at most N rounds since every
+      round with unresolved requests matches at least one pair),
+    - **round-robin accept pointers** per (replica, input) carried
+      across slots for the Section 3.4 fairness guarantee,
+    - an **output capacity** k, the k-grant generalization for
+      replicated fabrics (outputs may be matched up to k times; inputs
+      still accept at most one grant per slot).
+
+    Parameters
+    ----------
+    replicas, ports:
+        Batch shape B and switch size N.
+    iterations:
+        Per-slot iteration budget; ``None`` = run to maximality.
+    accept:
+        ``"random"`` or ``"round_robin"`` input accept policy.
+    seed / rng:
+        Private random stream (``rng`` wins when both are given; it
+        only needs a numpy-compatible ``random(shape)``).
+    output_capacity:
+        Grants (and matches) each output may take per slot.
+    track_sizes:
+        Record ``last_cumulative_sizes`` / ``last_completed``
+        diagnostics (Table 1 needs them; the fast-path inner loop
+        turns them off to save per-slot reductions).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> sched = BatchPIMScheduler(replicas=3, ports=4, seed=0)
+    >>> match = sched.schedule(np.ones((3, 4, 4), dtype=bool))
+    >>> match.shape == (3, 4) and (match >= 0).all()  # perfect matches
+    True
+    """
+
+    name = "pim_batch"
+
+    def __init__(
+        self,
+        replicas: int,
+        ports: int,
+        iterations: Optional[int] = AN2_ITERATIONS,
+        accept: AcceptPolicy = "random",
+        seed: Optional[int] = None,
+        output_capacity: int = 1,
+        rng=None,
+        track_sizes: bool = True,
+    ):
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        if ports < 1:
+            raise ValueError(f"ports must be >= 1, got {ports}")
+        if output_capacity < 1:
+            raise ValueError(f"output_capacity must be >= 1, got {output_capacity}")
+        if iterations is not None and iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {iterations}")
+        if accept not in ("random", "round_robin"):
+            raise ValueError(f"unknown accept policy: {accept!r}")
+        self.replicas = replicas
+        self.ports = ports
+        self.iterations = iterations
+        self.accept = accept
+        self.output_capacity = output_capacity
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
+        self._pointers = np.zeros((replicas, ports), dtype=np.int64)
+        self.track_sizes = track_sizes
+        #: (B, K) cumulative matching sizes of the last schedule() call
+        #: (None when ``track_sizes`` is off).
+        self.last_cumulative_sizes: Optional[np.ndarray] = None
+        #: (B,) bool: which replicas reached a maximal match last slot.
+        self.last_completed: Optional[np.ndarray] = None
+
+    def schedule(self, requests: np.ndarray) -> np.ndarray:
+        """Compute one slot's matchings for all replicas.
+
+        Parameters
+        ----------
+        requests:
+            (B, N, N) boolean request batch.
+
+        Returns
+        -------
+        (B, N) int array ``match`` with ``match[b, i]`` the output
+        matched to input i of replica b, or -1 when unmatched.  Every
+        matched pair is backed by a request; no input exceeds one
+        match and no output exceeds ``output_capacity``.
+        """
+        batch = _as_request_batch(requests)
+        b, n, _ = batch.shape
+        if (b, n) != (self.replicas, self.ports):
+            raise ValueError(
+                f"expected ({self.replicas}, {self.ports}, {self.ports}) "
+                f"requests, got {batch.shape}"
+            )
+        match = np.full((b, n), -1, dtype=np.int64)
+        output_slots = np.full((b, n), self.output_capacity, dtype=np.int64)
+        cumulative: List[np.ndarray] = []
+        executed = 0
+        arange_n = np.arange(n)
+
+        while self.iterations is None or executed < self.iterations:
+            active = (
+                batch & (match < 0)[:, :, None] & (output_slots > 0)[:, None, :]
+            )
+            if not active.any():
+                break
+            executed += 1
+            # Grant: each output with capacity left picks one
+            # requesting input uniformly at random.  Adding the boolean
+            # mask lifts active keys into [1, 2) while inactive ones
+            # stay in [0, 1), so argmax always lands on an unresolved
+            # request -- equivalent to masking with -1 but one cheap
+            # elementwise pass instead of an np.where allocation.
+            keys = self._rng.random(active.shape)
+            keys += active
+            grant_input = keys.argmax(axis=1)          # (B, N) per output
+            has_request = active.any(axis=1)           # (B, N)
+            grants = np.zeros_like(active)
+            bb, jj = np.nonzero(has_request)
+            grants[bb, grant_input[bb, jj], jj] = True
+            # Accept: each input picks one granting output.
+            if self.accept == "random":
+                keys2 = self._rng.random(grants.shape)
+                keys2 += grants
+                accept_output = keys2.argmax(axis=2)   # (B, N) per input
+            else:
+                # Round-robin: first granted output at/after the pointer.
+                offsets = (arange_n[None, None, :] - self._pointers[:, :, None]) % n
+                offsets = np.where(grants, offsets, n)  # n = "no grant" sentinel
+                accept_output = offsets.argmin(axis=2)
+            has_grant = grants.any(axis=2)             # (B, N)
+            bb, ii = np.nonzero(has_grant)
+            jj = accept_output[bb, ii]
+            match[bb, ii] = jj
+            # Each output grants at most one input per iteration, so
+            # (bb, jj) never repeats within a round: plain fancy
+            # indexing is safe (and much faster than ufunc.at).
+            output_slots[bb, jj] -= 1
+            if self.accept == "round_robin":
+                self._pointers[bb, ii] = (jj + 1) % n
+            if self.track_sizes:
+                cumulative.append((match >= 0).sum(axis=1))
+
+        if self.track_sizes:
+            if cumulative:
+                self.last_cumulative_sizes = np.stack(cumulative, axis=1)
+            else:
+                self.last_cumulative_sizes = np.zeros((b, 1), dtype=np.int64)
+            active = batch & (match < 0)[:, :, None] & (output_slots > 0)[:, None, :]
+            self.last_completed = ~active.any(axis=(1, 2))
+        return match
+
+    def reset(self) -> None:
+        """Clear cross-slot state (round-robin pointers, diagnostics)."""
+        self._pointers = np.zeros((self.replicas, self.ports), dtype=np.int64)
+        self.last_cumulative_sizes = None
+        self.last_completed = None
+
+    def __repr__(self) -> str:
+        its = "inf" if self.iterations is None else self.iterations
+        return (
+            f"BatchPIMScheduler(replicas={self.replicas}, ports={self.ports}, "
+            f"iterations={its}, accept={self.accept!r})"
+        )
 
 
 def pim_match_batch(
@@ -239,10 +505,11 @@ def pim_match_batch(
     rng: np.random.Generator,
     max_iterations: int = 32,
 ) -> np.ndarray:
-    """Vectorized PIM over a batch of request matrices.
+    """Vectorized one-shot PIM over a batch of request matrices.
 
     Runs random-grant/random-accept PIM simultaneously on ``B`` request
     matrices until every one is maximal or ``max_iterations`` is hit.
+    Stateless convenience wrapper over :class:`BatchPIMScheduler`.
 
     Parameters
     ----------
@@ -261,37 +528,13 @@ def pim_match_batch(
     matching size after iteration k+1.  The last column is the
     run-to-completion ("100%") size used as Table 1's denominator.
     """
-    batch = np.asarray(requests).astype(bool)
-    if batch.ndim != 3 or batch.shape[1] != batch.shape[2]:
-        raise ValueError(f"expected (B, N, N) requests, got shape {batch.shape}")
+    batch = _as_request_batch(requests)
     b, n, _ = batch.shape
-    input_matched = np.zeros((b, n), dtype=bool)
-    output_matched = np.zeros((b, n), dtype=bool)
-    cumulative: List[np.ndarray] = []
-
-    for _ in range(max_iterations):
-        active = batch & ~input_matched[:, :, None] & ~output_matched[:, None, :]
-        if not active.any():
-            break
-        # Grant: each output picks a requesting input uniformly.
-        keys = np.where(active, rng.random(active.shape), -1.0)
-        grant_input = keys.argmax(axis=1)          # (B, N) input granted per output
-        has_request = keys.max(axis=1) >= 0.0      # (B, N)
-        grants = np.zeros_like(active)
-        bb, jj = np.nonzero(has_request)
-        grants[bb, grant_input[bb, jj], jj] = True
-        # Accept: each input picks a granting output uniformly.
-        keys2 = np.where(grants, rng.random(grants.shape), -1.0)
-        accept_output = keys2.argmax(axis=2)       # (B, N)
-        has_grant = keys2.max(axis=2) >= 0.0       # (B, N)
-        bb, ii = np.nonzero(has_grant)
-        input_matched[bb, ii] = True
-        output_matched[bb, accept_output[bb, ii]] = True
-        cumulative.append(input_matched.sum(axis=1))
-
-    if not cumulative:
-        return np.zeros((b, 1), dtype=np.int64)
-    return np.stack(cumulative, axis=1)
+    scheduler = BatchPIMScheduler(
+        replicas=b, ports=n, iterations=max_iterations, accept="random", rng=rng
+    )
+    scheduler.schedule(batch)
+    return scheduler.last_cumulative_sizes
 
 
 class PIMScheduler:

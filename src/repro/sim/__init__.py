@@ -14,16 +14,22 @@ reproduction:
 - :mod:`repro.sim.stats` -- delay/throughput accumulators with warm-up
   discarding and batch-means confidence intervals,
 - :mod:`repro.sim.engine` -- a minimal slotted event loop for composing
-  multiple components (used by the network simulator).
+  multiple components (used by the network simulator),
+- :mod:`repro.sim.fastpath` -- the count-based, batch-vectorized
+  fast-path simulator for multi-replica Monte-Carlo sweeps.
 """
 
 from repro.sim.engine import SimulationEngine, SlotProcess
+from repro.sim.fastpath import FastpathCrossbar, FastpathResult, run_fastpath
 from repro.sim.rng import RandomStreams
 from repro.sim.stats import DelayStats, RunningMeanVar, ThroughputCounter, batch_means_ci
 
 __all__ = [
     "SimulationEngine",
     "SlotProcess",
+    "FastpathCrossbar",
+    "FastpathResult",
+    "run_fastpath",
     "RandomStreams",
     "DelayStats",
     "RunningMeanVar",

@@ -1,0 +1,390 @@
+"""Count-based, batch-vectorized fast-path switch simulator.
+
+Every figure in the paper (Figures 3-5, Table 1, Appendix A) is a
+Monte-Carlo sweep over offered load x switch size x replicas.  The
+object model (:class:`repro.switch.switch.CrossbarSwitch`) simulates
+one replica at a time with per-cell Python objects, which is faithful
+but slow.  This module trades cell identity for speed:
+
+- the state of **B independent replicas** is a single ``(B, N, N)``
+  int array of VOQ occupancy *counts* -- no Cell objects, no deques;
+- arrivals are Bernoulli/uniform, generated vectorized per slot from
+  :class:`repro.sim.rng.RandomStreams`-derived streams;
+- all B matchings per slot come from one stateful
+  :class:`repro.core.pim.BatchPIMScheduler` call.
+
+What it cannot model: per-cell flow ids, per-flow FIFO order checking,
+per-cell delay histograms/percentiles, or trace-driven workloads --
+anything that needs cell identity.  Mean delay is instead recovered
+exactly via Little's law: with arrivals at slot start and departures
+at slot end, a cell with delay d is present in exactly d end-of-slot
+backlog samples, so over a run that starts empty and is drained to
+empty, ``sum_t backlog(t) == sum_cells delay`` holds as an identity
+and ``mean_delay = backlog_integral / carried_cells`` is exact (over
+a warmup-truncated window it is the usual steady-state estimate, with
+O(backlog/carried) boundary error).
+
+Seed-for-seed parity: with ``arrival_seeds=[s]`` the arrival stream of
+a replica replicates :class:`repro.traffic.uniform.UniformTraffic`
+(seed ``s``) draw for draw, so the offered traffic matches the object
+backend exactly and (both switches being lossless and work-conserving
+over a drained run) total carried cells, per-input arrival counts and
+per-output departure counts agree exactly; only the matching
+randomness -- and hence the delay sample -- differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.pim import AN2_ITERATIONS, AcceptPolicy, BatchPIMScheduler
+from repro.sim.rng import RandomStreams
+
+__all__ = ["FastpathCrossbar", "FastpathResult", "run_fastpath"]
+
+#: Slots of arrivals pre-drawn per RNG call in the batched arrival mode.
+_ARRIVAL_CHUNK_CELLS = 1 << 16
+
+
+@dataclass
+class FastpathResult:
+    """Aggregates of a fast-path run, per replica and pooled.
+
+    Mirrors the :class:`repro.switch.results.SwitchResult` aggregate
+    API (``mean_delay``, ``throughput``, ``offered``) so load sweeps
+    can switch backends; adds per-replica arrays for confidence
+    intervals across replicas.
+
+    Attributes
+    ----------
+    ports, replicas:
+        Switch size N and batch size B.
+    slots:
+        Arrival-carrying slots simulated.
+    drain_slots:
+        Additional arrival-free slots appended to flush backlog.
+    warmup:
+        Slots excluded from all counters (events in slots < warmup).
+    window:
+        Measurement slots: ``slots + drain_slots - warmup``.
+    offered_cells, carried_cells:
+        (B,) arrivals/departures inside the window.
+    backlog_integral:
+        (B,) sum of end-of-slot total backlog over the window (the
+        Little's-law numerator).
+    arrivals_by_input, departures_by_output:
+        (B, N) per-port counters inside the window.
+    final_backlog:
+        (B,) cells still queued when the run ended.
+    """
+
+    ports: int
+    replicas: int
+    slots: int
+    drain_slots: int
+    warmup: int
+    window: int
+    offered_cells: np.ndarray
+    carried_cells: np.ndarray
+    backlog_integral: np.ndarray
+    arrivals_by_input: np.ndarray
+    departures_by_output: np.ndarray
+    final_backlog: np.ndarray
+
+    @property
+    def mean_delay(self) -> float:
+        """Pooled mean queueing delay in slots (Little's law)."""
+        carried = int(self.carried_cells.sum())
+        if carried == 0:
+            return 0.0
+        return float(self.backlog_integral.sum()) / carried
+
+    @property
+    def mean_delay_by_replica(self) -> np.ndarray:
+        """(B,) mean delay per replica (0.0 where nothing departed)."""
+        carried = self.carried_cells
+        return np.where(
+            carried > 0,
+            self.backlog_integral / np.maximum(carried, 1),
+            0.0,
+        )
+
+    @property
+    def throughput(self) -> float:
+        """Carried cells per slot per port, pooled over replicas."""
+        if self.window == 0:
+            return 0.0
+        return int(self.carried_cells.sum()) / (
+            self.window * self.ports * self.replicas
+        )
+
+    @property
+    def offered(self) -> float:
+        """Offered cells per slot per port, pooled over replicas."""
+        if self.window == 0:
+            return 0.0
+        return int(self.offered_cells.sum()) / (
+            self.window * self.ports * self.replicas
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.ports}x{self.ports} fastpath x{self.replicas} replicas, "
+            f"{self.slots}+{self.drain_slots} slots: offered {self.offered:.3f}, "
+            f"carried {self.throughput:.3f} per link, mean delay "
+            f"{self.mean_delay:.2f} slots, backlog {int(self.final_backlog.sum())}"
+        )
+
+
+class FastpathCrossbar:
+    """Count-based state of B independent N x N VOQ crossbar switches.
+
+    The entire buffer state is ``occupancy[b, i, j]``: the number of
+    cells queued at input i of replica b destined for output j.  One
+    :meth:`step` advances all replicas by a slot with the same timing
+    convention as :class:`repro.switch.switch.CrossbarSwitch`: arrivals
+    land first, the scheduler sees the post-arrival state, matched
+    cells depart the same slot.
+
+    Invariants (exercised by the property tests): occupancies never go
+    negative, and per replica ``arrivals - departures == backlog``.
+    """
+
+    def __init__(self, ports: int, replicas: int, scheduler: BatchPIMScheduler):
+        if ports <= 0:
+            raise ValueError(f"ports must be positive, got {ports}")
+        if replicas <= 0:
+            raise ValueError(f"replicas must be positive, got {replicas}")
+        if (scheduler.replicas, scheduler.ports) != (replicas, ports):
+            raise ValueError(
+                f"scheduler is for {scheduler.replicas}x{scheduler.ports} "
+                f"replicas x ports, switch has {replicas}x{ports}"
+            )
+        self.ports = ports
+        self.replicas = replicas
+        self.scheduler = scheduler
+        self.occupancy = np.zeros((replicas, ports, ports), dtype=np.int64)
+
+    def step(
+        self, arrivals: Optional[np.ndarray] = None, check: bool = False
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Advance one slot; returns the matched (replica, input, output) arrays.
+
+        Parameters
+        ----------
+        arrivals:
+            (B, N, N) non-negative arrival counts for this slot, or
+            None for an arrival-free (drain) slot.
+        check:
+            Assert the non-negativity/backing invariants (tests only).
+
+        Returns
+        -------
+        ``(bb, ii, jj)`` index arrays: cell k departed input ``ii[k]``
+        of replica ``bb[k]`` through output ``jj[k]``.
+        """
+        if arrivals is not None:
+            if check and (np.asarray(arrivals) < 0).any():
+                raise ValueError("negative arrival counts")
+            self.occupancy += arrivals
+        match = self.scheduler.schedule(self.occupancy > 0)
+        bb, ii = np.nonzero(match >= 0)
+        jj = match[bb, ii]
+        if check and (self.occupancy[bb, ii, jj] <= 0).any():
+            raise AssertionError("scheduler matched an empty VOQ")
+        self.occupancy[bb, ii, jj] -= 1
+        if check and (self.occupancy < 0).any():
+            raise AssertionError("negative VOQ occupancy")
+        return bb, ii, jj
+
+    def backlog(self) -> np.ndarray:
+        """(B,) cells currently buffered per replica."""
+        return self.occupancy.sum(axis=(1, 2))
+
+
+class _BatchedArrivals:
+    """Vectorized Bernoulli/uniform arrivals for all B replicas at once.
+
+    Draws uniforms in chunks of many slots per RNG call; every
+    (slot, replica, input) runs an independent Bernoulli(load) coin
+    and active inputs pick a destination uniformly over all N outputs
+    (the Section 3.5 workload, ``exclude_self=False`` convention).
+    """
+
+    def __init__(
+        self, ports: int, replicas: int, load: float, rng: np.random.Generator
+    ):
+        self.ports = ports
+        self.replicas = replicas
+        self.load = load
+        self._rng = rng
+        self._chunk = max(1, _ARRIVAL_CHUNK_CELLS // max(1, replicas * ports))
+        self._active: Optional[np.ndarray] = None
+        self._dest: Optional[np.ndarray] = None
+        self._cursor = 0
+
+    def slot_counts(self) -> np.ndarray:
+        """(B, N, N) arrival counts for the next slot."""
+        if self._active is None or self._cursor >= self._active.shape[0]:
+            shape = (self._chunk, self.replicas, self.ports)
+            self._active = self._rng.random(shape) < self.load
+            self._dest = self._rng.integers(0, self.ports, size=shape)
+            self._cursor = 0
+        active = self._active[self._cursor]
+        dest = self._dest[self._cursor]
+        self._cursor += 1
+        counts = np.zeros((self.replicas, self.ports, self.ports), dtype=np.int64)
+        bb, ii = np.nonzero(active)
+        # At most one arrival per (replica, input) per slot, so the
+        # target indices are unique and plain assignment suffices.
+        counts[bb, ii, dest[bb, ii]] = 1
+        return counts
+
+
+class _ObjectCompatArrivals:
+    """Arrival streams that replicate UniformTraffic draw for draw.
+
+    Replica b consumes ``default_rng(arrival_seeds[b])`` exactly as
+    :class:`repro.traffic.uniform.UniformTraffic` does -- one
+    ``random(N)`` per slot, then one destination integer per active
+    input -- so a fast-path replica and an object-backend run given the
+    same seed see byte-identical offered traffic (the basis of the
+    seed-for-seed parity tests).
+    """
+
+    def __init__(
+        self, ports: int, load: float, arrival_seeds: Sequence[Optional[int]]
+    ):
+        self.ports = ports
+        self.replicas = len(arrival_seeds)
+        self.load = load
+        self._rngs = [np.random.default_rng(seed) for seed in arrival_seeds]
+
+    def slot_counts(self) -> np.ndarray:
+        """(B, N, N) arrival counts for the next slot."""
+        counts = np.zeros((self.replicas, self.ports, self.ports), dtype=np.int64)
+        for b, rng in enumerate(self._rngs):
+            active = np.nonzero(rng.random(self.ports) < self.load)[0]
+            if active.size:
+                dest = rng.integers(self.ports, size=active.size)
+                counts[b, active, dest] = 1
+        return counts
+
+
+def run_fastpath(
+    ports: int,
+    load: float,
+    slots: int,
+    replicas: int = 1,
+    warmup: int = 0,
+    iterations: Optional[int] = AN2_ITERATIONS,
+    accept: AcceptPolicy = "random",
+    output_capacity: int = 1,
+    seed: int = 0,
+    arrival_seeds: Optional[Sequence[Optional[int]]] = None,
+    drain_slots: int = 0,
+    check: bool = False,
+) -> FastpathResult:
+    """Simulate B replicas of an N x N PIM crossbar, vectorized.
+
+    Parameters
+    ----------
+    ports, load, slots:
+        Switch size N, per-link Bernoulli offered load, and number of
+        arrival-carrying slots.
+    replicas:
+        Independent replicas B advanced in lockstep (one batched
+        matching call per slot).
+    warmup:
+        Events in slots < warmup are excluded from every counter,
+        matching the object backend's transient elimination.
+    iterations, accept, output_capacity:
+        PIM configuration, as :class:`repro.core.pim.BatchPIMScheduler`.
+    seed:
+        Root seed; arrival and matching streams are derived via
+        :class:`repro.sim.rng.RandomStreams` ("fastpath/arrivals",
+        "fastpath/pim").
+    arrival_seeds:
+        When given (length B), replica b's arrivals replicate
+        ``UniformTraffic(ports, load, seed=arrival_seeds[b])`` draw for
+        draw instead of using the batched stream -- the seed-for-seed
+        parity mode.
+    drain_slots:
+        Arrival-free slots appended after ``slots`` so the backlog can
+        flush; with enough drain the Little's-law delay identity is
+        exact rather than a boundary-truncated estimate.
+    check:
+        Assert occupancy invariants every slot (tests; slows the run).
+
+    Returns a :class:`FastpathResult`.
+    """
+    if not 0.0 <= load <= 1.0:
+        raise ValueError(f"load must be in [0, 1], got {load}")
+    if slots <= 0:
+        raise ValueError(f"slots must be positive, got {slots}")
+    if drain_slots < 0:
+        raise ValueError(f"drain_slots must be >= 0, got {drain_slots}")
+    total_slots = slots + drain_slots
+    if not 0 <= warmup < total_slots:
+        raise ValueError(f"warmup must be in [0, {total_slots}), got {warmup}")
+
+    streams = RandomStreams(seed)
+    scheduler = BatchPIMScheduler(
+        replicas=replicas,
+        ports=ports,
+        iterations=iterations,
+        accept=accept,
+        output_capacity=output_capacity,
+        rng=streams.get("fastpath/pim"),
+        track_sizes=False,
+    )
+    switch = FastpathCrossbar(ports, replicas, scheduler)
+    if arrival_seeds is not None:
+        if len(arrival_seeds) != replicas:
+            raise ValueError(
+                f"arrival_seeds has {len(arrival_seeds)} entries for "
+                f"{replicas} replicas"
+            )
+        source = _ObjectCompatArrivals(ports, load, arrival_seeds)
+    else:
+        source = _BatchedArrivals(ports, replicas, load, streams.get("fastpath/arrivals"))
+
+    offered = np.zeros(replicas, dtype=np.int64)
+    carried = np.zeros(replicas, dtype=np.int64)
+    backlog_integral = np.zeros(replicas, dtype=np.int64)
+    arrivals_by_input = np.zeros((replicas, ports), dtype=np.int64)
+    departures_by_output = np.zeros((replicas, ports), dtype=np.int64)
+
+    for slot in range(total_slots):
+        counts = source.slot_counts() if slot < slots else None
+        bb, ii, jj = switch.step(counts, check=check)
+        if slot < warmup:
+            continue
+        if counts is not None:
+            per_input = counts.sum(axis=2)
+            arrivals_by_input += per_input
+            offered += per_input.sum(axis=1)
+        carried += np.bincount(bb, minlength=replicas)
+        departures_by_output += np.bincount(
+            bb * ports + jj, minlength=replicas * ports
+        ).reshape(replicas, ports)
+        backlog_integral += switch.backlog()
+
+    return FastpathResult(
+        ports=ports,
+        replicas=replicas,
+        slots=slots,
+        drain_slots=drain_slots,
+        warmup=warmup,
+        window=total_slots - warmup,
+        offered_cells=offered,
+        carried_cells=carried,
+        backlog_integral=backlog_integral,
+        arrivals_by_input=arrivals_by_input,
+        departures_by_output=departures_by_output,
+        final_backlog=switch.backlog(),
+    )

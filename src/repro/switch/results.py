@@ -32,6 +32,14 @@ class SwitchResult:
     connection_cells:
         Carried cells per (input, output) connection, post-warm-up --
         feeds the Figure 8 fairness analysis.
+    arrivals_by_input:
+        Post-warm-up arriving cells per input port (empty tuple when
+        the model does not extract per-port aggregates).
+    departures_by_output:
+        Post-warm-up departing cells per output port.  Together with
+        ``arrivals_by_input`` these are the per-port counters the
+        fast-path backend reports, so seed-for-seed parity can be
+        checked port by port.
     backlog:
         Cells still buffered when the run ended; with a no-loss switch
         this plus carried equals offered over the whole run.
@@ -48,6 +56,8 @@ class SwitchResult:
     connection_cells: Dict[Tuple[int, int], int] = field(default_factory=dict)
     backlog: int = 0
     dropped: int = 0
+    arrivals_by_input: Tuple[int, ...] = ()
+    departures_by_output: Tuple[int, ...] = ()
 
     @property
     def mean_delay(self) -> float:

@@ -197,17 +197,23 @@ class CrossbarSwitch:
         connection: Dict[Tuple[int, int], int] = {}
         order = _OrderChecker()
         input_of_cell: Dict[int, int] = {}
+        arrivals_by_input = [0] * self.ports
+        departures_by_output = [0] * self.ports
 
         for slot in range(slots):
             arrivals = traffic.arrivals(slot)
             counter.record_arrival(slot, len(arrivals))
             for input_port, cell in arrivals:
                 input_of_cell[cell.uid] = input_port
+                if slot >= warmup:
+                    arrivals_by_input[input_port] += 1
             departures = self.step(slot, arrivals)
             counter.record_departure(slot, len(departures))
             for cell in departures:
                 delay.record(cell.arrival_slot, slot)
                 order.observe(cell)
+                if slot >= warmup:
+                    departures_by_output[cell.output] += 1
                 src = input_of_cell.pop(cell.uid, None)
                 if src is not None and cell.arrival_slot >= warmup:
                     key = (src, cell.output)
@@ -225,6 +231,8 @@ class CrossbarSwitch:
             connection_cells=connection,
             backlog=self.backlog(),
             dropped=0,
+            arrivals_by_input=tuple(arrivals_by_input),
+            departures_by_output=tuple(departures_by_output),
         )
 
 
@@ -275,13 +283,20 @@ class FIFOSwitch:
         self.scheduler.reset()
         delay = DelayStats(warmup=warmup)
         counter = ThroughputCounter(warmup=warmup)
+        arrivals_by_input = [0] * self.ports
+        departures_by_output = [0] * self.ports
         for slot in range(slots):
             arrivals = traffic.arrivals(slot)
             counter.record_arrival(slot, len(arrivals))
+            if slot >= warmup:
+                for input_port, _ in arrivals:
+                    arrivals_by_input[input_port] += 1
             departures = self.step(slot, arrivals)
             counter.record_departure(slot, len(departures))
             for cell in departures:
                 delay.record(cell.arrival_slot, slot)
+                if slot >= warmup:
+                    departures_by_output[cell.output] += 1
         return SwitchResult(
             delay=delay,
             counter=counter,
@@ -289,6 +304,8 @@ class FIFOSwitch:
             slots=slots,
             backlog=self.backlog(),
             dropped=0,
+            arrivals_by_input=tuple(arrivals_by_input),
+            departures_by_output=tuple(departures_by_output),
         )
 
 

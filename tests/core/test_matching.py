@@ -50,6 +50,17 @@ class TestMatching:
         matching = Matching.from_pairs([(3, 1), (0, 2)])
         assert list(matching) == [(0, 2), (3, 1)]
 
+    def test_unvalidated_outputs_allows_b_matching(self):
+        """The sanctioned path for output_capacity > 1 b-matchings."""
+        matching = Matching.from_pairs([(0, 1), (2, 1)], validate_outputs=False)
+        assert matching.pairs == ((0, 1), (2, 1))
+        assert len(matching) == 2
+        assert matching.input_of(1) == 0  # first matched input wins lookup
+
+    def test_unvalidated_outputs_still_rejects_duplicate_inputs(self):
+        with pytest.raises(ValueError, match="input matched twice"):
+            Matching.from_pairs([(0, 1), (0, 2)], validate_outputs=False)
+
 
 class TestRequestMatrixValidation:
     def test_non_square_rejected(self):

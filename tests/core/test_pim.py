@@ -35,6 +35,32 @@ class TestPimMatch:
         assert result.completed
         assert result.cumulative_sizes == (0,)
 
+    def test_empty_matrix_runs_zero_iterations(self, rng):
+        """No active requests means no iteration executes; the single
+        ``cumulative_sizes`` entry is a sentinel, not a real round."""
+        result = pim_match(np.zeros((4, 4), dtype=bool), rng)
+        assert result.iterations == 0
+        assert result.iterations_run == 0
+
+    def test_nonempty_matrix_reports_executed_iterations(self, rng):
+        result = pim_match(np.eye(4, dtype=bool), rng, iterations=None)
+        assert result.iterations == 1
+        assert result.iterations == len(result.cumulative_sizes)
+
+    def test_compact_draws_matches_full_draw_legality(self, rng):
+        """compact_draws changes RNG consumption, not legality/maximality.
+
+        Uses a matrix large enough (>= pim._COMPACT_MIN_PORTS) that the
+        compact submatrix path actually engages.
+        """
+        requests = rng.random((64, 64)) < 0.05
+        for compact in (True, False):
+            result = pim_match(
+                requests, rng, iterations=None, compact_draws=compact
+            )
+            assert result.matching.respects(requests)
+            assert result.completed
+
     def test_diagonal_one_iteration(self, rng):
         """With no contention every pair matches in iteration 1."""
         result = pim_match(np.eye(8, dtype=bool), rng, iterations=None)

@@ -1,0 +1,147 @@
+"""Tests for the count-based batched fast-path simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pim import BatchPIMScheduler
+from repro.sim.fastpath import FastpathCrossbar, run_fastpath
+from repro.traffic.uniform import UniformTraffic
+
+
+def make_switch(ports=4, replicas=3, seed=0, **kwargs):
+    scheduler = BatchPIMScheduler(replicas=replicas, ports=ports, seed=seed, **kwargs)
+    return FastpathCrossbar(ports, replicas, scheduler)
+
+
+class TestFastpathCrossbar:
+    def test_step_departs_matched_cells(self):
+        switch = make_switch()
+        arrivals = np.zeros((3, 4, 4), dtype=np.int64)
+        arrivals[:, 0, 1] = 2
+        bb, ii, jj = switch.step(arrivals, check=True)
+        # One cell per replica departs (single VOQ, one match each).
+        assert len(bb) == 3
+        assert (ii == 0).all() and (jj == 1).all()
+        assert (switch.backlog() == 1).all()
+
+    def test_empty_state_no_departures(self):
+        switch = make_switch()
+        bb, ii, jj = switch.step(None, check=True)
+        assert len(bb) == 0
+        assert (switch.backlog() == 0).all()
+
+    def test_scheduler_shape_mismatch_rejected(self):
+        scheduler = BatchPIMScheduler(replicas=2, ports=4, seed=0)
+        with pytest.raises(ValueError, match="scheduler"):
+            FastpathCrossbar(4, 3, scheduler)
+
+    @settings(max_examples=25)
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 4), st.integers(2, 6))
+    def test_occupancy_nonnegative_and_conserved(self, seed, replicas, ports):
+        """Fastpath invariants: occupancies never go negative and
+        arrivals - departures == backlog, slot by slot."""
+        rng = np.random.default_rng(seed)
+        switch = make_switch(ports=ports, replicas=replicas, seed=seed % 1000)
+        arrived = np.zeros(replicas, dtype=np.int64)
+        departed = np.zeros(replicas, dtype=np.int64)
+        for _ in range(30):
+            arrivals = rng.integers(0, 3, size=(replicas, ports, ports))
+            bb, _, _ = switch.step(arrivals, check=True)
+            arrived += arrivals.sum(axis=(1, 2))
+            departed += np.bincount(bb, minlength=replicas)
+            assert (switch.occupancy >= 0).all()
+            assert (arrived - departed == switch.backlog()).all()
+
+
+class TestRunFastpath:
+    def test_conservation_without_warmup(self):
+        result = run_fastpath(8, 0.7, 1500, replicas=4, warmup=0, seed=3, check=True)
+        assert (
+            result.offered_cells - result.carried_cells == result.final_backlog
+        ).all()
+        assert (result.offered_cells == result.arrivals_by_input.sum(axis=1)).all()
+        assert (result.carried_cells == result.departures_by_output.sum(axis=1)).all()
+
+    def test_deterministic_given_seed(self):
+        a = run_fastpath(8, 0.8, 800, replicas=2, seed=7)
+        b = run_fastpath(8, 0.8, 800, replicas=2, seed=7)
+        assert (a.offered_cells == b.offered_cells).all()
+        assert (a.carried_cells == b.carried_cells).all()
+        assert (a.backlog_integral == b.backlog_integral).all()
+
+    def test_drain_empties_backlog(self):
+        result = run_fastpath(
+            8, 0.6, 1000, replicas=3, warmup=0, seed=5, drain_slots=300
+        )
+        assert (result.final_backlog == 0).all()
+        assert (result.offered_cells == result.carried_cells).all()
+
+    def test_little_delay_identity_on_drained_run(self):
+        """Over an empty-to-empty run, sum of end-of-slot backlog equals
+        the sum of per-cell delays, so mean delay times carried cells
+        must be integral and non-negative."""
+        result = run_fastpath(
+            4, 0.5, 600, replicas=2, warmup=0, seed=9, drain_slots=200
+        )
+        assert (result.backlog_integral >= 0).all()
+        assert result.mean_delay >= 0.0
+        total = result.mean_delay * int(result.carried_cells.sum())
+        assert total == pytest.approx(int(result.backlog_integral.sum()))
+
+    def test_throughput_tracks_offered_load_below_saturation(self):
+        result = run_fastpath(16, 0.8, 6000, replicas=8, warmup=500, seed=11)
+        assert result.throughput == pytest.approx(0.8, rel=0.03)
+        assert result.offered == pytest.approx(0.8, rel=0.03)
+
+    def test_round_robin_accept_runs(self):
+        result = run_fastpath(
+            8, 0.7, 800, replicas=2, seed=13, accept="round_robin", check=True
+        )
+        assert result.throughput > 0.5
+
+    def test_object_compat_arrivals_match_uniform_traffic(self):
+        """arrival_seeds replicates UniformTraffic draw for draw."""
+        seed, ports, load, slots = 21, 8, 0.8, 400
+        result = run_fastpath(
+            ports, load, slots, replicas=1, warmup=0,
+            arrival_seeds=[seed], drain_slots=200,
+        )
+        traffic = UniformTraffic(ports, load=load, seed=seed)
+        by_input = np.zeros(ports, dtype=np.int64)
+        by_output = np.zeros(ports, dtype=np.int64)
+        total = 0
+        for slot in range(slots):
+            for i, cell in traffic.arrivals(slot):
+                by_input[i] += 1
+                by_output[cell.output] += 1
+                total += 1
+        assert int(result.offered_cells[0]) == total
+        assert (result.arrivals_by_input[0] == by_input).all()
+        # Drained run: every arriving cell departs through its output.
+        assert (result.departures_by_output[0] == by_output).all()
+
+    def test_mean_delay_by_replica_pools_to_mean_delay(self):
+        result = run_fastpath(8, 0.7, 2000, replicas=4, warmup=200, seed=17)
+        pooled = (
+            result.mean_delay_by_replica * result.carried_cells
+        ).sum() / result.carried_cells.sum()
+        assert pooled == pytest.approx(result.mean_delay)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="load"):
+            run_fastpath(4, 1.5, 100)
+        with pytest.raises(ValueError, match="slots"):
+            run_fastpath(4, 0.5, 0)
+        with pytest.raises(ValueError, match="warmup"):
+            run_fastpath(4, 0.5, 100, warmup=100)
+        with pytest.raises(ValueError, match="arrival_seeds"):
+            run_fastpath(4, 0.5, 100, replicas=2, arrival_seeds=[1])
+        with pytest.raises(ValueError, match="drain_slots"):
+            run_fastpath(4, 0.5, 100, drain_slots=-1)
+
+    def test_summary_mentions_configuration(self):
+        result = run_fastpath(4, 0.5, 200, replicas=2, seed=1)
+        text = result.summary()
+        assert "4x4" in text and "2 replicas" in text

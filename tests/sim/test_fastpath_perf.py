@@ -1,0 +1,52 @@
+"""Perf smoke test: fastpath must beat the object backend by >= 5x.
+
+Marked ``slow``; deselect with ``pytest -m "not slow"``.  The full
+perf trajectory lives in ``benchmarks/perf/bench_fastpath.py`` (run
+via ``make bench-fastpath``); this is the regression floor asserted in
+CI at the acceptance config N=16, B=256.
+"""
+
+import time
+
+import pytest
+
+from repro.core.pim import PIMScheduler
+from repro.sim.fastpath import run_fastpath
+from repro.switch.switch import CrossbarSwitch
+from repro.traffic.uniform import UniformTraffic
+
+PORTS = 16
+REPLICAS = 256
+LOAD = 0.8
+
+
+@pytest.mark.slow
+def test_fastpath_at_least_5x_object_backend():
+    # Warm both paths first so one-time numpy/import costs don't skew
+    # the comparison.
+    run_fastpath(PORTS, LOAD, 10, replicas=REPLICAS, seed=0)
+    CrossbarSwitch(PORTS, PIMScheduler(iterations=4, seed=0)).run(
+        UniformTraffic(PORTS, load=LOAD, seed=1), slots=10
+    )
+
+    object_slots = 300
+    start = time.perf_counter()
+    CrossbarSwitch(PORTS, PIMScheduler(iterations=4, seed=2)).run(
+        UniformTraffic(PORTS, load=LOAD, seed=3), slots=object_slots
+    )
+    object_sps = object_slots / (time.perf_counter() - start)
+
+    fast_slots = 300
+    start = time.perf_counter()
+    run_fastpath(PORTS, LOAD, fast_slots, replicas=REPLICAS, seed=4)
+    fast_sps = REPLICAS * fast_slots / (time.perf_counter() - start)
+
+    speedup = fast_sps / object_sps
+    print(
+        f"\nobject {object_sps:.0f} slots/s, fastpath {fast_sps:.0f} "
+        f"replica-slots/s, speedup {speedup:.1f}x"
+    )
+    assert speedup >= 5.0, (
+        f"fastpath regressed: only {speedup:.1f}x object backend "
+        f"({fast_sps:.0f} vs {object_sps:.0f} slots/s)"
+    )
