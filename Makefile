@@ -1,6 +1,6 @@
 # Convenience targets for the AN2 reproduction.
 
-.PHONY: install test bench bench-fastpath bench-full examples lint clean
+.PHONY: install test bench bench-fastpath bench-full trace-demo examples lint clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -18,6 +18,17 @@ bench-fastpath:
 bench-full:
 	REPRO_FULL=1 pytest benchmarks/ --benchmark-only -q
 	PYTHONPATH=src python benchmarks/perf/bench_fastpath.py --out BENCH_fastpath.json
+
+# Trace a 16-port PIM run at load 0.9 on both backends, then render
+# the PIM anatomy / backlog summary from the JSONL trace files.
+trace-demo:
+	PYTHONPATH=src python -m repro.cli delay --load 0.9 --ports 16 \
+		--slots 2000 --warmup 200 --trace trace_object.jsonl --metrics
+	PYTHONPATH=src python -m repro.cli delay --backend fastpath --load 0.9 \
+		--ports 16 --slots 2000 --warmup 200 --trace trace_fastpath.jsonl \
+		--trace-stride 4 --metrics
+	PYTHONPATH=src python -m repro.cli trace summarize trace_object.jsonl --plot
+	PYTHONPATH=src python -m repro.cli trace summarize trace_fastpath.jsonl
 
 examples:
 	python examples/quickstart.py

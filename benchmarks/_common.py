@@ -38,6 +38,29 @@ WARMUP = 6_000 if FULL else 1_500
 PORTS = 16
 
 
+def trace_probe(tag: str, stride: int = 1):
+    """Opt-in telemetry for the benches via the ``REPRO_TRACE`` env var.
+
+    When ``REPRO_TRACE`` names a directory, returns a live
+    :class:`repro.obs.probe.Probe` writing JSONL events to
+    ``$REPRO_TRACE/<tag>.jsonl`` (the directory is created if needed),
+    so a figure/table can be regenerated afterwards straight from its
+    trace file with ``repro-an2 trace summarize``.  When unset (the
+    default), returns the shared disabled probe -- the benches pay one
+    attribute check per emission site and write nothing.
+
+    Callers must ``probe.close()`` when done so the file is flushed.
+    """
+    from repro.obs import JSONLSink, Probe
+    from repro.obs.probe import NULL_PROBE
+
+    directory = os.environ.get("REPRO_TRACE", "")
+    if not directory:
+        return NULL_PROBE
+    os.makedirs(directory, exist_ok=True)
+    return Probe(JSONLSink(os.path.join(directory, f"{tag}.jsonl")), stride=stride)
+
+
 def delay_vs_load(
     loads: Sequence[float],
     traffic_factory: Callable[[float, int], object],

@@ -14,7 +14,7 @@ import pytest
 from repro.core.matching import is_maximal
 from repro.core.pim import pim_match
 
-from _common import print_table
+from _common import print_table, trace_probe
 
 
 def figure2_requests():
@@ -31,12 +31,16 @@ def figure2_requests():
 
 
 def compute_fig2(trials=2000, seed=0):
+    # With REPRO_TRACE set, every trial's request/grant/accept anatomy
+    # lands in $REPRO_TRACE/fig2.jsonl (one "slot" per trial) so the
+    # figure is auditable via `repro-an2 trace summarize`.
+    probe = trace_probe("fig2")
     rng = np.random.default_rng(seed)
     requests = figure2_requests()
     iteration_counts = {}
     first_iteration_sizes = []
     grant_counts = []
-    for _ in range(trials):
+    for trial in range(trials):
         result = pim_match(requests, rng, iterations=None, keep_trace=True)
         assert result.completed
         assert is_maximal(result.matching, requests)
@@ -44,6 +48,17 @@ def compute_fig2(trials=2000, seed=0):
         iteration_counts[iterations] = iteration_counts.get(iterations, 0) + 1
         first_iteration_sizes.append(result.cumulative_sizes[0])
         grant_counts.append(int(result.trace[0].grants.sum()))
+        if probe.enabled:
+            probe.begin_slot(trial, arrivals=int(requests.sum()))
+            for index, phase in enumerate(result.trace):
+                probe.pim_iteration(
+                    index + 1,
+                    requests=int(phase.requests.sum()),
+                    grants=int(phase.grants.sum()),
+                    accepts=len(phase.accepted),
+                    matched=int(result.cumulative_sizes[index]),
+                )
+    probe.close()
     return {
         "iterations_histogram": iteration_counts,
         "mean_first_iteration_matches": float(np.mean(first_iteration_sizes)),

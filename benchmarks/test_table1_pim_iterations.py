@@ -19,7 +19,7 @@ import pytest
 
 from repro.core.pim import pim_match, pim_match_batch
 
-from _common import FULL, print_table
+from _common import FULL, print_table, trace_probe
 
 PORTS = 16
 PROBABILITIES = [0.10, 0.25, 0.50, 0.75, 1.0]
@@ -46,6 +46,13 @@ def compute_table1(patterns=PATTERNS, seed=0, backend="fastpath"):
     :func:`pim_match` loop on a reduced sample (REPRO_BACKEND=object
     selects it in the bench).
     """
+    # With REPRO_TRACE set, each processed batch emits its pooled
+    # cumulative match sizes per iteration to $REPRO_TRACE/table1.jsonl
+    # (one "slot" per batch; request/grant/accept counts are -1 = not
+    # recorded), letting `repro-an2 trace summarize` regenerate the
+    # within-K percentages from the trace alone.
+    probe = trace_probe("table1")
+    batch_index = 0
     rng = np.random.default_rng(seed)
     rows = {}
     if backend == "object":
@@ -71,12 +78,22 @@ def compute_table1(patterns=PATTERNS, seed=0, backend="fastpath"):
                 )
             else:
                 cumulative = pim_match_batch(batch, rng)
+            if probe.enabled:
+                probe.begin_slot(batch_index)
+                for k in range(cumulative.shape[1]):
+                    probe.pim_iteration(
+                        k + 1,
+                        matched=int(cumulative[:, k].sum()),
+                        replicas=count,
+                    )
+                batch_index += 1
             final = cumulative[:, -1]
             total += final.sum()
             for k in range(4):
                 col = cumulative[:, min(k, cumulative.shape[1] - 1)]
                 found_within[k] += col.sum()
         rows[p] = [100.0 * f / total for f in found_within]
+    probe.close()
     return rows
 
 

@@ -4,6 +4,9 @@ Installed as the ``repro-an2`` console script::
 
     repro-an2 info
     repro-an2 delay --scheduler pim --load 0.9 --ports 16
+    repro-an2 delay --load 0.9 --trace run.jsonl --metrics
+    repro-an2 delay --backend fastpath --load 0.9 --trace run.jsonl
+    repro-an2 trace summarize run.jsonl --plot
     repro-an2 sweep --workload clientserver --loads 0.5 0.7 0.9
     repro-an2 table1 --patterns 5000
     repro-an2 cbr-bounds --hops 4 --tolerance 1e-4
@@ -20,6 +23,13 @@ import sys
 from typing import List, Optional
 
 import numpy as np
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _build_scheduler(name: str, ports: int, iterations: int, seed: int):
@@ -92,12 +102,69 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_probe(args: argparse.Namespace):
+    """Probe from --trace/--metrics/--trace-stride flags (or None)."""
+    if not (args.trace or args.metrics):
+        return None
+    from repro.obs import JSONLSink, MetricsRegistry, NullSink, Probe
+
+    sink = JSONLSink(args.trace) if args.trace else NullSink()
+    metrics = MetricsRegistry() if args.metrics else None
+    return Probe(sink, metrics=metrics, stride=args.trace_stride)
+
+
+def _finish_probe(probe) -> None:
+    """Close the sink and render the metrics table, if any."""
+    if probe is None:
+        return
+    probe.close()
+    if probe.metrics is not None:
+        print("\nmetrics:")
+        print(probe.metrics.render())
+
+
 def cmd_delay(args: argparse.Namespace) -> int:
-    """One (scheduler, workload, load) point."""
+    """One (scheduler, workload, load) point, on either backend."""
+    probe = _build_probe(args)
+    if args.backend == "fastpath":
+        if args.scheduler not in ("pim", "pim-inf") or args.workload != "uniform":
+            print(
+                "error: --backend fastpath supports only --scheduler pim/pim-inf "
+                "with --workload uniform",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.sim.fastpath import run_fastpath
+
+        result = run_fastpath(
+            args.ports,
+            args.load,
+            args.slots,
+            replicas=1,
+            warmup=args.warmup,
+            iterations=None if args.scheduler == "pim-inf" else args.iterations,
+            seed=args.seed,
+            arrival_seeds=[args.seed + 1],
+            probe=probe,
+        )
+        print(result.summary())
+        _finish_probe(probe)
+        return 0
     switch = _build_switch(args.scheduler, args.ports, args.iterations, args.seed)
+    if probe is not None and args.scheduler in ("fifo", "output-queueing"):
+        print(
+            "error: --trace/--metrics require a crossbar scheduler "
+            "(pim, pim-inf, islip, wavefront, maximum)",
+            file=sys.stderr,
+        )
+        return 2
     traffic = _build_traffic(args.workload, args.ports, args.load, args.seed + 1)
-    result = switch.run(traffic, slots=args.slots, warmup=args.warmup)
+    if probe is not None:
+        result = switch.run(traffic, slots=args.slots, warmup=args.warmup, probe=probe)
+    else:
+        result = switch.run(traffic, slots=args.slots, warmup=args.warmup)
     print(result.summary())
+    _finish_probe(probe)
     return 0
 
 
@@ -206,6 +273,89 @@ def cmd_fairness(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace_summarize(args: argparse.Namespace) -> int:
+    """Render a traced run: totals, PIM anatomy, backlog curve."""
+    from repro.analysis.ascii_plot import bar_chart, line_chart
+    from repro.obs import read_events, write_csv_summary
+
+    events = list(read_events(args.path))
+    if not events:
+        print(f"{args.path}: empty trace", file=sys.stderr)
+        return 1
+
+    slot_begins = [e for e in events if e.kind == "slot_begin"]
+    transfers = [e for e in events if e.kind == "crossbar_transfer"]
+    departures = [e for e in events if e.kind == "cell_departure"]
+    snapshots = [e for e in events if e.kind == "voq_snapshot"]
+    pim_by_slot = {}
+    for e in events:
+        if e.kind == "pim_iteration":
+            pim_by_slot.setdefault(e.slot, []).append(e)
+
+    print(f"trace: {args.path}  ({len(events)} events)")
+    print(f"  slots traced    : {len(slot_begins)}")
+    print(f"  offered cells   : {sum(e.arrivals for e in slot_begins)}")
+    print(f"  carried cells   : {sum(e.cells for e in transfers)}")
+    if departures:
+        mean_delay = sum(e.delay for e in departures) / len(departures)
+        print(
+            f"  mean delay      : {mean_delay:.2f} slots "
+            f"({len(departures)} cell departures)"
+        )
+
+    if pim_by_slot:
+        # Table 1's statistic from the trace: for each slot, matched is
+        # cumulative per iteration; slots that converged early carry
+        # their final size forward to K.
+        iterations_per_slot = []
+        k_max = 0
+        for rounds in pim_by_slot.values():
+            rounds.sort(key=lambda e: e.iteration)
+            iterations_per_slot.append(rounds[-1].iteration)
+            k_max = max(k_max, rounds[-1].iteration)
+        within_k = [0] * k_max
+        final_total = 0
+        for rounds in pim_by_slot.values():
+            final_total += rounds[-1].matched
+            for k in range(k_max):
+                within_k[k] += rounds[min(k, len(rounds) - 1)].matched
+        mean_iterations = sum(iterations_per_slot) / len(iterations_per_slot)
+        print(f"\nPIM anatomy ({len(pim_by_slot)} sampled slots):")
+        print(f"  mean iterations/slot : {mean_iterations:.2f}")
+        print("  % of final matches found within K iterations (cf. Table 1):")
+        shares = {
+            f"K={k + 1}": 100.0 * within_k[k] / final_total if final_total else 0.0
+            for k in range(k_max)
+        }
+        for name, pct in shares.items():
+            print(f"    {name}  {pct:6.2f}%")
+        if args.plot:
+            print()
+            print(bar_chart(shares, width=40, reference=100.0, reference_label="100%"))
+
+    if args.plot and len(slot_begins) >= 2:
+        backlog_points = [(float(e.slot), float(e.backlog)) for e in slot_begins]
+        print("\nbacklog at slot start:")
+        print(
+            line_chart(
+                {"backlog": backlog_points},
+                width=60,
+                height=10,
+                x_label="slot",
+            )
+        )
+    if snapshots:
+        hottest = max(snapshots, key=lambda e: e.total)
+        print(
+            f"\n{len(snapshots)} VOQ snapshots; peak pooled occupancy "
+            f"{hottest.total} cells at slot {hottest.slot}"
+        )
+    if args.csv:
+        rows = write_csv_summary(events, args.csv)
+        print(f"\nwrote per-slot summary ({rows} rows) to {args.csv}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro-an2`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -228,6 +378,16 @@ def build_parser() -> argparse.ArgumentParser:
     delay.add_argument("--slots", type=int, default=10_000)
     delay.add_argument("--warmup", type=int, default=1_000)
     delay.add_argument("--seed", type=int, default=0)
+    delay.add_argument("--backend", default="object", choices=["object", "fastpath"],
+                       help="object = per-cell CrossbarSwitch; fastpath = "
+                            "count-based vectorized simulator (pim/uniform only)")
+    delay.add_argument("--trace", metavar="PATH", default=None,
+                       help="write per-slot trace events to PATH as JSONL")
+    delay.add_argument("--metrics", action="store_true",
+                       help="collect and print a metrics registry summary")
+    delay.add_argument("--trace-stride", type=_positive_int, default=1, metavar="N",
+                       help="sample volume-heavy events (PIM anatomy, VOQ "
+                            "snapshots) every N slots (default 1)")
     delay.set_defaults(func=cmd_delay)
 
     sweep = sub.add_parser("sweep", help="Figure 3/4 style load sweep")
@@ -261,6 +421,18 @@ def build_parser() -> argparse.ArgumentParser:
     fairness.add_argument("--slots", type=int, default=20_000)
     fairness.add_argument("--seed", type=int, default=0)
     fairness.set_defaults(func=cmd_fairness)
+
+    trace = sub.add_parser("trace", help="inspect trace files written with --trace")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize", help="totals, PIM anatomy, and backlog curve of a trace"
+    )
+    summarize.add_argument("path", help="JSONL trace file")
+    summarize.add_argument("--plot", action="store_true",
+                           help="render ASCII charts of the anatomy and backlog")
+    summarize.add_argument("--csv", metavar="PATH", default=None,
+                           help="also write a per-slot CSV summary to PATH")
+    summarize.set_defaults(func=cmd_trace_summarize)
 
     return parser
 

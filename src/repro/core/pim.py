@@ -342,6 +342,12 @@ class BatchPIMScheduler:
       replicated fabrics (outputs may be matched up to k times; inputs
       still accept at most one grant per slot).
 
+    Iteration-count convention (as :func:`pim_match`): iterations are
+    counted only when at least one unresolved request exists, so an
+    all-empty request batch executes zero rounds; diagnostics then
+    report the ``(B, 1)`` zero-size sentinel in
+    ``last_cumulative_sizes`` with ``last_completed`` all True.
+
     Parameters
     ----------
     replicas, ports:
@@ -405,6 +411,21 @@ class BatchPIMScheduler:
         self.last_cumulative_sizes: Optional[np.ndarray] = None
         #: (B,) bool: which replicas reached a maximal match last slot.
         self.last_completed: Optional[np.ndarray] = None
+        self._probe = None
+
+    def attach_probe(self, probe) -> None:
+        """Attach a :class:`repro.obs.probe.Probe` for per-iteration
+        telemetry.
+
+        On slots the probe samples, each request/grant/accept round
+        emits one ``PimIteration`` event with counts pooled over all B
+        replicas (``replicas=B``); the per-slot iteration count feeds
+        the ``pim.iterations`` histogram.  Pass ``None`` to detach.
+        The iteration-count convention matches :func:`pim_match`: an
+        all-empty request batch runs zero rounds and emits no
+        ``PimIteration`` events.
+        """
+        self._probe = probe
 
     def schedule(self, requests: np.ndarray) -> np.ndarray:
         """Compute one slot's matchings for all replicas.
@@ -476,7 +497,18 @@ class BatchPIMScheduler:
                 self._pointers[bb, ii] = (jj + 1) % n
             if self.track_sizes:
                 cumulative.append((match >= 0).sum(axis=1))
+            if self._probe is not None and self._probe.sampling:
+                self._probe.pim_iteration(
+                    executed,
+                    requests=int(active.sum()),
+                    grants=int(grants.sum()),
+                    accepts=int(bb.size),
+                    matched=int((match >= 0).sum()),
+                    replicas=b,
+                )
 
+        if self._probe is not None:
+            self._probe.slot_iterations(executed)
         if self.track_sizes:
             if cumulative:
                 self.last_cumulative_sizes = np.stack(cumulative, axis=1)
@@ -540,6 +572,15 @@ def pim_match_batch(
 class PIMScheduler:
     """Stateful PIM scheduler for the slot-clocked switch model.
 
+    Iteration-count convention: ``last_result.iterations`` counts
+    request/grant/accept rounds actually executed, so a slot whose
+    request matrix is empty reports ``iterations == 0`` (no round ran)
+    even though ``cumulative_sizes`` keeps its ``(0,)`` sentinel --
+    see :func:`pim_match`.  Per-slot delay/warm-up accounting is the
+    switch's job (:class:`repro.sim.stats.DelayStats`), not the
+    scheduler's: the scheduler is memoryless apart from round-robin
+    pointers and its RNG stream.
+
     Parameters
     ----------
     iterations:
@@ -581,6 +622,22 @@ class PIMScheduler:
         self._rng = rng if rng is not None else np.random.default_rng(seed)
         self._pointers: Optional[np.ndarray] = None
         self.last_result: Optional[PIMResult] = None
+        self._probe = None
+
+    def attach_probe(self, probe) -> None:
+        """Attach a :class:`repro.obs.probe.Probe` for per-iteration
+        telemetry.
+
+        On slots the probe samples, scheduling runs with
+        ``keep_trace=True`` and emits one ``PimIteration`` event per
+        request/grant/accept round (the Figure 2 anatomy); every slot
+        additionally feeds the ``pim.iterations`` histogram.  The
+        iteration-count convention is :func:`pim_match`'s: an empty
+        request matrix runs zero iterations, so it contributes 0 to
+        the histogram and emits no ``PimIteration`` events.  Pass
+        ``None`` to detach.
+        """
+        self._probe = probe
 
     def schedule(self, requests: np.ndarray) -> Matching:
         """Compute the matching for one slot from the request matrix."""
@@ -589,6 +646,8 @@ class PIMScheduler:
         if self.accept == "round_robin":
             if self._pointers is None or self._pointers.shape[0] != n:
                 self._pointers = np.zeros(n, dtype=np.int64)
+        probe = self._probe
+        keep_trace = probe is not None and probe.enabled and probe.sampling
         result = pim_match(
             matrix,
             self._rng,
@@ -596,8 +655,20 @@ class PIMScheduler:
             accept=self.accept,
             accept_pointers=self._pointers,
             output_capacity=self.output_capacity,
+            keep_trace=keep_trace,
         )
         self.last_result = result
+        if probe is not None:
+            probe.slot_iterations(result.iterations)
+            if keep_trace:
+                for index, phase in enumerate(result.trace):
+                    probe.pim_iteration(
+                        index + 1,
+                        requests=int(phase.requests.sum()),
+                        grants=int(phase.grants.sum()),
+                        accepts=len(phase.accepted),
+                        matched=int(result.cumulative_sizes[index]),
+                    )
         return result.matching
 
     def reset(self) -> None:

@@ -1,0 +1,180 @@
+"""Typed per-slot trace events.
+
+Every event is a small frozen dataclass with a stable ``kind`` tag and
+a flat, JSON-friendly record form (:meth:`to_record` /
+:func:`event_from_record`), so a trace can round-trip through a JSONL
+file and be replayed into any sink.
+
+Conventions shared by all events:
+
+- ``slot`` is the cell slot the event belongs to.  Benches that trace
+  per-pattern rather than per-slot (Table 1, Figure 2) reuse the field
+  as a pattern/batch index.
+- ``replica`` identifies a fast-path replica; ``-1`` means "pooled
+  over all replicas" (the only form the batched backend emits for
+  snapshots, so tracing B=256 replicas stays cheap).
+- count fields that a producer cannot observe are ``-1`` ("not
+  recorded"), never 0 -- 0 always means "observed to be zero".
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, ClassVar, Dict, Tuple, Type, Union
+
+__all__ = [
+    "TraceEvent",
+    "SlotBegin",
+    "PimIteration",
+    "CrossbarTransfer",
+    "CellDeparture",
+    "VoqSnapshot",
+    "event_from_record",
+]
+
+
+@dataclass(frozen=True)
+class SlotBegin:
+    """Start of a slot: offered arrivals and the pre-transfer backlog.
+
+    ``backlog`` is the number of cells buffered anywhere in the switch
+    *before* this slot's arrivals land (pooled over replicas for the
+    fast-path backend).
+    """
+
+    kind: ClassVar[str] = "slot_begin"
+    slot: int
+    arrivals: int = 0
+    backlog: int = 0
+
+    def to_record(self) -> Dict[str, Any]:
+        """Flat JSON-serializable form, tagged with ``kind``."""
+        return {"kind": self.kind, **asdict(self)}
+
+
+@dataclass(frozen=True)
+class PimIteration:
+    """One request/grant/accept round of parallel iterative matching.
+
+    Attributes
+    ----------
+    slot, iteration:
+        Slot index and 1-based iteration number within the slot (the
+        iterations==0 convention means an empty request matrix emits
+        no PimIteration event at all).
+    requests, grants, accepts:
+        Unresolved requests seen, grants issued, and grants accepted in
+        this round; ``-1`` when the producer did not record them (e.g.
+        the batched Table 1 kernel, which only tracks match sizes).
+    matched:
+        *Cumulative* matching size after this iteration -- directly
+        comparable to Table 1's "% of matches found within K
+        iterations" columns.
+    replicas:
+        How many replicas the counts are pooled over (1 for the object
+        backend).
+    """
+
+    kind: ClassVar[str] = "pim_iteration"
+    slot: int
+    iteration: int
+    requests: int = -1
+    grants: int = -1
+    accepts: int = -1
+    matched: int = 0
+    replicas: int = 1
+
+    def to_record(self) -> Dict[str, Any]:
+        """Flat JSON-serializable form, tagged with ``kind``."""
+        return {"kind": self.kind, **asdict(self)}
+
+
+@dataclass(frozen=True)
+class CrossbarTransfer:
+    """Cells that crossed the fabric in one slot (pooled over replicas)."""
+
+    kind: ClassVar[str] = "crossbar_transfer"
+    slot: int
+    cells: int = 0
+
+    def to_record(self) -> Dict[str, Any]:
+        """Flat JSON-serializable form, tagged with ``kind``."""
+        return {"kind": self.kind, **asdict(self)}
+
+
+@dataclass(frozen=True)
+class CellDeparture:
+    """One cell leaving the switch (object backend only -- the
+    fast-path backend has no cell identity to report)."""
+
+    kind: ClassVar[str] = "cell_departure"
+    slot: int
+    input: int
+    output: int
+    delay: int
+    flow_id: int = -1
+
+    def to_record(self) -> Dict[str, Any]:
+        """Flat JSON-serializable form, tagged with ``kind``."""
+        return {"kind": self.kind, **asdict(self)}
+
+
+@dataclass(frozen=True)
+class VoqSnapshot:
+    """VOQ occupancy matrix at the end of a slot.
+
+    ``occupancy[i][j]`` counts cells queued at input i for output j;
+    emitted every ``stride`` slots (see :class:`repro.obs.probe.Probe`)
+    because a full N x N snapshot per slot is the most voluminous
+    event.  ``replica == -1`` marks a snapshot pooled over all
+    fast-path replicas.
+    """
+
+    kind: ClassVar[str] = "voq_snapshot"
+    slot: int
+    occupancy: Tuple[Tuple[int, ...], ...]
+    replica: int = -1
+
+    @staticmethod
+    def from_matrix(slot: int, matrix, replica: int = -1) -> "VoqSnapshot":
+        """Build from any 2-D array-like of counts."""
+        rows = tuple(tuple(int(x) for x in row) for row in matrix)
+        return VoqSnapshot(slot=slot, occupancy=rows, replica=replica)
+
+    @property
+    def total(self) -> int:
+        """Cells buffered across the whole matrix."""
+        return sum(sum(row) for row in self.occupancy)
+
+    def to_record(self) -> Dict[str, Any]:
+        """Flat JSON-serializable form, tagged with ``kind``."""
+        return {
+            "kind": self.kind,
+            "slot": self.slot,
+            "occupancy": [list(row) for row in self.occupancy],
+            "replica": self.replica,
+        }
+
+
+TraceEvent = Union[SlotBegin, PimIteration, CrossbarTransfer, CellDeparture, VoqSnapshot]
+
+_EVENT_TYPES: Dict[str, Type] = {
+    cls.kind: cls
+    for cls in (SlotBegin, PimIteration, CrossbarTransfer, CellDeparture, VoqSnapshot)
+}
+
+
+def event_from_record(record: Dict[str, Any]) -> TraceEvent:
+    """Inverse of ``to_record``: rebuild the typed event from a dict.
+
+    Raises ``ValueError`` on an unknown or missing ``kind`` tag, so a
+    corrupted trace line fails loudly rather than replaying garbage.
+    """
+    kind = record.get("kind")
+    cls = _EVENT_TYPES.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown trace event kind: {kind!r}")
+    fields = {k: v for k, v in record.items() if k != "kind"}
+    if cls is VoqSnapshot:
+        fields["occupancy"] = tuple(tuple(int(x) for x in row) for row in fields["occupancy"])
+    return cls(**fields)

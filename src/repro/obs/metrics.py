@@ -1,0 +1,184 @@
+"""A registry of named counters, gauges, and histograms.
+
+Complements the event stream: events answer "what happened in slot t",
+the registry answers "what were the totals" without retaining the
+stream.  Histograms are built on the existing Welford accumulator
+(:class:`repro.sim.stats.RunningMeanVar`) so mean/variance come out in
+one pass with no sample storage.
+
+>>> registry = MetricsRegistry()
+>>> registry.counter("cells.departed").inc(3)
+>>> registry.histogram("pim.iterations").observe(2.0)
+>>> registry.snapshot()["cells.departed"]
+3
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.sim.stats import RunningMeanVar
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing integer count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the count."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value that can move both ways (e.g. backlog)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the latest observation."""
+        self.value = float(value)
+
+
+class Histogram:
+    """One-pass distribution summary: count/mean/stddev/min/max.
+
+    Backed by :class:`repro.sim.stats.RunningMeanVar`; stores no
+    samples, so it is safe to feed one observation per cell.
+    """
+
+    __slots__ = ("name", "_acc", "_min", "_max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._acc = RunningMeanVar()
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Incorporate one observation."""
+        value = float(value)
+        self._acc.add(value)
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return self._acc.count
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self._acc.mean
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation."""
+        return self._acc.stddev
+
+    @property
+    def min(self) -> float:
+        """Smallest observation (0.0 when empty)."""
+        return self._min if self._acc.count else 0.0
+
+    @property
+    def max(self) -> float:
+        """Largest observation (0.0 when empty)."""
+        return self._max if self._acc.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Dict form used by :meth:`MetricsRegistry.snapshot`."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "stddev": self.stddev,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store of named metrics.
+
+    A name is bound to one metric type on first use; asking for the
+    same name as a different type raises, which catches the classic
+    "counter here, histogram there" telemetry bug.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Any] = {}
+
+    def _get_or_create(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"requested as {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created on first use)."""
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram registered under ``name`` (created on first use)."""
+        return self._get_or_create(name, Histogram)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def snapshot(self) -> Dict[str, Any]:
+        """All metric values by name; histograms become summary dicts."""
+        out: Dict[str, Any] = {}
+        for name, metric in sorted(self._metrics.items()):
+            if isinstance(metric, Histogram):
+                out[name] = metric.summary()
+            else:
+                out[name] = metric.value
+        return out
+
+    def render(self) -> str:
+        """Aligned human-readable table of every metric."""
+        if not self._metrics:
+            return "(no metrics recorded)"
+        lines = []
+        width = max(len(name) for name in self._metrics)
+        for name, metric in sorted(self._metrics.items()):
+            if isinstance(metric, Histogram):
+                body = (
+                    f"count={metric.count}  mean={metric.mean:.3f}  "
+                    f"stddev={metric.stddev:.3f}  min={metric.min:g}  "
+                    f"max={metric.max:g}"
+                )
+            elif isinstance(metric, Gauge):
+                body = f"{metric.value:g}"
+            else:
+                body = str(metric.value)
+            lines.append(f"{name:<{width}}  {body}")
+        return "\n".join(lines)

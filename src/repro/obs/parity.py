@@ -1,0 +1,199 @@
+"""Trace-based parity diagnostic: object backend vs fast path.
+
+PR 1's parity tests assert that, on seed-matched arrivals, the two
+backends agree on offered traffic and end-of-run totals.  When such an
+assertion fails, the aggregate numbers say nothing about *where* the
+backends diverged.  :func:`diff_backends` runs both backends with the
+same arrival seed, captures their per-slot trace events through
+:class:`repro.obs.probe.Probe`, and diffs the streams slot by slot:
+
+- **arrivals** must agree on *every* slot (same seed, draw-for-draw
+  identical streams) -- the first divergent slot pinpoints an arrival
+  replication bug;
+- **matched cells** differ per slot in general (the matching
+  randomness is independent), but cumulative totals must converge
+  exactly once both backends have drained -- the report carries both
+  the first per-slot difference (informational) and the final totals
+  (the invariant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.obs.probe import Probe
+from repro.obs.sinks import InMemorySink
+
+__all__ = ["ParityReport", "diff_backends"]
+
+
+class _DrainTraffic:
+    """Wraps a traffic source; no arrivals at or after ``cutoff``."""
+
+    def __init__(self, inner, cutoff: int):
+        self.inner = inner
+        self.cutoff = cutoff
+        self.ports = inner.ports
+
+    def arrivals(self, slot: int):
+        return self.inner.arrivals(slot) if slot < self.cutoff else []
+
+
+@dataclass
+class ParityReport:
+    """Slot-by-slot comparison of the two backends on one seed.
+
+    Attributes
+    ----------
+    ports, slots, drain_slots:
+        The compared configuration.
+    object_arrivals, fast_arrivals:
+        Per-slot offered-cell counts from each backend's trace.
+    object_matched, fast_matched:
+        Per-slot matched (transferred) cell counts.
+    first_arrival_divergence:
+        First slot where offered traffic differs, or None.  Must be
+        None for a healthy seed-matched pair.
+    first_match_divergence:
+        First slot where the matched counts differ, or None.  Nonzero
+        divergence here is *expected* (independent matching
+        randomness); it is reported to localize genuine breaks once
+        the totals disagree.
+    """
+
+    ports: int
+    slots: int
+    drain_slots: int
+    object_arrivals: List[int]
+    fast_arrivals: List[int]
+    object_matched: List[int]
+    fast_matched: List[int]
+    first_arrival_divergence: Optional[int]
+    first_match_divergence: Optional[int]
+
+    @property
+    def object_carried(self) -> int:
+        """Total cells the object backend transferred."""
+        return sum(self.object_matched)
+
+    @property
+    def fast_carried(self) -> int:
+        """Total cells the fast-path backend transferred."""
+        return sum(self.fast_matched)
+
+    @property
+    def arrivals_identical(self) -> bool:
+        """True when offered traffic matched on every slot."""
+        return self.first_arrival_divergence is None
+
+    @property
+    def totals_match(self) -> bool:
+        """True when both backends carried the same total cell count."""
+        return self.object_carried == self.fast_carried
+
+    @property
+    def ok(self) -> bool:
+        """The parity invariant: identical arrivals, equal totals."""
+        return self.arrivals_identical and self.totals_match
+
+    def describe(self) -> str:
+        """Multi-line diagnostic summary, suitable for a test failure."""
+        lines = [
+            f"parity {self.ports}x{self.ports}, {self.slots}+{self.drain_slots} slots:",
+            f"  offered  object={sum(self.object_arrivals)} fast={sum(self.fast_arrivals)}"
+            + (
+                "  (identical per slot)"
+                if self.arrivals_identical
+                else f"  FIRST DIVERGENT SLOT {self.first_arrival_divergence}"
+            ),
+            f"  carried  object={self.object_carried} fast={self.fast_carried}"
+            + ("" if self.totals_match else "  TOTALS DIFFER"),
+        ]
+        if self.first_match_divergence is not None:
+            lines.append(
+                f"  per-slot matched counts first differ at slot "
+                f"{self.first_match_divergence} (expected: independent "
+                f"matching randomness)"
+            )
+        return "\n".join(lines)
+
+
+def _first_divergence(a: List[int], b: List[int]) -> Optional[int]:
+    for slot, (x, y) in enumerate(zip(a, b)):
+        if x != y:
+            return slot
+    if len(a) != len(b):
+        return min(len(a), len(b))
+    return None
+
+
+def diff_backends(
+    ports: int,
+    load: float,
+    slots: int,
+    drain_slots: int = 500,
+    iterations: int = 4,
+    traffic_seed: int = 0,
+    object_match_seed: int = 1,
+    fast_match_seed: int = 2,
+) -> ParityReport:
+    """Run both backends on seed-matched arrivals and diff their traces.
+
+    Both runs start empty and append ``drain_slots`` arrival-free
+    slots so the totals comparison is exact (lossless switches drained
+    to empty carry exactly what was offered).  Returns a
+    :class:`ParityReport`; assert on ``report.ok`` and print
+    ``report.describe()`` on failure.
+    """
+    # Imported lazily so repro.obs stays importable without pulling the
+    # full simulator stack in (and to avoid an import cycle with the
+    # probe wiring inside the backends).
+    from repro.core.pim import PIMScheduler
+    from repro.sim.fastpath import run_fastpath
+    from repro.switch.switch import CrossbarSwitch
+    from repro.traffic.uniform import UniformTraffic
+
+    total = slots + drain_slots
+
+    obj_sink = InMemorySink()
+    switch = CrossbarSwitch(ports, PIMScheduler(iterations=iterations, seed=object_match_seed))
+    traffic = _DrainTraffic(UniformTraffic(ports, load=load, seed=traffic_seed), slots)
+    switch.run(traffic, slots=total, probe=Probe(obj_sink))
+
+    fast_sink = InMemorySink()
+    run_fastpath(
+        ports,
+        load,
+        slots,
+        replicas=1,
+        iterations=iterations,
+        seed=fast_match_seed,
+        arrival_seeds=[traffic_seed],
+        drain_slots=drain_slots,
+        probe=Probe(fast_sink),
+    )
+
+    def per_slot(sink: InMemorySink, kind: str, field: str) -> List[int]:
+        series = [0] * total
+        for event in sink.of_kind(kind):
+            if 0 <= event.slot < total:
+                series[event.slot] += getattr(event, field)
+        return series
+
+    obj_arrivals = per_slot(obj_sink, "slot_begin", "arrivals")
+    fast_arrivals = per_slot(fast_sink, "slot_begin", "arrivals")
+    obj_matched = per_slot(obj_sink, "crossbar_transfer", "cells")
+    fast_matched = per_slot(fast_sink, "crossbar_transfer", "cells")
+
+    return ParityReport(
+        ports=ports,
+        slots=slots,
+        drain_slots=drain_slots,
+        object_arrivals=obj_arrivals,
+        fast_arrivals=fast_arrivals,
+        object_matched=obj_matched,
+        fast_matched=fast_matched,
+        first_arrival_divergence=_first_divergence(obj_arrivals, fast_arrivals),
+        first_match_divergence=_first_divergence(obj_matched, fast_matched),
+    )

@@ -1,0 +1,197 @@
+"""Where trace events go: null, in-memory, JSONL, and CSV summary.
+
+The sink contract is two methods -- ``write(event)`` and ``close()`` --
+so custom sinks (sockets, ring buffers, live dashboards) drop in
+without touching the probes.  :class:`NullSink` is the default
+everywhere and is recognized by :class:`repro.obs.probe.Probe` as
+"tracing disabled": call sites never even construct events.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Dict, IO, Iterator, List, Optional, Protocol, Union, runtime_checkable
+
+from repro.obs.events import (
+    CellDeparture,
+    CrossbarTransfer,
+    PimIteration,
+    SlotBegin,
+    TraceEvent,
+    VoqSnapshot,
+    event_from_record,
+)
+
+__all__ = [
+    "Sink",
+    "NullSink",
+    "InMemorySink",
+    "JSONLSink",
+    "read_events",
+    "write_csv_summary",
+]
+
+
+@runtime_checkable
+class Sink(Protocol):
+    """Anything that accepts a stream of trace events."""
+
+    def write(self, event: TraceEvent) -> None:
+        """Consume one event."""
+
+    def close(self) -> None:
+        """Flush and release resources; further writes are undefined."""
+
+
+class NullSink:
+    """Discards everything.  The default: a probe built on a NullSink
+    reports itself disabled, so producers skip event construction
+    entirely (the zero-overhead fast path)."""
+
+    def write(self, event: TraceEvent) -> None:
+        """Discard the event."""
+
+    def close(self) -> None:
+        """No-op."""
+
+
+class InMemorySink:
+    """Keeps every event in an ordered list -- tests and diagnostics.
+
+    >>> sink = InMemorySink()
+    >>> sink.write(SlotBegin(slot=0, arrivals=2))
+    >>> len(sink.events)
+    1
+    """
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def write(self, event: TraceEvent) -> None:
+        """Append the event."""
+        self.events.append(event)
+
+    def close(self) -> None:
+        """No-op; events stay available."""
+
+    def clear(self) -> None:
+        """Drop all stored events."""
+        self.events.clear()
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        """Events whose ``kind`` tag matches."""
+        return [e for e in self.events if e.kind == kind]
+
+
+class JSONLSink:
+    """Writes one JSON record per line to ``path``.
+
+    Usable as a context manager; lines are buffered by the underlying
+    file object and flushed on :meth:`close`.  Read the file back with
+    :func:`read_events` -- the round-trip reproduces the original
+    typed events exactly (see the sink round-trip tests).
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._file: Optional[IO[str]] = open(path, "w", encoding="utf-8")
+        self.written = 0
+
+    def write(self, event: TraceEvent) -> None:
+        """Serialize one event as a JSON line."""
+        if self._file is None:
+            raise ValueError(f"JSONLSink({self.path!r}) is closed")
+        json.dump(event.to_record(), self._file, separators=(",", ":"))
+        self._file.write("\n")
+        self.written += 1
+
+    def close(self) -> None:
+        """Flush and close the file (idempotent)."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "JSONLSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_events(path: str) -> Iterator[TraceEvent]:
+    """Yield typed events from a JSONL trace file, in file order.
+
+    Blank lines are skipped; a malformed line raises with its line
+    number so a truncated trace is diagnosable.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield event_from_record(json.loads(line))
+            except (json.JSONDecodeError, TypeError, KeyError, ValueError) as exc:
+                raise ValueError(f"{path}:{lineno}: bad trace line: {exc}") from exc
+
+
+def _iter_events(source: Union[str, InMemorySink, List[TraceEvent]]) -> Iterator[TraceEvent]:
+    if isinstance(source, str):
+        return read_events(source)
+    if isinstance(source, InMemorySink):
+        return iter(source.events)
+    return iter(source)
+
+
+def write_csv_summary(
+    source: Union[str, InMemorySink, List[TraceEvent]], out_path: str
+) -> int:
+    """Condense a trace into a per-slot CSV summary.
+
+    One row per slot seen in the trace with columns: arrivals, backlog
+    at slot start, cells transferred, departures, PIM iterations run,
+    and the final (cumulative) matched count.  Returns the number of
+    data rows written.  Accepts a JSONL path, an
+    :class:`InMemorySink`, or a plain list of events.
+    """
+    rows: Dict[int, Dict[str, int]] = {}
+
+    def row(slot: int) -> Dict[str, int]:
+        if slot not in rows:
+            rows[slot] = {
+                "slot": slot,
+                "arrivals": 0,
+                "backlog": 0,
+                "transferred": 0,
+                "departures": 0,
+                "pim_iterations": 0,
+                "matched": 0,
+            }
+        return rows[slot]
+
+    for event in _iter_events(source):
+        if isinstance(event, SlotBegin):
+            r = row(event.slot)
+            r["arrivals"] = event.arrivals
+            r["backlog"] = event.backlog
+        elif isinstance(event, CrossbarTransfer):
+            row(event.slot)["transferred"] += event.cells
+        elif isinstance(event, CellDeparture):
+            row(event.slot)["departures"] += 1
+        elif isinstance(event, PimIteration):
+            r = row(event.slot)
+            r["pim_iterations"] = max(r["pim_iterations"], event.iteration)
+            r["matched"] = max(r["matched"], event.matched)
+        elif isinstance(event, VoqSnapshot):
+            row(event.slot)
+    fields = [
+        "slot", "arrivals", "backlog", "transferred",
+        "departures", "pim_iterations", "matched",
+    ]
+    with open(out_path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fields)
+        writer.writeheader()
+        for slot in sorted(rows):
+            writer.writerow(rows[slot])
+    return len(rows)

@@ -57,15 +57,26 @@ class SimulationEngine:
     slot's ``begin_slot``.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, probe=None) -> None:
         self._processes: List[SlotProcess] = []
         self._slot = 0
         self._slot_hooks: List[Callable[[int], None]] = []
+        # Optional repro.obs.probe.Probe; when enabled, each slot emits
+        # a SlotBegin event before phase 1 runs, giving multi-component
+        # simulations the same per-slot trace spine as the single-switch
+        # backends.  Disabled (the default) costs one boolean per slot.
+        self._probe = probe
+        self._traced = probe is not None and probe.enabled
 
     @property
     def slot(self) -> int:
         """The next slot to be executed."""
         return self._slot
+
+    @property
+    def probe(self):
+        """The attached probe, or None when the engine is untraced."""
+        return self._probe
 
     def add_process(self, process: SlotProcess) -> None:
         """Register a component; it joins at the current slot."""
@@ -94,6 +105,8 @@ class SimulationEngine:
         executed = 0
         for _ in range(slots):
             current = self._slot
+            if self._traced:
+                self._probe.begin_slot(current)
             for process in self._processes:
                 process.begin_slot(current)
             for process in self._processes:

@@ -288,6 +288,8 @@ def run_fastpath(
     arrival_seeds: Optional[Sequence[Optional[int]]] = None,
     drain_slots: int = 0,
     check: bool = False,
+    probe=None,
+    trace_stride: Optional[int] = None,
 ) -> FastpathResult:
     """Simulate B replicas of an N x N PIM crossbar, vectorized.
 
@@ -319,6 +321,19 @@ def run_fastpath(
         exact rather than a boundary-truncated estimate.
     check:
         Assert occupancy invariants every slot (tests; slows the run).
+    probe:
+        Optional :class:`repro.obs.probe.Probe`.  When enabled, every
+        slot emits ``SlotBegin`` (arrivals and backlog pooled over
+        replicas) and ``CrossbarTransfer`` events; slots selected by
+        the probe's stride additionally emit the batched PIM
+        per-iteration anatomy (counts pooled over the B replicas) and
+        one pooled ``VoqSnapshot`` (``replica == -1``).  The disabled
+        default costs one boolean per slot, preserving the vectorized
+        speedup.
+    trace_stride:
+        Convenience override of ``probe.stride`` for this run; raise
+        it (e.g. to 64) so tracing samples the volume-heavy events
+        without serializing every slot.
 
     Returns a :class:`FastpathResult`.
     """
@@ -353,6 +368,14 @@ def run_fastpath(
     else:
         source = _BatchedArrivals(ports, replicas, load, streams.get("fastpath/arrivals"))
 
+    traced = probe is not None and probe.enabled
+    if traced:
+        if trace_stride is not None:
+            if trace_stride < 1:
+                raise ValueError(f"trace_stride must be >= 1, got {trace_stride}")
+            probe.stride = trace_stride
+        scheduler.attach_probe(probe)
+
     offered = np.zeros(replicas, dtype=np.int64)
     carried = np.zeros(replicas, dtype=np.int64)
     backlog_integral = np.zeros(replicas, dtype=np.int64)
@@ -361,7 +384,19 @@ def run_fastpath(
 
     for slot in range(total_slots):
         counts = source.slot_counts() if slot < slots else None
+        if traced:
+            # begin_slot must precede step() so the scheduler's
+            # per-iteration emission sees the right slot/sampling flag.
+            probe.begin_slot(
+                slot,
+                arrivals=int(counts.sum()) if counts is not None else 0,
+                backlog=int(switch.occupancy.sum()),
+            )
         bb, ii, jj = switch.step(counts, check=check)
+        if traced:
+            probe.transfer(int(bb.size))
+            if probe.sampling:
+                probe.voq_snapshot(switch.occupancy.sum(axis=0), replica=-1)
         if slot < warmup:
             continue
         if counts is not None:

@@ -100,10 +100,24 @@ class DelayStats:
     arrival slot).  Observations from cells that *arrived* before
     ``warmup`` are discarded, matching the paper's transient removal.
 
+    Warm-up discard convention, stated precisely: the filter keys on
+    the **arrival** slot, not the departure slot.  A cell that arrives
+    in slot ``warmup - 1`` and departs in slot ``warmup + 10`` is
+    discarded; a cell that arrives in slot ``warmup`` is counted no
+    matter how late it departs.  This is deliberate -- filtering on
+    departures would bias the window toward short delays (cells that
+    arrived late in the transient but cleared quickly).  Note the
+    asymmetry with the fast-path backend's Little's-law estimator
+    (:class:`repro.sim.fastpath.FastpathResult`), which instead drops
+    whole *slots* before ``warmup`` from its backlog integral; the two
+    agree in steady state but differ at the boundary by O(backlog)
+    cells.
+
     Attributes
     ----------
     warmup:
-        Arrival-slot threshold below which observations are ignored.
+        Arrival-slot threshold below which observations are ignored
+        (``warmup == 0`` keeps everything, including the transient).
     """
 
     warmup: int = 0

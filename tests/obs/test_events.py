@@ -1,0 +1,59 @@
+"""Trace-event record round-trips and conventions."""
+
+import pytest
+
+from repro.obs.events import (
+    CellDeparture,
+    CrossbarTransfer,
+    PimIteration,
+    SlotBegin,
+    VoqSnapshot,
+    event_from_record,
+)
+
+ALL_EVENTS = [
+    SlotBegin(slot=3, arrivals=5, backlog=12),
+    PimIteration(slot=3, iteration=2, requests=9, grants=4, accepts=3, matched=7),
+    PimIteration(slot=0, iteration=1, matched=40, replicas=256),
+    CrossbarTransfer(slot=3, cells=6),
+    CellDeparture(slot=3, input=1, output=2, delay=4, flow_id=17),
+    VoqSnapshot(slot=8, occupancy=((0, 2), (1, 0)), replica=-1),
+]
+
+
+@pytest.mark.parametrize("event", ALL_EVENTS, ids=lambda e: e.kind)
+def test_record_round_trip(event):
+    record = event.to_record()
+    assert record["kind"] == event.kind
+    assert event_from_record(record) == event
+
+
+def test_record_is_json_flat():
+    import json
+
+    for event in ALL_EVENTS:
+        text = json.dumps(event.to_record())
+        assert event_from_record(json.loads(text)) == event
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError, match="unknown trace event kind"):
+        event_from_record({"kind": "bogus", "slot": 0})
+    with pytest.raises(ValueError):
+        event_from_record({"slot": 0})
+
+
+def test_unrecorded_counts_default_to_minus_one():
+    event = PimIteration(slot=0, iteration=1, matched=3)
+    assert (event.requests, event.grants, event.accepts) == (-1, -1, -1)
+
+
+def test_voq_snapshot_from_matrix_and_total():
+    import numpy as np
+
+    matrix = np.arange(9).reshape(3, 3)
+    snap = VoqSnapshot.from_matrix(5, matrix, replica=0)
+    assert snap.occupancy == ((0, 1, 2), (3, 4, 5), (6, 7, 8))
+    assert snap.total == 36
+    assert snap.replica == 0
+    assert event_from_record(snap.to_record()) == snap

@@ -1,0 +1,74 @@
+"""Metrics registry: counters, gauges, histograms."""
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_tracks_latest(self):
+        g = Gauge("backlog")
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+
+class TestHistogram:
+    def test_summary_matches_welford(self):
+        h = Histogram("delay")
+        for x in (1.0, 2.0, 3.0):
+            h.observe(x)
+        assert h.count == 3
+        assert h.mean == pytest.approx(2.0)
+        assert h.stddev == pytest.approx(1.0)
+        assert (h.min, h.max) == (1.0, 3.0)
+        summary = h.summary()
+        assert summary["count"] == 3 and summary["mean"] == pytest.approx(2.0)
+
+    def test_empty_is_zeroes(self):
+        h = Histogram("delay")
+        assert h.count == 0
+        assert h.mean == 0.0
+        assert h.min == 0.0 and h.max == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert len(reg) == 1
+        assert "a" in reg
+
+    def test_name_bound_to_one_type(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError, match="requested as Histogram"):
+            reg.histogram("a")
+
+    def test_snapshot_and_render(self):
+        reg = MetricsRegistry()
+        reg.counter("cells").inc(7)
+        reg.gauge("backlog").set(2.0)
+        reg.histogram("delay").observe(5.0)
+        snap = reg.snapshot()
+        assert snap["cells"] == 7
+        assert snap["backlog"] == 2.0
+        assert snap["delay"]["count"] == 1
+        text = reg.render()
+        assert "cells" in text and "delay" in text
+
+    def test_render_empty(self):
+        assert "no metrics" in MetricsRegistry().render()

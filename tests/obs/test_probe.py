@@ -1,0 +1,91 @@
+"""Probe facade: enablement, stride sampling, metrics accumulation."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.probe import NULL_PROBE, Probe
+from repro.obs.sinks import InMemorySink, NullSink
+
+
+class TestEnablement:
+    def test_default_is_disabled(self):
+        assert not Probe().enabled
+        assert not Probe(NullSink()).enabled
+        assert not NULL_PROBE.enabled
+
+    def test_real_sink_enables(self):
+        assert Probe(InMemorySink()).enabled
+
+    def test_metrics_only_enables_over_null_sink(self):
+        probe = Probe(NullSink(), metrics=MetricsRegistry())
+        assert probe.enabled
+        probe.begin_slot(0, arrivals=2, backlog=1)
+        assert probe.metrics.counter("cells.arrived").value == 2
+
+    def test_disabled_probe_emits_nothing(self):
+        probe = NULL_PROBE
+        probe.begin_slot(0, arrivals=3)
+        probe.pim_iteration(1, matched=2)
+        probe.transfer(1)
+        probe.departure(0, 1, 2)
+        probe.voq_snapshot([[1]])
+        assert probe.slot == -1  # begin_slot returned before mutating
+
+    def test_bad_stride_rejected(self):
+        with pytest.raises(ValueError):
+            Probe(InMemorySink(), stride=0)
+
+    def test_repr_names_sink_and_state(self):
+        assert "InMemorySink" in repr(Probe(InMemorySink()))
+        assert "disabled" in repr(NULL_PROBE)
+
+
+class TestStride:
+    def test_sampling_follows_stride(self):
+        probe = Probe(InMemorySink(), stride=3)
+        sampled = []
+        for slot in range(7):
+            probe.begin_slot(slot)
+            sampled.append(probe.sampling)
+        assert sampled == [True, False, False, True, False, False, True]
+
+    def test_heavy_events_only_on_sampled_slots(self):
+        sink = InMemorySink()
+        probe = Probe(sink, stride=2)
+        for slot in range(4):
+            probe.begin_slot(slot)
+            probe.pim_iteration(1, matched=1)
+            probe.voq_snapshot([[0]])
+            probe.transfer(1)  # cheap event: every slot
+        assert len(sink.of_kind("slot_begin")) == 4
+        assert len(sink.of_kind("crossbar_transfer")) == 4
+        assert len(sink.of_kind("pim_iteration")) == 2
+        assert len(sink.of_kind("voq_snapshot")) == 2
+        assert {e.slot for e in sink.of_kind("pim_iteration")} == {0, 2}
+
+
+class TestMetrics:
+    def test_counters_histograms_accumulate(self):
+        metrics = MetricsRegistry()
+        probe = Probe(InMemorySink(), metrics=metrics)
+        probe.begin_slot(0, arrivals=2, backlog=5)
+        probe.transfer(2)
+        probe.departure(0, 1, delay=4)
+        probe.departure(1, 0, delay=6)
+        probe.slot_iterations(3)
+        probe.slot_iterations(0)  # empty-matrix slot: counts as zero
+        assert metrics.counter("slots").value == 1
+        assert metrics.counter("cells.arrived").value == 2
+        assert metrics.counter("cells.departed").value == 2
+        assert metrics.gauge("backlog").value == 5.0
+        assert metrics.histogram("delay.slots").mean == pytest.approx(5.0)
+        assert metrics.histogram("pim.iterations").count == 2
+        assert metrics.histogram("pim.iterations").min == 0.0
+
+    def test_events_carry_current_slot(self):
+        sink = InMemorySink()
+        probe = Probe(sink)
+        probe.begin_slot(7, arrivals=1)
+        probe.transfer(1)
+        probe.departure(0, 0, 0)
+        assert all(e.slot == 7 for e in sink.events)

@@ -1,0 +1,118 @@
+"""Sink round-trips: JSONL write -> read -> replay is lossless."""
+
+import pytest
+
+from repro.obs.events import CellDeparture, PimIteration, SlotBegin, VoqSnapshot
+from repro.obs.probe import Probe
+from repro.obs.sinks import (
+    InMemorySink,
+    JSONLSink,
+    NullSink,
+    read_events,
+    write_csv_summary,
+)
+
+
+def _traced_run(sink, slots=40):
+    """Drive a real traced run through a probe into ``sink``."""
+    from repro.sim.fastpath import run_fastpath
+
+    run_fastpath(4, 0.7, slots, replicas=2, seed=3, probe=Probe(sink, stride=4))
+
+
+def test_null_sink_discards():
+    sink = NullSink()
+    sink.write(SlotBegin(slot=0))
+    sink.close()  # no error, nothing stored
+
+
+def test_in_memory_sink_orders_and_filters():
+    sink = InMemorySink()
+    sink.write(SlotBegin(slot=0, arrivals=1))
+    sink.write(PimIteration(slot=0, iteration=1, matched=1))
+    sink.write(SlotBegin(slot=1))
+    assert [e.kind for e in sink.events] == ["slot_begin", "pim_iteration", "slot_begin"]
+    assert len(sink.of_kind("slot_begin")) == 2
+    sink.clear()
+    assert sink.events == []
+
+
+def test_jsonl_round_trip_reproduces_in_memory_exactly(tmp_path):
+    """The satellite acceptance: write -> read -> replay reproduces the
+    InMemorySink contents exactly, event for typed event."""
+    memory = InMemorySink()
+    _traced_run(memory)
+    path = str(tmp_path / "trace.jsonl")
+    with JSONLSink(path) as jsonl:
+        for event in memory.events:
+            jsonl.write(event)
+    assert jsonl.written == len(memory.events)
+
+    replayed = InMemorySink()
+    for event in read_events(path):
+        replayed.write(event)
+    assert replayed.events == memory.events
+
+
+def test_jsonl_from_live_run_equals_in_memory(tmp_path):
+    """Tracing to JSONL directly produces the same stream as tracing to
+    memory (same seeds, same stride)."""
+    memory = InMemorySink()
+    _traced_run(memory)
+    path = str(tmp_path / "live.jsonl")
+    jsonl = JSONLSink(path)
+    _traced_run(jsonl)
+    jsonl.close()
+    assert list(read_events(path)) == memory.events
+
+
+def test_jsonl_write_after_close_raises(tmp_path):
+    sink = JSONLSink(str(tmp_path / "x.jsonl"))
+    sink.close()
+    sink.close()  # idempotent
+    with pytest.raises(ValueError, match="closed"):
+        sink.write(SlotBegin(slot=0))
+
+
+def test_read_events_reports_bad_line(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"kind":"slot_begin","slot":0,"arrivals":0,"backlog":0}\nnot json\n')
+    with pytest.raises(ValueError, match="bad.jsonl:2"):
+        list(read_events(str(path)))
+
+
+def test_read_events_skips_blank_lines(tmp_path):
+    path = tmp_path / "gaps.jsonl"
+    path.write_text('\n{"kind":"crossbar_transfer","slot":2,"cells":3}\n\n')
+    events = list(read_events(str(path)))
+    assert len(events) == 1 and events[0].cells == 3
+
+
+def test_csv_summary_condenses_per_slot(tmp_path):
+    events = [
+        SlotBegin(slot=0, arrivals=2, backlog=0),
+        PimIteration(slot=0, iteration=1, matched=2),
+        PimIteration(slot=0, iteration=2, matched=3),
+        CellDeparture(slot=0, input=0, output=1, delay=0),
+        SlotBegin(slot=1, arrivals=0, backlog=1),
+        VoqSnapshot(slot=1, occupancy=((1, 0), (0, 0))),
+    ]
+    out = str(tmp_path / "summary.csv")
+    assert write_csv_summary(events, out) == 2
+    lines = open(out).read().strip().splitlines()
+    assert lines[0] == "slot,arrivals,backlog,transferred,departures,pim_iterations,matched"
+    assert lines[1] == "0,2,0,0,1,2,3"
+    assert lines[2] == "1,0,1,0,0,0,0"
+
+
+def test_csv_summary_accepts_sink_and_path(tmp_path):
+    memory = InMemorySink()
+    _traced_run(memory)
+    out1 = str(tmp_path / "a.csv")
+    out2 = str(tmp_path / "b.csv")
+    jsonl_path = str(tmp_path / "t.jsonl")
+    with JSONLSink(jsonl_path) as jsonl:
+        for event in memory.events:
+            jsonl.write(event)
+    assert write_csv_summary(memory, out1) == write_csv_summary(jsonl_path, out2)
+    assert open(out1).read() == open(out2).read()
