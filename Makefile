@@ -1,12 +1,21 @@
 # Convenience targets for the AN2 reproduction.
 
-.PHONY: install test bench bench-fastpath bench-full trace-demo examples lint clean
+.PHONY: install test check check-full bench bench-fastpath bench-full trace-demo examples lint clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
 
 test:
 	pytest tests/ -q
+
+# Bounded randomized invariant/differential sweep (the CI smoke stage).
+check:
+	PYTHONPATH=src python -m repro.cli check --seeds 25 --budget 60s
+
+# Nightly-style deep sweep: more seeds plus the slow-marked pytest sweep.
+check-full:
+	PYTHONPATH=src python -m repro.cli check --seeds 200 --budget 10m
+	PYTHONPATH=src python -m pytest -q tests/check -m slow
 
 bench:
 	pytest benchmarks/ --benchmark-only -q

@@ -1,0 +1,48 @@
+"""Correctness harness: invariants, differential runs, and fuzzing.
+
+Three layers, each usable on its own:
+
+- :mod:`repro.check.invariants` -- composable per-slot checkers wired
+  through the :mod:`repro.obs` probe hook (stream invariants) and a
+  :class:`~repro.check.invariants.CheckingScheduler` wrapper (matching
+  validity / maximality), plus end-of-run conservation checks;
+- :mod:`repro.check.differential` -- seed-matched differential runs
+  (object vs fast path) and cross-scheduler metamorphic checks;
+- :mod:`repro.check.fuzz` -- a randomized sweep over (ports, load,
+  pattern, scheduler, iterations, seed) that shrinks any failure to a
+  minimal reproducer and writes it as a pytest-replayable JSON case.
+
+The ``repro-an2 check`` CLI subcommand runs the sweep; ``make check``
+and the CI smoke stage bound it by seed count and wall-clock budget.
+"""
+
+from repro.check.differential import (
+    DifferentialReport,
+    backend_parity,
+    metamorphic_pim_iterations,
+    metamorphic_statistical_fill,
+)
+from repro.check.fuzz import Case, FuzzReport, fuzz, load_case, run_case, shrink
+from repro.check.invariants import (
+    CheckingScheduler,
+    InvariantSink,
+    InvariantViolation,
+    check_conservation,
+)
+
+__all__ = [
+    "Case",
+    "CheckingScheduler",
+    "DifferentialReport",
+    "FuzzReport",
+    "InvariantSink",
+    "InvariantViolation",
+    "backend_parity",
+    "check_conservation",
+    "fuzz",
+    "load_case",
+    "metamorphic_pim_iterations",
+    "metamorphic_statistical_fill",
+    "run_case",
+    "shrink",
+]

@@ -1,0 +1,199 @@
+"""Seed-matched differential runs and cross-scheduler metamorphic checks.
+
+Three families of checks, each reporting the first divergent slot (or
+the violating totals) when it fails:
+
+- :func:`backend_parity` -- object backend vs fast path on
+  seed-matched arrivals, over the *whole* configuration space the fast
+  path supports (iterations including run-to-convergence, accept
+  policy, output capacity).  Generalizes the PR 1 PIM-only parity
+  check in :mod:`repro.obs.parity`.
+
+- :func:`metamorphic_statistical_fill` -- Section 5.2's "any slot not
+  used by statistical matching can be filled" must never *lose* cells:
+  a ``fill=True`` matcher carries at least as much as ``fill=False``
+  with the same seed on the same arrivals, slot for slot.  This is
+  exact (slack 0): the statistical grant/accept draws consume a
+  stream decoupled from the PIM fill (see
+  :class:`repro.core.statistical.StatisticalMatcher`), so both runs
+  see identical statistical matchings and filling can only remove
+  additional cells -- occupancy is pointwise dominated.
+
+- :func:`metamorphic_pim_iterations` -- more PIM iterations must not
+  carry (meaningfully) less on the same arrivals.  PIM-k vs PIM-1 is
+  not sample-wise monotone (different random draws), so the check
+  allows a small slack, defaulting to one cell per port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.check.invariants import InvariantViolation
+from repro.obs.parity import ParityReport, diff_backends
+
+__all__ = [
+    "DifferentialReport",
+    "backend_parity",
+    "metamorphic_pim_iterations",
+    "metamorphic_statistical_fill",
+]
+
+
+@dataclass
+class DifferentialReport:
+    """Outcome of one differential or metamorphic check."""
+
+    name: str
+    ok: bool
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{'ok' if self.ok else 'FAIL'}] {self.name}: {self.detail}"
+
+
+def backend_parity(
+    ports: int,
+    load: float,
+    slots: int,
+    seed: int = 0,
+    drain_slots: Optional[int] = None,
+    iterations: Optional[int] = 4,
+    accept: str = "random",
+    output_capacity: int = 1,
+) -> DifferentialReport:
+    """Object vs fast path on seed-matched arrivals; raises on divergence.
+
+    All three streams (traffic, object matching, fast matching) are
+    derived from ``seed`` so one integer replays the whole comparison.
+    """
+    from repro.sim.rng import derive_seed
+
+    if drain_slots is None:
+        # Enough to flush any backlog a stable run accumulates.
+        drain_slots = max(200, slots)
+    report: ParityReport = diff_backends(
+        ports,
+        load,
+        slots,
+        drain_slots=drain_slots,
+        iterations=iterations,
+        traffic_seed=derive_seed(seed, "check/traffic"),
+        object_match_seed=derive_seed(seed, "check/object-match"),
+        fast_match_seed=derive_seed(seed, "check/fast-match"),
+        accept=accept,
+        output_capacity=output_capacity,
+    )
+    name = (
+        f"backend-parity(N={ports}, load={load}, iter={iterations}, "
+        f"accept={accept}, cap={output_capacity}, seed={seed})"
+    )
+    if not report.ok:
+        raise InvariantViolation("backend-parity", report.describe())
+    return DifferentialReport(name=name, ok=True, detail=report.describe())
+
+
+def _random_allocations(
+    ports: int, units: int, rng: np.random.Generator, fraction: float = 0.75
+) -> np.ndarray:
+    """A random feasible allocation matrix (row/col sums <= units).
+
+    Built as a sum of random permutation matrices -- each adds one
+    unit to every row and column sum, so ``k`` permutations allocate
+    exactly ``k`` of the ``units`` per link.
+    """
+    k = max(1, int(units * fraction))
+    alloc = np.zeros((ports, ports), dtype=np.int64)
+    for _ in range(k):
+        perm = rng.permutation(ports)
+        alloc[np.arange(ports), perm] += 1
+    return alloc
+
+
+def metamorphic_statistical_fill(
+    ports: int,
+    slots: int,
+    seed: int = 0,
+    units: int = 16,
+    load: float = 0.9,
+) -> DifferentialReport:
+    """``fill=True`` must never carry less than statistical alone.
+
+    Same allocation matrix, same matcher seed, same arrivals: the
+    decoupled fill stream makes the statistical draws identical in
+    both runs, so filling dominates pointwise and the check runs with
+    **zero** slack.
+    """
+    from repro.core.statistical import StatisticalMatcher
+    from repro.sim.rng import derive_seed
+    from repro.switch.switch import CrossbarSwitch
+    from repro.traffic.uniform import UniformTraffic
+
+    alloc_rng = np.random.default_rng(derive_seed(seed, "check/allocations"))
+    allocations = _random_allocations(ports, units, alloc_rng)
+    matcher_seed = derive_seed(seed, "check/statistical")
+    traffic_seed = derive_seed(seed, "check/traffic")
+
+    carried = {}
+    for fill in (False, True):
+        matcher = StatisticalMatcher(
+            allocations, units=units, seed=matcher_seed, fill=fill
+        )
+        switch = CrossbarSwitch(ports, matcher)
+        result = switch.run(
+            UniformTraffic(ports, load=load, seed=traffic_seed), slots=slots
+        )
+        carried[fill] = result.counter.carried
+
+    name = f"statistical-fill(N={ports}, slots={slots}, seed={seed})"
+    detail = f"carried alone={carried[False]} fill={carried[True]}"
+    if carried[True] < carried[False]:
+        raise InvariantViolation("statistical-fill-dominates", detail)
+    return DifferentialReport(name=name, ok=True, detail=detail)
+
+
+def metamorphic_pim_iterations(
+    ports: int,
+    slots: int,
+    seed: int = 0,
+    load: float = 0.9,
+    many: int = 4,
+    slack: Optional[int] = None,
+) -> DifferentialReport:
+    """PIM-``many`` must not carry meaningfully less than PIM-1.
+
+    Runs the fast path twice on draw-identical arrivals
+    (``arrival_seeds``) over a *fixed* window with no drain -- drained
+    runs trivially carry everything offered, which would make the
+    comparison vacuous.  The matchings are random, so sample-wise
+    domination is not guaranteed; ``slack`` (default: one cell per
+    port) absorbs the noise while still catching an iteration loop
+    that loses work wholesale.
+    """
+    from repro.sim.fastpath import run_fastpath
+    from repro.sim.rng import derive_seed
+
+    if slack is None:
+        slack = ports
+    arrival_seed = derive_seed(seed, "check/traffic")
+    carried = {}
+    for iterations in (1, many):
+        result = run_fastpath(
+            ports,
+            load,
+            slots,
+            replicas=1,
+            iterations=iterations,
+            seed=derive_seed(seed, f"check/pim-{iterations}"),
+            arrival_seeds=[arrival_seed],
+        )
+        carried[iterations] = int(result.carried_cells.sum())
+
+    name = f"pim-iterations(N={ports}, 1 vs {many}, seed={seed})"
+    detail = f"carried PIM-1={carried[1]} PIM-{many}={carried[many]} slack={slack}"
+    if carried[many] + slack < carried[1]:
+        raise InvariantViolation("pim-iterations-monotone", detail)
+    return DifferentialReport(name=name, ok=True, detail=detail)

@@ -273,12 +273,50 @@ def cmd_fairness(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    """Randomized invariant/differential sweep (see repro.check)."""
+    from repro.check import fuzz
+
+    report = fuzz(
+        seeds=args.seeds,
+        budget_seconds=args.budget,
+        out_dir=args.out,
+        base_seed=args.seed,
+    )
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
+def _budget_seconds(text: str) -> float:
+    """Parse a wall-clock budget: plain seconds, '60s', or '2m'."""
+    text = text.strip().lower()
+    scale = 1.0
+    if text.endswith("m"):
+        scale, text = 60.0, text[:-1]
+    elif text.endswith("s"):
+        text = text[:-1]
+    try:
+        value = float(text) * scale
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid budget {text!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError("budget must be positive")
+    return value
+
+
 def cmd_trace_summarize(args: argparse.Namespace) -> int:
     """Render a traced run: totals, PIM anatomy, backlog curve."""
     from repro.analysis.ascii_plot import bar_chart, line_chart
     from repro.obs import read_events, write_csv_summary
 
-    events = list(read_events(args.path))
+    try:
+        events = list(read_events(args.path))
+    except FileNotFoundError:
+        print(f"{args.path}: no such trace file", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"{args.path}: malformed trace: {exc}", file=sys.stderr)
+        return 1
     if not events:
         print(f"{args.path}: empty trace", file=sys.stderr)
         return 1
@@ -421,6 +459,24 @@ def build_parser() -> argparse.ArgumentParser:
     fairness.add_argument("--slots", type=int, default=20_000)
     fairness.add_argument("--seed", type=int, default=0)
     fairness.set_defaults(func=cmd_fairness)
+
+    check = sub.add_parser(
+        "check",
+        help="randomized invariant & differential sweep across schedulers "
+             "and backends (repro.check)",
+    )
+    check.add_argument("--seeds", type=_positive_int, default=25,
+                       help="number of random cases to sweep (default 25)")
+    check.add_argument("--budget", type=_budget_seconds, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock budget, e.g. 60, 60s, or 2m "
+                            "(default: unbounded)")
+    check.add_argument("--seed", type=int, default=0,
+                       help="base seed; case i uses seed base+i (default 0)")
+    check.add_argument("--out", metavar="DIR", default=None,
+                       help="write shrunk failing cases to DIR as JSON "
+                            "reproducers")
+    check.set_defaults(func=cmd_check)
 
     trace = sub.add_parser("trace", help="inspect trace files written with --trace")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)

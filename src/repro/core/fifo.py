@@ -44,7 +44,14 @@ class FIFOScheduler:
         if policy not in ("random", "rotating"):
             raise ValueError(f"unknown FIFO policy: {policy!r}")
         self.policy = policy
-        self._rng = np.random.default_rng(seed)
+        if seed is not None:
+            self._rng = np.random.default_rng(seed)
+        else:
+            # Deterministic fallback (repro.sim.rng default-seed
+            # policy); imported lazily to dodge the sim <-> core cycle.
+            from repro.sim.rng import default_generator
+
+            self._rng = default_generator("fifo")
         self._priority = 0
 
     def arbitrate(self, head_destinations: np.ndarray) -> Matching:

@@ -21,7 +21,39 @@ import numpy as np
 
 from repro.core.matching import Matching, as_request_matrix
 
-__all__ = ["ISLIPScheduler", "islip_match"]
+__all__ = ["ISLIPScheduler", "islip_match", "validate_pointer_array"]
+
+
+def validate_pointer_array(pointers: np.ndarray, n: int, name: str) -> np.ndarray:
+    """Validate a round-robin pointer array that will be mutated in place.
+
+    The pointer-carrying matchers (iSLIP, RRM) advance caller-provided
+    arrays in place so a stateful scheduler carries desynchronization
+    state across slots.  Writing ``(i + 1) % n`` into an array of the
+    wrong dtype silently truncates or rounds (float arrays accept the
+    store but corrupt later modular arithmetic on mixed types), so
+    anything that is not an int64 array of shape ``(n,)`` with values
+    in ``[0, n)`` is rejected outright -- a silent copy-convert would
+    break the in-place mutation contract instead.
+
+    Returns the validated array unchanged.
+    """
+    array = np.asarray(pointers)
+    if array is not pointers:
+        raise ValueError(
+            f"{name} must be a numpy array (it is mutated in place), "
+            f"got {type(pointers).__name__}"
+        )
+    if array.dtype != np.int64:
+        raise ValueError(
+            f"{name} must have dtype int64 (in-place pointer updates), "
+            f"got {array.dtype}"
+        )
+    if array.shape != (n,):
+        raise ValueError(f"{name} must have shape ({n},), got {array.shape}")
+    if n and ((array < 0) | (array >= n)).any():
+        raise ValueError(f"{name} values must be in [0, {n}), got {array.tolist()}")
+    return array
 
 
 def islip_match(
@@ -40,6 +72,10 @@ def islip_match(
         Per-output and per-input round-robin pointers; **mutated in
         place** according to the iSLIP update rule (advance one past the
         chosen port, only on an accepted grant, only in iteration 1).
+        Must be int64 arrays of shape ``(N,)`` with values in
+        ``[0, N)``; anything else is rejected with ``ValueError``
+        rather than silently mutated (see
+        :func:`validate_pointer_array`).
     iterations:
         Request/grant/accept rounds per slot.
     """
@@ -47,6 +83,8 @@ def islip_match(
     n = matrix.shape[0]
     if iterations < 1:
         raise ValueError(f"iterations must be >= 1, got {iterations}")
+    validate_pointer_array(grant_pointers, n, "grant_pointers")
+    validate_pointer_array(accept_pointers, n, "accept_pointers")
     input_matched = np.zeros(n, dtype=bool)
     output_matched = np.zeros(n, dtype=bool)
     pairs: List[Tuple[int, int]] = []
@@ -88,7 +126,15 @@ def islip_match(
 
 
 class ISLIPScheduler:
-    """Stateful iSLIP scheduler (pointers persist across slots)."""
+    """Stateful iSLIP scheduler (pointers persist across slots).
+
+    The pointer arrays are sized by the first request matrix seen.  A
+    *different*-sized matrix later in the run raises ``ValueError``:
+    silently reallocating zeroed pointers mid-run (the old behaviour)
+    corrupts the desynchronization state that iSLIP's throughput rests
+    on, and does so invisibly.  Call :meth:`reset` first when a size
+    change is genuinely intended.
+    """
 
     name = "islip"
 
@@ -109,8 +155,15 @@ class ISLIPScheduler:
         """Return this slot's matching and advance the pointers."""
         matrix = as_request_matrix(requests)
         n = matrix.shape[0]
-        if self._grant_pointers is None or self._grant_pointers.shape[0] != n:
+        if self._grant_pointers is None:
             self._allocate(n)
+        elif self._grant_pointers.shape[0] != n:
+            raise ValueError(
+                f"request matrix is {n}x{n} but pointers were sized for "
+                f"{self._grant_pointers.shape[0]} ports; a mid-run size "
+                f"change would silently reset iSLIP's pointer state -- "
+                f"call reset() first if the change is intended"
+            )
         return islip_match(matrix, self._grant_pointers, self._accept_pointers, self.iterations)
 
     def reset(self) -> None:

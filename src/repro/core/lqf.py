@@ -67,7 +67,14 @@ class LQFScheduler:
     needs_occupancy = True
 
     def __init__(self, seed: Optional[int] = None):
-        self._rng = np.random.default_rng(seed)
+        if seed is not None:
+            self._rng = np.random.default_rng(seed)
+        else:
+            # Deterministic fallback (repro.sim.rng default-seed
+            # policy); imported lazily to dodge the sim <-> core cycle.
+            from repro.sim.rng import default_generator
+
+            self._rng = default_generator("lqf")
 
     def schedule(self, requests: np.ndarray, occupancy: Optional[np.ndarray] = None) -> Matching:
         """Return this slot's matching from the occupancy matrix."""

@@ -42,6 +42,17 @@ import numpy as np
 
 from repro.core.matching import Matching, as_request_matrix
 
+
+def _default_generator(component: str):
+    """Deterministic ``seed=None`` fallback (repro.sim.rng policy).
+
+    Imported lazily: ``repro.sim``'s package init pulls in the
+    fast-path simulator, which imports this module back.
+    """
+    from repro.sim.rng import default_generator
+
+    return default_generator(component)
+
 __all__ = [
     "PIMResult",
     "PIMIterationTrace",
@@ -403,7 +414,14 @@ class BatchPIMScheduler:
         self.iterations = iterations
         self.accept = accept
         self.output_capacity = output_capacity
-        self._rng = rng if rng is not None else np.random.default_rng(seed)
+        if rng is not None:
+            self._rng = rng
+        elif seed is not None:
+            self._rng = np.random.default_rng(seed)
+        else:
+            # Deterministic fallback (see repro.sim.rng default-seed
+            # policy): identical configs must be replayable.
+            self._rng = _default_generator("pim_batch")
         self._pointers = np.zeros((replicas, ports), dtype=np.int64)
         self.track_sizes = track_sizes
         #: (B, K) cumulative matching sizes of the last schedule() call
@@ -619,7 +637,13 @@ class PIMScheduler:
         # source (e.g. repro.hardware.random_select.lfsr_pim_rng) for
         # the Section 3.3 randomness-approximation ablation; it only
         # needs a numpy-compatible ``random(shape)``.
-        self._rng = rng if rng is not None else np.random.default_rng(seed)
+        if rng is not None:
+            self._rng = rng
+        elif seed is not None:
+            self._rng = np.random.default_rng(seed)
+        else:
+            # Deterministic fallback (repro.sim.rng default-seed policy).
+            self._rng = _default_generator("pim")
         self._pointers: Optional[np.ndarray] = None
         self.last_result: Optional[PIMResult] = None
         self._probe = None

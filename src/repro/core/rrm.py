@@ -23,6 +23,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.islip import validate_pointer_array
 from repro.core.matching import Matching, as_request_matrix
 
 __all__ = ["RRMScheduler", "rrm_match"]
@@ -37,12 +38,15 @@ def rrm_match(
     """One slot of RRM; pointers advance unconditionally each slot.
 
     Parameters mirror :func:`repro.core.islip.islip_match`; both
-    pointer arrays are mutated in place.
+    pointer arrays are mutated in place and validated the same way
+    (int64, shape ``(N,)``, values in ``[0, N)``).
     """
     matrix = as_request_matrix(requests)
     n = matrix.shape[0]
     if iterations < 1:
         raise ValueError(f"iterations must be >= 1, got {iterations}")
+    validate_pointer_array(grant_pointers, n, "grant_pointers")
+    validate_pointer_array(accept_pointers, n, "accept_pointers")
     input_matched = np.zeros(n, dtype=bool)
     output_matched = np.zeros(n, dtype=bool)
     pairs: List[Tuple[int, int]] = []
@@ -103,9 +107,15 @@ class RRMScheduler:
         """Return this slot's matching and advance all pointers."""
         matrix = as_request_matrix(requests)
         n = matrix.shape[0]
-        if self._grant_pointers is None or self._grant_pointers.shape[0] != n:
+        if self._grant_pointers is None:
             self._grant_pointers = np.zeros(n, dtype=np.int64)
             self._accept_pointers = np.zeros(n, dtype=np.int64)
+        elif self._grant_pointers.shape[0] != n:
+            raise ValueError(
+                f"request matrix is {n}x{n} but pointers were sized for "
+                f"{self._grant_pointers.shape[0]} ports; call reset() "
+                f"before changing the switch size mid-run"
+            )
         return rrm_match(matrix, self._grant_pointers, self._accept_pointers, self.iterations)
 
     def reset(self) -> None:

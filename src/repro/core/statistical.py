@@ -43,6 +43,15 @@ from repro.core.pim import pim_match
 __all__ = ["StatisticalMatcher", "virtual_grant_pmf"]
 
 
+#: Relative tolerance of the tail-sum sanity check in
+#: :func:`virtual_grant_pmf`.  With log-space term evaluation each
+#: term carries only a few ulp of error, so even the X = 10^4 tail
+#: (thousands of terms) stays well inside 1e-12; a tail exceeding 1 by
+#: more than this indicates a genuine formula bug rather than float
+#: round-off.
+_PMF_TAIL_TOLERANCE = 1e-12
+
+
 def virtual_grant_pmf(x_ij: int, x_total: int) -> np.ndarray:
     """Conditional virtual-grant distribution for a granted input.
 
@@ -53,21 +62,36 @@ def virtual_grant_pmf(x_ij: int, x_total: int) -> np.ndarray:
 
     so that grant-probability x_ij/X times this conditional equals the
     unconditional Binomial(x_ij, 1/X) for every m >= 1.
+
+    Terms are evaluated in log space: the direct product overflows
+    (``C(x_ij, m)`` exceeds float range around x_ij ~ 1030) and
+    underflows (``(1/X)^m`` hits 0 near m ~ 308 for X = 10^4) long
+    before the paper-scale allocations of X = 10^4 units, and the old
+    ``p[0] = max(0.0, 1 - tail)`` clamp silently hid any tail-sum
+    error those extremes produced.  The log-gamma form keeps every
+    term finite, and the tail-sum check is correspondingly tightened
+    to :data:`_PMF_TAIL_TOLERANCE`.
     """
     if x_ij < 1:
         raise ValueError(f"x_ij must be >= 1, got {x_ij}")
     if x_total < x_ij:
         raise ValueError(f"x_total ({x_total}) must be >= x_ij ({x_ij})")
     p = np.zeros(x_ij + 1)
+    log_q = math.log1p(-1.0 / x_total) if x_total > 1 else -math.inf
+    log_unit = math.log(x_total)  # log(1/X) = -log_unit
+    log_scale = math.log(x_total) - math.log(x_ij)  # the X / x_ij factor
+    lgamma = math.lgamma
     for m in range(1, x_ij + 1):
-        p[m] = (
-            math.comb(x_ij, m)
-            * (1.0 / x_total) ** m
-            * ((x_total - 1.0) / x_total) ** (x_ij - m)
-            * (x_total / x_ij)
+        log_comb = (
+            lgamma(x_ij + 1) - lgamma(m + 1) - lgamma(x_ij - m + 1)
         )
+        # 0 * log(0) would be nan for the x_total == 1, m == x_ij
+        # corner; the mathematically-right value of q^0 is 1.
+        log_tail_factor = (x_ij - m) * log_q if m < x_ij else 0.0
+        log_term = log_comb - m * log_unit + log_tail_factor + log_scale
+        p[m] = math.exp(log_term)
     tail = p[1:].sum()
-    if tail > 1.0 + 1e-9:
+    if tail > 1.0 + _PMF_TAIL_TOLERANCE:
         raise AssertionError(f"virtual-grant pmf exceeds 1: {tail}")
     p[0] = max(0.0, 1.0 - tail)
     return p
@@ -89,7 +113,15 @@ class StatisticalMatcher:
         Independent grant/accept rounds per slot (the paper shows 2
         captures nearly all the benefit).
     seed:
-        Seed for this matcher's private random stream.
+        Seed for this matcher's private random streams.  ``None``
+        falls back to the deterministic :mod:`repro.sim.rng` policy so
+        identical configs are replayable.  The statistical
+        grant/accept draws and the PIM fill phase consume *separate*
+        streams derived from this seed: the statistical draws of a
+        ``fill=True`` matcher are therefore identical, draw for draw,
+        to those of a ``fill=False`` matcher with the same seed -- the
+        coupling behind the differential harness's metamorphic check
+        that filling never carries less.
     fill:
         When True, slots and ports left idle by statistical matching
         are filled with ordinary PIM over the remaining requests
@@ -129,7 +161,19 @@ class StatisticalMatcher:
         self.rounds = rounds
         self.fill = fill
         self.fill_iterations = fill_iterations
+        if seed is None:
+            # Deterministic fallback (repro.sim.rng default-seed
+            # policy); imported lazily to dodge the sim <-> core cycle.
+            from repro.sim.rng import default_seed
+
+            seed = default_seed("statistical")
         self._rng = np.random.default_rng(seed)
+        # The fill phase draws from its own derived stream so that the
+        # statistical draws are a pure function of (seed, slot index),
+        # independent of whether filling is enabled.
+        from repro.sim.rng import derive_seed
+
+        self._fill_rng = np.random.default_rng(derive_seed(seed, "statistical/fill"))
         self._alloc = matrix
         self._pmf_cache: Dict[int, np.ndarray] = {}
         self._rebuild_tables()
@@ -267,7 +311,7 @@ class StatisticalMatcher:
             residual[i, :] = False
         for j in taken_outputs:
             residual[:, j] = False
-        fill_result = pim_match(residual, self._rng, iterations=self.fill_iterations)
+        fill_result = pim_match(residual, self._fill_rng, iterations=self.fill_iterations)
         return Matching.from_pairs(pairs + list(fill_result.matching.pairs))
 
     def reset(self) -> None:

@@ -59,7 +59,14 @@ class WindowedFIFOScheduler:
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
         self.window = window
-        self._rng = np.random.default_rng(seed)
+        if seed is not None:
+            self._rng = np.random.default_rng(seed)
+        else:
+            # Deterministic fallback (repro.sim.rng default-seed
+            # policy); imported lazily to dodge the sim <-> core cycle.
+            from repro.sim.rng import default_generator
+
+            self._rng = default_generator("windowed_fifo")
 
     def arbitrate(self, windows: Sequence[Sequence[int]]) -> List[Tuple[int, int, int]]:
         """Match inputs to outputs over the window.

@@ -82,7 +82,13 @@ class TableSelector:
             raise ValueError(f"n must be >= 1, got {n}")
         if rows < 1:
             raise ValueError(f"rows must be >= 1, got {rows}")
-        rng = np.random.default_rng(seed)
+        if seed is not None:
+            rng = np.random.default_rng(seed)
+        else:
+            # Deterministic fallback (repro.sim.rng default-seed policy).
+            from repro.sim.rng import default_generator
+
+            rng = default_generator("hardware/table_selector")
         self.n = n
         self._table = np.stack([rng.permutation(n) for _ in range(rows)])
         self._row = 0

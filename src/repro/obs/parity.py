@@ -133,10 +133,13 @@ def diff_backends(
     load: float,
     slots: int,
     drain_slots: int = 500,
-    iterations: int = 4,
+    iterations: Optional[int] = 4,
     traffic_seed: int = 0,
     object_match_seed: int = 1,
     fast_match_seed: int = 2,
+    accept: str = "random",
+    output_capacity: int = 1,
+    object_scheduler=None,
 ) -> ParityReport:
     """Run both backends on seed-matched arrivals and diff their traces.
 
@@ -145,19 +148,44 @@ def diff_backends(
     to empty carry exactly what was offered).  Returns a
     :class:`ParityReport`; assert on ``report.ok`` and print
     ``report.describe()`` on failure.
+
+    The full fast-path configuration space is exposed: ``iterations``
+    (including ``None`` = run to convergence), the ``accept`` policy,
+    and ``output_capacity`` (the object switch then runs with a
+    matching ``speedup``).  ``object_scheduler`` substitutes an
+    arbitrary scheduler on the object side -- the totals invariant
+    only needs both switches to be lossless and drained, so any
+    work-conserving scheduler must still carry exactly what was
+    offered; this is how the differential harness checks non-PIM
+    schedulers against the fast path's PIM reference.
     """
     # Imported lazily so repro.obs stays importable without pulling the
     # full simulator stack in (and to avoid an import cycle with the
     # probe wiring inside the backends).
     from repro.core.pim import PIMScheduler
     from repro.sim.fastpath import run_fastpath
+    from repro.switch.fabric import ReplicatedBanyanFabric
     from repro.switch.switch import CrossbarSwitch
     from repro.traffic.uniform import UniformTraffic
 
     total = slots + drain_slots
 
     obj_sink = InMemorySink()
-    switch = CrossbarSwitch(ports, PIMScheduler(iterations=iterations, seed=object_match_seed))
+    if object_scheduler is None:
+        object_scheduler = PIMScheduler(
+            iterations=iterations,
+            seed=object_match_seed,
+            accept=accept,
+            output_capacity=output_capacity,
+        )
+    fabric = (
+        ReplicatedBanyanFabric(ports, copies=output_capacity)
+        if output_capacity > 1
+        else None
+    )
+    switch = CrossbarSwitch(
+        ports, object_scheduler, fabric=fabric, speedup=output_capacity
+    )
     traffic = _DrainTraffic(UniformTraffic(ports, load=load, seed=traffic_seed), slots)
     switch.run(traffic, slots=total, probe=Probe(obj_sink))
 
@@ -168,6 +196,8 @@ def diff_backends(
         slots,
         replicas=1,
         iterations=iterations,
+        accept=accept,
+        output_capacity=output_capacity,
         seed=fast_match_seed,
         arrival_seeds=[traffic_seed],
         drain_slots=drain_slots,

@@ -79,6 +79,15 @@ class FastpathResult:
         (B, N) per-port counters inside the window.
     final_backlog:
         (B,) cells still queued when the run ended.
+    warmup_mode:
+        ``"slot"`` (whole-slot truncation, the historical convention)
+        or ``"arrival"`` (delay attributed by *arrival* slot, matching
+        :class:`repro.sim.stats.DelayStats`).
+    delay_cells, delay_integral:
+        Arrival-mode only ((B,) arrays, else None): departures of
+        cells that *arrived* at slot >= warmup, and the backlog
+        integral restricted to those cells.  ``mean_delay`` uses these
+        when present.
     """
 
     ports: int
@@ -93,10 +102,27 @@ class FastpathResult:
     arrivals_by_input: np.ndarray
     departures_by_output: np.ndarray
     final_backlog: np.ndarray
+    warmup_mode: str = "slot"
+    delay_cells: Optional[np.ndarray] = None
+    delay_integral: Optional[np.ndarray] = None
 
     @property
     def mean_delay(self) -> float:
-        """Pooled mean queueing delay in slots (Little's law)."""
+        """Pooled mean queueing delay in slots (Little's law).
+
+        In ``warmup_mode="arrival"`` the estimator counts only cells
+        that arrived inside the measurement window, so over a drained
+        run it equals the object backend's ``DelayStats`` mean exactly;
+        in ``"slot"`` mode it is the historical whole-slot-truncation
+        estimate (biased low near the warmup boundary: cells that
+        arrived before warmup but departed after contribute departures
+        without their pre-warmup queueing).
+        """
+        if self.delay_cells is not None:
+            cells = int(self.delay_cells.sum())
+            if cells == 0:
+                return 0.0
+            return float(self.delay_integral.sum()) / cells
         carried = int(self.carried_cells.sum())
         if carried == 0:
             return 0.0
@@ -105,6 +131,13 @@ class FastpathResult:
     @property
     def mean_delay_by_replica(self) -> np.ndarray:
         """(B,) mean delay per replica (0.0 where nothing departed)."""
+        if self.delay_cells is not None:
+            cells = self.delay_cells
+            return np.where(
+                cells > 0,
+                self.delay_integral / np.maximum(cells, 1),
+                0.0,
+            )
         carried = self.carried_cells
         return np.where(
             carried > 0,
@@ -290,6 +323,7 @@ def run_fastpath(
     check: bool = False,
     probe=None,
     trace_stride: Optional[int] = None,
+    warmup_mode: str = "slot",
 ) -> FastpathResult:
     """Simulate B replicas of an N x N PIM crossbar, vectorized.
 
@@ -334,6 +368,19 @@ def run_fastpath(
         Convenience override of ``probe.stride`` for this run; raise
         it (e.g. to 64) so tracing samples the volume-heavy events
         without serializing every slot.
+    warmup_mode:
+        How warmup truncation attributes delay.  ``"slot"`` (default)
+        keeps the historical convention: every counter simply ignores
+        slots < warmup, so cells that arrived *before* warmup but
+        departed after still contribute departures (and their residual
+        queueing) to the Little's-law estimate.  ``"arrival"`` matches
+        :class:`repro.sim.stats.DelayStats`, which keys its warmup
+        filter on the *arrival* slot: cells present at the start of
+        slot ``warmup`` are tracked as "legacy" per VOQ (FIFO order
+        means they depart first), their departures are excluded from
+        ``delay_cells`` and their occupancy from ``delay_integral``,
+        so over a drained run ``mean_delay`` equals the object
+        backend's arrival-keyed mean exactly.
 
     Returns a :class:`FastpathResult`.
     """
@@ -346,6 +393,10 @@ def run_fastpath(
     total_slots = slots + drain_slots
     if not 0 <= warmup < total_slots:
         raise ValueError(f"warmup must be in [0, {total_slots}), got {warmup}")
+    if warmup_mode not in ("slot", "arrival"):
+        raise ValueError(
+            f"warmup_mode must be 'slot' or 'arrival', got {warmup_mode!r}"
+        )
 
     streams = RandomStreams(seed)
     scheduler = BatchPIMScheduler(
@@ -381,9 +432,18 @@ def run_fastpath(
     backlog_integral = np.zeros(replicas, dtype=np.int64)
     arrivals_by_input = np.zeros((replicas, ports), dtype=np.int64)
     departures_by_output = np.zeros((replicas, ports), dtype=np.int64)
+    arrival_keyed = warmup_mode == "arrival"
+    legacy: Optional[np.ndarray] = None
+    delay_cells = np.zeros(replicas, dtype=np.int64) if arrival_keyed else None
+    delay_integral = np.zeros(replicas, dtype=np.int64) if arrival_keyed else None
 
     for slot in range(total_slots):
         counts = source.slot_counts() if slot < slots else None
+        if arrival_keyed and slot == warmup:
+            # Cells still queued at the start of the warmup boundary
+            # arrived before it; per-VOQ FIFO order guarantees they
+            # depart before anything arriving from here on.
+            legacy = switch.occupancy.copy()
         if traced:
             # begin_slot must precede step() so the scheduler's
             # per-iteration emission sees the right slot/sampling flag.
@@ -408,6 +468,14 @@ def run_fastpath(
             bb * ports + jj, minlength=replicas * ports
         ).reshape(replicas, ports)
         backlog_integral += switch.backlog()
+        if arrival_keyed:
+            # At most one departure per (replica, input) per slot, so
+            # the (bb, ii, jj) triples are unique and fancy-indexed
+            # decrements are safe.
+            was_legacy = legacy[bb, ii, jj] > 0
+            legacy[bb[was_legacy], ii[was_legacy], jj[was_legacy]] -= 1
+            delay_cells += np.bincount(bb[~was_legacy], minlength=replicas)
+            delay_integral += (switch.occupancy - legacy).sum(axis=(1, 2))
 
     return FastpathResult(
         ports=ports,
@@ -422,4 +490,7 @@ def run_fastpath(
         arrivals_by_input=arrivals_by_input,
         departures_by_output=departures_by_output,
         final_backlog=switch.backlog(),
+        warmup_mode=warmup_mode,
+        delay_cells=delay_cells,
+        delay_integral=delay_integral,
     )

@@ -106,12 +106,13 @@ class DelayStats:
     discarded; a cell that arrives in slot ``warmup`` is counted no
     matter how late it departs.  This is deliberate -- filtering on
     departures would bias the window toward short delays (cells that
-    arrived late in the transient but cleared quickly).  Note the
-    asymmetry with the fast-path backend's Little's-law estimator
-    (:class:`repro.sim.fastpath.FastpathResult`), which instead drops
-    whole *slots* before ``warmup`` from its backlog integral; the two
-    agree in steady state but differ at the boundary by O(backlog)
-    cells.
+    arrived late in the transient but cleared quickly).  The fast-path
+    backend's Little's-law estimator follows the same arrival-keyed
+    convention when run with ``warmup_mode="arrival"``
+    (:func:`repro.sim.fastpath.run_fastpath`); its historical default
+    ``"slot"`` mode instead drops whole slots before ``warmup`` from
+    the backlog integral, which agrees in steady state but differs at
+    the boundary by O(backlog) cells.
 
     Attributes
     ----------

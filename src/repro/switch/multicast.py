@@ -71,7 +71,13 @@ class MulticastPIMScheduler:
         if iterations < 1:
             raise ValueError(f"iterations must be >= 1, got {iterations}")
         self.iterations = iterations
-        self._rng = np.random.default_rng(seed)
+        if seed is not None:
+            self._rng = np.random.default_rng(seed)
+        else:
+            # Deterministic fallback (repro.sim.rng default-seed policy).
+            from repro.sim.rng import default_generator
+
+            self._rng = default_generator("multicast_pim")
 
     def schedule(self, heads: Sequence[Optional[Set[int]]], ports: int) -> List[Set[int]]:
         """Choose the output set each input transmits to this slot.

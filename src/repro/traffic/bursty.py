@@ -59,7 +59,13 @@ class BurstyTraffic:
         self.ports = ports
         self.load = load
         self.burst_length = burst_length
-        self._rng = np.random.default_rng(seed)
+        if seed is not None:
+            self._rng = np.random.default_rng(seed)
+        else:
+            # Deterministic fallback (repro.sim.rng default-seed policy).
+            from repro.sim.rng import default_generator
+
+            self._rng = default_generator("traffic/bursty")
         self._p_end_on = 1.0 / burst_length
         if load > 0:
             mean_off = burst_length * (1.0 - load) / load

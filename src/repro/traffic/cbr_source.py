@@ -65,7 +65,13 @@ class CBRSource:
         self.flows = list(flows)
         self.frame_slots = frame_slots
         self.jitter = jitter
-        self._rng = np.random.default_rng(seed)
+        if seed is not None:
+            self._rng = np.random.default_rng(seed)
+        else:
+            # Deterministic fallback (repro.sim.rng default-seed policy).
+            from repro.sim.rng import default_generator
+
+            self._rng = default_generator("traffic/cbr")
         self._seqno: Dict[int, int] = {}
         self._emission_slots: Dict[int, set] = {}
         self._current_frame = -1

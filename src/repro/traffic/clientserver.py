@@ -95,7 +95,13 @@ class ClientServerTraffic:
         for i in range(ports):
             if row_loads[i] > 0:
                 self._dest_p[i] = self._rates[i] / row_loads[i]
-        self._rng = np.random.default_rng(seed)
+        if seed is not None:
+            self._rng = np.random.default_rng(seed)
+        else:
+            # Deterministic fallback (repro.sim.rng default-seed policy).
+            from repro.sim.rng import default_generator
+
+            self._rng = default_generator("traffic/clientserver")
         self._seqno: Dict[int, int] = {}
 
     @property

@@ -74,7 +74,13 @@ class PeriodicTraffic:
         self.load = load
         self.staggered = staggered
         self.burst = burst
-        self._rng = np.random.default_rng(seed)
+        if seed is not None:
+            self._rng = np.random.default_rng(seed)
+        else:
+            # Deterministic fallback (repro.sim.rng default-seed policy).
+            from repro.sim.rng import default_generator
+
+            self._rng = default_generator("traffic/periodic")
         self._position = np.zeros(ports, dtype=np.int64)
         self._seqno: Dict[int, int] = {}
 

@@ -56,7 +56,13 @@ class UniformTraffic:
         self.ports = ports
         self.load = load
         self.exclude_self = exclude_self
-        self._rng = np.random.default_rng(seed)
+        if seed is not None:
+            self._rng = np.random.default_rng(seed)
+        else:
+            # Deterministic fallback (repro.sim.rng default-seed policy).
+            from repro.sim.rng import default_generator
+
+            self._rng = default_generator("traffic/uniform")
         self._seqno: Dict[int, int] = {}
 
     def _flow_id(self, input_port: int, output_port: int) -> int:

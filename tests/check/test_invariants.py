@@ -1,0 +1,211 @@
+"""Unit tests for the invariant checkers themselves.
+
+Each checker is exercised both ways: it stays silent on a healthy run
+and it *fires* on a synthetically-broken one -- a checker that can't
+catch the bug it was built for is worse than no checker.
+"""
+
+import numpy as np
+import pytest
+
+from repro.check.invariants import (
+    CheckingScheduler,
+    InvariantSink,
+    InvariantViolation,
+    check_conservation,
+)
+from repro.core.islip import ISLIPScheduler
+from repro.core.lqf import LQFScheduler
+from repro.core.matching import Matching
+from repro.core.pim import PIMScheduler
+from repro.core.rrm import RRMScheduler
+from repro.core.wavefront import WavefrontScheduler
+from repro.obs.events import CellDeparture, CrossbarTransfer, SlotBegin, VoqSnapshot
+from repro.obs.probe import Probe
+from repro.obs.sinks import InMemorySink
+from repro.sim.fastpath import run_fastpath
+from repro.switch.switch import CrossbarSwitch
+from repro.traffic.uniform import UniformTraffic
+
+
+class TestInvariantSink:
+    def test_healthy_stream_passes(self):
+        sink = InvariantSink()
+        sink.write(SlotBegin(slot=0, arrivals=3, backlog=0))
+        sink.write(CrossbarTransfer(slot=0, cells=2))
+        sink.write(SlotBegin(slot=1, arrivals=0, backlog=1))
+        sink.write(CrossbarTransfer(slot=1, cells=1))
+        sink.write(SlotBegin(slot=2, arrivals=0, backlog=0))
+        assert sink.slots_checked == 3
+
+    def test_backlog_discontinuity_fires(self):
+        sink = InvariantSink()
+        sink.write(SlotBegin(slot=0, arrivals=3, backlog=0))
+        sink.write(CrossbarTransfer(slot=0, cells=2))
+        with pytest.raises(InvariantViolation, match="backlog-continuity"):
+            sink.write(SlotBegin(slot=1, arrivals=0, backlog=5))
+
+    def test_negative_delay_fires(self):
+        sink = InvariantSink()
+        with pytest.raises(InvariantViolation, match="non-negative-delay"):
+            sink.write(CellDeparture(slot=3, input=0, output=1, delay=-1))
+
+    def test_negative_voq_fires(self):
+        sink = InvariantSink()
+        snapshot = VoqSnapshot.from_matrix(0, np.array([[1, 0], [0, -2]]))
+        with pytest.raises(InvariantViolation, match="voq-non-negative"):
+            sink.write(snapshot)
+
+    def test_forwarding_composes_with_recording(self):
+        inner = InMemorySink()
+        sink = InvariantSink(forward=inner)
+        sink.write(SlotBegin(slot=0, arrivals=1, backlog=0))
+        assert [e.kind for e in inner.events] == ["slot_begin"]
+
+    def test_object_backend_run_passes(self):
+        switch = CrossbarSwitch(8, PIMScheduler(seed=1))
+        switch.run(
+            UniformTraffic(8, load=0.8, seed=2),
+            slots=300,
+            probe=Probe(InvariantSink()),
+        )
+
+    def test_fastpath_run_passes_pooled_over_replicas(self):
+        run_fastpath(
+            ports=8,
+            load=0.8,
+            slots=200,
+            replicas=3,
+            seed=5,
+            probe=Probe(InvariantSink()),
+        )
+
+
+class _BadScheduler:
+    """Returns a configurable bogus matching; used to prove the checker bites."""
+
+    name = "pim"
+    iterations = 4
+
+    def __init__(self, pairs):
+        self._pairs = pairs
+        self.last_result = None
+
+    def schedule(self, requests):
+        return Matching.from_pairs(self._pairs, validate_outputs=False)
+
+    def reset(self):
+        pass
+
+
+class TestCheckingScheduler:
+    def test_all_real_schedulers_pass(self):
+        requests = np.random.default_rng(0).random((8, 8)) < 0.4
+        for scheduler in (
+            PIMScheduler(seed=0),
+            PIMScheduler(iterations=None, seed=1),
+            ISLIPScheduler(iterations=8),
+            RRMScheduler(iterations=1),
+            WavefrontScheduler(),
+        ):
+            checked = CheckingScheduler(scheduler)
+            checked.schedule(requests)
+            assert checked.slots_checked == 1
+
+    def test_needs_occupancy_passthrough(self):
+        checked = CheckingScheduler(LQFScheduler(seed=0))
+        assert checked.needs_occupancy
+        occupancy = np.random.default_rng(1).integers(0, 4, size=(6, 6))
+        checked.schedule(occupancy > 0, occupancy)
+
+    def test_unrequested_pair_fires(self):
+        requests = np.zeros((4, 4), dtype=bool)
+        requests[0, 0] = True
+        checked = CheckingScheduler(_BadScheduler([(1, 1)]))
+        with pytest.raises(InvariantViolation, match="match-requested"):
+            checked.schedule(requests)
+
+    def test_duplicate_output_fires(self):
+        requests = np.ones((4, 4), dtype=bool)
+        checked = CheckingScheduler(_BadScheduler([(0, 2), (1, 2)]))
+        with pytest.raises(InvariantViolation, match="match-validity"):
+            checked.schedule(requests)
+
+    def test_out_of_range_pair_fires(self):
+        requests = np.ones((2, 2), dtype=bool)
+        checked = CheckingScheduler(_BadScheduler([(0, 3)]))
+        with pytest.raises(InvariantViolation, match="match-in-range"):
+            checked.schedule(requests)
+
+    def test_nonmaximal_wavefront_fires(self):
+        class LazyWavefront:
+            name = "wavefront"
+
+            def schedule(self, requests):
+                return Matching.from_pairs([])  # maximality promised, not kept
+
+            def reset(self):
+                pass
+
+        requests = np.ones((4, 4), dtype=bool)
+        checked = CheckingScheduler(LazyWavefront())
+        with pytest.raises(InvariantViolation, match="maximality"):
+            checked.schedule(requests)
+
+    def test_pim_completed_claim_is_checked(self):
+        class LyingPIM:
+            """Claims convergence on a matching that is not maximal."""
+
+            name = "pim"
+            iterations = 4
+
+            class _Result:
+                completed = True
+
+            last_result = _Result()
+
+            def schedule(self, requests):
+                return Matching.from_pairs([])
+
+            def reset(self):
+                pass
+
+        requests = np.ones((4, 4), dtype=bool)
+        checked = CheckingScheduler(LyingPIM())
+        with pytest.raises(InvariantViolation, match="maximality"):
+            checked.schedule(requests)
+
+    def test_statistical_never_requires_maximality(self):
+        class IdleStatistical:
+            name = "statistical"
+
+            def schedule(self, requests):
+                return Matching.from_pairs([])
+
+            def reset(self):
+                pass
+
+        requests = np.ones((4, 4), dtype=bool)
+        CheckingScheduler(IdleStatistical()).schedule(requests)  # no raise
+
+
+class TestConservation:
+    def test_object_backend_conserves(self):
+        switch = CrossbarSwitch(8, PIMScheduler(seed=3))
+        result = switch.run(UniformTraffic(8, load=0.9, seed=4), slots=400)
+        check_conservation(result)
+
+    def test_fastpath_conserves_per_replica(self):
+        result = run_fastpath(ports=8, load=0.9, slots=300, replicas=4, seed=6)
+        check_conservation(result)
+
+    def test_rejects_warmup_runs(self):
+        result = run_fastpath(ports=4, load=0.5, slots=100, warmup=10, seed=7)
+        with pytest.raises(ValueError, match="warmup"):
+            check_conservation(result)
+
+    def test_fires_on_corrupted_counters(self):
+        result = run_fastpath(ports=4, load=0.5, slots=100, seed=8)
+        result.carried_cells = result.carried_cells + 1
+        with pytest.raises(InvariantViolation, match="conservation"):
+            check_conservation(result)

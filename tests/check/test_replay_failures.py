@@ -1,0 +1,28 @@
+"""Replay shrunk fuzz reproducers as pytest regressions.
+
+``repro-an2 check --out tests/check/failures`` writes every shrunk
+failing case here as ``case_<seed>.json``; this module picks them up
+automatically, so promoting a fuzz finding to a permanent regression
+test is just committing the file.  With no files present the module
+collects nothing (the harness is healthy).
+"""
+
+import pathlib
+
+import pytest
+
+from repro.check.fuzz import load_case, run_case
+
+FAILURE_DIR = pathlib.Path(__file__).parent / "failures"
+CASES = sorted(FAILURE_DIR.glob("case_*.json")) if FAILURE_DIR.is_dir() else []
+
+
+@pytest.mark.parametrize("path", CASES, ids=lambda p: p.stem)
+def test_replay(path):
+    run_case(load_case(path.read_text()))
+
+
+def test_no_unfixed_reproducers_note():
+    """Document the mechanism even when the directory is empty."""
+    if not CASES:
+        assert True  # healthy: no outstanding reproducers

@@ -110,8 +110,11 @@ class TestISLIPScheduler:
         with pytest.raises(ValueError, match=">= 1"):
             ISLIPScheduler(iterations=0)
 
-    def test_adapts_to_port_count(self):
+    def test_rejects_mid_run_size_change(self):
         scheduler = ISLIPScheduler()
         scheduler.schedule(np.ones((4, 4), dtype=bool))
-        scheduler.schedule(np.ones((8, 8), dtype=bool))  # re-allocates
+        with pytest.raises(ValueError, match="reset"):
+            scheduler.schedule(np.ones((8, 8), dtype=bool))
+        scheduler.reset()
+        scheduler.schedule(np.ones((8, 8), dtype=bool))
         assert scheduler._grant_pointers.shape[0] == 8

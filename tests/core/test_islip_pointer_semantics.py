@@ -65,3 +65,79 @@ class TestIterationOnePointerRule:
         matching = islip_match(requests, grant_ptr, accept_ptr)
         # Both outputs grant input 0; from pointer 2, output 3 wins.
         assert (0, 3) in matching.pairs
+
+
+class TestPointerValidation:
+    """Regressions for the silent-mutation and silent-reset bugs."""
+
+    def test_rejects_float_pointer_arrays(self):
+        requests = np.ones((4, 4), dtype=bool)
+        grant_ptr = np.zeros(4, dtype=np.float64)
+        accept_ptr = np.zeros(4, dtype=np.int64)
+        with pytest.raises(ValueError, match="int64"):
+            islip_match(requests, grant_ptr, accept_ptr)
+        # The rejected array must not have been mutated.
+        assert (grant_ptr == 0).all()
+
+    def test_rejects_int32_pointer_arrays(self):
+        requests = np.ones((4, 4), dtype=bool)
+        with pytest.raises(ValueError, match="int64"):
+            islip_match(
+                requests,
+                np.zeros(4, dtype=np.int32),
+                np.zeros(4, dtype=np.int32),
+            )
+
+    def test_rejects_lists(self):
+        requests = np.ones((4, 4), dtype=bool)
+        with pytest.raises(ValueError, match="numpy array"):
+            islip_match(requests, [0, 0, 0, 0], np.zeros(4, dtype=np.int64))
+
+    def test_rejects_wrong_shape(self):
+        requests = np.ones((4, 4), dtype=bool)
+        with pytest.raises(ValueError, match="shape"):
+            islip_match(
+                requests,
+                np.zeros(3, dtype=np.int64),
+                np.zeros(4, dtype=np.int64),
+            )
+
+    def test_rejects_out_of_range_values(self):
+        requests = np.ones((4, 4), dtype=bool)
+        bad = np.array([0, 1, 7, 0], dtype=np.int64)
+        with pytest.raises(ValueError, match=r"\[0, 4\)"):
+            islip_match(requests, np.zeros(4, dtype=np.int64), bad)
+
+    def test_rrm_match_validates_too(self):
+        from repro.core.rrm import rrm_match
+
+        requests = np.ones((4, 4), dtype=bool)
+        with pytest.raises(ValueError, match="int64"):
+            rrm_match(
+                requests,
+                np.zeros(4, dtype=np.float32),
+                np.zeros(4, dtype=np.int64),
+            )
+
+
+class TestSchedulerSizeChange:
+    def test_islip_scheduler_raises_on_size_change(self):
+        from repro.core.islip import ISLIPScheduler
+
+        scheduler = ISLIPScheduler()
+        scheduler.schedule(np.ones((4, 4), dtype=bool))
+        before = scheduler._grant_pointers.copy()
+        with pytest.raises(ValueError, match="reset"):
+            scheduler.schedule(np.ones((6, 6), dtype=bool))
+        # The failed call must not have clobbered the pointer state.
+        assert (scheduler._grant_pointers == before).all()
+
+    def test_rrm_scheduler_raises_on_size_change(self):
+        from repro.core.rrm import RRMScheduler
+
+        scheduler = RRMScheduler()
+        scheduler.schedule(np.ones((4, 4), dtype=bool))
+        with pytest.raises(ValueError, match="reset"):
+            scheduler.schedule(np.ones((2, 2), dtype=bool))
+        scheduler.reset()
+        scheduler.schedule(np.ones((2, 2), dtype=bool))

@@ -1,0 +1,91 @@
+"""Numeric regressions for the Appendix C virtual-grant pmf.
+
+The pre-fix implementation multiplied ``C(x_ij, m) * (1/X)**m *
+((X-1)/X)**(x_ij-m)`` directly: ``math.comb`` overflows float range
+around x_ij ~ 1030 (OverflowError at paper-scale X = 10^4 allocations)
+and ``(1/X)**m`` underflows to exactly 0 near m ~ 308, silently
+zeroing mid-range terms.  The log-gamma rewrite keeps every term
+finite; these tests pin the fixed values against exact
+arbitrary-precision rational arithmetic.
+"""
+
+from fractions import Fraction
+from math import comb
+
+import numpy as np
+import pytest
+
+from repro.core.statistical import virtual_grant_pmf
+
+
+def exact_unconditional(x_ij: int, x_total: int, m: int) -> Fraction:
+    """Binomial(x_ij, 1/X) pmf at m, computed exactly."""
+    return (
+        Fraction(comb(x_ij, m))
+        * Fraction(1, x_total) ** m
+        * Fraction(x_total - 1, x_total) ** (x_ij - m)
+    )
+
+
+class TestExactAgreement:
+    @pytest.mark.parametrize("x_ij,x_total", [(3, 7), (16, 16), (40, 100)])
+    def test_small_sizes_match_exact_binomial_everywhere(self, x_ij, x_total):
+        p = virtual_grant_pmf(x_ij, x_total)
+        scale = Fraction(x_ij, x_total)
+        for m in range(1, x_ij + 1):
+            expected = float(exact_unconditional(x_ij, x_total, m) / scale)
+            assert p[m] == pytest.approx(expected, rel=1e-12)
+
+    @pytest.mark.parametrize(
+        "x_ij,x_total",
+        [(2000, 10_000), (10_000, 10_000), (1030, 1030), (5000, 10_000)],
+    )
+    def test_paper_scale_matches_exact_binomial(self, x_ij, x_total):
+        """Regression: these sizes previously overflowed or underflowed.
+
+        x_ij = 1030 is right past the ``comb`` float-overflow knee;
+        X = 10^4 is the Appendix C allocation scale named in the
+        acceptance criteria.  Spot-check the head of the distribution
+        (where the mass lives -- the mean virtual-grant count is
+        x_ij/X <= 1) against exact rationals.
+        """
+        p = virtual_grant_pmf(x_ij, x_total)
+        scale = Fraction(x_ij, x_total)
+        for m in (1, 2, 3, 5, 10, 25):
+            expected = float(exact_unconditional(x_ij, x_total, m) / scale)
+            assert p[m] == pytest.approx(expected, rel=1e-10)
+
+    def test_no_silent_midrange_underflow(self):
+        """(1/X)^m underflowed to 0 at m ~ 308 pre-fix; now the term
+        survives as long as the *combined* log-space value is
+        representable."""
+        p = virtual_grant_pmf(1000, 1000)
+        # The head terms are comfortably representable and non-zero.
+        assert (p[1:20] > 0).all()
+
+
+class TestInvariants:
+    @pytest.mark.parametrize(
+        "x_ij,x_total", [(1, 1), (1, 5), (7, 7), (100, 400), (2000, 10_000)]
+    )
+    def test_normalized_and_mean_one(self, x_ij, x_total):
+        p = virtual_grant_pmf(x_ij, x_total)
+        assert p.sum() == pytest.approx(1.0, abs=1e-9)
+        assert (p >= 0).all()
+        # E[Binomial(x_ij, 1/X)] = x_ij/X and the conditional is the
+        # unconditional divided by the grant probability x_ij/X, so the
+        # conditional mean is exactly 1 -- "one virtual grant expected
+        # per granted input".
+        m = np.arange(x_ij + 1)
+        assert float((m * p).sum()) == pytest.approx(1.0, rel=1e-9)
+
+    def test_degenerate_single_unit(self):
+        # x_total == 1 forces x_ij == 1 and a certain virtual grant.
+        p = virtual_grant_pmf(1, 1)
+        np.testing.assert_allclose(p, [0.0, 1.0])
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            virtual_grant_pmf(0, 5)
+        with pytest.raises(ValueError):
+            virtual_grant_pmf(6, 5)

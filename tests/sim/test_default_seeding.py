@@ -1,0 +1,85 @@
+"""Regressions for the deterministic ``seed=None`` fallback policy.
+
+Pre-fix, every ``seed=None`` constructor drew OS entropy via
+``np.random.default_rng(None)``, so two identically-configured
+schedulers produced different matchings and no default-seeded run was
+replayable.  The policy (documented in :mod:`repro.sim.rng`) now
+routes all fallbacks through ``default_seed(component)``:
+deterministic per component, distinct across components, with
+``RandomStreams(seed=None)`` remaining the sanctioned entropy escape
+hatch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pim import BatchPIMScheduler, PIMScheduler
+from repro.core.statistical import StatisticalMatcher
+from repro.sim.rng import DEFAULT_SEED_ROOT, default_generator, default_seed, derive_seed
+from repro.traffic.uniform import UniformTraffic
+
+
+class TestDefaultSeedDerivation:
+    def test_deterministic_and_component_scoped(self):
+        assert default_seed("pim") == default_seed("pim")
+        assert default_seed("pim") == derive_seed(DEFAULT_SEED_ROOT, "pim")
+        assert default_seed("pim") != default_seed("lqf")
+
+    def test_default_generator_replayable(self):
+        a = default_generator("anything").random(8)
+        b = default_generator("anything").random(8)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSchedulerFallbacks:
+    def test_two_default_pim_schedulers_agree(self):
+        """Regression: used to differ run to run (OS entropy)."""
+        requests = np.ones((8, 8), dtype=bool)
+        first = PIMScheduler().schedule(requests)
+        second = PIMScheduler().schedule(requests)
+        assert first.pairs == second.pairs
+
+    def test_seeded_pim_scheduler_unaffected(self):
+        requests = np.ones((8, 8), dtype=bool)
+        default = PIMScheduler().schedule(requests)
+        seeded = PIMScheduler(seed=default_seed("pim")).schedule(requests)
+        assert default.pairs == seeded.pairs
+
+    def test_two_default_batch_schedulers_agree(self):
+        requests = np.ones((3, 8, 8), dtype=bool)
+        first = BatchPIMScheduler(replicas=3, ports=8).schedule(requests)
+        second = BatchPIMScheduler(replicas=3, ports=8).schedule(requests)
+        np.testing.assert_array_equal(first, second)
+
+    def test_default_statistical_matcher_replayable(self):
+        allocations = np.array([[2, 1], [1, 2]])
+        requests = np.ones((2, 2), dtype=bool)
+        runs = []
+        for _ in range(2):
+            matcher = StatisticalMatcher(allocations, units=4, fill=True)
+            runs.append([matcher.schedule(requests).pairs for _ in range(50)])
+        assert runs[0] == runs[1]
+
+
+class TestTrafficFallbacks:
+    def test_default_uniform_traffic_replayable(self):
+        def offered(slot_count=100):
+            traffic = UniformTraffic(ports=8, load=0.7)
+            return [
+                [(i, cell.output) for i, cell in traffic.arrivals(slot)]
+                for slot in range(slot_count)
+            ]
+
+        assert offered() == offered()
+
+    def test_explicit_seed_still_wins(self):
+        default = UniformTraffic(ports=8, load=0.7)
+        seeded = UniformTraffic(ports=8, load=0.7, seed=12345)
+        a = [(i, c.output) for i, c in default.arrivals(0)]
+        b = [(i, c.output) for i, c in seeded.arrivals(0)]
+        # Not a strict guarantee slot-by-slot, but over many slots the
+        # streams must diverge if the explicit seed is honoured.
+        for slot in range(1, 50):
+            a += [(i, c.output) for i, c in default.arrivals(slot)]
+            b += [(i, c.output) for i, c in seeded.arrivals(slot)]
+        assert a != b

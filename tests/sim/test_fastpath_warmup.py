@@ -1,0 +1,120 @@
+"""Warm-up convention parity: fastpath ``warmup_mode="arrival"`` vs DelayStats.
+
+The object backend's :class:`repro.sim.stats.DelayStats` keys its
+warm-up filter on the *arrival* slot.  The fast path's Little's-law
+estimator historically dropped whole *slots* instead, so the two
+backends disagreed at the warmup boundary by O(backlog) cells.  These
+tests pin the fixed behaviour: ``warmup_mode="arrival"`` reproduces
+the arrival-keyed mean exactly (per-cell reference reconstruction),
+and differs measurably from the legacy ``"slot"`` estimate on a
+contended run (the regression that fails on pre-fix code, which has
+no ``warmup_mode`` at all).
+"""
+
+from collections import deque
+
+import numpy as np
+import pytest
+
+from repro.core.pim import BatchPIMScheduler
+from repro.sim.fastpath import FastpathCrossbar, run_fastpath
+from repro.sim.rng import RandomStreams
+from repro.sim.stats import DelayStats
+
+
+def _reference_delays(ports, load, slots, drain_slots, warmup, seed, arrival_seed):
+    """Re-run the fastpath slot loop with per-cell FIFO bookkeeping.
+
+    Constructs the scheduler and arrival RNGs exactly as
+    :func:`run_fastpath` does (same stream names, same call sequence),
+    so the matchings are draw-for-draw identical; per-(i, j) deques of
+    arrival slots then recover every cell's delay, which feeds the
+    object backend's arrival-keyed :class:`DelayStats`.
+    """
+    streams = RandomStreams(seed)
+    scheduler = BatchPIMScheduler(
+        replicas=1,
+        ports=ports,
+        rng=streams.get("fastpath/pim"),
+        track_sizes=False,
+    )
+    switch = FastpathCrossbar(ports, 1, scheduler)
+    arrival_rng = np.random.default_rng(arrival_seed)
+    queues = [[deque() for _ in range(ports)] for _ in range(ports)]
+    stats = DelayStats(warmup=warmup)
+    for slot in range(slots + drain_slots):
+        counts = None
+        if slot < slots:
+            counts = np.zeros((1, ports, ports), dtype=np.int64)
+            active = np.nonzero(arrival_rng.random(ports) < load)[0]
+            if active.size:
+                dest = arrival_rng.integers(ports, size=active.size)
+                counts[0, active, dest] = 1
+                for i, j in zip(active, dest):
+                    queues[i][j].append(slot)
+        _, ii, jj = switch.step(counts, check=True)
+        for i, j in zip(ii, jj):
+            stats.record(queues[i][j].popleft(), slot)
+    assert switch.backlog().sum() == 0, "run must drain for the identity"
+    return stats
+
+
+CASE = dict(ports=8, load=0.9, slots=400, drain_slots=400, warmup=100)
+
+
+def test_arrival_mode_matches_delaystats_exactly():
+    stats = _reference_delays(seed=7, arrival_seed=42, **CASE)
+    result = run_fastpath(
+        seed=7, arrival_seeds=[42], warmup_mode="arrival", check=True, **CASE
+    )
+    assert int(result.final_backlog.sum()) == 0
+    assert int(result.delay_cells.sum()) == stats.count
+    # Little's-law identity, cell for cell: the arrival-keyed integral
+    # equals the sum of per-cell delays of post-warmup arrivals.
+    assert int(result.delay_integral.sum()) == sum(
+        delay * count for delay, count in stats.histogram().items()
+    )
+    assert result.mean_delay == pytest.approx(stats.mean, abs=1e-12)
+
+
+def test_slot_mode_differs_at_the_boundary():
+    """The historical estimator is measurably different on a contended run."""
+    stats = _reference_delays(seed=7, arrival_seed=42, **CASE)
+    legacy = run_fastpath(seed=7, arrival_seeds=[42], warmup_mode="slot", **CASE)
+    assert legacy.mean_delay != pytest.approx(stats.mean, abs=1e-9)
+
+
+def test_modes_agree_when_warmup_is_zero():
+    case = dict(CASE, warmup=0)
+    arrival = run_fastpath(seed=3, arrival_seeds=[11], warmup_mode="arrival", **case)
+    slot = run_fastpath(seed=3, arrival_seeds=[11], warmup_mode="slot", **case)
+    np.testing.assert_array_equal(arrival.delay_cells, arrival.carried_cells)
+    np.testing.assert_array_equal(arrival.delay_integral, arrival.backlog_integral)
+    assert arrival.mean_delay == slot.mean_delay
+
+
+def test_arrival_mode_batched_replicas_invariants():
+    """Arrival mode composes with the batched (non-parity) arrival path."""
+    result = run_fastpath(
+        ports=16,
+        load=0.8,
+        slots=300,
+        drain_slots=300,
+        warmup=50,
+        replicas=4,
+        seed=123,
+        warmup_mode="arrival",
+        check=True,
+    )
+    assert result.delay_cells.shape == (4,)
+    # Legacy cells are excluded, so the arrival-keyed counters are
+    # bounded by the slot-keyed ones.
+    assert (result.delay_cells <= result.carried_cells).all()
+    assert (result.delay_integral <= result.backlog_integral).all()
+    assert (result.delay_cells > 0).all()
+    assert result.mean_delay > 0.0
+
+
+def test_warmup_mode_validated():
+    with pytest.raises(ValueError, match="warmup_mode"):
+        run_fastpath(ports=4, load=0.5, slots=10, warmup_mode="bogus")
