@@ -1,6 +1,6 @@
 # Convenience targets for the AN2 reproduction.
 
-.PHONY: install test check check-full bench bench-fastpath bench-full trace-demo examples lint clean
+.PHONY: install test check check-full bench bench-fastpath cbr-bench bench-full trace-demo examples lint clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -8,14 +8,18 @@ install:
 test:
 	pytest tests/ -q
 
-# Bounded randomized invariant/differential sweep (the CI smoke stage).
+# Bounded randomized invariant/differential sweeps (the CI smoke stage):
+# VBR-only parity, integrated CBR+VBR parity, and Slepian-Duguid churn.
 check:
 	PYTHONPATH=src python -m repro.cli check --seeds 25 --budget 60s
+	PYTHONPATH=src python -m repro.cli check --suite cbr --seeds 8 --budget 60s
+	PYTHONPATH=src python -m repro.cli check --suite churn --seeds 25 --budget 30s
 
-# Nightly-style deep sweep: more seeds plus the slow-marked pytest sweep.
+# Nightly-style deep sweep: more seeds plus the slow-marked pytest sweeps
+# (includes the CBR parity sweep in tests/sim/test_fastpath_cbr.py).
 check-full:
-	PYTHONPATH=src python -m repro.cli check --seeds 200 --budget 10m
-	PYTHONPATH=src python -m pytest -q tests/check -m slow
+	PYTHONPATH=src python -m repro.cli check --suite all --seeds 200 --budget 10m
+	PYTHONPATH=src python -m pytest -q tests/check tests/sim -m slow
 
 bench:
 	pytest benchmarks/ --benchmark-only -q
@@ -24,9 +28,14 @@ bench:
 bench-fastpath:
 	PYTHONPATH=src python benchmarks/perf/bench_fastpath.py --quick --out BENCH_fastpath.json
 
+# Integrated CBR+VBR fast path vs the object backend (asserts the 3x floor).
+cbr-bench:
+	PYTHONPATH=src python benchmarks/perf/bench_cbr_fastpath.py --quick --out BENCH_cbr_fastpath.json
+
 bench-full:
 	REPRO_FULL=1 pytest benchmarks/ --benchmark-only -q
 	PYTHONPATH=src python benchmarks/perf/bench_fastpath.py --out BENCH_fastpath.json
+	PYTHONPATH=src python benchmarks/perf/bench_cbr_fastpath.py --out BENCH_cbr_fastpath.json
 
 # Trace a 16-port PIM run at load 0.9 on both backends, then render
 # the PIM anatomy / backlog summary from the JSONL trace files.

@@ -1,0 +1,179 @@
+"""Timing harness: integrated CBR+VBR fast path vs object backend.
+
+Measures simulation throughput (replica-slots per wall second) for the
+count-based vectorized integrated simulator
+(:func:`repro.sim.fastpath_cbr.run_fastpath_cbr`) against the per-cell
+:class:`repro.cbr.integrated.IntegratedSwitch` across switch sizes N
+and batch sizes B, and writes ``BENCH_cbr_fastpath.json``.
+
+The headline acceptance number is asserted, not just recorded: at
+N=16 with B >= 64 replicas the fast path must be at least 3x faster
+than the object model per replica-slot (in practice it is far beyond
+that -- the object model walks Python dicts and deques per cell).
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf/bench_cbr_fastpath.py           # full grid
+    PYTHONPATH=src python benchmarks/perf/bench_cbr_fastpath.py --quick   # make cbr-bench
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+from repro.cbr.integrated import IntegratedSwitch
+from repro.cbr.reservations import ReservationTable
+from repro.check.differential import _random_allocations
+from repro.core.pim import PIMScheduler
+from repro.sim.fastpath_cbr import run_fastpath_cbr
+from repro.switch.cell import ServiceClass
+from repro.switch.flow import Flow
+from repro.traffic.cbr_source import CBRSource
+from repro.traffic.uniform import UniformTraffic
+
+VBR_LOAD = 0.6
+UTILIZATION = 0.5
+ITERATIONS = 4
+SPEEDUP_FLOOR = 3.0  # asserted at N=16, B>=64
+
+
+def build_table(ports: int, frame_slots: int, seed: int = 0) -> ReservationTable:
+    """Random feasible reservation table, one flow per connection."""
+    rng = np.random.default_rng(seed)
+    matrix = _random_allocations(ports, frame_slots, rng, fraction=UTILIZATION)
+    table = ReservationTable(ports, frame_slots)
+    flow_id = 1
+    for i in range(ports):
+        for j in range(ports):
+            if matrix[i, j]:
+                table.admit(
+                    Flow(
+                        flow_id=flow_id, src=i, dst=j,
+                        service=ServiceClass.CBR,
+                        cells_per_frame=int(matrix[i, j]),
+                    )
+                )
+                flow_id += 1
+    return table
+
+
+def time_object_backend(
+    table: ReservationTable, slots: int, seed: int = 0
+) -> float:
+    """Object-backend slots per second at one switch size."""
+    ports = table.ports
+    switch = IntegratedSwitch(
+        table, scheduler=PIMScheduler(iterations=ITERATIONS, seed=seed)
+    )
+    traffic = [
+        CBRSource(ports, table.flows(), table.frame_slots),
+        UniformTraffic(ports, load=VBR_LOAD, seed=seed + 1),
+    ]
+    start = time.perf_counter()
+    switch.run(traffic, slots=slots)
+    elapsed = time.perf_counter() - start
+    return slots / elapsed
+
+
+def time_fastpath_backend(
+    table: ReservationTable, replicas: int, slots: int, seed: int = 0
+) -> float:
+    """Fast-path replica-slots per second at one (N, B) point."""
+    start = time.perf_counter()
+    run_fastpath_cbr(
+        table, VBR_LOAD, slots, replicas=replicas,
+        iterations=ITERATIONS, seed=seed,
+    )
+    elapsed = time.perf_counter() - start
+    return replicas * slots / elapsed
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small config for make cbr-bench (fewer grid points, fewer slots)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_cbr_fastpath.json",
+        help="output JSON path (default: BENCH_cbr_fastpath.json)",
+    )
+    args = parser.parse_args()
+
+    if args.quick:
+        grid_n, grid_b, slots, object_slots = [16], [1, 64], 150, 150
+    else:
+        grid_n, grid_b, slots, object_slots = [8, 16, 32], [1, 64, 256], 300, 300
+    frame_slots = 20
+
+    tables = {ports: build_table(ports, frame_slots) for ports in grid_n}
+    object_baseline = {}
+    for ports in grid_n:
+        object_baseline[ports] = time_object_backend(tables[ports], object_slots)
+        print(f"object   N={ports:<3}          {object_baseline[ports]:>12.0f} slots/s")
+
+    results = []
+    floor_checked = False
+    for ports in grid_n:
+        for replicas in grid_b:
+            sps = time_fastpath_backend(tables[ports], replicas, slots)
+            speedup = sps / object_baseline[ports]
+            results.append(
+                {
+                    "config": {
+                        "backend": "cbr-fastpath",
+                        "ports": ports,
+                        "replicas": replicas,
+                        "frame_slots": frame_slots,
+                        "slots": slots,
+                        "vbr_load": VBR_LOAD,
+                        "utilization": UTILIZATION,
+                        "iterations": ITERATIONS,
+                    },
+                    "slots_per_sec": sps,
+                    "speedup_vs_object": speedup,
+                }
+            )
+            print(
+                f"fastpath N={ports:<3} B={replicas:<4} {sps:>12.0f} "
+                f"replica-slots/s  ({speedup:.1f}x object)"
+            )
+            if ports == 16 and replicas >= 64 and not floor_checked:
+                floor_checked = True
+                assert speedup >= SPEEDUP_FLOOR, (
+                    f"CBR fastpath speedup {speedup:.2f}x at N=16, "
+                    f"B={replicas} below the {SPEEDUP_FLOOR}x floor"
+                )
+                print(
+                    f"  speedup floor: {speedup:.1f}x >= {SPEEDUP_FLOOR}x "
+                    f"at N=16, B={replicas}  OK"
+                )
+    assert floor_checked, "grid did not include the N=16, B>=64 floor point"
+
+    payload = {
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "platform": platform.platform(),
+        "vbr_load": VBR_LOAD,
+        "utilization": UTILIZATION,
+        "iterations": ITERATIONS,
+        "frame_slots": frame_slots,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "object_baseline_slots_per_sec": {
+            str(n): sps for n, sps in object_baseline.items()
+        },
+        "results": results,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

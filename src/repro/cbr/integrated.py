@@ -1,9 +1,8 @@
 """The integrated CBR + VBR switch (Section 4).
 
-"CBR cells are routed across the switch during scheduled slots.  VBR
-cells are transmitted during slots not used by CBR cells.  In addition,
-VBR cells can use an allocated slot if no cell from the scheduled flow
-is present at the switch."
+"CBR cells are routed across the switch during scheduled slots.  In
+addition, VBR cells can use an allocated slot if no cell from the
+scheduled flow is present at the switch."
 
 Per slot:
 
@@ -16,13 +15,20 @@ Per slot:
 
 CBR and VBR cells use separate buffer pools ("VBR cells use a different
 set of buffers, which are subject to flow control"); CBR buffers are
-statically sized by the Appendix B bound and the model verifies they
-never overflow it.
+statically sized by the Appendix B bound, and the model *enforces* the
+bound: per-input CBR occupancy is checked against
+``cbr_buffer_bound`` every slot and an overflow raises
+:class:`CBRBufferOverflow`.  The default ``"auto"`` bound is the
+drift-free single-switch instance of the Appendix B argument: a
+conforming flow emits at most its reservation per frame and its
+reserved slots drain the same amount per frame, so at most two frames'
+worth of an input's reserved cells -- ``2 x input_committed(i)`` --
+can ever be queued at input i.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -34,14 +40,79 @@ from repro.switch.cell import Cell, ServiceClass
 from repro.switch.fabric import CrossbarFabric, Fabric
 from repro.switch.results import SwitchResult
 
-__all__ = ["IntegratedSwitch", "IntegratedResult"]
+__all__ = [
+    "IntegratedSwitch",
+    "IntegratedResult",
+    "CBRBufferOverflow",
+    "derive_cbr_buffer_bound",
+]
+
+#: Bound spec: "auto" (derive from the reservation table), a scalar
+#: applied to every input, an explicit per-input vector, or None
+#: (enforcement off).
+BoundSpec = Union[str, int, Sequence[int], None]
+
+
+class CBRBufferOverflow(RuntimeError):
+    """A CBR input buffer exceeded its Appendix B static sizing."""
+
+    def __init__(self, slot: int, input_port: int, occupancy: int, bound: int,
+                 replica: int = 0):
+        self.slot = slot
+        self.input_port = input_port
+        self.occupancy = occupancy
+        self.bound = bound
+        self.replica = replica
+        super().__init__(
+            f"CBR buffer overflow at slot {slot}, input {input_port} "
+            f"(replica {replica}): {occupancy} cells > bound {bound}"
+        )
+
+
+def derive_cbr_buffer_bound(reserved_matrix: np.ndarray) -> np.ndarray:
+    """Per-input CBR buffer bound from a reservation matrix.
+
+    The drift-free single-switch Appendix B bound: input i never
+    buffers more than two frames' worth of its reserved cells, i.e.
+    ``2 * sum_j reservations[i, j]``.  (The paper's Formula 5 adds
+    clock-drift terms for multi-hop chains; see
+    :func:`repro.cbr.clock.cbr_buffer_bound`.)
+    """
+    matrix = np.asarray(reserved_matrix, dtype=np.int64)
+    return 2 * matrix.sum(axis=1)
+
+
+def resolve_cbr_buffer_bound(
+    spec: BoundSpec, reserved_matrix: np.ndarray
+) -> Optional[np.ndarray]:
+    """Normalize a :data:`BoundSpec` into a per-input int vector (or None)."""
+    ports = np.asarray(reserved_matrix).shape[0]
+    if spec is None:
+        return None
+    if isinstance(spec, str):
+        if spec != "auto":
+            raise ValueError(f"unknown cbr_buffer_bound spec {spec!r}")
+        return derive_cbr_buffer_bound(reserved_matrix)
+    if np.isscalar(spec):
+        if int(spec) < 0:
+            raise ValueError(f"cbr_buffer_bound must be >= 0, got {spec}")
+        return np.full(ports, int(spec), dtype=np.int64)
+    vector = np.asarray(spec, dtype=np.int64)
+    if vector.shape != (ports,):
+        raise ValueError(
+            f"cbr_buffer_bound vector must have shape ({ports},), got {vector.shape}"
+        )
+    if (vector < 0).any():
+        raise ValueError("cbr_buffer_bound entries must be >= 0")
+    return vector
 
 
 class IntegratedResult(SwitchResult):
     """SwitchResult plus separate CBR and VBR delay statistics."""
 
     def __init__(self, base: SwitchResult, cbr_delay: DelayStats, vbr_delay: DelayStats,
-                 cbr_slots_used: int, cbr_slots_donated: int, peak_cbr_buffer: int):
+                 cbr_slots_used: int, cbr_slots_donated: int, peak_cbr_buffer: int,
+                 cbr_buffer_bound: Optional[Tuple[int, ...]] = None):
         super().__init__(
             delay=base.delay,
             counter=base.counter,
@@ -61,6 +132,10 @@ class IntegratedResult(SwitchResult):
         self.cbr_slots_donated = cbr_slots_donated
         #: Largest CBR buffer occupancy seen at any input.
         self.peak_cbr_buffer = peak_cbr_buffer
+        #: Per-input Appendix B bound enforced during the run (None when
+        #: enforcement was disabled).  ``peak_cbr_buffer`` never exceeds
+        #: ``max(cbr_buffer_bound)`` on a completed run.
+        self.cbr_buffer_bound = cbr_buffer_bound
 
 
 class IntegratedSwitch:
@@ -75,6 +150,13 @@ class IntegratedSwitch:
         PIM scheduler for the VBR gap fill; defaults to 4-iteration PIM.
     fabric:
         Non-blocking fabric; defaults to a crossbar.
+    cbr_buffer_bound:
+        Appendix B static CBR buffer sizing, enforced per input every
+        slot; an overflow raises :class:`CBRBufferOverflow`.  ``"auto"``
+        (default) derives ``2 x input_committed(i)`` from the
+        reservation table at first use; a scalar applies to every
+        input, a length-N vector is used as-is, ``None`` disables
+        enforcement.
     """
 
     def __init__(
@@ -82,6 +164,7 @@ class IntegratedSwitch:
         reservations: ReservationTable,
         scheduler: Optional[PIMScheduler] = None,
         fabric: Optional[Fabric] = None,
+        cbr_buffer_bound: BoundSpec = "auto",
     ):
         self.reservations = reservations
         self.ports = reservations.ports
@@ -90,11 +173,40 @@ class IntegratedSwitch:
         self.fabric = fabric if fabric is not None else CrossbarFabric(self.ports)
         if self.fabric.ports != self.ports:
             raise ValueError("fabric size does not match switch size")
+        self.cbr_buffer_bound = cbr_buffer_bound
+        self._bound_vector: Optional[np.ndarray] = None
+        self._bound_resolved = False
+        self.cbr_buffers: List[VOQBuffer] = []
+        self.vbr_buffers: List[VOQBuffer] = []
+        self.cbr_slots_used = 0
+        self.cbr_slots_donated = 0
+        self.peak_cbr_buffer = 0
+        self.reset()
+
+    def reset(self) -> None:
+        """Discard buffered cells and zero the per-run counters.
+
+        Called at the start of every :meth:`run` so repeated runs on
+        one switch start from a clean slate instead of accumulating the
+        previous run's counters and leftover backlog.  The VBR
+        scheduler's random stream and round-robin pointers are *not*
+        reset (they are cross-run state by design, as in
+        :class:`repro.switch.switch.CrossbarSwitch`).
+        """
         self.cbr_buffers = [VOQBuffer(self.ports) for _ in range(self.ports)]
         self.vbr_buffers = [VOQBuffer(self.ports) for _ in range(self.ports)]
         self.cbr_slots_used = 0
         self.cbr_slots_donated = 0
         self.peak_cbr_buffer = 0
+
+    def _resolved_bound(self) -> Optional[np.ndarray]:
+        """The per-input bound vector, resolving ``"auto"`` on first use."""
+        if not self._bound_resolved:
+            self._bound_vector = resolve_cbr_buffer_bound(
+                self.cbr_buffer_bound, self.reservations.reserved_matrix()
+            )
+            self._bound_resolved = True
+        return self._bound_vector
 
     def _vbr_requests(self) -> np.ndarray:
         matrix = np.zeros((self.ports, self.ports), dtype=bool)
@@ -102,22 +214,27 @@ class IntegratedSwitch:
             matrix[i] = buffer.request_vector()
         return matrix
 
-    def step(self, slot: int, arrivals: Sequence[Tuple[int, Cell]]) -> List[Cell]:
+    def step(self, slot: int, arrivals: Sequence[Tuple[int, Cell]], probe=None) -> List[Cell]:
         """Advance one slot; returns departed cells (CBR and VBR)."""
         for input_port, cell in arrivals:
             cell.arrival_slot = slot
             pool = self.cbr_buffers if cell.service is ServiceClass.CBR else self.vbr_buffers
             pool[input_port].enqueue(cell)
-        self.peak_cbr_buffer = max(
-            self.peak_cbr_buffer, max(len(b) for b in self.cbr_buffers)
-        )
+        occupancies = [len(b) for b in self.cbr_buffers]
+        self.peak_cbr_buffer = max(self.peak_cbr_buffer, max(occupancies))
+        bound = self._resolved_bound()
+        if bound is not None:
+            for i, occupancy in enumerate(occupancies):
+                if occupancy > bound[i]:
+                    raise CBRBufferOverflow(slot, i, occupancy, int(bound[i]))
 
         # Phase 1: reserved pairings for this slot position in the frame.
         position = slot % self.frame_slots
         selected: List[Tuple[int, Cell]] = []
         taken_inputs = set()
         taken_outputs = set()
-        for i, j in self.reservations.pairings(position):
+        pairings = self.reservations.pairings(position)
+        for i, j in pairings:
             if self.cbr_buffers[i].has_cell_for(j):
                 selected.append((i, self.cbr_buffers[i].dequeue(j)))
                 taken_inputs.add(i)
@@ -126,6 +243,7 @@ class IntegratedSwitch:
             else:
                 # Idle reservation: the slot is donated to VBR traffic.
                 self.cbr_slots_donated += 1
+        cbr_cells = len(selected)
 
         # Phase 2: PIM fills every remaining input/output with VBR cells.
         requests = self._vbr_requests()
@@ -138,23 +256,48 @@ class IntegratedSwitch:
             selected.append((i, self.vbr_buffers[i].dequeue(j)))
 
         delivered = self.fabric.transfer(selected)
+        if probe is not None:
+            probe.transfer(len(selected))
+            probe.cbr_slot(
+                position=position,
+                reserved=len(pairings),
+                cbr_cells=cbr_cells,
+                vbr_cells=len(selected) - cbr_cells,
+                donated=len(pairings) - cbr_cells,
+                cbr_backlog=sum(len(b) for b in self.cbr_buffers),
+                vbr_backlog=sum(len(b) for b in self.vbr_buffers),
+            )
         return [cells[0] for cells in delivered.values()]
 
     def backlog(self) -> int:
         """Cells buffered in both pools."""
         return sum(len(b) for b in self.cbr_buffers) + sum(len(b) for b in self.vbr_buffers)
 
-    def run(self, traffic, slots: int, warmup: int = 0) -> IntegratedResult:
+    def run(self, traffic, slots: int, warmup: int = 0, probe=None) -> IntegratedResult:
         """Simulate; returns combined plus per-class statistics.
 
         ``traffic`` may be a single source or a sequence of sources
         (e.g. a :class:`repro.traffic.cbr_source.CBRSource` plus a VBR
-        background); all must agree on ``ports``.
+        background); all must agree on ``ports``.  Each call starts
+        from a clean switch (:meth:`reset`): counters and both buffer
+        pools are per-run, so back-to-back runs do not leak the
+        previous run's backlog or slot counters into the next result.
+
+        When a :class:`repro.obs.probe.Probe` is supplied, every slot
+        emits ``SlotBegin``, ``CbrSlot`` (the reserved/used/donated
+        anatomy plus per-pool backlog) and ``CrossbarTransfer`` events,
+        each departure emits ``CellDeparture``, and sampled slots emit
+        the VBR scheduler's per-iteration PIM anatomy.
         """
         sources = traffic if isinstance(traffic, (list, tuple)) else [traffic]
         for source in sources:
             if source.ports != self.ports:
                 raise ValueError("traffic/switch port mismatch")
+        self.reset()
+        bound = self._resolved_bound()
+        traced = probe is not None and probe.enabled
+        if traced and hasattr(self.scheduler, "attach_probe"):
+            self.scheduler.attach_probe(probe)
         delay = DelayStats(warmup=warmup)
         cbr_delay = DelayStats(warmup=warmup)
         vbr_delay = DelayStats(warmup=warmup)
@@ -164,7 +307,11 @@ class IntegratedSwitch:
             for source in sources:
                 arrivals.extend(source.arrivals(slot))
             counter.record_arrival(slot, len(arrivals))
-            departures = self.step(slot, arrivals)
+            if traced:
+                probe.begin_slot(slot, arrivals=len(arrivals), backlog=self.backlog())
+                departures = self.step(slot, arrivals, probe=probe)
+            else:
+                departures = self.step(slot, arrivals)
             counter.record_departure(slot, len(departures))
             for cell in departures:
                 delay.record(cell.arrival_slot, slot)
@@ -172,6 +319,13 @@ class IntegratedSwitch:
                     cbr_delay.record(cell.arrival_slot, slot)
                 else:
                     vbr_delay.record(cell.arrival_slot, slot)
+                if traced:
+                    probe.departure(
+                        -1, cell.output, slot - cell.arrival_slot,
+                        flow_id=cell.flow_id,
+                    )
+        if traced and hasattr(self.scheduler, "attach_probe"):
+            self.scheduler.attach_probe(None)
         base = SwitchResult(
             delay=delay,
             counter=counter,
@@ -187,4 +341,5 @@ class IntegratedSwitch:
             self.cbr_slots_used,
             self.cbr_slots_donated,
             self.peak_cbr_buffer,
+            cbr_buffer_bound=tuple(int(b) for b in bound) if bound is not None else None,
         )

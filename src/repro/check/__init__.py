@@ -19,10 +19,24 @@ and the CI smoke stage bound it by seed count and wall-clock budget.
 from repro.check.differential import (
     DifferentialReport,
     backend_parity,
+    integrated_parity,
     metamorphic_pim_iterations,
     metamorphic_statistical_fill,
 )
-from repro.check.fuzz import Case, FuzzReport, fuzz, load_case, run_case, shrink
+from repro.check.fuzz import (
+    Case,
+    CbrCase,
+    ChurnCase,
+    FuzzReport,
+    fuzz,
+    fuzz_cbr,
+    fuzz_churn,
+    load_case,
+    run_case,
+    run_cbr_case,
+    run_churn_case,
+    shrink,
+)
 from repro.check.invariants import (
     CheckingScheduler,
     InvariantSink,
@@ -38,11 +52,18 @@ __all__ = [
     "InvariantSink",
     "InvariantViolation",
     "backend_parity",
+    "CbrCase",
     "check_conservation",
+    "ChurnCase",
     "fuzz",
+    "fuzz_cbr",
+    "fuzz_churn",
+    "integrated_parity",
     "load_case",
     "metamorphic_pim_iterations",
     "metamorphic_statistical_fill",
     "run_case",
+    "run_cbr_case",
+    "run_churn_case",
     "shrink",
 ]

@@ -38,6 +38,7 @@ from repro.obs.parity import ParityReport, diff_backends
 __all__ = [
     "DifferentialReport",
     "backend_parity",
+    "integrated_parity",
     "metamorphic_pim_iterations",
     "metamorphic_statistical_fill",
 ]
@@ -111,6 +112,213 @@ def _random_allocations(
         perm = rng.permutation(ports)
         alloc[np.arange(ports), perm] += 1
     return alloc
+
+
+class _WindowedTraffic:
+    """Wrap a source so arrivals stop after ``limit`` slots.
+
+    Lets the object backend run drain slots (the fast path's
+    ``drain_slots``) without a separate API: past the window the inner
+    source is never consulted, so neither backend consumes RNG draws
+    there and the offered traffic stays draw-for-draw identical.
+    """
+
+    def __init__(self, source, limit: int):
+        self.source = source
+        self.limit = limit
+        self.ports = source.ports
+
+    def arrivals(self, slot: int):
+        return self.source.arrivals(slot) if slot < self.limit else []
+
+
+def _delay_sums(stats) -> tuple:
+    """(sum of delays, cell count) from a DelayStats histogram.
+
+    Integer-exact, so it can be compared ``==`` against the fast
+    path's Little's-law ``delay_integral`` / ``delay_cells`` counters
+    without Welford floating-point noise.
+    """
+    histogram = stats.histogram()
+    return (
+        sum(delay * count for delay, count in histogram.items()),
+        sum(histogram.values()),
+    )
+
+
+def integrated_parity(
+    ports: int,
+    frame_slots: int,
+    utilization: float,
+    vbr_load: float,
+    slots: int,
+    seed: int = 0,
+    warmup: int = 0,
+    drain_slots: Optional[int] = None,
+    iterations: Optional[int] = 4,
+) -> DifferentialReport:
+    """Object vs fast path on the integrated CBR+VBR switch.
+
+    Builds a random feasible reservation table (one flow per reserved
+    connection, so per-VOQ FIFO holds and the comparison is exact in
+    both warmup modes), runs :class:`IntegratedSwitch` and
+    :func:`repro.sim.fastpath_cbr.run_fastpath_cbr` on seed-matched
+    arrivals and matchings, and compares:
+
+    - the per-slot ``CbrSlot`` series (CBR departures, VBR departures,
+      donated count, both pool backlogs) slot for slot, reporting the
+      first divergent slot;
+    - per-class delay statistics as integer (sum, count) pairs;
+    - the used/donated/peak counters and the resolved Appendix B bound.
+
+    Raises :class:`InvariantViolation` on any mismatch.
+    """
+    from repro.cbr.integrated import IntegratedSwitch
+    from repro.cbr.reservations import ReservationTable
+    from repro.core.pim import PIMScheduler
+    from repro.obs.probe import Probe
+    from repro.obs.sinks import InMemorySink
+    from repro.sim.fastpath_cbr import run_fastpath_cbr
+    from repro.sim.rng import derive_seed
+    from repro.switch.cell import ServiceClass
+    from repro.switch.flow import Flow
+    from repro.traffic.cbr_source import CBRSource
+    from repro.traffic.uniform import UniformTraffic
+
+    if drain_slots is None:
+        drain_slots = max(200, slots)
+    name = (
+        f"integrated-parity(N={ports}, F={frame_slots}, util={utilization}, "
+        f"vbr={vbr_load}, warmup={warmup}, seed={seed})"
+    )
+
+    # Random feasible reservations: sum of permutation matrices, one
+    # flow per reserved connection.
+    alloc_rng = np.random.default_rng(derive_seed(seed, "check/cbr-allocations"))
+    matrix = _random_allocations(
+        ports, frame_slots, alloc_rng, fraction=utilization
+    )
+    table = ReservationTable(ports, frame_slots)
+    flow_id = 1
+    for i in range(ports):
+        for j in range(ports):
+            if matrix[i, j]:
+                table.admit(
+                    Flow(
+                        flow_id=flow_id,
+                        src=i,
+                        dst=j,
+                        service=ServiceClass.CBR,
+                        cells_per_frame=int(matrix[i, j]),
+                    )
+                )
+                flow_id += 1
+
+    traffic_seed = derive_seed(seed, "check/cbr-vbr-traffic")
+    match_seed = derive_seed(seed, "check/cbr-match")
+
+    object_switch = IntegratedSwitch(
+        table, scheduler=PIMScheduler(iterations=iterations, seed=match_seed)
+    )
+    object_sink = InMemorySink()
+    object_result = object_switch.run(
+        [
+            _WindowedTraffic(CBRSource(ports, table.flows(), frame_slots), slots),
+            _WindowedTraffic(
+                UniformTraffic(ports, load=vbr_load, seed=traffic_seed), slots
+            ),
+        ],
+        slots=slots + drain_slots,
+        warmup=warmup,
+        probe=Probe(object_sink),
+    )
+
+    fast_sink = InMemorySink()
+    fast_result = run_fastpath_cbr(
+        table,
+        vbr_load,
+        slots,
+        replicas=1,
+        warmup=warmup,
+        warmup_mode="arrival",
+        iterations=iterations,
+        match_seed=match_seed,
+        vbr_arrival_seeds=[traffic_seed],
+        drain_slots=drain_slots,
+        check=True,
+        probe=Probe(fast_sink),
+    )
+
+    def series(sink):
+        return [
+            (e.slot, e.reserved, e.cbr_cells, e.vbr_cells, e.donated,
+             e.cbr_backlog, e.vbr_backlog)
+            for e in sink.events
+            if e.kind == "cbr_slot"
+        ]
+
+    object_series = series(object_sink)
+    fast_series = series(fast_sink)
+    for object_slot, fast_slot in zip(object_series, fast_series):
+        if object_slot != fast_slot:
+            raise InvariantViolation(
+                "integrated-parity",
+                f"{name}: first divergent slot {object_slot[0]}: "
+                f"object (reserved, cbr, vbr, donated, cbr_backlog, "
+                f"vbr_backlog)={object_slot[1:]} fastpath={fast_slot[1:]}",
+            )
+    if len(object_series) != len(fast_series):
+        raise InvariantViolation(
+            "integrated-parity",
+            f"{name}: event count mismatch "
+            f"{len(object_series)} vs {len(fast_series)}",
+        )
+
+    comparisons = {
+        "cbr delay (sum, cells)": (
+            _delay_sums(object_result.cbr_delay),
+            (
+                int(fast_result.cbr_delay_integral.sum()),
+                int(fast_result.cbr_delay_cells.sum()),
+            ),
+        ),
+        "vbr delay (sum, cells)": (
+            _delay_sums(object_result.vbr_delay),
+            (
+                int(fast_result.vbr_delay_integral.sum()),
+                int(fast_result.vbr_delay_cells.sum()),
+            ),
+        ),
+        "cbr slots used": (
+            object_result.cbr_slots_used,
+            int(fast_result.cbr_slots_used.sum()),
+        ),
+        "cbr slots donated": (
+            object_result.cbr_slots_donated,
+            int(fast_result.cbr_slots_donated.sum()),
+        ),
+        "peak cbr buffer": (
+            object_result.peak_cbr_buffer,
+            int(fast_result.peak_cbr_buffer.max(initial=0)),
+        ),
+        "cbr buffer bound": (
+            object_result.cbr_buffer_bound,
+            fast_result.cbr_buffer_bound,
+        ),
+    }
+    for label, (object_value, fast_value) in comparisons.items():
+        if object_value != fast_value:
+            raise InvariantViolation(
+                "integrated-parity",
+                f"{name}: {label} mismatch: object {object_value} "
+                f"fastpath {fast_value}",
+            )
+    detail = (
+        f"{len(fast_series)} slots slot-exact; cbr "
+        f"{comparisons['cbr delay (sum, cells)'][0]}, vbr "
+        f"{comparisons['vbr delay (sum, cells)'][0]} delay sums match"
+    )
+    return DifferentialReport(name=name, ok=True, detail=detail)
 
 
 def metamorphic_statistical_fill(

@@ -25,7 +25,20 @@ import time
 from dataclasses import asdict, dataclass, replace
 from typing import Callable, List, Optional
 
-__all__ = ["Case", "FuzzReport", "fuzz", "load_case", "run_case", "shrink"]
+__all__ = [
+    "Case",
+    "CbrCase",
+    "ChurnCase",
+    "FuzzReport",
+    "fuzz",
+    "fuzz_cbr",
+    "fuzz_churn",
+    "load_case",
+    "run_case",
+    "run_cbr_case",
+    "run_churn_case",
+    "shrink",
+]
 
 PATTERNS = ("uniform", "bursty", "clientserver")
 SCHEDULERS = ("pim", "islip", "rrm", "statistical")
@@ -227,6 +240,227 @@ def _case_for_seed(seed: int) -> Case:
         scheduler=SCHEDULERS[seed % len(SCHEDULERS)],
         iterations=int(rng.choice([1, 2, 4])),
         slots=int(rng.choice([100, 200, 400])),
+    )
+
+
+@dataclass(frozen=True)
+class CbrCase:
+    """One reproducible integrated CBR+VBR parity fuzz point."""
+
+    seed: int
+    ports: int = 4
+    frame_slots: int = 8
+    utilization: float = 0.5
+    vbr_load: float = 0.6
+    slots: int = 150
+    warmup: int = 20
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+
+def run_cbr_case(case: CbrCase) -> None:
+    """Seed-matched object-vs-fastpath parity on one CBR case.
+
+    Raises :class:`~repro.check.invariants.InvariantViolation` (with
+    the first divergent slot) or :class:`CBRBufferOverflow` on the
+    first violation; the fast path runs with ``check=True`` so the
+    occupancy/claim-collision invariants are asserted every slot too.
+    """
+    from repro.check.differential import integrated_parity
+
+    integrated_parity(
+        case.ports,
+        case.frame_slots,
+        case.utilization,
+        case.vbr_load,
+        case.slots,
+        seed=case.seed,
+        warmup=case.warmup,
+    )
+
+
+def _cbr_case_for_seed(seed: int) -> CbrCase:
+    import numpy as np
+
+    from repro.sim.rng import derive_seed
+
+    rng = np.random.default_rng(derive_seed(seed, "fuzz/cbr-config"))
+    return CbrCase(
+        seed=seed,
+        ports=int(rng.choice([2, 4, 8])),
+        frame_slots=int(rng.choice([4, 8, 16])),
+        utilization=float(rng.choice([0.25, 0.5, 0.75, 1.0])),
+        vbr_load=float(rng.choice([0.2, 0.5, 0.8, 1.0])),
+        slots=int(rng.choice([80, 150, 300])),
+        warmup=int(rng.choice([0, 20])),
+    )
+
+
+def fuzz_cbr(
+    seeds: int = 10,
+    budget_seconds: Optional[float] = None,
+    out_dir: Optional[str] = None,
+    base_seed: int = 0,
+) -> FuzzReport:
+    """Sweep random integrated CBR+VBR parity cases.
+
+    Like :func:`fuzz`, but each case is a full seed-matched
+    object-vs-fastpath comparison of the integrated switch (per-slot
+    CBR/VBR departures, per-class delay sums, counters).  Failures are
+    recorded unshrunk -- the case tuple is already minimal enough to
+    replay directly.
+    """
+    return _sweep(
+        seeds, budget_seconds, out_dir, base_seed,
+        make_case=_cbr_case_for_seed, run=run_cbr_case, tag="cbr",
+    )
+
+
+@dataclass(frozen=True)
+class ChurnCase:
+    """One reproducible Slepian-Duguid churn sequence."""
+
+    seed: int
+    ports: int = 4
+    frame_slots: int = 8
+    operations: int = 120
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+
+def run_churn_case(case: ChurnCase) -> None:
+    """Interleave add/remove reservations, checking after every op.
+
+    Drives a :class:`SlepianDuguidScheduler` through a random
+    high-utilization add/remove sequence (biased 2:1 toward adds so
+    the frame fills up and insertions exercise the ``_swap_chain``
+    rearrangement path, including removal-then-reinsertion).  After
+    *every* operation:
+
+    - ``FrameSchedule.validate()`` must hold (forward/backward slot
+      maps agree);
+    - the schedule's ``reservation_matrix()`` must equal the
+      scheduler's own ``reservations`` ledger;
+    - no input or output may be committed past the frame length.
+    """
+    import numpy as np
+
+    from repro.cbr.slepian_duguid import SlepianDuguidScheduler
+    from repro.sim.rng import derive_seed
+
+    rng = np.random.default_rng(derive_seed(case.seed, "fuzz/churn"))
+    scheduler = SlepianDuguidScheduler(case.ports, case.frame_slots)
+    active: List[tuple] = []  # (input, output, cells) still reserved
+
+    def check(op: str) -> None:
+        scheduler.schedule.validate()
+        matrix = scheduler.schedule.reservation_matrix()
+        ledger = scheduler.reservations
+        if not (matrix == ledger).all():
+            raise AssertionError(
+                f"{case}: after {op}: schedule matrix disagrees with "
+                f"ledger:\n{matrix}\nvs\n{ledger}"
+            )
+        if (matrix.sum(axis=1) > case.frame_slots).any() or (
+            matrix.sum(axis=0) > case.frame_slots
+        ).any():
+            raise AssertionError(f"{case}: after {op}: link over-committed")
+
+    for _ in range(case.operations):
+        add = not active or rng.random() < 2 / 3
+        if add:
+            i = int(rng.integers(case.ports))
+            j = int(rng.integers(case.ports))
+            headroom = min(
+                case.frame_slots - scheduler.input_committed(i),
+                case.frame_slots - scheduler.output_committed(j),
+            )
+            if headroom <= 0:
+                continue
+            cells = int(rng.integers(1, headroom + 1))
+            scheduler.add_reservation(i, j, cells)
+            active.append((i, j, cells))
+            check(f"add({i}, {j}, {cells})")
+        else:
+            i, j, cells = active.pop(int(rng.integers(len(active))))
+            scheduler.remove_reservation(i, j, cells)
+            check(f"remove({i}, {j}, {cells})")
+
+
+def _churn_case_for_seed(seed: int) -> ChurnCase:
+    import numpy as np
+
+    from repro.sim.rng import derive_seed
+
+    rng = np.random.default_rng(derive_seed(seed, "fuzz/churn-config"))
+    return ChurnCase(
+        seed=seed,
+        ports=int(rng.choice([2, 4, 8, 16])),
+        frame_slots=int(rng.choice([4, 8, 16, 32])),
+        operations=int(rng.choice([60, 120, 250])),
+    )
+
+
+def fuzz_churn(
+    seeds: int = 25,
+    budget_seconds: Optional[float] = None,
+    out_dir: Optional[str] = None,
+    base_seed: int = 0,
+) -> FuzzReport:
+    """Sweep random Slepian-Duguid churn sequences (satellite of the
+    CBR fast-path work: the swap-chain path under
+    removal-then-reinsertion was previously untested)."""
+    return _sweep(
+        seeds, budget_seconds, out_dir, base_seed,
+        make_case=_churn_case_for_seed, run=run_churn_case, tag="churn",
+    )
+
+
+def _sweep(
+    seeds: int,
+    budget_seconds: Optional[float],
+    out_dir: Optional[str],
+    base_seed: int,
+    make_case,
+    run,
+    tag: str,
+) -> FuzzReport:
+    """Shared sweep driver for the case families without a shrinker."""
+    start = time.monotonic()
+    failures: List[dict] = []
+    cases_run = 0
+    budget_exhausted = False
+    for index in range(seeds):
+        if budget_seconds is not None and time.monotonic() - start > budget_seconds:
+            budget_exhausted = True
+            break
+        case = make_case(base_seed + index)
+        try:
+            run(case)
+        except Exception as exc:  # noqa: BLE001 -- record and continue
+            record = {
+                "case": asdict(case),
+                "shrunk": asdict(case),
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+            failures.append(record)
+            if out_dir is not None:
+                import os
+
+                os.makedirs(out_dir, exist_ok=True)
+                path = os.path.join(out_dir, f"{tag}_case_{case.seed}.json")
+                with open(path, "w", encoding="utf-8") as handle:
+                    json.dump(record["shrunk"], handle, sort_keys=True, indent=2)
+                    handle.write("\n")
+        cases_run += 1
+    return FuzzReport(
+        cases_run=cases_run,
+        seeds_requested=seeds,
+        elapsed_seconds=time.monotonic() - start,
+        failures=failures,
+        budget_exhausted=budget_exhausted,
     )
 
 

@@ -273,18 +273,122 @@ def cmd_fairness(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_check(args: argparse.Namespace) -> int:
-    """Randomized invariant/differential sweep (see repro.check)."""
-    from repro.check import fuzz
+def _build_reservations(ports: int, frame_slots: int, utilization: float, seed: int):
+    """Random feasible reservation table, one flow per connection.
 
-    report = fuzz(
-        seeds=args.seeds,
-        budget_seconds=args.budget,
-        out_dir=args.out,
-        base_seed=args.seed,
+    Built as a sum of permutation matrices (like the differential
+    harness), so no input or output link is over-committed and the
+    Slepian-Duguid insertion always succeeds.
+    """
+    from repro.cbr.reservations import ReservationTable
+    from repro.check.differential import _random_allocations
+    from repro.sim.rng import derive_seed
+    from repro.switch.cell import ServiceClass
+    from repro.switch.flow import Flow
+
+    rng = np.random.default_rng(derive_seed(seed, "cli/cbr-allocations"))
+    matrix = _random_allocations(ports, frame_slots, rng, fraction=utilization)
+    table = ReservationTable(ports, frame_slots)
+    flow_id = 1
+    for i in range(ports):
+        for j in range(ports):
+            if matrix[i, j]:
+                table.admit(
+                    Flow(
+                        flow_id=flow_id, src=i, dst=j,
+                        service=ServiceClass.CBR,
+                        cells_per_frame=int(matrix[i, j]),
+                    )
+                )
+                flow_id += 1
+    return table
+
+
+def cmd_cbr(args: argparse.Namespace) -> int:
+    """Integrated CBR+VBR switch (Section 4), on either backend."""
+    probe = _build_probe(args)
+    table = _build_reservations(args.ports, args.frame, args.utilization, args.seed)
+    reserved = int(table.reserved_matrix().sum())
+    print(
+        f"{args.ports}x{args.ports} integrated switch, frame {args.frame} slots, "
+        f"{len(table.flows())} CBR flows ({reserved} cells/frame reserved), "
+        f"VBR load {args.vbr_load}"
     )
-    print(report.describe())
-    return 0 if report.ok else 1
+    if args.backend == "fastpath":
+        from repro.sim.fastpath_cbr import run_fastpath_cbr
+
+        result = run_fastpath_cbr(
+            table,
+            args.vbr_load,
+            args.slots,
+            replicas=args.replicas,
+            warmup=args.warmup,
+            seed=args.seed,
+            probe=probe,
+            trace_stride=None,
+        )
+        print(result.summary())
+        _finish_probe(probe)
+        return 0
+    if args.replicas != 1:
+        print("error: --replicas needs --backend fastpath", file=sys.stderr)
+        return 2
+    from repro.cbr.integrated import IntegratedSwitch
+    from repro.core.pim import PIMScheduler
+    from repro.sim.rng import derive_seed
+    from repro.traffic.cbr_source import CBRSource
+    from repro.traffic.uniform import UniformTraffic
+
+    switch = IntegratedSwitch(
+        table, scheduler=PIMScheduler(seed=derive_seed(args.seed, "cli/cbr-match"))
+    )
+    traffic = [
+        CBRSource(args.ports, table.flows(), args.frame),
+        UniformTraffic(
+            args.ports, load=args.vbr_load,
+            seed=derive_seed(args.seed, "cli/cbr-vbr"),
+        ),
+    ]
+    if probe is not None:
+        result = switch.run(traffic, slots=args.slots, warmup=args.warmup, probe=probe)
+    else:
+        result = switch.run(traffic, slots=args.slots, warmup=args.warmup)
+    print(result.summary())
+    print(
+        f"  cbr: {result.cbr_delay.count} cells, mean delay "
+        f"{result.cbr_delay.mean:.2f} slots; vbr: {result.vbr_delay.count} "
+        f"cells, mean delay {result.vbr_delay.mean:.2f} slots"
+    )
+    bound = (
+        f", bound max {max(result.cbr_buffer_bound)}"
+        if result.cbr_buffer_bound else ""
+    )
+    print(
+        f"  reserved slots used {result.cbr_slots_used}, donated "
+        f"{result.cbr_slots_donated}; peak cbr buffer "
+        f"{result.peak_cbr_buffer}{bound}"
+    )
+    _finish_probe(probe)
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """Randomized invariant/differential sweeps (see repro.check)."""
+    from repro.check import fuzz, fuzz_cbr, fuzz_churn
+
+    suites = {"switch": fuzz, "cbr": fuzz_cbr, "churn": fuzz_churn}
+    selected = list(suites) if args.suite == "all" else [args.suite]
+    ok = True
+    for name in selected:
+        report = suites[name](
+            seeds=args.seeds,
+            budget_seconds=args.budget,
+            out_dir=args.out,
+            base_seed=args.seed,
+        )
+        print(f"[{name}] {report.describe()}")
+        ok = ok and report.ok
+    return 0 if ok else 1
 
 
 def _budget_seconds(text: str) -> float:
@@ -460,11 +564,48 @@ def build_parser() -> argparse.ArgumentParser:
     fairness.add_argument("--seed", type=int, default=0)
     fairness.set_defaults(func=cmd_fairness)
 
+    cbr_run = sub.add_parser(
+        "cbr",
+        help="integrated CBR+VBR switch (Section 4) on a random feasible "
+             "reservation table, object or vectorized fastpath backend",
+    )
+    cbr_run.add_argument("--ports", type=int, default=16)
+    cbr_run.add_argument("--frame", type=int, default=50,
+                         help="frame length F in slots (default 50)")
+    cbr_run.add_argument("--utilization", type=float, default=0.5,
+                         help="fraction of frame capacity reserved for CBR "
+                              "(default 0.5)")
+    cbr_run.add_argument("--vbr-load", type=float, default=0.6,
+                         help="Bernoulli VBR load riding on top (default 0.6)")
+    cbr_run.add_argument("--slots", type=int, default=10_000)
+    cbr_run.add_argument("--warmup", type=int, default=1_000)
+    cbr_run.add_argument("--seed", type=int, default=0)
+    cbr_run.add_argument("--backend", default="object",
+                         choices=["object", "fastpath"],
+                         help="object = per-cell IntegratedSwitch; fastpath = "
+                              "count-based vectorized simulator")
+    cbr_run.add_argument("--replicas", type=_positive_int, default=1,
+                         help="independent replicas (fastpath only, default 1)")
+    cbr_run.add_argument("--trace", metavar="PATH", default=None,
+                         help="write per-slot trace events to PATH as JSONL")
+    cbr_run.add_argument("--metrics", action="store_true",
+                         help="collect and print a metrics registry summary")
+    cbr_run.add_argument("--trace-stride", type=_positive_int, default=1,
+                         metavar="N",
+                         help="sample volume-heavy events every N slots")
+    cbr_run.set_defaults(func=cmd_cbr)
+
     check = sub.add_parser(
         "check",
         help="randomized invariant & differential sweep across schedulers "
              "and backends (repro.check)",
     )
+    check.add_argument("--suite", default="switch",
+                       choices=["switch", "cbr", "churn", "all"],
+                       help="switch = scheduler invariants + PIM parity; "
+                            "cbr = integrated CBR+VBR object-vs-fastpath "
+                            "parity; churn = Slepian-Duguid add/remove "
+                            "consistency (default switch)")
     check.add_argument("--seeds", type=_positive_int, default=25,
                        help="number of random cases to sweep (default 25)")
     check.add_argument("--budget", type=_budget_seconds, default=None,

@@ -111,10 +111,15 @@ class NetworkAdmission:
         """Try to admit a CBR flow; returns None when no path fits.
 
         On success every switch on the path holds the reservation in
-        its frame schedule and the link commitments are updated; the
-        operation is atomic (switch-level admission cannot fail once
-        :meth:`find_path` succeeded, because link commitments equal the
-        switch port commitments).
+        its frame schedule and the link commitments are updated.  The
+        operation is atomic: when link commitments and switch
+        bookkeeping agree, switch-level admission cannot fail once
+        :meth:`find_path` succeeded -- but if they have been desynced
+        (an operator touched a table directly, or a schedule rejects
+        the slots), a mid-path ``admit`` failure rolls back every
+        switch already holding the flow before re-raising, so no
+        half-installed reservation is left behind (and no link
+        commitment is ever recorded for it).
         """
         if flow_id in self._admitted:
             raise ValueError(f"flow {flow_id} already admitted")
@@ -125,19 +130,26 @@ class NetworkAdmission:
         path = self.find_path(src, dst, cells_per_frame)
         if path is None:
             return None
-        for index in range(1, len(path) - 1):
-            switch = path[index]
-            in_port = self.topology.port_toward(switch, path[index - 1])
-            out_port = self.topology.port_toward(switch, path[index + 1])
-            self.tables[switch].admit(
-                Flow(
-                    flow_id=flow_id,
-                    src=in_port,
-                    dst=out_port,
-                    service=ServiceClass.CBR,
-                    cells_per_frame=cells_per_frame,
+        installed: List[str] = []
+        try:
+            for index in range(1, len(path) - 1):
+                switch = path[index]
+                in_port = self.topology.port_toward(switch, path[index - 1])
+                out_port = self.topology.port_toward(switch, path[index + 1])
+                self.tables[switch].admit(
+                    Flow(
+                        flow_id=flow_id,
+                        src=in_port,
+                        dst=out_port,
+                        service=ServiceClass.CBR,
+                        cells_per_frame=cells_per_frame,
+                    )
                 )
-            )
+                installed.append(switch)
+        except Exception:
+            for switch in installed:
+                self.tables[switch].release(flow_id)
+            raise
         for index in range(len(path) - 1):
             hop = (path[index], path[index + 1])
             self._committed[hop] = self._committed.get(hop, 0) + cells_per_frame

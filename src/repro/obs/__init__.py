@@ -32,6 +32,7 @@ followed by ``repro-an2 trace summarize run.jsonl``.
 """
 
 from repro.obs.events import (
+    CbrSlot,
     CellDeparture,
     CrossbarTransfer,
     PimIteration,
@@ -58,6 +59,7 @@ __all__ = [
     "CrossbarTransfer",
     "CellDeparture",
     "VoqSnapshot",
+    "CbrSlot",
     "event_from_record",
     "Counter",
     "Gauge",

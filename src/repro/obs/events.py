@@ -29,6 +29,7 @@ __all__ = [
     "CrossbarTransfer",
     "CellDeparture",
     "VoqSnapshot",
+    "CbrSlot",
     "event_from_record",
 ]
 
@@ -156,11 +157,60 @@ class VoqSnapshot:
         }
 
 
-TraceEvent = Union[SlotBegin, PimIteration, CrossbarTransfer, CellDeparture, VoqSnapshot]
+@dataclass(frozen=True)
+class CbrSlot:
+    """Per-slot anatomy of the integrated CBR + VBR switch (Section 4).
+
+    Attributes
+    ----------
+    slot, position:
+        Slot index and its position within the frame (``slot % F``).
+    reserved:
+        Reserved (input, output) pairings in this frame position.
+    cbr_cells:
+        Reserved pairings actually used by queued CBR cells (== CBR
+        departures this slot).
+    vbr_cells:
+        VBR cells carried by the masked PIM gap fill.
+    donated:
+        Reserved pairings donated to VBR because the CBR flow was idle
+        (``reserved == cbr_cells + donated``).
+    cbr_backlog, vbr_backlog:
+        End-of-slot occupancy of the two buffer pools.
+    replicas:
+        Replicas the counts are pooled over (1 for the object backend).
+    """
+
+    kind: ClassVar[str] = "cbr_slot"
+    slot: int
+    position: int
+    reserved: int = 0
+    cbr_cells: int = 0
+    vbr_cells: int = 0
+    donated: int = 0
+    cbr_backlog: int = 0
+    vbr_backlog: int = 0
+    replicas: int = 1
+
+    def to_record(self) -> Dict[str, Any]:
+        """Flat JSON-serializable form, tagged with ``kind``."""
+        return {"kind": self.kind, **asdict(self)}
+
+
+TraceEvent = Union[
+    SlotBegin, PimIteration, CrossbarTransfer, CellDeparture, VoqSnapshot, CbrSlot
+]
 
 _EVENT_TYPES: Dict[str, Type] = {
     cls.kind: cls
-    for cls in (SlotBegin, PimIteration, CrossbarTransfer, CellDeparture, VoqSnapshot)
+    for cls in (
+        SlotBegin,
+        PimIteration,
+        CrossbarTransfer,
+        CellDeparture,
+        VoqSnapshot,
+        CbrSlot,
+    )
 }
 
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.obs.events import (
+    CbrSlot,
     CellDeparture,
     CrossbarTransfer,
     PimIteration,
@@ -155,6 +156,44 @@ class Probe:
             CellDeparture(
                 slot=self.slot, input=input_port, output=output,
                 delay=delay, flow_id=flow_id,
+            )
+        )
+
+    def cbr_slot(
+        self,
+        position: int,
+        reserved: int = 0,
+        cbr_cells: int = 0,
+        vbr_cells: int = 0,
+        donated: int = 0,
+        cbr_backlog: int = 0,
+        vbr_backlog: int = 0,
+        replicas: int = 1,
+    ) -> None:
+        """Emit the slot's integrated CBR + VBR anatomy (every slot).
+
+        This is a cheap per-slot event (a handful of ints), so like
+        ``transfer`` it is emitted on every enabled slot rather than
+        sampled; it is what the CBR differential harness diffs to find
+        the first divergent slot between backends.
+        """
+        if not self.enabled:
+            return
+        if self.metrics is not None:
+            self.metrics.counter("cbr.cells").inc(cbr_cells)
+            self.metrics.counter("cbr.donated").inc(donated)
+            self.metrics.counter("vbr.cells").inc(vbr_cells)
+        self.sink.write(
+            CbrSlot(
+                slot=self.slot,
+                position=position,
+                reserved=reserved,
+                cbr_cells=cbr_cells,
+                vbr_cells=vbr_cells,
+                donated=donated,
+                cbr_backlog=cbr_backlog,
+                vbr_backlog=vbr_backlog,
+                replicas=replicas,
             )
         )
 

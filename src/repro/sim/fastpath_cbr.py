@@ -1,0 +1,691 @@
+"""Count-based, batch-vectorized integrated CBR + VBR simulator.
+
+The object model (:class:`repro.cbr.integrated.IntegratedSwitch`)
+reproduces Section 4 -- reserved frame-schedule slots carry CBR cells,
+idle reservations are donated, and a PIM pass fills every remaining
+input/output pair with VBR -- one replica at a time with per-cell
+Python objects.  This module is its fast path, following the same
+recipe as :mod:`repro.sim.fastpath`:
+
+- the frame schedule is *compiled once* into a dense ``(F, N)``
+  reserved-output array (``reserved[p, i] == j`` when input i holds a
+  reservation to output j in frame position p, else ``-1``), so the
+  per-slot claim is pure array indexing instead of dict walks;
+- the state of B replicas lives in two ``(B, N, N)`` count tensors --
+  separate CBR and VBR pools, mirroring the paper's split buffer
+  design ("VBR cells use a different set of buffers");
+- per slot, the CBR claim is a batched gather (reserved pairs with a
+  queued CBR cell depart; the rest are donated), then one masked
+  :class:`repro.core.pim.BatchPIMScheduler` call fills the leftover
+  ports with VBR.
+
+Per-class mean delay is recovered by Little's law exactly as in
+:mod:`repro.sim.fastpath`: the pools are disjoint, so each class's
+end-of-slot backlog integral equals the summed delay of that class's
+cells over a drained run.  Both ``warmup_mode`` conventions are
+supported; ``"arrival"`` tracks legacy cells per pool and (given the
+per-VOQ FIFO that holds when each connection carries one flow) matches
+the object backend's arrival-keyed :class:`repro.sim.stats.DelayStats`
+exactly.
+
+Seed-for-seed parity: with ``replicas=1``, ``vbr_arrival_seeds=[s]``
+and ``match_seed=m``, this backend sees byte-identical arrivals and
+makes byte-identical VBR matchings to ``IntegratedSwitch`` driven by
+``UniformTraffic(seed=s)`` + ``PIMScheduler(seed=m)`` (the CBR claim
+phase is deterministic, and ``BatchPIMScheduler`` at B=1 consumes its
+stream draw-for-draw like ``PIMScheduler`` for N < 64) -- so per-slot
+CBR and VBR departures agree slot for slot.  The Appendix B buffer
+bound is enforced exactly as in the object backend: per-input CBR
+occupancy is checked after arrivals land every slot and an overflow
+raises :class:`repro.cbr.integrated.CBRBufferOverflow`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cbr.frame import FrameSchedule
+from repro.cbr.integrated import (
+    BoundSpec,
+    CBRBufferOverflow,
+    resolve_cbr_buffer_bound,
+)
+from repro.cbr.reservations import ReservationTable
+from repro.core.pim import AN2_ITERATIONS, AcceptPolicy, BatchPIMScheduler
+from repro.sim.fastpath import _BatchedArrivals, _ObjectCompatArrivals
+from repro.sim.rng import RandomStreams
+from repro.switch.flow import Flow
+from repro.traffic.cbr_source import CBRSource
+
+__all__ = [
+    "compile_frame_schedule",
+    "compile_cbr_pattern",
+    "IntegratedFastpath",
+    "CbrFastpathResult",
+    "run_fastpath_cbr",
+]
+
+_EMPTY = np.zeros(0, dtype=np.int64)
+
+
+def compile_frame_schedule(schedule: FrameSchedule) -> np.ndarray:
+    """Compile a frame schedule into a dense ``(F, N)`` claim table.
+
+    ``reserved[p, i]`` is the output reserved for input i in frame
+    position p, or ``-1`` when input i holds no reservation there.
+    Because each slot's pairings form a partial matching, one int per
+    (position, input) losslessly encodes the whole schedule; the
+    per-slot claim then never touches the schedule's dicts.
+    """
+    reserved = np.full((schedule.frame_slots, schedule.ports), -1, dtype=np.int64)
+    for position in range(schedule.frame_slots):
+        for i, j in schedule.pairings(position):
+            reserved[position, i] = j
+    return reserved
+
+
+def compile_cbr_pattern(
+    ports: int, flows: Sequence[Flow], frame_slots: int
+) -> np.ndarray:
+    """Per-frame-position CBR arrival counts, ``(F, N, N)``.
+
+    Replicates :class:`repro.traffic.cbr_source.CBRSource` with
+    ``jitter=False`` exactly: flow f emits its ``cells_per_frame`` cells
+    at the evenly spaced offsets ``(arange(k) * F) // k`` of every
+    frame, so ``pattern[slot % F]`` is the slot's arrival count matrix
+    for every replica at once (the deterministic source consumes no
+    randomness).
+    """
+    pattern = np.zeros((frame_slots, ports, ports), dtype=np.int64)
+    for flow in flows:
+        if not flow.is_cbr:
+            raise ValueError(f"flow {flow.flow_id} is not CBR")
+        k = flow.cells_per_frame
+        if k > frame_slots:
+            raise ValueError(
+                f"flow {flow.flow_id} reserves {k} cells in a "
+                f"{frame_slots}-slot frame"
+            )
+        for offset in (np.arange(k) * frame_slots) // k:
+            pattern[offset, flow.src, flow.dst] += 1
+    return pattern
+
+
+class IntegratedFastpath:
+    """Count-based state of B replicas of the integrated CBR+VBR switch.
+
+    Two ``(B, N, N)`` tensors hold the class-separated buffer pools;
+    :meth:`step` advances all replicas one slot with the object
+    backend's timing: arrivals land, the Appendix B bound is checked,
+    reserved pairs with queued CBR cells depart (idle reservations are
+    donated), and a masked batched PIM pass fills the remaining ports
+    with VBR cells.
+
+    Parameters
+    ----------
+    ports, replicas, frame_slots:
+        Switch size N, batch size B, frame length F.
+    reserved:
+        Compiled ``(F, N)`` claim table (:func:`compile_frame_schedule`).
+    scheduler:
+        A ``replicas x ports`` :class:`BatchPIMScheduler` for the VBR
+        gap fill.
+    cbr_buffer_bound:
+        Optional per-input ``(N,)`` bound vector (already resolved);
+        ``None`` disables enforcement.
+    """
+
+    def __init__(
+        self,
+        ports: int,
+        replicas: int,
+        frame_slots: int,
+        reserved: np.ndarray,
+        scheduler: BatchPIMScheduler,
+        cbr_buffer_bound: Optional[np.ndarray] = None,
+    ):
+        if ports <= 0:
+            raise ValueError(f"ports must be positive, got {ports}")
+        if replicas <= 0:
+            raise ValueError(f"replicas must be positive, got {replicas}")
+        reserved = np.asarray(reserved, dtype=np.int64)
+        if reserved.shape != (frame_slots, ports):
+            raise ValueError(
+                f"reserved table must have shape ({frame_slots}, {ports}), "
+                f"got {reserved.shape}"
+            )
+        if (scheduler.replicas, scheduler.ports) != (replicas, ports):
+            raise ValueError(
+                f"scheduler is for {scheduler.replicas}x{scheduler.ports} "
+                f"replicas x ports, switch has {replicas}x{ports}"
+            )
+        self.ports = ports
+        self.replicas = replicas
+        self.frame_slots = frame_slots
+        self.reserved = reserved
+        self.scheduler = scheduler
+        self.cbr_buffer_bound = cbr_buffer_bound
+        self.cbr = np.zeros((replicas, ports, ports), dtype=np.int64)
+        self.vbr = np.zeros((replicas, ports, ports), dtype=np.int64)
+        self.cbr_slots_used = np.zeros(replicas, dtype=np.int64)
+        self.cbr_slots_donated = np.zeros(replicas, dtype=np.int64)
+        self.peak_cbr_buffer = np.zeros(replicas, dtype=np.int64)
+        # Per-position reserved (input, output) index vectors, so the
+        # hot loop never recomputes the nonzero scan.
+        self._res_inputs: List[np.ndarray] = []
+        self._res_outputs: List[np.ndarray] = []
+        for position in range(frame_slots):
+            inputs = np.nonzero(reserved[position] >= 0)[0]
+            self._res_inputs.append(inputs)
+            self._res_outputs.append(reserved[position, inputs])
+
+    def step(
+        self,
+        slot: int,
+        cbr_arrivals: Optional[np.ndarray] = None,
+        vbr_arrivals: Optional[np.ndarray] = None,
+        check: bool = False,
+    ) -> Tuple[
+        Tuple[np.ndarray, np.ndarray, np.ndarray],
+        Tuple[np.ndarray, np.ndarray, np.ndarray],
+    ]:
+        """Advance one slot; returns per-class departure index arrays.
+
+        Returns ``((bb_c, ii_c, jj_c), (bb_v, ii_v, jj_v))``: CBR cell
+        k departed input ``ii_c[k]`` of replica ``bb_c[k]`` through
+        output ``jj_c[k]``, likewise for VBR.
+
+        Raises :class:`CBRBufferOverflow` when a per-input CBR
+        occupancy exceeds the bound after this slot's arrivals land.
+        """
+        if cbr_arrivals is not None:
+            if check and (np.asarray(cbr_arrivals) < 0).any():
+                raise ValueError("negative CBR arrival counts")
+            self.cbr += cbr_arrivals
+        if vbr_arrivals is not None:
+            if check and (np.asarray(vbr_arrivals) < 0).any():
+                raise ValueError("negative VBR arrival counts")
+            self.vbr += vbr_arrivals
+        per_input = self.cbr.sum(axis=2)
+        np.maximum(self.peak_cbr_buffer, per_input.max(axis=1), out=self.peak_cbr_buffer)
+        if self.cbr_buffer_bound is not None:
+            over = per_input > self.cbr_buffer_bound
+            if over.any():
+                b, i = np.argwhere(over)[0]
+                raise CBRBufferOverflow(
+                    slot,
+                    int(i),
+                    int(per_input[b, i]),
+                    int(self.cbr_buffer_bound[i]),
+                    replica=int(b),
+                )
+
+        # Phase 1: batched claim of this position's reserved pairings.
+        position = slot % self.frame_slots
+        res_in = self._res_inputs[position]
+        res_out = self._res_outputs[position]
+        if res_in.size:
+            have = self.cbr[:, res_in, res_out] > 0  # (B, K)
+            bb_c, kk = np.nonzero(have)
+            ii_c = res_in[kk]
+            jj_c = res_out[kk]
+            # The slot's pairings form a partial matching, so the
+            # claimed (b, i, j) triples are unique per replica and a
+            # fancy-indexed decrement is safe.
+            self.cbr[bb_c, ii_c, jj_c] -= 1
+            used = have.sum(axis=1)
+            self.cbr_slots_used += used
+            self.cbr_slots_donated += res_in.size - used
+        else:
+            bb_c = ii_c = jj_c = _EMPTY
+
+        # Phase 2: masked batched PIM fills the remaining ports with VBR.
+        requests = self.vbr > 0
+        if bb_c.size:
+            requests[bb_c, ii_c, :] = False
+            requests[bb_c, :, jj_c] = False
+        match = self.scheduler.schedule(requests)
+        bb_v, ii_v = np.nonzero(match >= 0)
+        jj_v = match[bb_v, ii_v]
+        if check:
+            if (self.vbr[bb_v, ii_v, jj_v] <= 0).any():
+                raise AssertionError("PIM matched an empty VBR VOQ")
+            claimed_in = np.zeros((self.replicas, self.ports), dtype=bool)
+            claimed_out = np.zeros((self.replicas, self.ports), dtype=bool)
+            claimed_in[bb_c, ii_c] = True
+            claimed_out[bb_c, jj_c] = True
+            if claimed_in[bb_v, ii_v].any() or claimed_out[bb_v, jj_v].any():
+                raise AssertionError("VBR fill collided with a CBR claim")
+        self.vbr[bb_v, ii_v, jj_v] -= 1
+        if check and ((self.cbr < 0).any() or (self.vbr < 0).any()):
+            raise AssertionError("negative VOQ occupancy")
+        return (bb_c, ii_c, jj_c), (bb_v, ii_v, jj_v)
+
+    def backlog(self) -> np.ndarray:
+        """(B,) cells buffered per replica, both pools."""
+        return self.cbr.sum(axis=(1, 2)) + self.vbr.sum(axis=(1, 2))
+
+
+@dataclass
+class CbrFastpathResult:
+    """Aggregates of an integrated fast-path run, per replica and pooled.
+
+    Mirrors the per-class accounting of
+    :class:`repro.cbr.integrated.IntegratedResult` (CBR vs VBR delay,
+    used/donated reserved slots, peak CBR buffer, enforced bound) with
+    the per-replica array layout of
+    :class:`repro.sim.fastpath.FastpathResult`.
+
+    Attributes
+    ----------
+    offered_cbr, offered_vbr, carried_cbr, carried_vbr:
+        (B,) per-class arrival/departure counts inside the measurement
+        window (slots >= warmup).
+    cbr_backlog_integral, vbr_backlog_integral:
+        (B,) per-class end-of-slot backlog sums over the window -- the
+        Little's-law numerators.
+    cbr_slots_used, cbr_slots_donated:
+        (B,) reserved slots used by CBR cells / donated to VBR, over
+        the *whole* run (matching the object backend's counters).
+    peak_cbr_buffer:
+        (B,) largest per-input CBR occupancy seen (whole run).
+    cbr_buffer_bound:
+        Per-input Appendix B bound enforced during the run, or None.
+    cbr_delay_cells, cbr_delay_integral, vbr_delay_cells,
+    vbr_delay_integral:
+        Arrival-keyed warmup accounting ((B,) arrays, ``warmup_mode ==
+        "arrival"`` only, else None), as in
+        :class:`repro.sim.fastpath.FastpathResult`.
+    """
+
+    ports: int
+    replicas: int
+    frame_slots: int
+    slots: int
+    drain_slots: int
+    warmup: int
+    window: int
+    offered_cbr: np.ndarray
+    offered_vbr: np.ndarray
+    carried_cbr: np.ndarray
+    carried_vbr: np.ndarray
+    cbr_backlog_integral: np.ndarray
+    vbr_backlog_integral: np.ndarray
+    cbr_slots_used: np.ndarray
+    cbr_slots_donated: np.ndarray
+    peak_cbr_buffer: np.ndarray
+    final_backlog: np.ndarray
+    warmup_mode: str = "slot"
+    cbr_buffer_bound: Optional[Tuple[int, ...]] = None
+    cbr_delay_cells: Optional[np.ndarray] = None
+    cbr_delay_integral: Optional[np.ndarray] = None
+    vbr_delay_cells: Optional[np.ndarray] = None
+    vbr_delay_integral: Optional[np.ndarray] = None
+
+    @staticmethod
+    def _pooled_delay(
+        integral: np.ndarray,
+        carried: np.ndarray,
+        delay_integral: Optional[np.ndarray],
+        delay_cells: Optional[np.ndarray],
+    ) -> float:
+        if delay_cells is not None:
+            cells = int(delay_cells.sum())
+            return float(delay_integral.sum()) / cells if cells else 0.0
+        total = int(carried.sum())
+        return float(integral.sum()) / total if total else 0.0
+
+    @property
+    def mean_cbr_delay(self) -> float:
+        """Pooled mean CBR queueing delay in slots (Little's law)."""
+        return self._pooled_delay(
+            self.cbr_backlog_integral, self.carried_cbr,
+            self.cbr_delay_integral, self.cbr_delay_cells,
+        )
+
+    @property
+    def mean_vbr_delay(self) -> float:
+        """Pooled mean VBR queueing delay in slots (Little's law)."""
+        return self._pooled_delay(
+            self.vbr_backlog_integral, self.carried_vbr,
+            self.vbr_delay_integral, self.vbr_delay_cells,
+        )
+
+    @property
+    def mean_delay(self) -> float:
+        """Pooled mean delay over both classes."""
+        return self._pooled_delay(
+            self.cbr_backlog_integral + self.vbr_backlog_integral,
+            self.carried_cbr + self.carried_vbr,
+            None
+            if self.cbr_delay_integral is None
+            else self.cbr_delay_integral + self.vbr_delay_integral,
+            None
+            if self.cbr_delay_cells is None
+            else self.cbr_delay_cells + self.vbr_delay_cells,
+        )
+
+    @property
+    def carried_cells(self) -> np.ndarray:
+        """(B,) total departures inside the window, both classes."""
+        return self.carried_cbr + self.carried_vbr
+
+    @property
+    def offered_cells(self) -> np.ndarray:
+        """(B,) total arrivals inside the window, both classes."""
+        return self.offered_cbr + self.offered_vbr
+
+    @property
+    def throughput(self) -> float:
+        """Carried cells per slot per port, pooled over replicas."""
+        if self.window == 0:
+            return 0.0
+        return int(self.carried_cells.sum()) / (
+            self.window * self.ports * self.replicas
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        used = int(self.cbr_slots_used.sum())
+        donated = int(self.cbr_slots_donated.sum())
+        return (
+            f"{self.ports}x{self.ports} cbr-fastpath x{self.replicas} replicas, "
+            f"F={self.frame_slots}, {self.slots}+{self.drain_slots} slots: "
+            f"cbr delay {self.mean_cbr_delay:.2f}, vbr delay "
+            f"{self.mean_vbr_delay:.2f} slots; reserved slots used {used}, "
+            f"donated {donated}; peak cbr buffer "
+            f"{int(self.peak_cbr_buffer.max(initial=0))}"
+        )
+
+
+class _CbrSourceArrivals:
+    """Per-replica jittered CBR arrivals, converted to count tensors.
+
+    Used for jitter parity runs: replica b drives a real
+    :class:`CBRSource` seeded with ``seeds[b]``, consuming its jitter
+    stream draw-for-draw like an object-backend run with the same seed.
+    """
+
+    def __init__(
+        self,
+        ports: int,
+        flows: Sequence[Flow],
+        frame_slots: int,
+        seeds: Sequence[Optional[int]],
+    ):
+        self.ports = ports
+        self._sources = [
+            CBRSource(ports, flows, frame_slots, jitter=True, seed=seed)
+            for seed in seeds
+        ]
+
+    def slot_counts(self, slot: int) -> np.ndarray:
+        counts = np.zeros(
+            (len(self._sources), self.ports, self.ports), dtype=np.int64
+        )
+        for b, source in enumerate(self._sources):
+            for input_port, cell in source.arrivals(slot):
+                counts[b, input_port, cell.output] += 1
+        return counts
+
+
+def run_fastpath_cbr(
+    reservations: ReservationTable,
+    vbr_load: float,
+    slots: int,
+    replicas: int = 1,
+    warmup: int = 0,
+    warmup_mode: str = "slot",
+    iterations: Optional[int] = AN2_ITERATIONS,
+    accept: AcceptPolicy = "random",
+    seed: int = 0,
+    match_seed: Optional[int] = None,
+    vbr_arrival_seeds: Optional[Sequence[Optional[int]]] = None,
+    cbr_jitter: bool = False,
+    cbr_jitter_seeds: Optional[Sequence[Optional[int]]] = None,
+    drain_slots: int = 0,
+    check: bool = False,
+    probe=None,
+    trace_stride: Optional[int] = None,
+    cbr_buffer_bound: BoundSpec = "auto",
+) -> CbrFastpathResult:
+    """Simulate B replicas of the integrated CBR+VBR switch, vectorized.
+
+    Parameters
+    ----------
+    reservations:
+        The switch's :class:`ReservationTable`; its frame schedule is
+        compiled once and its flows drive the CBR arrival pattern.
+    vbr_load:
+        Per-link Bernoulli offered VBR load (the Section 3.5 uniform
+        workload riding on top of the reserved traffic).
+    slots, drain_slots:
+        Arrival-carrying slots, plus arrival-free slots appended so
+        both pools can flush (making the Little's-law identity exact).
+    replicas, warmup, warmup_mode, iterations, accept, check, probe,
+    trace_stride:
+        As :func:`repro.sim.fastpath.run_fastpath`; ``warmup_mode=
+        "arrival"`` tracks legacy cells per class pool.
+    seed:
+        Root seed; VBR arrival and matching streams derive from it
+        ("cbr-fastpath/vbr-arrivals", "cbr-fastpath/pim").
+    match_seed:
+        When given, seeds the VBR ``BatchPIMScheduler`` directly
+        instead of deriving from ``seed`` -- pass the object backend's
+        ``PIMScheduler`` seed for seed-for-seed parity at B=1.
+    vbr_arrival_seeds:
+        When given (length B), replica b's VBR arrivals replicate
+        ``UniformTraffic(ports, vbr_load, seed=...)`` draw for draw.
+    cbr_jitter, cbr_jitter_seeds:
+        ``False`` (default) uses the deterministic evenly-spaced
+        emission pattern, compiled once and shared by every replica
+        (it consumes no randomness).  ``True`` drives one jittered
+        :class:`CBRSource` per replica, seeded from
+        ``cbr_jitter_seeds`` (or derived from ``seed``).
+    cbr_buffer_bound:
+        Appendix B enforcement, as
+        :class:`repro.cbr.integrated.IntegratedSwitch`: ``"auto"``
+        derives per-input ``2 x input_committed(i)`` from the
+        reservation table; an overflow raises
+        :class:`CBRBufferOverflow`.
+
+    Returns a :class:`CbrFastpathResult`.
+    """
+    if not 0.0 <= vbr_load <= 1.0:
+        raise ValueError(f"vbr_load must be in [0, 1], got {vbr_load}")
+    if slots <= 0:
+        raise ValueError(f"slots must be positive, got {slots}")
+    if drain_slots < 0:
+        raise ValueError(f"drain_slots must be >= 0, got {drain_slots}")
+    total_slots = slots + drain_slots
+    if not 0 <= warmup < total_slots:
+        raise ValueError(f"warmup must be in [0, {total_slots}), got {warmup}")
+    if warmup_mode not in ("slot", "arrival"):
+        raise ValueError(
+            f"warmup_mode must be 'slot' or 'arrival', got {warmup_mode!r}"
+        )
+
+    ports = reservations.ports
+    frame_slots = reservations.frame_slots
+    streams = RandomStreams(seed)
+    pim_rng = (
+        np.random.default_rng(match_seed)
+        if match_seed is not None
+        else streams.get("cbr-fastpath/pim")
+    )
+    scheduler = BatchPIMScheduler(
+        replicas=replicas,
+        ports=ports,
+        iterations=iterations,
+        accept=accept,
+        rng=pim_rng,
+        track_sizes=False,
+    )
+    bound = resolve_cbr_buffer_bound(cbr_buffer_bound, reservations.reserved_matrix())
+    switch = IntegratedFastpath(
+        ports,
+        replicas,
+        frame_slots,
+        compile_frame_schedule(reservations.schedule),
+        scheduler,
+        cbr_buffer_bound=bound,
+    )
+
+    flows = reservations.flows()
+    if cbr_jitter:
+        if cbr_jitter_seeds is None:
+            from repro.sim.rng import derive_seed
+
+            cbr_jitter_seeds = [
+                derive_seed(seed, f"cbr-fastpath/jitter/{b}") for b in range(replicas)
+            ]
+        elif len(cbr_jitter_seeds) != replicas:
+            raise ValueError(
+                f"cbr_jitter_seeds has {len(cbr_jitter_seeds)} entries for "
+                f"{replicas} replicas"
+            )
+        cbr_source: Optional[_CbrSourceArrivals] = _CbrSourceArrivals(
+            ports, flows, frame_slots, cbr_jitter_seeds
+        )
+        cbr_pattern = None
+    else:
+        cbr_source = None
+        cbr_pattern = compile_cbr_pattern(ports, flows, frame_slots)
+
+    if vbr_arrival_seeds is not None:
+        if len(vbr_arrival_seeds) != replicas:
+            raise ValueError(
+                f"vbr_arrival_seeds has {len(vbr_arrival_seeds)} entries for "
+                f"{replicas} replicas"
+            )
+        vbr_source = _ObjectCompatArrivals(ports, vbr_load, vbr_arrival_seeds)
+    else:
+        vbr_source = _BatchedArrivals(
+            ports, replicas, vbr_load, streams.get("cbr-fastpath/vbr-arrivals")
+        )
+
+    traced = probe is not None and probe.enabled
+    if traced:
+        if trace_stride is not None:
+            if trace_stride < 1:
+                raise ValueError(f"trace_stride must be >= 1, got {trace_stride}")
+            probe.stride = trace_stride
+        scheduler.attach_probe(probe)
+
+    offered_cbr = np.zeros(replicas, dtype=np.int64)
+    offered_vbr = np.zeros(replicas, dtype=np.int64)
+    carried_cbr = np.zeros(replicas, dtype=np.int64)
+    carried_vbr = np.zeros(replicas, dtype=np.int64)
+    cbr_integral = np.zeros(replicas, dtype=np.int64)
+    vbr_integral = np.zeros(replicas, dtype=np.int64)
+    arrival_keyed = warmup_mode == "arrival"
+    legacy_cbr: Optional[np.ndarray] = None
+    legacy_vbr: Optional[np.ndarray] = None
+    cbr_delay_cells = np.zeros(replicas, dtype=np.int64) if arrival_keyed else None
+    cbr_delay_integral = np.zeros(replicas, dtype=np.int64) if arrival_keyed else None
+    vbr_delay_cells = np.zeros(replicas, dtype=np.int64) if arrival_keyed else None
+    vbr_delay_integral = np.zeros(replicas, dtype=np.int64) if arrival_keyed else None
+
+    for slot in range(total_slots):
+        if slot < slots:
+            position = slot % frame_slots
+            if cbr_source is not None:
+                cbr_counts: Optional[np.ndarray] = cbr_source.slot_counts(slot)
+            elif cbr_pattern is not None:
+                # Shared deterministic pattern; broadcast, no copy.
+                cbr_counts = cbr_pattern[position][None, :, :]
+            else:
+                cbr_counts = None
+            vbr_counts: Optional[np.ndarray] = vbr_source.slot_counts()
+        else:
+            cbr_counts = vbr_counts = None
+        if arrival_keyed and slot == warmup:
+            # Cells still queued at the warmup boundary arrived before
+            # it; per-VOQ FIFO (exact when each connection carries one
+            # flow) means they depart before anything arriving later.
+            legacy_cbr = switch.cbr.copy()
+            legacy_vbr = switch.vbr.copy()
+        if traced:
+            arrivals = 0
+            if cbr_counts is not None:
+                arrivals += int(cbr_counts.sum()) * (
+                    replicas if cbr_counts.shape[0] == 1 and replicas > 1 else 1
+                )
+            if vbr_counts is not None:
+                arrivals += int(vbr_counts.sum())
+            probe.begin_slot(slot, arrivals=arrivals, backlog=int(switch.backlog().sum()))
+        (bb_c, ii_c, jj_c), (bb_v, ii_v, jj_v) = switch.step(
+            slot, cbr_counts, vbr_counts, check=check
+        )
+        if traced:
+            position = slot % frame_slots
+            reserved_pairs = switch._res_inputs[position].size
+            probe.transfer(int(bb_c.size + bb_v.size))
+            probe.cbr_slot(
+                position=position,
+                reserved=reserved_pairs * replicas,
+                cbr_cells=int(bb_c.size),
+                vbr_cells=int(bb_v.size),
+                donated=reserved_pairs * replicas - int(bb_c.size),
+                cbr_backlog=int(switch.cbr.sum()),
+                vbr_backlog=int(switch.vbr.sum()),
+                replicas=replicas,
+            )
+            if probe.sampling:
+                probe.voq_snapshot(
+                    (switch.cbr + switch.vbr).sum(axis=0), replica=-1
+                )
+        if slot < warmup:
+            continue
+        if cbr_counts is not None:
+            per_replica = cbr_counts.sum(axis=(1, 2))
+            offered_cbr += per_replica if per_replica.size > 1 else per_replica[0]
+        if vbr_counts is not None:
+            offered_vbr += vbr_counts.sum(axis=(1, 2))
+        carried_cbr += np.bincount(bb_c, minlength=replicas)
+        carried_vbr += np.bincount(bb_v, minlength=replicas)
+        cbr_integral += switch.cbr.sum(axis=(1, 2))
+        vbr_integral += switch.vbr.sum(axis=(1, 2))
+        if arrival_keyed:
+            # At most one departure per (replica, input, class) per
+            # slot, so the index triples are unique per class and the
+            # fancy-indexed legacy decrements are safe.
+            was_legacy = legacy_cbr[bb_c, ii_c, jj_c] > 0
+            legacy_cbr[bb_c[was_legacy], ii_c[was_legacy], jj_c[was_legacy]] -= 1
+            cbr_delay_cells += np.bincount(bb_c[~was_legacy], minlength=replicas)
+            cbr_delay_integral += (switch.cbr - legacy_cbr).sum(axis=(1, 2))
+            was_legacy = legacy_vbr[bb_v, ii_v, jj_v] > 0
+            legacy_vbr[bb_v[was_legacy], ii_v[was_legacy], jj_v[was_legacy]] -= 1
+            vbr_delay_cells += np.bincount(bb_v[~was_legacy], minlength=replicas)
+            vbr_delay_integral += (switch.vbr - legacy_vbr).sum(axis=(1, 2))
+
+    if traced:
+        scheduler.attach_probe(None)
+    return CbrFastpathResult(
+        ports=ports,
+        replicas=replicas,
+        frame_slots=frame_slots,
+        slots=slots,
+        drain_slots=drain_slots,
+        warmup=warmup,
+        window=total_slots - warmup,
+        offered_cbr=offered_cbr,
+        offered_vbr=offered_vbr,
+        carried_cbr=carried_cbr,
+        carried_vbr=carried_vbr,
+        cbr_backlog_integral=cbr_integral,
+        vbr_backlog_integral=vbr_integral,
+        cbr_slots_used=switch.cbr_slots_used.copy(),
+        cbr_slots_donated=switch.cbr_slots_donated.copy(),
+        peak_cbr_buffer=switch.peak_cbr_buffer.copy(),
+        final_backlog=switch.backlog(),
+        warmup_mode=warmup_mode,
+        cbr_buffer_bound=tuple(int(b) for b in bound) if bound is not None else None,
+        cbr_delay_cells=cbr_delay_cells,
+        cbr_delay_integral=cbr_delay_integral,
+        vbr_delay_cells=vbr_delay_cells,
+        vbr_delay_integral=vbr_delay_integral,
+    )

@@ -1,8 +1,14 @@
 """Tests for the integrated CBR + VBR switch."""
 
+import numpy as np
 import pytest
 
-from repro.cbr.integrated import IntegratedSwitch
+from repro.cbr.integrated import (
+    CBRBufferOverflow,
+    IntegratedSwitch,
+    derive_cbr_buffer_bound,
+    resolve_cbr_buffer_bound,
+)
 from repro.cbr.reservations import ReservationTable
 from repro.core.pim import PIMScheduler
 from repro.switch.cell import Cell, ServiceClass
@@ -103,3 +109,127 @@ class TestIntegratedSwitch:
         assert sum(len(b) for b in switch.cbr_buffers) + sum(
             len(b) for b in switch.vbr_buffers
         ) == switch.backlog()
+
+
+class TestRunStateReset:
+    """Regression: back-to-back ``run()`` calls must start clean.
+
+    Before the fix, ``cbr_slots_used``/``cbr_slots_donated``,
+    ``peak_cbr_buffer`` and the per-port buffer pools all persisted
+    across ``run()`` invocations, so a second identical run reported
+    accumulated counters and inherited the first run's backlog.
+    """
+
+    @staticmethod
+    def _flows():
+        return [cbr_flow(1, 0, 2, 3), cbr_flow(2, 1, 3, 2)]
+
+    def _run(self, switch):
+        # CBR-only traffic: PIM sees empty VBR request matrices, so the
+        # outcome is independent of scheduler RNG state and two
+        # identical runs must match exactly.
+        return switch.run(CBRSource(4, self._flows(), frame_slots=10), slots=25)
+
+    def test_counters_do_not_accumulate_across_runs(self):
+        switch, _ = build_switch(flows=self._flows())
+        first = self._run(switch)
+        used = switch.cbr_slots_used
+        donated = switch.cbr_slots_donated
+        peak = switch.peak_cbr_buffer
+        assert used > 0
+        second = self._run(switch)
+        assert switch.cbr_slots_used == used
+        assert switch.cbr_slots_donated == donated
+        assert switch.peak_cbr_buffer == peak
+        assert second.cbr_slots_used == first.cbr_slots_used
+        assert second.cbr_delay.count == first.cbr_delay.count
+        assert second.throughput == first.throughput
+
+    def test_reset_discards_queued_cells_and_counters(self):
+        switch, _ = build_switch(flows=[cbr_flow(1, 0, 2, 10)])
+        # Two cells in one slot: one departs (every slot is reserved for
+        # this flow), the other stays queued.
+        switch.step(0, [
+            (0, Cell(flow_id=1, output=2, service=ServiceClass.CBR)),
+            (0, Cell(flow_id=1, output=2, service=ServiceClass.CBR)),
+        ])
+        assert switch.backlog() > 0
+        assert switch.cbr_slots_used > 0
+        switch.reset()
+        assert switch.backlog() == 0
+        assert switch.cbr_slots_used == 0
+        assert switch.cbr_slots_donated == 0
+        assert switch.peak_cbr_buffer == 0
+
+
+class TestCbrBufferBound:
+    """Appendix B: CBR buffering is statically bounded and enforced."""
+
+    def test_over_committed_burst_raises(self):
+        # 2 cells/frame reserved at input 0 -> auto bound 2 x 2 = 4.
+        switch, _ = build_switch(flows=[cbr_flow(1, 0, 2, 2)])
+        burst = [
+            (0, Cell(flow_id=1, output=2, service=ServiceClass.CBR))
+            for _ in range(5)
+        ]
+        with pytest.raises(CBRBufferOverflow) as excinfo:
+            switch.step(0, burst)
+        err = excinfo.value
+        assert err.input_port == 0
+        assert err.occupancy == 5
+        assert err.bound == 4
+
+    def test_occupancy_at_bound_is_conforming(self):
+        """Exactly 2R queued cells is the drift-free worst case, not an
+        overflow -- a conforming jittered source can reach it."""
+        switch, _ = build_switch(flows=[cbr_flow(1, 0, 2, 2)])
+        burst = [
+            (0, Cell(flow_id=1, output=2, service=ServiceClass.CBR))
+            for _ in range(4)
+        ]
+        switch.step(0, burst)
+
+    def test_bound_surfaced_on_result(self):
+        flows = [cbr_flow(1, 0, 2, 3)]
+        switch, _ = build_switch(flows=flows)
+        result = switch.run(CBRSource(4, flows, frame_slots=10), slots=50)
+        assert result.cbr_buffer_bound == (6, 0, 0, 0)
+
+    def test_explicit_zero_bound_raises_on_first_arrival(self):
+        table = ReservationTable(4, 10)
+        table.admit(cbr_flow(1, 0, 2, 1))
+        switch = IntegratedSwitch(
+            table, scheduler=PIMScheduler(seed=0), cbr_buffer_bound=0
+        )
+        with pytest.raises(CBRBufferOverflow):
+            switch.step(
+                0, [(0, Cell(flow_id=1, output=2, service=ServiceClass.CBR))]
+            )
+
+    def test_none_disables_enforcement(self):
+        table = ReservationTable(4, 10)
+        table.admit(cbr_flow(1, 0, 2, 1))
+        switch = IntegratedSwitch(
+            table, scheduler=PIMScheduler(seed=0), cbr_buffer_bound=None
+        )
+        burst = [
+            (0, Cell(flow_id=1, output=2, service=ServiceClass.CBR))
+            for _ in range(50)
+        ]
+        switch.step(0, burst)
+        assert sum(len(b) for b in switch.cbr_buffers) >= 49
+
+    def test_derive_bound_is_two_row_sums(self):
+        matrix = np.array([[1, 2], [0, 3]])
+        assert derive_cbr_buffer_bound(matrix).tolist() == [6, 6]
+
+    def test_bound_spec_validation(self):
+        matrix = np.zeros((4, 4), dtype=np.int64)
+        assert resolve_cbr_buffer_bound(None, matrix) is None
+        assert resolve_cbr_buffer_bound(7, matrix).tolist() == [7, 7, 7, 7]
+        with pytest.raises(ValueError, match="unknown cbr_buffer_bound"):
+            resolve_cbr_buffer_bound("bogus", matrix)
+        with pytest.raises(ValueError, match=">= 0"):
+            resolve_cbr_buffer_bound(-1, matrix)
+        with pytest.raises(ValueError, match="shape"):
+            resolve_cbr_buffer_bound([1, 2], matrix)

@@ -4,6 +4,8 @@ import pytest
 
 from repro.network.admission import NetworkAdmission
 from repro.network.topology import Topology
+from repro.switch.cell import ServiceClass
+from repro.switch.flow import Flow
 
 
 def diamond():
@@ -94,6 +96,41 @@ class TestNetworkAdmission:
         flows = admission.admitted_flows()
         assert len(flows) == 1
         assert flows[0].hops >= 2
+
+    def test_mid_path_failure_rolls_back_installed_switches(self):
+        """Regression: a mid-path ``admit`` failure must not leave the
+        flow half-installed on upstream switches.
+
+        Link commitments and switch tables are desynced by reserving
+        capacity directly in s4's table (as an operator might), so
+        ``find_path`` still finds a path but the final switch rejects
+        the reservation.  Before the fix, s1 and the middle switch kept
+        the flow after ``request`` raised.
+        """
+        topo = diamond()
+        admission = NetworkAdmission(topo, frame_slots=100)
+        # Fill s4's output port toward h2a without touching link
+        # commitments.  The blocker's src port (toward h2b) is on no
+        # h1a -> h2x path, so only that output is poisoned.
+        admission.tables["s4"].admit(
+            Flow(
+                flow_id=999,
+                src=topo.port_toward("s4", "h2b"),
+                dst=topo.port_toward("s4", "h2a"),
+                service=ServiceClass.CBR,
+                cells_per_frame=100,
+            )
+        )
+        with pytest.raises(ValueError):
+            admission.request(1, "h1a", "h2a", 40)
+        # No switch may still hold flow 1, and nothing was committed.
+        for name, table in admission.tables.items():
+            assert all(f.flow_id != 1 for f in table.flows()), name
+        assert admission.committed("h1a", "s1") == 0
+        assert admission.admitted_flows() == []
+        # The network is still usable: a path avoiding the poisoned
+        # output admits fine, including for the same flow id.
+        assert admission.request(1, "h1a", "h2b", 40) is not None
 
     def test_switch_schedules_consistent_after_admissions(self):
         """Every switch on every path holds a valid frame schedule."""

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.obs.events import (
+    CbrSlot,
     CellDeparture,
     CrossbarTransfer,
     PimIteration,
@@ -18,6 +19,8 @@ ALL_EVENTS = [
     CrossbarTransfer(slot=3, cells=6),
     CellDeparture(slot=3, input=1, output=2, delay=4, flow_id=17),
     VoqSnapshot(slot=8, occupancy=((0, 2), (1, 0)), replica=-1),
+    CbrSlot(slot=4, position=1, reserved=3, cbr_cells=2, vbr_cells=1,
+            donated=1, cbr_backlog=5, vbr_backlog=9, replicas=1),
 ]
 
 

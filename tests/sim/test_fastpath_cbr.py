@@ -1,0 +1,293 @@
+"""Tests for the vectorized integrated CBR+VBR fast path."""
+
+import numpy as np
+import pytest
+
+from repro.cbr.integrated import CBRBufferOverflow, IntegratedSwitch
+from repro.cbr.reservations import ReservationTable
+from repro.check.differential import integrated_parity
+from repro.check.invariants import InvariantViolation
+from repro.core.pim import PIMScheduler
+from repro.sim.fastpath_cbr import (
+    compile_cbr_pattern,
+    compile_frame_schedule,
+    run_fastpath_cbr,
+)
+from repro.switch.cell import ServiceClass
+from repro.switch.flow import Flow
+from repro.traffic.cbr_source import CBRSource
+
+
+def cbr_flow(flow_id, src, dst, cells):
+    return Flow(
+        flow_id=flow_id, src=src, dst=dst,
+        service=ServiceClass.CBR, cells_per_frame=cells,
+    )
+
+
+def build_table(ports=4, frame=10, connections=()):
+    table = ReservationTable(ports, frame)
+    for flow_id, (i, j, k) in enumerate(connections, start=1):
+        table.admit(cbr_flow(flow_id, i, j, k))
+    return table
+
+
+class TestCompilation:
+    def test_compiled_schedule_matches_pairings(self):
+        table = build_table(connections=[(0, 1, 3), (1, 2, 2), (2, 0, 4)])
+        reserved = compile_frame_schedule(table.schedule)
+        assert reserved.shape == (10, 4)
+        for position in range(10):
+            pairs = {(i, int(reserved[position, i]))
+                     for i in range(4) if reserved[position, i] >= 0}
+            assert pairs == set(table.pairings(position))
+
+    def test_compiled_schedule_row_counts_match_matrix(self):
+        table = build_table(connections=[(0, 1, 5), (3, 3, 10)])
+        reserved = compile_frame_schedule(table.schedule)
+        matrix = table.reserved_matrix()
+        for i in range(4):
+            for j in range(4):
+                assert ((reserved[:, i] == j).sum()) == matrix[i, j]
+
+    def test_cbr_pattern_replicates_source(self):
+        frame = 7
+        flows = [cbr_flow(1, 0, 2, 3), cbr_flow(2, 1, 1, 7), cbr_flow(3, 3, 0, 1)]
+        pattern = compile_cbr_pattern(4, flows, frame)
+        source = CBRSource(4, flows, frame_slots=frame, jitter=False)
+        for slot in range(3 * frame):
+            counts = np.zeros((4, 4), dtype=np.int64)
+            for input_port, cell in source.arrivals(slot):
+                counts[input_port, cell.output] += 1
+            assert (pattern[slot % frame] == counts).all(), f"slot {slot}"
+
+    def test_pattern_rejects_non_cbr_and_overcommit(self):
+        with pytest.raises(ValueError, match="not CBR"):
+            compile_cbr_pattern(4, [Flow(flow_id=1, src=0, dst=1)], 10)
+        with pytest.raises(ValueError, match="reserves"):
+            compile_cbr_pattern(4, [cbr_flow(1, 0, 1, 11)], 10)
+
+
+class TestSeedMatchedParity:
+    """integrated_parity raises InvariantViolation on any divergence,
+    so a passing call is a full slot-exact + delay-exact comparison."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_parity_small_grid(self, seed):
+        report = integrated_parity(
+            4, 8, 0.5, 0.6, 120, seed=seed, warmup=20
+        )
+        assert report.ok
+
+    def test_parity_zero_warmup_and_high_load(self):
+        report = integrated_parity(
+            4, 10, 0.75, 1.0, 100, seed=7, warmup=0
+        )
+        assert report.ok
+
+    def test_parity_reports_first_divergent_slot(self):
+        # Mismatched match seeds must diverge, and the report names the
+        # first divergent slot rather than just failing wholesale.
+        from repro.obs.probe import Probe
+        from repro.obs.sinks import InMemorySink
+        from repro.traffic.uniform import UniformTraffic
+
+        table = build_table(connections=[(0, 1, 3), (2, 0, 4)])
+
+        class Windowed:
+            def __init__(self, source, limit):
+                self.source, self.limit, self.ports = source, limit, source.ports
+
+            def arrivals(self, slot):
+                return self.source.arrivals(slot) if slot < self.limit else []
+
+        switch = IntegratedSwitch(table, scheduler=PIMScheduler(seed=1))
+        sink = InMemorySink()
+        switch.run(
+            [
+                Windowed(CBRSource(4, table.flows(), 10), 80),
+                Windowed(UniformTraffic(4, load=0.9, seed=5), 80),
+            ],
+            slots=200,
+            probe=Probe(sink),
+        )
+        fast_sink = InMemorySink()
+        run_fastpath_cbr(
+            table, 0.9, 80, match_seed=2, vbr_arrival_seeds=[5],
+            drain_slots=120, probe=Probe(fast_sink),
+        )
+        object_series = [
+            (e.cbr_cells, e.vbr_cells) for e in sink.events if e.kind == "cbr_slot"
+        ]
+        fast_series = [
+            (e.cbr_cells, e.vbr_cells) for e in fast_sink.events if e.kind == "cbr_slot"
+        ]
+        assert object_series != fast_series
+
+
+class TestCountersAndConservation:
+    def test_per_class_conservation(self):
+        table = build_table(connections=[(0, 1, 3), (1, 2, 2), (2, 0, 4)])
+        result = run_fastpath_cbr(
+            table, 0.7, 200, replicas=16, seed=3, drain_slots=400, check=True
+        )
+        # Drained: everything offered was carried, per class.
+        assert (result.final_backlog == 0).all()
+        assert (result.carried_cbr == result.offered_cbr).all()
+        assert (result.carried_vbr == result.offered_vbr).all()
+        # CBR offered exactly the reservation per frame per replica.
+        frames = result.slots // table.frame_slots
+        reserved = int(table.reserved_matrix().sum())
+        assert (result.offered_cbr == frames * reserved).all()
+
+    def test_used_plus_donated_equals_reserved_slots(self):
+        table = build_table(connections=[(0, 1, 3), (3, 3, 1)])
+        slots = 120  # multiple of the frame
+        result = run_fastpath_cbr(
+            table, 0.5, slots, replicas=8, seed=1, drain_slots=100, check=True
+        )
+        reserved_per_frame = int(table.reserved_matrix().sum())
+        total_reserved = reserved_per_frame * (slots + 100) // table.frame_slots
+        assert (
+            result.cbr_slots_used + result.cbr_slots_donated == total_reserved
+        ).all()
+        # Every CBR cell departs through a reserved slot.
+        assert (result.cbr_slots_used == result.carried_cbr).all()
+
+    def test_peak_cbr_buffer_positive_and_bounded(self):
+        table = build_table(connections=[(0, 1, 5), (1, 0, 5)])
+        result = run_fastpath_cbr(
+            table, 0.3, 300, replicas=4, seed=2, drain_slots=100, check=True
+        )
+        assert (result.peak_cbr_buffer >= 1).all()
+        bound = np.asarray(result.cbr_buffer_bound)
+        assert (result.peak_cbr_buffer <= bound.max()).all()
+
+    def test_jitter_sources_stay_within_auto_bound(self):
+        # Jittered conforming sources are the adversarial case for the
+        # Appendix B sizing; the auto bound (2x committed) must hold.
+        table = build_table(connections=[(0, 1, 6), (1, 2, 4), (2, 0, 8)])
+        result = run_fastpath_cbr(
+            table, 0.5, 400, replicas=8, seed=5,
+            cbr_jitter=True, drain_slots=200, check=True,
+        )
+        assert (result.final_backlog == 0).all()
+        assert (result.carried_cbr == result.offered_cbr).all()
+
+    def test_jitter_parity_with_object_source(self):
+        # A fastpath replica driving a seeded jittered CBRSource sees
+        # the same arrivals as the object source with that seed.
+        table = build_table(connections=[(0, 1, 3), (2, 3, 5)])
+        result = run_fastpath_cbr(
+            table, 0.0, 100, replicas=1, cbr_jitter=True,
+            cbr_jitter_seeds=[11], drain_slots=50, check=True,
+        )
+        source = CBRSource(4, table.flows(), 10, jitter=True, seed=11)
+        offered = sum(len(source.arrivals(slot)) for slot in range(100))
+        assert int(result.offered_cbr[0]) == offered
+
+
+class TestBufferBoundEnforcement:
+    def test_explicit_bound_overflow_raises(self):
+        table = build_table(connections=[(0, 1, 2)])
+        with pytest.raises(CBRBufferOverflow) as excinfo:
+            run_fastpath_cbr(table, 0.0, 50, cbr_buffer_bound=0)
+        assert excinfo.value.input_port == 0
+        assert excinfo.value.bound == 0
+
+    def test_auto_bound_not_tripped_by_conforming_sources(self):
+        table = build_table(connections=[(0, 1, 2), (1, 0, 7)])
+        result = run_fastpath_cbr(
+            table, 0.8, 200, replicas=8, seed=9, drain_slots=200, check=True
+        )
+        assert result.cbr_buffer_bound == (4, 14, 0, 0)
+
+    def test_bound_disabled_with_none(self):
+        table = build_table(connections=[(0, 1, 2)])
+        result = run_fastpath_cbr(
+            table, 0.0, 30, cbr_buffer_bound=None, check=True
+        )
+        assert result.cbr_buffer_bound is None
+
+
+class TestWarmupModes:
+    def test_arrival_mode_delay_nonnegative_and_consistent(self):
+        table = build_table(connections=[(0, 1, 3), (1, 2, 2)])
+        result = run_fastpath_cbr(
+            table, 0.6, 200, replicas=4, warmup=40, warmup_mode="arrival",
+            seed=4, drain_slots=200, check=True,
+        )
+        assert (result.cbr_delay_cells <= result.carried_cbr).all()
+        assert (result.cbr_delay_integral >= 0).all()
+        assert (result.vbr_delay_integral >= 0).all()
+        assert result.mean_cbr_delay >= 0.0
+        assert result.mean_vbr_delay >= 0.0
+
+    def test_slot_mode_has_no_delay_arrays(self):
+        table = build_table(connections=[(0, 1, 3)])
+        result = run_fastpath_cbr(table, 0.4, 100, warmup=10, seed=1)
+        assert result.cbr_delay_cells is None
+        assert result.vbr_delay_cells is None
+
+    def test_invalid_arguments_rejected(self):
+        table = build_table(connections=[(0, 1, 3)])
+        with pytest.raises(ValueError, match="vbr_load"):
+            run_fastpath_cbr(table, 1.5, 100)
+        with pytest.raises(ValueError, match="warmup_mode"):
+            run_fastpath_cbr(table, 0.5, 100, warmup_mode="bogus")
+        with pytest.raises(ValueError, match="warmup"):
+            run_fastpath_cbr(table, 0.5, 100, warmup=100)
+        with pytest.raises(ValueError, match="vbr_arrival_seeds"):
+            run_fastpath_cbr(table, 0.5, 100, replicas=2, vbr_arrival_seeds=[1])
+
+
+class TestProbeEmission:
+    def test_cbr_slot_events_every_slot_with_invariant(self):
+        from repro.obs.probe import Probe
+        from repro.obs.sinks import InMemorySink
+
+        table = build_table(connections=[(0, 1, 3), (2, 0, 4)])
+        sink = InMemorySink()
+        run_fastpath_cbr(
+            table, 0.5, 60, replicas=4, seed=2, drain_slots=40,
+            probe=Probe(sink),
+        )
+        events = [e for e in sink.events if e.kind == "cbr_slot"]
+        assert len(events) == 100
+        reserved_per_frame = int(table.reserved_matrix().sum())
+        for event in events:
+            assert event.reserved == event.cbr_cells + event.donated
+            assert event.replicas == 4
+        total_reserved = sum(e.reserved for e in events)
+        assert total_reserved == reserved_per_frame * 100 // 10 * 4
+
+    def test_metrics_counters_totalled(self):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.probe import Probe
+
+        table = build_table(connections=[(0, 1, 5)])
+        metrics = MetricsRegistry()
+        result = run_fastpath_cbr(
+            table, 0.5, 100, seed=3, drain_slots=100,
+            probe=Probe(metrics=metrics),
+        )
+        assert metrics.counter("cbr.cells").value == int(result.carried_cbr.sum())
+        assert metrics.counter("vbr.cells").value == int(result.carried_vbr.sum())
+        assert metrics.counter("cbr.donated").value == int(
+            result.cbr_slots_donated.sum()
+        )
+
+
+@pytest.mark.slow
+class TestParitySweep:
+    """Object-vs-fastpath CBR parity over a wider grid (CI slow stage)."""
+
+    @pytest.mark.parametrize("ports,frame", [(2, 4), (4, 8), (8, 16)])
+    @pytest.mark.parametrize("utilization", [0.25, 0.75])
+    def test_sweep(self, ports, frame, utilization):
+        for seed in range(3):
+            report = integrated_parity(
+                ports, frame, utilization, 0.8, 150, seed=seed,
+                warmup=20 if seed % 2 else 0,
+            )
+            assert report.ok

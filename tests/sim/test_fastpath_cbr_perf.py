@@ -1,0 +1,78 @@
+"""Perf smoke test: the CBR fast path must beat the object backend 3x.
+
+Marked ``slow``; deselect with ``pytest -m "not slow"``.  The full
+perf trajectory lives in ``benchmarks/perf/bench_cbr_fastpath.py``
+(run via ``make cbr-bench``); this is the acceptance floor asserted in
+CI at N=16, B=64.
+"""
+
+import time
+
+import pytest
+
+from repro.cbr.integrated import IntegratedSwitch
+from repro.cbr.reservations import ReservationTable
+from repro.core.pim import PIMScheduler
+from repro.sim.fastpath_cbr import run_fastpath_cbr
+from repro.switch.cell import ServiceClass
+from repro.switch.flow import Flow
+from repro.traffic.cbr_source import CBRSource
+from repro.traffic.uniform import UniformTraffic
+
+
+def build_table(ports, frame, connections):
+    table = ReservationTable(ports, frame)
+    for flow_id, (i, j, k) in enumerate(connections, start=1):
+        table.admit(
+            Flow(flow_id=flow_id, src=i, dst=j,
+                 service=ServiceClass.CBR, cells_per_frame=k)
+        )
+    return table
+
+
+PORTS = 16
+FRAME = 20
+REPLICAS = 64
+VBR_LOAD = 0.6
+CONNECTIONS = [(i, (i + 1) % PORTS, 10) for i in range(PORTS)]
+
+
+@pytest.mark.slow
+def test_cbr_fastpath_at_least_3x_object_backend():
+    # Warm both paths so one-time numpy/import costs don't skew the
+    # comparison.
+    warm_table = build_table(PORTS, FRAME, CONNECTIONS)
+    run_fastpath_cbr(warm_table, VBR_LOAD, 10, replicas=REPLICAS, seed=0)
+    IntegratedSwitch(warm_table, scheduler=PIMScheduler(seed=0)).run(
+        [
+            CBRSource(PORTS, warm_table.flows(), FRAME),
+            UniformTraffic(PORTS, load=VBR_LOAD, seed=1),
+        ],
+        slots=10,
+    )
+
+    table = build_table(PORTS, FRAME, CONNECTIONS)
+    object_slots = 300
+    switch = IntegratedSwitch(table, scheduler=PIMScheduler(seed=2))
+    traffic = [
+        CBRSource(PORTS, table.flows(), FRAME),
+        UniformTraffic(PORTS, load=VBR_LOAD, seed=3),
+    ]
+    start = time.perf_counter()
+    switch.run(traffic, slots=object_slots)
+    object_sps = object_slots / (time.perf_counter() - start)
+
+    fast_slots = 300
+    start = time.perf_counter()
+    run_fastpath_cbr(table, VBR_LOAD, fast_slots, replicas=REPLICAS, seed=4)
+    fast_sps = REPLICAS * fast_slots / (time.perf_counter() - start)
+
+    speedup = fast_sps / object_sps
+    print(
+        f"\nobject {object_sps:.0f} slots/s, cbr-fastpath {fast_sps:.0f} "
+        f"replica-slots/s, speedup {speedup:.1f}x"
+    )
+    assert speedup >= 3.0, (
+        f"cbr fastpath regressed: only {speedup:.1f}x object backend "
+        f"({fast_sps:.0f} vs {object_sps:.0f} slots/s)"
+    )

@@ -81,3 +81,42 @@ class TestCommands:
                 "delay", "--scheduler", scheduler, "--load", "0.4",
                 "--ports", "4", "--slots", "200", "--warmup", "20",
             ]) == 0
+
+    def test_cbr_object_backend(self, capsys):
+        assert main([
+            "cbr", "--ports", "4", "--frame", "8", "--slots", "200",
+            "--warmup", "20", "--seed", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "integrated switch" in out
+        assert "cbr:" in out and "vbr:" in out
+        assert "bound max" in out
+
+    def test_cbr_fastpath_backend(self, capsys):
+        assert main([
+            "cbr", "--ports", "4", "--frame", "8", "--slots", "200",
+            "--warmup", "20", "--seed", "1", "--backend", "fastpath",
+            "--replicas", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cbr-fastpath x8 replicas" in out
+        assert "reserved slots used" in out
+
+    def test_cbr_replicas_require_fastpath(self, capsys):
+        assert main([
+            "cbr", "--ports", "4", "--frame", "8", "--slots", "50",
+            "--replicas", "4",
+        ]) == 2
+        assert "--backend fastpath" in capsys.readouterr().err
+
+    def test_check_churn_suite(self, capsys):
+        assert main(["check", "--suite", "churn", "--seeds", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "[churn]" in out
+        assert "all invariants held" in out
+
+    def test_check_cbr_suite(self, capsys):
+        assert main(["check", "--suite", "cbr", "--seeds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "[cbr]" in out
+        assert "all invariants held" in out
