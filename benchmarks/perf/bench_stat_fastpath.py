@@ -1,0 +1,161 @@
+"""Timing harness: statistical-matching fast path vs object backend.
+
+Measures simulation throughput (replica-slots per wall second) for the
+count-based batched statistical simulator
+(:func:`repro.sim.fastpath_statistical.run_fastpath_statistical`)
+against the per-cell :class:`repro.switch.switch.CrossbarSwitch` +
+:class:`repro.core.statistical.StatisticalMatcher` across switch sizes
+N and batch sizes B, and writes ``BENCH_stat_fastpath.json``.
+
+The headline acceptance number is asserted, not just recorded: at
+N=16 with B >= 64 replicas the fast path must be at least 3x faster
+than the object model per replica-slot (in practice it is far beyond
+that -- the object model draws each grant and accept pick in a Python
+loop and walks per-cell deques).
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf/bench_stat_fastpath.py           # full grid
+    PYTHONPATH=src python benchmarks/perf/bench_stat_fastpath.py --quick   # make stat-bench
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+from repro.check.differential import _random_allocations
+from repro.core.statistical import StatisticalMatcher
+from repro.sim.fastpath_statistical import run_fastpath_statistical
+from repro.switch.switch import CrossbarSwitch
+from repro.traffic.uniform import UniformTraffic
+
+LOAD = 0.8
+UNITS = 16
+UTILIZATION = 0.75
+ROUNDS = 2
+SPEEDUP_FLOOR = 3.0  # asserted at N=16, B>=64
+
+
+def build_allocations(ports: int, seed: int = 0) -> np.ndarray:
+    """Random feasible allocation matrix (sum of permutations)."""
+    rng = np.random.default_rng(seed)
+    return _random_allocations(ports, UNITS, rng, fraction=UTILIZATION)
+
+
+def time_object_backend(
+    allocations: np.ndarray, slots: int, seed: int = 0
+) -> float:
+    """Object-backend slots per second at one switch size."""
+    ports = allocations.shape[0]
+    matcher = StatisticalMatcher(
+        allocations, units=UNITS, rounds=ROUNDS, seed=seed, fill=True
+    )
+    switch = CrossbarSwitch(ports, matcher)
+    traffic = UniformTraffic(ports, load=LOAD, seed=seed + 1)
+    start = time.perf_counter()
+    switch.run(traffic, slots=slots)
+    elapsed = time.perf_counter() - start
+    return slots / elapsed
+
+
+def time_fastpath_backend(
+    allocations: np.ndarray, replicas: int, slots: int, seed: int = 0
+) -> float:
+    """Fast-path replica-slots per second at one (N, B) point."""
+    start = time.perf_counter()
+    run_fastpath_statistical(
+        allocations, UNITS, LOAD, slots,
+        rounds=ROUNDS, replicas=replicas, seed=seed,
+    )
+    elapsed = time.perf_counter() - start
+    return replicas * slots / elapsed
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small config for make stat-bench (fewer grid points, fewer slots)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_stat_fastpath.json",
+        help="output JSON path (default: BENCH_stat_fastpath.json)",
+    )
+    args = parser.parse_args()
+
+    if args.quick:
+        grid_n, grid_b, slots, object_slots = [16], [1, 64], 150, 150
+    else:
+        grid_n, grid_b, slots, object_slots = [8, 16, 32], [1, 64, 256], 300, 300
+
+    allocations = {ports: build_allocations(ports) for ports in grid_n}
+    object_baseline = {}
+    for ports in grid_n:
+        object_baseline[ports] = time_object_backend(allocations[ports], object_slots)
+        print(f"object   N={ports:<3}          {object_baseline[ports]:>12.0f} slots/s")
+
+    results = []
+    floor_checked = False
+    for ports in grid_n:
+        for replicas in grid_b:
+            sps = time_fastpath_backend(allocations[ports], replicas, slots)
+            speedup = sps / object_baseline[ports]
+            results.append(
+                {
+                    "config": {
+                        "backend": "stat-fastpath",
+                        "ports": ports,
+                        "replicas": replicas,
+                        "slots": slots,
+                        "load": LOAD,
+                        "units": UNITS,
+                        "utilization": UTILIZATION,
+                        "rounds": ROUNDS,
+                    },
+                    "slots_per_sec": sps,
+                    "speedup_vs_object": speedup,
+                }
+            )
+            print(
+                f"fastpath N={ports:<3} B={replicas:<4} {sps:>12.0f} "
+                f"replica-slots/s  ({speedup:.1f}x object)"
+            )
+            if ports == 16 and replicas >= 64 and not floor_checked:
+                floor_checked = True
+                assert speedup >= SPEEDUP_FLOOR, (
+                    f"statistical fastpath speedup {speedup:.2f}x at N=16, "
+                    f"B={replicas} below the {SPEEDUP_FLOOR}x floor"
+                )
+                print(
+                    f"  speedup floor: {speedup:.1f}x >= {SPEEDUP_FLOOR}x "
+                    f"at N=16, B={replicas}  OK"
+                )
+    assert floor_checked, "grid did not include the N=16, B>=64 floor point"
+
+    payload = {
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "platform": platform.platform(),
+        "load": LOAD,
+        "units": UNITS,
+        "utilization": UTILIZATION,
+        "rounds": ROUNDS,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "object_baseline_slots_per_sec": {
+            str(n): sps for n, sps in object_baseline.items()
+        },
+        "results": results,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -26,10 +26,11 @@ from repro.analysis.statistical_theory import (
 )
 from repro.core.statistical import StatisticalMatcher
 
-from _common import FULL, print_table
+from _common import BACKEND, FULL, print_table
 
 PORTS = 8
 TRIALS = 40_000 if FULL else 8_000
+REPLICAS = 64  # fastpath backend: lotteries drawn per batched slot
 
 
 def allocation_patterns(units):
@@ -45,14 +46,29 @@ def allocation_patterns(units):
 
 
 def measure_delivered_fraction(alloc, units, rounds, seed, trials=TRIALS):
-    """Mean delivered fraction of allocation, over allocated pairs."""
-    matcher = StatisticalMatcher(alloc, units=units, rounds=rounds, seed=seed)
-    counts = np.zeros((PORTS, PORTS))
-    for _ in range(trials):
-        for i, j in matcher.match():
-            counts[i, j] += 1
+    """Mean delivered fraction of allocation, over allocated pairs.
+
+    With ``REPRO_BACKEND=fastpath`` the lotteries run batched
+    (:func:`repro.sim.fastpath_statistical.match_counts`); the
+    distributions are identical, so the Appendix C laws hold on either
+    backend.
+    """
+    if BACKEND == "fastpath":
+        from repro.sim.fastpath_statistical import match_counts
+
+        counts, samples = match_counts(
+            alloc, units, rounds=rounds, trials=trials,
+            replicas=REPLICAS, seed=seed,
+        )
+    else:
+        matcher = StatisticalMatcher(alloc, units=units, rounds=rounds, seed=seed)
+        counts = np.zeros((PORTS, PORTS))
+        for _ in range(trials):
+            for i, j in matcher.match():
+                counts[i, j] += 1
+        samples = trials
     mask = alloc > 0
-    fractions = counts[mask] / trials / (alloc[mask] / units)
+    fractions = counts[mask] / samples / (alloc[mask] / units)
     return float(fractions.mean())
 
 

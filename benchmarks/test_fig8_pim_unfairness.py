@@ -20,7 +20,7 @@ from repro.core.pim import PIMScheduler
 from repro.core.statistical import StatisticalMatcher
 from repro.fairness.metrics import jain_index, max_min_ratio
 
-from _common import FULL, print_table
+from _common import BACKEND, FULL, print_table
 
 PORTS = 4
 SLOTS = 120_000 if FULL else 30_000
@@ -41,11 +41,25 @@ def run_pim(slots=SLOTS):
 
 def run_statistical(slots=SLOTS):
     """Equal allocations for output 0's four contenders; input 3's
-    remaining bandwidth spread over the other outputs."""
+    remaining bandwidth spread over the other outputs.
+
+    With ``REPRO_BACKEND=fastpath`` the lotteries run batched; the
+    shares are normalized per connection, so either backend's counts
+    work (the batched sweep may draw a few extra samples to fill the
+    last batch).
+    """
     units = 16
     alloc = np.zeros((PORTS, PORTS), dtype=np.int64)
     alloc[0, 0] = alloc[1, 0] = alloc[2, 0] = alloc[3, 0] = 4
     alloc[3, 1] = alloc[3, 2] = alloc[3, 3] = 4
+    if BACKEND == "fastpath":
+        from repro.sim.fastpath_statistical import match_counts
+
+        matrix, _ = match_counts(
+            alloc, units, rounds=2, trials=slots, replicas=64, seed=0
+        )
+        ii, jj = np.nonzero(matrix)
+        return {(int(i), int(j)): int(matrix[i, j]) for i, j in zip(ii, jj)}
     matcher = StatisticalMatcher(alloc, units=units, rounds=2, seed=0)
     counts = {}
     for _ in range(slots):

@@ -22,19 +22,23 @@ from repro.check.differential import (
     integrated_parity,
     metamorphic_pim_iterations,
     metamorphic_statistical_fill,
+    statistical_parity,
 )
 from repro.check.fuzz import (
     Case,
     CbrCase,
     ChurnCase,
+    StatCase,
     FuzzReport,
     fuzz,
     fuzz_cbr,
     fuzz_churn,
+    fuzz_statistical,
     load_case,
     run_case,
     run_cbr_case,
     run_churn_case,
+    run_stat_case,
     shrink,
 )
 from repro.check.invariants import (
@@ -55,9 +59,11 @@ __all__ = [
     "CbrCase",
     "check_conservation",
     "ChurnCase",
+    "StatCase",
     "fuzz",
     "fuzz_cbr",
     "fuzz_churn",
+    "fuzz_statistical",
     "integrated_parity",
     "load_case",
     "metamorphic_pim_iterations",
@@ -65,5 +71,7 @@ __all__ = [
     "run_case",
     "run_cbr_case",
     "run_churn_case",
+    "run_stat_case",
+    "statistical_parity",
     "shrink",
 ]

@@ -41,6 +41,7 @@ __all__ = [
     "integrated_parity",
     "metamorphic_pim_iterations",
     "metamorphic_statistical_fill",
+    "statistical_parity",
 ]
 
 
@@ -317,6 +318,178 @@ def integrated_parity(
         f"{len(fast_series)} slots slot-exact; cbr "
         f"{comparisons['cbr delay (sum, cells)'][0]}, vbr "
         f"{comparisons['vbr delay (sum, cells)'][0]} delay sums match"
+    )
+    return DifferentialReport(name=name, ok=True, detail=detail)
+
+
+def statistical_parity(
+    ports: int,
+    units: int,
+    utilization: float,
+    load: float,
+    slots: int,
+    seed: int = 0,
+    rounds: int = 2,
+    fill: bool = True,
+    warmup: int = 0,
+    drain_slots: Optional[int] = None,
+) -> DifferentialReport:
+    """Object vs fast path on the statistically-matched switch.
+
+    Unlike :func:`backend_parity` (where the two backends' matching
+    randomness is independent and only totals are compared), the
+    statistical fast path consumes the object matcher's generator draw
+    for draw at B = 1 (see :mod:`repro.sim.fastpath_statistical`), so
+    the comparison here is **slot-exact**: with a shared ``match_seed``
+    every grant/virtual-grant/accept lottery -- and therefore every
+    matching, transfer, and queue trajectory -- must coincide.
+
+    Builds a random feasible allocation matrix (sum of permutations at
+    the requested ``utilization`` of ``units``), runs
+    :class:`CrossbarSwitch` + :class:`StatisticalMatcher` against
+    :func:`repro.sim.fastpath_statistical.run_fastpath_statistical`
+    on seed-matched arrivals and matchings, and compares:
+
+    - the per-slot ``StatRound`` series (granted, virtual grants,
+      decoys, accepted, kept, matched) round for round, reporting the
+      first divergent slot;
+    - the per-slot offered arrivals, pre-arrival backlog, and
+      transferred cells;
+    - when the run drained, the delay statistics as integer
+      (sum, cells) pairs.
+
+    Raises :class:`InvariantViolation` on any mismatch.
+    """
+    from repro.core.statistical import StatisticalMatcher
+    from repro.obs.probe import Probe
+    from repro.obs.sinks import InMemorySink
+    from repro.sim.fastpath_statistical import run_fastpath_statistical
+    from repro.sim.rng import derive_seed
+    from repro.switch.switch import CrossbarSwitch
+    from repro.traffic.uniform import UniformTraffic
+
+    if drain_slots is None:
+        drain_slots = max(200, slots)
+    total = slots + drain_slots
+    name = (
+        f"statistical-parity(N={ports}, X={units}, util={utilization}, "
+        f"load={load}, rounds={rounds}, fill={fill}, warmup={warmup}, "
+        f"seed={seed})"
+    )
+
+    alloc_rng = np.random.default_rng(derive_seed(seed, "check/stat-allocations"))
+    allocations = _random_allocations(ports, units, alloc_rng, fraction=utilization)
+    traffic_seed = derive_seed(seed, "check/stat-traffic")
+    match_seed = derive_seed(seed, "check/stat-match")
+
+    object_sink = InMemorySink()
+    matcher = StatisticalMatcher(
+        allocations, units=units, rounds=rounds, seed=match_seed, fill=fill
+    )
+    object_switch = CrossbarSwitch(ports, matcher)
+    object_result = object_switch.run(
+        _WindowedTraffic(
+            UniformTraffic(ports, load=load, seed=traffic_seed), slots
+        ),
+        slots=total,
+        warmup=warmup,
+        probe=Probe(object_sink),
+    )
+
+    fast_sink = InMemorySink()
+    fast_result = run_fastpath_statistical(
+        allocations,
+        units,
+        load,
+        slots,
+        rounds=rounds,
+        fill=fill,
+        replicas=1,
+        warmup=warmup,
+        warmup_mode="arrival",
+        match_seed=match_seed,
+        arrival_seeds=[traffic_seed],
+        drain_slots=drain_slots,
+        check=True,
+        probe=Probe(fast_sink),
+    )
+
+    def stat_series(sink):
+        return [
+            (e.slot, e.round_index, e.granted, e.virtual, e.decoys,
+             e.accepted, e.kept, e.matched)
+            for e in sink.events
+            if e.kind == "stat_round"
+        ]
+
+    def slot_series(sink, kind, field):
+        series = [0] * total
+        for event in sink.events:
+            if event.kind == kind and 0 <= event.slot < total:
+                series[event.slot] += getattr(event, field)
+        return series
+
+    object_rounds = stat_series(object_sink)
+    fast_rounds = stat_series(fast_sink)
+    for object_round, fast_round in zip(object_rounds, fast_rounds):
+        if object_round != fast_round:
+            raise InvariantViolation(
+                "statistical-parity",
+                f"{name}: first divergent round at slot {object_round[0]}: "
+                f"object (round, granted, virtual, decoys, accepted, kept, "
+                f"matched)={object_round[1:]} fastpath={fast_round[1:]}",
+            )
+    if len(object_rounds) != len(fast_rounds):
+        raise InvariantViolation(
+            "statistical-parity",
+            f"{name}: stat_round event count mismatch "
+            f"{len(object_rounds)} vs {len(fast_rounds)}",
+        )
+
+    for kind, field, label in (
+        ("slot_begin", "arrivals", "offered arrivals"),
+        ("slot_begin", "backlog", "pre-arrival backlog"),
+        ("crossbar_transfer", "cells", "transferred cells"),
+    ):
+        object_per_slot = slot_series(object_sink, kind, field)
+        fast_per_slot = slot_series(fast_sink, kind, field)
+        if object_per_slot != fast_per_slot:
+            slot = next(
+                s for s, (a, b) in
+                enumerate(zip(object_per_slot, fast_per_slot)) if a != b
+            )
+            raise InvariantViolation(
+                "statistical-parity",
+                f"{name}: {label} first diverge at slot {slot}: object "
+                f"{object_per_slot[slot]} fastpath {fast_per_slot[slot]}",
+            )
+
+    drained = int(fast_result.final_backlog.sum()) == 0
+    if drained:
+        # Only a drained run makes the Little's-law integral equal the
+        # sum of departed-cell delays (cells still queued at the end
+        # contribute backlog but no departure); without fill a switch
+        # cannot drain cells on zero-allocation pairs, so the delay
+        # comparison is conditional.
+        object_delay = _delay_sums(object_result.delay)
+        fast_delay = (
+            int(fast_result.delay_integral.sum()),
+            int(fast_result.delay_cells.sum()),
+        )
+        if object_delay != fast_delay:
+            raise InvariantViolation(
+                "statistical-parity",
+                f"{name}: delay (sum, cells) mismatch: object "
+                f"{object_delay} fastpath {fast_delay}",
+            )
+    detail = (
+        f"{len(fast_rounds)} rounds and {total} slots slot-exact; "
+        + (
+            f"delay sums {_delay_sums(object_result.delay)} match"
+            if drained
+            else f"undrained (backlog {int(fast_result.final_backlog.sum())}), "
+            f"delay comparison skipped"
+        )
     )
     return DifferentialReport(name=name, ok=True, detail=detail)
 

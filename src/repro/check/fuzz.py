@@ -29,14 +29,17 @@ __all__ = [
     "Case",
     "CbrCase",
     "ChurnCase",
+    "StatCase",
     "FuzzReport",
     "fuzz",
     "fuzz_cbr",
     "fuzz_churn",
+    "fuzz_statistical",
     "load_case",
     "run_case",
     "run_cbr_case",
     "run_churn_case",
+    "run_stat_case",
     "shrink",
 ]
 
@@ -314,6 +317,92 @@ def fuzz_cbr(
     return _sweep(
         seeds, budget_seconds, out_dir, base_seed,
         make_case=_cbr_case_for_seed, run=run_cbr_case, tag="cbr",
+    )
+
+
+@dataclass(frozen=True)
+class StatCase:
+    """One reproducible statistical-matching parity fuzz point."""
+
+    seed: int
+    ports: int = 4
+    units: int = 16
+    utilization: float = 0.75
+    load: float = 0.8
+    rounds: int = 2
+    fill: bool = True
+    slots: int = 150
+    warmup: int = 0
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+
+def run_stat_case(case: StatCase) -> None:
+    """Seed-matched object-vs-fastpath parity on one statistical case.
+
+    The statistical fast path replays the object matcher's generator
+    draw for draw at B = 1, so the check is slot-exact: raises
+    :class:`~repro.check.invariants.InvariantViolation` with the first
+    divergent round/slot on any mismatch (the fast path also runs with
+    ``check=True``, asserting its occupancy invariants every slot).
+    """
+    from repro.check.differential import statistical_parity
+
+    statistical_parity(
+        case.ports,
+        case.units,
+        case.utilization,
+        case.load,
+        case.slots,
+        seed=case.seed,
+        rounds=case.rounds,
+        fill=case.fill,
+        warmup=case.warmup,
+    )
+
+
+def _stat_case_for_seed(seed: int) -> StatCase:
+    """Deterministically map a seed to one statistical parity point.
+
+    ``fill`` alternates with the seed so any two consecutive seeds
+    cover both the filled and the statistical-only configuration; the
+    remaining dimensions come from a seed-derived stream.
+    """
+    import numpy as np
+
+    from repro.sim.rng import derive_seed
+
+    rng = np.random.default_rng(derive_seed(seed, "fuzz/stat-config"))
+    return StatCase(
+        seed=seed,
+        ports=int(rng.choice([2, 4, 8])),
+        units=int(rng.choice([4, 8, 16])),
+        utilization=float(rng.choice([0.25, 0.5, 0.75, 1.0])),
+        load=float(rng.choice([0.2, 0.5, 0.8, 1.0])),
+        rounds=int(rng.choice([1, 2, 3])),
+        fill=bool(seed % 2 == 0),
+        slots=int(rng.choice([80, 150, 300])),
+        warmup=int(rng.choice([0, 20])),
+    )
+
+
+def fuzz_statistical(
+    seeds: int = 10,
+    budget_seconds: Optional[float] = None,
+    out_dir: Optional[str] = None,
+    base_seed: int = 0,
+) -> FuzzReport:
+    """Sweep random statistical-matching parity cases.
+
+    Like :func:`fuzz_cbr`: each case is a full seed-matched
+    object-vs-fastpath comparison (per-round ``StatRound`` anatomy,
+    per-slot arrivals/backlog/transfers, drained delay sums).
+    Failures are recorded unshrunk -- the case tuple replays directly.
+    """
+    return _sweep(
+        seeds, budget_seconds, out_dir, base_seed,
+        make_case=_stat_case_for_seed, run=run_stat_case, tag="statistical",
     )
 
 

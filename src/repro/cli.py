@@ -11,6 +11,8 @@ Installed as the ``repro-an2`` console script::
     repro-an2 table1 --patterns 5000
     repro-an2 cbr-bounds --hops 4 --tolerance 1e-4
     repro-an2 fairness
+    repro-an2 statistical --backend fastpath --replicas 64 --load 0.8
+    repro-an2 check --suite statistical --seeds 10
 
 Each subcommand is a thin wrapper over the library; the full
 regeneration harness lives in ``benchmarks/``.
@@ -372,11 +374,75 @@ def cmd_cbr(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_statistical(args: argparse.Namespace) -> int:
+    """Statistically-matched switch (Section 5), on either backend."""
+    from repro.check.differential import _random_allocations
+    from repro.sim.rng import derive_seed
+
+    probe = _build_probe(args)
+    rng = np.random.default_rng(derive_seed(args.seed, "cli/stat-allocations"))
+    allocations = _random_allocations(
+        args.ports, args.units, rng, fraction=args.utilization
+    )
+    match_seed = derive_seed(args.seed, "cli/stat-match")
+    print(
+        f"{args.ports}x{args.ports} statistical matching, X={args.units} units "
+        f"({int(allocations.sum())} allocated), rounds {args.rounds}, "
+        f"fill {'on' if args.fill else 'off'}, load {args.load}"
+    )
+    if args.backend == "fastpath":
+        from repro.sim.fastpath_statistical import run_fastpath_statistical
+
+        result = run_fastpath_statistical(
+            allocations,
+            args.units,
+            args.load,
+            args.slots,
+            rounds=args.rounds,
+            fill=args.fill,
+            replicas=args.replicas,
+            warmup=args.warmup,
+            seed=args.seed,
+            match_seed=match_seed,
+            probe=probe,
+        )
+        print(result.summary())
+        _finish_probe(probe)
+        return 0
+    if args.replicas != 1:
+        print("error: --replicas needs --backend fastpath", file=sys.stderr)
+        return 2
+    from repro.core.statistical import StatisticalMatcher
+    from repro.switch.switch import CrossbarSwitch
+    from repro.traffic.uniform import UniformTraffic
+
+    matcher = StatisticalMatcher(
+        allocations, units=args.units, rounds=args.rounds,
+        seed=match_seed, fill=args.fill,
+    )
+    switch = CrossbarSwitch(args.ports, matcher)
+    traffic = UniformTraffic(
+        args.ports, load=args.load, seed=derive_seed(args.seed, "cli/stat-traffic")
+    )
+    if probe is not None:
+        result = switch.run(traffic, slots=args.slots, warmup=args.warmup, probe=probe)
+    else:
+        result = switch.run(traffic, slots=args.slots, warmup=args.warmup)
+    print(result.summary())
+    _finish_probe(probe)
+    return 0
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     """Randomized invariant/differential sweeps (see repro.check)."""
-    from repro.check import fuzz, fuzz_cbr, fuzz_churn
+    from repro.check import fuzz, fuzz_cbr, fuzz_churn, fuzz_statistical
 
-    suites = {"switch": fuzz, "cbr": fuzz_cbr, "churn": fuzz_churn}
+    suites = {
+        "switch": fuzz,
+        "cbr": fuzz_cbr,
+        "churn": fuzz_churn,
+        "statistical": fuzz_statistical,
+    }
     selected = list(suites) if args.suite == "all" else [args.suite]
     ok = True
     for name in selected:
@@ -595,17 +661,54 @@ def build_parser() -> argparse.ArgumentParser:
                          help="sample volume-heavy events every N slots")
     cbr_run.set_defaults(func=cmd_cbr)
 
+    stat = sub.add_parser(
+        "statistical",
+        help="statistically-matched switch (Section 5) on a random feasible "
+             "allocation matrix, object or vectorized fastpath backend",
+    )
+    stat.add_argument("--ports", type=int, default=16)
+    stat.add_argument("--units", type=_positive_int, default=16,
+                      help="allocation granularity X (default 16)")
+    stat.add_argument("--utilization", type=float, default=0.75,
+                      help="fraction of the X units reserved per link "
+                           "(default 0.75)")
+    stat.add_argument("--load", type=float, default=0.8,
+                      help="Bernoulli offered load (default 0.8)")
+    stat.add_argument("--rounds", type=_positive_int, default=2,
+                      help="matching rounds per slot (default 2)")
+    stat.add_argument("--no-fill", dest="fill", action="store_false",
+                      help="disable the Section 5.2 PIM fill phase")
+    stat.add_argument("--slots", type=int, default=10_000)
+    stat.add_argument("--warmup", type=int, default=1_000)
+    stat.add_argument("--seed", type=int, default=0)
+    stat.add_argument("--backend", default="object",
+                      choices=["object", "fastpath"],
+                      help="object = per-cell CrossbarSwitch; fastpath = "
+                           "count-based vectorized simulator")
+    stat.add_argument("--replicas", type=_positive_int, default=1,
+                      help="independent replicas (fastpath only, default 1)")
+    stat.add_argument("--trace", metavar="PATH", default=None,
+                      help="write per-slot trace events to PATH as JSONL")
+    stat.add_argument("--metrics", action="store_true",
+                      help="collect and print a metrics registry summary")
+    stat.add_argument("--trace-stride", type=_positive_int, default=1,
+                      metavar="N",
+                      help="sample volume-heavy events every N slots")
+    stat.set_defaults(func=cmd_statistical)
+
     check = sub.add_parser(
         "check",
         help="randomized invariant & differential sweep across schedulers "
              "and backends (repro.check)",
     )
     check.add_argument("--suite", default="switch",
-                       choices=["switch", "cbr", "churn", "all"],
+                       choices=["switch", "cbr", "churn", "statistical", "all"],
                        help="switch = scheduler invariants + PIM parity; "
                             "cbr = integrated CBR+VBR object-vs-fastpath "
                             "parity; churn = Slepian-Duguid add/remove "
-                            "consistency (default switch)")
+                            "consistency; statistical = slot-exact "
+                            "statistical-matching object-vs-fastpath parity "
+                            "(default switch)")
     check.add_argument("--seeds", type=_positive_int, default=25,
                        help="number of random cases to sweep (default 25)")
     check.add_argument("--budget", type=_budget_seconds, default=None,

@@ -40,7 +40,13 @@ import numpy as np
 from repro.core.matching import Matching, as_request_matrix
 from repro.core.pim import pim_match
 
-__all__ = ["StatisticalMatcher", "virtual_grant_pmf"]
+__all__ = [
+    "StatisticalMatcher",
+    "virtual_grant_pmf",
+    "binomial_decoy_pmf",
+    "cumulative_table",
+    "grant_cdf_table",
+]
 
 
 #: Relative tolerance of the tail-sum sanity check in
@@ -95,6 +101,71 @@ def virtual_grant_pmf(x_ij: int, x_total: int) -> np.ndarray:
         raise AssertionError(f"virtual-grant pmf exceeds 1: {tail}")
     p[0] = max(0.0, 1.0 - tail)
     return p
+
+
+def binomial_decoy_pmf(slack: int, x_total: int) -> np.ndarray:
+    """Binomial(slack, 1/X) pmf for the imaginary-output decoy draw.
+
+    An under-reserved input holds ``slack = X - sum_j X[i, j]`` units
+    on its imaginary output; each is granted independently with
+    probability 1/X, so the decoy count is plain Binomial(slack, 1/X)
+    (Appendix C).  Evaluated in log space like
+    :func:`virtual_grant_pmf` so paper-scale X = 10^4 stays finite.
+    """
+    if slack < 0:
+        raise ValueError(f"slack must be >= 0, got {slack}")
+    if x_total < 1:
+        raise ValueError(f"x_total must be >= 1, got {x_total}")
+    p = np.zeros(slack + 1)
+    if slack == 0:
+        p[0] = 1.0
+        return p
+    log_q = math.log1p(-1.0 / x_total) if x_total > 1 else -math.inf
+    log_unit = math.log(x_total)  # log(1/X) = -log_unit
+    lgamma = math.lgamma
+    for m in range(slack + 1):
+        log_comb = lgamma(slack + 1) - lgamma(m + 1) - lgamma(slack - m + 1)
+        # 0 * log(0) would be nan for the x_total == 1, m == slack
+        # corner; the mathematically-right value of q^0 is 1.
+        log_tail_factor = (slack - m) * log_q if m < slack else 0.0
+        p[m] = math.exp(log_comb - m * log_unit + log_tail_factor)
+    total = p.sum()
+    if abs(total - 1.0) > _PMF_TAIL_TOLERANCE:
+        raise AssertionError(f"decoy pmf does not sum to 1: {total}")
+    return p
+
+
+def cumulative_table(pmf: np.ndarray) -> np.ndarray:
+    """Inverse-transform table for a pmf: the normalized cdf.
+
+    ``np.searchsorted(cdf, u, side="right")`` with ``u ~ U[0, 1)``
+    then draws from the pmf with one uniform: the final entry is
+    exactly 1.0 (the cdf is divided by its last partial sum), so the
+    index is always in range, and zero-mass entries -- whose cdf value
+    ties the previous entry -- are never selected.  Both backends draw
+    through tables built by this function, which is what makes their
+    streams comparable draw for draw.
+    """
+    cdf = np.cumsum(np.asarray(pmf, dtype=float))
+    if cdf[-1] <= 0.0:
+        raise ValueError("pmf has no mass")
+    return cdf / cdf[-1]
+
+
+def grant_cdf_table(allocations: np.ndarray, units: int) -> np.ndarray:
+    """Per-output grant cdf rows over inputs 0..N-1 plus the imaginary
+    input at index N (the compiled form of the Section 5 'table
+    lookup'): row j inverts ``P(output j grants input i) = X[i,j]/X``.
+    """
+    matrix = np.asarray(allocations, dtype=np.int64)
+    n = matrix.shape[0]
+    tables = np.zeros((n, n + 1))
+    for j in range(n):
+        col = matrix[:, j].astype(float) / units
+        tables[j, :n] = col
+        tables[j, n] = 1.0 - col.sum()
+        tables[j] = cumulative_table(tables[j])
+    return tables
 
 
 class StatisticalMatcher:
@@ -167,15 +238,20 @@ class StatisticalMatcher:
             from repro.sim.rng import default_seed
 
             seed = default_seed("statistical")
-        self._rng = np.random.default_rng(seed)
         # The fill phase draws from its own derived stream so that the
         # statistical draws are a pure function of (seed, slot index),
         # independent of whether filling is enabled.
         from repro.sim.rng import derive_seed
 
-        self._fill_rng = np.random.default_rng(derive_seed(seed, "statistical/fill"))
+        self._seed = seed
+        self._fill_seed = derive_seed(seed, "statistical/fill")
+        self._rng = np.random.default_rng(self._seed)
+        self._fill_rng = np.random.default_rng(self._fill_seed)
         self._alloc = matrix
         self._pmf_cache: Dict[int, np.ndarray] = {}
+        self._virtual_cdf_cache: Dict[int, np.ndarray] = {}
+        self._decoy_cdf_cache: Dict[int, np.ndarray] = {}
+        self._probe = None
         self._rebuild_tables()
 
     @staticmethod
@@ -194,15 +270,17 @@ class StatisticalMatcher:
             )
 
     def _rebuild_tables(self) -> None:
-        """Precompute the hardware 'table lookup' distributions."""
+        """Precompute the hardware 'table lookup' distributions.
+
+        ``_grant_cdf`` row j is the inverse-transform table for output
+        j's grant draw; ``_slack`` caches each input's imaginary-output
+        units.  The fast-path backend compiles its tables through the
+        same module functions, so the two backends invert bitwise
+        identical arrays.
+        """
         n = self._alloc.shape[0]
-        # Per-output grant distribution over inputs 0..N-1 plus the
-        # imaginary input at index N.
-        self._grant_tables = np.zeros((n, n + 1))
-        for j in range(n):
-            col = self._alloc[:, j].astype(float) / self.units
-            self._grant_tables[j, :n] = col
-            self._grant_tables[j, n] = 1.0 - col.sum()
+        self._grant_cdf = grant_cdf_table(self._alloc, self.units)
+        self._slack = self.units - self._alloc.sum(axis=1)
 
     @property
     def ports(self) -> int:
@@ -234,41 +312,84 @@ class StatisticalMatcher:
             self._pmf_cache[x_ij] = virtual_grant_pmf(x_ij, self.units)
         return self._pmf_cache[x_ij]
 
-    def _one_round(self) -> List[Tuple[int, int]]:
-        """One grant / virtual-grant / accept round; returns matched pairs."""
+    def _virtual_cdf(self, x_ij: int) -> np.ndarray:
+        """Inverse-transform table for the virtual-grant draw."""
+        if x_ij not in self._virtual_cdf_cache:
+            self._virtual_cdf_cache[x_ij] = cumulative_table(self._pmf(x_ij))
+        return self._virtual_cdf_cache[x_ij]
+
+    def _decoy_cdf(self, slack: int) -> np.ndarray:
+        """Inverse-transform table for the imaginary-output decoy draw."""
+        if slack not in self._decoy_cdf_cache:
+            self._decoy_cdf_cache[slack] = cumulative_table(
+                binomial_decoy_pmf(slack, self.units)
+            )
+        return self._decoy_cdf_cache[slack]
+
+    def _one_round(self) -> Tuple[List[Tuple[int, int]], int, int, int]:
+        """One grant / virtual-grant / accept round.
+
+        Returns ``(pairs, granted, virtual_total, decoys)`` where
+        ``pairs`` are the accepted (input, output) matches and the
+        counts feed the per-round ``stat_round`` trace event.
+
+        Every random decision is a plain uniform inverted through a
+        precompiled cumulative table, drawn in four fixed-order vector
+        passes (grants by ascending output, virtual-grant counts by
+        ascending granted output, decoys by ascending under-reserved
+        input, accept picks by ascending active input).  The batched
+        fast path (:mod:`repro.sim.fastpath_statistical`) consumes its
+        generator in exactly this order with (B, ...) draws, so at
+        B = 1 with a shared seed the two backends agree draw for draw
+        -- the contract the differential harness checks.
+        """
         n = self.ports
         rng = self._rng
-        # Step 1: each output grants one input (or its imaginary input).
-        granted_input = np.array(
-            [rng.choice(n + 1, p=self._grant_tables[j]) for j in range(n)]
-        )
-        # Step 2a: virtual-grant counts per input.
+        # Pass 1: each output grants one input (or, at index N, its
+        # imaginary input -- nobody).
+        u_grant = rng.random(n)
+        granted_input = [
+            int(np.searchsorted(self._grant_cdf[j], u_grant[j], side="right"))
+            for j in range(n)
+        ]
+        # Pass 2: granted inputs re-draw each grant as m virtual grants.
+        real_outputs = [j for j in range(n) if granted_input[j] < n]
+        u_virtual = rng.random(len(real_outputs))
         virtual: List[Dict[int, int]] = [dict() for _ in range(n)]
-        for j in range(n):
-            i = int(granted_input[j])
-            if i == n:
-                continue  # imaginary grant: output j grants nobody
+        virtual_total = 0
+        for k, j in enumerate(real_outputs):
+            i = granted_input[j]
             x_ij = int(self._alloc[i, j])
-            m = int(rng.choice(x_ij + 1, p=self._pmf(x_ij)))
+            m = int(np.searchsorted(self._virtual_cdf(x_ij), u_virtual[k], side="right"))
             if m > 0:
                 virtual[i][j] = m
+                virtual_total += m
+        # Pass 3: under-reserved inputs draw Binomial(slack, 1/X)
+        # virtual grants from their imaginary output (decoys).
+        slack_inputs = [i for i in range(n) if self._slack[i] > 0]
+        u_decoy = rng.random(len(slack_inputs))
+        imaginary = [0] * n
+        for k, i in enumerate(slack_inputs):
+            imaginary[i] = int(
+                np.searchsorted(
+                    self._decoy_cdf(int(self._slack[i])), u_decoy[k], side="right"
+                )
+            )
+        # Pass 4: each input accepts one virtual grant uniformly; a
+        # pick falling in the imaginary decoys leaves it unmatched.
+        totals = [sum(virtual[i].values()) + imaginary[i] for i in range(n)]
+        active_inputs = [i for i in range(n) if totals[i] > 0]
+        u_pick = rng.random(len(active_inputs))
         pairs: List[Tuple[int, int]] = []
-        # Step 2b: accept one virtual grant, counting the imaginary
-        # output's Binomial(X_i0, 1/X) virtual grants as decoys.
-        for i in range(n):
-            slack = self.units - int(self._alloc[i].sum())
-            imaginary = int(rng.binomial(slack, 1.0 / self.units)) if slack > 0 else 0
-            total = sum(virtual[i].values()) + imaginary
-            if total == 0:
-                continue
-            pick = rng.integers(total)
-            for j, m in virtual[i].items():
+        for k, i in enumerate(active_inputs):
+            pick = int(u_pick[k] * totals[i])
+            for j, m in virtual[i].items():  # insertion order: ascending j
                 if pick < m:
                     pairs.append((i, j))
                     break
                 pick -= m
             # Falling through means the imaginary output won: unmatched.
-        return pairs
+        return pairs, len(real_outputs), virtual_total, sum(imaginary)
 
     def match(self) -> Matching:
         """Compute one slot's statistical matching (no queue state).
@@ -280,12 +401,27 @@ class StatisticalMatcher:
         """
         matched_inputs: Dict[int, int] = {}
         matched_outputs: Dict[int, int] = {}
-        for _ in range(self.rounds):
-            for i, j in self._one_round():
+        probe = self._probe
+        for round_index in range(self.rounds):
+            pairs, granted, virtual_total, decoys = self._one_round()
+            kept = 0
+            for i, j in pairs:
                 if i in matched_inputs or j in matched_outputs:
                     continue
                 matched_inputs[i] = j
                 matched_outputs[j] = i
+                kept += 1
+            if probe is not None and probe.enabled:
+                probe.stat_round(
+                    round_index,
+                    granted=granted,
+                    virtual=virtual_total,
+                    decoys=decoys,
+                    accepted=len(pairs),
+                    kept=kept,
+                    matched=len(matched_inputs),
+                    replicas=1,
+                )
         return Matching.from_pairs(matched_inputs.items())
 
     def schedule(self, requests: np.ndarray) -> Matching:
@@ -314,8 +450,29 @@ class StatisticalMatcher:
         fill_result = pim_match(residual, self._fill_rng, iterations=self.fill_iterations)
         return Matching.from_pairs(pairs + list(fill_result.matching.pairs))
 
+    def attach_probe(self, probe) -> None:
+        """Attach a :class:`repro.obs.probe.Probe` for per-round
+        telemetry.
+
+        While enabled, :meth:`match` emits one ``stat_round`` event per
+        grant/accept round (granted outputs, virtual-grant and decoy
+        totals, accepted and kept pairs) -- the series the differential
+        harness diffs against the fast-path backend.  Pass ``None`` to
+        detach.
+        """
+        self._probe = probe
+
     def reset(self) -> None:
-        """No cross-slot state to clear; present for scheduler protocol."""
+        """Restore both random streams to their as-constructed state.
+
+        The matcher's only cross-slot state is its two generators (the
+        statistical grant/accept stream and the derived PIM fill
+        stream); re-deriving them from the stored seeds makes a rerun
+        of the same matcher replay the first run draw for draw, the
+        same contract ``PIMScheduler.reset()`` honors.
+        """
+        self._rng = np.random.default_rng(self._seed)
+        self._fill_rng = np.random.default_rng(self._fill_seed)
 
     def __repr__(self) -> str:
         return (

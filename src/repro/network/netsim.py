@@ -66,6 +66,15 @@ class HostSource:
         self._seqno = {f.flow_id: 0 for f in flows}
         self._cursor = 0
 
+    def reset(self, rng: Optional[np.random.Generator] = None) -> None:
+        """Clear injection state (and optionally swap in a fresh stream)
+        so the next run starts from the same origin as the first."""
+        if rng is not None:
+            self._rng = rng
+        self._pending = {f.flow_id: 0 for f in self.flows}
+        self._seqno = {f.flow_id: 0 for f in self.flows}
+        self._cursor = 0
+
     def emit(self, slot: int) -> Optional[Cell]:
         """The cell this host injects in ``slot``, or None."""
         for flow in self.flows:
@@ -124,6 +133,12 @@ class _SwitchCore:
         self.scheduler = scheduler
         self.buffers = [VOQBuffer(ports) for _ in range(ports)]
         self.fabric = CrossbarFabric(ports)
+
+    def reset(self) -> None:
+        """Empty the VOQ buffers and restore the scheduler's state."""
+        self.buffers = [VOQBuffer(self.ports) for _ in range(self.ports)]
+        if hasattr(self.scheduler, "reset"):
+            self.scheduler.reset()
 
     def accept(self, port: int, cell: Cell, slot: int) -> None:
         cell.arrival_slot = slot
@@ -228,8 +243,35 @@ class NetworkSimulator:
         self._in_transit.setdefault(slot + link.latency, []).append((peer, peer_port, cell))
         return peer, peer_port
 
+    def _reset_run_state(self) -> None:
+        """Restore the network to its as-built state before a run.
+
+        ``run`` restarts its slot clock at 0, so any state keyed by or
+        accumulated over absolute slots -- cells in flight (keyed by
+        arrival slot), switch VOQ buffers, host pending/sequence
+        counters, and every random stream -- must be rewound with it.
+        Without this, a second ``run()`` revives stale in-flight cells
+        from the first (their arrival slots land inside the new clock)
+        and records nonsense (even negative) delays against them.
+        Resetting rather than carrying a continuous clock makes a rerun
+        of the same simulator replay the first run draw for draw, the
+        same contract the schedulers' ``reset()`` honors.
+        """
+        self._in_transit.clear()
+        for core in self._switches.values():
+            core.reset()
+        for host, source in self._sources.items():
+            source.reset(self._streams.restart(f"host:{host}"))
+
     def run(self, slots: int, warmup: int = 0) -> NetworkResult:
-        """Simulate ``slots`` slots; returns per-flow statistics."""
+        """Simulate ``slots`` slots; returns per-flow statistics.
+
+        Each call is an independent replay from slot 0: all network
+        state (in-flight cells, buffers, counters, random streams) is
+        reset first, so two ``run()`` calls on the same simulator
+        produce identical results.
+        """
+        self._reset_run_state()
         result = NetworkResult(slots=slots, warmup=warmup)
         for flow_id in self._flows:
             result.delivered[flow_id] = 0

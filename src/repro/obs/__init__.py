@@ -37,6 +37,7 @@ from repro.obs.events import (
     CrossbarTransfer,
     PimIteration,
     SlotBegin,
+    StatRound,
     TraceEvent,
     VoqSnapshot,
     event_from_record,
@@ -60,6 +61,7 @@ __all__ = [
     "CellDeparture",
     "VoqSnapshot",
     "CbrSlot",
+    "StatRound",
     "event_from_record",
     "Counter",
     "Gauge",

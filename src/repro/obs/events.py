@@ -30,6 +30,7 @@ __all__ = [
     "CellDeparture",
     "VoqSnapshot",
     "CbrSlot",
+    "StatRound",
     "event_from_record",
 ]
 
@@ -197,8 +198,54 @@ class CbrSlot:
         return {"kind": self.kind, **asdict(self)}
 
 
+@dataclass(frozen=True)
+class StatRound:
+    """One grant/accept round of statistical matching (Section 5).
+
+    Attributes
+    ----------
+    slot, round_index:
+        Slot index and 0-based round within the slot (the paper's
+        two-round scheme emits two of these per slot).
+    granted:
+        Outputs that granted a *real* input this round (the residual
+        outputs granted their imaginary input and stay silent).
+    virtual:
+        Total virtual grants the granted inputs re-drew (sum of the
+        ``m`` counts, Appendix C step 2).
+    decoys:
+        Imaginary-output Binomial(slack, 1/X) virtual grants drawn by
+        under-reserved inputs.
+    accepted:
+        Inputs that accepted a real virtual grant this round (before
+        the both-endpoints-unmatched filter of round 2+).
+    kept:
+        Accepted pairs actually added to the slot's matching.
+    matched:
+        *Cumulative* matching size after this round.
+    replicas:
+        Replicas the counts are pooled over (1 for the object backend).
+    """
+
+    kind: ClassVar[str] = "stat_round"
+    slot: int
+    round_index: int
+    granted: int = 0
+    virtual: int = 0
+    decoys: int = 0
+    accepted: int = 0
+    kept: int = 0
+    matched: int = 0
+    replicas: int = 1
+
+    def to_record(self) -> Dict[str, Any]:
+        """Flat JSON-serializable form, tagged with ``kind``."""
+        return {"kind": self.kind, **asdict(self)}
+
+
 TraceEvent = Union[
-    SlotBegin, PimIteration, CrossbarTransfer, CellDeparture, VoqSnapshot, CbrSlot
+    SlotBegin, PimIteration, CrossbarTransfer, CellDeparture, VoqSnapshot, CbrSlot,
+    StatRound,
 ]
 
 _EVENT_TYPES: Dict[str, Type] = {
@@ -210,6 +257,7 @@ _EVENT_TYPES: Dict[str, Type] = {
         CellDeparture,
         VoqSnapshot,
         CbrSlot,
+        StatRound,
     )
 }
 

@@ -31,6 +31,7 @@ from repro.obs.events import (
     CrossbarTransfer,
     PimIteration,
     SlotBegin,
+    StatRound,
     VoqSnapshot,
 )
 from repro.obs.metrics import MetricsRegistry
@@ -193,6 +194,43 @@ class Probe:
                 donated=donated,
                 cbr_backlog=cbr_backlog,
                 vbr_backlog=vbr_backlog,
+                replicas=replicas,
+            )
+        )
+
+    def stat_round(
+        self,
+        round_index: int,
+        granted: int = 0,
+        virtual: int = 0,
+        decoys: int = 0,
+        accepted: int = 0,
+        kept: int = 0,
+        matched: int = 0,
+        replicas: int = 1,
+    ) -> None:
+        """Emit one statistical-matching round's anatomy (every slot).
+
+        Like ``cbr_slot`` this is a cheap per-slot event (a handful of
+        ints), emitted on every enabled slot rather than sampled; it is
+        what the statistical differential harness diffs to find the
+        first divergent slot between the object and fast-path backends.
+        """
+        if not self.enabled:
+            return
+        if self.metrics is not None:
+            self.metrics.counter("stat.granted").inc(granted)
+            self.metrics.counter("stat.kept").inc(kept)
+        self.sink.write(
+            StatRound(
+                slot=self.slot,
+                round_index=round_index,
+                granted=granted,
+                virtual=virtual,
+                decoys=decoys,
+                accepted=accepted,
+                kept=kept,
+                matched=matched,
                 replicas=replicas,
             )
         )

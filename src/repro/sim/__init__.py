@@ -16,11 +16,20 @@ reproduction:
 - :mod:`repro.sim.engine` -- a minimal slotted event loop for composing
   multiple components (used by the network simulator),
 - :mod:`repro.sim.fastpath` -- the count-based, batch-vectorized
-  fast-path simulator for multi-replica Monte-Carlo sweeps.
+  fast-path simulator for multi-replica Monte-Carlo sweeps (with
+  :mod:`repro.sim.fastpath_cbr` and
+  :mod:`repro.sim.fastpath_statistical` as its integrated-CBR and
+  statistical-matching counterparts).
 """
 
 from repro.sim.engine import SimulationEngine, SlotProcess
 from repro.sim.fastpath import FastpathCrossbar, FastpathResult, run_fastpath
+from repro.sim.fastpath_cbr import CbrFastpathResult, IntegratedFastpath, run_fastpath_cbr
+from repro.sim.fastpath_statistical import (
+    BatchStatisticalMatcher,
+    StatFastpathResult,
+    run_fastpath_statistical,
+)
 from repro.sim.rng import RandomStreams
 from repro.sim.stats import DelayStats, RunningMeanVar, ThroughputCounter, batch_means_ci
 
@@ -30,6 +39,12 @@ __all__ = [
     "FastpathCrossbar",
     "FastpathResult",
     "run_fastpath",
+    "CbrFastpathResult",
+    "IntegratedFastpath",
+    "run_fastpath_cbr",
+    "BatchStatisticalMatcher",
+    "StatFastpathResult",
+    "run_fastpath_statistical",
     "RandomStreams",
     "DelayStats",
     "RunningMeanVar",

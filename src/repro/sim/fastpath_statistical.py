@@ -1,0 +1,641 @@
+"""Batched fast path for Statistical Matching (Section 5, Appendix C).
+
+The object model (:class:`repro.core.statistical.StatisticalMatcher`)
+draws one slot's grant/virtual-grant/accept lottery with Python loops;
+every Appendix C throughput point and Figure 8 fairness share is a
+Monte-Carlo average over thousands of such slots.  This module runs
+**B independent replicas** of the lottery at once on compiled tables:
+
+- the per-output grant tables become cumulative arrays
+  (:func:`repro.core.statistical.grant_cdf_table`), so the grant step
+  is one batched ``searchsorted`` draw per slot across all replicas;
+- the cached :func:`~repro.core.statistical.virtual_grant_pmf` and
+  :func:`~repro.core.statistical.binomial_decoy_pmf` tables are
+  stacked into padded cdf-row matrices, so virtual-grant counts and
+  imaginary-output decoys are batched draws too;
+- accept picks are vectorized weighted choices over the per-input
+  cumulative virtual-grant counts (a pick falling through into the
+  decoys leaves the input unmatched);
+- ``rounds`` independent rounds run per slot, keeping round-2+ pairs
+  only where both endpoints are still unmatched;
+- with ``fill=True`` the residual requests go to the existing
+  :class:`repro.core.pim.BatchPIMScheduler` with statistical-taken
+  ports masked out.
+
+Seed-for-seed parity: the object matcher consumes its generator in
+four fixed-order uniform passes (see
+:meth:`StatisticalMatcher._one_round`), and the batched draws here
+flatten in exactly that order (row-major over (replica, port)), so at
+B = 1 with a shared seed the two backends agree draw for draw -- the
+contract :func:`repro.check.differential.statistical_parity` checks
+per slot.  At B > 1 the batch consumes one coherent stream; replicas
+are not individually object-matched (the PIM fast path's convention).
+
+**Stream decoupling**: the fill phase draws from a stream derived as
+``derive_seed(match_seed, "statistical/fill")`` -- the same derivation
+the object matcher uses -- so the statistical draws are identical
+whether filling is enabled or not, preserving the object model's
+metamorphic invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.pim import AN2_ITERATIONS, BatchPIMScheduler
+from repro.core.statistical import (
+    StatisticalMatcher,
+    binomial_decoy_pmf,
+    cumulative_table,
+    grant_cdf_table,
+    virtual_grant_pmf,
+)
+from repro.sim.fastpath import FastpathResult, _BatchedArrivals, _ObjectCompatArrivals
+from repro.sim.rng import RandomStreams, default_seed, derive_seed
+
+__all__ = [
+    "CompiledStatTables",
+    "compile_stat_tables",
+    "BatchStatisticalMatcher",
+    "StatRoundCounts",
+    "StatFastpathResult",
+    "run_fastpath_statistical",
+    "match_counts",
+]
+
+_EMPTY = np.zeros(0, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class CompiledStatTables:
+    """The Section 5 'hardware tables' in batched-draw form.
+
+    All cdf rows are produced by
+    :func:`repro.core.statistical.cumulative_table` over the same pmfs
+    the object matcher caches, so both backends invert bitwise
+    identical arrays.  The row matrices are padded with ``+inf`` so a
+    vectorized right-searchsorted -- ``(rows <= u[:, None]).sum(axis=1)``
+    -- never counts a padding entry.
+
+    Attributes
+    ----------
+    ports, units:
+        Switch size N and the allocation granularity X.
+    grant_cdf:
+        (N, N+1): row j inverts output j's grant distribution over
+        inputs 0..N-1 plus the imaginary input at index N.
+    virtual_cdf_rows, virtual_row:
+        Stacked virtual-grant cdfs for every distinct positive
+        allocation value; ``virtual_row[i, j]`` is the row index for
+        pair (i, j), -1 where nothing is allocated (such a pair is
+        never granted: its grant-cdf mass is zero).
+    decoy_cdf_rows, decoy_row:
+        Stacked Binomial(slack, 1/X) cdfs for every distinct positive
+        slack; ``decoy_row[i]`` is input i's row, -1 when fully
+        allocated.
+    slack:
+        (N,) imaginary-output units per input, ``X - sum_j X[i, j]``.
+    """
+
+    ports: int
+    units: int
+    grant_cdf: np.ndarray
+    virtual_cdf_rows: np.ndarray
+    virtual_row: np.ndarray
+    decoy_cdf_rows: np.ndarray
+    decoy_row: np.ndarray
+    slack: np.ndarray
+
+
+def _stack_cdf_rows(values, build) -> Tuple[np.ndarray, dict]:
+    """Stack per-value cdfs into one +inf-padded row matrix."""
+    cdfs = {value: build(value) for value in values}
+    width = max((cdf.size for cdf in cdfs.values()), default=1)
+    rows = np.full((max(len(cdfs), 1), width), np.inf)
+    index = {}
+    for row, (value, cdf) in enumerate(sorted(cdfs.items())):
+        rows[row, : cdf.size] = cdf
+        index[value] = row
+    return rows, index
+
+
+def compile_stat_tables(allocations: np.ndarray, units: int) -> CompiledStatTables:
+    """Compile an allocation matrix into batched-draw tables.
+
+    Validates exactly like :class:`StatisticalMatcher` (square,
+    non-negative, every row/column sum at most ``units``).
+    """
+    if units < 1:
+        raise ValueError(f"units must be >= 1, got {units}")
+    matrix = np.asarray(allocations, dtype=np.int64)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"allocations must be square, got shape {matrix.shape}")
+    if (matrix < 0).any():
+        raise ValueError("allocations must be non-negative")
+    StatisticalMatcher._check_feasible(matrix, units)
+    n = matrix.shape[0]
+
+    grant_cdf = grant_cdf_table(matrix, units)
+    slack = units - matrix.sum(axis=1)
+
+    alloc_values = sorted(int(x) for x in np.unique(matrix[matrix > 0]))
+    virtual_rows, virtual_index = _stack_cdf_rows(
+        alloc_values, lambda x: cumulative_table(virtual_grant_pmf(x, units))
+    )
+    virtual_row = np.full((n, n), -1, dtype=np.int64)
+    for value, row in virtual_index.items():
+        virtual_row[matrix == value] = row
+
+    slack_values = sorted(int(s) for s in np.unique(slack[slack > 0]))
+    decoy_rows, decoy_index = _stack_cdf_rows(
+        slack_values, lambda s: cumulative_table(binomial_decoy_pmf(s, units))
+    )
+    decoy_row = np.full(n, -1, dtype=np.int64)
+    for value, row in decoy_index.items():
+        decoy_row[slack == value] = row
+
+    return CompiledStatTables(
+        ports=n,
+        units=units,
+        grant_cdf=grant_cdf,
+        virtual_cdf_rows=virtual_rows,
+        virtual_row=virtual_row,
+        decoy_cdf_rows=decoy_rows,
+        decoy_row=decoy_row,
+        slack=slack,
+    )
+
+
+@dataclass(frozen=True)
+class StatRoundCounts:
+    """Pooled per-round anatomy of one batched matching round."""
+
+    granted: int
+    virtual: int
+    decoys: int
+    accepted: int
+    kept: int
+    matched: int
+
+
+class BatchStatisticalMatcher:
+    """Statistical matching for B replicas at once, on compiled tables.
+
+    One :meth:`match` call draws a full slot's lottery for all
+    replicas: ``rounds`` grant/virtual-grant/accept rounds with the
+    round-2+ both-endpoints-unmatched filter.  The generator is
+    consumed in the object matcher's four fixed-order uniform passes,
+    flattened row-major over (replica, port), so at B = 1 the draws
+    coincide with :class:`StatisticalMatcher` exactly.
+
+    The matcher is queue-oblivious, like the object model's
+    :meth:`StatisticalMatcher.match`; the run loop drops matches with
+    no queued cell and PIM-fills (see :func:`run_fastpath_statistical`).
+    """
+
+    name = "statistical"
+
+    def __init__(
+        self,
+        allocations: np.ndarray,
+        units: int,
+        rounds: int = 2,
+        replicas: int = 1,
+        seed: Optional[int] = None,
+        tables: Optional[CompiledStatTables] = None,
+    ):
+        if rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {rounds}")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.tables = (
+            tables if tables is not None else compile_stat_tables(allocations, units)
+        )
+        self.ports = self.tables.ports
+        self.units = self.tables.units
+        self.rounds = rounds
+        self.replicas = replicas
+        if seed is None:
+            seed = default_seed("statistical")
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self) -> None:
+        """Rewind the generator to its as-constructed state."""
+        self._rng = np.random.default_rng(self._seed)
+
+    def _one_round(
+        self, check: bool = False
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, int, int]:
+        """One batched grant / virtual-grant / accept round.
+
+        Returns ``(bb, ii, jj, granted, virtual_total, decoy_total)``:
+        replica/input/output index arrays of the accepted pairs plus
+        the pooled counts for the ``stat_round`` trace event.
+        """
+        n = self.ports
+        b = self.replicas
+        t = self.tables
+        rng = self._rng
+        # Pass 1: every output grants one input (index N = imaginary).
+        u_grant = rng.random((b, n))
+        granted = np.empty((b, n), dtype=np.int64)
+        for j in range(n):
+            granted[:, j] = np.searchsorted(t.grant_cdf[j], u_grant[:, j], side="right")
+        # Pass 2: granted inputs re-draw each grant as m virtual
+        # grants; flattening (replica, output) row-major matches the
+        # object matcher's ascending-output loop at B = 1.
+        bb, jj = np.nonzero(granted < n)
+        ii = granted[bb, jj]
+        u_virtual = rng.random(bb.size)
+        virtual = np.zeros((b, n, n), dtype=np.int64)
+        if bb.size:
+            rows = t.virtual_row[ii, jj]
+            if check and (rows < 0).any():
+                raise AssertionError("granted a zero-allocation pair")
+            m = (t.virtual_cdf_rows[rows] <= u_virtual[:, None]).sum(axis=1)
+            # Each output grants at most once, so the (b, i, j) triples
+            # are unique and plain assignment suffices.
+            virtual[bb, ii, jj] = m
+        # Pass 3: under-reserved inputs draw Binomial(slack, 1/X)
+        # decoys from their imaginary output (ascending input at B = 1).
+        decoys = np.zeros((b, n), dtype=np.int64)
+        slack_idx = np.nonzero(t.slack > 0)[0]
+        if slack_idx.size:
+            u_decoy = rng.random((b, slack_idx.size))
+            rows = t.decoy_cdf_rows[t.decoy_row[slack_idx]]
+            decoys[:, slack_idx] = (rows[None, :, :] <= u_decoy[:, :, None]).sum(axis=2)
+        # Pass 4: each active input accepts one virtual grant
+        # uniformly; a pick beyond the real grants is a decoy win.
+        real = virtual.sum(axis=2)
+        totals = real + decoys
+        abb, aii = np.nonzero(totals > 0)
+        u_pick = rng.random(abb.size)
+        if abb.size:
+            picks = (u_pick * totals[abb, aii]).astype(np.int64)
+            cum = np.cumsum(virtual[abb, aii, :], axis=1)
+            j_sel = (cum <= picks[:, None]).sum(axis=1)
+            won = j_sel < n
+            pairs = (abb[won], aii[won], j_sel[won])
+        else:
+            pairs = (_EMPTY, _EMPTY, _EMPTY)
+        return (
+            pairs[0],
+            pairs[1],
+            pairs[2],
+            int(bb.size),
+            int(virtual.sum()),
+            int(decoys.sum()),
+        )
+
+    def match_with_counts(
+        self, check: bool = False
+    ) -> Tuple[np.ndarray, List[StatRoundCounts]]:
+        """One slot's matching for all replicas, plus per-round counts.
+
+        Returns ``(match, rounds)`` where ``match[b, i]`` is the output
+        matched to input i of replica b (-1 unmatched) and ``rounds``
+        holds one :class:`StatRoundCounts` per round (pooled over
+        replicas) for trace emission and the differential harness.
+        """
+        n = self.ports
+        b = self.replicas
+        match = np.full((b, n), -1, dtype=np.int64)
+        output_taken = np.zeros((b, n), dtype=bool)
+        per_round: List[StatRoundCounts] = []
+        for _ in range(self.rounds):
+            rb, ri, rj, granted, virtual_total, decoy_total = self._one_round(check)
+            # Keep a round-2+ pair only when both endpoints are still
+            # unmatched (pairs within a round never conflict: each
+            # output grants once and each input accepts once).
+            free = (match[rb, ri] < 0) & ~output_taken[rb, rj]
+            kb, ki, kj = rb[free], ri[free], rj[free]
+            match[kb, ki] = kj
+            output_taken[kb, kj] = True
+            per_round.append(
+                StatRoundCounts(
+                    granted=granted,
+                    virtual=virtual_total,
+                    decoys=decoy_total,
+                    accepted=int(rb.size),
+                    kept=int(kb.size),
+                    matched=int((match >= 0).sum()),
+                )
+            )
+        return match, per_round
+
+    def match(self) -> np.ndarray:
+        """(B, N) matched output per input (-1 unmatched) for one slot."""
+        match, _ = self.match_with_counts()
+        return match
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchStatisticalMatcher(ports={self.ports}, units={self.units}, "
+            f"rounds={self.rounds}, replicas={self.replicas})"
+        )
+
+
+@dataclass
+class StatFastpathResult(FastpathResult):
+    """A :class:`FastpathResult` plus the statistical/fill cell split.
+
+    ``stat_cells`` / ``fill_cells`` are (B,) departure counts inside
+    the measurement window carried by the statistical matching and by
+    the PIM fill phase respectively (their sum is ``carried_cells``).
+    """
+
+    stat_cells: Optional[np.ndarray] = None
+    fill_cells: Optional[np.ndarray] = None
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        base = super().summary()
+        if self.stat_cells is None:
+            return base
+        return (
+            f"{base}, statistical {int(self.stat_cells.sum())} / "
+            f"fill {int(self.fill_cells.sum())} cells"
+        )
+
+
+def run_fastpath_statistical(
+    allocations: np.ndarray,
+    units: int,
+    load: float,
+    slots: int,
+    rounds: int = 2,
+    fill: bool = True,
+    fill_iterations: int = AN2_ITERATIONS,
+    replicas: int = 1,
+    warmup: int = 0,
+    seed: int = 0,
+    match_seed: Optional[int] = None,
+    arrival_seeds: Optional[Sequence[Optional[int]]] = None,
+    drain_slots: int = 0,
+    check: bool = False,
+    probe=None,
+    trace_stride: Optional[int] = None,
+    warmup_mode: str = "slot",
+) -> StatFastpathResult:
+    """Simulate B replicas of a statistically-matched crossbar.
+
+    The slot anatomy mirrors ``CrossbarSwitch`` running a
+    ``StatisticalMatcher(fill=...)`` scheduler: arrivals land, the
+    statistical lottery draws a matching, matches with no queued cell
+    are dropped (the reserved slot is idle), and -- when ``fill`` is on
+    -- the remaining requests go to a masked batched PIM over the
+    untaken ports.
+
+    Parameters
+    ----------
+    allocations, units, rounds:
+        The :class:`StatisticalMatcher` configuration.
+    load, slots:
+        Per-link Bernoulli offered load of the (VBR) traffic and the
+        number of arrival-carrying slots.
+    fill, fill_iterations:
+        Enable the Section 5.2 PIM fill phase and its iteration
+        budget.
+    replicas, warmup, warmup_mode, drain_slots:
+        As :func:`repro.sim.fastpath.run_fastpath`.
+    seed:
+        Root seed for the arrival streams ("fastpath/arrivals").
+    match_seed:
+        Seed of the statistical lottery; defaults to a stream derived
+        from ``seed``.  Matches the object model's seeding: the fill
+        phase always draws from ``derive_seed(match_seed,
+        "statistical/fill")``, so the statistical draws are identical
+        with fill on or off, and a ``StatisticalMatcher(seed=
+        match_seed)`` consumes the same stream draw for draw (the B = 1
+        parity contract).
+    arrival_seeds:
+        Length-B: replica b's arrivals replicate
+        ``UniformTraffic(ports, load, seed=arrival_seeds[b])`` draw for
+        draw (the parity mode), instead of the batched stream.
+    check:
+        Assert occupancy/matching invariants every slot (tests only).
+    probe:
+        Optional :class:`repro.obs.probe.Probe`.  Every enabled slot
+        emits ``SlotBegin``, one ``StatRound`` per matching round
+        (counts pooled over replicas), and ``CrossbarTransfer``; slots
+        selected by the stride add a pooled ``VoqSnapshot``.
+    trace_stride:
+        Convenience override of ``probe.stride`` for this run.
+
+    Returns a :class:`StatFastpathResult`.
+    """
+    if not 0.0 <= load <= 1.0:
+        raise ValueError(f"load must be in [0, 1], got {load}")
+    if slots <= 0:
+        raise ValueError(f"slots must be positive, got {slots}")
+    if drain_slots < 0:
+        raise ValueError(f"drain_slots must be >= 0, got {drain_slots}")
+    total_slots = slots + drain_slots
+    if not 0 <= warmup < total_slots:
+        raise ValueError(f"warmup must be in [0, {total_slots}), got {warmup}")
+    if warmup_mode not in ("slot", "arrival"):
+        raise ValueError(
+            f"warmup_mode must be 'slot' or 'arrival', got {warmup_mode!r}"
+        )
+
+    streams = RandomStreams(seed)
+    if match_seed is None:
+        match_seed = derive_seed(seed, "fastpath/statistical")
+    matcher = BatchStatisticalMatcher(
+        allocations, units, rounds=rounds, replicas=replicas, seed=match_seed
+    )
+    ports = matcher.ports
+    fill_scheduler: Optional[BatchPIMScheduler] = None
+    if fill:
+        # Same derivation as the object matcher's _fill_rng: the
+        # statistical stream is untouched by the fill phase.
+        fill_scheduler = BatchPIMScheduler(
+            replicas=replicas,
+            ports=ports,
+            iterations=fill_iterations,
+            accept="random",
+            rng=np.random.default_rng(derive_seed(match_seed, "statistical/fill")),
+            track_sizes=False,
+        )
+    if arrival_seeds is not None:
+        if len(arrival_seeds) != replicas:
+            raise ValueError(
+                f"arrival_seeds has {len(arrival_seeds)} entries for "
+                f"{replicas} replicas"
+            )
+        source = _ObjectCompatArrivals(ports, load, arrival_seeds)
+    else:
+        source = _BatchedArrivals(
+            ports, replicas, load, streams.get("fastpath/arrivals")
+        )
+
+    traced = probe is not None and probe.enabled
+    if traced and trace_stride is not None:
+        if trace_stride < 1:
+            raise ValueError(f"trace_stride must be >= 1, got {trace_stride}")
+        probe.stride = trace_stride
+
+    occupancy = np.zeros((replicas, ports, ports), dtype=np.int64)
+    offered = np.zeros(replicas, dtype=np.int64)
+    carried = np.zeros(replicas, dtype=np.int64)
+    stat_cells = np.zeros(replicas, dtype=np.int64)
+    fill_cells = np.zeros(replicas, dtype=np.int64)
+    backlog_integral = np.zeros(replicas, dtype=np.int64)
+    arrivals_by_input = np.zeros((replicas, ports), dtype=np.int64)
+    departures_by_output = np.zeros((replicas, ports), dtype=np.int64)
+    arrival_keyed = warmup_mode == "arrival"
+    legacy: Optional[np.ndarray] = None
+    delay_cells = np.zeros(replicas, dtype=np.int64) if arrival_keyed else None
+    delay_integral = np.zeros(replicas, dtype=np.int64) if arrival_keyed else None
+
+    for slot in range(total_slots):
+        counts = source.slot_counts() if slot < slots else None
+        if arrival_keyed and slot == warmup:
+            # Cells still queued at the start of the warmup boundary
+            # arrived before it; per-VOQ FIFO order guarantees they
+            # depart before anything arriving from here on.
+            legacy = occupancy.copy()
+        if traced:
+            # begin_slot precedes the arrivals landing, so the backlog
+            # field is the pre-arrival occupancy (object convention).
+            probe.begin_slot(
+                slot,
+                arrivals=int(counts.sum()) if counts is not None else 0,
+                backlog=int(occupancy.sum()),
+            )
+        if counts is not None:
+            occupancy += counts
+        # Statistical lottery; matches with no queued cell are dropped
+        # (their reserved slot stays idle, the ports go to the fill).
+        match, per_round = matcher.match_with_counts(check=check)
+        if traced:
+            for index, counts_r in enumerate(per_round):
+                probe.stat_round(
+                    index,
+                    granted=counts_r.granted,
+                    virtual=counts_r.virtual,
+                    decoys=counts_r.decoys,
+                    accepted=counts_r.accepted,
+                    kept=counts_r.kept,
+                    matched=counts_r.matched,
+                    replicas=replicas,
+                )
+        sb, si = np.nonzero(match >= 0)
+        sj = match[sb, si]
+        backed = occupancy[sb, si, sj] > 0
+        sb, si, sj = sb[backed], si[backed], sj[backed]
+
+        if fill_scheduler is not None:
+            requests = occupancy > 0
+            if sb.size:
+                requests[sb, si, :] = False
+                requests[sb, :, sj] = False
+            fill_match = fill_scheduler.schedule(requests)
+            fb, fi = np.nonzero(fill_match >= 0)
+            fj = fill_match[fb, fi]
+        else:
+            fb = fi = fj = _EMPTY
+
+        if check:
+            if sb.size and (occupancy[sb, si, sj] <= 0).any():
+                raise AssertionError("statistical match without a queued cell")
+            if fb.size and (occupancy[fb, fi, fj] <= 0).any():
+                raise AssertionError("fill match without a queued cell")
+            taken = np.zeros((replicas, ports), dtype=bool)
+            taken[sb, si] = True
+            if taken[fb, fi].any():
+                raise AssertionError("fill matched a statistical-taken input")
+            taken = np.zeros((replicas, ports), dtype=bool)
+            taken[sb, sj] = True
+            if taken[fb, fj].any():
+                raise AssertionError("fill matched a statistical-taken output")
+
+        bb = np.concatenate([sb, fb])
+        ii = np.concatenate([si, fi])
+        jj = np.concatenate([sj, fj])
+        occupancy[bb, ii, jj] -= 1
+        if check and (occupancy < 0).any():
+            raise AssertionError("negative VOQ occupancy")
+        if traced:
+            probe.transfer(int(bb.size))
+            if probe.sampling:
+                probe.voq_snapshot(occupancy.sum(axis=0), replica=-1)
+        if slot < warmup:
+            continue
+        if counts is not None:
+            per_input = counts.sum(axis=2)
+            arrivals_by_input += per_input
+            offered += per_input.sum(axis=1)
+        carried += np.bincount(bb, minlength=replicas)
+        stat_cells += np.bincount(sb, minlength=replicas)
+        fill_cells += np.bincount(fb, minlength=replicas)
+        departures_by_output += np.bincount(
+            bb * ports + jj, minlength=replicas * ports
+        ).reshape(replicas, ports)
+        backlog_integral += occupancy.sum(axis=(1, 2))
+        if arrival_keyed:
+            # At most one departure per (replica, input) per slot
+            # (statistical and fill inputs are disjoint), so the
+            # triples are unique and fancy decrements are safe.
+            was_legacy = legacy[bb, ii, jj] > 0
+            legacy[bb[was_legacy], ii[was_legacy], jj[was_legacy]] -= 1
+            delay_cells += np.bincount(bb[~was_legacy], minlength=replicas)
+            delay_integral += (occupancy - legacy).sum(axis=(1, 2))
+
+    return StatFastpathResult(
+        ports=ports,
+        replicas=replicas,
+        slots=slots,
+        drain_slots=drain_slots,
+        warmup=warmup,
+        window=total_slots - warmup,
+        offered_cells=offered,
+        carried_cells=carried,
+        backlog_integral=backlog_integral,
+        arrivals_by_input=arrivals_by_input,
+        departures_by_output=departures_by_output,
+        final_backlog=occupancy.sum(axis=(1, 2)),
+        warmup_mode=warmup_mode,
+        delay_cells=delay_cells,
+        delay_integral=delay_integral,
+        stat_cells=stat_cells,
+        fill_cells=fill_cells,
+    )
+
+
+def match_counts(
+    allocations: np.ndarray,
+    units: int,
+    rounds: int = 2,
+    trials: int = 1000,
+    replicas: int = 64,
+    seed: Optional[int] = None,
+) -> Tuple[np.ndarray, int]:
+    """Accumulate matched-pair counts over many queue-less lotteries.
+
+    Runs ``ceil(trials / replicas)`` batched slots and counts how often
+    each (input, output) pair was matched -- the fast-path equivalent
+    of looping ``StatisticalMatcher.match()`` ``trials`` times, which
+    is what the Appendix C throughput and Figure 8 fairness benches
+    measure.  Returns ``(counts, samples)`` where ``counts`` is the
+    (N, N) tally and ``samples >= trials`` is the number of lotteries
+    actually drawn (always a multiple of ``replicas``).
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    matcher = BatchStatisticalMatcher(
+        allocations, units, rounds=rounds, replicas=replicas, seed=seed
+    )
+    n = matcher.ports
+    counts = np.zeros(n * n, dtype=np.int64)
+    batches = -(-trials // replicas)
+    for _ in range(batches):
+        match = matcher.match()
+        bb, ii = np.nonzero(match >= 0)
+        jj = match[bb, ii]
+        counts += np.bincount(ii * n + jj, minlength=n * n)
+    return counts.reshape(n, n), batches * replicas

@@ -132,6 +132,19 @@ class RandomStreams:
             self._streams[name] = np.random.Generator(np.random.PCG64(child))
         return self._streams[name]
 
+    def restart(self, name: str) -> np.random.Generator:
+        """Re-derive stream ``name`` from its origin.
+
+        Returns a *new* generator positioned at the start of the named
+        stream and replaces any cached instance, so a subsequent
+        :meth:`get` keeps returning the restarted generator.  This is
+        what lets a component replay a run: restart its streams and the
+        draws repeat from the top.
+        """
+        child = np.random.SeedSequence(derive_seed(self._root_seed, name))
+        self._streams[name] = np.random.Generator(np.random.PCG64(child))
+        return self._streams[name]
+
     def spawn(self, name: str) -> "RandomStreams":
         """Return a new :class:`RandomStreams` rooted under ``name``.
 

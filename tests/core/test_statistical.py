@@ -168,5 +168,60 @@ class TestSchedule:
 
     def test_scheduler_protocol(self):
         matcher = StatisticalMatcher(np.zeros((2, 2), dtype=int), units=4)
-        matcher.reset()  # no-op, but present
+        matcher.reset()
         assert "StatisticalMatcher" in repr(matcher)
+
+
+class TestReset:
+    """Regression: ``reset()`` used to be a no-op while ``_rng`` and
+    ``_fill_rng`` advanced, so a rerun of the same matcher diverged
+    from the first run (unlike PIM/iSLIP, whose ``reset()`` restores
+    all cross-slot state)."""
+
+    ALLOC = np.array(
+        [[2, 1, 0, 1], [0, 2, 2, 0], [1, 0, 2, 1], [1, 1, 0, 2]], dtype=int
+    )
+
+    def test_reset_replays_match_sequence(self):
+        matcher = StatisticalMatcher(self.ALLOC, units=8, rounds=2, seed=3)
+        first = [sorted(matcher.match().pairs) for _ in range(60)]
+        matcher.reset()
+        second = [sorted(matcher.match().pairs) for _ in range(60)]
+        assert first == second
+
+    def test_reset_replays_fill_stream(self):
+        matcher = StatisticalMatcher(
+            self.ALLOC, units=8, rounds=2, seed=3, fill=True
+        )
+        requests = np.ones((4, 4), dtype=bool)
+        first = [sorted(matcher.schedule(requests).pairs) for _ in range(60)]
+        matcher.reset()
+        second = [sorted(matcher.schedule(requests).pairs) for _ in range(60)]
+        assert first == second
+
+    def test_switch_rerun_is_trace_identical(self):
+        """Two ``CrossbarSwitch.run`` calls (run() itself resets the
+        scheduler) on same-seeded traffic must replay the same trace."""
+        from repro.obs import InMemorySink, Probe
+        from repro.switch.switch import CrossbarSwitch
+        from repro.traffic.uniform import UniformTraffic
+
+        matcher = StatisticalMatcher(
+            self.ALLOC, units=8, rounds=2, seed=5, fill=True
+        )
+
+        def run_once():
+            probe = Probe(InMemorySink())
+            traffic = UniformTraffic(4, load=0.8, seed=11)
+            result = CrossbarSwitch(4, matcher).run(
+                traffic, slots=150, probe=probe
+            )
+            return (
+                [e.to_record() for e in probe.sink.events],
+                result.counter.carried,
+            )
+
+        first_trace, first_carried = run_once()
+        second_trace, second_carried = run_once()
+        assert first_carried == second_carried
+        assert first_trace == second_trace

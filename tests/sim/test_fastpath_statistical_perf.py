@@ -1,0 +1,71 @@
+"""Perf smoke test: the statistical fast path must beat the object 3x.
+
+Marked ``slow``; deselect with ``pytest -m "not slow"``.  The full
+perf trajectory lives in ``benchmarks/perf/bench_stat_fastpath.py``
+(run via ``make stat-bench``); this is the acceptance floor asserted
+in CI at N=16, B=64.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.check.differential import _random_allocations
+from repro.core.statistical import StatisticalMatcher
+from repro.sim.fastpath_statistical import run_fastpath_statistical
+from repro.switch.switch import CrossbarSwitch
+from repro.traffic.uniform import UniformTraffic
+
+PORTS = 16
+UNITS = 16
+UTILIZATION = 0.75
+LOAD = 0.8
+REPLICAS = 64
+
+
+def build_allocations(seed=0):
+    rng = np.random.default_rng(seed)
+    return _random_allocations(PORTS, UNITS, rng, fraction=UTILIZATION)
+
+
+def run_object(allocations, slots, seed):
+    matcher = StatisticalMatcher(
+        allocations, units=UNITS, rounds=2, seed=seed, fill=True
+    )
+    CrossbarSwitch(PORTS, matcher).run(
+        UniformTraffic(PORTS, load=LOAD, seed=seed + 1), slots=slots
+    )
+
+
+@pytest.mark.slow
+def test_stat_fastpath_at_least_3x_object_backend():
+    allocations = build_allocations()
+    # Warm both paths so one-time numpy/import costs don't skew the
+    # comparison.
+    run_fastpath_statistical(
+        allocations, UNITS, LOAD, 10, replicas=REPLICAS, seed=0
+    )
+    run_object(allocations, 10, seed=0)
+
+    object_slots = 300
+    start = time.perf_counter()
+    run_object(allocations, object_slots, seed=2)
+    object_sps = object_slots / (time.perf_counter() - start)
+
+    fast_slots = 300
+    start = time.perf_counter()
+    run_fastpath_statistical(
+        allocations, UNITS, LOAD, fast_slots, replicas=REPLICAS, seed=4
+    )
+    fast_sps = REPLICAS * fast_slots / (time.perf_counter() - start)
+
+    speedup = fast_sps / object_sps
+    print(
+        f"\nobject {object_sps:.0f} slots/s, stat-fastpath {fast_sps:.0f} "
+        f"replica-slots/s, speedup {speedup:.1f}x"
+    )
+    assert speedup >= 3.0, (
+        f"statistical fastpath regressed: only {speedup:.1f}x object "
+        f"backend ({fast_sps:.0f} vs {object_sps:.0f} slots/s)"
+    )
