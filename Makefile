@@ -1,6 +1,6 @@
 # Convenience targets for the AN2 reproduction.
 
-.PHONY: install test check check-full bench bench-fastpath cbr-bench stat-bench bench-full trace-demo examples lint clean
+.PHONY: install test check check-full bench bench-fastpath cbr-bench stat-bench network-bench bench-full trace-demo examples lint clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -15,6 +15,7 @@ check:
 	PYTHONPATH=src python -m repro.cli check --suite cbr --seeds 8 --budget 60s
 	PYTHONPATH=src python -m repro.cli check --suite churn --seeds 25 --budget 30s
 	PYTHONPATH=src python -m repro.cli check --suite statistical --seeds 8 --budget 60s
+	PYTHONPATH=src python -m repro.cli check --suite network --seeds 8 --budget 60s
 
 # Nightly-style deep sweep: more seeds plus the slow-marked pytest sweeps
 # (includes the CBR parity sweep in tests/sim/test_fastpath_cbr.py).
@@ -37,11 +38,16 @@ cbr-bench:
 stat-bench:
 	PYTHONPATH=src python benchmarks/perf/bench_stat_fastpath.py --quick --out BENCH_stat_fastpath.json
 
+# Whole-fabric network fast path vs the object backend (asserts the 3x floor).
+network-bench:
+	PYTHONPATH=src python benchmarks/perf/bench_network_fastpath.py --quick --out BENCH_network_fastpath.json
+
 bench-full:
 	REPRO_FULL=1 pytest benchmarks/ --benchmark-only -q
 	PYTHONPATH=src python benchmarks/perf/bench_fastpath.py --out BENCH_fastpath.json
 	PYTHONPATH=src python benchmarks/perf/bench_cbr_fastpath.py --out BENCH_cbr_fastpath.json
 	PYTHONPATH=src python benchmarks/perf/bench_stat_fastpath.py --out BENCH_stat_fastpath.json
+	PYTHONPATH=src python benchmarks/perf/bench_network_fastpath.py --out BENCH_network_fastpath.json
 
 # Trace a 16-port PIM run at load 0.9 on both backends, then render
 # the PIM anatomy / backlog summary from the JSONL trace files.

@@ -22,22 +22,26 @@ from repro.check.differential import (
     integrated_parity,
     metamorphic_pim_iterations,
     metamorphic_statistical_fill,
+    network_parity,
     statistical_parity,
 )
 from repro.check.fuzz import (
     Case,
     CbrCase,
     ChurnCase,
+    NetworkCase,
     StatCase,
     FuzzReport,
     fuzz,
     fuzz_cbr,
     fuzz_churn,
+    fuzz_network,
     fuzz_statistical,
     load_case,
     run_case,
     run_cbr_case,
     run_churn_case,
+    run_network_case,
     run_stat_case,
     shrink,
 )
@@ -59,18 +63,22 @@ __all__ = [
     "CbrCase",
     "check_conservation",
     "ChurnCase",
+    "NetworkCase",
     "StatCase",
     "fuzz",
     "fuzz_cbr",
     "fuzz_churn",
+    "fuzz_network",
     "fuzz_statistical",
     "integrated_parity",
     "load_case",
     "metamorphic_pim_iterations",
     "metamorphic_statistical_fill",
+    "network_parity",
     "run_case",
     "run_cbr_case",
     "run_churn_case",
+    "run_network_case",
     "run_stat_case",
     "statistical_parity",
     "shrink",

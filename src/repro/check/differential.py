@@ -41,6 +41,7 @@ __all__ = [
     "integrated_parity",
     "metamorphic_pim_iterations",
     "metamorphic_statistical_fill",
+    "network_parity",
     "statistical_parity",
 ]
 
@@ -578,3 +579,124 @@ def metamorphic_pim_iterations(
     if carried[many] + slack < carried[1]:
         raise InvariantViolation("pim-iterations-monotone", detail)
     return DifferentialReport(name=name, ok=True, detail=detail)
+
+
+def network_parity(
+    topology: str = "parking_lot",
+    size: int = 3,
+    n_flows: int = 4,
+    slots: int = 300,
+    seed: int = 0,
+    warmup: int = 0,
+    buffer_limit: Optional[int] = None,
+    latency: int = 1,
+) -> DifferentialReport:
+    """Object network simulator vs the vectorized network fast path.
+
+    Builds the named topology (:func:`repro.network.topologies.build`),
+    draws ``n_flows`` random host-to-host flows from a seed-derived
+    stream, runs :class:`repro.network.netsim.NetworkSimulator` with a
+    per-slot observer and :class:`repro.sim.fastpath_network.NetworkFastpath`
+    at B=1 with the same root seed, and compares slot for slot:
+
+    - per-flow injections and deliveries,
+    - per-switch fabric transfer counts,
+    - per-switch end-of-slot backlog,
+
+    reporting the first divergent slot on mismatch, then the per-flow
+    delivered totals and warm delay-sample counts.  Because both
+    backends consume the same ``sched:{switch}``/``host:{host}``
+    streams in the same order, every quantity must match *exactly* --
+    any drift is a bug in one of the backends.
+
+    Raises :class:`InvariantViolation` on any mismatch.
+    """
+    from repro.network.netsim import FlowSpec, NetworkSimulator
+    from repro.network.topologies import build
+    from repro.sim.fastpath_network import run_fastpath_network
+    from repro.sim.rng import derive_seed
+
+    name = (
+        f"network-parity({topology}, size={size}, flows={n_flows}, "
+        f"slots={slots}, warmup={warmup}, limit={buffer_limit}, "
+        f"latency={latency}, seed={seed})"
+    )
+    topo, hosts = build(topology, size, latency=latency)
+    if len(hosts) < 2:
+        raise ValueError(f"topology {topology}(size={size}) has {len(hosts)} hosts")
+    flow_rng = np.random.default_rng(derive_seed(seed, "check/network-flows"))
+    rates = (1.0, 0.8, 0.5, 0.25)
+    flows = []
+    for flow_id in range(1, n_flows + 1):
+        src, dst = flow_rng.choice(len(hosts), size=2, replace=False)
+        flows.append(
+            FlowSpec(flow_id, hosts[src], hosts[dst], float(flow_rng.choice(rates)))
+        )
+
+    records = []
+    object_sim = NetworkSimulator(topo, seed=seed, buffer_limit=buffer_limit)
+    for flow in flows:
+        object_sim.add_flow(flow)
+    object_result = object_sim.run(slots, warmup=warmup, observer=records.append)
+
+    fast = run_fastpath_network(
+        topo,
+        flows,
+        slots,
+        replicas=1,
+        warmup=warmup,
+        seed=seed,
+        buffer_limit=buffer_limit,
+        record_series=True,
+        check=True,
+    )
+    series = fast.series
+    flow_col = {fid: k for k, fid in enumerate(series.flow_ids)}
+    switch_col = {sw: k for k, sw in enumerate(series.switch_names)}
+
+    for record in records:
+        t = record.slot
+        for fid, k in flow_col.items():
+            for label, got, want in (
+                ("injected", record.injected.get(fid, 0), series.injected[t, k]),
+                ("delivered", record.delivered.get(fid, 0), series.delivered[t, k]),
+            ):
+                if got != want:
+                    raise InvariantViolation(
+                        "network-parity",
+                        f"{name}: first divergent slot {t}: flow {fid} "
+                        f"{label} object={got} fastpath={int(want)}",
+                    )
+        for sw, k in switch_col.items():
+            for label, got, want in (
+                ("transfers", record.transfers.get(sw, 0), series.transfers[t, k]),
+                ("backlog", record.backlog.get(sw, 0), series.backlog[t, k]),
+            ):
+                if got != want:
+                    raise InvariantViolation(
+                        "network-parity",
+                        f"{name}: first divergent slot {t}: switch {sw} "
+                        f"{label} object={got} fastpath={int(want)}",
+                    )
+    for flow in flows:
+        fid = flow.flow_id
+        object_delivered = object_result.delivered[fid]
+        fast_delivered = int(fast.delivered[0, flow_col[fid]])
+        if object_delivered != fast_delivered:
+            raise InvariantViolation(
+                "network-parity",
+                f"{name}: flow {fid} delivered object={object_delivered} "
+                f"fastpath={fast_delivered}",
+            )
+        object_samples = object_result.delay[fid].count
+        fast_samples = int(fast.delay_cells[0, flow_col[fid]])
+        if object_samples != fast_samples:
+            raise InvariantViolation(
+                "network-parity",
+                f"{name}: flow {fid} delay samples object={object_samples} "
+                f"fastpath={fast_samples}",
+            )
+    total = int(fast.delivered.sum())
+    return DifferentialReport(
+        name=name, ok=True, detail=f"{slots} slots slot-exact, {total} cells delivered"
+    )

@@ -29,16 +29,19 @@ __all__ = [
     "Case",
     "CbrCase",
     "ChurnCase",
+    "NetworkCase",
     "StatCase",
     "FuzzReport",
     "fuzz",
     "fuzz_cbr",
     "fuzz_churn",
+    "fuzz_network",
     "fuzz_statistical",
     "load_case",
     "run_case",
     "run_cbr_case",
     "run_churn_case",
+    "run_network_case",
     "run_stat_case",
     "shrink",
 ]
@@ -605,4 +608,87 @@ def fuzz(
         elapsed_seconds=time.monotonic() - start,
         failures=failures,
         budget_exhausted=budget_exhausted,
+    )
+
+
+@dataclass(frozen=True)
+class NetworkCase:
+    """One reproducible network-parity fuzz point.
+
+    ``buffer_limit == 0`` encodes "no link-level flow control" so the
+    whole case stays JSON-primitive.
+    """
+
+    seed: int
+    topology: str = "parking_lot"
+    size: int = 3
+    n_flows: int = 4
+    latency: int = 1
+    buffer_limit: int = 0
+    slots: int = 200
+    warmup: int = 0
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+
+def run_network_case(case: NetworkCase) -> None:
+    """Slot-exact object-vs-fastpath parity on one network case.
+
+    Raises :class:`~repro.check.invariants.InvariantViolation` with
+    the first divergent slot; the fast path runs with ``check=True``
+    so cell-conservation and VOQ-count invariants are asserted every
+    slot too (see :func:`repro.check.differential.network_parity`).
+    """
+    from repro.check.differential import network_parity
+
+    network_parity(
+        topology=case.topology,
+        size=case.size,
+        n_flows=case.n_flows,
+        slots=case.slots,
+        seed=case.seed,
+        warmup=case.warmup,
+        buffer_limit=case.buffer_limit or None,
+        latency=case.latency,
+    )
+
+
+def _network_case_for_seed(seed: int) -> NetworkCase:
+    import numpy as np
+
+    from repro.network.topologies import TOPOLOGIES
+    from repro.sim.rng import derive_seed
+
+    rng = np.random.default_rng(derive_seed(seed, "fuzz/network-config"))
+    topology = str(rng.choice(TOPOLOGIES))
+    # Keep the big shapes small: fuzz wants many cheap cases, not a
+    # handful of fabric-scale ones (the bench covers those).
+    size = int(rng.choice([2, 3] if topology in ("fat_tree", "mesh") else [2, 3, 4]))
+    return NetworkCase(
+        seed=seed,
+        topology=topology,
+        size=size,
+        n_flows=int(rng.choice([2, 4, 6])),
+        latency=int(rng.choice([1, 1, 2, 3])),
+        buffer_limit=int(rng.choice([0, 0, 2, 4])),
+        slots=int(rng.choice([120, 200, 350])),
+        warmup=int(rng.choice([0, 25])),
+    )
+
+
+def fuzz_network(
+    seeds: int = 10,
+    budget_seconds: Optional[float] = None,
+    out_dir: Optional[str] = None,
+    base_seed: int = 0,
+) -> FuzzReport:
+    """Sweep random (topology, flows, latency, credit) network-parity
+    cases: each runs the object simulator and the vectorized network
+    fast path on the same root seed and demands slot-exact agreement.
+    Failures are recorded unshrunk -- the case tuple replays directly.
+    """
+    return _sweep(
+        seeds, budget_seconds, out_dir, base_seed,
+        make_case=_network_case_for_seed, run=run_network_case, tag="network",
     )

@@ -12,7 +12,8 @@ Installed as the ``repro-an2`` console script::
     repro-an2 cbr-bounds --hops 4 --tolerance 1e-4
     repro-an2 fairness
     repro-an2 statistical --backend fastpath --replicas 64 --load 0.8
-    repro-an2 check --suite statistical --seeds 10
+    repro-an2 network --topology mesh --size 4 --backend fastpath --replicas 64
+    repro-an2 check --suite network --seeds 10
 
 Each subcommand is a thin wrapper over the library; the full
 regeneration harness lives in ``benchmarks/``.
@@ -433,15 +434,83 @@ def cmd_statistical(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_network(args: argparse.Namespace) -> int:
+    """Multi-switch fabric (Section 2's LAN view), on either backend."""
+    from repro.network.netsim import FlowSpec, NetworkSimulator
+    from repro.network.topologies import build
+    from repro.sim.rng import derive_seed
+
+    topo, hosts = build(args.topology, args.size, latency=args.latency)
+    if len(hosts) < 2:
+        print(
+            f"error: {args.topology}(size={args.size}) has {len(hosts)} hosts; "
+            "need at least 2 for flows",
+            file=sys.stderr,
+        )
+        return 2
+    flow_rng = np.random.default_rng(derive_seed(args.seed, "cli/network-flows"))
+    rates = (1.0, 0.8, 0.5, 0.25)
+    flows = []
+    for flow_id in range(1, args.flows + 1):
+        src, dst = flow_rng.choice(len(hosts), size=2, replace=False)
+        flows.append(
+            FlowSpec(flow_id, hosts[src], hosts[dst], float(flow_rng.choice(rates)))
+        )
+    limit = args.buffer_limit if args.buffer_limit > 0 else None
+    print(
+        f"{args.topology}(size={args.size}): {len(topo.switches())} switches, "
+        f"{len(hosts)} hosts, {len(flows)} flows, link latency {args.latency}"
+        + (f", buffer limit {limit}" if limit else "")
+    )
+    for flow in flows:
+        print(f"  flow {flow.flow_id}: {flow.src} -> {flow.dst} rate {flow.rate}")
+    if args.backend == "fastpath":
+        from repro.sim.fastpath_network import run_fastpath_network
+
+        result = run_fastpath_network(
+            topo,
+            flows,
+            args.slots,
+            replicas=args.replicas,
+            warmup=args.warmup,
+            seed=args.seed,
+            buffer_limit=limit,
+        )
+        print(result.summary())
+        return 0
+    if args.replicas != 1:
+        print("error: --replicas needs --backend fastpath", file=sys.stderr)
+        return 2
+    sim = NetworkSimulator(topo, seed=args.seed, buffer_limit=limit)
+    for flow in flows:
+        sim.add_flow(flow)
+    result = sim.run(args.slots, warmup=args.warmup)
+    window = args.slots - args.warmup
+    print(f"{len(flows)} flows over {window} post-warm-up slots:")
+    for flow in flows:
+        stats = result.delay.get(flow.flow_id)
+        delay = (
+            f"mean delay {stats.mean:8.2f} ({stats.count} cells)"
+            if stats is not None and stats.count
+            else "no warm deliveries"
+        )
+        print(
+            f"  flow {flow.flow_id}: throughput "
+            f"{result.throughput(flow.flow_id):6.4f}  {delay}"
+        )
+    return 0
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     """Randomized invariant/differential sweeps (see repro.check)."""
-    from repro.check import fuzz, fuzz_cbr, fuzz_churn, fuzz_statistical
+    from repro.check import fuzz, fuzz_cbr, fuzz_churn, fuzz_network, fuzz_statistical
 
     suites = {
         "switch": fuzz,
         "cbr": fuzz_cbr,
         "churn": fuzz_churn,
         "statistical": fuzz_statistical,
+        "network": fuzz_network,
     }
     selected = list(suites) if args.suite == "all" else [args.suite]
     ok = True
@@ -566,6 +635,8 @@ def cmd_trace_summarize(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro-an2`` argument parser."""
+    from repro.network.topologies import TOPOLOGIES
+
     parser = argparse.ArgumentParser(
         prog="repro-an2",
         description="Experiments from 'High Speed Switch Scheduling for LANs' (ASPLOS 1992)",
@@ -696,19 +767,50 @@ def build_parser() -> argparse.ArgumentParser:
                       help="sample volume-heavy events every N slots")
     stat.set_defaults(func=cmd_statistical)
 
+    network = sub.add_parser(
+        "network",
+        help="multi-switch fabric with routed host-to-host flows, object "
+             "or vectorized fastpath backend",
+    )
+    network.add_argument("--topology", default="parking_lot",
+                         choices=list(TOPOLOGIES),
+                         help="bundled topology shape (default parking_lot)")
+    network.add_argument("--size", type=_positive_int, default=3,
+                         help="shape's natural scale knob: switches per chain, "
+                              "pods per fat tree, rows per mesh (default 3)")
+    network.add_argument("--latency", type=_positive_int, default=1,
+                         help="link latency in slots (default 1)")
+    network.add_argument("--flows", type=_positive_int, default=4,
+                         help="random host-to-host flows to route (default 4)")
+    network.add_argument("--slots", type=int, default=2_000)
+    network.add_argument("--warmup", type=int, default=200)
+    network.add_argument("--seed", type=int, default=0)
+    network.add_argument("--buffer-limit", type=int, default=0,
+                         help="per-output buffer credit limit in cells "
+                              "(0 = unlimited, default)")
+    network.add_argument("--backend", default="object",
+                         choices=["object", "fastpath"],
+                         help="object = per-cell NetworkSimulator; fastpath = "
+                              "batched whole-fabric vectorized simulator")
+    network.add_argument("--replicas", type=_positive_int, default=1,
+                         help="independent replicas (fastpath only, default 1)")
+    network.set_defaults(func=cmd_network)
+
     check = sub.add_parser(
         "check",
         help="randomized invariant & differential sweep across schedulers "
              "and backends (repro.check)",
     )
     check.add_argument("--suite", default="switch",
-                       choices=["switch", "cbr", "churn", "statistical", "all"],
+                       choices=["switch", "cbr", "churn", "statistical",
+                                "network", "all"],
                        help="switch = scheduler invariants + PIM parity; "
                             "cbr = integrated CBR+VBR object-vs-fastpath "
                             "parity; churn = Slepian-Duguid add/remove "
                             "consistency; statistical = slot-exact "
-                            "statistical-matching object-vs-fastpath parity "
-                            "(default switch)")
+                            "statistical-matching object-vs-fastpath parity; "
+                            "network = slot-exact whole-fabric "
+                            "object-vs-fastpath parity (default switch)")
     check.add_argument("--seeds", type=_positive_int, default=25,
                        help="number of random cases to sweep (default 25)")
     check.add_argument("--budget", type=_budget_seconds, default=None,

@@ -17,7 +17,12 @@ configuration time, fixes the output port for every flow.
 
 from repro.network.topology import Topology
 from repro.network.routing import Router
-from repro.network.netsim import NetworkSimulator, HostSource, FlowSpec
+from repro.network.netsim import (
+    NetworkSimulator,
+    NetworkSlotRecord,
+    HostSource,
+    FlowSpec,
+)
 from repro.network.admission import NetworkAdmission
 from repro.network import topologies
 
@@ -25,6 +30,7 @@ __all__ = [
     "Topology",
     "Router",
     "NetworkSimulator",
+    "NetworkSlotRecord",
     "HostSource",
     "FlowSpec",
     "NetworkAdmission",

@@ -27,7 +27,13 @@ from repro.switch.buffers import VOQBuffer
 from repro.switch.cell import Cell, ServiceClass
 from repro.switch.fabric import CrossbarFabric
 
-__all__ = ["FlowSpec", "HostSource", "NetworkSimulator", "NetworkResult"]
+__all__ = [
+    "FlowSpec",
+    "HostSource",
+    "NetworkSimulator",
+    "NetworkResult",
+    "NetworkSlotRecord",
+]
 
 
 @dataclass(frozen=True)
@@ -66,6 +72,16 @@ class HostSource:
         self._seqno = {f.flow_id: 0 for f in flows}
         self._cursor = 0
 
+    def add_flow(self, flow: FlowSpec) -> None:
+        """Register one more flow on this host's link.
+
+        Keeps the pending/sequence counters consistent with the flow
+        list so callers never have to reach into them.
+        """
+        self.flows.append(flow)
+        self._pending[flow.flow_id] = 0
+        self._seqno[flow.flow_id] = 0
+
     def reset(self, rng: Optional[np.random.Generator] = None) -> None:
         """Clear injection state (and optionally swap in a fresh stream)
         so the next run starts from the same origin as the first."""
@@ -76,17 +92,29 @@ class HostSource:
         self._cursor = 0
 
     def emit(self, slot: int) -> Optional[Cell]:
-        """The cell this host injects in ``slot``, or None."""
+        """The cell this host injects in ``slot``, or None.
+
+        Stochastic flows first accumulate Bernoulli arrivals into their
+        pending counters; the link then serves one ready flow.  Service
+        rotates over the *stable* flow list, not over the slot's ready
+        subset: the cursor marks the flow after the last one served,
+        and the first ready flow at or after it is chosen.  (Indexing a
+        cursor into the changing ready-subset instead lets a flow be
+        served twice in a row -- or be skipped -- whenever another
+        flow's readiness flips between slots.)
+        """
         for flow in self.flows:
             if flow.rate < 1.0 and self._rng.random() < flow.rate:
                 self._pending[flow.flow_id] += 1
-        candidates = [
-            f for f in self.flows if f.rate >= 1.0 or self._pending[f.flow_id] > 0
-        ]
-        if not candidates:
+        chosen = None
+        for offset in range(len(self.flows)):
+            candidate = self.flows[(self._cursor + offset) % len(self.flows)]
+            if candidate.rate >= 1.0 or self._pending[candidate.flow_id] > 0:
+                chosen = candidate
+                self._cursor = (self._cursor + offset + 1) % len(self.flows)
+                break
+        if chosen is None:
             return None
-        chosen = candidates[self._cursor % len(candidates)]
-        self._cursor += 1
         if chosen.rate < 1.0:
             self._pending[chosen.flow_id] -= 1
         seq = self._seqno[chosen.flow_id]
@@ -98,6 +126,25 @@ class HostSource:
             seqno=seq,
             injected_slot=slot,
         )
+
+
+@dataclass(frozen=True)
+class NetworkSlotRecord:
+    """One slot's observable network state, for differential checks.
+
+    Handed to the optional ``observer`` callback of
+    :meth:`NetworkSimulator.run` at the end of every slot.  The fields
+    are exactly what the vectorized network fast path
+    (:mod:`repro.sim.fastpath_network`) reproduces, so a slot-exact
+    comparison of the two backends reduces to comparing these records
+    (see :func:`repro.check.differential.network_parity`).
+    """
+
+    slot: int
+    injected: Dict[int, int]  # flow_id -> cells injected this slot
+    delivered: Dict[int, int]  # flow_id -> cells delivered this slot
+    transfers: Dict[str, int]  # switch -> cells crossing its fabric
+    backlog: Dict[str, int]  # switch -> buffered cells at slot end
 
 
 @dataclass
@@ -230,9 +277,7 @@ class NetworkSimulator:
             self._sources[flow.src] = HostSource(
                 flow.src, [], self._streams.get(f"host:{flow.src}")
             )
-        self._sources[flow.src].flows.append(flow)
-        self._sources[flow.src]._pending[flow.flow_id] = 0
-        self._sources[flow.src]._seqno[flow.flow_id] = 0
+        self._sources[flow.src].add_flow(flow)
 
     def _ship(self, node: str, port: int, cell: Cell, slot: int) -> Optional[Tuple[str, int]]:
         """Put a cell on the link leaving (node, port)."""
@@ -263,13 +308,23 @@ class NetworkSimulator:
         for host, source in self._sources.items():
             source.reset(self._streams.restart(f"host:{host}"))
 
-    def run(self, slots: int, warmup: int = 0) -> NetworkResult:
+    def run(
+        self,
+        slots: int,
+        warmup: int = 0,
+        observer: Optional[Callable[[NetworkSlotRecord], None]] = None,
+    ) -> NetworkResult:
         """Simulate ``slots`` slots; returns per-flow statistics.
 
         Each call is an independent replay from slot 0: all network
         state (in-flight cells, buffers, counters, random streams) is
         reset first, so two ``run()`` calls on the same simulator
         produce identical results.
+
+        ``observer``, when given, is called at the end of every slot
+        with a :class:`NetworkSlotRecord` of that slot's injections,
+        deliveries, per-switch transfer counts, and per-switch backlog
+        (unfiltered by ``warmup``).  It costs nothing when omitted.
         """
         self._reset_run_state()
         result = NetworkResult(slots=slots, warmup=warmup)
@@ -278,6 +333,9 @@ class NetworkSimulator:
             result.delay[flow_id] = DelayStats(warmup=warmup)
 
         for slot in range(slots):
+            injected_now: Dict[int, int] = {}
+            delivered_now: Dict[int, int] = {}
+            transfers_now: Dict[str, int] = {}
             # 1. Link deliveries land: at switches they are buffered; at
             #    hosts the cell has arrived end-to-end.
             for node, port, cell in self._in_transit.pop(slot, []):
@@ -300,6 +358,10 @@ class NetworkSimulator:
                         result.delivered[cell.flow_id] += 1
                     if cell.injected_slot >= warmup:
                         result.delay[cell.flow_id].record(cell.injected_slot, slot)
+                    if observer is not None:
+                        delivered_now[cell.flow_id] = (
+                            delivered_now.get(cell.flow_id, 0) + 1
+                        )
             # 2. Hosts inject one cell each onto their links (holding
             #    back when the far-end buffer has no credit).
             for host, source in self._sources.items():
@@ -308,11 +370,31 @@ class NetworkSimulator:
                 cell = source.emit(slot)
                 if cell is not None:
                     self._ship(host, 0, cell, slot)
+                    if observer is not None:
+                        injected_now[cell.flow_id] = (
+                            injected_now.get(cell.flow_id, 0) + 1
+                        )
             # 3. Switches schedule and transfer; departures enter links.
             for core in self._switches.values():
                 blocked = self._blocked_outputs(core)
-                for out_port, cell in core.schedule_and_transfer(blocked):
+                departures = core.schedule_and_transfer(blocked)
+                for out_port, cell in departures:
                     self._ship(core.name, out_port, cell, slot)
+                if observer is not None:
+                    transfers_now[core.name] = len(departures)
+            if observer is not None:
+                observer(
+                    NetworkSlotRecord(
+                        slot=slot,
+                        injected=injected_now,
+                        delivered=delivered_now,
+                        transfers=transfers_now,
+                        backlog={
+                            name: core.backlog()
+                            for name, core in self._switches.items()
+                        },
+                    )
+                )
         return result
 
     def _has_credit(self, node: str, port: int) -> bool:

@@ -15,10 +15,23 @@ from typing import Dict, List, Tuple
 
 from repro.network.topology import Topology
 
-__all__ = ["chain", "parking_lot", "star", "campus", "diamond"]
+__all__ = [
+    "chain",
+    "parking_lot",
+    "star",
+    "campus",
+    "diamond",
+    "fat_tree",
+    "mesh",
+    "build",
+    "TOPOLOGIES",
+]
+
+#: Shapes :func:`build` knows how to construct by name.
+TOPOLOGIES = ("chain", "parking_lot", "star", "campus", "diamond", "fat_tree", "mesh")
 
 
-def chain(switches: int, hosts_per_end: int = 1, switch_ports: int = 4) -> Tuple[Topology, List[str], List[str]]:
+def chain(switches: int, hosts_per_end: int = 1, switch_ports: int = 4, latency: int = 1) -> Tuple[Topology, List[str], List[str]]:
     """A linear chain of switches with hosts at both ends.
 
     Returns ``(topology, left_hosts, right_hosts)``; hosts are named
@@ -31,20 +44,20 @@ def chain(switches: int, hosts_per_end: int = 1, switch_ports: int = 4) -> Tuple
     for name in names:
         topo.add_switch(name, switch_ports)
     for a, b in zip(names, names[1:]):
-        topo.connect(a, b)
+        topo.connect(a, b, latency=latency)
     left, right = [], []
     for index in range(hosts_per_end):
         l_name, r_name = f"l{index}", f"r{index}"
         topo.add_host(l_name)
         topo.add_host(r_name)
-        topo.connect(l_name, names[0])
-        topo.connect(r_name, names[-1])
+        topo.connect(l_name, names[0], latency=latency)
+        topo.connect(r_name, names[-1], latency=latency)
         left.append(l_name)
         right.append(r_name)
     return topo, left, right
 
 
-def parking_lot(stages: int = 3, switch_ports: int = 4) -> Tuple[Topology, List[str], str]:
+def parking_lot(stages: int = 3, switch_ports: int = 4, latency: int = 1) -> Tuple[Topology, List[str], str]:
     """The Figure 9 merge chain: two hosts at the first switch, one
     more joining at every later switch, one sink after the last.
 
@@ -58,24 +71,24 @@ def parking_lot(stages: int = 3, switch_ports: int = 4) -> Tuple[Topology, List[
     for name in names:
         topo.add_switch(name, switch_ports)
     for a, b in zip(names, names[1:]):
-        topo.connect(a, b)
+        topo.connect(a, b, latency=latency)
     sources = []
     for index in range(2):
         host = f"h{index}"
         topo.add_host(host)
-        topo.connect(host, names[0])
+        topo.connect(host, names[0], latency=latency)
         sources.append(host)
     for stage in range(1, stages):
         host = f"h{stage + 1}"
         topo.add_host(host)
-        topo.connect(host, names[stage])
+        topo.connect(host, names[stage], latency=latency)
         sources.append(host)
     topo.add_host("sink")
-    topo.connect("sink", names[-1])
+    topo.connect("sink", names[-1], latency=latency)
     return topo, sources, "sink"
 
 
-def star(clients: int, switch_ports: int = None) -> Tuple[Topology, List[str], str]:
+def star(clients: int, switch_ports: int = None, latency: int = 1) -> Tuple[Topology, List[str], str]:
     """One switch, one server, ``clients`` client hosts.
 
     Returns ``(topology, client_hosts, server)``.
@@ -88,17 +101,17 @@ def star(clients: int, switch_ports: int = None) -> Tuple[Topology, List[str], s
     topo = Topology()
     topo.add_switch("hub", ports)
     topo.add_host("server")
-    topo.connect("server", "hub")
+    topo.connect("server", "hub", latency=latency)
     names = []
     for index in range(clients):
         name = f"c{index}"
         topo.add_host(name)
-        topo.connect(name, "hub")
+        topo.connect(name, "hub", latency=latency)
         names.append(name)
     return topo, names, "server"
 
 
-def campus(workgroups: int = 2, clients_per_group: int = 2) -> Tuple[Topology, List[str], str]:
+def campus(workgroups: int = 2, clients_per_group: int = 2, latency: int = 1) -> Tuple[Topology, List[str], str]:
     """Workgroup switches under one backbone with a server.
 
     Returns ``(topology, client_hosts, server)``.
@@ -108,21 +121,21 @@ def campus(workgroups: int = 2, clients_per_group: int = 2) -> Tuple[Topology, L
     topo = Topology()
     topo.add_switch("backbone", workgroups + 1)
     topo.add_host("server")
-    topo.connect("server", "backbone")
+    topo.connect("server", "backbone", latency=latency)
     clients = []
     for group in range(workgroups):
         switch = f"wg{group}"
         topo.add_switch(switch, clients_per_group + 1)
-        topo.connect(switch, "backbone")
+        topo.connect(switch, "backbone", latency=latency)
         for index in range(clients_per_group):
             name = f"c{group}_{index}"
             topo.add_host(name)
-            topo.connect(name, switch)
+            topo.connect(name, switch, latency=latency)
             clients.append(name)
     return topo, clients, "server"
 
 
-def diamond() -> Tuple[Topology, Dict[str, List[str]]]:
+def diamond(latency: int = 1) -> Tuple[Topology, Dict[str, List[str]]]:
     """Two disjoint equal-cost paths between two host pairs -- the
     redundant-path availability shape of Section 1.
 
@@ -131,17 +144,146 @@ def diamond() -> Tuple[Topology, Dict[str, List[str]]]:
     topo = Topology()
     for name in ("in", "upper", "lower", "out"):
         topo.add_switch(name, 4)
-    topo.connect("in", "upper")
-    topo.connect("in", "lower")
-    topo.connect("upper", "out")
-    topo.connect("lower", "out")
+    topo.connect("in", "upper", latency=latency)
+    topo.connect("in", "lower", latency=latency)
+    topo.connect("upper", "out", latency=latency)
+    topo.connect("lower", "out", latency=latency)
     hosts = {"left": [], "right": []}
     for index in range(2):
         l_name, r_name = f"hl{index}", f"hr{index}"
         topo.add_host(l_name)
         topo.add_host(r_name)
-        topo.connect(l_name, "in")
-        topo.connect(r_name, "out")
+        topo.connect(l_name, "in", latency=latency)
+        topo.connect(r_name, "out", latency=latency)
         hosts["left"].append(l_name)
         hosts["right"].append(r_name)
     return topo, hosts
+
+
+def fat_tree(k: int = 4, latency: int = 1) -> Tuple[Topology, List[str]]:
+    """A three-tier k-ary fat tree (core / aggregation / edge).
+
+    The canonical datacenter-scale shape: ``k`` pods, each with
+    ``k/2`` aggregation and ``k/2`` edge switches; every switch has
+    exactly ``k`` ports.  Edge switch ``e`` of a pod serves ``k/2``
+    hosts and uplinks to every aggregation switch of its pod;
+    aggregation switch ``a`` uplinks to core switches ``a*k/2 ..
+    (a+1)*k/2 - 1``; each of the ``(k/2)^2`` cores connects to one
+    aggregation switch in every pod.  Total: ``5k^2/4`` switches and
+    ``k^3/4`` hosts, with equal bisection capacity at every tier.
+
+    Returns ``(topology, hosts)`` with hosts named ``h{pod}_{edge}_{i}``
+    in pod-major order.
+
+    >>> topo, hosts = fat_tree(2)
+    >>> (len(topo.switches()), len(hosts))
+    (5, 2)
+    """
+    if k < 2 or k % 2:
+        raise ValueError(f"fat tree arity must be even and >= 2, got {k}")
+    half = k // 2
+    topo = Topology()
+    for core in range(half * half):
+        topo.add_switch(f"core{core}", k)
+    for pod in range(k):
+        for agg in range(half):
+            topo.add_switch(f"agg{pod}_{agg}", k)
+        for edge in range(half):
+            topo.add_switch(f"edge{pod}_{edge}", k)
+        for edge in range(half):
+            for agg in range(half):
+                topo.connect(f"edge{pod}_{edge}", f"agg{pod}_{agg}", latency=latency)
+        for agg in range(half):
+            for up in range(half):
+                topo.connect(
+                    f"agg{pod}_{agg}", f"core{agg * half + up}", latency=latency
+                )
+    hosts = []
+    for pod in range(k):
+        for edge in range(half):
+            for index in range(half):
+                name = f"h{pod}_{edge}_{index}"
+                topo.add_host(name)
+                topo.connect(name, f"edge{pod}_{edge}", latency=latency)
+                hosts.append(name)
+    return topo, hosts
+
+
+def mesh(rows: int, cols: int, switch_ports: int = None, latency: int = 1) -> Tuple[Topology, List[str]]:
+    """A rows x cols grid of switches, one host per switch.
+
+    Each switch links to its 4-neighborhood (right and down links are
+    created; left/up come for free on the full-duplex fiber) and
+    carries one host, so a ``4 x 4`` mesh is a 16-switch fabric with 16
+    hosts -- the bench shape for the network fast path.  Switches get
+    just enough ports for their degree plus the host unless
+    ``switch_ports`` forces a uniform (larger) size.
+
+    Returns ``(topology, hosts)`` with hosts named ``h{r}_{c}`` in
+    row-major order.
+
+    >>> topo, hosts = mesh(2, 3)
+    >>> (len(topo.switches()), len(hosts))
+    (6, 6)
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("mesh needs at least one row and one column")
+    topo = Topology()
+    for r in range(rows):
+        for c in range(cols):
+            degree = (r > 0) + (r < rows - 1) + (c > 0) + (c < cols - 1)
+            needed = degree + 1  # neighbors plus the local host
+            ports = switch_ports if switch_ports is not None else needed
+            if ports < needed:
+                raise ValueError(
+                    f"switch s{r}_{c} needs {needed} ports, got {ports}"
+                )
+            topo.add_switch(f"s{r}_{c}", ports)
+    for r in range(rows):
+        for c in range(cols):
+            if c < cols - 1:
+                topo.connect(f"s{r}_{c}", f"s{r}_{c + 1}", latency=latency)
+            if r < rows - 1:
+                topo.connect(f"s{r}_{c}", f"s{r + 1}_{c}", latency=latency)
+    hosts = []
+    for r in range(rows):
+        for c in range(cols):
+            name = f"h{r}_{c}"
+            topo.add_host(name)
+            topo.connect(name, f"s{r}_{c}", latency=latency)
+            hosts.append(name)
+    return topo, hosts
+
+
+def build(name: str, size: int = 3, latency: int = 1) -> Tuple[Topology, List[str]]:
+    """Uniform entry point over every bundled shape.
+
+    Returns ``(topology, hosts)`` regardless of the factory's native
+    return shape, so callers that only need "a named topology of a
+    given size and its hosts" -- the CLI, the differential oracle, the
+    network fuzzer -- can stay agnostic of each generator's signature.
+    ``size`` scales the shape's natural knob (switches per chain, pods
+    per fat tree, rows per mesh, ...); ``diamond`` ignores it.
+    """
+    if size < 1:
+        raise ValueError(f"size must be positive, got {size}")
+    if name == "chain":
+        topo, left, right = chain(size, hosts_per_end=2, latency=latency)
+        return topo, left + right
+    if name == "parking_lot":
+        topo, sources, sink = parking_lot(max(2, size), latency=latency)
+        return topo, sources + [sink]
+    if name == "star":
+        topo, clients, server = star(size, latency=latency)
+        return topo, clients + [server]
+    if name == "campus":
+        topo, clients, server = campus(size, 2, latency=latency)
+        return topo, clients + [server]
+    if name == "diamond":
+        topo, hosts = diamond(latency=latency)
+        return topo, hosts["left"] + hosts["right"]
+    if name == "fat_tree":
+        return fat_tree(max(2, size + size % 2), latency=latency)
+    if name == "mesh":
+        return mesh(size, size, latency=latency)
+    raise ValueError(f"unknown topology {name!r}; known: {', '.join(TOPOLOGIES)}")

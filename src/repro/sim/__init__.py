@@ -25,6 +25,12 @@ reproduction:
 from repro.sim.engine import SimulationEngine, SlotProcess
 from repro.sim.fastpath import FastpathCrossbar, FastpathResult, run_fastpath
 from repro.sim.fastpath_cbr import CbrFastpathResult, IntegratedFastpath, run_fastpath_cbr
+from repro.sim.fastpath_network import (
+    NetworkFastpath,
+    NetworkFastpathResult,
+    NetworkSeries,
+    run_fastpath_network,
+)
 from repro.sim.fastpath_statistical import (
     BatchStatisticalMatcher,
     StatFastpathResult,
@@ -42,6 +48,10 @@ __all__ = [
     "CbrFastpathResult",
     "IntegratedFastpath",
     "run_fastpath_cbr",
+    "NetworkFastpath",
+    "NetworkFastpathResult",
+    "NetworkSeries",
+    "run_fastpath_network",
     "BatchStatisticalMatcher",
     "StatFastpathResult",
     "run_fastpath_statistical",

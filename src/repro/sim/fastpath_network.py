@@ -1,0 +1,713 @@
+"""Vectorized multi-switch network fast path.
+
+The object-model network simulator
+(:class:`repro.network.netsim.NetworkSimulator`) advances one network
+replica at a time with per-cell Python objects, which is faithful but
+slow: every Monte-Carlo point of a network experiment (the Figure 9
+parking-lot sweep, fabric-sizing scans over mesh/fat-tree shapes) pays
+per-cell deque traffic at every hop.  This module is its batched
+counterpart, in the same spirit as :mod:`repro.sim.fastpath` for the
+single switch:
+
+- the VOQ state of **B independent network replicas** is one
+  ``(B, N, N)`` count array *per switch* -- no Cell objects;
+- every switch advances all B replicas with a single
+  :class:`repro.core.pim.BatchPIMScheduler` call per slot;
+- links are latency-indexed ring buffers of in-flight per-flow cell
+  counts, so propagation costs one slice per switch per slot;
+- host injection (Bernoulli arrivals + round-robin flow service) and
+  credit-based link flow control are evaluated as whole-array masks.
+
+Slot-exact parity with the object model
+---------------------------------------
+
+With ``replicas=1`` and the default (PIM) scheduler, a run replicates
+a freshly built :class:`~repro.network.netsim.NetworkSimulator` with
+the same root seed *draw for draw*: scheduler streams are seeded from
+the same ``sched:{switch}`` named streams, replica 0's host streams
+are the object's ``host:{host}`` streams consumed in the same order
+(one uniform per stochastic flow per unblocked slot), and the
+slot phases run in the object's order -- deliveries land, hosts
+inject (credit-checked first, consuming no draws when blocked),
+switches schedule sequentially in ``topology.switches()`` order with
+blocked-output masks computed at each switch's turn.  Per-slot
+injection/delivery/transfer/backlog series therefore match the
+object's :class:`~repro.network.netsim.NetworkSlotRecord` stream
+exactly; :func:`repro.check.differential.network_parity` asserts this
+on every bundled topology.
+
+What cell identity costs and what replaces it: per-flow FIFO order is
+implicit (a flow's cells follow one path and every per-hop queue is
+FIFO), so mean end-to-end delay is recovered per flow by Little's law
+-- a cell injected in slot t and delivered in slot t' is present in
+exactly ``t' - t`` end-of-slot in-system samples.  Over a run whose
+warm-window cells all reach their destination the per-flow mean equals
+the object backend's :class:`~repro.sim.stats.DelayStats` mean
+exactly; cells still in flight at the end contribute their partial
+delay to the integral but no delivery, the usual truncation bias of
+the estimator.
+
+The one per-cell structure retained is a deque of flow ids per
+(input, output) VOQ *that more than one flow shares*, per replica --
+needed to replicate :class:`repro.switch.buffers.VOQBuffer`'s
+round-robin flow service bit for bit.  Single-flow VOQs (the common
+case) resolve departures purely from arrays.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.pim import AN2_ITERATIONS, AcceptPolicy, BatchPIMScheduler
+from repro.network.netsim import FlowSpec
+from repro.network.routing import Router
+from repro.network.topology import Topology
+from repro.sim.rng import RandomStreams
+
+__all__ = [
+    "NetworkFastpath",
+    "NetworkFastpathResult",
+    "NetworkSeries",
+    "run_fastpath_network",
+]
+
+#: Slots of host-injection uniforms pre-drawn per RNG call (amortizes
+#: generator overhead without breaking draw-for-draw stream order).
+_HOST_CHUNK_SLOTS = 1024
+
+
+@dataclass(frozen=True)
+class _HostPlan:
+    """Compiled injection state for one source host."""
+
+    name: str
+    fids: np.ndarray  # (m,) global flow indices, in add_flow order
+    greedy: np.ndarray  # (m,) bool: rate >= 1.0
+    stoch_local: np.ndarray  # (k,) local indices of stochastic flows
+    stoch_col: np.ndarray  # (m,) local index -> column in pending (-1 greedy)
+    rates: np.ndarray  # (k,) stochastic rates, in flow order
+    first_switch: int  # peer switch index, or -1 for a direct host link
+    peer_port: int  # input port on the peer (credit check target)
+    latency: int  # first-hop link latency
+
+
+@dataclass(frozen=True)
+class _SwitchPlan:
+    """Compiled routing/link state for one switch."""
+
+    name: str
+    ports: int
+    in_port: np.ndarray  # (F,) arrival port per flow (-1: not routed here)
+    out_port: np.ndarray  # (F,) departure port per flow (-1: not routed here)
+    is_multi: np.ndarray  # (F,) flow's VOQ here is shared by >1 flow
+    voq_single: np.ndarray  # (N, N) sole flow index, -1 shared, -2 empty
+    multi_voqs: Tuple[Tuple[int, int], ...]  # shared (input, output) pairs
+    next_switch: np.ndarray  # (F,) downstream switch index (-1: host)
+    next_lat: np.ndarray  # (F,) latency of the flow's outgoing link
+    switch_ports: Tuple[Tuple[int, int, int], ...]  # (port, peer idx, peer port)
+    ring_slots: int  # max incoming link latency + 1
+
+
+@dataclass
+class NetworkSeries:
+    """Per-slot observables of replica 0, for differential checks.
+
+    Row ``t`` of each array is the slot-``t`` counterpart of the object
+    simulator's :class:`~repro.network.netsim.NetworkSlotRecord`.
+    """
+
+    flow_ids: List[int]
+    switch_names: List[str]
+    injected: np.ndarray  # (slots, F) cells injected per flow
+    delivered: np.ndarray  # (slots, F) cells delivered per flow
+    transfers: np.ndarray  # (slots, S) cells crossing each fabric
+    backlog: np.ndarray  # (slots, S) buffered cells at slot end
+
+
+@dataclass
+class NetworkFastpathResult:
+    """Per-flow, per-replica statistics from a fast-path network run.
+
+    Mirrors the pooled API of
+    :class:`repro.network.netsim.NetworkResult` (``throughput``,
+    ``shares``) so sweeps can switch backends, and adds per-replica
+    arrays for confidence intervals.
+
+    ``delivered`` counts deliveries in slots >= warmup (the object
+    backend's convention); ``delay_cells``/``delay_integral`` key the
+    warm-up filter on the *injection* slot, matching
+    :class:`repro.sim.stats.DelayStats`, with the delay sum recovered
+    by Little's law (exact for cells delivered before the run ends).
+    """
+
+    flow_ids: List[int]
+    replicas: int
+    slots: int
+    warmup: int
+    delivered: np.ndarray  # (B, F) deliveries inside the window
+    injected: np.ndarray  # (B, F) injections over the whole run
+    delay_cells: np.ndarray  # (B, F) warm cells delivered
+    delay_integral: np.ndarray  # (B, F) summed in-system slots of warm cells
+    final_backlog: np.ndarray  # (B,) cells buffered in switches at the end
+    series: Optional[NetworkSeries] = None
+    _index: Dict[int, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self._index = {fid: k for k, fid in enumerate(self.flow_ids)}
+
+    @property
+    def window(self) -> int:
+        """Measurement slots: ``slots - warmup``."""
+        return self.slots - self.warmup
+
+    def throughput(self, flow_id: int) -> float:
+        """Delivered cells per slot for one flow, pooled over replicas."""
+        if self.window <= 0:
+            return 0.0
+        column = self.delivered[:, self._index[flow_id]]
+        return float(column.sum()) / (self.window * self.replicas)
+
+    def shares(self) -> Dict[int, float]:
+        """Each flow's fraction of all delivered cells (pooled)."""
+        total = int(self.delivered.sum())
+        if total == 0:
+            return {fid: 0.0 for fid in self.flow_ids}
+        return {
+            fid: float(self.delivered[:, k].sum()) / total
+            for k, fid in enumerate(self.flow_ids)
+        }
+
+    def mean_delay(self, flow_id: int) -> float:
+        """Pooled mean end-to-end delay of one flow, in slots."""
+        k = self._index[flow_id]
+        cells = int(self.delay_cells[:, k].sum())
+        if cells == 0:
+            return 0.0
+        return float(self.delay_integral[:, k].sum()) / cells
+
+    def delivered_map(self, replica: int = 0) -> Dict[int, int]:
+        """One replica's delivered counts as a flow-id dict."""
+        return {
+            fid: int(self.delivered[replica, k])
+            for k, fid in enumerate(self.flow_ids)
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        pooled = int(self.delivered.sum())
+        return (
+            f"network fastpath x{self.replicas} replicas, {self.slots} slots "
+            f"({len(self.flow_ids)} flows): delivered {pooled} cells, "
+            f"backlog {int(self.final_backlog.sum())}"
+        )
+
+
+class NetworkFastpath:
+    """Batch-vectorized counterpart of
+    :class:`repro.network.netsim.NetworkSimulator`.
+
+    Parameters
+    ----------
+    topology:
+        The network graph (switches, hosts, links with latencies).
+    replicas:
+        Independent network replicas B advanced in lockstep.
+    seed:
+        Root seed.  Scheduler streams are derived exactly as the
+        object simulator derives them (``sched:{switch}``), and
+        replica 0's host streams are the object's ``host:{host}``
+        streams, which is what makes B=1 runs slot-exact replicas of
+        the object backend.
+    buffer_limit:
+        Optional per-input-port buffer size in cells; enables the
+        same credit-based link flow control as the object simulator.
+    iterations, accept:
+        PIM configuration per switch (defaults match the object
+        simulator's default scheduler factory).
+
+    Flows are registered with :meth:`add_flow`; :meth:`run` simulates.
+    Every ``run()`` is an independent replay from slot 0, like the
+    object backend's.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        replicas: int = 1,
+        seed: Optional[int] = None,
+        buffer_limit: Optional[int] = None,
+        iterations: Optional[int] = AN2_ITERATIONS,
+        accept: AcceptPolicy = "random",
+    ):
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        if buffer_limit is not None and buffer_limit < 1:
+            raise ValueError(f"buffer_limit must be >= 1, got {buffer_limit}")
+        self.topology = topology
+        self.replicas = replicas
+        self.seed = seed
+        self.buffer_limit = buffer_limit
+        self.iterations = iterations
+        self.accept = accept
+        self.router = Router(topology)
+        self._flows: Dict[int, FlowSpec] = {}
+        self._host_order: List[str] = []  # sources, in first-flow order
+        self._host_flows: Dict[str, List[FlowSpec]] = {}
+        self._switch_names = [node.name for node in topology.switches()]
+        self._switch_index = {name: k for k, name in enumerate(self._switch_names)}
+        self._plans: Optional[Tuple[List[_SwitchPlan], List[_HostPlan], int]] = None
+
+    def add_flow(self, flow: FlowSpec, path: Optional[List[str]] = None) -> None:
+        """Register a flow: install its route and its host source."""
+        if flow.flow_id in self._flows:
+            raise ValueError(f"duplicate flow id {flow.flow_id}")
+        self.router.install(flow.flow_id, flow.src, flow.dst, path)
+        self._flows[flow.flow_id] = flow
+        if flow.src not in self._host_flows:
+            self._host_order.append(flow.src)
+            self._host_flows[flow.src] = []
+        self._host_flows[flow.src].append(flow)
+        self._plans = None
+
+    # ------------------------------------------------------------------
+    # Compilation: topology + routes -> dense per-switch/per-host arrays
+    # ------------------------------------------------------------------
+
+    def _compile(self) -> Tuple[List[_SwitchPlan], List[_HostPlan], int]:
+        if self._plans is not None:
+            return self._plans
+        flow_ids = list(self._flows)
+        fcount = len(flow_ids)
+        fidx = {fid: k for k, fid in enumerate(flow_ids)}
+        n_sw = len(self._switch_names)
+
+        in_port = [np.full(fcount, -1, dtype=np.int64) for _ in range(n_sw)]
+        out_port = [np.full(fcount, -1, dtype=np.int64) for _ in range(n_sw)]
+        next_switch = [np.full(fcount, -1, dtype=np.int64) for _ in range(n_sw)]
+        next_lat = [np.zeros(fcount, dtype=np.int64) for _ in range(n_sw)]
+        max_in_lat = [0] * n_sw
+        delivery_lat = 1
+
+        for fid in flow_ids:
+            f = fidx[fid]
+            route = self.router.route(fid)
+            path = route.path
+            # Walk the actual links hop by hop, starting from the host's
+            # single port, so parallel links resolve to the right ports.
+            node, port = path[0], 0
+            for hop in range(1, len(path)):
+                link = self.topology.link_at(node, port)
+                if link is None:
+                    raise ValueError(f"{node} port {port} is not connected")
+                peer, peer_port = link.endpoint(node)
+                if peer != path[hop]:
+                    raise AssertionError(
+                        f"flow {fid}: link from {node} reaches {peer}, "
+                        f"path expects {path[hop]}"
+                    )
+                if hop == len(path) - 1:
+                    delivery_lat = max(delivery_lat, link.latency)
+                else:
+                    s2 = self._switch_index[peer]
+                    in_port[s2][f] = peer_port
+                    out_port[s2][f] = self.router.output_port(peer, fid)
+                    max_in_lat[s2] = max(max_in_lat[s2], link.latency)
+                if node != path[0]:
+                    s1 = self._switch_index[node]
+                    if hop == len(path) - 1:
+                        next_switch[s1][f] = -1
+                    else:
+                        next_switch[s1][f] = self._switch_index[peer]
+                    next_lat[s1][f] = link.latency
+                node = peer
+                if hop < len(path) - 1:
+                    port = self.router.output_port(node, fid)
+
+        switch_plans: List[_SwitchPlan] = []
+        for s, name in enumerate(self._switch_names):
+            ports = self.topology.node(name).ports
+            voq_single = np.full((ports, ports), -2, dtype=np.int64)
+            members: Dict[Tuple[int, int], List[int]] = {}
+            for f in range(fcount):
+                if in_port[s][f] < 0:
+                    continue
+                key = (int(in_port[s][f]), int(out_port[s][f]))
+                members.setdefault(key, []).append(f)
+            is_multi = np.zeros(fcount, dtype=bool)
+            multi_voqs = []
+            for (i, j), flows_here in members.items():
+                if len(flows_here) == 1:
+                    voq_single[i, j] = flows_here[0]
+                else:
+                    voq_single[i, j] = -1
+                    multi_voqs.append((i, j))
+                    for f in flows_here:
+                        is_multi[f] = True
+            sw_ports = []
+            for j in range(ports):
+                peer = self.topology.peer(name, j)
+                if peer is not None and self.topology.node(peer[0]).is_switch:
+                    sw_ports.append((j, self._switch_index[peer[0]], peer[1]))
+            switch_plans.append(
+                _SwitchPlan(
+                    name=name,
+                    ports=ports,
+                    in_port=in_port[s],
+                    out_port=out_port[s],
+                    is_multi=is_multi,
+                    voq_single=voq_single,
+                    multi_voqs=tuple(multi_voqs),
+                    next_switch=next_switch[s],
+                    next_lat=next_lat[s],
+                    switch_ports=tuple(sw_ports),
+                    ring_slots=max_in_lat[s] + 1,
+                )
+            )
+
+        host_plans: List[_HostPlan] = []
+        for host in self._host_order:
+            flows = self._host_flows[host]
+            fids = np.array([fidx[f.flow_id] for f in flows], dtype=np.int64)
+            greedy = np.array([f.rate >= 1.0 for f in flows], dtype=bool)
+            stoch_local = np.nonzero(~greedy)[0].astype(np.int64)
+            stoch_col = np.full(len(flows), -1, dtype=np.int64)
+            stoch_col[stoch_local] = np.arange(stoch_local.size)
+            rates = np.array([flows[k].rate for k in stoch_local], dtype=np.float64)
+            link = self.topology.link_at(host, 0)
+            if link is None:
+                raise ValueError(f"source host {host} is not connected")
+            peer, peer_port = link.endpoint(host)
+            if self.topology.node(peer).is_switch:
+                first_switch = self._switch_index[peer]
+            else:
+                first_switch = -1
+                delivery_lat = max(delivery_lat, link.latency)
+            host_plans.append(
+                _HostPlan(
+                    name=host,
+                    fids=fids,
+                    greedy=greedy,
+                    stoch_local=stoch_local,
+                    stoch_col=stoch_col,
+                    rates=rates,
+                    first_switch=first_switch,
+                    peer_port=peer_port,
+                    latency=link.latency,
+                )
+            )
+
+        self._plans = (switch_plans, host_plans, delivery_lat + 1)
+        return self._plans
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        slots: int,
+        warmup: int = 0,
+        record_series: bool = False,
+        check: bool = False,
+    ) -> NetworkFastpathResult:
+        """Simulate ``slots`` slots across all replicas.
+
+        Parameters
+        ----------
+        slots, warmup:
+            Run length and transient-elimination window, as the object
+            backend's :meth:`~repro.network.netsim.NetworkSimulator.run`.
+        record_series:
+            Collect replica 0's per-slot
+            injection/delivery/transfer/backlog series (the
+            :class:`NetworkSeries` the parity oracle compares against
+            object-backend :class:`~repro.network.netsim.NetworkSlotRecord`
+            records).  Costs a few scalar reads per slot.
+        check:
+            Assert conservation/non-negativity invariants every slot
+            (tests only; slows the run).
+        """
+        if slots <= 0:
+            raise ValueError(f"slots must be positive, got {slots}")
+        if not 0 <= warmup <= slots:
+            raise ValueError(f"warmup must be in [0, {slots}], got {warmup}")
+        switch_plans, host_plans, dring_slots = self._compile()
+        flow_ids = list(self._flows)
+        fcount = len(flow_ids)
+        n_sw = len(switch_plans)
+        B = self.replicas
+        limit = self.buffer_limit
+
+        streams = RandomStreams(self.seed)
+        scheds = []
+        for sw in switch_plans:
+            sched_seed = int(streams.get(f"sched:{sw.name}").integers(2**31))
+            scheds.append(
+                BatchPIMScheduler(
+                    replicas=B,
+                    ports=sw.ports,
+                    iterations=self.iterations,
+                    accept=self.accept,
+                    rng=np.random.default_rng(sched_seed),
+                    track_sizes=False,
+                )
+            )
+
+        occ = [np.zeros((B, sw.ports, sw.ports), dtype=np.int64) for sw in switch_plans]
+        queued = [np.zeros((B, fcount), dtype=np.int64) for _ in switch_plans]
+        rings = [
+            np.zeros((sw.ring_slots, B, fcount), dtype=np.int64)
+            for sw in switch_plans
+        ]
+        dring = np.zeros((dring_slots, B, fcount), dtype=np.int64)
+        deques: List[Dict[Tuple[int, int], List[deque]]] = [
+            {key: [deque() for _ in range(B)] for key in sw.multi_voqs}
+            for sw in switch_plans
+        ]
+
+        # Replica 0 consumes the object simulator's host:{h} stream;
+        # extra replicas get independent derived streams.
+        host_gens = [
+            [
+                streams.get(f"host:{hp.name}" if b == 0 else f"host:{hp.name}/replica{b}")
+                for b in range(B)
+            ]
+            for hp in host_plans
+        ]
+        pool_len = [hp.stoch_local.size * _HOST_CHUNK_SLOTS for hp in host_plans]
+        pools = [
+            np.zeros((B, L), dtype=np.float64) if L else None
+            for L in pool_len
+        ]
+        pool_cursor = [np.full(B, L, dtype=np.int64) for L in pool_len]
+        pending = [
+            np.zeros((B, hp.stoch_local.size), dtype=np.int64) for hp in host_plans
+        ]
+        cursor_rr = [np.zeros(B, dtype=np.int64) for _ in host_plans]
+
+        injected = np.zeros((B, fcount), dtype=np.int64)
+        delivered_total = np.zeros((B, fcount), dtype=np.int64)
+        delivered_window = np.zeros((B, fcount), dtype=np.int64)
+        delay_cells = np.zeros((B, fcount), dtype=np.int64)
+        delay_integral = np.zeros((B, fcount), dtype=np.int64)
+        in_system_warm = np.zeros((B, fcount), dtype=np.int64)
+        cold_outstanding = np.zeros((B, fcount), dtype=np.int64)
+
+        if record_series:
+            series_inj = np.zeros((slots, fcount), dtype=np.int64)
+            series_del = np.zeros((slots, fcount), dtype=np.int64)
+            series_xfer = np.zeros((slots, n_sw), dtype=np.int64)
+            series_backlog = np.zeros((slots, n_sw), dtype=np.int64)
+
+        all_replicas = np.arange(B)
+
+        for t in range(slots):
+            # -- 1. Link deliveries land: switch arrivals buffer, host
+            #       arrivals complete end to end.
+            dslice = dring[t % dring_slots]
+            if dslice.any():
+                if record_series:
+                    series_del[t] = dslice[0]
+                bb, ff = np.nonzero(dslice)
+                delivered_total[bb, ff] += 1
+                if t >= warmup:
+                    delivered_window[bb, ff] += 1
+                cold = cold_outstanding[bb, ff] > 0
+                cold_outstanding[bb[cold], ff[cold]] -= 1
+                warm_b, warm_f = bb[~cold], ff[~cold]
+                delay_cells[warm_b, warm_f] += 1
+                in_system_warm[warm_b, warm_f] -= 1
+                dslice[:] = 0
+            for s, sw in enumerate(switch_plans):
+                aslice = rings[s][t % sw.ring_slots]
+                if not aslice.any():
+                    continue
+                bb, ff = np.nonzero(aslice)
+                ii = sw.in_port[ff]
+                jj = sw.out_port[ff]
+                # One cell per link direction per slot means at most one
+                # arrival per (replica, input): the triples are unique
+                # and plain fancy increments are safe.
+                occ[s][bb, ii, jj] += 1
+                pre = queued[s][bb, ff]
+                queued[s][bb, ff] = pre + 1
+                shared = sw.is_multi[ff]
+                if shared.any():
+                    dq = deques[s]
+                    for b, f, i, j, p in zip(
+                        bb[shared], ff[shared], ii[shared], jj[shared], pre[shared]
+                    ):
+                        if p == 0:  # empty -> non-empty: becomes eligible
+                            dq[(int(i), int(j))][b].append(int(f))
+                aslice[:] = 0
+
+            # -- 2. Hosts inject one cell each (credit-checked first;
+            #       a blocked host consumes no draws, like the object).
+            for h, hp in enumerate(host_plans):
+                if limit is not None and hp.first_switch >= 0:
+                    free = occ[hp.first_switch][:, hp.peer_port, :].sum(axis=1) < limit
+                    u = np.nonzero(free)[0]
+                    if u.size == 0:
+                        continue
+                else:
+                    u = all_replicas
+                m = hp.fids.size
+                k = hp.stoch_local.size
+                if k:
+                    L = pool_len[h]
+                    refill = np.nonzero(pool_cursor[h] >= L)[0]
+                    for b in refill:
+                        pools[h][b] = host_gens[h][b].random(L)
+                    pool_cursor[h][refill] = 0
+                    take = pool_cursor[h][u, None] + np.arange(k)[None, :]
+                    draws = pools[h][u[:, None], take]
+                    pool_cursor[h][u] += k
+                    pending[h][u] += draws < hp.rates[None, :]
+                    elig = np.broadcast_to(hp.greedy, (u.size, m)).copy()
+                    elig[:, hp.stoch_local] = pending[h][u] > 0
+                else:
+                    if not hp.greedy.any():
+                        continue
+                    elig = np.broadcast_to(hp.greedy, (u.size, m))
+                offs = (np.arange(m)[None, :] - cursor_rr[h][u, None]) % m
+                score = np.where(elig, offs, m)
+                pick = score.argmin(axis=1)
+                emitted = score[np.arange(u.size), pick] < m
+                if not emitted.any():
+                    continue
+                eu = u[emitted]
+                pk = pick[emitted]
+                cursor_rr[h][eu] = (pk + 1) % m
+                stoch_pick = ~hp.greedy[pk]
+                if stoch_pick.any():
+                    pending[h][eu[stoch_pick], hp.stoch_col[pk[stoch_pick]]] -= 1
+                fsel = hp.fids[pk]
+                injected[eu, fsel] += 1
+                if t >= warmup:
+                    in_system_warm[eu, fsel] += 1
+                else:
+                    cold_outstanding[eu, fsel] += 1
+                if hp.first_switch >= 0:
+                    ring = rings[hp.first_switch]
+                    ring[(t + hp.latency) % ring.shape[0], eu, fsel] += 1
+                else:
+                    dring[(t + hp.latency) % dring_slots, eu, fsel] += 1
+                if record_series and eu[0] == 0:
+                    series_inj[t, fsel[0]] += 1
+
+            # -- 3. Switches schedule and transfer, sequentially in
+            #       topology order (credit masks see earlier switches'
+            #       departures, exactly like the object loop).
+            for s, sw in enumerate(switch_plans):
+                requests = occ[s] > 0
+                if limit is not None:
+                    for j, ps, pp in sw.switch_ports:
+                        blocked = occ[ps][:, pp, :].sum(axis=1) >= limit
+                        if blocked.any():
+                            requests[blocked, :, j] = False
+                if not requests.any():
+                    continue  # zero PIM iterations run either way: no draws
+                match = scheds[s].schedule(requests)
+                bb, ii = np.nonzero(match >= 0)
+                if bb.size == 0:
+                    continue
+                jj = match[bb, ii]
+                occ[s][bb, ii, jj] -= 1
+                if check and (occ[s] < 0).any():
+                    raise AssertionError(f"negative VOQ occupancy at {sw.name}")
+                fsel = sw.voq_single[ii, jj].copy()
+                shared = np.nonzero(fsel < 0)[0]
+                for x in shared:
+                    fsel[x] = deques[s][(int(ii[x]), int(jj[x]))][bb[x]].popleft()
+                queued[s][bb, fsel] -= 1
+                for x in shared:
+                    if queued[s][bb[x], fsel[x]] > 0:
+                        # Flow still has cells: rotate to the back.
+                        deques[s][(int(ii[x]), int(jj[x]))][bb[x]].append(int(fsel[x]))
+                tgt = sw.next_switch[fsel]
+                lat = sw.next_lat[fsel]
+                to_host = tgt < 0
+                if to_host.any():
+                    dring[
+                        (t + lat[to_host]) % dring_slots, bb[to_host], fsel[to_host]
+                    ] += 1
+                onward = np.nonzero(~to_host)[0]
+                if onward.size:
+                    for s2 in np.unique(tgt[onward]):
+                        sel = onward[tgt[onward] == s2]
+                        ring = rings[s2]
+                        ring[(t + lat[sel]) % ring.shape[0], bb[sel], fsel[sel]] += 1
+                if record_series:
+                    series_xfer[t, s] = int((bb == 0).sum())
+
+            delay_integral += in_system_warm
+            if record_series:
+                for s in range(n_sw):
+                    series_backlog[t, s] = int(occ[s][0].sum())
+            if check:
+                buffered = sum(o.sum(axis=(1, 2)) for o in occ)
+                in_flight = sum(r.sum(axis=(0, 2)) for r in rings) + dring.sum(
+                    axis=(0, 2)
+                )
+                if not np.array_equal(
+                    injected.sum(axis=1),
+                    delivered_total.sum(axis=1) + buffered + in_flight,
+                ):
+                    raise AssertionError(f"cell conservation violated at slot {t}")
+                for s in range(n_sw):
+                    if not np.array_equal(
+                        occ[s].sum(axis=(1, 2)), queued[s].sum(axis=1)
+                    ):
+                        raise AssertionError(
+                            f"VOQ/per-flow count mismatch at {switch_plans[s].name}"
+                        )
+
+        series = None
+        if record_series:
+            series = NetworkSeries(
+                flow_ids=flow_ids,
+                switch_names=list(self._switch_names),
+                injected=series_inj,
+                delivered=series_del,
+                transfers=series_xfer,
+                backlog=series_backlog,
+            )
+        final_backlog = sum(o.sum(axis=(1, 2)) for o in occ) if n_sw else np.zeros(
+            B, dtype=np.int64
+        )
+        return NetworkFastpathResult(
+            flow_ids=flow_ids,
+            replicas=B,
+            slots=slots,
+            warmup=warmup,
+            delivered=delivered_window,
+            injected=injected,
+            delay_cells=delay_cells,
+            delay_integral=delay_integral,
+            final_backlog=final_backlog,
+            series=series,
+        )
+
+
+def run_fastpath_network(
+    topology: Topology,
+    flows: List[FlowSpec],
+    slots: int,
+    replicas: int = 1,
+    warmup: int = 0,
+    seed: Optional[int] = 0,
+    buffer_limit: Optional[int] = None,
+    record_series: bool = False,
+    check: bool = False,
+) -> NetworkFastpathResult:
+    """Build a :class:`NetworkFastpath`, add ``flows``, and run it."""
+    sim = NetworkFastpath(
+        topology, replicas=replicas, seed=seed, buffer_limit=buffer_limit
+    )
+    for flow in flows:
+        sim.add_flow(flow)
+    return sim.run(slots, warmup=warmup, record_series=record_series, check=check)

@@ -17,11 +17,13 @@ import pytest
 from repro.check.fuzz import (
     CbrCase,
     ChurnCase,
+    NetworkCase,
     StatCase,
     load_case,
     run_case,
     run_cbr_case,
     run_churn_case,
+    run_network_case,
     run_stat_case,
 )
 
@@ -35,6 +37,7 @@ def _reproducers(pattern):
 CASES = _reproducers("case_*.json")
 CBR_CASES = _reproducers("cbr_case_*.json")
 CHURN_CASES = _reproducers("churn_case_*.json")
+NETWORK_CASES = _reproducers("network_case_*.json")
 STAT_CASES = _reproducers("statistical_case_*.json")
 
 
@@ -53,6 +56,11 @@ def test_replay_churn(path):
     run_churn_case(ChurnCase(**json.loads(path.read_text())))
 
 
+@pytest.mark.parametrize("path", NETWORK_CASES, ids=lambda p: p.stem)
+def test_replay_network(path):
+    run_network_case(NetworkCase(**json.loads(path.read_text())))
+
+
 @pytest.mark.parametrize("path", STAT_CASES, ids=lambda p: p.stem)
 def test_replay_statistical(path):
     run_stat_case(StatCase(**json.loads(path.read_text())))
@@ -60,7 +68,7 @@ def test_replay_statistical(path):
 
 def test_no_unfixed_reproducers_note():
     """Document the mechanism even when the directory is empty."""
-    if not (CASES or CBR_CASES or CHURN_CASES or STAT_CASES):
+    if not (CASES or CBR_CASES or CHURN_CASES or NETWORK_CASES or STAT_CASES):
         assert True  # healthy: no outstanding reproducers
 
 

@@ -161,6 +161,22 @@ class TestRerunIsIndependentReplay:
             assert first.delay[flow_id].count == second.delay[flow_id].count
             assert first.delay[flow_id].mean == second.delay[flow_id].mean
 
+    def test_add_flow_then_rerun_replays_draw_for_draw(self):
+        """Adding a flow to an existing host goes through
+        ``HostSource.add_flow`` (not private-state pokes); the enlarged
+        simulator must still replay run-for-run."""
+        sim = self.build(seed=7)
+        sim.run(slots=200, warmup=0)  # dirty the counters
+        sim.add_flow(FlowSpec(4, "b", "sink", 0.5))  # existing host "b"
+        sim.add_flow(FlowSpec(5, "sink", "a", 0.7))  # brand-new source
+        first = sim.run(slots=300, warmup=0)
+        second = sim.run(slots=300, warmup=0)
+        assert first.delivered == second.delivered
+        assert first.delivered[4] > 0 and first.delivered[5] > 0
+        for flow_id in first.delay:
+            assert first.delay[flow_id].count == second.delay[flow_id].count
+            assert first.delay[flow_id].mean == second.delay[flow_id].mean
+
     def test_second_run_sees_fresh_network(self):
         sim = self.build(seed=6)
         sim.run(slots=300, warmup=0)

@@ -13,22 +13,34 @@ from repro.network.topology import Topology
 def random_tree_networks(draw, max_switches=4, max_hosts=5):
     """A random tree of switches with hosts hanging off random nodes,
     plus a random set of host-to-host flows."""
+    ports = 6
     n_switches = draw(st.integers(1, max_switches))
     topo = Topology()
+    degree = [0] * n_switches
     for index in range(n_switches):
-        topo.add_switch(f"s{index}", 6)
+        topo.add_switch(f"s{index}", ports)
     for index in range(1, n_switches):
         parent = draw(st.integers(0, index - 1))
         topo.connect(f"s{index}", f"s{parent}")
+        degree[index] += 1
+        degree[parent] += 1
     n_hosts = draw(st.integers(2, max_hosts))
     hosts = []
     for index in range(n_hosts):
+        # Only attach where a port is free: a switch can already carry
+        # up to max_switches - 1 tree links plus earlier hosts.
+        open_switches = [i for i in range(n_switches) if degree[i] < ports]
+        if not open_switches:
+            break
+        attach = draw(st.sampled_from(open_switches))
         name = f"h{index}"
         topo.add_host(name)
-        attach = draw(st.integers(0, n_switches - 1))
         topo.connect(name, f"s{attach}")
+        degree[attach] += 1
         hosts.append(name)
-    n_flows = draw(st.integers(1, min(4, n_hosts)))
+    if len(hosts) < 2:
+        return topo, []
+    n_flows = draw(st.integers(1, min(4, len(hosts))))
     flows = []
     used_sources = set()
     for flow_id in range(n_flows):

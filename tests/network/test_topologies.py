@@ -3,7 +3,17 @@
 import pytest
 
 from repro.network.netsim import FlowSpec, NetworkSimulator
-from repro.network.topologies import campus, chain, diamond, parking_lot, star
+from repro.network.topologies import (
+    TOPOLOGIES,
+    build,
+    campus,
+    chain,
+    diamond,
+    fat_tree,
+    mesh,
+    parking_lot,
+    star,
+)
 
 
 class TestChain:
@@ -85,3 +95,98 @@ class TestDiamond:
         for candidate in (upper, lower):
             for a, b in zip(candidate, candidate[1:]):
                 assert b in topo.neighbors(a)
+
+
+class TestFatTree:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="even"):
+            fat_tree(3)
+        with pytest.raises(ValueError, match="even"):
+            fat_tree(0)
+
+    def test_counts(self):
+        # 5k^2/4 switches, k^3/4 hosts, every switch port occupied.
+        for k in (2, 4):
+            topo, hosts = fat_tree(k)
+            assert len(topo.switches()) == 5 * k * k // 4
+            assert len(hosts) == k ** 3 // 4
+            for switch in topo.switches():
+                assert switch.ports == k
+                assert len(topo.neighbors(switch.name)) == k
+
+    def test_any_host_pair_connected(self):
+        topo, hosts = fat_tree(4)
+        # Same edge: two hops through the edge switch.
+        assert len(topo.shortest_path("h0_0_0", "h0_0_1")) == 3
+        # Same pod, different edge: via an aggregation switch.
+        assert len(topo.shortest_path("h0_0_0", "h0_1_0")) == 5
+        # Different pods: up to the core and back down.
+        path = topo.shortest_path("h0_0_0", "h3_1_1")
+        assert len(path) == 7 and any(n.startswith("core") for n in path)
+
+    def test_latency_threads_through(self):
+        topo, hosts = fat_tree(2, latency=3)
+        assert all(link.latency == 3 for link in topo.links)
+
+
+class TestMesh:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one row"):
+            mesh(0, 3)
+        # A 3x3 interior switch needs 5 ports (4 neighbors + host).
+        with pytest.raises(ValueError, match="needs 5 ports"):
+            mesh(3, 3, switch_ports=4)
+
+    def test_grid_shape(self):
+        topo, hosts = mesh(2, 3)
+        assert len(topo.switches()) == 6
+        assert hosts == ["h0_0", "h0_1", "h0_2", "h1_0", "h1_1", "h1_2"]
+        # Corner switch: 2 neighbors + host; edge: 3 + host.
+        assert len(topo.neighbors("s0_0")) == 3
+        assert len(topo.neighbors("s0_1")) == 4
+        # Manhattan routing: opposite corners are rows+cols hops apart.
+        assert len(topo.shortest_path("h0_0", "h1_2")) == 2 + 3 + 1
+
+    def test_uniform_ports(self):
+        topo, _ = mesh(4, 4, switch_ports=8)
+        assert all(s.ports == 8 for s in topo.switches())
+
+    def test_runs_traffic(self):
+        topo, hosts = mesh(2, 2)
+        sim = NetworkSimulator(topo, seed=0)
+        sim.add_flow(FlowSpec(1, "h0_0", "h1_1", 0.5))
+        result = sim.run(slots=1000, warmup=100)
+        assert result.throughput(1) == pytest.approx(0.5, abs=0.06)
+
+
+class TestBuild:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            build("ring")
+        with pytest.raises(ValueError, match="size must be positive"):
+            build("chain", size=0)
+
+    @pytest.mark.parametrize("name", TOPOLOGIES)
+    def test_every_bundled_shape(self, name):
+        topo, hosts = build(name, size=3)
+        assert len(hosts) >= 2
+        assert topo.switches()
+        # All hosts mutually reachable -- routed flows always resolve.
+        for host in hosts[1:]:
+            assert topo.shortest_path(hosts[0], host) is not None
+
+    @pytest.mark.parametrize("name", TOPOLOGIES)
+    def test_latency_forwarded(self, name):
+        topo, _ = build(name, size=2, latency=2)
+        assert all(link.latency == 2 for link in topo.links)
+
+    def test_odd_fat_tree_size_rounded_up(self):
+        topo, hosts = build("fat_tree", size=3)  # rounds to k=4
+        assert len(hosts) == 16
+
+    def test_composes_with_simulator(self):
+        topo, hosts = build("campus", size=2)
+        sim = NetworkSimulator(topo, seed=0)
+        sim.add_flow(FlowSpec(1, hosts[0], hosts[-1], 0.4))
+        result = sim.run(slots=600, warmup=60)
+        assert result.throughput(1) == pytest.approx(0.4, abs=0.08)

@@ -1,0 +1,159 @@
+"""Tests for the whole-fabric vectorized network fast path.
+
+The load-bearing guarantee is slot-exact parity with the object
+:class:`repro.network.netsim.NetworkSimulator` at B=1 -- both backends
+consume the same named RNG streams in the same order, so every
+injection, transfer, delivery, and backlog count must match exactly on
+every bundled topology.  The rest covers the batched (B>1) invariants,
+determinism, warm-up accounting, and the fuzz-case JSON format.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.check.differential import network_parity
+from repro.check.fuzz import NetworkCase, run_network_case
+from repro.network.netsim import FlowSpec
+from repro.network.topologies import TOPOLOGIES, build, parking_lot
+from repro.sim.fastpath_network import NetworkFastpath, run_fastpath_network
+
+
+def _parking_lot_flows(rate=0.5):
+    topo, sources, sink = parking_lot(3)
+    flows = [
+        FlowSpec(k + 1, src, sink, rate) for k, src in enumerate(sources)
+    ]
+    return topo, flows
+
+
+class TestObjectParity:
+    """Slot-exact B=1 parity on every bundled topology."""
+
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    def test_bundled_topology(self, topology):
+        network_parity(topology=topology, size=3, n_flows=4, slots=200, seed=1)
+
+    def test_with_credit_limit(self):
+        network_parity(
+            topology="parking_lot", n_flows=4, slots=250, seed=2, buffer_limit=4
+        )
+
+    def test_with_link_latency(self):
+        network_parity(topology="chain", n_flows=4, slots=250, seed=3, latency=3)
+
+    def test_with_warmup(self):
+        network_parity(topology="campus", n_flows=4, slots=250, seed=4, warmup=50)
+
+
+class TestBatchedRun:
+    def test_invariants_checked_across_replicas(self):
+        # check=True asserts per-slot cell conservation and
+        # occupancy/queued agreement inside the run.
+        topo, flows = _parking_lot_flows()
+        result = run_fastpath_network(
+            topo, flows, 300, replicas=16, seed=0, check=True
+        )
+        assert result.replicas == 16
+        assert result.injected.shape == (16, len(flows))
+
+    def test_replicas_differ_but_pool_sensibly(self):
+        topo, flows = _parking_lot_flows(rate=0.5)
+        result = run_fastpath_network(topo, flows, 2000, replicas=8, seed=0)
+        # Independent replicas should not all be identical...
+        assert len({int(row.sum()) for row in result.delivered}) > 1
+        # ...but the pooled per-flow throughput stays near the offered
+        # rate for the last-merge flow, which sees no contention.
+        assert result.throughput(4) == pytest.approx(0.5, abs=0.06)
+
+    def test_conservation_with_credit_limit(self):
+        topo, flows = _parking_lot_flows(rate=1.0)
+        result = run_fastpath_network(
+            topo, flows, 400, replicas=8, seed=5, buffer_limit=2, check=True
+        )
+        # Saturated and credit-limited: backlog is bounded by the
+        # credit limit times the number of outputs, not the load.
+        assert result.final_backlog.max() <= 2 * 4 * len(topo.switches())
+
+    def test_shares_sum_to_one(self):
+        topo, flows = _parking_lot_flows(rate=1.0)
+        result = run_fastpath_network(topo, flows, 500, replicas=4, seed=1)
+        assert sum(result.shares().values()) == pytest.approx(1.0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        topo, flows = _parking_lot_flows()
+        a = run_fastpath_network(topo, flows, 400, replicas=8, seed=7)
+        b = run_fastpath_network(topo, flows, 400, replicas=8, seed=7)
+        np.testing.assert_array_equal(a.delivered, b.delivered)
+        np.testing.assert_array_equal(a.injected, b.injected)
+        np.testing.assert_array_equal(a.delay_integral, b.delay_integral)
+
+    def test_rerun_replays_exactly(self):
+        # Unlike the object backend (whose PIM RNGs advance across
+        # runs), the fast path derives fresh streams per run() call, so
+        # a rerun on the same instance replays the first run.
+        topo, flows = _parking_lot_flows()
+        sim = NetworkFastpath(topo, replicas=4, seed=9)
+        for flow in flows:
+            sim.add_flow(flow)
+        first = sim.run(300)
+        second = sim.run(300)
+        np.testing.assert_array_equal(first.delivered, second.delivered)
+
+    def test_different_seeds_differ(self):
+        topo, flows = _parking_lot_flows()
+        a = run_fastpath_network(topo, flows, 400, replicas=4, seed=0)
+        b = run_fastpath_network(topo, flows, 400, replicas=4, seed=1)
+        assert not np.array_equal(a.delivered, b.delivered)
+
+    def test_add_flow_after_run_recompiles(self):
+        topo, sources, sink = parking_lot(3)
+        sim = NetworkFastpath(topo, replicas=2, seed=3)
+        sim.add_flow(FlowSpec(1, sources[0], sink, 0.5))
+        before = sim.run(300)
+        sim.add_flow(FlowSpec(2, sources[-1], sink, 0.5))
+        after = sim.run(300)
+        assert list(before.flow_ids) == [1]
+        assert list(after.flow_ids) == [1, 2]
+        assert int(after.delivered[:, 1].sum()) > 0
+
+
+class TestWarmup:
+    def test_window_and_delivered_accounting(self):
+        topo, flows = _parking_lot_flows(rate=0.5)
+        warm = run_fastpath_network(topo, flows, 1000, replicas=4, seed=2,
+                                    warmup=400)
+        cold = run_fastpath_network(topo, flows, 1000, replicas=4, seed=2)
+        assert warm.window == 600 and cold.window == 1000
+        # delivered counts only post-warm-up slots; injected counts all.
+        assert warm.delivered.sum() < cold.delivered.sum()
+        np.testing.assert_array_equal(warm.injected, cold.injected)
+
+    def test_delay_counts_only_warm_cells(self):
+        # Rate 0.15 x 4 flows keeps the sink link under load 1 so the
+        # network drains and warm-injected cells actually deliver.
+        topo, flows = _parking_lot_flows(rate=0.15)
+        warm = run_fastpath_network(topo, flows, 1000, replicas=4, seed=2,
+                                    warmup=400)
+        cold = run_fastpath_network(topo, flows, 1000, replicas=4, seed=2)
+        assert 0 < warm.delay_cells.sum() < cold.delay_cells.sum()
+        for fid in warm.flow_ids:
+            assert warm.mean_delay(fid) >= 1.0  # >= uncontended latency
+
+
+class TestFuzzCase:
+    def test_round_trips_through_json(self):
+        case = NetworkCase(seed=11, topology="mesh", size=2, n_flows=4,
+                          latency=2, buffer_limit=4, slots=120, warmup=25)
+        assert NetworkCase(**json.loads(case.to_json())) == case
+
+    def test_run_case_executes_parity(self):
+        run_network_case(NetworkCase(seed=0))
+
+    def test_zero_buffer_limit_means_unlimited(self):
+        # buffer_limit=0 encodes None so the dataclass stays
+        # JSON-primitive; the parity driver must translate it.
+        run_network_case(NetworkCase(seed=1, buffer_limit=0, slots=120))

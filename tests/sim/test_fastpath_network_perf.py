@@ -1,0 +1,54 @@
+"""Perf smoke test: network fastpath must beat the object netsim >= 3x.
+
+Marked ``slow``; deselect with ``pytest -m "not slow"``.  The full
+perf trajectory lives in ``benchmarks/perf/bench_network_fastpath.py``
+(run via ``make network-bench``); this is the regression floor
+asserted in CI at the acceptance config: the 4x4 mesh of 8-port
+switches (16 switches) with 16 flows at B=128 replicas.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.perf.bench_network_fastpath import build_fabric
+from repro.network.netsim import NetworkSimulator
+from repro.sim.fastpath_network import run_fastpath_network
+
+REPLICAS = 128
+
+
+@pytest.mark.slow
+def test_network_fastpath_at_least_3x_object_backend():
+    topo, flows = build_fabric()
+
+    # Warm both paths first so one-time numpy/compile costs don't skew
+    # the comparison.
+    run_fastpath_network(topo, flows, 10, replicas=REPLICAS, seed=0)
+    warm = NetworkSimulator(topo, seed=0)
+    for flow in flows:
+        warm.add_flow(flow)
+    warm.run(10)
+
+    object_slots = 150
+    sim = NetworkSimulator(topo, seed=2)
+    for flow in flows:
+        sim.add_flow(flow)
+    start = time.perf_counter()
+    sim.run(object_slots)
+    object_sps = object_slots / (time.perf_counter() - start)
+
+    fast_slots = 200
+    start = time.perf_counter()
+    run_fastpath_network(topo, flows, fast_slots, replicas=REPLICAS, seed=4)
+    fast_sps = REPLICAS * fast_slots / (time.perf_counter() - start)
+
+    speedup = fast_sps / object_sps
+    print(
+        f"\nobject {object_sps:.0f} slots/s, fastpath {fast_sps:.0f} "
+        f"replica-slots/s, speedup {speedup:.1f}x"
+    )
+    assert speedup >= 3.0, (
+        f"network fastpath regressed: only {speedup:.1f}x object backend "
+        f"({fast_sps:.0f} vs {object_sps:.0f} slots/s)"
+    )
