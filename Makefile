@@ -1,6 +1,6 @@
 # Convenience targets for the AN2 reproduction.
 
-.PHONY: install test check check-full bench bench-fastpath cbr-bench stat-bench network-bench bench-full trace-demo examples lint clean
+.PHONY: install test check check-full bench bench-fastpath cbr-bench stat-bench network-bench bench-full perf-report perf-gate trace-demo examples lint clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -48,6 +48,15 @@ bench-full:
 	PYTHONPATH=src python benchmarks/perf/bench_cbr_fastpath.py --out BENCH_cbr_fastpath.json
 	PYTHONPATH=src python benchmarks/perf/bench_stat_fastpath.py --out BENCH_stat_fastpath.json
 	PYTHONPATH=src python benchmarks/perf/bench_network_fastpath.py --out BENCH_network_fastpath.json
+
+# Live per-phase wall-time breakdown of the headline fast-path config.
+perf-report:
+	PYTHONPATH=src python -m repro.cli perf report --backend fastpath --replicas 16
+
+# Regression gate over the committed perf history (CI runs this after
+# appending a fresh quick-bench entry to a scratch copy of the history).
+perf-gate:
+	PYTHONPATH=src python -m repro.cli perf gate
 
 # Trace a 16-port PIM run at load 0.9 on both backends, then render
 # the PIM anatomy / backlog summary from the JSONL trace files.

@@ -4,7 +4,11 @@ Measures simulation throughput (replica-slots per wall second) for the
 count-based vectorized integrated simulator
 (:func:`repro.sim.fastpath_cbr.run_fastpath_cbr`) against the per-cell
 :class:`repro.cbr.integrated.IntegratedSwitch` across switch sizes N
-and batch sizes B, and writes ``BENCH_cbr_fastpath.json``.
+and batch sizes B.  Results are recorded through
+:func:`repro.obs.store.record_result`: the ``BENCH_cbr_fastpath.json``
+snapshot plus a manifest-stamped append to
+``benchmarks/perf/history/cbr_fastpath.jsonl``, with a per-phase
+breakdown from a profiled run at the headline grid point.
 
 The headline acceptance number is asserted, not just recorded: at
 N=16 with B >= 64 replicas the fast path must be at least 3x faster
@@ -20,11 +24,7 @@ Run from the repo root::
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import time
-from datetime import datetime, timezone
-from pathlib import Path
 
 import numpy as np
 
@@ -32,6 +32,8 @@ from repro.cbr.integrated import IntegratedSwitch
 from repro.cbr.reservations import ReservationTable
 from repro.check.differential import _random_allocations
 from repro.core.pim import PIMScheduler
+from repro.obs.perf import PhaseTimer
+from repro.obs.store import DEFAULT_HISTORY_DIR, record_result
 from repro.sim.fastpath_cbr import run_fastpath_cbr
 from repro.switch.cell import ServiceClass
 from repro.switch.flow import Flow
@@ -105,6 +107,16 @@ def main() -> None:
         "--out", default="BENCH_cbr_fastpath.json",
         help="output JSON path (default: BENCH_cbr_fastpath.json)",
     )
+    parser.add_argument(
+        "--history", default=DEFAULT_HISTORY_DIR, metavar="DIR",
+        help="perf-history root to append to "
+             "(default: benchmarks/perf/history)",
+    )
+    parser.add_argument(
+        "--no-history", action="store_true",
+        help="write the snapshot only; skip the history append",
+    )
+    parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args()
 
     if args.quick:
@@ -113,17 +125,17 @@ def main() -> None:
         grid_n, grid_b, slots, object_slots = [8, 16, 32], [1, 64, 256], 300, 300
     frame_slots = 20
 
-    tables = {ports: build_table(ports, frame_slots) for ports in grid_n}
+    tables = {ports: build_table(ports, frame_slots, args.seed) for ports in grid_n}
     object_baseline = {}
     for ports in grid_n:
-        object_baseline[ports] = time_object_backend(tables[ports], object_slots)
+        object_baseline[ports] = time_object_backend(tables[ports], object_slots, args.seed)
         print(f"object   N={ports:<3}          {object_baseline[ports]:>12.0f} slots/s")
 
     results = []
     floor_checked = False
     for ports in grid_n:
         for replicas in grid_b:
-            sps = time_fastpath_backend(tables[ports], replicas, slots)
+            sps = time_fastpath_backend(tables[ports], replicas, slots, args.seed)
             speedup = sps / object_baseline[ports]
             results.append(
                 {
@@ -157,22 +169,46 @@ def main() -> None:
                 )
     assert floor_checked, "grid did not include the N=16, B>=64 floor point"
 
-    payload = {
-        "timestamp": datetime.now(timezone.utc).isoformat(),
-        "platform": platform.platform(),
-        "vbr_load": VBR_LOAD,
-        "utilization": UTILIZATION,
-        "iterations": ITERATIONS,
-        "frame_slots": frame_slots,
-        "speedup_floor": SPEEDUP_FLOOR,
-        "object_baseline_slots_per_sec": {
-            str(n): sps for n, sps in object_baseline.items()
+    headline_n, headline_b = grid_n[-1], grid_b[-1]
+    timer = PhaseTimer()
+    profiled = run_fastpath_cbr(
+        tables[headline_n], VBR_LOAD, slots, replicas=headline_b,
+        iterations=ITERATIONS, seed=args.seed, phase_timer=timer,
+    )
+    phase_report = timer.report(
+        slots=headline_b * slots,
+        cells=int(profiled.carried_cbr.sum() + profiled.carried_vbr.sum()),
+    )
+    print(f"\nphase profile (N={headline_n}, B={headline_b}):")
+    print(phase_report.render())
+
+    entry = record_result(
+        "cbr_fastpath",
+        results,
+        config={
+            "grid_n": grid_n, "grid_b": grid_b, "slots": slots,
+            "vbr_load": VBR_LOAD, "utilization": UTILIZATION,
+            "iterations": ITERATIONS, "frame_slots": frame_slots,
+            "quick": args.quick,
         },
-        "results": results,
-    }
-    out = Path(args.out)
-    out.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {out}")
+        seed=args.seed,
+        extras={
+            "vbr_load": VBR_LOAD,
+            "utilization": UTILIZATION,
+            "iterations": ITERATIONS,
+            "frame_slots": frame_slots,
+            "speedup_floor": SPEEDUP_FLOOR,
+            "object_baseline_slots_per_sec": {
+                str(n): sps for n, sps in object_baseline.items()
+            },
+        },
+        phases=phase_report.to_dict(),
+        snapshot=args.out,
+        history_dir=None if args.no_history else args.history,
+    )
+    print(f"wrote {args.out} (run {entry.run_id})")
+    if not args.no_history:
+        print(f"appended history entry to {args.history}/cbr_fastpath.jsonl")
 
 
 if __name__ == "__main__":

@@ -4,8 +4,14 @@ Measures simulation throughput (replica-slots per wall second, i.e.
 ``replicas * slots / elapsed``) for the count-based vectorized
 fast-path simulator and the per-cell object model across switch sizes
 N and batch sizes B, plus the grant/accept compact-draw micro-delta in
-:func:`repro.core.pim.pim_match`, and writes ``BENCH_fastpath.json``
-so future PRs have a perf trajectory to regress against.
+:func:`repro.core.pim.pim_match`.  Results are recorded through
+:func:`repro.obs.store.record_result`: the human-facing
+``BENCH_fastpath.json`` snapshot, plus an append to the perf-history
+store (``benchmarks/perf/history/fastpath.jsonl``) that ``repro-an2
+perf gate`` regresses against, both stamped with a
+:class:`repro.obs.perf.RunManifest`.  A profiled run at the headline
+grid point attaches its per-phase breakdown
+(compile/arrivals/kernel/update) to the entry.
 
 Run from the repo root::
 
@@ -20,15 +26,13 @@ per-(N, B) speedup is ``fastpath_replica_slots_per_sec / object_slots_per_sec``.
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import time
-from datetime import datetime, timezone
-from pathlib import Path
 
 import numpy as np
 
 from repro.core.pim import PIMScheduler, pim_match
+from repro.obs.perf import PhaseTimer
+from repro.obs.store import DEFAULT_HISTORY_DIR, record_result
 from repro.sim.fastpath import run_fastpath
 from repro.switch.switch import CrossbarSwitch
 from repro.traffic.uniform import UniformTraffic
@@ -93,6 +97,16 @@ def main() -> None:
         "--out", default="BENCH_fastpath.json",
         help="output JSON path (default: BENCH_fastpath.json)",
     )
+    parser.add_argument(
+        "--history", default=DEFAULT_HISTORY_DIR, metavar="DIR",
+        help="perf-history root to append to "
+             "(default: benchmarks/perf/history)",
+    )
+    parser.add_argument(
+        "--no-history", action="store_true",
+        help="write the snapshot only; skip the history append",
+    )
+    parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args()
 
     if args.quick:
@@ -102,13 +116,13 @@ def main() -> None:
 
     object_baseline = {}
     for ports in grid_n:
-        object_baseline[ports] = time_object_backend(ports, object_slots)
+        object_baseline[ports] = time_object_backend(ports, object_slots, args.seed)
         print(f"object   N={ports:<3}          {object_baseline[ports]:>12.0f} slots/s")
 
     results = []
     for ports in grid_n:
         for replicas in grid_b:
-            sps = time_fastpath_backend(ports, replicas, slots)
+            sps = time_fastpath_backend(ports, replicas, slots, args.seed)
             speedup = sps / object_baseline[ports]
             results.append(
                 {
@@ -135,20 +149,41 @@ def main() -> None:
         f"{micro['full']:.0f} matches/s ({micro['speedup_compact_vs_full']:.2f}x)"
     )
 
-    payload = {
-        "timestamp": datetime.now(timezone.utc).isoformat(),
-        "platform": platform.platform(),
-        "load": LOAD,
-        "iterations": ITERATIONS,
-        "object_baseline_slots_per_sec": {
-            str(n): sps for n, sps in object_baseline.items()
+    headline_n, headline_b = grid_n[-1], grid_b[-1]
+    timer = PhaseTimer()
+    profiled = run_fastpath(
+        headline_n, LOAD, slots, replicas=headline_b,
+        iterations=ITERATIONS, seed=args.seed, phase_timer=timer,
+    )
+    phase_report = timer.report(
+        slots=headline_b * slots, cells=int(profiled.carried_cells.sum())
+    )
+    print(f"\nphase profile (N={headline_n}, B={headline_b}):")
+    print(phase_report.render())
+
+    entry = record_result(
+        "fastpath",
+        results,
+        config={
+            "grid_n": grid_n, "grid_b": grid_b, "slots": slots,
+            "load": LOAD, "iterations": ITERATIONS, "quick": args.quick,
         },
-        "results": results,
-        "micro_pim_match_draws": micro,
-    }
-    out = Path(args.out)
-    out.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {out}")
+        seed=args.seed,
+        extras={
+            "load": LOAD,
+            "iterations": ITERATIONS,
+            "object_baseline_slots_per_sec": {
+                str(n): sps for n, sps in object_baseline.items()
+            },
+            "micro_pim_match_draws": micro,
+        },
+        phases=phase_report.to_dict(),
+        snapshot=args.out,
+        history_dir=None if args.no_history else args.history,
+    )
+    print(f"wrote {args.out} (run {entry.run_id})")
+    if not args.no_history:
+        print(f"appended history entry to {args.history}/fastpath.jsonl")
 
 
 if __name__ == "__main__":

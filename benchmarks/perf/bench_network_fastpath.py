@@ -5,8 +5,12 @@ batched multi-switch simulator
 (:func:`repro.sim.fastpath_network.run_fastpath_network`) against the
 per-cell :class:`repro.network.netsim.NetworkSimulator` on the bench
 fabric -- a 4x4 mesh of 8-port switches (16 switches, 16 hosts)
-carrying 16 routed host-to-host flows -- and writes
-``BENCH_network_fastpath.json``.
+carrying 16 routed host-to-host flows.  Results are recorded through
+:func:`repro.obs.store.record_result`: the
+``BENCH_network_fastpath.json`` snapshot plus a manifest-stamped
+append to ``benchmarks/perf/history/network_fastpath.jsonl``, with a
+per-phase breakdown (compile/delivery/arrivals/kernel/update) from a
+profiled run at the headline batch size.
 
 The headline acceptance number is asserted, not just recorded: on the
 16-switch mesh with B >= 64 replicas the fast path must be at least 3x
@@ -24,16 +28,14 @@ Run from the repo root::
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import time
-from datetime import datetime, timezone
-from pathlib import Path
 
 import numpy as np
 
 from repro.network.netsim import FlowSpec, NetworkSimulator
 from repro.network.topologies import mesh
+from repro.obs.perf import PhaseTimer
+from repro.obs.store import DEFAULT_HISTORY_DIR, record_result
 from repro.sim.fastpath_network import run_fastpath_network
 from repro.sim.rng import derive_seed
 
@@ -85,6 +87,16 @@ def main() -> None:
         "--out", default="BENCH_network_fastpath.json",
         help="output JSON path (default: BENCH_network_fastpath.json)",
     )
+    parser.add_argument(
+        "--history", default=DEFAULT_HISTORY_DIR, metavar="DIR",
+        help="perf-history root to append to "
+             "(default: benchmarks/perf/history)",
+    )
+    parser.add_argument(
+        "--no-history", action="store_true",
+        help="write the snapshot only; skip the history append",
+    )
+    parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args()
 
     if args.quick:
@@ -92,19 +104,19 @@ def main() -> None:
     else:
         grid_b, slots, object_slots = [1, 32, 128, 256], 400, 300
 
-    topo, flows = build_fabric()
+    topo, flows = build_fabric(args.seed)
     n_switches = len(topo.switches())
     print(
         f"fabric: {ROWS}x{COLS} mesh ({n_switches} switches x "
         f"{SWITCH_PORTS} ports), {len(flows)} flows"
     )
-    object_baseline = time_object_backend(topo, flows, object_slots)
+    object_baseline = time_object_backend(topo, flows, object_slots, args.seed)
     print(f"object            {object_baseline:>12.0f} slots/s")
 
     results = []
     floor_checked = False
     for replicas in grid_b:
-        sps = time_fastpath_backend(topo, flows, replicas, slots)
+        sps = time_fastpath_backend(topo, flows, replicas, slots, args.seed)
         speedup = sps / object_baseline
         results.append(
             {
@@ -137,23 +149,45 @@ def main() -> None:
             )
     assert floor_checked, "grid did not include the B>=64 floor point"
 
-    payload = {
-        "timestamp": datetime.now(timezone.utc).isoformat(),
-        "platform": platform.platform(),
-        "fabric": {
-            "rows": ROWS,
-            "cols": COLS,
-            "switch_ports": SWITCH_PORTS,
-            "switches": n_switches,
-            "flows": len(flows),
+    headline_b = grid_b[-1]
+    timer = PhaseTimer()
+    profiled = run_fastpath_network(
+        topo, flows, slots, replicas=headline_b, seed=args.seed,
+        phase_timer=timer,
+    )
+    phase_report = timer.report(
+        slots=headline_b * slots, cells=int(profiled.delivered.sum())
+    )
+    print(f"\nphase profile (B={headline_b}):")
+    print(phase_report.render())
+
+    entry = record_result(
+        "network_fastpath",
+        results,
+        config={
+            "rows": ROWS, "cols": COLS, "switch_ports": SWITCH_PORTS,
+            "flows": len(flows), "grid_b": grid_b, "slots": slots,
+            "quick": args.quick,
         },
-        "speedup_floor": SPEEDUP_FLOOR,
-        "object_baseline_slots_per_sec": object_baseline,
-        "results": results,
-    }
-    out = Path(args.out)
-    out.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {out}")
+        seed=args.seed,
+        extras={
+            "fabric": {
+                "rows": ROWS,
+                "cols": COLS,
+                "switch_ports": SWITCH_PORTS,
+                "switches": n_switches,
+                "flows": len(flows),
+            },
+            "speedup_floor": SPEEDUP_FLOOR,
+            "object_baseline_slots_per_sec": object_baseline,
+        },
+        phases=phase_report.to_dict(),
+        snapshot=args.out,
+        history_dir=None if args.no_history else args.history,
+    )
+    print(f"wrote {args.out} (run {entry.run_id})")
+    if not args.no_history:
+        print(f"appended history entry to {args.history}/network_fastpath.jsonl")
 
 
 if __name__ == "__main__":

@@ -5,7 +5,11 @@ count-based batched statistical simulator
 (:func:`repro.sim.fastpath_statistical.run_fastpath_statistical`)
 against the per-cell :class:`repro.switch.switch.CrossbarSwitch` +
 :class:`repro.core.statistical.StatisticalMatcher` across switch sizes
-N and batch sizes B, and writes ``BENCH_stat_fastpath.json``.
+N and batch sizes B.  Results are recorded through
+:func:`repro.obs.store.record_result`: the ``BENCH_stat_fastpath.json``
+snapshot plus a manifest-stamped append to
+``benchmarks/perf/history/stat_fastpath.jsonl``, with a per-phase
+breakdown from a profiled run at the headline grid point.
 
 The headline acceptance number is asserted, not just recorded: at
 N=16 with B >= 64 replicas the fast path must be at least 3x faster
@@ -22,16 +26,14 @@ Run from the repo root::
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import time
-from datetime import datetime, timezone
-from pathlib import Path
 
 import numpy as np
 
 from repro.check.differential import _random_allocations
 from repro.core.statistical import StatisticalMatcher
+from repro.obs.perf import PhaseTimer
+from repro.obs.store import DEFAULT_HISTORY_DIR, record_result
 from repro.sim.fastpath_statistical import run_fastpath_statistical
 from repro.switch.switch import CrossbarSwitch
 from repro.traffic.uniform import UniformTraffic
@@ -88,6 +90,16 @@ def main() -> None:
         "--out", default="BENCH_stat_fastpath.json",
         help="output JSON path (default: BENCH_stat_fastpath.json)",
     )
+    parser.add_argument(
+        "--history", default=DEFAULT_HISTORY_DIR, metavar="DIR",
+        help="perf-history root to append to "
+             "(default: benchmarks/perf/history)",
+    )
+    parser.add_argument(
+        "--no-history", action="store_true",
+        help="write the snapshot only; skip the history append",
+    )
+    parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args()
 
     if args.quick:
@@ -95,17 +107,17 @@ def main() -> None:
     else:
         grid_n, grid_b, slots, object_slots = [8, 16, 32], [1, 64, 256], 300, 300
 
-    allocations = {ports: build_allocations(ports) for ports in grid_n}
+    allocations = {ports: build_allocations(ports, args.seed) for ports in grid_n}
     object_baseline = {}
     for ports in grid_n:
-        object_baseline[ports] = time_object_backend(allocations[ports], object_slots)
+        object_baseline[ports] = time_object_backend(allocations[ports], object_slots, args.seed)
         print(f"object   N={ports:<3}          {object_baseline[ports]:>12.0f} slots/s")
 
     results = []
     floor_checked = False
     for ports in grid_n:
         for replicas in grid_b:
-            sps = time_fastpath_backend(allocations[ports], replicas, slots)
+            sps = time_fastpath_backend(allocations[ports], replicas, slots, args.seed)
             speedup = sps / object_baseline[ports]
             results.append(
                 {
@@ -139,22 +151,44 @@ def main() -> None:
                 )
     assert floor_checked, "grid did not include the N=16, B>=64 floor point"
 
-    payload = {
-        "timestamp": datetime.now(timezone.utc).isoformat(),
-        "platform": platform.platform(),
-        "load": LOAD,
-        "units": UNITS,
-        "utilization": UTILIZATION,
-        "rounds": ROUNDS,
-        "speedup_floor": SPEEDUP_FLOOR,
-        "object_baseline_slots_per_sec": {
-            str(n): sps for n, sps in object_baseline.items()
+    headline_n, headline_b = grid_n[-1], grid_b[-1]
+    timer = PhaseTimer()
+    profiled = run_fastpath_statistical(
+        allocations[headline_n], UNITS, LOAD, slots,
+        rounds=ROUNDS, replicas=headline_b, seed=args.seed, phase_timer=timer,
+    )
+    phase_report = timer.report(
+        slots=headline_b * slots, cells=int(profiled.carried_cells.sum())
+    )
+    print(f"\nphase profile (N={headline_n}, B={headline_b}):")
+    print(phase_report.render())
+
+    entry = record_result(
+        "stat_fastpath",
+        results,
+        config={
+            "grid_n": grid_n, "grid_b": grid_b, "slots": slots,
+            "load": LOAD, "units": UNITS, "utilization": UTILIZATION,
+            "rounds": ROUNDS, "quick": args.quick,
         },
-        "results": results,
-    }
-    out = Path(args.out)
-    out.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {out}")
+        seed=args.seed,
+        extras={
+            "load": LOAD,
+            "units": UNITS,
+            "utilization": UTILIZATION,
+            "rounds": ROUNDS,
+            "speedup_floor": SPEEDUP_FLOOR,
+            "object_baseline_slots_per_sec": {
+                str(n): sps for n, sps in object_baseline.items()
+            },
+        },
+        phases=phase_report.to_dict(),
+        snapshot=args.out,
+        history_dir=None if args.no_history else args.history,
+    )
+    print(f"wrote {args.out} (run {entry.run_id})")
+    if not args.no_history:
+        print(f"appended history entry to {args.history}/stat_fastpath.jsonl")
 
 
 if __name__ == "__main__":

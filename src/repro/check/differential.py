@@ -67,29 +67,44 @@ def backend_parity(
     iterations: Optional[int] = 4,
     accept: str = "random",
     output_capacity: int = 1,
+    phase_timer=None,
 ) -> DifferentialReport:
     """Object vs fast path on seed-matched arrivals; raises on divergence.
 
     All three streams (traffic, object matching, fast matching) are
     derived from ``seed`` so one integer replays the whole comparison.
+
+    ``phase_timer``, when given an enabled
+    :class:`repro.obs.perf.PhaseTimer`, profiles the check under a
+    ``parity`` root span with ``parity/object`` / ``parity/fastpath``
+    children (each backend's own phase breakdown nested below), so
+    slow parity sweeps report where the wall time went.
     """
+    from repro.obs.perf import NULL_PHASE_TIMER
     from repro.sim.rng import derive_seed
 
     if drain_slots is None:
         # Enough to flush any backlog a stable run accumulates.
         drain_slots = max(200, slots)
-    report: ParityReport = diff_backends(
-        ports,
-        load,
-        slots,
-        drain_slots=drain_slots,
-        iterations=iterations,
-        traffic_seed=derive_seed(seed, "check/traffic"),
-        object_match_seed=derive_seed(seed, "check/object-match"),
-        fast_match_seed=derive_seed(seed, "check/fast-match"),
-        accept=accept,
-        output_capacity=output_capacity,
+    timer = (
+        phase_timer
+        if phase_timer is not None and phase_timer.enabled
+        else NULL_PHASE_TIMER
     )
+    with timer.phase("parity"):
+        report: ParityReport = diff_backends(
+            ports,
+            load,
+            slots,
+            drain_slots=drain_slots,
+            iterations=iterations,
+            traffic_seed=derive_seed(seed, "check/traffic"),
+            object_match_seed=derive_seed(seed, "check/object-match"),
+            fast_match_seed=derive_seed(seed, "check/fast-match"),
+            accept=accept,
+            output_capacity=output_capacity,
+            phase_timer=timer,
+        )
     name = (
         f"backend-parity(N={ports}, load={load}, iter={iterations}, "
         f"accept={accept}, cap={output_capacity}, seed={seed})"

@@ -5,8 +5,9 @@ Installed as the ``repro-an2`` console script::
     repro-an2 info
     repro-an2 delay --scheduler pim --load 0.9 --ports 16
     repro-an2 delay --load 0.9 --trace run.jsonl --metrics
-    repro-an2 delay --backend fastpath --load 0.9 --trace run.jsonl
+    repro-an2 delay --backend fastpath --load 0.9 --trace run.jsonl --profile
     repro-an2 trace summarize run.jsonl --plot
+    repro-an2 trace summarize run.jsonl --format json
     repro-an2 sweep --workload clientserver --loads 0.5 0.7 0.9
     repro-an2 table1 --patterns 5000
     repro-an2 cbr-bounds --hops 4 --tolerance 1e-4
@@ -14,6 +15,11 @@ Installed as the ``repro-an2`` console script::
     repro-an2 statistical --backend fastpath --replicas 64 --load 0.8
     repro-an2 network --topology mesh --size 4 --backend fastpath --replicas 64
     repro-an2 check --suite network --seeds 10
+    repro-an2 perf report --backend fastpath --replicas 16
+    repro-an2 perf report --from-history latest --bench fastpath
+    repro-an2 perf compare prev latest --bench fastpath
+    repro-an2 perf gate --tolerance 0.4
+    repro-an2 perf list
 
 Each subcommand is a thin wrapper over the library; the full
 regeneration harness lives in ``benchmarks/``.
@@ -22,6 +28,7 @@ regeneration harness lives in ``benchmarks/``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -105,15 +112,39 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _args_config(args: argparse.Namespace) -> dict:
+    """The run's logical config from its parsed flags (for manifests)."""
+    skip = {"func", "command", "trace", "metrics", "trace_stride", "profile"}
+    return {
+        key: value
+        for key, value in sorted(vars(args).items())
+        if key not in skip and not callable(value)
+    }
+
+
 def _build_probe(args: argparse.Namespace):
-    """Probe from --trace/--metrics/--trace-stride flags (or None)."""
+    """Probe from --trace/--metrics/--trace-stride flags (or None).
+
+    Traced runs open with a :class:`repro.obs.perf.RunManifest` record,
+    so every JSONL trace carries the git SHA / platform / versions /
+    seed / config hash of the run that produced it.
+    """
     if not (args.trace or args.metrics):
         return None
     from repro.obs import JSONLSink, MetricsRegistry, NullSink, Probe
 
     sink = JSONLSink(args.trace) if args.trace else NullSink()
     metrics = MetricsRegistry() if args.metrics else None
-    return Probe(sink, metrics=metrics, stride=args.trace_stride)
+    probe = Probe(sink, metrics=metrics, stride=args.trace_stride)
+    if args.trace:
+        from repro.obs.perf import RunManifest
+
+        probe.run_manifest(
+            RunManifest.collect(
+                seed=getattr(args, "seed", None), config=_args_config(args)
+            )
+        )
+    return probe
 
 
 def _finish_probe(probe) -> None:
@@ -128,7 +159,16 @@ def _finish_probe(probe) -> None:
 
 def cmd_delay(args: argparse.Namespace) -> int:
     """One (scheduler, workload, load) point, on either backend."""
+    from repro.obs.perf import PhaseTimer
+
     probe = _build_probe(args)
+    timer = PhaseTimer() if args.profile else None
+
+    def _print_profile() -> None:
+        if timer is not None:
+            print("\nphase profile:")
+            print(timer.report(slots=args.slots).render())
+
     if args.backend == "fastpath":
         if args.scheduler not in ("pim", "pim-inf") or args.workload != "uniform":
             print(
@@ -149,24 +189,31 @@ def cmd_delay(args: argparse.Namespace) -> int:
             seed=args.seed,
             arrival_seeds=[args.seed + 1],
             probe=probe,
+            phase_timer=timer,
         )
         print(result.summary())
+        _print_profile()
         _finish_probe(probe)
         return 0
     switch = _build_switch(args.scheduler, args.ports, args.iterations, args.seed)
-    if probe is not None and args.scheduler in ("fifo", "output-queueing"):
+    if (probe is not None or timer is not None) and args.scheduler in (
+        "fifo", "output-queueing"
+    ):
         print(
-            "error: --trace/--metrics require a crossbar scheduler "
+            "error: --trace/--metrics/--profile require a crossbar scheduler "
             "(pim, pim-inf, islip, wavefront, maximum)",
             file=sys.stderr,
         )
         return 2
     traffic = _build_traffic(args.workload, args.ports, args.load, args.seed + 1)
+    extra = {}
     if probe is not None:
-        result = switch.run(traffic, slots=args.slots, warmup=args.warmup, probe=probe)
-    else:
-        result = switch.run(traffic, slots=args.slots, warmup=args.warmup)
+        extra["probe"] = probe
+    if timer is not None:
+        extra["phase_timer"] = timer
+    result = switch.run(traffic, slots=args.slots, warmup=args.warmup, **extra)
     print(result.summary())
+    _print_profile()
     _finish_probe(probe)
     return 0
 
@@ -543,23 +590,13 @@ def _budget_seconds(text: str) -> float:
     return value
 
 
-def cmd_trace_summarize(args: argparse.Namespace) -> int:
-    """Render a traced run: totals, PIM anatomy, backlog curve."""
-    from repro.analysis.ascii_plot import bar_chart, line_chart
-    from repro.obs import read_events, write_csv_summary
+def _summarize_events(events) -> dict:
+    """Machine-readable summary of a trace's events.
 
-    try:
-        events = list(read_events(args.path))
-    except FileNotFoundError:
-        print(f"{args.path}: no such trace file", file=sys.stderr)
-        return 1
-    except ValueError as exc:
-        print(f"{args.path}: malformed trace: {exc}", file=sys.stderr)
-        return 1
-    if not events:
-        print(f"{args.path}: empty trace", file=sys.stderr)
-        return 1
-
+    This dict is the single source for both output formats of ``trace
+    summarize``: the text renderer prints it, and ``--format json``
+    dumps it verbatim (so the JSON is exactly what the text shows).
+    """
     slot_begins = [e for e in events if e.kind == "slot_begin"]
     transfers = [e for e in events if e.kind == "crossbar_transfer"]
     departures = [e for e in events if e.kind == "cell_departure"]
@@ -569,16 +606,22 @@ def cmd_trace_summarize(args: argparse.Namespace) -> int:
         if e.kind == "pim_iteration":
             pim_by_slot.setdefault(e.slot, []).append(e)
 
-    print(f"trace: {args.path}  ({len(events)} events)")
-    print(f"  slots traced    : {len(slot_begins)}")
-    print(f"  offered cells   : {sum(e.arrivals for e in slot_begins)}")
-    print(f"  carried cells   : {sum(e.cells for e in transfers)}")
-    if departures:
-        mean_delay = sum(e.delay for e in departures) / len(departures)
-        print(
-            f"  mean delay      : {mean_delay:.2f} slots "
-            f"({len(departures)} cell departures)"
-        )
+    summary = {
+        "events": len(events),
+        "slots_traced": len(slot_begins),
+        "offered_cells": sum(e.arrivals for e in slot_begins),
+        "carried_cells": sum(e.cells for e in transfers),
+        "departures": len(departures),
+        "mean_delay": (
+            sum(e.delay for e in departures) / len(departures)
+            if departures
+            else None
+        ),
+    }
+
+    manifests = [e for e in events if e.kind == "run_manifest"]
+    if manifests:
+        summary["manifest"] = manifests[0].manifest
 
     if pim_by_slot:
         # Table 1's statistic from the trace: for each slot, matched is
@@ -596,41 +639,342 @@ def cmd_trace_summarize(args: argparse.Namespace) -> int:
             final_total += rounds[-1].matched
             for k in range(k_max):
                 within_k[k] += rounds[min(k, len(rounds) - 1)].matched
-        mean_iterations = sum(iterations_per_slot) / len(iterations_per_slot)
-        print(f"\nPIM anatomy ({len(pim_by_slot)} sampled slots):")
-        print(f"  mean iterations/slot : {mean_iterations:.2f}")
-        print("  % of final matches found within K iterations (cf. Table 1):")
-        shares = {
-            f"K={k + 1}": 100.0 * within_k[k] / final_total if final_total else 0.0
-            for k in range(k_max)
+        summary["pim"] = {
+            "sampled_slots": len(pim_by_slot),
+            "mean_iterations": sum(iterations_per_slot) / len(iterations_per_slot),
+            "within_k_pct": {
+                f"K={k + 1}": (
+                    100.0 * within_k[k] / final_total if final_total else 0.0
+                )
+                for k in range(k_max)
+            },
         }
+
+    if snapshots:
+        hottest = max(snapshots, key=lambda e: e.total)
+        summary["voq"] = {
+            "snapshots": len(snapshots),
+            "peak_occupancy": hottest.total,
+            "peak_slot": hottest.slot,
+        }
+
+    profiles = [e for e in events if e.kind == "phase_profile"]
+    if profiles:
+        profile = profiles[-1]
+        summary["phases"] = {
+            "phases": profile.phases,
+            "wall_seconds": profile.wall_seconds,
+            "slots": profile.slots,
+            "cells": profile.cells,
+        }
+    return summary
+
+
+def _phase_report_from_summary(phases: dict):
+    """A renderable PhaseReport from a summary's ``phases`` block."""
+    from repro.obs.perf import PhaseReport, PhaseStat
+
+    wall = phases.get("wall_seconds", 0.0)
+    stats = [
+        PhaseStat(
+            path=path,
+            calls=int(stat.get("calls", 0)),
+            seconds=stat.get("seconds", 0.0),
+            share=(stat.get("seconds", 0.0) / wall) if wall > 0 else 0.0,
+        )
+        for path, stat in phases.get("phases", {}).items()
+    ]
+    slots = phases.get("slots", -1)
+    cells = phases.get("cells", -1)
+    return PhaseReport(
+        phases=stats,
+        wall_seconds=wall,
+        slots=slots if slots is not None and slots >= 0 else None,
+        cells=cells if cells is not None and cells >= 0 else None,
+    )
+
+
+def cmd_trace_summarize(args: argparse.Namespace) -> int:
+    """Render a traced run: totals, PIM anatomy, backlog curve."""
+    from repro.analysis.ascii_plot import bar_chart, line_chart
+    from repro.obs import read_events, write_csv_summary
+
+    try:
+        events = list(read_events(args.path))
+    except FileNotFoundError:
+        print(f"{args.path}: no such trace file", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"{args.path}: malformed trace: {exc}", file=sys.stderr)
+        return 1
+    if not events:
+        print(f"{args.path}: empty trace", file=sys.stderr)
+        return 1
+
+    summary = _summarize_events(events)
+    if args.csv:
+        rows = write_csv_summary(events, args.csv)
+        summary["csv"] = {"path": args.csv, "rows": rows}
+    if args.format == "json":
+        summary["path"] = args.path
+        print(json.dumps(summary, indent=2))
+        return 0
+
+    print(f"trace: {args.path}  ({summary['events']} events)")
+    print(f"  slots traced    : {summary['slots_traced']}")
+    print(f"  offered cells   : {summary['offered_cells']}")
+    print(f"  carried cells   : {summary['carried_cells']}")
+    if summary["departures"]:
+        print(
+            f"  mean delay      : {summary['mean_delay']:.2f} slots "
+            f"({summary['departures']} cell departures)"
+        )
+    if "manifest" in summary:
+        manifest = summary["manifest"]
+        print(
+            f"  manifest        : git {manifest.get('git_sha', 'unknown')[:12]}  "
+            f"seed {manifest.get('seed')}  config {manifest.get('config_hash', '')}"
+        )
+
+    if "pim" in summary:
+        pim = summary["pim"]
+        print(f"\nPIM anatomy ({pim['sampled_slots']} sampled slots):")
+        print(f"  mean iterations/slot : {pim['mean_iterations']:.2f}")
+        print("  % of final matches found within K iterations (cf. Table 1):")
+        shares = pim["within_k_pct"]
         for name, pct in shares.items():
             print(f"    {name}  {pct:6.2f}%")
         if args.plot:
             print()
             print(bar_chart(shares, width=40, reference=100.0, reference_label="100%"))
 
-    if args.plot and len(slot_begins) >= 2:
-        backlog_points = [(float(e.slot), float(e.backlog)) for e in slot_begins]
-        print("\nbacklog at slot start:")
-        print(
-            line_chart(
-                {"backlog": backlog_points},
-                width=60,
-                height=10,
-                x_label="slot",
+    if args.plot:
+        slot_begins = [e for e in events if e.kind == "slot_begin"]
+        if len(slot_begins) >= 2:
+            backlog_points = [(float(e.slot), float(e.backlog)) for e in slot_begins]
+            print("\nbacklog at slot start:")
+            print(
+                line_chart(
+                    {"backlog": backlog_points},
+                    width=60,
+                    height=10,
+                    x_label="slot",
+                )
             )
-        )
-    if snapshots:
-        hottest = max(snapshots, key=lambda e: e.total)
+    if "voq" in summary:
+        voq = summary["voq"]
         print(
-            f"\n{len(snapshots)} VOQ snapshots; peak pooled occupancy "
-            f"{hottest.total} cells at slot {hottest.slot}"
+            f"\n{voq['snapshots']} VOQ snapshots; peak pooled occupancy "
+            f"{voq['peak_occupancy']} cells at slot {voq['peak_slot']}"
         )
-    if args.csv:
-        rows = write_csv_summary(events, args.csv)
-        print(f"\nwrote per-slot summary ({rows} rows) to {args.csv}")
+    if "phases" in summary:
+        print("\nphase profile:")
+        print(_phase_report_from_summary(summary["phases"]).render())
+    if "csv" in summary:
+        print(
+            f"\nwrote per-slot summary ({summary['csv']['rows']} rows) "
+            f"to {summary['csv']['path']}"
+        )
     return 0
+
+
+def _history_store(args: argparse.Namespace):
+    """A PerfStore rooted at --history (default: the repo's history)."""
+    from repro.obs.store import DEFAULT_HISTORY_DIR, PerfStore
+
+    return PerfStore(args.history or DEFAULT_HISTORY_DIR)
+
+
+def _print_manifest(manifest: dict) -> None:
+    print(
+        f"manifest: git {manifest.get('git_sha', 'unknown')[:12]}  "
+        f"python {manifest.get('python_version', '?')}  "
+        f"numpy {manifest.get('numpy_version', '?')}  "
+        f"seed {manifest.get('seed')}  config {manifest.get('config_hash', '')}"
+    )
+
+
+def cmd_perf_report(args: argparse.Namespace) -> int:
+    """Per-phase breakdown: profile a run now, or render a history entry."""
+    from repro.obs.perf import PhaseReport, PhaseTimer, RunManifest
+
+    if args.from_history is not None:
+        store = _history_store(args)
+        try:
+            entry = store.resolve(args.bench, args.from_history)
+        except (LookupError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(f"bench {entry.bench}, run {entry.run_id}")
+        _print_manifest(entry.manifest)
+        if entry.phases is None:
+            print(
+                f"error: run {entry.run_id} recorded no phase breakdown",
+                file=sys.stderr,
+            )
+            return 1
+        print()
+        print(PhaseReport.from_dict(entry.phases).render())
+        return 0
+
+    timer = PhaseTimer()
+    slots_total = args.replicas * args.slots
+    cells = None
+    if args.backend == "fastpath":
+        from repro.sim.fastpath import run_fastpath
+
+        result = run_fastpath(
+            args.ports, args.load, args.slots, replicas=args.replicas,
+            warmup=args.warmup, seed=args.seed, phase_timer=timer,
+        )
+        cells = int(result.carried_cells.sum())
+    elif args.backend == "cbr":
+        from repro.sim.fastpath_cbr import run_fastpath_cbr
+
+        table = _build_reservations(args.ports, 50, 0.5, args.seed)
+        result = run_fastpath_cbr(
+            table, args.load, args.slots, replicas=args.replicas,
+            warmup=args.warmup, seed=args.seed, phase_timer=timer,
+        )
+        cells = int(result.carried_cbr.sum() + result.carried_vbr.sum())
+    elif args.backend == "statistical":
+        from repro.check.differential import _random_allocations
+        from repro.sim.fastpath_statistical import run_fastpath_statistical
+        from repro.sim.rng import derive_seed
+
+        rng = np.random.default_rng(derive_seed(args.seed, "cli/stat-allocations"))
+        allocations = _random_allocations(args.ports, 16, rng, fraction=0.75)
+        result = run_fastpath_statistical(
+            allocations, 16, args.load, args.slots, replicas=args.replicas,
+            warmup=args.warmup, seed=args.seed, phase_timer=timer,
+        )
+        cells = int(result.carried_cells.sum())
+    elif args.backend == "network":
+        from repro.network.netsim import FlowSpec
+        from repro.network.topologies import build
+        from repro.sim.fastpath_network import run_fastpath_network
+        from repro.sim.rng import derive_seed
+
+        topo, hosts = build("parking_lot", 3, latency=1)
+        flow_rng = np.random.default_rng(derive_seed(args.seed, "cli/network-flows"))
+        flows = []
+        for flow_id in range(1, 5):
+            src, dst = flow_rng.choice(len(hosts), size=2, replace=False)
+            flows.append(FlowSpec(flow_id, hosts[src], hosts[dst], args.load))
+        result = run_fastpath_network(
+            topo, flows, args.slots, replicas=args.replicas,
+            warmup=args.warmup, seed=args.seed, phase_timer=timer,
+        )
+        cells = int(result.delivered.sum())
+    elif args.backend == "object":
+        from repro.core.pim import PIMScheduler
+        from repro.switch.switch import CrossbarSwitch
+        from repro.traffic.uniform import UniformTraffic
+
+        switch = CrossbarSwitch(args.ports, PIMScheduler(seed=args.seed))
+        traffic = UniformTraffic(args.ports, load=args.load, seed=args.seed + 1)
+        switch.run(
+            traffic, slots=args.slots, warmup=args.warmup, phase_timer=timer
+        )
+        slots_total = args.slots
+    else:  # parity: both backends nested under object/ and fastpath/
+        from repro.obs.parity import diff_backends
+
+        report = diff_backends(
+            args.ports, args.load, args.slots,
+            traffic_seed=args.seed, phase_timer=timer,
+        )
+        slots_total = 2 * (args.slots + report.drain_slots)
+
+    manifest = RunManifest.collect(seed=args.seed, config=_args_config(args))
+    print(f"profiled {args.backend} run:")
+    _print_manifest(manifest.to_dict())
+    print()
+    print(timer.report(slots=slots_total, cells=cells).render())
+    return 0
+
+
+def cmd_perf_list(args: argparse.Namespace) -> int:
+    """Recorded history entries, per bench."""
+    store = _history_store(args)
+    benches = [args.bench] if args.bench else store.benches()
+    if not benches:
+        print(f"no perf history under {store.root}", file=sys.stderr)
+        return 1
+    status = 0
+    for bench in benches:
+        try:
+            entries = store.load(bench)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(f"{bench}: {len(entries)} entries")
+        if not entries and args.bench:
+            status = 1
+        for index, entry in enumerate(entries):
+            sha = entry.manifest.get("git_sha", "unknown")[:12]
+            extra = "  +phases" if entry.phases else ""
+            print(
+                f"  [{index}] {entry.run_id}  git {sha}  "
+                f"{len(entry.results)} results{extra}"
+            )
+    return status
+
+
+def cmd_perf_compare(args: argparse.Namespace) -> int:
+    """Config-by-config diff of two history entries."""
+    from repro.obs.store import compare_entries
+
+    store = _history_store(args)
+    try:
+        entry_a = store.resolve(args.bench, args.run_a)
+        entry_b = store.resolve(args.bench, args.run_b)
+    except (LookupError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    rows = compare_entries(entry_a, entry_b, metric=args.metric)
+    print(f"bench {args.bench}, metric {args.metric}:")
+    print(f"  a = {entry_a.run_id}  (git {entry_a.manifest.get('git_sha', '?')[:12]})")
+    print(f"  b = {entry_b.run_id}  (git {entry_b.manifest.get('git_sha', '?')[:12]})")
+    if not rows:
+        print("  no shared configs carry this metric", file=sys.stderr)
+        return 1
+    for row in rows:
+        print(
+            f"  {row['a']:>12.2f} -> {row['b']:>12.2f}  "
+            f"(x{row['ratio']:.2f})  {row['config']}"
+        )
+    ratios = sorted(row["ratio"] for row in rows)
+    print(f"  ratio b/a: min x{ratios[0]:.2f}, max x{ratios[-1]:.2f}")
+    return 0
+
+
+def cmd_perf_gate(args: argparse.Namespace) -> int:
+    """Gate the newest history entry of each bench against its past."""
+    from repro.obs.store import DEFAULT_TOLERANCE, gate
+
+    store = _history_store(args)
+    tolerance = args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+    benches = [args.bench] if args.bench else store.benches()
+    if not benches:
+        print(f"no perf history under {store.root}", file=sys.stderr)
+        return 1
+    ok = True
+    for bench in benches:
+        try:
+            entries = store.load(bench)
+            if not entries:
+                raise ValueError(f"no history recorded for bench {bench!r}")
+            report = gate(
+                entries, bench=bench, metric=args.metric, tolerance=tolerance
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(f"[{bench}]")
+        print(report.describe())
+        ok = ok and report.ok
+    return 0 if ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -667,6 +1011,10 @@ def build_parser() -> argparse.ArgumentParser:
     delay.add_argument("--trace-stride", type=_positive_int, default=1, metavar="N",
                        help="sample volume-heavy events (PIM anatomy, VOQ "
                             "snapshots) every N slots (default 1)")
+    delay.add_argument("--profile", action="store_true",
+                       help="time the run's phases (compile/arrivals/kernel/"
+                            "update) and print the per-phase breakdown; with "
+                            "--trace the profile also lands in the trace")
     delay.set_defaults(func=cmd_delay)
 
     sweep = sub.add_parser("sweep", help="Figure 3/4 style load sweep")
@@ -834,7 +1182,83 @@ def build_parser() -> argparse.ArgumentParser:
                            help="render ASCII charts of the anatomy and backlog")
     summarize.add_argument("--csv", metavar="PATH", default=None,
                            help="also write a per-slot CSV summary to PATH")
+    summarize.add_argument("--format", default="text", choices=["text", "json"],
+                           help="text = human-readable rendering (default); "
+                                "json = the same summary as one JSON object")
     summarize.set_defaults(func=cmd_trace_summarize)
+
+    perf = sub.add_parser(
+        "perf",
+        help="phase profiles, run manifests, and the perf-history store "
+             "(repro.obs.perf / repro.obs.store)",
+    )
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+
+    report = perf_sub.add_parser(
+        "report",
+        help="per-phase wall-time breakdown: profile a run now, or render "
+             "the breakdown recorded in a history entry",
+    )
+    report.add_argument("--backend", default="fastpath",
+                        choices=["fastpath", "cbr", "statistical", "network",
+                                 "object", "parity"],
+                        help="which simulator to profile (default fastpath)")
+    report.add_argument("--ports", type=int, default=16)
+    report.add_argument("--load", type=float, default=0.8)
+    report.add_argument("--slots", type=int, default=2_000)
+    report.add_argument("--warmup", type=int, default=200)
+    report.add_argument("--replicas", type=_positive_int, default=8,
+                        help="independent replicas (batch backends, default 8)")
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument("--from-history", metavar="REF", default=None,
+                        help="render a recorded entry instead of running: a "
+                             "run id (or unique prefix), an integer index, "
+                             "'latest', or 'prev'")
+    report.add_argument("--bench", default="fastpath",
+                        help="history bench name for --from-history "
+                             "(default fastpath)")
+    report.add_argument("--history", metavar="DIR", default=None,
+                        help="history root (default benchmarks/perf/history)")
+    report.set_defaults(func=cmd_perf_report)
+
+    plist = perf_sub.add_parser("list", help="recorded history entries per bench")
+    plist.add_argument("--bench", default=None,
+                       help="one bench only (default: all recorded benches)")
+    plist.add_argument("--history", metavar="DIR", default=None,
+                       help="history root (default benchmarks/perf/history)")
+    plist.set_defaults(func=cmd_perf_list)
+
+    compare = perf_sub.add_parser(
+        "compare", help="config-by-config diff of two history entries"
+    )
+    compare.add_argument("run_a", help="baseline entry: run id (or prefix), "
+                                       "index, 'latest', or 'prev'")
+    compare.add_argument("run_b", help="candidate entry, same references")
+    compare.add_argument("--bench", default="fastpath",
+                         help="history bench name (default fastpath)")
+    compare.add_argument("--metric", default="slots_per_sec",
+                         help="result field to diff (default slots_per_sec)")
+    compare.add_argument("--history", metavar="DIR", default=None,
+                         help="history root (default benchmarks/perf/history)")
+    compare.set_defaults(func=cmd_perf_compare)
+
+    pgate = perf_sub.add_parser(
+        "gate",
+        help="regression gate: newest entry vs the recorded trajectory "
+             "(median of earlier runs, per matching config)",
+    )
+    pgate.add_argument("--bench", default=None,
+                       help="one bench only (default: gate every recorded bench)")
+    pgate.add_argument("--metric", default="speedup_vs_object",
+                       help="result field to gate on (default "
+                            "speedup_vs_object: machine-relative, so a "
+                            "history recorded elsewhere stays meaningful)")
+    pgate.add_argument("--tolerance", type=float, default=None,
+                       help="allowed fractional drop below the baseline "
+                            "median (default 0.4)")
+    pgate.add_argument("--history", metavar="DIR", default=None,
+                       help="history root (default benchmarks/perf/history)")
+    pgate.set_defaults(func=cmd_perf_gate)
 
     return parser
 

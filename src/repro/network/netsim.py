@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.pim import PIMScheduler
 from repro.network.routing import Router
+from repro.obs.perf import NULL_PHASE_TIMER
 from repro.network.topology import Topology
 from repro.sim.rng import RandomStreams
 from repro.sim.stats import DelayStats
@@ -313,6 +314,7 @@ class NetworkSimulator:
         slots: int,
         warmup: int = 0,
         observer: Optional[Callable[[NetworkSlotRecord], None]] = None,
+        phase_timer=None,
     ) -> NetworkResult:
         """Simulate ``slots`` slots; returns per-flow statistics.
 
@@ -325,76 +327,100 @@ class NetworkSimulator:
         with a :class:`NetworkSlotRecord` of that slot's injections,
         deliveries, per-switch transfer counts, and per-switch backlog
         (unfiltered by ``warmup``).  It costs nothing when omitted.
-        """
-        self._reset_run_state()
-        result = NetworkResult(slots=slots, warmup=warmup)
-        for flow_id in self._flows:
-            result.delivered[flow_id] = 0
-            result.delay[flow_id] = DelayStats(warmup=warmup)
 
-        for slot in range(slots):
-            injected_now: Dict[int, int] = {}
-            delivered_now: Dict[int, int] = {}
-            transfers_now: Dict[str, int] = {}
-            # 1. Link deliveries land: at switches they are buffered; at
-            #    hosts the cell has arrived end-to-end.
-            for node, port, cell in self._in_transit.pop(slot, []):
-                spec = self.topology.node(node)
-                if spec.is_switch:
-                    cell.output = self.router.output_port(node, cell.flow_id)
-                    self._switches[node].accept(port, cell, slot)
-                else:
-                    route = self.router.route(cell.flow_id)
-                    if route.dst != node:
-                        raise AssertionError(
-                            f"flow {cell.flow_id} delivered to {node}, expected {route.dst}"
-                        )
-                    # Throughput counts deliveries in the measurement
-                    # window; with saturated sources a cell's injection
-                    # slot can precede the window by an unbounded queueing
-                    # backlog, so filtering on injection would silently
-                    # discard slow flows entirely.
-                    if slot >= warmup:
-                        result.delivered[cell.flow_id] += 1
-                    if cell.injected_slot >= warmup:
-                        result.delay[cell.flow_id].record(cell.injected_slot, slot)
-                    if observer is not None:
-                        delivered_now[cell.flow_id] = (
-                            delivered_now.get(cell.flow_id, 0) + 1
-                        )
-            # 2. Hosts inject one cell each onto their links (holding
-            #    back when the far-end buffer has no credit).
-            for host, source in self._sources.items():
-                if not self._has_credit(host, 0):
-                    continue
-                cell = source.emit(slot)
-                if cell is not None:
-                    self._ship(host, 0, cell, slot)
-                    if observer is not None:
-                        injected_now[cell.flow_id] = (
-                            injected_now.get(cell.flow_id, 0) + 1
-                        )
-            # 3. Switches schedule and transfer; departures enter links.
-            for core in self._switches.values():
-                blocked = self._blocked_outputs(core)
-                departures = core.schedule_and_transfer(blocked)
-                for out_port, cell in departures:
-                    self._ship(core.name, out_port, cell, slot)
+        ``phase_timer``, when given an enabled
+        :class:`repro.obs.perf.PhaseTimer`, profiles the run under the
+        shared taxonomy: ``run`` root, ``run/delivery`` link deliveries
+        landing, ``run/arrivals`` host injection, ``run/kernel``
+        per-switch scheduling and transfer, ``run/update`` observer
+        bookkeeping.
+        """
+        timer = (
+            phase_timer
+            if phase_timer is not None and phase_timer.enabled
+            else NULL_PHASE_TIMER
+        )
+        with timer.phase("run"):
+            self._reset_run_state()
+            result = NetworkResult(slots=slots, warmup=warmup)
+            for flow_id in self._flows:
+                result.delivered[flow_id] = 0
+                result.delay[flow_id] = DelayStats(warmup=warmup)
+
+            for slot in range(slots):
+                injected_now: Dict[int, int] = {}
+                delivered_now: Dict[int, int] = {}
+                transfers_now: Dict[str, int] = {}
+                # 1. Link deliveries land: at switches they are buffered;
+                #    at hosts the cell has arrived end-to-end.
+                with timer.phase("delivery"):
+                    for node, port, cell in self._in_transit.pop(slot, []):
+                        spec = self.topology.node(node)
+                        if spec.is_switch:
+                            cell.output = self.router.output_port(
+                                node, cell.flow_id
+                            )
+                            self._switches[node].accept(port, cell, slot)
+                        else:
+                            route = self.router.route(cell.flow_id)
+                            if route.dst != node:
+                                raise AssertionError(
+                                    f"flow {cell.flow_id} delivered to {node}, "
+                                    f"expected {route.dst}"
+                                )
+                            # Throughput counts deliveries in the
+                            # measurement window; with saturated sources a
+                            # cell's injection slot can precede the window
+                            # by an unbounded queueing backlog, so
+                            # filtering on injection would silently
+                            # discard slow flows entirely.
+                            if slot >= warmup:
+                                result.delivered[cell.flow_id] += 1
+                            if cell.injected_slot >= warmup:
+                                result.delay[cell.flow_id].record(
+                                    cell.injected_slot, slot
+                                )
+                            if observer is not None:
+                                delivered_now[cell.flow_id] = (
+                                    delivered_now.get(cell.flow_id, 0) + 1
+                                )
+                # 2. Hosts inject one cell each onto their links (holding
+                #    back when the far-end buffer has no credit).
+                with timer.phase("arrivals"):
+                    for host, source in self._sources.items():
+                        if not self._has_credit(host, 0):
+                            continue
+                        cell = source.emit(slot)
+                        if cell is not None:
+                            self._ship(host, 0, cell, slot)
+                            if observer is not None:
+                                injected_now[cell.flow_id] = (
+                                    injected_now.get(cell.flow_id, 0) + 1
+                                )
+                # 3. Switches schedule and transfer; departures enter
+                #    links.
+                with timer.phase("kernel"):
+                    for core in self._switches.values():
+                        blocked = self._blocked_outputs(core)
+                        departures = core.schedule_and_transfer(blocked)
+                        for out_port, cell in departures:
+                            self._ship(core.name, out_port, cell, slot)
+                        if observer is not None:
+                            transfers_now[core.name] = len(departures)
                 if observer is not None:
-                    transfers_now[core.name] = len(departures)
-            if observer is not None:
-                observer(
-                    NetworkSlotRecord(
-                        slot=slot,
-                        injected=injected_now,
-                        delivered=delivered_now,
-                        transfers=transfers_now,
-                        backlog={
-                            name: core.backlog()
-                            for name, core in self._switches.items()
-                        },
-                    )
-                )
+                    with timer.phase("update"):
+                        observer(
+                            NetworkSlotRecord(
+                                slot=slot,
+                                injected=injected_now,
+                                delivered=delivered_now,
+                                transfers=transfers_now,
+                                backlog={
+                                    name: core.backlog()
+                                    for name, core in self._switches.items()
+                                },
+                            )
+                        )
         return result
 
     def _has_credit(self, node: str, port: int) -> bool:

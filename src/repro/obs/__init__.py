@@ -18,7 +18,13 @@ internals first-class:
   both simulator backends; **zero overhead when disabled** (call sites
   guard on a single attribute read),
 - :mod:`repro.obs.parity` -- a trace-based diagnostic that diffs the
-  object and fast-path backends slot by slot.
+  object and fast-path backends slot by slot,
+- :mod:`repro.obs.perf` -- the phase profiler (:class:`PhaseTimer`)
+  and :class:`RunManifest` provenance stamps threaded through every
+  backend's ``run``; **zero overhead when disabled**,
+- :mod:`repro.obs.store` -- the append-only perf-history store all
+  ``benchmarks/perf`` harnesses write through, with the
+  ``repro-an2 perf`` report/compare/gate CLI on top.
 
 Quick start::
 
@@ -35,7 +41,9 @@ from repro.obs.events import (
     CbrSlot,
     CellDeparture,
     CrossbarTransfer,
+    PhaseProfile,
     PimIteration,
+    RunManifestRecord,
     SlotBegin,
     StatRound,
     TraceEvent,
@@ -44,6 +52,14 @@ from repro.obs.events import (
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.parity import ParityReport, diff_backends
+from repro.obs.perf import (
+    NULL_PHASE_TIMER,
+    PhaseReport,
+    PhaseStat,
+    PhaseTimer,
+    RunManifest,
+    hash_config,
+)
 from repro.obs.probe import NULL_PROBE, Probe
 from repro.obs.sinks import (
     InMemorySink,
@@ -62,7 +78,15 @@ __all__ = [
     "VoqSnapshot",
     "CbrSlot",
     "StatRound",
+    "PhaseProfile",
+    "RunManifestRecord",
     "event_from_record",
+    "PhaseTimer",
+    "NULL_PHASE_TIMER",
+    "PhaseReport",
+    "PhaseStat",
+    "RunManifest",
+    "hash_config",
     "Counter",
     "Gauge",
     "Histogram",

@@ -31,6 +31,8 @@ __all__ = [
     "VoqSnapshot",
     "CbrSlot",
     "StatRound",
+    "PhaseProfile",
+    "RunManifestRecord",
     "event_from_record",
 ]
 
@@ -243,9 +245,53 @@ class StatRound:
         return {"kind": self.kind, **asdict(self)}
 
 
+@dataclass(frozen=True)
+class PhaseProfile:
+    """End-of-run phase breakdown from a :class:`repro.obs.perf.PhaseTimer`.
+
+    Emitted once per traced run (not per slot; ``slot`` is the last
+    slot executed, or -1 when unknown).  ``phases`` maps each phase
+    path to ``{"calls": int, "seconds": float}`` self-time;
+    ``wall_seconds`` is the instrumented wall time, so the breakdown's
+    shares can be recomputed from the record alone.  ``slots`` /
+    ``cells`` carry the totals the slots/sec and cells/sec rates
+    derive from (-1 when not recorded).
+    """
+
+    kind: ClassVar[str] = "phase_profile"
+    phases: Dict[str, Dict[str, float]]
+    wall_seconds: float = 0.0
+    slot: int = -1
+    slots: int = -1
+    cells: int = -1
+
+    def to_record(self) -> Dict[str, Any]:
+        """Flat JSON-serializable form, tagged with ``kind``."""
+        return {"kind": self.kind, **asdict(self)}
+
+
+@dataclass(frozen=True)
+class RunManifestRecord:
+    """Provenance stamp of the run that produced a trace.
+
+    Wraps a :meth:`repro.obs.perf.RunManifest.to_dict` payload so every
+    JSONL trace can carry its git SHA / platform / versions / seed /
+    config hash on its first line.  ``slot`` is conventionally -1 (the
+    manifest precedes the run).
+    """
+
+    kind: ClassVar[str] = "run_manifest"
+    manifest: Dict[str, Any]
+    slot: int = -1
+
+    def to_record(self) -> Dict[str, Any]:
+        """Flat JSON-serializable form, tagged with ``kind``."""
+        return {"kind": self.kind, **asdict(self)}
+
+
 TraceEvent = Union[
     SlotBegin, PimIteration, CrossbarTransfer, CellDeparture, VoqSnapshot, CbrSlot,
-    StatRound,
+    StatRound, PhaseProfile, RunManifestRecord,
 ]
 
 _EVENT_TYPES: Dict[str, Type] = {
@@ -258,6 +304,8 @@ _EVENT_TYPES: Dict[str, Type] = {
         VoqSnapshot,
         CbrSlot,
         StatRound,
+        PhaseProfile,
+        RunManifestRecord,
     )
 }
 

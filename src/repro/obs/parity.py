@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.obs.perf import NULL_PHASE_TIMER
 from repro.obs.probe import Probe
 from repro.obs.sinks import InMemorySink
 
@@ -140,6 +141,7 @@ def diff_backends(
     accept: str = "random",
     output_capacity: int = 1,
     object_scheduler=None,
+    phase_timer=None,
 ) -> ParityReport:
     """Run both backends on seed-matched arrivals and diff their traces.
 
@@ -158,6 +160,12 @@ def diff_backends(
     work-conserving scheduler must still carry exactly what was
     offered; this is how the differential harness checks non-PIM
     schedulers against the fast path's PIM reference.
+
+    ``phase_timer``, when given an enabled
+    :class:`repro.obs.perf.PhaseTimer`, wraps the two runs in
+    ``object`` / ``fastpath`` spans (with each backend's own phase
+    breakdown nested below), so parity checks report where their wall
+    time went.
     """
     # Imported lazily so repro.obs stays importable without pulling the
     # full simulator stack in (and to avoid an import cycle with the
@@ -169,6 +177,11 @@ def diff_backends(
     from repro.traffic.uniform import UniformTraffic
 
     total = slots + drain_slots
+    timer = (
+        phase_timer
+        if phase_timer is not None and phase_timer.enabled
+        else NULL_PHASE_TIMER
+    )
 
     obj_sink = InMemorySink()
     if object_scheduler is None:
@@ -187,22 +200,25 @@ def diff_backends(
         ports, object_scheduler, fabric=fabric, speedup=output_capacity
     )
     traffic = _DrainTraffic(UniformTraffic(ports, load=load, seed=traffic_seed), slots)
-    switch.run(traffic, slots=total, probe=Probe(obj_sink))
+    with timer.phase("object"):
+        switch.run(traffic, slots=total, probe=Probe(obj_sink), phase_timer=timer)
 
     fast_sink = InMemorySink()
-    run_fastpath(
-        ports,
-        load,
-        slots,
-        replicas=1,
-        iterations=iterations,
-        accept=accept,
-        output_capacity=output_capacity,
-        seed=fast_match_seed,
-        arrival_seeds=[traffic_seed],
-        drain_slots=drain_slots,
-        probe=Probe(fast_sink),
-    )
+    with timer.phase("fastpath"):
+        run_fastpath(
+            ports,
+            load,
+            slots,
+            replicas=1,
+            iterations=iterations,
+            accept=accept,
+            output_capacity=output_capacity,
+            seed=fast_match_seed,
+            arrival_seeds=[traffic_seed],
+            drain_slots=drain_slots,
+            probe=Probe(fast_sink),
+            phase_timer=timer,
+        )
 
     def per_slot(sink: InMemorySink, kind: str, field: str) -> List[int]:
         series = [0] * total

@@ -29,7 +29,9 @@ from repro.obs.events import (
     CbrSlot,
     CellDeparture,
     CrossbarTransfer,
+    PhaseProfile,
     PimIteration,
+    RunManifestRecord,
     SlotBegin,
     StatRound,
     VoqSnapshot,
@@ -232,6 +234,38 @@ class Probe:
                 kept=kept,
                 matched=matched,
                 replicas=replicas,
+            )
+        )
+
+    def run_manifest(self, manifest) -> None:
+        """Stamp the trace with the run's provenance manifest.
+
+        Accepts a :class:`repro.obs.perf.RunManifest` or its dict form;
+        conventionally emitted before the first slot so it is the trace
+        file's first record.
+        """
+        if not self.enabled:
+            return
+        payload = manifest.to_dict() if hasattr(manifest, "to_dict") else dict(manifest)
+        self.sink.write(RunManifestRecord(manifest=payload))
+
+    def phase_profile(self, timer, slots: int = -1, cells: int = -1) -> None:
+        """Emit a :class:`repro.obs.perf.PhaseTimer`'s end-of-run breakdown.
+
+        A disabled probe or a disabled timer emits nothing (the no-op
+        timer invariant: a profiler that was never on leaves no trace).
+        ``slots``/``cells`` are the totals the derived rates use.
+        """
+        if not self.enabled or not getattr(timer, "enabled", False):
+            return
+        snapshot = timer.snapshot()
+        self.sink.write(
+            PhaseProfile(
+                phases=snapshot["phases"],
+                wall_seconds=snapshot["wall_seconds"],
+                slot=self.slot,
+                slots=slots,
+                cells=cells,
             )
         )
 

@@ -1,0 +1,407 @@
+"""The unified perf-history store: append-only JSONL + regression gate.
+
+Before this module, every perf harness wrote its own one-off
+``BENCH_*.json`` snapshot with a copy-pasted timestamp/platform header
+and asserted a hard-coded 3x floor.  The store replaces that with one
+shared shape:
+
+- every bench writes through :func:`record_result`, which stamps a
+  :class:`repro.obs.perf.RunManifest`, keeps the legacy snapshot file
+  for humans, and **appends** one entry per run to
+  ``benchmarks/perf/history/<bench>.jsonl`` -- an append-only history
+  that can be charted, diffed, and gated;
+- :func:`gate` checks the newest entry against the recorded
+  *trajectory* (per matching config, against the median of prior
+  runs) with a configurable tolerance, instead of a magic floor;
+- :func:`compare_entries` diffs any two runs config by config.
+
+Entries are one JSON object per line::
+
+    {"run_id": "...", "bench": "fastpath",
+     "manifest": {git_sha, platform, python_version, numpy_version,
+                  seed, config_hash, timestamp, config},
+     "results": [{"config": {...}, "slots_per_sec": ...,
+                  "speedup_vs_object": ...}, ...],
+     "extras": {...},          # bench-specific scalars (baselines, micro-benches)
+     "phases": {...} | null}   # optional PhaseReport.to_dict() breakdown
+
+The gate keys results on their *config dict* (canonical JSON), so
+grids can grow or shrink: only configs present in both the candidate
+and the baseline history are checked, and the default metric is the
+machine-relative ``speedup_vs_object`` ratio rather than absolute
+slots/sec, which makes a history recorded on one box meaningful on
+another.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import uuid
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.obs.perf import RunManifest
+
+__all__ = [
+    "DEFAULT_HISTORY_DIR",
+    "PerfEntry",
+    "PerfStore",
+    "record_result",
+    "GateCheck",
+    "GateReport",
+    "gate",
+    "compare_entries",
+    "config_key",
+]
+
+#: Where the repo keeps its committed perf history (relative to the
+#: repo root, where the benches and the CLI run from).
+DEFAULT_HISTORY_DIR = os.path.join("benchmarks", "perf", "history")
+
+#: Default gate slack: the candidate may be up to this fraction below
+#: the baseline median before the gate fails.  0.4 tolerates the
+#: run-to-run noise of wall-clock speedup ratios on shared boxes while
+#: still catching a 2x slowdown outright.
+DEFAULT_TOLERANCE = 0.4
+
+
+def config_key(config: Dict[str, Any]) -> str:
+    """Canonical string key of a result's config dict."""
+    return json.dumps(config, sort_keys=True, separators=(",", ":"), default=str)
+
+
+@dataclass
+class PerfEntry:
+    """One recorded bench run: manifest + per-config results."""
+
+    run_id: str
+    bench: str
+    manifest: Dict[str, Any]
+    results: List[Dict[str, Any]]
+    extras: Dict[str, Any] = field(default_factory=dict)
+    phases: Optional[Dict[str, Any]] = None
+
+    def to_record(self) -> Dict[str, Any]:
+        """Flat JSON line form; inverse of :meth:`from_record`."""
+        return {
+            "run_id": self.run_id,
+            "bench": self.bench,
+            "manifest": self.manifest,
+            "results": self.results,
+            "extras": self.extras,
+            "phases": self.phases,
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict[str, Any]) -> "PerfEntry":
+        """Rebuild an entry from its JSON line form."""
+        return cls(
+            run_id=record["run_id"],
+            bench=record["bench"],
+            manifest=record.get("manifest", {}),
+            results=record.get("results", []),
+            extras=record.get("extras", {}),
+            phases=record.get("phases"),
+        )
+
+    def metric_map(self, metric: str) -> Dict[str, float]:
+        """``{config_key: value}`` for results that carry ``metric``."""
+        out = {}
+        for result in self.results:
+            if metric in result:
+                out[config_key(result.get("config", {}))] = float(result[metric])
+        return out
+
+    @property
+    def timestamp(self) -> str:
+        """The manifest timestamp ('' when absent)."""
+        return self.manifest.get("timestamp", "")
+
+
+class PerfStore:
+    """Append-only JSONL perf history under one directory.
+
+    One file per bench name (``<bench>.jsonl``); entries are appended,
+    never rewritten, so the file is a time series by construction.
+    """
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_HISTORY_DIR):
+        self.root = Path(root)
+
+    def path(self, bench: str) -> Path:
+        """The history file backing ``bench``."""
+        return self.root / f"{bench}.jsonl"
+
+    def benches(self) -> List[str]:
+        """Bench names with recorded history, sorted."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p.stem for p in self.root.glob("*.jsonl"))
+
+    def append(self, entry: PerfEntry) -> Path:
+        """Append one entry to its bench's history file."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path(entry.bench)
+        with open(path, "a", encoding="utf-8") as handle:
+            json.dump(entry.to_record(), handle, separators=(",", ":"))
+            handle.write("\n")
+        return path
+
+    def load(self, bench: str) -> List[PerfEntry]:
+        """All entries of ``bench`` in append (chronological) order.
+
+        Missing history is an empty list; a malformed line raises with
+        its line number so a corrupted file is diagnosable.
+        """
+        path = self.path(bench)
+        if not path.exists():
+            return []
+        entries = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entries.append(PerfEntry.from_record(json.loads(line)))
+                except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                    raise ValueError(
+                        f"{path}:{lineno}: bad history line: {exc}"
+                    ) from exc
+        return entries
+
+    def resolve(self, bench: str, ref: str) -> PerfEntry:
+        """An entry by reference: run id (or unique prefix), ``latest``,
+        ``prev``, or an integer index (negative counts from the end)."""
+        entries = self.load(bench)
+        if not entries:
+            raise LookupError(f"no history recorded for bench {bench!r}")
+        if ref in ("latest", "last", "-1"):
+            return entries[-1]
+        if ref in ("prev", "previous", "-2"):
+            if len(entries) < 2:
+                raise LookupError(f"bench {bench!r} has no previous entry")
+            return entries[-2]
+        try:
+            return entries[int(ref)]
+        except (ValueError, IndexError):
+            pass
+        matches = [e for e in entries if e.run_id.startswith(ref)]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise LookupError(f"no entry of bench {bench!r} matches {ref!r}")
+        raise LookupError(
+            f"{ref!r} is ambiguous for bench {bench!r}: "
+            + ", ".join(e.run_id for e in matches[:5])
+        )
+
+
+def record_result(
+    bench: str,
+    results: Sequence[Dict[str, Any]],
+    *,
+    config: Optional[Dict[str, Any]] = None,
+    seed: Optional[int] = None,
+    extras: Optional[Dict[str, Any]] = None,
+    phases: Optional[Dict[str, Any]] = None,
+    snapshot: Optional[Union[str, Path]] = None,
+    history_dir: Optional[Union[str, Path]] = DEFAULT_HISTORY_DIR,
+    manifest: Optional[RunManifest] = None,
+) -> PerfEntry:
+    """Record one bench run: manifest + snapshot file + history append.
+
+    This is the single write path for every ``benchmarks/perf/bench_*``
+    script (it replaces their copy-pasted timestamp/platform headers).
+
+    Parameters
+    ----------
+    bench:
+        Store key; history lands in ``<history_dir>/<bench>.jsonl``.
+    results:
+        Per-grid-point dicts, each with a ``config`` dict plus metric
+        fields (``slots_per_sec``, ``speedup_vs_object``, ...).
+    config:
+        The run's logical configuration, hashed into the manifest.
+    seed:
+        Root seed recorded in the manifest.
+    extras:
+        Bench-specific scalars kept alongside the results (object
+        baselines, micro-bench deltas, floors).
+    phases:
+        Optional :meth:`repro.obs.perf.PhaseReport.to_dict` breakdown
+        of a profiled run at the headline grid point.
+    snapshot:
+        When given, also write the human-facing ``BENCH_*.json``
+        snapshot (manifest + extras + results, indented).
+    history_dir:
+        History root; ``None`` skips the history append (snapshots
+        only).
+    manifest:
+        Pre-collected manifest (tests); default collects one now.
+
+    Returns the recorded :class:`PerfEntry`.
+    """
+    if manifest is None:
+        manifest = RunManifest.collect(seed=seed, config=config)
+    stamp = datetime.now(timezone.utc).strftime("%Y%m%dT%H%M%SZ")
+    entry = PerfEntry(
+        run_id=f"{stamp}-{uuid.uuid4().hex[:8]}",
+        bench=bench,
+        manifest=manifest.to_dict(),
+        results=list(results),
+        extras=dict(extras or {}),
+        phases=phases,
+    )
+    if snapshot is not None:
+        payload = {
+            "bench": bench,
+            "run_id": entry.run_id,
+            "manifest": entry.manifest,
+            **entry.extras,
+            "results": entry.results,
+        }
+        if phases is not None:
+            payload["phases"] = phases
+        Path(snapshot).write_text(json.dumps(payload, indent=2) + "\n")
+    if history_dir is not None:
+        PerfStore(history_dir).append(entry)
+    return entry
+
+
+@dataclass(frozen=True)
+class GateCheck:
+    """One per-config verdict of the gate."""
+
+    config: str  # canonical config key (JSON)
+    metric: str
+    candidate: float
+    baseline: float  # median of the baseline trajectory
+    threshold: float  # baseline * (1 - tolerance)
+    samples: int  # baseline entries that carried this config
+    ok: bool
+
+
+@dataclass
+class GateReport:
+    """The gate's full verdict over one bench history."""
+
+    bench: str
+    metric: str
+    tolerance: float
+    candidate_run: str
+    checks: List[GateCheck]
+    skipped: List[str] = field(default_factory=list)  # configs with no baseline
+    ok: bool = True
+
+    def describe(self) -> str:
+        """One line per check, then the verdict."""
+        lines = []
+        for check in self.checks:
+            status = "ok  " if check.ok else "FAIL"
+            lines.append(
+                f"  [{status}] {check.metric} {check.candidate:.2f} vs baseline "
+                f"median {check.baseline:.2f} (floor {check.threshold:.2f}, "
+                f"{check.samples} runs)  {check.config}"
+            )
+        for config in self.skipped:
+            lines.append(f"  [new ] no baseline yet  {config}")
+        verdict = "PASS" if self.ok else "FAIL"
+        lines.append(
+            f"gate {verdict}: bench={self.bench} candidate={self.candidate_run} "
+            f"tolerance={self.tolerance:.0%} ({len(self.checks)} checks, "
+            f"{len(self.skipped)} new configs)"
+        )
+        return "\n".join(lines)
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def gate(
+    entries: Sequence[PerfEntry],
+    bench: str = "",
+    metric: str = "speedup_vs_object",
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> GateReport:
+    """Check the newest entry against the recorded trajectory.
+
+    The last entry is the candidate; every earlier entry is baseline.
+    For each config the candidate shares with the baseline, the
+    candidate's ``metric`` must be at least ``median(baseline) *
+    (1 - tolerance)``.  Configs the history has never seen are noted
+    but do not fail the gate (grids may grow); with no baseline at all
+    the gate passes trivially (first recorded run).
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+    if not entries:
+        raise ValueError("gate needs at least one recorded entry")
+    candidate = entries[-1]
+    baseline = entries[:-1]
+    report = GateReport(
+        bench=bench or candidate.bench,
+        metric=metric,
+        tolerance=tolerance,
+        candidate_run=candidate.run_id,
+        checks=[],
+        ok=True,
+    )
+    candidate_map = candidate.metric_map(metric)
+    history_maps = [entry.metric_map(metric) for entry in baseline]
+    for key, value in candidate_map.items():
+        samples = [m[key] for m in history_maps if key in m]
+        if not samples:
+            report.skipped.append(key)
+            continue
+        median = _median(samples)
+        threshold = median * (1.0 - tolerance)
+        ok = value >= threshold
+        report.checks.append(
+            GateCheck(
+                config=key,
+                metric=metric,
+                candidate=value,
+                baseline=median,
+                threshold=threshold,
+                samples=len(samples),
+                ok=ok,
+            )
+        )
+        report.ok = report.ok and ok
+    return report
+
+
+def compare_entries(
+    a: PerfEntry, b: PerfEntry, metric: str = "slots_per_sec"
+) -> List[Dict[str, Any]]:
+    """Config-by-config diff of two entries: value, value, ratio b/a.
+
+    Only configs present in both entries are compared; rows come back
+    in entry-``a`` result order.
+    """
+    map_a = a.metric_map(metric)
+    map_b = b.metric_map(metric)
+    rows = []
+    for result in a.results:
+        key = config_key(result.get("config", {}))
+        if key in map_a and key in map_b:
+            va, vb = map_a[key], map_b[key]
+            rows.append(
+                {
+                    "config": key,
+                    "metric": metric,
+                    "a": va,
+                    "b": vb,
+                    "ratio": vb / va if va else float("inf"),
+                }
+            )
+    return rows

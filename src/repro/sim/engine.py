@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Protocol, runtime_checkable
 
+from repro.obs.perf import NULL_PHASE_TIMER
+
 __all__ = ["SlotProcess", "SimulationEngine"]
 
 
@@ -57,7 +59,7 @@ class SimulationEngine:
     slot's ``begin_slot``.
     """
 
-    def __init__(self, probe=None) -> None:
+    def __init__(self, probe=None, phase_timer=None) -> None:
         self._processes: List[SlotProcess] = []
         self._slot = 0
         self._slot_hooks: List[Callable[[int], None]] = []
@@ -67,6 +69,14 @@ class SimulationEngine:
         # backends.  Disabled (the default) costs one boolean per slot.
         self._probe = probe
         self._traced = probe is not None and probe.enabled
+        # Optional repro.obs.perf.PhaseTimer; the three engine phases
+        # map onto the shared taxonomy: begin_slot -> run/arrivals,
+        # transfer -> run/kernel, end_slot -> run/update.
+        self._timer = (
+            phase_timer
+            if phase_timer is not None and phase_timer.enabled
+            else NULL_PHASE_TIMER
+        )
 
     @property
     def slot(self) -> int:
@@ -102,21 +112,28 @@ class SimulationEngine:
         """
         if slots < 0:
             raise ValueError(f"slots must be non-negative, got {slots}")
+        timer = self._timer
         executed = 0
-        for _ in range(slots):
-            current = self._slot
-            if self._traced:
-                self._probe.begin_slot(current)
-            for process in self._processes:
-                process.begin_slot(current)
-            for process in self._processes:
-                process.transfer(current)
-            for process in self._processes:
-                process.end_slot(current)
-            for hook in self._slot_hooks:
-                hook(current)
-            self._slot += 1
-            executed += 1
-            if until is not None and until(current):
-                break
+        with timer.phase("run"):
+            for _ in range(slots):
+                current = self._slot
+                if self._traced:
+                    self._probe.begin_slot(current)
+                with timer.phase("arrivals"):
+                    for process in self._processes:
+                        process.begin_slot(current)
+                with timer.phase("kernel"):
+                    for process in self._processes:
+                        process.transfer(current)
+                with timer.phase("update"):
+                    for process in self._processes:
+                        process.end_slot(current)
+                    for hook in self._slot_hooks:
+                        hook(current)
+                self._slot += 1
+                executed += 1
+                if until is not None and until(current):
+                    break
+        if self._traced and timer.enabled:
+            self._probe.phase_profile(timer, slots=self._slot)
         return executed

@@ -41,6 +41,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.pim import AN2_ITERATIONS, AcceptPolicy, BatchPIMScheduler
+from repro.obs.perf import NULL_PHASE_TIMER
 from repro.sim.rng import RandomStreams
 
 __all__ = ["FastpathCrossbar", "FastpathResult", "run_fastpath"]
@@ -324,6 +325,7 @@ def run_fastpath(
     probe=None,
     trace_stride: Optional[int] = None,
     warmup_mode: str = "slot",
+    phase_timer=None,
 ) -> FastpathResult:
     """Simulate B replicas of an N x N PIM crossbar, vectorized.
 
@@ -381,6 +383,15 @@ def run_fastpath(
         ``delay_cells`` and their occupancy from ``delay_integral``,
         so over a drained run ``mean_delay`` equals the object
         backend's arrival-keyed mean exactly.
+    phase_timer:
+        Optional :class:`repro.obs.perf.PhaseTimer`.  When enabled the
+        run is profiled under a ``run`` root span with ``run/compile``
+        (scheduler + arrival-source construction), ``run/arrivals``
+        (drawing slot counts), ``run/kernel`` (the batched matching
+        step) and ``run/update`` (counter accumulation) children; the
+        end-of-run breakdown is also emitted through an enabled probe
+        as a ``phase_profile`` event.  Disabled (the default) it costs
+        one attribute read per span.
 
     Returns a :class:`FastpathResult`.
     """
@@ -398,85 +409,107 @@ def run_fastpath(
             f"warmup_mode must be 'slot' or 'arrival', got {warmup_mode!r}"
         )
 
-    streams = RandomStreams(seed)
-    scheduler = BatchPIMScheduler(
-        replicas=replicas,
-        ports=ports,
-        iterations=iterations,
-        accept=accept,
-        output_capacity=output_capacity,
-        rng=streams.get("fastpath/pim"),
-        track_sizes=False,
+    timer = (
+        phase_timer
+        if phase_timer is not None and phase_timer.enabled
+        else NULL_PHASE_TIMER
     )
-    switch = FastpathCrossbar(ports, replicas, scheduler)
-    if arrival_seeds is not None:
-        if len(arrival_seeds) != replicas:
-            raise ValueError(
-                f"arrival_seeds has {len(arrival_seeds)} entries for "
-                f"{replicas} replicas"
+    with timer.phase("run"):
+        with timer.phase("compile"):
+            streams = RandomStreams(seed)
+            scheduler = BatchPIMScheduler(
+                replicas=replicas,
+                ports=ports,
+                iterations=iterations,
+                accept=accept,
+                output_capacity=output_capacity,
+                rng=streams.get("fastpath/pim"),
+                track_sizes=False,
             )
-        source = _ObjectCompatArrivals(ports, load, arrival_seeds)
-    else:
-        source = _BatchedArrivals(ports, replicas, load, streams.get("fastpath/arrivals"))
+            switch = FastpathCrossbar(ports, replicas, scheduler)
+            if arrival_seeds is not None:
+                if len(arrival_seeds) != replicas:
+                    raise ValueError(
+                        f"arrival_seeds has {len(arrival_seeds)} entries for "
+                        f"{replicas} replicas"
+                    )
+                source = _ObjectCompatArrivals(ports, load, arrival_seeds)
+            else:
+                source = _BatchedArrivals(
+                    ports, replicas, load, streams.get("fastpath/arrivals")
+                )
 
-    traced = probe is not None and probe.enabled
-    if traced:
-        if trace_stride is not None:
-            if trace_stride < 1:
-                raise ValueError(f"trace_stride must be >= 1, got {trace_stride}")
-            probe.stride = trace_stride
-        scheduler.attach_probe(probe)
-
-    offered = np.zeros(replicas, dtype=np.int64)
-    carried = np.zeros(replicas, dtype=np.int64)
-    backlog_integral = np.zeros(replicas, dtype=np.int64)
-    arrivals_by_input = np.zeros((replicas, ports), dtype=np.int64)
-    departures_by_output = np.zeros((replicas, ports), dtype=np.int64)
-    arrival_keyed = warmup_mode == "arrival"
-    legacy: Optional[np.ndarray] = None
-    delay_cells = np.zeros(replicas, dtype=np.int64) if arrival_keyed else None
-    delay_integral = np.zeros(replicas, dtype=np.int64) if arrival_keyed else None
-
-    for slot in range(total_slots):
-        counts = source.slot_counts() if slot < slots else None
-        if arrival_keyed and slot == warmup:
-            # Cells still queued at the start of the warmup boundary
-            # arrived before it; per-VOQ FIFO order guarantees they
-            # depart before anything arriving from here on.
-            legacy = switch.occupancy.copy()
+        traced = probe is not None and probe.enabled
         if traced:
-            # begin_slot must precede step() so the scheduler's
-            # per-iteration emission sees the right slot/sampling flag.
-            probe.begin_slot(
-                slot,
-                arrivals=int(counts.sum()) if counts is not None else 0,
-                backlog=int(switch.occupancy.sum()),
-            )
-        bb, ii, jj = switch.step(counts, check=check)
-        if traced:
-            probe.transfer(int(bb.size))
-            if probe.sampling:
-                probe.voq_snapshot(switch.occupancy.sum(axis=0), replica=-1)
-        if slot < warmup:
-            continue
-        if counts is not None:
-            per_input = counts.sum(axis=2)
-            arrivals_by_input += per_input
-            offered += per_input.sum(axis=1)
-        carried += np.bincount(bb, minlength=replicas)
-        departures_by_output += np.bincount(
-            bb * ports + jj, minlength=replicas * ports
-        ).reshape(replicas, ports)
-        backlog_integral += switch.backlog()
-        if arrival_keyed:
-            # At most one departure per (replica, input) per slot, so
-            # the (bb, ii, jj) triples are unique and fancy-indexed
-            # decrements are safe.
-            was_legacy = legacy[bb, ii, jj] > 0
-            legacy[bb[was_legacy], ii[was_legacy], jj[was_legacy]] -= 1
-            delay_cells += np.bincount(bb[~was_legacy], minlength=replicas)
-            delay_integral += (switch.occupancy - legacy).sum(axis=(1, 2))
+            if trace_stride is not None:
+                if trace_stride < 1:
+                    raise ValueError(
+                        f"trace_stride must be >= 1, got {trace_stride}"
+                    )
+                probe.stride = trace_stride
+            scheduler.attach_probe(probe)
 
+        offered = np.zeros(replicas, dtype=np.int64)
+        carried = np.zeros(replicas, dtype=np.int64)
+        backlog_integral = np.zeros(replicas, dtype=np.int64)
+        arrivals_by_input = np.zeros((replicas, ports), dtype=np.int64)
+        departures_by_output = np.zeros((replicas, ports), dtype=np.int64)
+        arrival_keyed = warmup_mode == "arrival"
+        legacy: Optional[np.ndarray] = None
+        delay_cells = np.zeros(replicas, dtype=np.int64) if arrival_keyed else None
+        delay_integral = (
+            np.zeros(replicas, dtype=np.int64) if arrival_keyed else None
+        )
+
+        for slot in range(total_slots):
+            with timer.phase("arrivals"):
+                counts = source.slot_counts() if slot < slots else None
+            if arrival_keyed and slot == warmup:
+                # Cells still queued at the start of the warmup boundary
+                # arrived before it; per-VOQ FIFO order guarantees they
+                # depart before anything arriving from here on.
+                legacy = switch.occupancy.copy()
+            if traced:
+                # begin_slot must precede step() so the scheduler's
+                # per-iteration emission sees the right slot/sampling flag.
+                probe.begin_slot(
+                    slot,
+                    arrivals=int(counts.sum()) if counts is not None else 0,
+                    backlog=int(switch.occupancy.sum()),
+                )
+            with timer.phase("kernel"):
+                bb, ii, jj = switch.step(counts, check=check)
+            if traced:
+                probe.transfer(int(bb.size))
+                if probe.sampling:
+                    probe.voq_snapshot(switch.occupancy.sum(axis=0), replica=-1)
+            if slot < warmup:
+                continue
+            with timer.phase("update"):
+                if counts is not None:
+                    per_input = counts.sum(axis=2)
+                    arrivals_by_input += per_input
+                    offered += per_input.sum(axis=1)
+                carried += np.bincount(bb, minlength=replicas)
+                departures_by_output += np.bincount(
+                    bb * ports + jj, minlength=replicas * ports
+                ).reshape(replicas, ports)
+                backlog_integral += switch.backlog()
+                if arrival_keyed:
+                    # At most one departure per (replica, input) per slot,
+                    # so the (bb, ii, jj) triples are unique and
+                    # fancy-indexed decrements are safe.
+                    was_legacy = legacy[bb, ii, jj] > 0
+                    legacy[bb[was_legacy], ii[was_legacy], jj[was_legacy]] -= 1
+                    delay_cells += np.bincount(bb[~was_legacy], minlength=replicas)
+                    delay_integral += (switch.occupancy - legacy).sum(axis=(1, 2))
+
+    if traced and timer.enabled:
+        probe.phase_profile(
+            timer,
+            slots=replicas * total_slots,
+            cells=int(carried.sum()),
+        )
     return FastpathResult(
         ports=ports,
         replicas=replicas,

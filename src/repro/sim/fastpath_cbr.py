@@ -55,6 +55,7 @@ from repro.cbr.integrated import (
 )
 from repro.cbr.reservations import ReservationTable
 from repro.core.pim import AN2_ITERATIONS, AcceptPolicy, BatchPIMScheduler
+from repro.obs.perf import NULL_PHASE_TIMER
 from repro.sim.fastpath import _BatchedArrivals, _ObjectCompatArrivals
 from repro.sim.rng import RandomStreams
 from repro.switch.flow import Flow
@@ -451,6 +452,7 @@ def run_fastpath_cbr(
     probe=None,
     trace_stride: Optional[int] = None,
     cbr_buffer_bound: BoundSpec = "auto",
+    phase_timer=None,
 ) -> CbrFastpathResult:
     """Simulate B replicas of the integrated CBR+VBR switch, vectorized.
 
@@ -491,6 +493,12 @@ def run_fastpath_cbr(
         derives per-input ``2 x input_committed(i)`` from the
         reservation table; an overflow raises
         :class:`CBRBufferOverflow`.
+    phase_timer:
+        Optional :class:`repro.obs.perf.PhaseTimer`; profiles the run
+        under the shared phase taxonomy (``run`` root with
+        ``run/compile``, ``run/arrivals``, ``run/kernel``,
+        ``run/update`` children), as
+        :func:`repro.sim.fastpath.run_fastpath`.
 
     Returns a :class:`CbrFastpathResult`.
     """
@@ -508,162 +516,200 @@ def run_fastpath_cbr(
             f"warmup_mode must be 'slot' or 'arrival', got {warmup_mode!r}"
         )
 
-    ports = reservations.ports
-    frame_slots = reservations.frame_slots
-    streams = RandomStreams(seed)
-    pim_rng = (
-        np.random.default_rng(match_seed)
-        if match_seed is not None
-        else streams.get("cbr-fastpath/pim")
+    timer = (
+        phase_timer
+        if phase_timer is not None and phase_timer.enabled
+        else NULL_PHASE_TIMER
     )
-    scheduler = BatchPIMScheduler(
-        replicas=replicas,
-        ports=ports,
-        iterations=iterations,
-        accept=accept,
-        rng=pim_rng,
-        track_sizes=False,
-    )
-    bound = resolve_cbr_buffer_bound(cbr_buffer_bound, reservations.reserved_matrix())
-    switch = IntegratedFastpath(
-        ports,
-        replicas,
-        frame_slots,
-        compile_frame_schedule(reservations.schedule),
-        scheduler,
-        cbr_buffer_bound=bound,
-    )
-
-    flows = reservations.flows()
-    if cbr_jitter:
-        if cbr_jitter_seeds is None:
-            from repro.sim.rng import derive_seed
-
-            cbr_jitter_seeds = [
-                derive_seed(seed, f"cbr-fastpath/jitter/{b}") for b in range(replicas)
-            ]
-        elif len(cbr_jitter_seeds) != replicas:
-            raise ValueError(
-                f"cbr_jitter_seeds has {len(cbr_jitter_seeds)} entries for "
-                f"{replicas} replicas"
+    with timer.phase("run"):
+        with timer.phase("compile"):
+            ports = reservations.ports
+            frame_slots = reservations.frame_slots
+            streams = RandomStreams(seed)
+            pim_rng = (
+                np.random.default_rng(match_seed)
+                if match_seed is not None
+                else streams.get("cbr-fastpath/pim")
             )
-        cbr_source: Optional[_CbrSourceArrivals] = _CbrSourceArrivals(
-            ports, flows, frame_slots, cbr_jitter_seeds
-        )
-        cbr_pattern = None
-    else:
-        cbr_source = None
-        cbr_pattern = compile_cbr_pattern(ports, flows, frame_slots)
-
-    if vbr_arrival_seeds is not None:
-        if len(vbr_arrival_seeds) != replicas:
-            raise ValueError(
-                f"vbr_arrival_seeds has {len(vbr_arrival_seeds)} entries for "
-                f"{replicas} replicas"
-            )
-        vbr_source = _ObjectCompatArrivals(ports, vbr_load, vbr_arrival_seeds)
-    else:
-        vbr_source = _BatchedArrivals(
-            ports, replicas, vbr_load, streams.get("cbr-fastpath/vbr-arrivals")
-        )
-
-    traced = probe is not None and probe.enabled
-    if traced:
-        if trace_stride is not None:
-            if trace_stride < 1:
-                raise ValueError(f"trace_stride must be >= 1, got {trace_stride}")
-            probe.stride = trace_stride
-        scheduler.attach_probe(probe)
-
-    offered_cbr = np.zeros(replicas, dtype=np.int64)
-    offered_vbr = np.zeros(replicas, dtype=np.int64)
-    carried_cbr = np.zeros(replicas, dtype=np.int64)
-    carried_vbr = np.zeros(replicas, dtype=np.int64)
-    cbr_integral = np.zeros(replicas, dtype=np.int64)
-    vbr_integral = np.zeros(replicas, dtype=np.int64)
-    arrival_keyed = warmup_mode == "arrival"
-    legacy_cbr: Optional[np.ndarray] = None
-    legacy_vbr: Optional[np.ndarray] = None
-    cbr_delay_cells = np.zeros(replicas, dtype=np.int64) if arrival_keyed else None
-    cbr_delay_integral = np.zeros(replicas, dtype=np.int64) if arrival_keyed else None
-    vbr_delay_cells = np.zeros(replicas, dtype=np.int64) if arrival_keyed else None
-    vbr_delay_integral = np.zeros(replicas, dtype=np.int64) if arrival_keyed else None
-
-    for slot in range(total_slots):
-        if slot < slots:
-            position = slot % frame_slots
-            if cbr_source is not None:
-                cbr_counts: Optional[np.ndarray] = cbr_source.slot_counts(slot)
-            elif cbr_pattern is not None:
-                # Shared deterministic pattern; broadcast, no copy.
-                cbr_counts = cbr_pattern[position][None, :, :]
-            else:
-                cbr_counts = None
-            vbr_counts: Optional[np.ndarray] = vbr_source.slot_counts()
-        else:
-            cbr_counts = vbr_counts = None
-        if arrival_keyed and slot == warmup:
-            # Cells still queued at the warmup boundary arrived before
-            # it; per-VOQ FIFO (exact when each connection carries one
-            # flow) means they depart before anything arriving later.
-            legacy_cbr = switch.cbr.copy()
-            legacy_vbr = switch.vbr.copy()
-        if traced:
-            arrivals = 0
-            if cbr_counts is not None:
-                arrivals += int(cbr_counts.sum()) * (
-                    replicas if cbr_counts.shape[0] == 1 and replicas > 1 else 1
-                )
-            if vbr_counts is not None:
-                arrivals += int(vbr_counts.sum())
-            probe.begin_slot(slot, arrivals=arrivals, backlog=int(switch.backlog().sum()))
-        (bb_c, ii_c, jj_c), (bb_v, ii_v, jj_v) = switch.step(
-            slot, cbr_counts, vbr_counts, check=check
-        )
-        if traced:
-            position = slot % frame_slots
-            reserved_pairs = switch._res_inputs[position].size
-            probe.transfer(int(bb_c.size + bb_v.size))
-            probe.cbr_slot(
-                position=position,
-                reserved=reserved_pairs * replicas,
-                cbr_cells=int(bb_c.size),
-                vbr_cells=int(bb_v.size),
-                donated=reserved_pairs * replicas - int(bb_c.size),
-                cbr_backlog=int(switch.cbr.sum()),
-                vbr_backlog=int(switch.vbr.sum()),
+            scheduler = BatchPIMScheduler(
                 replicas=replicas,
+                ports=ports,
+                iterations=iterations,
+                accept=accept,
+                rng=pim_rng,
+                track_sizes=False,
             )
-            if probe.sampling:
-                probe.voq_snapshot(
-                    (switch.cbr + switch.vbr).sum(axis=0), replica=-1
+            bound = resolve_cbr_buffer_bound(
+                cbr_buffer_bound, reservations.reserved_matrix()
+            )
+            switch = IntegratedFastpath(
+                ports,
+                replicas,
+                frame_slots,
+                compile_frame_schedule(reservations.schedule),
+                scheduler,
+                cbr_buffer_bound=bound,
+            )
+
+            flows = reservations.flows()
+            if cbr_jitter:
+                if cbr_jitter_seeds is None:
+                    from repro.sim.rng import derive_seed
+
+                    cbr_jitter_seeds = [
+                        derive_seed(seed, f"cbr-fastpath/jitter/{b}")
+                        for b in range(replicas)
+                    ]
+                elif len(cbr_jitter_seeds) != replicas:
+                    raise ValueError(
+                        f"cbr_jitter_seeds has {len(cbr_jitter_seeds)} entries "
+                        f"for {replicas} replicas"
+                    )
+                cbr_source: Optional[_CbrSourceArrivals] = _CbrSourceArrivals(
+                    ports, flows, frame_slots, cbr_jitter_seeds
                 )
-        if slot < warmup:
-            continue
-        if cbr_counts is not None:
-            per_replica = cbr_counts.sum(axis=(1, 2))
-            offered_cbr += per_replica if per_replica.size > 1 else per_replica[0]
-        if vbr_counts is not None:
-            offered_vbr += vbr_counts.sum(axis=(1, 2))
-        carried_cbr += np.bincount(bb_c, minlength=replicas)
-        carried_vbr += np.bincount(bb_v, minlength=replicas)
-        cbr_integral += switch.cbr.sum(axis=(1, 2))
-        vbr_integral += switch.vbr.sum(axis=(1, 2))
-        if arrival_keyed:
-            # At most one departure per (replica, input, class) per
-            # slot, so the index triples are unique per class and the
-            # fancy-indexed legacy decrements are safe.
-            was_legacy = legacy_cbr[bb_c, ii_c, jj_c] > 0
-            legacy_cbr[bb_c[was_legacy], ii_c[was_legacy], jj_c[was_legacy]] -= 1
-            cbr_delay_cells += np.bincount(bb_c[~was_legacy], minlength=replicas)
-            cbr_delay_integral += (switch.cbr - legacy_cbr).sum(axis=(1, 2))
-            was_legacy = legacy_vbr[bb_v, ii_v, jj_v] > 0
-            legacy_vbr[bb_v[was_legacy], ii_v[was_legacy], jj_v[was_legacy]] -= 1
-            vbr_delay_cells += np.bincount(bb_v[~was_legacy], minlength=replicas)
-            vbr_delay_integral += (switch.vbr - legacy_vbr).sum(axis=(1, 2))
+                cbr_pattern = None
+            else:
+                cbr_source = None
+                cbr_pattern = compile_cbr_pattern(ports, flows, frame_slots)
+
+            if vbr_arrival_seeds is not None:
+                if len(vbr_arrival_seeds) != replicas:
+                    raise ValueError(
+                        f"vbr_arrival_seeds has {len(vbr_arrival_seeds)} entries "
+                        f"for {replicas} replicas"
+                    )
+                vbr_source = _ObjectCompatArrivals(ports, vbr_load, vbr_arrival_seeds)
+            else:
+                vbr_source = _BatchedArrivals(
+                    ports, replicas, vbr_load,
+                    streams.get("cbr-fastpath/vbr-arrivals"),
+                )
+
+        traced = probe is not None and probe.enabled
+        if traced:
+            if trace_stride is not None:
+                if trace_stride < 1:
+                    raise ValueError(
+                        f"trace_stride must be >= 1, got {trace_stride}"
+                    )
+                probe.stride = trace_stride
+            scheduler.attach_probe(probe)
+
+        offered_cbr = np.zeros(replicas, dtype=np.int64)
+        offered_vbr = np.zeros(replicas, dtype=np.int64)
+        carried_cbr = np.zeros(replicas, dtype=np.int64)
+        carried_vbr = np.zeros(replicas, dtype=np.int64)
+        cbr_integral = np.zeros(replicas, dtype=np.int64)
+        vbr_integral = np.zeros(replicas, dtype=np.int64)
+        arrival_keyed = warmup_mode == "arrival"
+        legacy_cbr: Optional[np.ndarray] = None
+        legacy_vbr: Optional[np.ndarray] = None
+        cbr_delay_cells = np.zeros(replicas, dtype=np.int64) if arrival_keyed else None
+        cbr_delay_integral = (
+            np.zeros(replicas, dtype=np.int64) if arrival_keyed else None
+        )
+        vbr_delay_cells = np.zeros(replicas, dtype=np.int64) if arrival_keyed else None
+        vbr_delay_integral = (
+            np.zeros(replicas, dtype=np.int64) if arrival_keyed else None
+        )
+
+        for slot in range(total_slots):
+            with timer.phase("arrivals"):
+                if slot < slots:
+                    position = slot % frame_slots
+                    if cbr_source is not None:
+                        cbr_counts: Optional[np.ndarray] = cbr_source.slot_counts(slot)
+                    elif cbr_pattern is not None:
+                        # Shared deterministic pattern; broadcast, no copy.
+                        cbr_counts = cbr_pattern[position][None, :, :]
+                    else:
+                        cbr_counts = None
+                    vbr_counts: Optional[np.ndarray] = vbr_source.slot_counts()
+                else:
+                    cbr_counts = vbr_counts = None
+            if arrival_keyed and slot == warmup:
+                # Cells still queued at the warmup boundary arrived before
+                # it; per-VOQ FIFO (exact when each connection carries one
+                # flow) means they depart before anything arriving later.
+                legacy_cbr = switch.cbr.copy()
+                legacy_vbr = switch.vbr.copy()
+            if traced:
+                arrivals = 0
+                if cbr_counts is not None:
+                    arrivals += int(cbr_counts.sum()) * (
+                        replicas if cbr_counts.shape[0] == 1 and replicas > 1 else 1
+                    )
+                if vbr_counts is not None:
+                    arrivals += int(vbr_counts.sum())
+                probe.begin_slot(
+                    slot, arrivals=arrivals, backlog=int(switch.backlog().sum())
+                )
+            with timer.phase("kernel"):
+                (bb_c, ii_c, jj_c), (bb_v, ii_v, jj_v) = switch.step(
+                    slot, cbr_counts, vbr_counts, check=check
+                )
+            if traced:
+                position = slot % frame_slots
+                reserved_pairs = switch._res_inputs[position].size
+                probe.transfer(int(bb_c.size + bb_v.size))
+                probe.cbr_slot(
+                    position=position,
+                    reserved=reserved_pairs * replicas,
+                    cbr_cells=int(bb_c.size),
+                    vbr_cells=int(bb_v.size),
+                    donated=reserved_pairs * replicas - int(bb_c.size),
+                    cbr_backlog=int(switch.cbr.sum()),
+                    vbr_backlog=int(switch.vbr.sum()),
+                    replicas=replicas,
+                )
+                if probe.sampling:
+                    probe.voq_snapshot(
+                        (switch.cbr + switch.vbr).sum(axis=0), replica=-1
+                    )
+            if slot < warmup:
+                continue
+            with timer.phase("update"):
+                if cbr_counts is not None:
+                    per_replica = cbr_counts.sum(axis=(1, 2))
+                    offered_cbr += (
+                        per_replica if per_replica.size > 1 else per_replica[0]
+                    )
+                if vbr_counts is not None:
+                    offered_vbr += vbr_counts.sum(axis=(1, 2))
+                carried_cbr += np.bincount(bb_c, minlength=replicas)
+                carried_vbr += np.bincount(bb_v, minlength=replicas)
+                cbr_integral += switch.cbr.sum(axis=(1, 2))
+                vbr_integral += switch.vbr.sum(axis=(1, 2))
+                if arrival_keyed:
+                    # At most one departure per (replica, input, class) per
+                    # slot, so the index triples are unique per class and the
+                    # fancy-indexed legacy decrements are safe.
+                    was_legacy = legacy_cbr[bb_c, ii_c, jj_c] > 0
+                    legacy_cbr[
+                        bb_c[was_legacy], ii_c[was_legacy], jj_c[was_legacy]
+                    ] -= 1
+                    cbr_delay_cells += np.bincount(
+                        bb_c[~was_legacy], minlength=replicas
+                    )
+                    cbr_delay_integral += (switch.cbr - legacy_cbr).sum(axis=(1, 2))
+                    was_legacy = legacy_vbr[bb_v, ii_v, jj_v] > 0
+                    legacy_vbr[
+                        bb_v[was_legacy], ii_v[was_legacy], jj_v[was_legacy]
+                    ] -= 1
+                    vbr_delay_cells += np.bincount(
+                        bb_v[~was_legacy], minlength=replicas
+                    )
+                    vbr_delay_integral += (switch.vbr - legacy_vbr).sum(axis=(1, 2))
 
     if traced:
         scheduler.attach_probe(None)
+        if timer.enabled:
+            probe.phase_profile(
+                timer,
+                slots=replicas * total_slots,
+                cells=int(carried_cbr.sum() + carried_vbr.sum()),
+            )
     return CbrFastpathResult(
         ports=ports,
         replicas=replicas,

@@ -64,6 +64,7 @@ import numpy as np
 
 from repro.core.pim import AN2_ITERATIONS, AcceptPolicy, BatchPIMScheduler
 from repro.network.netsim import FlowSpec
+from repro.obs.perf import NULL_PHASE_TIMER
 from repro.network.routing import Router
 from repro.network.topology import Topology
 from repro.sim.rng import RandomStreams
@@ -413,6 +414,7 @@ class NetworkFastpath:
         warmup: int = 0,
         record_series: bool = False,
         check: bool = False,
+        phase_timer=None,
     ) -> NetworkFastpathResult:
         """Simulate ``slots`` slots across all replicas.
 
@@ -430,32 +432,56 @@ class NetworkFastpath:
         check:
             Assert conservation/non-negativity invariants every slot
             (tests only; slows the run).
+        phase_timer:
+            Optional :class:`repro.obs.perf.PhaseTimer`; profiles the
+            run under the shared taxonomy (``run`` root with
+            ``run/compile`` plan compilation + scheduler construction,
+            ``run/delivery`` link deliveries landing, ``run/arrivals``
+            host injection, ``run/kernel`` per-switch scheduling and
+            transfer, ``run/update`` delay/series/check accounting).
         """
+        timer = (
+            phase_timer
+            if phase_timer is not None and phase_timer.enabled
+            else NULL_PHASE_TIMER
+        )
+        with timer.phase("run"):
+            return self._run(timer, slots, warmup, record_series, check)
+
+    def _run(
+        self,
+        timer,
+        slots: int,
+        warmup: int,
+        record_series: bool,
+        check: bool,
+    ) -> NetworkFastpathResult:
         if slots <= 0:
             raise ValueError(f"slots must be positive, got {slots}")
         if not 0 <= warmup <= slots:
             raise ValueError(f"warmup must be in [0, {slots}], got {warmup}")
-        switch_plans, host_plans, dring_slots = self._compile()
-        flow_ids = list(self._flows)
-        fcount = len(flow_ids)
-        n_sw = len(switch_plans)
-        B = self.replicas
-        limit = self.buffer_limit
+        with timer.phase("compile"):
+            switch_plans, host_plans, dring_slots = self._compile()
+            flow_ids = list(self._flows)
+            fcount = len(flow_ids)
+            n_sw = len(switch_plans)
+            B = self.replicas
+            limit = self.buffer_limit
 
-        streams = RandomStreams(self.seed)
-        scheds = []
-        for sw in switch_plans:
-            sched_seed = int(streams.get(f"sched:{sw.name}").integers(2**31))
-            scheds.append(
-                BatchPIMScheduler(
-                    replicas=B,
-                    ports=sw.ports,
-                    iterations=self.iterations,
-                    accept=self.accept,
-                    rng=np.random.default_rng(sched_seed),
-                    track_sizes=False,
+            streams = RandomStreams(self.seed)
+            scheds = []
+            for sw in switch_plans:
+                sched_seed = int(streams.get(f"sched:{sw.name}").integers(2**31))
+                scheds.append(
+                    BatchPIMScheduler(
+                        replicas=B,
+                        ports=sw.ports,
+                        iterations=self.iterations,
+                        accept=self.accept,
+                        rng=np.random.default_rng(sched_seed),
+                        track_sizes=False,
+                    )
                 )
-            )
 
         occ = [np.zeros((B, sw.ports, sw.ports), dtype=np.int64) for sw in switch_plans]
         queued = [np.zeros((B, fcount), dtype=np.int64) for _ in switch_plans]
@@ -508,45 +534,49 @@ class NetworkFastpath:
         for t in range(slots):
             # -- 1. Link deliveries land: switch arrivals buffer, host
             #       arrivals complete end to end.
-            dslice = dring[t % dring_slots]
-            if dslice.any():
-                if record_series:
-                    series_del[t] = dslice[0]
-                bb, ff = np.nonzero(dslice)
-                delivered_total[bb, ff] += 1
-                if t >= warmup:
-                    delivered_window[bb, ff] += 1
-                cold = cold_outstanding[bb, ff] > 0
-                cold_outstanding[bb[cold], ff[cold]] -= 1
-                warm_b, warm_f = bb[~cold], ff[~cold]
-                delay_cells[warm_b, warm_f] += 1
-                in_system_warm[warm_b, warm_f] -= 1
-                dslice[:] = 0
-            for s, sw in enumerate(switch_plans):
-                aslice = rings[s][t % sw.ring_slots]
-                if not aslice.any():
-                    continue
-                bb, ff = np.nonzero(aslice)
-                ii = sw.in_port[ff]
-                jj = sw.out_port[ff]
-                # One cell per link direction per slot means at most one
-                # arrival per (replica, input): the triples are unique
-                # and plain fancy increments are safe.
-                occ[s][bb, ii, jj] += 1
-                pre = queued[s][bb, ff]
-                queued[s][bb, ff] = pre + 1
-                shared = sw.is_multi[ff]
-                if shared.any():
-                    dq = deques[s]
-                    for b, f, i, j, p in zip(
-                        bb[shared], ff[shared], ii[shared], jj[shared], pre[shared]
-                    ):
-                        if p == 0:  # empty -> non-empty: becomes eligible
-                            dq[(int(i), int(j))][b].append(int(f))
-                aslice[:] = 0
+            with timer.phase("delivery"):
+                dslice = dring[t % dring_slots]
+                if dslice.any():
+                    if record_series:
+                        series_del[t] = dslice[0]
+                    bb, ff = np.nonzero(dslice)
+                    delivered_total[bb, ff] += 1
+                    if t >= warmup:
+                        delivered_window[bb, ff] += 1
+                    cold = cold_outstanding[bb, ff] > 0
+                    cold_outstanding[bb[cold], ff[cold]] -= 1
+                    warm_b, warm_f = bb[~cold], ff[~cold]
+                    delay_cells[warm_b, warm_f] += 1
+                    in_system_warm[warm_b, warm_f] -= 1
+                    dslice[:] = 0
+                for s, sw in enumerate(switch_plans):
+                    aslice = rings[s][t % sw.ring_slots]
+                    if not aslice.any():
+                        continue
+                    bb, ff = np.nonzero(aslice)
+                    ii = sw.in_port[ff]
+                    jj = sw.out_port[ff]
+                    # One cell per link direction per slot means at most
+                    # one arrival per (replica, input): the triples are
+                    # unique and plain fancy increments are safe.
+                    occ[s][bb, ii, jj] += 1
+                    pre = queued[s][bb, ff]
+                    queued[s][bb, ff] = pre + 1
+                    shared = sw.is_multi[ff]
+                    if shared.any():
+                        dq = deques[s]
+                        for b, f, i, j, p in zip(
+                            bb[shared], ff[shared], ii[shared], jj[shared],
+                            pre[shared],
+                        ):
+                            if p == 0:  # empty -> non-empty: becomes eligible
+                                dq[(int(i), int(j))][b].append(int(f))
+                    aslice[:] = 0
 
             # -- 2. Hosts inject one cell each (credit-checked first;
             #       a blocked host consumes no draws, like the object).
+            arrivals_span = timer.phase("arrivals")
+            arrivals_span.__enter__()
             for h, hp in enumerate(host_plans):
                 if limit is not None and hp.first_switch >= 0:
                     free = occ[hp.first_switch][:, hp.peer_port, :].sum(axis=1) < limit
@@ -598,10 +628,13 @@ class NetworkFastpath:
                     dring[(t + hp.latency) % dring_slots, eu, fsel] += 1
                 if record_series and eu[0] == 0:
                     series_inj[t, fsel[0]] += 1
+            arrivals_span.__exit__(None, None, None)
 
             # -- 3. Switches schedule and transfer, sequentially in
             #       topology order (credit masks see earlier switches'
             #       departures, exactly like the object loop).
+            kernel_span = timer.phase("kernel")
+            kernel_span.__enter__()
             for s, sw in enumerate(switch_plans):
                 requests = occ[s] > 0
                 if limit is not None:
@@ -643,28 +676,33 @@ class NetworkFastpath:
                         ring[(t + lat[sel]) % ring.shape[0], bb[sel], fsel[sel]] += 1
                 if record_series:
                     series_xfer[t, s] = int((bb == 0).sum())
+            kernel_span.__exit__(None, None, None)
 
-            delay_integral += in_system_warm
-            if record_series:
-                for s in range(n_sw):
-                    series_backlog[t, s] = int(occ[s][0].sum())
-            if check:
-                buffered = sum(o.sum(axis=(1, 2)) for o in occ)
-                in_flight = sum(r.sum(axis=(0, 2)) for r in rings) + dring.sum(
-                    axis=(0, 2)
-                )
-                if not np.array_equal(
-                    injected.sum(axis=1),
-                    delivered_total.sum(axis=1) + buffered + in_flight,
-                ):
-                    raise AssertionError(f"cell conservation violated at slot {t}")
-                for s in range(n_sw):
+            with timer.phase("update"):
+                delay_integral += in_system_warm
+                if record_series:
+                    for s in range(n_sw):
+                        series_backlog[t, s] = int(occ[s][0].sum())
+                if check:
+                    buffered = sum(o.sum(axis=(1, 2)) for o in occ)
+                    in_flight = sum(r.sum(axis=(0, 2)) for r in rings) + dring.sum(
+                        axis=(0, 2)
+                    )
                     if not np.array_equal(
-                        occ[s].sum(axis=(1, 2)), queued[s].sum(axis=1)
+                        injected.sum(axis=1),
+                        delivered_total.sum(axis=1) + buffered + in_flight,
                     ):
                         raise AssertionError(
-                            f"VOQ/per-flow count mismatch at {switch_plans[s].name}"
+                            f"cell conservation violated at slot {t}"
                         )
+                    for s in range(n_sw):
+                        if not np.array_equal(
+                            occ[s].sum(axis=(1, 2)), queued[s].sum(axis=1)
+                        ):
+                            raise AssertionError(
+                                f"VOQ/per-flow count mismatch at "
+                                f"{switch_plans[s].name}"
+                            )
 
         series = None
         if record_series:
@@ -703,6 +741,7 @@ def run_fastpath_network(
     buffer_limit: Optional[int] = None,
     record_series: bool = False,
     check: bool = False,
+    phase_timer=None,
 ) -> NetworkFastpathResult:
     """Build a :class:`NetworkFastpath`, add ``flows``, and run it."""
     sim = NetworkFastpath(
@@ -710,4 +749,10 @@ def run_fastpath_network(
     )
     for flow in flows:
         sim.add_flow(flow)
-    return sim.run(slots, warmup=warmup, record_series=record_series, check=check)
+    return sim.run(
+        slots,
+        warmup=warmup,
+        record_series=record_series,
+        check=check,
+        phase_timer=phase_timer,
+    )

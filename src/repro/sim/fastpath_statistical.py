@@ -53,6 +53,7 @@ from repro.core.statistical import (
     grant_cdf_table,
     virtual_grant_pmf,
 )
+from repro.obs.perf import NULL_PHASE_TIMER
 from repro.sim.fastpath import FastpathResult, _BatchedArrivals, _ObjectCompatArrivals
 from repro.sim.rng import RandomStreams, default_seed, derive_seed
 
@@ -380,6 +381,7 @@ def run_fastpath_statistical(
     probe=None,
     trace_stride: Optional[int] = None,
     warmup_mode: str = "slot",
+    phase_timer=None,
 ) -> StatFastpathResult:
     """Simulate B replicas of a statistically-matched crossbar.
 
@@ -425,6 +427,12 @@ def run_fastpath_statistical(
         selected by the stride add a pooled ``VoqSnapshot``.
     trace_stride:
         Convenience override of ``probe.stride`` for this run.
+    phase_timer:
+        Optional :class:`repro.obs.perf.PhaseTimer`; profiles the run
+        under the shared taxonomy (``run`` root; ``run/compile`` table
+        compilation, ``run/arrivals``, ``run/kernel`` the lottery plus
+        PIM fill, ``run/update``), as
+        :func:`repro.sim.fastpath.run_fastpath`.
 
     Returns a :class:`StatFastpathResult`.
     """
@@ -442,150 +450,172 @@ def run_fastpath_statistical(
             f"warmup_mode must be 'slot' or 'arrival', got {warmup_mode!r}"
         )
 
-    streams = RandomStreams(seed)
-    if match_seed is None:
-        match_seed = derive_seed(seed, "fastpath/statistical")
-    matcher = BatchStatisticalMatcher(
-        allocations, units, rounds=rounds, replicas=replicas, seed=match_seed
+    timer = (
+        phase_timer
+        if phase_timer is not None and phase_timer.enabled
+        else NULL_PHASE_TIMER
     )
-    ports = matcher.ports
-    fill_scheduler: Optional[BatchPIMScheduler] = None
-    if fill:
-        # Same derivation as the object matcher's _fill_rng: the
-        # statistical stream is untouched by the fill phase.
-        fill_scheduler = BatchPIMScheduler(
-            replicas=replicas,
-            ports=ports,
-            iterations=fill_iterations,
-            accept="random",
-            rng=np.random.default_rng(derive_seed(match_seed, "statistical/fill")),
-            track_sizes=False,
-        )
-    if arrival_seeds is not None:
-        if len(arrival_seeds) != replicas:
-            raise ValueError(
-                f"arrival_seeds has {len(arrival_seeds)} entries for "
-                f"{replicas} replicas"
+    with timer.phase("run"):
+        with timer.phase("compile"):
+            streams = RandomStreams(seed)
+            if match_seed is None:
+                match_seed = derive_seed(seed, "fastpath/statistical")
+            matcher = BatchStatisticalMatcher(
+                allocations, units, rounds=rounds, replicas=replicas,
+                seed=match_seed,
             )
-        source = _ObjectCompatArrivals(ports, load, arrival_seeds)
-    else:
-        source = _BatchedArrivals(
-            ports, replicas, load, streams.get("fastpath/arrivals")
-        )
-
-    traced = probe is not None and probe.enabled
-    if traced and trace_stride is not None:
-        if trace_stride < 1:
-            raise ValueError(f"trace_stride must be >= 1, got {trace_stride}")
-        probe.stride = trace_stride
-
-    occupancy = np.zeros((replicas, ports, ports), dtype=np.int64)
-    offered = np.zeros(replicas, dtype=np.int64)
-    carried = np.zeros(replicas, dtype=np.int64)
-    stat_cells = np.zeros(replicas, dtype=np.int64)
-    fill_cells = np.zeros(replicas, dtype=np.int64)
-    backlog_integral = np.zeros(replicas, dtype=np.int64)
-    arrivals_by_input = np.zeros((replicas, ports), dtype=np.int64)
-    departures_by_output = np.zeros((replicas, ports), dtype=np.int64)
-    arrival_keyed = warmup_mode == "arrival"
-    legacy: Optional[np.ndarray] = None
-    delay_cells = np.zeros(replicas, dtype=np.int64) if arrival_keyed else None
-    delay_integral = np.zeros(replicas, dtype=np.int64) if arrival_keyed else None
-
-    for slot in range(total_slots):
-        counts = source.slot_counts() if slot < slots else None
-        if arrival_keyed and slot == warmup:
-            # Cells still queued at the start of the warmup boundary
-            # arrived before it; per-VOQ FIFO order guarantees they
-            # depart before anything arriving from here on.
-            legacy = occupancy.copy()
-        if traced:
-            # begin_slot precedes the arrivals landing, so the backlog
-            # field is the pre-arrival occupancy (object convention).
-            probe.begin_slot(
-                slot,
-                arrivals=int(counts.sum()) if counts is not None else 0,
-                backlog=int(occupancy.sum()),
-            )
-        if counts is not None:
-            occupancy += counts
-        # Statistical lottery; matches with no queued cell are dropped
-        # (their reserved slot stays idle, the ports go to the fill).
-        match, per_round = matcher.match_with_counts(check=check)
-        if traced:
-            for index, counts_r in enumerate(per_round):
-                probe.stat_round(
-                    index,
-                    granted=counts_r.granted,
-                    virtual=counts_r.virtual,
-                    decoys=counts_r.decoys,
-                    accepted=counts_r.accepted,
-                    kept=counts_r.kept,
-                    matched=counts_r.matched,
+            ports = matcher.ports
+            fill_scheduler: Optional[BatchPIMScheduler] = None
+            if fill:
+                # Same derivation as the object matcher's _fill_rng: the
+                # statistical stream is untouched by the fill phase.
+                fill_scheduler = BatchPIMScheduler(
                     replicas=replicas,
+                    ports=ports,
+                    iterations=fill_iterations,
+                    accept="random",
+                    rng=np.random.default_rng(
+                        derive_seed(match_seed, "statistical/fill")
+                    ),
+                    track_sizes=False,
                 )
-        sb, si = np.nonzero(match >= 0)
-        sj = match[sb, si]
-        backed = occupancy[sb, si, sj] > 0
-        sb, si, sj = sb[backed], si[backed], sj[backed]
+            if arrival_seeds is not None:
+                if len(arrival_seeds) != replicas:
+                    raise ValueError(
+                        f"arrival_seeds has {len(arrival_seeds)} entries for "
+                        f"{replicas} replicas"
+                    )
+                source = _ObjectCompatArrivals(ports, load, arrival_seeds)
+            else:
+                source = _BatchedArrivals(
+                    ports, replicas, load, streams.get("fastpath/arrivals")
+                )
 
-        if fill_scheduler is not None:
-            requests = occupancy > 0
-            if sb.size:
-                requests[sb, si, :] = False
-                requests[sb, :, sj] = False
-            fill_match = fill_scheduler.schedule(requests)
-            fb, fi = np.nonzero(fill_match >= 0)
-            fj = fill_match[fb, fi]
-        else:
-            fb = fi = fj = _EMPTY
+        traced = probe is not None and probe.enabled
+        if traced and trace_stride is not None:
+            if trace_stride < 1:
+                raise ValueError(f"trace_stride must be >= 1, got {trace_stride}")
+            probe.stride = trace_stride
 
-        if check:
-            if sb.size and (occupancy[sb, si, sj] <= 0).any():
-                raise AssertionError("statistical match without a queued cell")
-            if fb.size and (occupancy[fb, fi, fj] <= 0).any():
-                raise AssertionError("fill match without a queued cell")
-            taken = np.zeros((replicas, ports), dtype=bool)
-            taken[sb, si] = True
-            if taken[fb, fi].any():
-                raise AssertionError("fill matched a statistical-taken input")
-            taken = np.zeros((replicas, ports), dtype=bool)
-            taken[sb, sj] = True
-            if taken[fb, fj].any():
-                raise AssertionError("fill matched a statistical-taken output")
+        occupancy = np.zeros((replicas, ports, ports), dtype=np.int64)
+        offered = np.zeros(replicas, dtype=np.int64)
+        carried = np.zeros(replicas, dtype=np.int64)
+        stat_cells = np.zeros(replicas, dtype=np.int64)
+        fill_cells = np.zeros(replicas, dtype=np.int64)
+        backlog_integral = np.zeros(replicas, dtype=np.int64)
+        arrivals_by_input = np.zeros((replicas, ports), dtype=np.int64)
+        departures_by_output = np.zeros((replicas, ports), dtype=np.int64)
+        arrival_keyed = warmup_mode == "arrival"
+        legacy: Optional[np.ndarray] = None
+        delay_cells = np.zeros(replicas, dtype=np.int64) if arrival_keyed else None
+        delay_integral = (
+            np.zeros(replicas, dtype=np.int64) if arrival_keyed else None
+        )
 
-        bb = np.concatenate([sb, fb])
-        ii = np.concatenate([si, fi])
-        jj = np.concatenate([sj, fj])
-        occupancy[bb, ii, jj] -= 1
-        if check and (occupancy < 0).any():
-            raise AssertionError("negative VOQ occupancy")
-        if traced:
-            probe.transfer(int(bb.size))
-            if probe.sampling:
-                probe.voq_snapshot(occupancy.sum(axis=0), replica=-1)
-        if slot < warmup:
-            continue
-        if counts is not None:
-            per_input = counts.sum(axis=2)
-            arrivals_by_input += per_input
-            offered += per_input.sum(axis=1)
-        carried += np.bincount(bb, minlength=replicas)
-        stat_cells += np.bincount(sb, minlength=replicas)
-        fill_cells += np.bincount(fb, minlength=replicas)
-        departures_by_output += np.bincount(
-            bb * ports + jj, minlength=replicas * ports
-        ).reshape(replicas, ports)
-        backlog_integral += occupancy.sum(axis=(1, 2))
-        if arrival_keyed:
-            # At most one departure per (replica, input) per slot
-            # (statistical and fill inputs are disjoint), so the
-            # triples are unique and fancy decrements are safe.
-            was_legacy = legacy[bb, ii, jj] > 0
-            legacy[bb[was_legacy], ii[was_legacy], jj[was_legacy]] -= 1
-            delay_cells += np.bincount(bb[~was_legacy], minlength=replicas)
-            delay_integral += (occupancy - legacy).sum(axis=(1, 2))
+        for slot in range(total_slots):
+            with timer.phase("arrivals"):
+                counts = source.slot_counts() if slot < slots else None
+            if arrival_keyed and slot == warmup:
+                # Cells still queued at the start of the warmup boundary
+                # arrived before it; per-VOQ FIFO order guarantees they
+                # depart before anything arriving from here on.
+                legacy = occupancy.copy()
+            if traced:
+                # begin_slot precedes the arrivals landing, so the backlog
+                # field is the pre-arrival occupancy (object convention).
+                probe.begin_slot(
+                    slot,
+                    arrivals=int(counts.sum()) if counts is not None else 0,
+                    backlog=int(occupancy.sum()),
+                )
+            if counts is not None:
+                occupancy += counts
+            with timer.phase("kernel"):
+                # Statistical lottery; matches with no queued cell are
+                # dropped (their reserved slot stays idle, the ports go
+                # to the fill).
+                match, per_round = matcher.match_with_counts(check=check)
+                sb, si = np.nonzero(match >= 0)
+                sj = match[sb, si]
+                backed = occupancy[sb, si, sj] > 0
+                sb, si, sj = sb[backed], si[backed], sj[backed]
 
+                if fill_scheduler is not None:
+                    requests = occupancy > 0
+                    if sb.size:
+                        requests[sb, si, :] = False
+                        requests[sb, :, sj] = False
+                    fill_match = fill_scheduler.schedule(requests)
+                    fb, fi = np.nonzero(fill_match >= 0)
+                    fj = fill_match[fb, fi]
+                else:
+                    fb = fi = fj = _EMPTY
+            if traced:
+                for index, counts_r in enumerate(per_round):
+                    probe.stat_round(
+                        index,
+                        granted=counts_r.granted,
+                        virtual=counts_r.virtual,
+                        decoys=counts_r.decoys,
+                        accepted=counts_r.accepted,
+                        kept=counts_r.kept,
+                        matched=counts_r.matched,
+                        replicas=replicas,
+                    )
+
+            if check:
+                if sb.size and (occupancy[sb, si, sj] <= 0).any():
+                    raise AssertionError("statistical match without a queued cell")
+                if fb.size and (occupancy[fb, fi, fj] <= 0).any():
+                    raise AssertionError("fill match without a queued cell")
+                taken = np.zeros((replicas, ports), dtype=bool)
+                taken[sb, si] = True
+                if taken[fb, fi].any():
+                    raise AssertionError("fill matched a statistical-taken input")
+                taken = np.zeros((replicas, ports), dtype=bool)
+                taken[sb, sj] = True
+                if taken[fb, fj].any():
+                    raise AssertionError("fill matched a statistical-taken output")
+
+            bb = np.concatenate([sb, fb])
+            ii = np.concatenate([si, fi])
+            jj = np.concatenate([sj, fj])
+            occupancy[bb, ii, jj] -= 1
+            if check and (occupancy < 0).any():
+                raise AssertionError("negative VOQ occupancy")
+            if traced:
+                probe.transfer(int(bb.size))
+                if probe.sampling:
+                    probe.voq_snapshot(occupancy.sum(axis=0), replica=-1)
+            if slot < warmup:
+                continue
+            with timer.phase("update"):
+                if counts is not None:
+                    per_input = counts.sum(axis=2)
+                    arrivals_by_input += per_input
+                    offered += per_input.sum(axis=1)
+                carried += np.bincount(bb, minlength=replicas)
+                stat_cells += np.bincount(sb, minlength=replicas)
+                fill_cells += np.bincount(fb, minlength=replicas)
+                departures_by_output += np.bincount(
+                    bb * ports + jj, minlength=replicas * ports
+                ).reshape(replicas, ports)
+                backlog_integral += occupancy.sum(axis=(1, 2))
+                if arrival_keyed:
+                    # At most one departure per (replica, input) per slot
+                    # (statistical and fill inputs are disjoint), so the
+                    # triples are unique and fancy decrements are safe.
+                    was_legacy = legacy[bb, ii, jj] > 0
+                    legacy[bb[was_legacy], ii[was_legacy], jj[was_legacy]] -= 1
+                    delay_cells += np.bincount(bb[~was_legacy], minlength=replicas)
+                    delay_integral += (occupancy - legacy).sum(axis=(1, 2))
+
+    if traced and timer.enabled:
+        probe.phase_profile(
+            timer,
+            slots=replicas * total_slots,
+            cells=int(carried.sum()),
+        )
     return StatFastpathResult(
         ports=ports,
         replicas=replicas,

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Protocol, Sequence, Tuple, runtime_chec
 import numpy as np
 
 from repro.core.matching import Matching
+from repro.obs.perf import NULL_PHASE_TIMER
 from repro.sim.stats import DelayStats, ThroughputCounter
 from repro.switch.buffers import FIFOInputBuffer, OutputQueue, VOQBuffer
 from repro.switch.cell import Cell
@@ -196,6 +197,7 @@ class CrossbarSwitch:
         slots: int,
         warmup: int = 0,
         probe=None,
+        phase_timer=None,
     ) -> SwitchResult:
         """Simulate ``slots`` slots of ``traffic`` and collect statistics.
 
@@ -214,57 +216,77 @@ class CrossbarSwitch:
             scheduler supports ``attach_probe``) and a ``VoqSnapshot``.
             The default disabled probe adds one attribute check per
             slot -- the tier-1 overhead test holds it under 5%.
+        phase_timer:
+            Optional :class:`repro.obs.perf.PhaseTimer`; profiles the
+            run under the shared taxonomy (``run`` root with
+            ``run/arrivals``, ``run/kernel`` the per-slot step, and
+            ``run/update`` departure accounting).  The disabled default
+            costs one attribute read per span.
         """
         if traffic.ports != self.ports:
             raise ValueError(
                 f"traffic is for {traffic.ports} ports, switch has {self.ports}"
             )
-        self.scheduler.reset()
-        traced = probe is not None and probe.enabled
-        if traced and hasattr(self.scheduler, "attach_probe"):
-            self.scheduler.attach_probe(probe)
-        delay = DelayStats(warmup=warmup)
-        counter = ThroughputCounter(warmup=warmup)
-        connection: Dict[Tuple[int, int], int] = {}
-        order = _OrderChecker()
-        input_of_cell: Dict[int, int] = {}
-        arrivals_by_input = [0] * self.ports
-        departures_by_output = [0] * self.ports
+        timer = (
+            phase_timer
+            if phase_timer is not None and phase_timer.enabled
+            else NULL_PHASE_TIMER
+        )
+        with timer.phase("run"):
+            self.scheduler.reset()
+            traced = probe is not None and probe.enabled
+            if traced and hasattr(self.scheduler, "attach_probe"):
+                self.scheduler.attach_probe(probe)
+            delay = DelayStats(warmup=warmup)
+            counter = ThroughputCounter(warmup=warmup)
+            connection: Dict[Tuple[int, int], int] = {}
+            order = _OrderChecker()
+            input_of_cell: Dict[int, int] = {}
+            arrivals_by_input = [0] * self.ports
+            departures_by_output = [0] * self.ports
 
-        for slot in range(slots):
-            arrivals = traffic.arrivals(slot)
-            counter.record_arrival(slot, len(arrivals))
-            for input_port, cell in arrivals:
-                input_of_cell[cell.uid] = input_port
-                if slot >= warmup:
-                    arrivals_by_input[input_port] += 1
-            if traced:
-                probe.begin_slot(slot, arrivals=len(arrivals), backlog=self.backlog())
-                departures = self.step(slot, arrivals, probe=probe)
-            else:
-                departures = self.step(slot, arrivals)
-            counter.record_departure(slot, len(departures))
-            for cell in departures:
-                delay.record(cell.arrival_slot, slot)
-                order.observe(cell)
-                if slot >= warmup:
-                    departures_by_output[cell.output] += 1
-                src = input_of_cell.pop(cell.uid, None)
+            for slot in range(slots):
+                with timer.phase("arrivals"):
+                    arrivals = traffic.arrivals(slot)
+                counter.record_arrival(slot, len(arrivals))
+                for input_port, cell in arrivals:
+                    input_of_cell[cell.uid] = input_port
+                    if slot >= warmup:
+                        arrivals_by_input[input_port] += 1
                 if traced:
-                    probe.departure(
-                        src if src is not None else -1,
-                        cell.output,
-                        slot - cell.arrival_slot,
-                        flow_id=cell.flow_id,
+                    probe.begin_slot(
+                        slot, arrivals=len(arrivals), backlog=self.backlog()
                     )
-                if src is not None and cell.arrival_slot >= warmup:
-                    key = (src, cell.output)
-                    connection[key] = connection.get(key, 0) + 1
-            if traced and probe.sampling:
-                probe.voq_snapshot(self.occupancy_matrix(), replica=0)
+                with timer.phase("kernel"):
+                    if traced:
+                        departures = self.step(slot, arrivals, probe=probe)
+                    else:
+                        departures = self.step(slot, arrivals)
+                with timer.phase("update"):
+                    counter.record_departure(slot, len(departures))
+                    for cell in departures:
+                        delay.record(cell.arrival_slot, slot)
+                        order.observe(cell)
+                        if slot >= warmup:
+                            departures_by_output[cell.output] += 1
+                        src = input_of_cell.pop(cell.uid, None)
+                        if traced:
+                            probe.departure(
+                                src if src is not None else -1,
+                                cell.output,
+                                slot - cell.arrival_slot,
+                                flow_id=cell.flow_id,
+                            )
+                        if src is not None and cell.arrival_slot >= warmup:
+                            key = (src, cell.output)
+                            connection[key] = connection.get(key, 0) + 1
+                if traced and probe.sampling:
+                    probe.voq_snapshot(self.occupancy_matrix(), replica=0)
 
         if traced and hasattr(self.scheduler, "attach_probe"):
             self.scheduler.attach_probe(None)
+        if traced and timer.enabled:
+            probe.phase_profile(timer, slots=slots)
         if order.violations:
             raise AssertionError(
                 f"{order.violations} per-flow order violations -- switch bug"

@@ -1,0 +1,169 @@
+"""PhaseTimer attribution, reports, and RunManifest round-trips."""
+
+import pytest
+
+from repro.obs.perf import (
+    NULL_PHASE_TIMER,
+    PhaseReport,
+    PhaseTimer,
+    RunManifest,
+    hash_config,
+)
+
+
+def make_clock(step=1.0):
+    """A deterministic clock advancing ``step`` per call."""
+    state = {"now": 0.0}
+
+    def clock():
+        now = state["now"]
+        state["now"] += step
+        return now
+
+    return clock
+
+
+class TestPhaseTimer:
+    def test_flat_phase_accumulates_seconds_and_calls(self):
+        timer = PhaseTimer(clock=make_clock())
+        with timer.phase("run"):
+            pass
+        assert timer.calls["run"] == 1
+        assert timer.seconds["run"] == pytest.approx(1.0)
+        assert timer.wall_seconds == pytest.approx(1.0)
+
+    def test_nested_paths_are_slash_joined(self):
+        timer = PhaseTimer(clock=make_clock())
+        with timer.phase("run"):
+            with timer.phase("kernel"):
+                pass
+        assert set(timer.seconds) == {"run", "run/kernel"}
+        assert timer.calls["run/kernel"] == 1
+
+    def test_self_time_is_exclusive_and_sums_to_wall(self):
+        # Each clock read ticks 1s: enter(run)@0, enter(kernel)@1,
+        # exit(kernel)@2, enter(kernel)@3, exit(kernel)@4, exit(run)@5.
+        timer = PhaseTimer(clock=make_clock())
+        with timer.phase("run"):
+            for _ in range(2):
+                with timer.phase("kernel"):
+                    pass
+        assert timer.seconds["run/kernel"] == pytest.approx(2.0)
+        assert timer.seconds["run"] == pytest.approx(3.0)  # gaps between children
+        assert sum(timer.seconds.values()) == pytest.approx(timer.wall_seconds)
+
+    def test_repeated_entries_accumulate(self):
+        timer = PhaseTimer(clock=make_clock())
+        for _ in range(3):
+            with timer.phase("run"):
+                pass
+        assert timer.calls["run"] == 3
+        assert timer.seconds["run"] == pytest.approx(3.0)
+
+    def test_exception_inside_span_still_closes_it(self):
+        timer = PhaseTimer(clock=make_clock())
+        with pytest.raises(RuntimeError):
+            with timer.phase("run"):
+                with timer.phase("compile"):
+                    raise RuntimeError("boom")
+        # Both spans closed; the timer can be reset and reused.
+        timer.reset()
+        assert timer.seconds == {}
+
+    def test_disabled_timer_records_nothing(self):
+        timer = PhaseTimer(enabled=False)
+        with timer.phase("run"):
+            with timer.phase("kernel"):
+                pass
+        assert timer.seconds == {}
+        assert timer.calls == {}
+        assert timer.wall_seconds == 0.0
+
+    def test_disabled_timer_hands_out_shared_noop_span(self):
+        timer = PhaseTimer(enabled=False)
+        assert timer.phase("a") is timer.phase("b")
+
+    def test_null_phase_timer_is_disabled(self):
+        assert NULL_PHASE_TIMER.enabled is False
+
+    def test_reset_refuses_open_spans(self):
+        timer = PhaseTimer(clock=make_clock())
+        span = timer.phase("run")
+        span.__enter__()
+        with pytest.raises(RuntimeError):
+            timer.reset()
+        span.__exit__(None, None, None)
+        timer.reset()
+        assert timer.wall_seconds == 0.0
+
+
+class TestPhaseReport:
+    def build_timer(self):
+        timer = PhaseTimer(clock=make_clock())
+        with timer.phase("run"):
+            with timer.phase("kernel"):
+                pass
+        return timer
+
+    def test_coverage_is_one_with_root_span(self):
+        report = self.build_timer().report()
+        assert report.coverage() == pytest.approx(1.0)
+
+    def test_shares_sum_to_coverage(self):
+        report = self.build_timer().report()
+        assert sum(s.share for s in report.phases) == pytest.approx(1.0)
+
+    def test_derived_rates(self):
+        report = self.build_timer().report(slots=300, cells=60)
+        assert report.slots_per_sec == pytest.approx(300 / report.wall_seconds)
+        assert report.cells_per_sec == pytest.approx(60 / report.wall_seconds)
+
+    def test_rates_none_without_totals(self):
+        report = self.build_timer().report()
+        assert report.slots_per_sec is None
+        assert report.cells_per_sec is None
+
+    def test_render_lists_every_phase_and_total(self):
+        text = self.build_timer().report(slots=100).render()
+        assert "run/kernel" in text
+        assert "total (wall)" in text
+        assert "replica-slots/sec" in text
+
+    def test_dict_round_trip(self):
+        report = self.build_timer().report(slots=300, cells=60)
+        clone = PhaseReport.from_dict(report.to_dict())
+        assert clone.to_dict() == report.to_dict()
+        assert clone.coverage() == pytest.approx(report.coverage())
+
+
+class TestRunManifest:
+    def test_collect_snapshots_environment(self):
+        manifest = RunManifest.collect(seed=7, config={"ports": 16})
+        assert manifest.seed == 7
+        assert manifest.config == {"ports": 16}
+        assert manifest.python_version
+        assert manifest.numpy_version
+        assert manifest.platform
+        assert manifest.timestamp
+        assert manifest.config_hash == hash_config({"ports": 16})
+
+    def test_dict_round_trip(self):
+        manifest = RunManifest.collect(seed=3, config={"load": 0.8})
+        clone = RunManifest.from_dict(manifest.to_dict())
+        assert clone == manifest
+
+    def test_from_dict_ignores_unknown_keys(self):
+        record = RunManifest.collect().to_dict()
+        record["future_field"] = "ignored"
+        assert RunManifest.from_dict(record).git_sha == record["git_sha"]
+
+
+class TestHashConfig:
+    def test_key_order_invariant(self):
+        assert hash_config({"a": 1, "b": 2}) == hash_config({"b": 2, "a": 1})
+
+    def test_value_sensitive(self):
+        assert hash_config({"a": 1}) != hash_config({"a": 2})
+
+    def test_non_json_values_fall_back_to_str(self):
+        assert hash_config({"path": object()})  # must not raise

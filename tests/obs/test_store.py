@@ -1,0 +1,214 @@
+"""Perf-history store: record_result, resolve, gate, compare."""
+
+import json
+
+import pytest
+
+from repro.obs.perf import RunManifest
+from repro.obs.store import (
+    PerfEntry,
+    PerfStore,
+    compare_entries,
+    config_key,
+    gate,
+    record_result,
+)
+
+
+def record(tmp_path, speedup, bench="fastpath", config=None, **kwargs):
+    """One history entry with a single result row."""
+    return record_result(
+        bench,
+        [
+            {
+                "config": config or {"ports": 16, "load": 0.8},
+                "slots_per_sec": speedup * 1e5,
+                "speedup_vs_object": speedup,
+            }
+        ],
+        config={"grid": "test"},
+        seed=0,
+        history_dir=tmp_path,
+        **kwargs,
+    )
+
+
+class TestRecordResult:
+    def test_appends_jsonl_history(self, tmp_path):
+        record(tmp_path, 10.0)
+        record(tmp_path, 11.0)
+        entries = PerfStore(tmp_path).load("fastpath")
+        assert len(entries) == 2
+        assert entries[0].results[0]["speedup_vs_object"] == 10.0
+        assert entries[1].results[0]["speedup_vs_object"] == 11.0
+
+    def test_entry_carries_manifest(self, tmp_path):
+        entry = record(tmp_path, 10.0)
+        assert entry.manifest["seed"] == 0
+        assert entry.manifest["python_version"]
+        assert entry.manifest["timestamp"]
+
+    def test_run_ids_are_unique(self, tmp_path):
+        ids = {record(tmp_path, 10.0).run_id for _ in range(5)}
+        assert len(ids) == 5
+
+    def test_snapshot_file_written(self, tmp_path):
+        snapshot = tmp_path / "BENCH_test.json"
+        entry = record(
+            tmp_path, 10.0, snapshot=snapshot, extras={"floor": 3.0}
+        )
+        payload = json.loads(snapshot.read_text())
+        assert payload["run_id"] == entry.run_id
+        assert payload["floor"] == 3.0
+        assert payload["results"] == entry.results
+        assert payload["manifest"]["config_hash"]
+
+    def test_history_none_skips_append(self, tmp_path):
+        record_result(
+            "fastpath",
+            [{"config": {}, "speedup_vs_object": 1.0}],
+            history_dir=None,
+        )
+        assert PerfStore(tmp_path).load("fastpath") == []
+
+    def test_phases_round_trip_through_history(self, tmp_path):
+        phases = {
+            "phases": [
+                {"path": "run", "calls": 1, "seconds": 0.5, "share": 1.0}
+            ],
+            "wall_seconds": 0.5,
+            "slots": 100,
+            "cells": 10,
+        }
+        record(tmp_path, 10.0, phases=phases)
+        assert PerfStore(tmp_path).load("fastpath")[0].phases == phases
+
+    def test_explicit_manifest_is_used(self, tmp_path):
+        manifest = RunManifest.collect(seed=42, config={"x": 1})
+        entry = record(tmp_path, 10.0, manifest=manifest)
+        assert entry.manifest["seed"] == 42
+
+
+class TestPerfStore:
+    def test_missing_history_is_empty(self, tmp_path):
+        assert PerfStore(tmp_path).load("nope") == []
+        assert PerfStore(tmp_path / "absent").benches() == []
+
+    def test_benches_sorted(self, tmp_path):
+        record(tmp_path, 1.0, bench="zeta")
+        record(tmp_path, 1.0, bench="alpha")
+        assert PerfStore(tmp_path).benches() == ["alpha", "zeta"]
+
+    def test_malformed_line_raises_with_lineno(self, tmp_path):
+        record(tmp_path, 1.0)
+        path = PerfStore(tmp_path).path("fastpath")
+        with open(path, "a") as handle:
+            handle.write("{not json\n")
+        with pytest.raises(ValueError, match=":2:"):
+            PerfStore(tmp_path).load("fastpath")
+
+    def test_resolve_references(self, tmp_path):
+        first = record(tmp_path, 1.0)
+        second = record(tmp_path, 2.0)
+        store = PerfStore(tmp_path)
+        assert store.resolve("fastpath", "latest").run_id == second.run_id
+        assert store.resolve("fastpath", "prev").run_id == first.run_id
+        assert store.resolve("fastpath", "0").run_id == first.run_id
+        assert store.resolve("fastpath", first.run_id).run_id == first.run_id
+        # A unique suffix-8 hex prefix of the full id also resolves.
+        assert (
+            store.resolve("fastpath", first.run_id[:-2]).run_id == first.run_id
+        )
+
+    def test_resolve_errors(self, tmp_path):
+        store = PerfStore(tmp_path)
+        with pytest.raises(LookupError, match="no history"):
+            store.resolve("fastpath", "latest")
+        record(tmp_path, 1.0)
+        with pytest.raises(LookupError, match="no previous"):
+            store.resolve("fastpath", "prev")
+        with pytest.raises(LookupError, match="matches"):
+            store.resolve("fastpath", "zzzz")
+
+
+class TestGate:
+    def test_passes_on_stable_history(self, tmp_path):
+        for speedup in (10.0, 11.0, 10.5):
+            record(tmp_path, speedup)
+        report = gate(PerfStore(tmp_path).load("fastpath"))
+        assert report.ok
+        assert len(report.checks) == 1
+        assert report.checks[0].baseline == pytest.approx(10.5)
+
+    def test_fails_on_synthetic_2x_slowdown(self, tmp_path):
+        for speedup in (10.0, 11.0, 10.5):
+            record(tmp_path, speedup)
+        record(tmp_path, 5.25)  # half the median: a 2x regression
+        report = gate(PerfStore(tmp_path).load("fastpath"))
+        assert not report.ok
+        assert "FAIL" in report.describe()
+
+    def test_tolerated_dip_passes(self, tmp_path):
+        record(tmp_path, 10.0)
+        record(tmp_path, 7.0)  # -30% < default 40% tolerance
+        assert gate(PerfStore(tmp_path).load("fastpath")).ok
+
+    def test_first_run_passes_trivially(self, tmp_path):
+        record(tmp_path, 10.0)
+        report = gate(PerfStore(tmp_path).load("fastpath"))
+        assert report.ok
+        assert report.checks == []
+
+    def test_new_configs_are_skipped_not_failed(self, tmp_path):
+        record(tmp_path, 10.0)
+        record(tmp_path, 0.1, config={"ports": 32, "load": 0.8})
+        report = gate(PerfStore(tmp_path).load("fastpath"))
+        assert report.ok
+        assert report.skipped == [config_key({"ports": 32, "load": 0.8})]
+
+    def test_tolerance_validated(self, tmp_path):
+        record(tmp_path, 10.0)
+        entries = PerfStore(tmp_path).load("fastpath")
+        with pytest.raises(ValueError):
+            gate(entries, tolerance=1.0)
+        with pytest.raises(ValueError):
+            gate([], tolerance=0.4)
+
+
+class TestCompare:
+    def test_ratio_per_shared_config(self, tmp_path):
+        a = record(tmp_path, 10.0)
+        b = record(tmp_path, 12.0)
+        rows = compare_entries(a, b, metric="speedup_vs_object")
+        assert len(rows) == 1
+        assert rows[0]["ratio"] == pytest.approx(1.2)
+
+    def test_disjoint_configs_yield_no_rows(self, tmp_path):
+        a = record(tmp_path, 10.0, config={"ports": 8})
+        b = record(tmp_path, 12.0, config={"ports": 32})
+        assert compare_entries(a, b, metric="speedup_vs_object") == []
+
+
+class TestPerfEntry:
+    def test_record_round_trip(self):
+        entry = PerfEntry(
+            run_id="r1",
+            bench="b",
+            manifest={"seed": 1},
+            results=[{"config": {"n": 2}, "m": 3.0}],
+            extras={"x": 1},
+            phases={"wall_seconds": 0.1},
+        )
+        assert PerfEntry.from_record(entry.to_record()) == entry
+
+    def test_metric_map_skips_missing_metric(self):
+        entry = PerfEntry(
+            run_id="r1",
+            bench="b",
+            manifest={},
+            results=[
+                {"config": {"n": 1}, "m": 3.0},
+                {"config": {"n": 2}},
+            ],
+        )
+        assert entry.metric_map("m") == {config_key({"n": 1}): 3.0}

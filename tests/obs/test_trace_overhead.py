@@ -1,12 +1,14 @@
-"""NullSink overhead: the disabled probe must be nearly free.
+"""NullSink and no-op PhaseTimer overhead: disabled telemetry is free.
 
 The telemetry acceptance budget is <5% wall-clock overhead for a
-default (NullSink) run versus a fully untraced run on both backends.
-Wall-clock ratios on shared CI boxes are noisy, so the assertions here
-use a generous 1.25x ceiling on best-of-N timings; the 5% budget is
-what the design targets (a single ``probe.enabled`` attribute read per
-emit site) and what the benchmark harness measures under controlled
-conditions.
+default (NullSink) run versus a fully untraced run on both backends,
+and the same budget applies to the disabled
+:data:`repro.obs.perf.NULL_PHASE_TIMER` default threaded through every
+simulator.  Wall-clock ratios on shared CI boxes are noisy, so the
+assertions here use a generous 1.25x ceiling on best-of-N timings; the
+5% budget is what the design targets (a single attribute read per emit
+site, a shared no-op span per phase site) and what the benchmark
+harness measures under controlled conditions.
 """
 
 import time
@@ -14,7 +16,9 @@ import time
 import pytest
 
 from repro.core.pim import PIMScheduler
-from repro.obs.probe import NULL_PROBE
+from repro.obs.perf import NULL_PHASE_TIMER, PhaseTimer
+from repro.obs.probe import NULL_PROBE, Probe
+from repro.obs.sinks import InMemorySink
 from repro.sim.fastpath import run_fastpath
 from repro.switch.switch import CrossbarSwitch
 from repro.traffic.uniform import UniformTraffic
@@ -63,3 +67,47 @@ def test_null_probe_overhead_fastpath_backend():
         f"NullSink fastpath run took {ratio:.3f}x the untraced run "
         f"(budget 1.05x, ceiling {CEILING}x)"
     )
+
+
+@pytest.mark.slow
+def test_noop_phase_timer_overhead_fastpath_backend():
+    """A disabled PhaseTimer adds no measurable per-slot cost."""
+
+    def run(timer):
+        run_fastpath(PORTS, 0.9, SLOTS, replicas=8, seed=3, phase_timer=timer)
+
+    run(None)  # warm caches
+    untimed = _best_of(REPEATS, lambda: run(None))
+    noop = _best_of(REPEATS, lambda: run(NULL_PHASE_TIMER))
+    ratio = noop / untimed
+    assert ratio < CEILING, (
+        f"no-op PhaseTimer fastpath run took {ratio:.3f}x the untimed run "
+        f"(budget 1.05x, ceiling {CEILING}x)"
+    )
+
+
+def test_disabled_phase_timer_records_nothing():
+    """The no-op path leaves the timer completely empty after a run."""
+    timer = PhaseTimer(enabled=False)
+    run_fastpath(PORTS, 0.8, 50, replicas=2, seed=3, phase_timer=timer)
+    assert timer.seconds == {}
+    assert timer.calls == {}
+    assert timer.wall_seconds == 0.0
+
+
+def test_disabled_phase_timer_emits_nothing_through_enabled_probe():
+    """A live probe must not receive phase_profile events from a
+    disabled timer: the profiler-was-never-on invariant."""
+    sink = InMemorySink()
+    run_fastpath(
+        PORTS, 0.8, 50, replicas=2, seed=3,
+        probe=Probe(sink), phase_timer=PhaseTimer(enabled=False),
+    )
+    assert list(sink.of_kind("phase_profile")) == []
+    # The same run with an enabled timer does emit exactly one profile.
+    sink = InMemorySink()
+    run_fastpath(
+        PORTS, 0.8, 50, replicas=2, seed=3,
+        probe=Probe(sink), phase_timer=PhaseTimer(),
+    )
+    assert len(list(sink.of_kind("phase_profile"))) == 1
