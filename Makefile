@@ -1,6 +1,6 @@
 # Convenience targets for the AN2 reproduction.
 
-.PHONY: install test check check-full bench bench-fastpath cbr-bench stat-bench network-bench bench-full perf-report perf-gate trace-demo examples lint clean
+.PHONY: install test check check-full bench bench-fastpath cbr-bench stat-bench network-bench sched-bench sched-study bench-full perf-report perf-gate trace-demo examples lint clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -42,12 +42,23 @@ stat-bench:
 network-bench:
 	PYTHONPATH=src python benchmarks/perf/bench_network_fastpath.py --quick --out BENCH_network_fastpath.json
 
+# Every batched kernel vs its object scheduler at the N=16, B=64
+# acceptance point (speedup_vs_object per kernel).
+sched-bench:
+	PYTHONPATH=src python benchmarks/perf/bench_sched_zoo.py --quick --out BENCH_sched_zoo.json
+
+# Cross-scheduler delay-vs-load study with the maximal-matching
+# (Cogill-Lall style) delay bound checked where it applies.
+sched-study:
+	PYTHONPATH=src python -m repro.cli sched-study --slots 1000 --replicas 4
+
 bench-full:
 	REPRO_FULL=1 pytest benchmarks/ --benchmark-only -q
 	PYTHONPATH=src python benchmarks/perf/bench_fastpath.py --out BENCH_fastpath.json
 	PYTHONPATH=src python benchmarks/perf/bench_cbr_fastpath.py --out BENCH_cbr_fastpath.json
 	PYTHONPATH=src python benchmarks/perf/bench_stat_fastpath.py --out BENCH_stat_fastpath.json
 	PYTHONPATH=src python benchmarks/perf/bench_network_fastpath.py --out BENCH_network_fastpath.json
+	PYTHONPATH=src python benchmarks/perf/bench_sched_zoo.py --out BENCH_sched_zoo.json
 
 # Live per-phase wall-time breakdown of the headline fast-path config.
 perf-report:

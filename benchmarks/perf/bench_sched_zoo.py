@@ -1,0 +1,134 @@
+"""Timing harness: every batched kernel vs its object scheduler.
+
+For each scheduler in the registry
+(:data:`repro.core.batch.BATCH_SCHEDULERS`) this measures simulation
+throughput (replica-slots per wall second) for the vectorized fast
+path at the acceptance grid point (N=16, B=64) against the same
+scheduler running per-cell inside :class:`CrossbarSwitch`, and records
+``speedup_vs_object`` per kernel through
+:func:`repro.obs.store.record_result` (snapshot ``BENCH_sched_zoo.json``
+plus an append to ``benchmarks/perf/history/sched_zoo.jsonl``).
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf/bench_sched_zoo.py           # full
+    PYTHONPATH=src python benchmarks/perf/bench_sched_zoo.py --quick   # make bench
+
+The object backend simulates replicas one after another, so its
+slots/sec is independent of B and measured once per scheduler; the
+speedup is ``fastpath_replica_slots_per_sec / object_slots_per_sec``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.core.batch import BATCH_SCHEDULERS, build_object_scheduler
+from repro.obs.store import DEFAULT_HISTORY_DIR, record_result
+from repro.sim.fastpath import run_fastpath
+from repro.switch.switch import CrossbarSwitch
+from repro.traffic.uniform import UniformTraffic
+
+LOAD = 0.8
+ITERATIONS = 4
+PORTS = 16
+REPLICAS = 64
+
+
+def time_object_backend(name: str, slots: int, seed: int = 0) -> float:
+    """Object-backend slots per second for one registry scheduler."""
+    scheduler = build_object_scheduler(
+        name, iterations=ITERATIONS, seed=seed, ports=PORTS
+    )
+    switch = CrossbarSwitch(PORTS, scheduler)
+    traffic = UniformTraffic(PORTS, load=LOAD, seed=seed + 1)
+    start = time.perf_counter()
+    switch.run(traffic, slots=slots)
+    elapsed = time.perf_counter() - start
+    return slots / elapsed
+
+
+def time_fastpath_backend(name: str, slots: int, seed: int = 0) -> float:
+    """Fast-path replica-slots per second for one registry kernel."""
+    start = time.perf_counter()
+    run_fastpath(
+        PORTS,
+        LOAD,
+        slots,
+        replicas=REPLICAS,
+        iterations=ITERATIONS,
+        scheduler=name,
+        seed=seed,
+    )
+    elapsed = time.perf_counter() - start
+    return REPLICAS * slots / elapsed
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small config for make bench (fewer slots)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_sched_zoo.json",
+        help="output JSON path (default: BENCH_sched_zoo.json)",
+    )
+    parser.add_argument(
+        "--history", default=DEFAULT_HISTORY_DIR, metavar="DIR",
+        help="perf-history root to append to "
+             "(default: benchmarks/perf/history)",
+    )
+    parser.add_argument(
+        "--no-history", action="store_true",
+        help="write the snapshot only; skip the history append",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    slots, object_slots = (100, 100) if args.quick else (300, 300)
+
+    results = []
+    for name in BATCH_SCHEDULERS:
+        object_sps = time_object_backend(name, object_slots, args.seed)
+        fast_sps = time_fastpath_backend(name, slots, args.seed)
+        speedup = fast_sps / object_sps
+        results.append(
+            {
+                "config": {
+                    "scheduler": name,
+                    "ports": PORTS,
+                    "replicas": REPLICAS,
+                    "slots": slots,
+                    "load": LOAD,
+                    "iterations": ITERATIONS,
+                },
+                "object_slots_per_sec": object_sps,
+                "slots_per_sec": fast_sps,
+                "speedup_vs_object": speedup,
+            }
+        )
+        print(
+            f"{name:<10} object {object_sps:>9.0f} slots/s | fastpath "
+            f"{fast_sps:>11.0f} replica-slots/s | {speedup:6.1f}x"
+        )
+
+    entry = record_result(
+        "sched_zoo",
+        results,
+        config={
+            "ports": PORTS, "replicas": REPLICAS, "slots": slots,
+            "load": LOAD, "iterations": ITERATIONS, "quick": args.quick,
+        },
+        seed=args.seed,
+        snapshot=args.out,
+        history_dir=None if args.no_history else args.history,
+    )
+    print(f"wrote {args.out} (run {entry.run_id})")
+    if not args.no_history:
+        print(f"appended history entry to {args.history}/sched_zoo.jsonl")
+
+
+if __name__ == "__main__":
+    main()

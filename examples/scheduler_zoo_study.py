@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""The scheduler zoo: delay vs load across five matching kernels.
+
+Sweeps every batched kernel in the registry -- PIM (the paper's
+algorithm), iSLIP, longest-queue-first, wavefront, and QPS-r -- over a
+common load range on the vectorized fast path, then reads the table
+three ways:
+
+1. every input-queued scheduler sits above Karol's perfect
+   output-queueing delay (the ``oq-ref`` column) -- that floor is the
+   cost of input queueing, not of any particular matcher;
+2. the *maximal* matchers (lqf, wavefront) additionally satisfy a
+   provable interference-drain delay ceiling below half load (the
+   ``bound`` column, Cogill-Lall style) -- a guarantee the randomized
+   and iterative schedulers lack even when their measured delay is
+   just as good;
+3. above half load the bound is vacuous (dash), yet all five kernels
+   keep tracking each other closely under uniform traffic -- the
+   paper's argument that cheap iterative matching gives up little to
+   heavier machinery.
+
+Run:  PYTHONPATH=src python examples/scheduler_zoo_study.py
+"""
+
+from repro.analysis.maximal_bounds import MAXIMAL_SCHEDULERS
+from repro.analysis.scheduler_study import format_table, run_study
+from repro.core.batch import BATCH_SCHEDULERS
+
+PORTS = 16
+LOADS = (0.3, 0.45, 0.6, 0.75, 0.9)
+
+
+def main() -> None:
+    print(f"Scheduler zoo on the {PORTS}x{PORTS} fast path")
+    print(f"  kernels : {', '.join(BATCH_SCHEDULERS)}")
+    print(f"  maximal : {', '.join(MAXIMAL_SCHEDULERS)} "
+          "(interference-drain bound applies below load 0.5)\n")
+
+    rows = run_study(ports=PORTS, loads=LOADS, slots=2_000, replicas=8)
+    print(format_table(rows))
+
+    checked = [row for row in rows if row.bound_ok is not None]
+    held = sum(1 for row in checked if row.bound_ok)
+    print(f"\nbound verdict: held at {held}/{len(checked)} applicable "
+          "(maximal kernel, load < 1/2) points")
+
+    at_09 = {row.scheduler: row.mean_delay for row in rows if row.load == 0.9}
+    spread = max(at_09.values()) / min(at_09.values())
+    print(f"load 0.9 delay spread across kernels: {spread:.2f}x "
+          "(uniform traffic flattens the zoo; hostile patterns do not)")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,7 +5,11 @@
 - :mod:`repro.analysis.statistical_theory` -- Appendix C: the 63% / 72%
   statistical-matching throughput fractions,
 - :mod:`repro.analysis.hol` -- Karol's 2 - sqrt(2) head-of-line
-  saturation limit for FIFO input queueing.
+  saturation limit for FIFO input queueing,
+- :mod:`repro.analysis.maximal_bounds` -- Cogill-Lall style
+  interference-drain delay bound for maximal-matching schedulers,
+- :mod:`repro.analysis.scheduler_study` -- cross-scheduler
+  delay-vs-load study over the batched kernel registry.
 """
 
 from repro.analysis.iterations import (
@@ -31,8 +35,26 @@ from repro.analysis.pim_theory import (
     saturated_first_iteration_fraction,
 )
 from repro.analysis.ascii_plot import bar_chart, line_chart
+from repro.analysis.maximal_bounds import (
+    MAXIMAL_SCHEDULERS,
+    interference_drain_bound,
+    mean_interference_uniform,
+)
+from repro.analysis.scheduler_study import (
+    StudyRow,
+    format_table,
+    rows_for_record,
+    run_study,
+)
 
 __all__ = [
+    "MAXIMAL_SCHEDULERS",
+    "interference_drain_bound",
+    "mean_interference_uniform",
+    "StudyRow",
+    "format_table",
+    "rows_for_record",
+    "run_study",
     "hol_saturation_limit",
     "output_queueing_delay",
     "output_queueing_mean_queue",

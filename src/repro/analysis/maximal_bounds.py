@@ -1,0 +1,92 @@
+"""Delay bounds for *maximal*-matching schedulers (Cogill-Lall style).
+
+Cogill and Lall showed that any scheduler producing a **maximal**
+matching every slot (no grantable input-output pair left unmatched --
+lqf and wavefront here, but *not* PIM or iSLIP at finite iterations,
+and not QPS-r at all) drains an input-queued switch whenever the
+per-port load satisfies ``2*lambda < s`` (``s`` = speedup), with mean
+delay bounded by a function of the backlog a cell finds on arrival.
+
+The bound implemented here is the **interference-drain argument**,
+re-derived from first principles rather than copied from the paper
+(whose exact constants are not available offline; see Derivation).
+It is deliberately conservative, and the cross-scheduler study in
+:mod:`repro.analysis.scheduler_study` checks *measured* mean delay
+against it only for the schedulers whose kernels guarantee maximality.
+
+Derivation
+----------
+Tag a cell c arriving at input i for output j.  Let X be the total
+number of queued cells that can *interfere* with c: cells at input i
+(any destination) plus cells anywhere destined to output j.  Under a
+maximal matching, any slot in which c is still queued and not served
+moves at least one interfering cell -- otherwise (i, j) itself was
+grantable and unmatched, contradicting maximality.  With speedup s,
+each slot serves interfering cells at rate >= s while new interference
+arrives at rate 2*lambda (Bernoulli arrivals at input i plus arrivals
+for output j, counting the (i, j) stream once each way).  The tagged
+cell therefore waits at most roughly ``E[X at arrival] / (s -
+2*lambda)`` slots in expectation; we add a +2 slack for the slot
+granularity of the two boundary slots (arrival and departure).  The
+drift argument needs ``2*lambda < s``; at or above that point the
+bound is vacuous and this module returns ``inf``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "MAXIMAL_SCHEDULERS",
+    "interference_drain_bound",
+    "mean_interference_uniform",
+]
+
+# Registry names (see repro.core.batch.BATCH_SCHEDULERS) whose kernels
+# guarantee a maximal matching every slot.  PIM/iSLIP converge to
+# maximal only as iterations -> N; QPS-r is explicitly non-maximal
+# (single proposal per input).
+MAXIMAL_SCHEDULERS = ("lqf", "wavefront")
+
+
+def mean_interference_uniform(mean_backlog: float, ports: int) -> float:
+    """Estimate E[X], the interference a fresh cell sees, from backlog.
+
+    Under uniform traffic the ``mean_backlog`` cells in the switch are
+    spread evenly over N inputs and N outputs, so a cell arriving at
+    input i for output j sees on average ``mean_backlog / N`` cells
+    ahead of it at its input and ``mean_backlog / N`` queued for its
+    output -- ``2 * mean_backlog / ports`` interfering cells in total
+    (the (i, j) cells are double-counted, keeping the estimate on the
+    conservative side for the upper bound's input).
+    """
+    if ports < 1:
+        raise ValueError(f"ports must be >= 1, got {ports}")
+    if mean_backlog < 0:
+        raise ValueError(f"mean_backlog must be >= 0, got {mean_backlog}")
+    return 2.0 * mean_backlog / ports
+
+
+def interference_drain_bound(
+    mean_interference: float, load: float, speedup: float = 1.0
+) -> float:
+    """Upper bound on mean waiting time for a maximal-matching switch.
+
+    ``mean_interference`` is E[X], the expected number of interfering
+    cells a fresh arrival finds (see :func:`mean_interference_uniform`);
+    ``load`` is the per-port Bernoulli arrival rate lambda; ``speedup``
+    is the number of matchings executed per slot.  Returns the bound in
+    slots, or ``inf`` when ``2*load >= speedup`` (the drift argument
+    gives nothing there -- maximal matching only guarantees stability
+    up to half load at speedup 1).
+    """
+    if mean_interference < 0:
+        raise ValueError(
+            f"mean_interference must be >= 0, got {mean_interference}"
+        )
+    if not 0.0 <= load <= 1.0:
+        raise ValueError(f"load must be in [0, 1], got {load}")
+    if speedup <= 0:
+        raise ValueError(f"speedup must be > 0, got {speedup}")
+    drift = speedup - 2.0 * load
+    if drift <= 0:
+        return float("inf")
+    return (mean_interference + 2.0) / drift

@@ -1,0 +1,182 @@
+"""Cross-scheduler delay-vs-load study on the vectorized fast path.
+
+Runs every kernel in the batched scheduler registry
+(:data:`repro.core.batch.BATCH_SCHEDULERS`) over a common load sweep on
+:func:`repro.sim.fastpath.run_fastpath`, and reports mean queueing
+delay (Little's law), carried throughput, and two references per point:
+
+- the perfect output-queueing delay (Karol's closed form,
+  :func:`repro.analysis.queueing.output_queueing_delay`) -- the floor
+  no input-queued scheduler can beat, and
+- for the kernels that guarantee a **maximal** matching every slot
+  (lqf, wavefront), the interference-drain upper bound of
+  :mod:`repro.analysis.maximal_bounds`.  The bound is finite only
+  below half load (speedup 1); above that it is vacuous and the table
+  shows a dash.
+
+The study is the measurement half of the Cogill-Lall claim: maximal
+matchings buy a *provable* delay ceiling at light load, which the
+randomized/iterative schedulers (pim, islip, qps) lack even when their
+measured delay is just as good.
+
+Use :func:`run_study` programmatically, ``repro-an2 sched-study`` from
+the command line, or ``examples/scheduler_zoo_study.py`` for the
+narrated version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.maximal_bounds import (
+    MAXIMAL_SCHEDULERS,
+    interference_drain_bound,
+    mean_interference_uniform,
+)
+from repro.analysis.queueing import output_queueing_delay
+from repro.core.batch import BATCH_SCHEDULERS
+
+__all__ = ["StudyRow", "run_study", "format_table", "rows_for_record"]
+
+DEFAULT_LOADS = (0.3, 0.45, 0.6, 0.75, 0.9)
+
+
+@dataclass
+class StudyRow:
+    """One (scheduler, load) point of the study.
+
+    ``bound`` is the interference-drain delay ceiling in slots: a
+    finite number for maximal kernels below half load, ``inf`` for
+    maximal kernels at or above half load (the argument is vacuous
+    there), and ``None`` for kernels that do not guarantee maximality
+    (the bound simply does not apply).  ``bound_ok`` is the
+    measured-vs-bound verdict, ``None`` whenever the bound is absent
+    or vacuous.
+    """
+
+    scheduler: str
+    load: float
+    mean_delay: float
+    throughput: float
+    mean_backlog: float
+    oq_delay: float
+    bound: Optional[float]
+    bound_ok: Optional[bool]
+
+
+def run_study(
+    ports: int = 16,
+    loads: Sequence[float] = DEFAULT_LOADS,
+    slots: int = 2_000,
+    replicas: int = 8,
+    warmup: Optional[int] = None,
+    iterations: int = 4,
+    seed: int = 0,
+    schedulers: Sequence[str] = BATCH_SCHEDULERS,
+) -> List[StudyRow]:
+    """Run the sweep and return one :class:`StudyRow` per point.
+
+    Every (scheduler, load) point replays the *same* arrival streams
+    (arrival seeds derive from ``seed`` and the replica index inside
+    ``run_fastpath``), so differences across rows at one load are
+    scheduler differences, not traffic noise.  ``warmup`` defaults to
+    ``slots // 5``.
+    """
+    from repro.sim.fastpath import run_fastpath
+    from repro.sim.rng import derive_seed
+
+    if warmup is None:
+        warmup = slots // 5
+    rows: List[StudyRow] = []
+    for name in schedulers:
+        if name not in BATCH_SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {name!r}; registry: {BATCH_SCHEDULERS}"
+            )
+        for load in loads:
+            result = run_fastpath(
+                ports,
+                load,
+                slots,
+                replicas=replicas,
+                warmup=warmup,
+                iterations=iterations,
+                scheduler=name,
+                seed=derive_seed(seed, f"study/{name}"),
+                warmup_mode="arrival",
+            )
+            mean_backlog = float(
+                result.backlog_integral.sum() / (result.window * replicas)
+            )
+            bound: Optional[float]
+            bound_ok: Optional[bool]
+            if name in MAXIMAL_SCHEDULERS:
+                bound = interference_drain_bound(
+                    mean_interference_uniform(mean_backlog, ports), load
+                )
+                bound_ok = (
+                    result.mean_delay <= bound
+                    if bound != float("inf")
+                    else None
+                )
+            else:
+                bound, bound_ok = None, None
+            rows.append(
+                StudyRow(
+                    scheduler=name,
+                    load=load,
+                    mean_delay=result.mean_delay,
+                    throughput=result.throughput,
+                    mean_backlog=mean_backlog,
+                    oq_delay=output_queueing_delay(load, ports),
+                    bound=bound,
+                    bound_ok=bound_ok,
+                )
+            )
+    return rows
+
+
+def format_table(rows: Sequence[StudyRow]) -> str:
+    """Render the study as a fixed-width text table.
+
+    The ``bound`` column shows the interference-drain ceiling for
+    maximal kernels below half load and a dash where the bound is
+    vacuous (load >= 1/2) or inapplicable (non-maximal kernel); the
+    ``ok`` column marks whether the measured delay respected a finite
+    bound.
+    """
+    header = (
+        f"{'scheduler':<11}{'load':>6}{'delay':>9}{'thru':>7}"
+        f"{'oq-ref':>9}{'bound':>9}{'ok':>4}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        if row.bound is None or row.bound == float("inf"):
+            bound_cell, ok_cell = f"{'—':>9}", f"{'—':>4}"
+        else:
+            bound_cell = f"{row.bound:9.2f}"
+            ok_cell = f"{'yes' if row.bound_ok else 'NO':>4}"
+        lines.append(
+            f"{row.scheduler:<11}{row.load:6.2f}{row.mean_delay:9.2f}"
+            f"{row.throughput:7.3f}{row.oq_delay:9.2f}{bound_cell}{ok_cell}"
+        )
+    return "\n".join(lines)
+
+
+def rows_for_record(rows: Sequence[StudyRow]) -> List[Dict[str, Any]]:
+    """Flatten study rows into ``record_result``-shaped dicts."""
+    out: List[Dict[str, Any]] = []
+    for row in rows:
+        entry: Dict[str, Any] = {
+            "config": {"scheduler": row.scheduler, "load": row.load},
+            "mean_delay": row.mean_delay,
+            "throughput": row.throughput,
+            "mean_backlog": row.mean_backlog,
+            "oq_delay": row.oq_delay,
+        }
+        if row.bound is not None and row.bound != float("inf"):
+            entry["bound"] = row.bound
+            entry["bound_ok"] = bool(row.bound_ok)
+        out.append(entry)
+    return out

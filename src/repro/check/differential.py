@@ -67,6 +67,7 @@ def backend_parity(
     iterations: Optional[int] = 4,
     accept: str = "random",
     output_capacity: int = 1,
+    scheduler: str = "pim",
     phase_timer=None,
 ) -> DifferentialReport:
     """Object vs fast path on seed-matched arrivals; raises on divergence.
@@ -74,12 +75,23 @@ def backend_parity(
     All three streams (traffic, object matching, fast matching) are
     derived from ``seed`` so one integer replays the whole comparison.
 
+    ``scheduler`` picks the batched kernel by registry name
+    (``repro.core.BATCH_SCHEDULERS``).  For PIM the object and fast
+    matching streams are independent, so the invariant is the classic
+    one: identical arrivals, equal drained totals.  For every other
+    kernel the object side is built as the *seed-matched twin* of the
+    fast path's kernel (same stream the fast path derives internally:
+    ``derive_seed(fast_match_seed, "fastpath/<name>")``), and the B=1
+    parity convention upgrades the invariant to **slot-exact** matched
+    counts -- any per-slot divergence raises.
+
     ``phase_timer``, when given an enabled
     :class:`repro.obs.perf.PhaseTimer`, profiles the check under a
     ``parity`` root span with ``parity/object`` / ``parity/fastpath``
     children (each backend's own phase breakdown nested below), so
     slow parity sweeps report where the wall time went.
     """
+    from repro.core.batch import build_object_scheduler
     from repro.obs.perf import NULL_PHASE_TIMER
     from repro.sim.rng import derive_seed
 
@@ -91,6 +103,21 @@ def backend_parity(
         if phase_timer is not None and phase_timer.enabled
         else NULL_PHASE_TIMER
     )
+    fast_match_seed = derive_seed(seed, "check/fast-match")
+    if scheduler == "pim":
+        object_scheduler = None  # diff_backends builds the default PIM twin
+    else:
+        # Reconstruct the exact stream run_fastpath will inject
+        # (RandomStreams(fast_match_seed).get("fastpath/<name>")) so the
+        # object twin consumes draw-for-draw the same uniforms.
+        object_scheduler = build_object_scheduler(
+            scheduler,
+            iterations=iterations,
+            accept=accept,
+            seed=derive_seed(fast_match_seed, f"fastpath/{scheduler}"),
+            output_capacity=output_capacity,
+            ports=ports,
+        )
     with timer.phase("parity"):
         report: ParityReport = diff_backends(
             ports,
@@ -100,17 +127,26 @@ def backend_parity(
             iterations=iterations,
             traffic_seed=derive_seed(seed, "check/traffic"),
             object_match_seed=derive_seed(seed, "check/object-match"),
-            fast_match_seed=derive_seed(seed, "check/fast-match"),
+            fast_match_seed=fast_match_seed,
             accept=accept,
             output_capacity=output_capacity,
+            scheduler=scheduler,
+            object_scheduler=object_scheduler,
             phase_timer=timer,
         )
     name = (
-        f"backend-parity(N={ports}, load={load}, iter={iterations}, "
-        f"accept={accept}, cap={output_capacity}, seed={seed})"
+        f"backend-parity(N={ports}, load={load}, sched={scheduler}, "
+        f"iter={iterations}, accept={accept}, cap={output_capacity}, "
+        f"seed={seed})"
     )
     if not report.ok:
         raise InvariantViolation("backend-parity", report.describe())
+    if scheduler != "pim" and report.first_match_divergence is not None:
+        raise InvariantViolation(
+            "backend-parity",
+            f"seed-matched {scheduler} twins diverged at slot "
+            f"{report.first_match_divergence}:\n" + report.describe(),
+        )
     return DifferentialReport(name=name, ok=True, detail=report.describe())
 
 

@@ -47,7 +47,10 @@ __all__ = [
 ]
 
 PATTERNS = ("uniform", "bursty", "clientserver")
-SCHEDULERS = ("pim", "islip", "rrm", "statistical")
+SCHEDULERS = ("pim", "islip", "rrm", "statistical", "lqf", "wavefront", "qps")
+#: Registry kernels with a batched fast-path twin: these cases also run
+#: the cross-backend differential stage (slot-exact for non-PIM).
+DIFFERENTIAL_SCHEDULERS = ("pim", "islip", "lqf", "wavefront", "qps")
 
 
 @dataclass(frozen=True)
@@ -96,9 +99,12 @@ def _build_scheduler(case: Case):
     import numpy as np
 
     from repro.core.islip import ISLIPScheduler
+    from repro.core.lqf import LQFScheduler
     from repro.core.pim import PIMScheduler
+    from repro.core.qps import QPSScheduler
     from repro.core.rrm import RRMScheduler
     from repro.core.statistical import StatisticalMatcher
+    from repro.core.wavefront import WavefrontScheduler
     from repro.sim.rng import derive_seed
 
     seed = derive_seed(case.seed, f"fuzz/match/{case.scheduler}")
@@ -108,6 +114,12 @@ def _build_scheduler(case: Case):
         return ISLIPScheduler(iterations=case.iterations)
     if case.scheduler == "rrm":
         return RRMScheduler(iterations=case.iterations)
+    if case.scheduler == "lqf":
+        return LQFScheduler(seed=seed)
+    if case.scheduler == "wavefront":
+        return WavefrontScheduler()
+    if case.scheduler == "qps":
+        return QPSScheduler(rounds=case.iterations, seed=seed)
     if case.scheduler == "statistical":
         from repro.check.differential import _random_allocations
 
@@ -143,13 +155,21 @@ def run_case(case: Case, differential: bool = True) -> None:
         probe=Probe(InvariantSink()),
     )
     check_conservation(result, label=str(case))
-    if differential and case.scheduler == "pim" and case.pattern == "uniform":
+    if (
+        differential
+        and case.scheduler in DIFFERENTIAL_SCHEDULERS
+        and case.pattern == "uniform"
+    ):
+        # PIM compares drained totals (independent matching streams);
+        # every other registry kernel runs against its seed-matched
+        # object twin and must agree slot for slot.
         backend_parity(
             case.ports,
             case.load,
             case.slots,
             seed=case.seed,
             iterations=case.iterations,
+            scheduler=case.scheduler,
         )
 
 
@@ -230,8 +250,8 @@ def _case_for_seed(seed: int) -> Case:
 
     The scheduler cycles round-robin with the seed so any sweep of
     ``len(SCHEDULERS)`` or more consecutive seeds provably covers all
-    of {pim, islip, rrm, statistical}; the remaining dimensions are
-    drawn from a seed-derived stream.
+    the full scheduler registry; the remaining dimensions are drawn
+    from a seed-derived stream.
     """
     import numpy as np
 

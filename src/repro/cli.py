@@ -44,8 +44,10 @@ def _positive_int(text: str) -> int:
 
 def _build_scheduler(name: str, ports: int, iterations: int, seed: int):
     from repro.core.islip import ISLIPScheduler
+    from repro.core.lqf import LQFScheduler
     from repro.core.maximum import MaximumMatchingScheduler
     from repro.core.pim import PIMScheduler
+    from repro.core.qps import QPSScheduler
     from repro.core.wavefront import WavefrontScheduler
 
     if name == "pim":
@@ -54,6 +56,10 @@ def _build_scheduler(name: str, ports: int, iterations: int, seed: int):
         return PIMScheduler(iterations=None, seed=seed)
     if name == "islip":
         return ISLIPScheduler(iterations=iterations)
+    if name == "lqf":
+        return LQFScheduler(seed=seed)
+    if name == "qps":
+        return QPSScheduler(rounds=iterations, seed=seed)
     if name == "wavefront":
         return WavefrontScheduler()
     if name == "maximum":
@@ -170,10 +176,12 @@ def cmd_delay(args: argparse.Namespace) -> int:
             print(timer.report(slots=args.slots).render())
 
     if args.backend == "fastpath":
-        if args.scheduler not in ("pim", "pim-inf") or args.workload != "uniform":
+        fastpath_choices = ("pim", "pim-inf", "islip", "lqf", "wavefront", "qps")
+        if args.scheduler not in fastpath_choices or args.workload != "uniform":
             print(
-                "error: --backend fastpath supports only --scheduler pim/pim-inf "
-                "with --workload uniform",
+                "error: --backend fastpath supports only --scheduler "
+                + "/".join(fastpath_choices)
+                + " with --workload uniform",
                 file=sys.stderr,
             )
             return 2
@@ -186,6 +194,7 @@ def cmd_delay(args: argparse.Namespace) -> int:
             replicas=1,
             warmup=args.warmup,
             iterations=None if args.scheduler == "pim-inf" else args.iterations,
+            scheduler="pim" if args.scheduler == "pim-inf" else args.scheduler,
             seed=args.seed,
             arrival_seeds=[args.seed + 1],
             probe=probe,
@@ -201,7 +210,7 @@ def cmd_delay(args: argparse.Namespace) -> int:
     ):
         print(
             "error: --trace/--metrics/--profile require a crossbar scheduler "
-            "(pim, pim-inf, islip, wavefront, maximum)",
+            "(pim, pim-inf, islip, lqf, wavefront, qps, maximum)",
             file=sys.stderr,
         )
         return 2
@@ -373,6 +382,7 @@ def cmd_cbr(args: argparse.Namespace) -> int:
             args.slots,
             replicas=args.replicas,
             warmup=args.warmup,
+            scheduler=args.scheduler,
             seed=args.seed,
             probe=probe,
             trace_stride=None,
@@ -382,6 +392,9 @@ def cmd_cbr(args: argparse.Namespace) -> int:
         return 0
     if args.replicas != 1:
         print("error: --replicas needs --backend fastpath", file=sys.stderr)
+        return 2
+    if args.scheduler != "pim":
+        print("error: --scheduler needs --backend fastpath", file=sys.stderr)
         return 2
     from repro.cbr.integrated import IntegratedSwitch
     from repro.core.pim import PIMScheduler
@@ -520,6 +533,7 @@ def cmd_network(args: argparse.Namespace) -> int:
             args.slots,
             replicas=args.replicas,
             warmup=args.warmup,
+            scheduler=args.scheduler,
             seed=args.seed,
             buffer_limit=limit,
         )
@@ -527,6 +541,9 @@ def cmd_network(args: argparse.Namespace) -> int:
         return 0
     if args.replicas != 1:
         print("error: --replicas needs --backend fastpath", file=sys.stderr)
+        return 2
+    if args.scheduler != "pim":
+        print("error: --scheduler needs --backend fastpath", file=sys.stderr)
         return 2
     sim = NetworkSimulator(topo, seed=args.seed, buffer_limit=limit)
     for flow in flows:
@@ -546,6 +563,63 @@ def cmd_network(args: argparse.Namespace) -> int:
             f"{result.throughput(flow.flow_id):6.4f}  {delay}"
         )
     return 0
+
+
+def cmd_sched_study(args: argparse.Namespace) -> int:
+    """Cross-scheduler delay-vs-load study on the fast path."""
+    from repro.analysis.scheduler_study import (
+        format_table,
+        rows_for_record,
+        run_study,
+    )
+
+    print(
+        f"{args.ports}x{args.ports} fast path, {args.replicas} replicas, "
+        f"{args.slots} slots (warmup {args.slots // 5}), "
+        f"schedulers: {', '.join(args.schedulers)}"
+    )
+    rows = run_study(
+        ports=args.ports,
+        loads=args.loads,
+        slots=args.slots,
+        replicas=args.replicas,
+        iterations=args.iterations,
+        seed=args.seed,
+        schedulers=args.schedulers,
+    )
+    print(format_table(rows))
+    violations = [row for row in rows if row.bound_ok is False]
+    if violations:
+        for row in violations:
+            print(
+                f"BOUND VIOLATION: {row.scheduler} at load {row.load:.2f}: "
+                f"measured {row.mean_delay:.2f} > bound {row.bound:.2f}",
+                file=sys.stderr,
+            )
+    else:
+        finite = sum(1 for row in rows if row.bound_ok is not None)
+        print(
+            f"\nmaximal-matching delay bound held at all {finite} "
+            "applicable points"
+        )
+    if args.record:
+        from repro.obs.store import record_result
+
+        entry = record_result(
+            "sched_study",
+            rows_for_record(rows),
+            config={
+                "ports": args.ports,
+                "loads": list(args.loads),
+                "slots": args.slots,
+                "replicas": args.replicas,
+                "iterations": args.iterations,
+                "schedulers": list(args.schedulers),
+            },
+            seed=args.seed,
+        )
+        print(f"recorded {entry.bench} run {entry.run_id}")
+    return 1 if violations else 0
 
 
 def cmd_check(args: argparse.Namespace) -> int:
@@ -979,6 +1053,7 @@ def cmd_perf_gate(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro-an2`` argument parser."""
+    from repro.core.batch import BATCH_SCHEDULERS
     from repro.network.topologies import TOPOLOGIES
 
     parser = argparse.ArgumentParser(
@@ -991,8 +1066,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     delay = sub.add_parser("delay", help="one scheduler/workload/load point")
     delay.add_argument("--scheduler", default="pim",
-                       choices=["pim", "pim-inf", "islip", "wavefront",
-                                "maximum", "fifo", "output-queueing"])
+                       choices=["pim", "pim-inf", "islip", "lqf", "wavefront",
+                                "qps", "maximum", "fifo", "output-queueing"])
     delay.add_argument("--workload", default="uniform",
                        choices=["uniform", "clientserver", "bursty", "periodic"])
     delay.add_argument("--load", type=float, default=0.9)
@@ -1003,7 +1078,8 @@ def build_parser() -> argparse.ArgumentParser:
     delay.add_argument("--seed", type=int, default=0)
     delay.add_argument("--backend", default="object", choices=["object", "fastpath"],
                        help="object = per-cell CrossbarSwitch; fastpath = "
-                            "count-based vectorized simulator (pim/uniform only)")
+                            "count-based vectorized simulator (uniform workload; "
+                            "pim/pim-inf/islip/lqf/wavefront/qps)")
     delay.add_argument("--trace", metavar="PATH", default=None,
                        help="write per-slot trace events to PATH as JSONL")
     delay.add_argument("--metrics", action="store_true",
@@ -1071,6 +1147,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "count-based vectorized simulator")
     cbr_run.add_argument("--replicas", type=_positive_int, default=1,
                          help="independent replicas (fastpath only, default 1)")
+    cbr_run.add_argument("--scheduler", default="pim",
+                         choices=["pim", "islip", "lqf", "wavefront", "qps"],
+                         help="VBR matching kernel (fastpath only, default pim)")
     cbr_run.add_argument("--trace", metavar="PATH", default=None,
                          help="write per-slot trace events to PATH as JSONL")
     cbr_run.add_argument("--metrics", action="store_true",
@@ -1142,7 +1221,32 @@ def build_parser() -> argparse.ArgumentParser:
                               "batched whole-fabric vectorized simulator")
     network.add_argument("--replicas", type=_positive_int, default=1,
                          help="independent replicas (fastpath only, default 1)")
+    network.add_argument("--scheduler", default="pim",
+                         choices=["pim", "islip", "lqf", "wavefront", "qps"],
+                         help="per-switch matching kernel (fastpath only, "
+                              "default pim)")
     network.set_defaults(func=cmd_network)
+
+    study = sub.add_parser(
+        "sched-study",
+        help="cross-scheduler delay-vs-load study on the fast path, with "
+             "the maximal-matching delay bound checked where it applies",
+    )
+    study.add_argument("--ports", type=int, default=16)
+    study.add_argument("--loads", type=float, nargs="+",
+                       default=[0.3, 0.45, 0.6, 0.75, 0.9])
+    study.add_argument("--slots", type=int, default=2_000)
+    study.add_argument("--replicas", type=_positive_int, default=8)
+    study.add_argument("--iterations", type=_positive_int, default=4,
+                       help="PIM/iSLIP iterations and QPS rounds (default 4)")
+    study.add_argument("--seed", type=int, default=0)
+    study.add_argument("--schedulers", nargs="+", default=list(BATCH_SCHEDULERS),
+                       choices=list(BATCH_SCHEDULERS),
+                       help="kernels to sweep (default: the whole registry)")
+    study.add_argument("--record", action="store_true",
+                       help="append the table to the perf history store "
+                            "(benchmarks/perf/history/sched_study.jsonl)")
+    study.set_defaults(func=cmd_sched_study)
 
     check = sub.add_parser(
         "check",

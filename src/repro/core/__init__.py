@@ -16,28 +16,53 @@ slot.
   "more sophisticated algorithm" the paper argues against,
 - :mod:`repro.core.islip` / :mod:`repro.core.wavefront` -- descendant
   and alternative arbiters, used for the randomness ablations,
+- :mod:`repro.core.lqf` / :mod:`repro.core.qps` -- occupancy-aware
+  extension baselines (longest-queue-first, queue-proportional
+  sampling),
+- :mod:`repro.core.batch` -- the ``BatchScheduler`` protocol and the
+  kernel registry shared by the fast paths, the CLI and the
+  differential checks,
 - :mod:`repro.core.matching` -- matching datatypes and checks.
 """
 
+from repro.core.batch import (
+    BATCH_SCHEDULERS,
+    BatchScheduler,
+    as_request_batch,
+    build_batch_scheduler,
+    build_object_scheduler,
+)
 from repro.core.matching import Matching, greedy_maximal_match, is_maximal
 from repro.core.pim import BatchPIMScheduler, PIMScheduler, pim_match, pim_match_batch
 from repro.core.statistical import StatisticalMatcher
 from repro.core.fifo import FIFOScheduler
-from repro.core.islip import ISLIPScheduler
-from repro.core.wavefront import WavefrontScheduler
+from repro.core.islip import BatchISLIPScheduler, ISLIPScheduler
+from repro.core.wavefront import BatchWavefrontScheduler, WavefrontScheduler
 from repro.core.maximum import MaximumMatchingScheduler, hopcroft_karp
 from repro.core.output_queueing import OutputQueuedSwitch
 from repro.core.windowed_fifo import WindowedFIFOScheduler, WindowedFIFOSwitch
-from repro.core.lqf import LQFScheduler
+from repro.core.lqf import BatchLQFScheduler, LQFScheduler
+from repro.core.qps import BatchQPSScheduler, QPSScheduler, qps_match
 from repro.core.rrm import RRMScheduler
 
 __all__ = [
+    "BATCH_SCHEDULERS",
+    "BatchScheduler",
+    "as_request_batch",
+    "build_batch_scheduler",
+    "build_object_scheduler",
     "BatchPIMScheduler",
+    "BatchISLIPScheduler",
+    "BatchLQFScheduler",
+    "BatchQPSScheduler",
+    "BatchWavefrontScheduler",
     "pim_match_batch",
     "RRMScheduler",
     "WindowedFIFOScheduler",
     "WindowedFIFOSwitch",
     "LQFScheduler",
+    "QPSScheduler",
+    "qps_match",
     "Matching",
     "greedy_maximal_match",
     "is_maximal",

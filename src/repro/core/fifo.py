@@ -20,6 +20,7 @@ from typing import List, Literal, Optional, Tuple
 
 import numpy as np
 
+from repro.core.batch import replay_generator, resolve_generator
 from repro.core.matching import Matching
 
 __all__ = ["FIFOScheduler"]
@@ -44,14 +45,9 @@ class FIFOScheduler:
         if policy not in ("random", "rotating"):
             raise ValueError(f"unknown FIFO policy: {policy!r}")
         self.policy = policy
-        if seed is not None:
-            self._rng = np.random.default_rng(seed)
-        else:
-            # Deterministic fallback (repro.sim.rng default-seed
-            # policy); imported lazily to dodge the sim <-> core cycle.
-            from repro.sim.rng import default_generator
-
-            self._rng = default_generator("fifo")
+        # Deterministic seed=None fallback (repro.sim.rng default-seed
+        # policy); the token lets reset() rewind the stream.
+        self._rng, self._rng_token = resolve_generator(seed, None, "fifo")
         self._priority = 0
 
     def arbitrate(self, head_destinations: np.ndarray) -> Matching:
@@ -80,8 +76,15 @@ class FIFOScheduler:
         return Matching.from_pairs(pairs)
 
     def reset(self) -> None:
-        """Reset the rotating-priority pointer."""
+        """Reset the rotating-priority pointer and rewind the RNG.
+
+        Regression note (reset-contract sweep): this used to reset only
+        ``_priority`` while the random policy's tie-break stream kept
+        advancing across ``reset()``, so a second ``run`` on the same
+        scheduler diverged from the first.
+        """
         self._priority = 0
+        self._rng = replay_generator(self._rng, self._rng_token)
 
     def __repr__(self) -> str:
         return f"FIFOScheduler(policy={self.policy!r})"

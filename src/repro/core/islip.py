@@ -19,9 +19,15 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.batch import BatchScheduler
 from repro.core.matching import Matching, as_request_matrix
 
-__all__ = ["ISLIPScheduler", "islip_match", "validate_pointer_array"]
+__all__ = [
+    "BatchISLIPScheduler",
+    "ISLIPScheduler",
+    "islip_match",
+    "validate_pointer_array",
+]
 
 
 def validate_pointer_array(pointers: np.ndarray, n: int, name: str) -> np.ndarray:
@@ -173,3 +179,116 @@ class ISLIPScheduler:
 
     def __repr__(self) -> str:
         return f"ISLIPScheduler(iterations={self.iterations})"
+
+
+class BatchISLIPScheduler(BatchScheduler):
+    """iSLIP vectorized over B independent switch replicas.
+
+    Implements the :class:`repro.core.batch.BatchScheduler` protocol
+    with per-(replica, port) grant and accept pointer arrays.  The
+    kernel is fully deterministic, so at B = 1 it is pointer-for-
+    pointer and match-for-match identical to
+    :func:`islip_match` driven by :class:`ISLIPScheduler`:
+
+    - **grant**: each output with capacity left picks the requesting
+      input with the smallest offset ``(i - grant_ptr) % N`` -- an
+      argmin over the offset cube with the sentinel N marking inactive
+      entries, exactly the object kernel's first-at/after-pointer scan;
+    - **accept**: each granted input symmetrically picks the smallest
+      ``(j - accept_ptr) % N`` among its grants;
+    - **pointer rule**: pointers advance one past the accepted port,
+      only for pairs accepted in the *first* iteration (the
+      desynchronization rule), matching the object update order because
+      grants never collide within an iteration.
+
+    Parameters
+    ----------
+    replicas, ports:
+        Batch shape B and switch size N.
+    iterations:
+        Request/grant/accept rounds per slot; ``None`` runs each slot
+        to convergence (at most N rounds -- every round with an
+        unresolved request accepts at least one pair).
+    output_capacity:
+        Matches each output may take per slot (k-grant generalization;
+        the object kernel corresponds to k = 1).
+    """
+
+    name = "islip_batch"
+
+    def __init__(
+        self,
+        replicas: int,
+        ports: int,
+        iterations: Optional[int] = 1,
+        output_capacity: int = 1,
+    ):
+        super().__init__(replicas, ports, output_capacity=output_capacity)
+        if iterations is not None and iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {iterations}")
+        self.iterations = iterations
+        self._grant_pointers = np.zeros((replicas, ports), dtype=np.int64)
+        self._accept_pointers = np.zeros((replicas, ports), dtype=np.int64)
+
+    def schedule(
+        self, requests: np.ndarray, occupancy: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Compute one slot's matchings for all replicas.
+
+        ``occupancy`` is ignored (iSLIP is occupancy-blind); accepted
+        for protocol signature uniformity.  Returns the ``(B, N)``
+        match array of the :class:`~repro.core.batch.BatchScheduler`
+        contract.
+        """
+        batch = self._validate_batch(requests)
+        b, n, _ = batch.shape
+        match = np.full((b, n), -1, dtype=np.int64)
+        output_slots = np.full((b, n), self.output_capacity, dtype=np.int64)
+        arange_n = np.arange(n)
+        executed = 0
+        while self.iterations is None or executed < self.iterations:
+            active = (
+                batch & (match < 0)[:, :, None] & (output_slots > 0)[:, None, :]
+            )
+            if not active.any():
+                break
+            executed += 1
+            # Grant: offsets[b, i, j] = (i - grant_ptr[b, j]) % n, with
+            # the sentinel n on inactive entries so argmin always lands
+            # on a genuine request when one exists.
+            g_off = (arange_n[None, :, None] - self._grant_pointers[:, None, :]) % n
+            g_off = np.where(active, g_off, n)
+            grant_input = g_off.argmin(axis=1)          # (B, N) per output
+            has_request = active.any(axis=1)            # (B, N)
+            grants = np.zeros_like(active)
+            bb, jj = np.nonzero(has_request)
+            grants[bb, grant_input[bb, jj], jj] = True
+            # Accept: symmetric argmin over (j - accept_ptr[b, i]) % n.
+            a_off = (arange_n[None, None, :] - self._accept_pointers[:, :, None]) % n
+            a_off = np.where(grants, a_off, n)
+            accept_output = a_off.argmin(axis=2)        # (B, N) per input
+            has_grant = grants.any(axis=2)              # (B, N)
+            bb, ii = np.nonzero(has_grant)
+            jj = accept_output[bb, ii]
+            match[bb, ii] = jj
+            # Each output grants at most once per iteration, so (bb, jj)
+            # never repeats within a round: plain fancy indexing is safe.
+            output_slots[bb, jj] -= 1
+            if executed == 1:
+                self._grant_pointers[bb, jj] = (ii + 1) % n
+                self._accept_pointers[bb, ii] = (jj + 1) % n
+        if self._probe is not None:
+            self._probe.slot_iterations(executed)
+        return match
+
+    def reset(self) -> None:
+        """Return all pointers to zero (no RNG: iSLIP is deterministic)."""
+        self._grant_pointers = np.zeros((self.replicas, self.ports), dtype=np.int64)
+        self._accept_pointers = np.zeros((self.replicas, self.ports), dtype=np.int64)
+
+    def __repr__(self) -> str:
+        its = "inf" if self.iterations is None else self.iterations
+        return (
+            f"BatchISLIPScheduler(replicas={self.replicas}, "
+            f"ports={self.ports}, iterations={its})"
+        )

@@ -21,9 +21,10 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.batch import BatchScheduler, replay_generator, resolve_generator
 from repro.core.matching import Matching, as_request_matrix
 
-__all__ = ["LQFScheduler", "lqf_match"]
+__all__ = ["BatchLQFScheduler", "LQFScheduler", "lqf_match"]
 
 
 def lqf_match(occupancy: np.ndarray, rng: np.random.Generator) -> Matching:
@@ -66,15 +67,10 @@ class LQFScheduler:
     name = "lqf"
     needs_occupancy = True
 
-    def __init__(self, seed: Optional[int] = None):
-        if seed is not None:
-            self._rng = np.random.default_rng(seed)
-        else:
-            # Deterministic fallback (repro.sim.rng default-seed
-            # policy); imported lazily to dodge the sim <-> core cycle.
-            from repro.sim.rng import default_generator
-
-            self._rng = default_generator("lqf")
+    def __init__(self, seed: Optional[int] = None, rng=None):
+        # Deterministic seed=None fallback (repro.sim.rng default-seed
+        # policy); the token lets reset() rewind the stream.
+        self._rng, self._rng_token = resolve_generator(seed, rng, "lqf")
 
     def schedule(self, requests: np.ndarray, occupancy: Optional[np.ndarray] = None) -> Matching:
         """Return this slot's matching from the occupancy matrix."""
@@ -84,4 +80,99 @@ class LQFScheduler:
         return lqf_match(occupancy, self._rng)
 
     def reset(self) -> None:
-        """No cross-slot state."""
+        """Rewind the tie-break RNG to its as-constructed state.
+
+        Regression note: this used to be a no-op on the grounds of "no
+        cross-slot state", but the tie-break stream *is* cross-slot
+        state -- it kept advancing across ``reset()``, so a rerun of
+        the same scheduler (``CrossbarSwitch.run`` resets at the top)
+        diverged from the first run, violating the reset/rerun
+        contract of PRs 4-5.
+        """
+        self._rng = replay_generator(self._rng, self._rng_token)
+
+    def __repr__(self) -> str:
+        return "LQFScheduler()"
+
+
+class BatchLQFScheduler(BatchScheduler):
+    """Longest-queue-first vectorized over B independent replicas.
+
+    Implements the :class:`repro.core.batch.BatchScheduler` protocol.
+    Instead of the object kernel's flat sort + sequential greedy scan,
+    the batch kernel repeatedly selects every **locally dominant**
+    entry -- an active entry whose key is the maximum of both its row
+    and its column among the still-active entries -- and retires the
+    involved rows/columns.  For distinct keys (an almost-sure event:
+    keys are ``occupancy + Uniform[0, 1)``) this computes exactly the
+    same matching as descending-key sequential greedy, because the
+    globally largest remaining key is always locally dominant and
+    greedy decisions commute when they share no row or column.  At
+    most N rounds run (each round matches at least one entry per
+    replica that still has active entries).
+
+    **B = 1 draw parity**: the tie-break uniforms are drawn as one
+    ``(B, N, N)`` block per slot over the *full* matrix -- the same
+    element count as :func:`lqf_match`'s ``rng.random(matrix.shape)``
+    -- so with a shared seed the batch kernel at B = 1 consumes the
+    stream identically and returns the identical matching.
+
+    ``needs_occupancy``: the fast paths pass queue-depth counts along
+    with the request mask; entries outside the mask get zero weight
+    (and are never matched), which is what keeps the CBR gap-fill and
+    blocked-output maskings correct.
+    """
+
+    name = "lqf_batch"
+    needs_occupancy = True
+
+    def __init__(
+        self,
+        replicas: int,
+        ports: int,
+        seed: Optional[int] = None,
+        rng=None,
+        output_capacity: int = 1,
+    ):
+        super().__init__(replicas, ports, output_capacity=output_capacity)
+        self._rng, self._rng_token = resolve_generator(seed, rng, "lqf")
+
+    def schedule(
+        self, requests: np.ndarray, occupancy: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Compute one slot's matchings for all replicas."""
+        batch = self._validate_batch(requests)
+        b, n, _ = batch.shape
+        occ = self._occupancy_counts(batch, occupancy)
+        keys = occ.astype(np.float64) + self._rng.random(batch.shape)
+        match = np.full((b, n), -1, dtype=np.int64)
+        col_slots = np.full((b, n), self.output_capacity, dtype=np.int64)
+        # Active keys carry occupancy >= 1 so they are always >= 1;
+        # -1.0 is a safe "retired" sentinel.
+        masked = np.where(batch & (occ > 0), keys, -1.0)
+        for _ in range(n):
+            row_best = masked.max(axis=2)               # (B, N)
+            col_best = masked.max(axis=1)               # (B, N)
+            sel = (
+                (masked >= 0.0)
+                & (masked == row_best[:, :, None])
+                & (masked == col_best[:, None, :])
+            )
+            if not sel.any():
+                break
+            bb, ii, jj = np.nonzero(sel)
+            match[bb, ii] = jj
+            col_slots[bb, jj] -= 1
+            masked[bb, ii, :] = -1.0                    # inputs match once
+            exhausted = col_slots[bb, jj] == 0
+            masked[bb[exhausted], :, jj[exhausted]] = -1.0
+        return match
+
+    def reset(self) -> None:
+        """Rewind the tie-break RNG to its as-constructed state."""
+        self._rng = replay_generator(self._rng, self._rng_token)
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchLQFScheduler(replicas={self.replicas}, ports={self.ports})"
+        )

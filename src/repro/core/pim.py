@@ -40,18 +40,13 @@ from typing import List, Literal, Optional, Tuple
 
 import numpy as np
 
+from repro.core.batch import (
+    BatchScheduler,
+    as_request_batch,
+    replay_generator,
+    resolve_generator,
+)
 from repro.core.matching import Matching, as_request_matrix
-
-
-def _default_generator(component: str):
-    """Deterministic ``seed=None`` fallback (repro.sim.rng policy).
-
-    Imported lazily: ``repro.sim``'s package init pulls in the
-    fast-path simulator, which imports this module back.
-    """
-    from repro.sim.rng import default_generator
-
-    return default_generator(component)
 
 __all__ = [
     "PIMResult",
@@ -324,15 +319,12 @@ def pim_match(
     return PIMResult(matching, tuple(sizes), completed, tuple(traces), executed)
 
 
-def _as_request_batch(requests: np.ndarray) -> np.ndarray:
-    """Validate and normalize a (B, N, N) boolean request batch."""
-    batch = np.asarray(requests).astype(bool)
-    if batch.ndim != 3 or batch.shape[1] != batch.shape[2]:
-        raise ValueError(f"expected (B, N, N) requests, got shape {batch.shape}")
-    return batch
+# Backwards-compatible alias; the canonical validator lives with the
+# BatchScheduler protocol in repro.core.batch.
+_as_request_batch = as_request_batch
 
 
-class BatchPIMScheduler:
+class BatchPIMScheduler(BatchScheduler):
     """Stateful PIM vectorized over B independent switch replicas.
 
     Runs the request/grant/accept rounds of Section 3.1 simultaneously
@@ -399,29 +391,16 @@ class BatchPIMScheduler:
         rng=None,
         track_sizes: bool = True,
     ):
-        if replicas < 1:
-            raise ValueError(f"replicas must be >= 1, got {replicas}")
-        if ports < 1:
-            raise ValueError(f"ports must be >= 1, got {ports}")
-        if output_capacity < 1:
-            raise ValueError(f"output_capacity must be >= 1, got {output_capacity}")
+        super().__init__(replicas, ports, output_capacity=output_capacity)
         if iterations is not None and iterations < 1:
             raise ValueError(f"iterations must be >= 1, got {iterations}")
         if accept not in ("random", "round_robin"):
             raise ValueError(f"unknown accept policy: {accept!r}")
-        self.replicas = replicas
-        self.ports = ports
         self.iterations = iterations
         self.accept = accept
-        self.output_capacity = output_capacity
-        if rng is not None:
-            self._rng = rng
-        elif seed is not None:
-            self._rng = np.random.default_rng(seed)
-        else:
-            # Deterministic fallback (see repro.sim.rng default-seed
-            # policy): identical configs must be replayable.
-            self._rng = _default_generator("pim_batch")
+        # Deterministic seed=None fallback (repro.sim.rng default-seed
+        # policy): identical configs must be replayable.
+        self._rng, self._rng_token = resolve_generator(seed, rng, "pim_batch")
         self._pointers = np.zeros((replicas, ports), dtype=np.int64)
         self.track_sizes = track_sizes
         #: (B, K) cumulative matching sizes of the last schedule() call
@@ -445,13 +424,19 @@ class BatchPIMScheduler:
         """
         self._probe = probe
 
-    def schedule(self, requests: np.ndarray) -> np.ndarray:
+    def schedule(
+        self, requests: np.ndarray, occupancy: Optional[np.ndarray] = None
+    ) -> np.ndarray:
         """Compute one slot's matchings for all replicas.
 
         Parameters
         ----------
         requests:
             (B, N, N) boolean request batch.
+        occupancy:
+            Ignored (PIM is occupancy-blind); accepted for
+            :class:`repro.core.batch.BatchScheduler` signature
+            uniformity.
 
         Returns
         -------
@@ -460,13 +445,8 @@ class BatchPIMScheduler:
         matched pair is backed by a request; no input exceeds one
         match and no output exceeds ``output_capacity``.
         """
-        batch = _as_request_batch(requests)
+        batch = self._validate_batch(requests)
         b, n, _ = batch.shape
-        if (b, n) != (self.replicas, self.ports):
-            raise ValueError(
-                f"expected ({self.replicas}, {self.ports}, {self.ports}) "
-                f"requests, got {batch.shape}"
-            )
         match = np.full((b, n), -1, dtype=np.int64)
         output_slots = np.full((b, n), self.output_capacity, dtype=np.int64)
         cumulative: List[np.ndarray] = []
@@ -537,8 +517,15 @@ class BatchPIMScheduler:
         return match
 
     def reset(self) -> None:
-        """Clear cross-slot state (round-robin pointers, diagnostics)."""
+        """Restore all cross-slot state (pointers, RNG, diagnostics).
+
+        The RNG stream rewinds to its as-constructed state (when it can
+        be snapshotted -- see
+        :func:`repro.core.batch.resolve_generator`), so a rerun of the
+        same scheduler replays the first run draw for draw.
+        """
         self._pointers = np.zeros((self.replicas, self.ports), dtype=np.int64)
+        self._rng = replay_generator(self._rng, self._rng_token)
         self.last_cumulative_sizes = None
         self.last_completed = None
 
@@ -636,14 +623,9 @@ class PIMScheduler:
         # ``rng`` lets callers substitute a hardware-grade randomness
         # source (e.g. repro.hardware.random_select.lfsr_pim_rng) for
         # the Section 3.3 randomness-approximation ablation; it only
-        # needs a numpy-compatible ``random(shape)``.
-        if rng is not None:
-            self._rng = rng
-        elif seed is not None:
-            self._rng = np.random.default_rng(seed)
-        else:
-            # Deterministic fallback (repro.sim.rng default-seed policy).
-            self._rng = _default_generator("pim")
+        # needs a numpy-compatible ``random(shape)``.  seed=None falls
+        # back to the repro.sim.rng default-seed policy.
+        self._rng, self._rng_token = resolve_generator(seed, rng, "pim")
         self._pointers: Optional[np.ndarray] = None
         self.last_result: Optional[PIMResult] = None
         self._probe = None
@@ -696,8 +678,19 @@ class PIMScheduler:
         return result.matching
 
     def reset(self) -> None:
-        """Clear cross-slot state (round-robin pointers)."""
+        """Restore all cross-slot state (pointers and the RNG stream).
+
+        Regression note: ``reset()`` used to clear only the round-robin
+        pointers while the grant/accept stream kept advancing, so a
+        rerun of the same scheduler diverged from the first run --
+        violating the reset/rerun contract
+        :class:`repro.core.statistical.StatisticalMatcher` documents.
+        The stream now rewinds to its as-constructed state (injected
+        non-numpy sources, which cannot be snapshotted, are left
+        untouched; the caller owns replay for those).
+        """
         self._pointers = None
+        self._rng = replay_generator(self._rng, self._rng_token)
         self.last_result = None
 
     def __repr__(self) -> str:

@@ -1,0 +1,287 @@
+"""QPS-r: queue-proportional sampling with round-robin accept.
+
+Gong, Xu, Liu and Maguluri's QPS-r (arxiv 1905.05392, named in
+PAPERS.md as a direct descendant of this paper's scheduling problem)
+replaces PIM's uniform request broadcast with *one* queue-proportional
+sample per input per round:
+
+1. **Propose.**  Every still-unmatched input with queued cells toward
+   a still-available output samples exactly one such output, with
+   probability proportional to the VOQ occupancy (longer queues
+   propose more often -- the "queue-proportional sampling" that gives
+   the algorithm its throughput guarantees with r = 1 round).
+2. **Accept.**  Every proposed-to output accepts the first proposing
+   input at/after its round-robin pointer and advances the pointer one
+   past the accepted input (the starvation-freedom device this paper
+   prescribes for accept choices in Section 3.4).
+
+r rounds run per slot (``rounds``); unmatched inputs re-sample among
+the outputs still free.  Unlike PIM/iSLIP a round costs each input one
+sample instead of a broadcast, and unlike LQF no global sort is
+needed; the price is that the matching is not maximal in general (an
+input's single sample can land on an output that rejects it while
+another free output goes idle), so
+:func:`repro.check.invariants._maximality_guaranteed` does not claim
+maximality for it.
+
+Both implementations -- the object :class:`QPSScheduler` and the
+batched :class:`BatchQPSScheduler` -- drive the *same* ``(B, N, N)``
+kernel (:func:`_qps_rounds`), the object one at B = 1.  The sampling
+uniforms are drawn as one ``(B, N)`` block per round for **all**
+inputs, proposers or not, so the random-stream consumption is a pure
+function of (N, rounds); with a shared seed the two are bit-identical,
+which is what the slot-exact differential parity checks rely on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.batch import BatchScheduler, replay_generator, resolve_generator
+from repro.core.matching import Matching, as_request_matrix
+
+__all__ = ["BatchQPSScheduler", "QPSScheduler", "qps_match"]
+
+
+def _qps_rounds(
+    requests: np.ndarray,
+    occupancy: np.ndarray,
+    rng,
+    accept_pointers: np.ndarray,
+    rounds: int,
+    output_capacity: int,
+) -> Tuple[np.ndarray, int]:
+    """The shared QPS-r kernel over a (B, N, N) batch.
+
+    ``accept_pointers`` is (B, N) int64 and mutated in place (the
+    round-robin accept state).  Returns ``(match, proposal_rounds)``
+    where ``match`` is the (B, N) match array and ``proposal_rounds``
+    counts rounds in which at least one input proposed.
+
+    One ``(B, N)`` uniform block is drawn per round regardless of who
+    can propose -- see the module docstring's stream-parity convention.
+    """
+    b, n, _ = requests.shape
+    match = np.full((b, n), -1, dtype=np.int64)
+    output_slots = np.full((b, n), output_capacity, dtype=np.int64)
+    arange_n = np.arange(n)
+    proposal_rounds = 0
+    for _ in range(rounds):
+        u = rng.random((b, n))
+        avail = (
+            requests
+            & (occupancy > 0)
+            & (match < 0)[:, :, None]
+            & (output_slots > 0)[:, None, :]
+        )
+        weights = np.where(avail, occupancy, 0)
+        cum = np.cumsum(weights, axis=2)
+        totals = cum[:, :, -1]
+        proposers = totals > 0
+        if not proposers.any():
+            continue
+        proposal_rounds += 1
+        # Inverse-CDF sample: the first column whose cumulative weight
+        # exceeds u * total.  That column always has positive weight
+        # (a zero-weight column shares its cumulative value with its
+        # predecessor, so it can never be the first to exceed).
+        targets = u * totals
+        choice = (cum > targets[:, :, None]).argmax(axis=2)  # (B, N)
+        proposals = np.zeros((b, n, n), dtype=bool)
+        bb, ii = np.nonzero(proposers)
+        proposals[bb, ii, choice[bb, ii]] = True
+        # Accept: first proposer at/after the output's pointer (offset
+        # argmin with the sentinel n on non-proposing entries).
+        offsets = (arange_n[None, :, None] - accept_pointers[:, None, :]) % n
+        offsets = np.where(proposals, offsets, n)
+        winner = offsets.argmin(axis=1)                 # (B, N) per output
+        has_proposal = proposals.any(axis=1)            # (B, N)
+        bb, jj = np.nonzero(has_proposal)
+        ii = winner[bb, jj]
+        match[bb, ii] = jj
+        output_slots[bb, jj] -= 1
+        accept_pointers[bb, jj] = (ii + 1) % n
+    return match, proposal_rounds
+
+
+def qps_match(
+    occupancy: np.ndarray,
+    rng,
+    rounds: int = 1,
+    accept_pointers: Optional[np.ndarray] = None,
+) -> Matching:
+    """One slot of QPS-r on a single occupancy matrix.
+
+    ``occupancy[i, j]`` is the number of queued cells for (i, j);
+    sampling weight is the occupancy itself.  ``accept_pointers``
+    (shape ``(N,)`` int64) is mutated in place when given, so a
+    stateful caller carries the round-robin accept state across slots;
+    fresh zeros are used otherwise.
+    """
+    matrix = np.asarray(occupancy)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"occupancy must be square, got shape {matrix.shape}")
+    if (matrix < 0).any():
+        raise ValueError("occupancy must be non-negative")
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    n = matrix.shape[0]
+    if accept_pointers is None:
+        pointers = np.zeros((1, n), dtype=np.int64)
+    else:
+        if accept_pointers.shape != (n,) or accept_pointers.dtype != np.int64:
+            raise ValueError(
+                f"accept_pointers must be int64 of shape ({n},), got "
+                f"{accept_pointers.dtype} {accept_pointers.shape}"
+            )
+        pointers = accept_pointers[None, :]  # view: in-place mutation flows back
+    occ = matrix.astype(np.int64)
+    match, _ = _qps_rounds(
+        (occ > 0)[None, :, :], occ[None, :, :], rng, pointers, rounds, 1
+    )
+    pairs: List[Tuple[int, int]] = [
+        (i, int(j)) for i, j in enumerate(match[0]) if j >= 0
+    ]
+    return Matching.from_pairs(pairs)
+
+
+class QPSScheduler:
+    """Stateful QPS-r scheduler for :class:`CrossbarSwitch`.
+
+    ``needs_occupancy`` is set so the switch passes queue depths (the
+    sampling weights).  The accept pointers are sized by the first
+    request matrix seen; a mid-run size change raises ``ValueError``
+    like iSLIP/RRM/wavefront (call :meth:`reset` when intended).
+
+    Parameters
+    ----------
+    rounds:
+        Propose/accept rounds r per slot (the paper's r; r = 1 already
+        carries QPS-r's throughput guarantees).  ``None`` runs N
+        rounds per slot.
+    seed / rng:
+        Private sampling stream (``rng`` wins when both given);
+        ``seed=None`` falls back to the deterministic per-component
+        stream of the :mod:`repro.sim.rng` default-seed policy.
+    """
+
+    name = "qps"
+    needs_occupancy = True
+
+    def __init__(
+        self, rounds: Optional[int] = 1, seed: Optional[int] = None, rng=None
+    ):
+        if rounds is not None and rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {rounds}")
+        self.rounds = rounds
+        self._rng, self._rng_token = resolve_generator(seed, rng, "qps")
+        self._pointers: Optional[np.ndarray] = None
+        self._probe = None
+
+    def attach_probe(self, probe) -> None:
+        """Attach a :class:`repro.obs.probe.Probe` (None detaches)."""
+        self._probe = probe
+
+    def schedule(
+        self, requests: np.ndarray, occupancy: Optional[np.ndarray] = None
+    ) -> Matching:
+        """Return this slot's matching from the occupancy matrix."""
+        matrix = as_request_matrix(requests)
+        n = matrix.shape[0]
+        if occupancy is None:
+            occ = matrix.astype(np.int64)
+        else:
+            occ = np.asarray(occupancy)
+            if occ.shape != matrix.shape:
+                raise ValueError(
+                    f"occupancy shape {occ.shape} does not match requests "
+                    f"{matrix.shape}"
+                )
+            if (occ < 0).any():
+                raise ValueError("occupancy must be non-negative")
+            occ = np.where(matrix, occ.astype(np.int64), 0)
+        if self._pointers is None:
+            self._pointers = np.zeros((1, n), dtype=np.int64)
+        elif self._pointers.shape[1] != n:
+            raise ValueError(
+                f"request matrix is {n}x{n} but pointers were sized for "
+                f"{self._pointers.shape[1]} ports; a mid-run size change "
+                f"would silently reset QPS-r's accept pointers -- call "
+                f"reset() first if the change is intended"
+            )
+        rounds = self.rounds if self.rounds is not None else n
+        match, executed = _qps_rounds(
+            matrix[None, :, :], occ[None, :, :], self._rng, self._pointers,
+            rounds, 1,
+        )
+        if self._probe is not None:
+            self._probe.slot_iterations(executed)
+        pairs = [(i, int(j)) for i, j in enumerate(match[0]) if j >= 0]
+        return Matching.from_pairs(pairs)
+
+    def reset(self) -> None:
+        """Restore pointers and rewind the sampling stream."""
+        self._pointers = None
+        self._rng = replay_generator(self._rng, self._rng_token)
+
+    def __repr__(self) -> str:
+        r = "N" if self.rounds is None else self.rounds
+        return f"QPSScheduler(rounds={r})"
+
+
+class BatchQPSScheduler(BatchScheduler):
+    """QPS-r vectorized over B independent switch replicas.
+
+    Implements the :class:`repro.core.batch.BatchScheduler` protocol
+    with per-(replica, output) accept pointers; drives the same
+    :func:`_qps_rounds` kernel as :class:`QPSScheduler`, so B = 1 with
+    a shared seed is bit-identical to the object scheduler (see the
+    module docstring's stream-parity convention).
+    """
+
+    name = "qps_batch"
+    needs_occupancy = True
+
+    def __init__(
+        self,
+        replicas: int,
+        ports: int,
+        rounds: Optional[int] = 1,
+        seed: Optional[int] = None,
+        rng=None,
+        output_capacity: int = 1,
+    ):
+        super().__init__(replicas, ports, output_capacity=output_capacity)
+        if rounds is not None and rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {rounds}")
+        self.rounds = rounds
+        self._rng, self._rng_token = resolve_generator(seed, rng, "qps")
+        self._pointers = np.zeros((replicas, ports), dtype=np.int64)
+
+    def schedule(
+        self, requests: np.ndarray, occupancy: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Compute one slot's matchings for all replicas."""
+        batch = self._validate_batch(requests)
+        occ = self._occupancy_counts(batch, occupancy)
+        rounds = self.rounds if self.rounds is not None else self.ports
+        match, executed = _qps_rounds(
+            batch, occ, self._rng, self._pointers, rounds, self.output_capacity
+        )
+        if self._probe is not None:
+            self._probe.slot_iterations(executed)
+        return match
+
+    def reset(self) -> None:
+        """Restore pointers and rewind the sampling stream."""
+        self._pointers = np.zeros((self.replicas, self.ports), dtype=np.int64)
+        self._rng = replay_generator(self._rng, self._rng_token)
+
+    def __repr__(self) -> str:
+        r = "N" if self.rounds is None else self.rounds
+        return (
+            f"BatchQPSScheduler(replicas={self.replicas}, "
+            f"ports={self.ports}, rounds={r})"
+        )

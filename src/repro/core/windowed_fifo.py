@@ -23,6 +23,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.batch import replay_generator, resolve_generator
 from repro.sim.stats import DelayStats, ThroughputCounter
 from repro.switch.buffers import FIFOInputBuffer
 from repro.switch.cell import Cell
@@ -59,14 +60,9 @@ class WindowedFIFOScheduler:
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
         self.window = window
-        if seed is not None:
-            self._rng = np.random.default_rng(seed)
-        else:
-            # Deterministic fallback (repro.sim.rng default-seed
-            # policy); imported lazily to dodge the sim <-> core cycle.
-            from repro.sim.rng import default_generator
-
-            self._rng = default_generator("windowed_fifo")
+        # Deterministic seed=None fallback (repro.sim.rng default-seed
+        # policy); the token lets reset() rewind the stream.
+        self._rng, self._rng_token = resolve_generator(seed, None, "windowed_fifo")
 
     def arbitrate(self, windows: Sequence[Sequence[int]]) -> List[Tuple[int, int, int]]:
         """Match inputs to outputs over the window.
@@ -97,7 +93,14 @@ class WindowedFIFOScheduler:
         return winners
 
     def reset(self) -> None:
-        """No cross-slot state."""
+        """Rewind the tie-break RNG to its as-constructed state.
+
+        Regression note (reset-contract sweep): this used to be a no-op
+        "no cross-slot state" stub, but the tie-break stream kept
+        advancing across ``reset()``, so a second ``run`` on the same
+        scheduler diverged from the first.
+        """
+        self._rng = replay_generator(self._rng, self._rng_token)
 
 
 class WindowedFIFOSwitch:

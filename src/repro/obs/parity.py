@@ -140,6 +140,7 @@ def diff_backends(
     fast_match_seed: int = 2,
     accept: str = "random",
     output_capacity: int = 1,
+    scheduler: str = "pim",
     object_scheduler=None,
     phase_timer=None,
 ) -> ParityReport:
@@ -154,12 +155,17 @@ def diff_backends(
     The full fast-path configuration space is exposed: ``iterations``
     (including ``None`` = run to convergence), the ``accept`` policy,
     and ``output_capacity`` (the object switch then runs with a
-    matching ``speedup``).  ``object_scheduler`` substitutes an
+    matching ``speedup``).  ``scheduler`` picks the fast path's batched
+    kernel by registry name; ``object_scheduler`` substitutes an
     arbitrary scheduler on the object side -- the totals invariant
     only needs both switches to be lossless and drained, so any
     work-conserving scheduler must still carry exactly what was
-    offered; this is how the differential harness checks non-PIM
-    schedulers against the fast path's PIM reference.
+    offered.  When the object scheduler is the seed-matched twin of
+    the fast path's kernel (``build_object_scheduler`` with
+    ``seed=derive_seed(fast_match_seed, "fastpath/<name>")``), the B=1
+    parity convention makes the matched counts agree on *every* slot,
+    and callers can demand ``first_match_divergence is None`` on top
+    of ``ok``.
 
     ``phase_timer``, when given an enabled
     :class:`repro.obs.perf.PhaseTimer`, wraps the two runs in
@@ -213,6 +219,7 @@ def diff_backends(
             iterations=iterations,
             accept=accept,
             output_capacity=output_capacity,
+            scheduler=scheduler,
             seed=fast_match_seed,
             arrival_seeds=[traffic_seed],
             drain_slots=drain_slots,

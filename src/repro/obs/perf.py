@@ -37,7 +37,9 @@ run         root span; its self-time is loop bookkeeping
 run/compile one-time table/scheduler/plan construction
 run/arrivals per-slot traffic generation (or host injection)
 run/delivery per-slot link deliveries landing (network backends)
-run/kernel  the scheduler kernel: PIM / lottery / per-switch match
+run/kernel  the scheduler kernel: any registry BatchScheduler
+            (pim/islip/lqf/wavefront/qps), the statistical lottery,
+            or the per-switch network match
 run/update  per-slot counter + statistics updates
 ========== =====================================================
 """

@@ -11,7 +11,8 @@ but slow.  This module trades cell identity for speed:
 - arrivals are Bernoulli/uniform, generated vectorized per slot from
   :class:`repro.sim.rng.RandomStreams`-derived streams;
 - all B matchings per slot come from one stateful
-  :class:`repro.core.pim.BatchPIMScheduler` call.
+  :class:`repro.core.batch.BatchScheduler` kernel call (any registry
+  scheduler -- PIM by default).
 
 What it cannot model: per-cell flow ids, per-flow FIFO order checking,
 per-cell delay histograms/percentiles, or trace-driven workloads --
@@ -40,7 +41,8 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.pim import AN2_ITERATIONS, AcceptPolicy, BatchPIMScheduler
+from repro.core.batch import BatchScheduler, build_batch_scheduler
+from repro.core.pim import AN2_ITERATIONS, AcceptPolicy
 from repro.obs.perf import NULL_PHASE_TIMER
 from repro.sim.rng import RandomStreams
 
@@ -188,7 +190,7 @@ class FastpathCrossbar:
     negative, and per replica ``arrivals - departures == backlog``.
     """
 
-    def __init__(self, ports: int, replicas: int, scheduler: BatchPIMScheduler):
+    def __init__(self, ports: int, replicas: int, scheduler: BatchScheduler):
         if ports <= 0:
             raise ValueError(f"ports must be positive, got {ports}")
         if replicas <= 0:
@@ -225,7 +227,11 @@ class FastpathCrossbar:
             if check and (np.asarray(arrivals) < 0).any():
                 raise ValueError("negative arrival counts")
             self.occupancy += arrivals
-        match = self.scheduler.schedule(self.occupancy > 0)
+        requests = self.occupancy > 0
+        if getattr(self.scheduler, "needs_occupancy", False):
+            match = self.scheduler.schedule(requests, self.occupancy)
+        else:
+            match = self.scheduler.schedule(requests)
         bb, ii = np.nonzero(match >= 0)
         jj = match[bb, ii]
         if check and (self.occupancy[bb, ii, jj] <= 0).any():
@@ -318,6 +324,7 @@ def run_fastpath(
     iterations: Optional[int] = AN2_ITERATIONS,
     accept: AcceptPolicy = "random",
     output_capacity: int = 1,
+    scheduler: str = "pim",
     seed: int = 0,
     arrival_seeds: Optional[Sequence[Optional[int]]] = None,
     drain_slots: int = 0,
@@ -341,11 +348,18 @@ def run_fastpath(
         Events in slots < warmup are excluded from every counter,
         matching the object backend's transient elimination.
     iterations, accept, output_capacity:
-        PIM configuration, as :class:`repro.core.pim.BatchPIMScheduler`.
+        Kernel configuration, as
+        :func:`repro.core.batch.build_batch_scheduler` (``accept`` is
+        PIM-only; ``iterations`` maps to each kernel's per-slot round
+        budget).
+    scheduler:
+        Batched kernel registry name (``repro.core.BATCH_SCHEDULERS``:
+        "pim", "islip", "lqf", "wavefront", "qps").  Occupancy-aware
+        kernels automatically receive the VOQ depth counts.
     seed:
         Root seed; arrival and matching streams are derived via
         :class:`repro.sim.rng.RandomStreams` ("fastpath/arrivals",
-        "fastpath/pim").
+        "fastpath/<scheduler>").
     arrival_seeds:
         When given (length B), replica b's arrivals replicate
         ``UniformTraffic(ports, load, seed=arrival_seeds[b])`` draw for
@@ -417,16 +431,17 @@ def run_fastpath(
     with timer.phase("run"):
         with timer.phase("compile"):
             streams = RandomStreams(seed)
-            scheduler = BatchPIMScheduler(
+            kernel = build_batch_scheduler(
+                scheduler,
                 replicas=replicas,
                 ports=ports,
                 iterations=iterations,
                 accept=accept,
                 output_capacity=output_capacity,
-                rng=streams.get("fastpath/pim"),
+                rng=streams.get(f"fastpath/{scheduler}"),
                 track_sizes=False,
             )
-            switch = FastpathCrossbar(ports, replicas, scheduler)
+            switch = FastpathCrossbar(ports, replicas, kernel)
             if arrival_seeds is not None:
                 if len(arrival_seeds) != replicas:
                     raise ValueError(
@@ -447,7 +462,7 @@ def run_fastpath(
                         f"trace_stride must be >= 1, got {trace_stride}"
                     )
                 probe.stride = trace_stride
-            scheduler.attach_probe(probe)
+            kernel.attach_probe(probe)
 
         offered = np.zeros(replicas, dtype=np.int64)
         carried = np.zeros(replicas, dtype=np.int64)

@@ -16,8 +16,8 @@ recipe as :mod:`repro.sim.fastpath`:
   design ("VBR cells use a different set of buffers");
 - per slot, the CBR claim is a batched gather (reserved pairs with a
   queued CBR cell depart; the rest are donated), then one masked
-  :class:`repro.core.pim.BatchPIMScheduler` call fills the leftover
-  ports with VBR.
+  :class:`repro.core.batch.BatchScheduler` kernel call (any registry
+  scheduler -- PIM by default) fills the leftover ports with VBR.
 
 Per-class mean delay is recovered by Little's law exactly as in
 :mod:`repro.sim.fastpath`: the pools are disjoint, so each class's
@@ -54,7 +54,8 @@ from repro.cbr.integrated import (
     resolve_cbr_buffer_bound,
 )
 from repro.cbr.reservations import ReservationTable
-from repro.core.pim import AN2_ITERATIONS, AcceptPolicy, BatchPIMScheduler
+from repro.core.batch import BatchScheduler, build_batch_scheduler
+from repro.core.pim import AN2_ITERATIONS, AcceptPolicy
 from repro.obs.perf import NULL_PHASE_TIMER
 from repro.sim.fastpath import _BatchedArrivals, _ObjectCompatArrivals
 from repro.sim.rng import RandomStreams
@@ -132,8 +133,9 @@ class IntegratedFastpath:
     reserved:
         Compiled ``(F, N)`` claim table (:func:`compile_frame_schedule`).
     scheduler:
-        A ``replicas x ports`` :class:`BatchPIMScheduler` for the VBR
-        gap fill.
+        A ``replicas x ports`` :class:`repro.core.batch.BatchScheduler`
+        kernel for the VBR gap fill (any registry kernel works; the
+        claim-phase mask keeps it off reserved inputs/outputs).
     cbr_buffer_bound:
         Optional per-input ``(N,)`` bound vector (already resolved);
         ``None`` disables enforcement.
@@ -145,7 +147,7 @@ class IntegratedFastpath:
         replicas: int,
         frame_slots: int,
         reserved: np.ndarray,
-        scheduler: BatchPIMScheduler,
+        scheduler: BatchScheduler,
         cbr_buffer_bound: Optional[np.ndarray] = None,
     ):
         if ports <= 0:
@@ -248,7 +250,12 @@ class IntegratedFastpath:
         if bb_c.size:
             requests[bb_c, ii_c, :] = False
             requests[bb_c, :, jj_c] = False
-        match = self.scheduler.schedule(requests)
+        if getattr(self.scheduler, "needs_occupancy", False):
+            match = self.scheduler.schedule(
+                requests, np.where(requests, self.vbr, 0)
+            )
+        else:
+            match = self.scheduler.schedule(requests)
         bb_v, ii_v = np.nonzero(match >= 0)
         jj_v = match[bb_v, ii_v]
         if check:
@@ -442,6 +449,7 @@ def run_fastpath_cbr(
     warmup_mode: str = "slot",
     iterations: Optional[int] = AN2_ITERATIONS,
     accept: AcceptPolicy = "random",
+    scheduler: str = "pim",
     seed: int = 0,
     match_seed: Optional[int] = None,
     vbr_arrival_seeds: Optional[Sequence[Optional[int]]] = None,
@@ -471,13 +479,17 @@ def run_fastpath_cbr(
     trace_stride:
         As :func:`repro.sim.fastpath.run_fastpath`; ``warmup_mode=
         "arrival"`` tracks legacy cells per class pool.
+    scheduler:
+        Batched kernel registry name for the VBR gap fill
+        (``repro.core.BATCH_SCHEDULERS``); occupancy-aware kernels see
+        the VBR queue depths masked to the unreserved ports.
     seed:
         Root seed; VBR arrival and matching streams derive from it
-        ("cbr-fastpath/vbr-arrivals", "cbr-fastpath/pim").
+        ("cbr-fastpath/vbr-arrivals", "cbr-fastpath/<scheduler>").
     match_seed:
-        When given, seeds the VBR ``BatchPIMScheduler`` directly
-        instead of deriving from ``seed`` -- pass the object backend's
-        ``PIMScheduler`` seed for seed-for-seed parity at B=1.
+        When given, seeds the VBR kernel directly instead of deriving
+        from ``seed`` -- pass the object backend's scheduler seed for
+        seed-for-seed parity at B=1.
     vbr_arrival_seeds:
         When given (length B), replica b's VBR arrivals replicate
         ``UniformTraffic(ports, vbr_load, seed=...)`` draw for draw.
@@ -526,17 +538,18 @@ def run_fastpath_cbr(
             ports = reservations.ports
             frame_slots = reservations.frame_slots
             streams = RandomStreams(seed)
-            pim_rng = (
+            match_rng = (
                 np.random.default_rng(match_seed)
                 if match_seed is not None
-                else streams.get("cbr-fastpath/pim")
+                else streams.get(f"cbr-fastpath/{scheduler}")
             )
-            scheduler = BatchPIMScheduler(
+            kernel = build_batch_scheduler(
+                scheduler,
                 replicas=replicas,
                 ports=ports,
                 iterations=iterations,
                 accept=accept,
-                rng=pim_rng,
+                rng=match_rng,
                 track_sizes=False,
             )
             bound = resolve_cbr_buffer_bound(
@@ -547,7 +560,7 @@ def run_fastpath_cbr(
                 replicas,
                 frame_slots,
                 compile_frame_schedule(reservations.schedule),
-                scheduler,
+                kernel,
                 cbr_buffer_bound=bound,
             )
 
@@ -594,7 +607,7 @@ def run_fastpath_cbr(
                         f"trace_stride must be >= 1, got {trace_stride}"
                     )
                 probe.stride = trace_stride
-            scheduler.attach_probe(probe)
+            kernel.attach_probe(probe)
 
         offered_cbr = np.zeros(replicas, dtype=np.int64)
         offered_vbr = np.zeros(replicas, dtype=np.int64)
@@ -703,7 +716,7 @@ def run_fastpath_cbr(
                     vbr_delay_integral += (switch.vbr - legacy_vbr).sum(axis=(1, 2))
 
     if traced:
-        scheduler.attach_probe(None)
+        kernel.attach_probe(None)
         if timer.enabled:
             probe.phase_profile(
                 timer,

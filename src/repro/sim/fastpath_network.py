@@ -12,7 +12,8 @@ single switch:
 - the VOQ state of **B independent network replicas** is one
   ``(B, N, N)`` count array *per switch* -- no Cell objects;
 - every switch advances all B replicas with a single
-  :class:`repro.core.pim.BatchPIMScheduler` call per slot;
+  :class:`repro.core.batch.BatchScheduler` kernel call per slot (any
+  registry scheduler -- PIM by default);
 - links are latency-indexed ring buffers of in-flight per-flow cell
   counts, so propagation costs one slice per switch per slot;
 - host injection (Bernoulli arrivals + round-robin flow service) and
@@ -62,7 +63,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.pim import AN2_ITERATIONS, AcceptPolicy, BatchPIMScheduler
+from repro.core.batch import build_batch_scheduler
+from repro.core.pim import AN2_ITERATIONS, AcceptPolicy
 from repro.network.netsim import FlowSpec
 from repro.obs.perf import NULL_PHASE_TIMER
 from repro.network.routing import Router
@@ -227,8 +229,12 @@ class NetworkFastpath:
         Optional per-input-port buffer size in cells; enables the
         same credit-based link flow control as the object simulator.
     iterations, accept:
-        PIM configuration per switch (defaults match the object
+        Kernel configuration per switch (defaults match the object
         simulator's default scheduler factory).
+    scheduler:
+        Batched kernel registry name used at every switch
+        (``repro.core.BATCH_SCHEDULERS``); occupancy-aware kernels see
+        each switch's VOQ depths masked by the blocked-output requests.
 
     Flows are registered with :meth:`add_flow`; :meth:`run` simulates.
     Every ``run()`` is an independent replay from slot 0, like the
@@ -243,6 +249,7 @@ class NetworkFastpath:
         buffer_limit: Optional[int] = None,
         iterations: Optional[int] = AN2_ITERATIONS,
         accept: AcceptPolicy = "random",
+        scheduler: str = "pim",
     ):
         if replicas < 1:
             raise ValueError(f"replicas must be >= 1, got {replicas}")
@@ -254,6 +261,7 @@ class NetworkFastpath:
         self.buffer_limit = buffer_limit
         self.iterations = iterations
         self.accept = accept
+        self.scheduler = scheduler
         self.router = Router(topology)
         self._flows: Dict[int, FlowSpec] = {}
         self._host_order: List[str] = []  # sources, in first-flow order
@@ -473,7 +481,8 @@ class NetworkFastpath:
             for sw in switch_plans:
                 sched_seed = int(streams.get(f"sched:{sw.name}").integers(2**31))
                 scheds.append(
-                    BatchPIMScheduler(
+                    build_batch_scheduler(
+                        self.scheduler,
                         replicas=B,
                         ports=sw.ports,
                         iterations=self.iterations,
@@ -643,8 +652,13 @@ class NetworkFastpath:
                         if blocked.any():
                             requests[blocked, :, j] = False
                 if not requests.any():
-                    continue  # zero PIM iterations run either way: no draws
-                match = scheds[s].schedule(requests)
+                    continue  # zero scheduling rounds run either way: no draws
+                if getattr(scheds[s], "needs_occupancy", False):
+                    match = scheds[s].schedule(
+                        requests, np.where(requests, occ[s], 0)
+                    )
+                else:
+                    match = scheds[s].schedule(requests)
                 bb, ii = np.nonzero(match >= 0)
                 if bb.size == 0:
                     continue
@@ -739,13 +753,15 @@ def run_fastpath_network(
     warmup: int = 0,
     seed: Optional[int] = 0,
     buffer_limit: Optional[int] = None,
+    scheduler: str = "pim",
     record_series: bool = False,
     check: bool = False,
     phase_timer=None,
 ) -> NetworkFastpathResult:
     """Build a :class:`NetworkFastpath`, add ``flows``, and run it."""
     sim = NetworkFastpath(
-        topology, replicas=replicas, seed=seed, buffer_limit=buffer_limit
+        topology, replicas=replicas, seed=seed, buffer_limit=buffer_limit,
+        scheduler=scheduler,
     )
     for flow in flows:
         sim.add_flow(flow)

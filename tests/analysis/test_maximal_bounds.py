@@ -1,0 +1,94 @@
+"""The interference-drain bound and the cross-scheduler study."""
+
+import math
+
+import pytest
+
+from repro.analysis.maximal_bounds import (
+    MAXIMAL_SCHEDULERS,
+    interference_drain_bound,
+    mean_interference_uniform,
+)
+from repro.analysis.scheduler_study import (
+    format_table,
+    rows_for_record,
+    run_study,
+)
+from repro.core.batch import BATCH_SCHEDULERS
+
+
+class TestBound:
+    def test_finite_below_half_load(self):
+        bound = interference_drain_bound(4.0, 0.3)
+        assert bound == pytest.approx((4.0 + 2.0) / (1.0 - 0.6))
+
+    def test_vacuous_at_and_above_half_load(self):
+        assert interference_drain_bound(4.0, 0.5) == math.inf
+        assert interference_drain_bound(4.0, 0.9) == math.inf
+
+    def test_speedup_extends_the_stable_region(self):
+        assert interference_drain_bound(4.0, 0.9, speedup=2.0) < math.inf
+
+    def test_monotone_in_interference_and_load(self):
+        assert interference_drain_bound(8.0, 0.3) > interference_drain_bound(
+            2.0, 0.3
+        )
+        assert interference_drain_bound(4.0, 0.45) > interference_drain_bound(
+            4.0, 0.2
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="mean_interference"):
+            interference_drain_bound(-1.0, 0.3)
+        with pytest.raises(ValueError, match="load"):
+            interference_drain_bound(1.0, 1.5)
+        with pytest.raises(ValueError, match="speedup"):
+            interference_drain_bound(1.0, 0.3, speedup=0.0)
+
+    def test_mean_interference_uniform(self):
+        # 16 cells spread over an 8-port switch: 2 ahead at the input,
+        # 2 queued for the output.
+        assert mean_interference_uniform(16.0, 8) == pytest.approx(4.0)
+        with pytest.raises(ValueError, match="ports"):
+            mean_interference_uniform(1.0, 0)
+        with pytest.raises(ValueError, match="mean_backlog"):
+            mean_interference_uniform(-1.0, 4)
+
+    def test_maximal_registry_is_a_subset(self):
+        assert set(MAXIMAL_SCHEDULERS) <= set(BATCH_SCHEDULERS)
+        assert "pim" not in MAXIMAL_SCHEDULERS  # bounded iterations
+        assert "qps" not in MAXIMAL_SCHEDULERS  # one proposal per input
+
+
+class TestStudy:
+    def test_smoke_and_bound_held(self):
+        """Small-size end-to-end run: the measured delay of the maximal
+        kernels respects the bound at every applicable point."""
+        rows = run_study(
+            ports=8, loads=(0.3, 0.6), slots=400, replicas=2, seed=0
+        )
+        assert len(rows) == 2 * len(BATCH_SCHEDULERS)
+        checked = [row for row in rows if row.bound_ok is not None]
+        # maximal kernels x loads below 1/2
+        assert len(checked) == len(MAXIMAL_SCHEDULERS)
+        assert all(row.bound_ok for row in checked)
+        for row in rows:
+            if row.scheduler not in MAXIMAL_SCHEDULERS:
+                assert row.bound is None
+            elif row.load >= 0.5:
+                assert row.bound == math.inf and row.bound_ok is None
+
+    def test_format_and_record_shapes(self):
+        rows = run_study(ports=4, loads=(0.3,), slots=200, replicas=1,
+                         schedulers=("pim", "lqf"))
+        table = format_table(rows)
+        assert "scheduler" in table and "lqf" in table
+        records = rows_for_record(rows)
+        assert len(records) == 2
+        assert records[0]["config"]["scheduler"] == "pim"
+        assert "bound" not in records[0]
+        assert records[1]["bound_ok"] is True
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            run_study(ports=4, loads=(0.3,), slots=50, schedulers=("nope",))

@@ -1,0 +1,180 @@
+"""The BatchScheduler protocol and the kernel registry.
+
+The central contract (see :mod:`repro.core.batch`): at B=1, every
+batched kernel built with the same seed as its object scheduler must
+reproduce its matchings *slot for slot* -- both sides draw the same
+shapes from the same stream every slot, so their trajectories are
+bit-identical.  PIM is the one exception (its batch kernel draws
+(B, N, N) keys where the object draws per-iteration subsets), so it is
+covered by a distribution-free validity check instead and its parity
+is asserted at the totals level by ``check/differential``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.batch import (
+    BATCH_SCHEDULERS,
+    BatchScheduler,
+    as_request_batch,
+    build_batch_scheduler,
+    build_object_scheduler,
+)
+
+# Kernels whose object twin is draw-for-draw identical at B=1.
+SLOT_EXACT = ("islip", "lqf", "wavefront", "qps")
+
+
+def _object_match_vector(scheduler, requests, occupancy):
+    """Drive an object scheduler one slot; return (N,) output-per-input."""
+    if getattr(scheduler, "needs_occupancy", False):
+        matching = scheduler.schedule(requests, occupancy)
+    else:
+        matching = scheduler.schedule(requests)
+    vector = np.full(requests.shape[0], -1, dtype=np.int64)
+    for i, j in matching.pairs:
+        vector[i] = j
+    return vector
+
+
+def _random_occupancy(rng, ports):
+    occ = rng.integers(0, 4, size=(ports, ports))
+    return occ, occ > 0
+
+
+class TestB1Parity:
+    """Shared-seed trace equality: batch kernel at B=1 vs object."""
+
+    @pytest.mark.parametrize("name", SLOT_EXACT)
+    def test_trace_identical(self, name):
+        ports, seed, iterations = 6, 9, 2
+        obj = build_object_scheduler(
+            name, iterations=iterations, seed=seed, ports=ports
+        )
+        kernel = build_batch_scheduler(
+            name, replicas=1, ports=ports, iterations=iterations, seed=seed
+        )
+        traffic_rng = np.random.default_rng(123)
+        for slot in range(200):
+            occ, requests = _random_occupancy(traffic_rng, ports)
+            expected = _object_match_vector(obj, requests, occ)
+            if kernel.needs_occupancy:
+                got = kernel.schedule(requests[None], occ[None])
+            else:
+                got = kernel.schedule(requests[None])
+            assert (got[0] == expected).all(), f"{name} diverged at slot {slot}"
+
+    @pytest.mark.parametrize("name", SLOT_EXACT)
+    def test_empty_slots_keep_streams_aligned(self, name):
+        """The object switch calls schedule() even with no requests;
+        batch kernels must consume the same randomness on empty slots
+        or the streams drift apart."""
+        ports, seed = 4, 2
+        obj = build_object_scheduler(name, iterations=1, seed=seed, ports=ports)
+        kernel = build_batch_scheduler(
+            name, replicas=1, ports=ports, iterations=1, seed=seed
+        )
+        traffic_rng = np.random.default_rng(7)
+        for slot in range(80):
+            if slot % 3 == 0:
+                occ = np.zeros((ports, ports), dtype=np.int64)
+                requests = occ > 0
+            else:
+                occ, requests = _random_occupancy(traffic_rng, ports)
+            expected = _object_match_vector(obj, requests, occ)
+            if kernel.needs_occupancy:
+                got = kernel.schedule(requests[None], occ[None])
+            else:
+                got = kernel.schedule(requests[None])
+            assert (got[0] == expected).all(), f"{name} diverged at slot {slot}"
+
+
+class TestBatchValidity:
+    @pytest.mark.parametrize("name", BATCH_SCHEDULERS)
+    def test_matchings_valid_across_replicas(self, name):
+        replicas, ports = 5, 7
+        kernel = build_batch_scheduler(
+            name, replicas=replicas, ports=ports, iterations=2, seed=0
+        )
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            occ = rng.integers(0, 3, size=(replicas, ports, ports))
+            requests = occ > 0
+            if kernel.needs_occupancy:
+                match = kernel.schedule(requests, occ)
+            else:
+                match = kernel.schedule(requests)
+            assert match.shape == (replicas, ports)
+            for b in range(replicas):
+                matched = match[b] >= 0
+                outs = match[b][matched]
+                # no output granted twice, every match was requested
+                assert len(np.unique(outs)) == len(outs)
+                ins = np.nonzero(matched)[0]
+                assert requests[b][ins, match[b][ins]].all()
+
+    @pytest.mark.parametrize("name", BATCH_SCHEDULERS)
+    def test_reset_replays_trajectory(self, name):
+        kernel = build_batch_scheduler(
+            name, replicas=3, ports=5, iterations=2, seed=4
+        )
+        rng = np.random.default_rng(2)
+        slots = [rng.integers(0, 3, size=(3, 5, 5)) for _ in range(40)]
+
+        def run():
+            out = []
+            for occ in slots:
+                requests = occ > 0
+                if kernel.needs_occupancy:
+                    out.append(kernel.schedule(requests, occ).copy())
+                else:
+                    out.append(kernel.schedule(requests).copy())
+            return out
+
+        first = run()
+        kernel.reset()
+        second = run()
+        for slot, (a, b) in enumerate(zip(first, second)):
+            assert (a == b).all(), f"{name} rerun diverged at slot {slot}"
+
+
+class TestProtocolValidation:
+    def test_as_request_batch_rejects_bad_shapes(self):
+        with pytest.raises(ValueError, match="B, N, N"):
+            as_request_batch(np.zeros((3, 4, 5)))
+        with pytest.raises(ValueError, match="B, N, N"):
+            as_request_batch(np.zeros(7))
+
+    def test_construction_validation(self):
+        with pytest.raises(ValueError, match="replicas"):
+            BatchScheduler(0, 4)
+        with pytest.raises(ValueError, match="ports"):
+            BatchScheduler(1, 0)
+        with pytest.raises(ValueError, match="output_capacity"):
+            BatchScheduler(1, 4, output_capacity=0)
+
+    @pytest.mark.parametrize("name", BATCH_SCHEDULERS)
+    def test_wrong_batch_shape_rejected(self, name):
+        kernel = build_batch_scheduler(name, replicas=2, ports=4, seed=0)
+        with pytest.raises(ValueError, match="requests"):
+            kernel.schedule(np.zeros((3, 4, 4), dtype=bool))
+
+    def test_occupancy_validation(self):
+        kernel = build_batch_scheduler("lqf", replicas=1, ports=3, seed=0)
+        requests = np.ones((1, 3, 3), dtype=bool)
+        with pytest.raises(ValueError, match="occupancy shape"):
+            kernel.schedule(requests, np.ones((1, 3, 2), dtype=np.int64))
+        with pytest.raises(ValueError, match="non-negative"):
+            kernel.schedule(requests, np.full((1, 3, 3), -1))
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            build_batch_scheduler("bogus", replicas=1, ports=4)
+        with pytest.raises(ValueError, match="unknown"):
+            build_object_scheduler("bogus")
+
+    def test_registry_names_match_kernels(self):
+        for name in BATCH_SCHEDULERS:
+            kernel = build_batch_scheduler(name, replicas=1, ports=4, seed=0)
+            assert isinstance(kernel, BatchScheduler)
+            assert kernel.name.startswith(name)

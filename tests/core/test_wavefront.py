@@ -33,6 +33,15 @@ class TestWavefrontMatch:
     def test_empty(self):
         assert len(wavefront_match(np.zeros((3, 3), dtype=bool))) == 0
 
+    def test_validation(self):
+        """Regression: matches ``lqf_match``'s input validation -- a
+        negative occupancy entry used to bool-cast to a *true*
+        request, silently inventing traffic."""
+        with pytest.raises(ValueError, match="square"):
+            wavefront_match(np.zeros((2, 3), dtype=bool))
+        with pytest.raises(ValueError, match="non-negative"):
+            wavefront_match(np.array([[0, -1], [0, 0]]))
+
 
 class TestWavefrontScheduler:
     def test_rotation_gives_long_run_fairness(self):
@@ -57,3 +66,16 @@ class TestWavefrontScheduler:
         scheduler.schedule(np.ones((4, 4), dtype=bool))
         scheduler.reset()
         assert scheduler._start == 0
+
+    def test_mid_run_size_change_rejected(self):
+        """Regression: the rotating diagonal used to wrap silently
+        when the request-matrix size changed mid-run (``_start % n``
+        with the new n), quietly skewing priorities where
+        iSLIP/RRM raise.  Now it raises like they do, and ``reset()``
+        re-arms the scheduler for a new size."""
+        scheduler = WavefrontScheduler()
+        scheduler.schedule(np.ones((4, 4), dtype=bool))
+        with pytest.raises(ValueError, match="size change"):
+            scheduler.schedule(np.ones((6, 6), dtype=bool))
+        scheduler.reset()
+        assert len(scheduler.schedule(np.ones((6, 6), dtype=bool))) == 6

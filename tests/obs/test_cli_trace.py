@@ -70,13 +70,21 @@ class TestDelayTracing:
             e.replica == -1 for e in events if e.kind == "voq_snapshot"
         )
 
-    def test_fastpath_rejects_non_pim_scheduler(self, capsys):
+    def test_fastpath_rejects_unsupported_scheduler(self, capsys):
         code = main([
-            "delay", "--scheduler", "islip", "--backend", "fastpath",
+            "delay", "--scheduler", "maximum", "--backend", "fastpath",
             "--slots", "100",
         ])
         assert code == 2
         assert "fastpath" in capsys.readouterr().err
+
+    def test_fastpath_accepts_registry_scheduler(self, capsys):
+        code = main([
+            "delay", "--scheduler", "islip", "--backend", "fastpath",
+            "--slots", "100", "--warmup", "10",
+        ])
+        assert code == 0
+        assert "fastpath" in capsys.readouterr().out
 
     def test_trace_rejects_fifo(self, capsys, tmp_path):
         code = main([
