@@ -1,6 +1,6 @@
 # Convenience targets for the AN2 reproduction.
 
-.PHONY: install test check check-full bench bench-fastpath cbr-bench stat-bench network-bench sched-bench sched-study bench-full perf-report perf-gate trace-demo examples lint clean
+.PHONY: install test check check-full bench bench-fastpath cbr-bench stat-bench network-bench sched-bench scenario-bench sched-study scenario-smoke bench-full perf-report perf-gate trace-demo examples lint clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -16,6 +16,7 @@ check:
 	PYTHONPATH=src python -m repro.cli check --suite churn --seeds 25 --budget 30s
 	PYTHONPATH=src python -m repro.cli check --suite statistical --seeds 8 --budget 60s
 	PYTHONPATH=src python -m repro.cli check --suite network --seeds 8 --budget 60s
+	PYTHONPATH=src python -m repro.cli check --suite scenario --seeds 10 --budget 60s
 
 # Nightly-style deep sweep: more seeds plus the slow-marked pytest sweeps
 # (includes the CBR parity sweep in tests/sim/test_fastpath_cbr.py).
@@ -47,10 +48,20 @@ network-bench:
 sched-bench:
 	PYTHONPATH=src python benchmarks/perf/bench_sched_zoo.py --quick --out BENCH_sched_zoo.json
 
+# Named-scenario throughput on both backends (slots/s; no hard floor:
+# per-cell Python arrival generation dominates both sides).
+scenario-bench:
+	PYTHONPATH=src python benchmarks/perf/bench_scenarios.py --quick --out BENCH_scenarios.json
+
 # Cross-scheduler delay-vs-load study with the maximal-matching
 # (Cogill-Lall style) delay bound checked where it applies.
 sched-study:
 	PYTHONPATH=src python -m repro.cli sched-study --slots 1000 --replicas 4
+
+# One small named scenario per batched kernel through BOTH backends with
+# slot-exact parity; prints (and optionally saves) the FCT table.
+scenario-smoke:
+	PYTHONPATH=src python -m repro.cli scenario smoke --slots 250 --out scenario-fct-table.txt
 
 bench-full:
 	REPRO_FULL=1 pytest benchmarks/ --benchmark-only -q
@@ -59,6 +70,7 @@ bench-full:
 	PYTHONPATH=src python benchmarks/perf/bench_stat_fastpath.py --out BENCH_stat_fastpath.json
 	PYTHONPATH=src python benchmarks/perf/bench_network_fastpath.py --out BENCH_network_fastpath.json
 	PYTHONPATH=src python benchmarks/perf/bench_sched_zoo.py --out BENCH_sched_zoo.json
+	PYTHONPATH=src python benchmarks/perf/bench_scenarios.py --out BENCH_scenarios.json
 
 # Live per-phase wall-time breakdown of the headline fast-path config.
 perf-report:

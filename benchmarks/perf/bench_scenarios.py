@@ -1,0 +1,144 @@
+"""Timing harness: named flow-level scenarios, object vs fast path.
+
+For each scenario in the registry
+(:data:`repro.traffic.scenarios.SCENARIOS`) this measures simulation
+throughput (slots per wall second) for the per-cell object backend and
+the count-based fast path running the *same* flow-level traffic, and
+records both rates plus ``speedup_vs_object`` through
+:func:`repro.obs.store.record_result` (snapshot ``BENCH_scenarios.json``
+plus an append to ``benchmarks/perf/history/scenarios.jsonl``).
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf/bench_scenarios.py           # full
+    PYTHONPATH=src python benchmarks/perf/bench_scenarios.py --quick   # make bench
+
+Unlike the uniform-traffic benches, scenario arrivals are generated
+per-cell in Python on *both* backends (the flow generator is the
+bottleneck the fast path cannot vectorize away), so the speedup here
+measures only the switch/kernel side -- expect far less than the
+uniform-traffic headline, and no hard floor is asserted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.core.batch import build_object_scheduler
+from repro.obs.store import DEFAULT_HISTORY_DIR, record_result
+from repro.sim.fastpath import run_fastpath
+from repro.sim.rng import derive_seed
+from repro.switch.switch import CrossbarSwitch
+from repro.traffic.flows import WindowedSource
+from repro.traffic.scenarios import SCENARIOS
+
+SCHEDULER = "islip"
+ITERATIONS = 4
+
+
+def time_object_backend(spec, slots: int, drain: int, seed: int) -> float:
+    """Object-backend slots per second for one scenario."""
+    scheduler = build_object_scheduler(
+        SCHEDULER,
+        iterations=ITERATIONS,
+        seed=derive_seed(seed, "bench/scenario-match"),
+        ports=spec.ports,
+    )
+    switch = CrossbarSwitch(spec.ports, scheduler)
+    source = spec.build_source(derive_seed(seed, f"bench/{spec.name}"))
+    total = slots + drain
+    start = time.perf_counter()
+    switch.run(WindowedSource(source, slots), slots=total)
+    elapsed = time.perf_counter() - start
+    return total / elapsed
+
+
+def time_fastpath_backend(spec, slots: int, drain: int, seed: int) -> float:
+    """Fast-path slots per second for one scenario (B=1, flow shadow on)."""
+    source = spec.build_source(derive_seed(seed, f"bench/{spec.name}"))
+    total = slots + drain
+    start = time.perf_counter()
+    run_fastpath(
+        spec.ports,
+        spec.load,
+        slots,
+        replicas=1,
+        iterations=ITERATIONS,
+        scheduler=SCHEDULER,
+        seed=seed,
+        sources=[source],
+        drain_slots=drain,
+    )
+    elapsed = time.perf_counter() - start
+    return total / elapsed
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small config for make bench (fewer slots)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_scenarios.json",
+        help="output JSON path (default: BENCH_scenarios.json)",
+    )
+    parser.add_argument(
+        "--history", default=DEFAULT_HISTORY_DIR, metavar="DIR",
+        help="perf-history root to append to "
+             "(default: benchmarks/perf/history)",
+    )
+    parser.add_argument(
+        "--no-history", action="store_true",
+        help="write the snapshot only; skip the history append",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    slots, drain = (200, 400) if args.quick else (1_000, 2_000)
+
+    results = []
+    for spec in SCENARIOS.values():
+        object_sps = time_object_backend(spec, slots, drain, args.seed)
+        fast_sps = time_fastpath_backend(spec, slots, drain, args.seed)
+        speedup = fast_sps / object_sps
+        results.append(
+            {
+                "config": {
+                    "scenario": spec.name,
+                    "scheduler": SCHEDULER,
+                    "ports": spec.ports,
+                    "slots": slots,
+                    "drain": drain,
+                    "load": spec.load,
+                    "iterations": ITERATIONS,
+                },
+                "object_slots_per_sec": object_sps,
+                "slots_per_sec": fast_sps,
+                "speedup_vs_object": speedup,
+            }
+        )
+        print(
+            f"{spec.name:<19} object {object_sps:>8.0f} slots/s | fastpath "
+            f"{fast_sps:>8.0f} slots/s | {speedup:5.1f}x"
+        )
+
+    entry = record_result(
+        "scenarios",
+        results,
+        config={
+            "scheduler": SCHEDULER, "slots": slots, "drain": drain,
+            "iterations": ITERATIONS, "quick": args.quick,
+        },
+        seed=args.seed,
+        snapshot=args.out,
+        history_dir=None if args.no_history else args.history,
+    )
+    print(f"wrote {args.out} (run {entry.run_id})")
+    if not args.no_history:
+        print(f"appended history entry to {args.history}/scenarios.jsonl")
+
+
+if __name__ == "__main__":
+    main()

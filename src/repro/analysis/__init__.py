@@ -9,7 +9,9 @@
 - :mod:`repro.analysis.maximal_bounds` -- Cogill-Lall style
   interference-drain delay bound for maximal-matching schedulers,
 - :mod:`repro.analysis.scheduler_study` -- cross-scheduler
-  delay-vs-load study over the batched kernel registry.
+  delay-vs-load study over the batched kernel registry,
+- :mod:`repro.analysis.fct_tables` -- per-flow FCT summary tables for
+  named-scenario runs.
 """
 
 from repro.analysis.iterations import (
@@ -46,6 +48,12 @@ from repro.analysis.scheduler_study import (
     rows_for_record,
     run_study,
 )
+from repro.analysis.fct_tables import (
+    FctRow,
+    fct_row,
+    fct_rows_for_record,
+    format_fct_table,
+)
 
 __all__ = [
     "MAXIMAL_SCHEDULERS",
@@ -55,6 +63,10 @@ __all__ = [
     "format_table",
     "rows_for_record",
     "run_study",
+    "FctRow",
+    "fct_row",
+    "fct_rows_for_record",
+    "format_fct_table",
     "hol_saturation_limit",
     "output_queueing_delay",
     "output_queueing_mean_queue",

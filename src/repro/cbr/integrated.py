@@ -39,6 +39,7 @@ from repro.switch.buffers import VOQBuffer
 from repro.switch.cell import Cell, ServiceClass
 from repro.switch.fabric import CrossbarFabric, Fabric
 from repro.switch.results import SwitchResult
+from repro.switch.switch import reset_traffic
 
 __all__ = [
     "IntegratedSwitch",
@@ -294,6 +295,8 @@ class IntegratedSwitch:
             if source.ports != self.ports:
                 raise ValueError("traffic/switch port mismatch")
         self.reset()
+        for source in sources:
+            reset_traffic(source)
         bound = self._resolved_bound()
         traced = probe is not None and probe.enabled
         if traced and hasattr(self.scheduler, "attach_probe"):

@@ -18,11 +18,13 @@ and the CI smoke stage bound it by seed count and wall-clock budget.
 
 from repro.check.differential import (
     DifferentialReport,
+    ScenarioParityReport,
     backend_parity,
     integrated_parity,
     metamorphic_pim_iterations,
     metamorphic_statistical_fill,
     network_parity,
+    scenario_parity,
     statistical_parity,
 )
 from repro.check.fuzz import (
@@ -30,18 +32,21 @@ from repro.check.fuzz import (
     CbrCase,
     ChurnCase,
     NetworkCase,
+    ScenarioCase,
     StatCase,
     FuzzReport,
     fuzz,
     fuzz_cbr,
     fuzz_churn,
     fuzz_network,
+    fuzz_scenarios,
     fuzz_statistical,
     load_case,
     run_case,
     run_cbr_case,
     run_churn_case,
     run_network_case,
+    run_scenario_case,
     run_stat_case,
     shrink,
 )
@@ -64,11 +69,14 @@ __all__ = [
     "check_conservation",
     "ChurnCase",
     "NetworkCase",
+    "ScenarioCase",
+    "ScenarioParityReport",
     "StatCase",
     "fuzz",
     "fuzz_cbr",
     "fuzz_churn",
     "fuzz_network",
+    "fuzz_scenarios",
     "fuzz_statistical",
     "integrated_parity",
     "load_case",
@@ -79,7 +87,9 @@ __all__ = [
     "run_cbr_case",
     "run_churn_case",
     "run_network_case",
+    "run_scenario_case",
     "run_stat_case",
+    "scenario_parity",
     "statistical_parity",
     "shrink",
 ]

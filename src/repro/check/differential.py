@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.check.invariants import InvariantViolation
 from repro.obs.parity import ParityReport, diff_backends
+from repro.traffic.flows import WindowedSource
 
 __all__ = [
     "DifferentialReport",
@@ -42,6 +43,8 @@ __all__ = [
     "metamorphic_pim_iterations",
     "metamorphic_statistical_fill",
     "network_parity",
+    "ScenarioParityReport",
+    "scenario_parity",
     "statistical_parity",
 ]
 
@@ -56,6 +59,18 @@ class DifferentialReport:
 
     def __str__(self) -> str:
         return f"[{'ok' if self.ok else 'FAIL'}] {self.name}: {self.detail}"
+
+
+@dataclass
+class ScenarioParityReport(DifferentialReport):
+    """Scenario parity outcome plus both backend results.
+
+    Carrying the results lets callers (CLI smoke, examples) print the
+    per-flow FCT tables without paying for a second run.
+    """
+
+    object_result: object = None
+    fast_result: object = None
 
 
 def backend_parity(
@@ -167,22 +182,15 @@ def _random_allocations(
     return alloc
 
 
-class _WindowedTraffic:
-    """Wrap a source so arrivals stop after ``limit`` slots.
-
-    Lets the object backend run drain slots (the fast path's
-    ``drain_slots``) without a separate API: past the window the inner
-    source is never consulted, so neither backend consumes RNG draws
-    there and the offered traffic stays draw-for-draw identical.
-    """
-
-    def __init__(self, source, limit: int):
-        self.source = source
-        self.limit = limit
-        self.ports = source.ports
-
-    def arrivals(self, slot: int):
-        return self.source.arrivals(slot) if slot < self.limit else []
+# Wraps a source so arrivals stop after ``limit`` slots: lets the
+# object backend run drain slots (the fast path's ``drain_slots``)
+# without a separate API.  Past the window the inner source is never
+# consulted, so neither backend consumes RNG draws there and the
+# offered traffic stays draw-for-draw identical.  Now shared with the
+# scenario CLI as :class:`repro.traffic.flows.WindowedSource` (which
+# also forwards ``reset``/``flow_records``); the old private name is
+# kept for existing callers.
+_WindowedTraffic = WindowedSource
 
 
 def _delay_sums(stats) -> tuple:
@@ -196,6 +204,233 @@ def _delay_sums(stats) -> tuple:
     return (
         sum(delay * count for delay, count in histogram.items()),
         sum(histogram.values()),
+    )
+
+
+def scenario_parity(
+    scenario: str,
+    scheduler: str = "islip",
+    slots: int = 300,
+    seed: int = 0,
+    warmup: int = 0,
+    drain_slots: Optional[int] = None,
+    iterations: Optional[int] = 4,
+    ports: Optional[int] = None,
+    load: Optional[float] = None,
+) -> "ScenarioParityReport":
+    """Object vs fast path on a named flow-level scenario.
+
+    Both backends are driven by identically-seeded
+    :class:`repro.traffic.flows.FlowTraffic` sources built from the
+    named scenario (the rerun contract makes two same-seed sources
+    trace-identical), so the offered traffic is byte-identical.
+
+    For the non-PIM kernels the object scheduler is the seed-matched
+    twin of the batched kernel (the B=1 slot-exact parity convention),
+    so the *whole trajectory* coincides and the check compares, all as
+    exact integers: offered/carried totals, per-input arrival and
+    per-output departure counts, delay sums (over a drained run with
+    ``warmup`` 0 -- see the inline note), and the full per-flow
+    (size, FCT) sample list plus incomplete counts.
+
+    For PIM the matching streams are independent, so the invariant is
+    the drained-totals one: identical arrivals; and over a drained run
+    equal carried totals, per-output departures (when ``warmup`` is 0)
+    and an identical *set* of completed flows (FCT values legitimately
+    differ).
+
+    Raises :class:`InvariantViolation` on any mismatch; returns a
+    :class:`ScenarioParityReport` carrying both results so callers can
+    print FCT tables without re-running.
+    """
+    from repro.core.batch import build_object_scheduler
+    from repro.sim.fastpath import run_fastpath
+    from repro.sim.rng import derive_seed
+    from repro.switch.switch import CrossbarSwitch
+    from repro.traffic.scenarios import get_scenario
+
+    spec = get_scenario(scenario)
+    if drain_slots is None:
+        # Flow tails are long (heavy-tailed sizes, incast bursts), so
+        # leave generous room to drain -- the checks below verify it.
+        drain_slots = max(600, 2 * slots)
+    traffic_seed = derive_seed(seed, "check/scenario-traffic")
+    fast_match_seed = derive_seed(seed, "check/fast-match")
+    name = (
+        f"scenario-parity({scenario}, sched={scheduler}, slots={slots}, "
+        f"warmup={warmup}, seed={seed})"
+    )
+
+    n = ports if ports is not None else spec.ports
+    if scheduler == "pim":
+        object_scheduler = build_object_scheduler(
+            "pim",
+            iterations=iterations,
+            seed=derive_seed(seed, "check/object-match"),
+            ports=n,
+        )
+    else:
+        # Reconstruct the exact stream run_fastpath injects into the
+        # batched kernel so the object twin is draw-for-draw identical.
+        object_scheduler = build_object_scheduler(
+            scheduler,
+            iterations=iterations,
+            seed=derive_seed(fast_match_seed, f"fastpath/{scheduler}"),
+            ports=n,
+        )
+
+    total = slots + drain_slots
+    object_source = spec.build_source(traffic_seed, ports=ports, load=load)
+    object_switch = CrossbarSwitch(n, object_scheduler)
+    object_result = object_switch.run(
+        WindowedSource(object_source, slots), slots=total, warmup=warmup
+    )
+
+    fast_result = run_fastpath(
+        n,
+        load if load is not None else spec.load,
+        slots,
+        replicas=1,
+        warmup=warmup,
+        iterations=iterations,
+        scheduler=scheduler,
+        seed=fast_match_seed,
+        sources=[spec.build_source(traffic_seed, ports=ports, load=load)],
+        drain_slots=drain_slots,
+        warmup_mode="arrival",
+        check=True,
+    )
+
+    def fail(label: str, object_value, fast_value) -> None:
+        raise InvariantViolation(
+            "scenario-parity",
+            f"{name}: {label} mismatch: object {object_value} "
+            f"fastpath {fast_value}",
+        )
+
+    # Arrival streams are scheduler-independent: always exact.
+    fast_offered = int(fast_result.offered_cells.sum())
+    if object_result.counter.offered != fast_offered:
+        fail("offered cells", object_result.counter.offered, fast_offered)
+    fast_by_input = tuple(int(x) for x in fast_result.arrivals_by_input[0])
+    if tuple(object_result.arrivals_by_input) != fast_by_input:
+        fail(
+            "arrivals by input",
+            object_result.arrivals_by_input,
+            fast_by_input,
+        )
+
+    drained = (
+        object_result.backlog == 0 and int(fast_result.final_backlog.sum()) == 0
+    )
+    object_fct = object_result.fct
+    fast_fct = fast_result.fct
+    if scheduler == "pim":
+        if not drained:
+            raise InvariantViolation(
+                "scenario-parity",
+                f"{name}: run did not drain (object backlog "
+                f"{object_result.backlog}, fastpath "
+                f"{int(fast_result.final_backlog.sum())}); raise drain_slots",
+            )
+        if object_result.counter.carried != int(fast_result.carried_cells.sum()):
+            fail(
+                "carried cells (drained)",
+                object_result.counter.carried,
+                int(fast_result.carried_cells.sum()),
+            )
+        if warmup == 0:
+            fast_by_output = tuple(
+                int(x) for x in fast_result.departures_by_output[0]
+            )
+            if tuple(object_result.departures_by_output) != fast_by_output:
+                fail(
+                    "departures by output",
+                    object_result.departures_by_output,
+                    fast_by_output,
+                )
+        # Drained runs complete the same set of flows even though the
+        # independent matching randomness shifts individual FCTs.
+        if (object_fct.count, object_fct.incomplete) != (
+            fast_fct.count,
+            fast_fct.incomplete,
+        ):
+            fail(
+                "completed/incomplete flows",
+                (object_fct.count, object_fct.incomplete),
+                (fast_fct.count, fast_fct.incomplete),
+            )
+        detail = (
+            f"drained totals exact ({object_result.counter.carried} cells, "
+            f"{object_fct.count} flows); {fast_fct.summary()}"
+        )
+    else:
+        # Seed-matched twins: the whole trajectory must coincide.
+        if object_result.counter.carried != int(fast_result.carried_cells.sum()):
+            fail(
+                "carried cells",
+                object_result.counter.carried,
+                int(fast_result.carried_cells.sum()),
+            )
+        fast_by_output = tuple(
+            int(x) for x in fast_result.departures_by_output[0]
+        )
+        if tuple(object_result.departures_by_output) != fast_by_output:
+            fail(
+                "departures by output",
+                object_result.departures_by_output,
+                fast_by_output,
+            )
+        if drained and warmup == 0:
+            # At warmup 0 the per-cell delay sum equals the occupancy
+            # integral regardless of intra-VOQ service order, so the
+            # comparison is exact.  With warmup > 0 the fast path's
+            # legacy-occupancy exclusion assumes per-VOQ FIFO draining,
+            # which round-robin service over multi-flow VOQs breaks:
+            # *which* cells straddle the boundary then differs between
+            # the accountings even though every trajectory matches.
+            object_delay = _delay_sums(object_result.delay)
+            fast_delay = (
+                int(fast_result.delay_integral.sum()),
+                int(fast_result.delay_cells.sum()),
+            )
+            if object_delay != fast_delay:
+                fail("delay (sum, cells)", object_delay, fast_delay)
+        if object_fct.observations() != fast_fct.observations():
+            diffs = [
+                (k, a, b)
+                for k, (a, b) in enumerate(
+                    zip(object_fct.observations(), fast_fct.observations())
+                )
+                if a != b
+            ]
+            first = diffs[0] if diffs else ("length",
+                                            object_fct.count, fast_fct.count)
+            fail("per-flow (size, fct) samples", first[1], first[2])
+        if (object_fct.incomplete, object_fct.warm_discarded) != (
+            fast_fct.incomplete,
+            fast_fct.warm_discarded,
+        ):
+            fail(
+                "incomplete/warm-discarded flows",
+                (object_fct.incomplete, object_fct.warm_discarded),
+                (fast_fct.incomplete, fast_fct.warm_discarded),
+            )
+        detail = (
+            f"slot-exact ({object_result.counter.carried} cells"
+            + (
+                ", drained delay sums match"
+                if drained and warmup == 0
+                else (", drained" if drained else ", undrained")
+            )
+            + f"); {fast_fct.summary()}"
+        )
+    return ScenarioParityReport(
+        name=name,
+        ok=True,
+        detail=detail,
+        object_result=object_result,
+        fast_result=fast_result,
     )
 
 

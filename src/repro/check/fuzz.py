@@ -30,18 +30,21 @@ __all__ = [
     "CbrCase",
     "ChurnCase",
     "NetworkCase",
+    "ScenarioCase",
     "StatCase",
     "FuzzReport",
     "fuzz",
     "fuzz_cbr",
     "fuzz_churn",
     "fuzz_network",
+    "fuzz_scenarios",
     "fuzz_statistical",
     "load_case",
     "run_case",
     "run_cbr_case",
     "run_churn_case",
     "run_network_case",
+    "run_scenario_case",
     "run_stat_case",
     "shrink",
 ]
@@ -694,6 +697,84 @@ def _network_case_for_seed(seed: int) -> NetworkCase:
         buffer_limit=int(rng.choice([0, 0, 2, 4])),
         slots=int(rng.choice([120, 200, 350])),
         warmup=int(rng.choice([0, 25])),
+    )
+
+
+@dataclass(frozen=True)
+class ScenarioCase:
+    """One reproducible named-scenario parity fuzz point."""
+
+    seed: int
+    scenario: str = "websearch-incast"
+    scheduler: str = "islip"
+    slots: int = 200
+    warmup: int = 0
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+
+def run_scenario_case(case: ScenarioCase) -> None:
+    """Object-vs-fastpath parity on one named flow-level scenario.
+
+    Raises :class:`~repro.check.invariants.InvariantViolation` on the
+    first mismatch; non-PIM kernels compare the full trajectory
+    including the per-flow (size, FCT) sample lists, PIM the drained
+    totals and completed-flow counts (see
+    :func:`repro.check.differential.scenario_parity`).  The fast path
+    runs with ``check=True`` so its conservation invariants are
+    asserted every slot as well.
+    """
+    from repro.check.differential import scenario_parity
+
+    scenario_parity(
+        case.scenario,
+        scheduler=case.scheduler,
+        slots=case.slots,
+        seed=case.seed,
+        warmup=case.warmup,
+    )
+
+
+def _scenario_case_for_seed(seed: int) -> ScenarioCase:
+    """Deterministically map a seed to one scenario parity point.
+
+    Scheduler and scenario cycle with the seed at coprime strides, so
+    ``len(DIFFERENTIAL_SCHEDULERS) * len(SCENARIOS)`` consecutive seeds
+    provably cover every (kernel, scenario) pair; run geometry comes
+    from a seed-derived stream.
+    """
+    import numpy as np
+
+    from repro.sim.rng import derive_seed
+    from repro.traffic.scenarios import SCENARIOS
+
+    names = sorted(SCENARIOS)
+    rng = np.random.default_rng(derive_seed(seed, "fuzz/scenario-config"))
+    return ScenarioCase(
+        seed=seed,
+        scenario=names[(seed // len(DIFFERENTIAL_SCHEDULERS)) % len(names)],
+        scheduler=DIFFERENTIAL_SCHEDULERS[seed % len(DIFFERENTIAL_SCHEDULERS)],
+        slots=int(rng.choice([120, 200, 350])),
+        warmup=int(rng.choice([0, 25])),
+    )
+
+
+def fuzz_scenarios(
+    seeds: int = 10,
+    budget_seconds: Optional[float] = None,
+    out_dir: Optional[str] = None,
+    base_seed: int = 0,
+) -> FuzzReport:
+    """Sweep random named-scenario parity cases: each drives both
+    backends with identically-seeded flow-level traffic and demands
+    exact agreement (slot-exact with FCT samples for non-PIM kernels,
+    drained totals for PIM).  Failures are recorded unshrunk -- the
+    case tuple replays directly."""
+    return _sweep(
+        seeds, budget_seconds, out_dir, base_seed,
+        make_case=_scenario_case_for_seed, run=run_scenario_case,
+        tag="scenario",
     )
 
 

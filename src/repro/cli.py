@@ -622,9 +622,201 @@ def cmd_sched_study(args: argparse.Namespace) -> int:
     return 1 if violations else 0
 
 
+def cmd_scenario_list(args: argparse.Namespace) -> int:
+    """The named-scenario registry, one line per scenario."""
+    from repro.traffic.scenarios import list_scenarios
+
+    print(f"{'name':<19}{'ports':>6}{'load':>6}{'slots':>7}{'warmup':>8}  description")
+    for spec in list_scenarios():
+        print(
+            f"{spec.name:<19}{spec.ports:>6}{spec.load:>6.2f}{spec.slots:>7}"
+            f"{spec.warmup:>8}  {spec.description}"
+        )
+    return 0
+
+
+def cmd_scenario_run(args: argparse.Namespace) -> int:
+    """One named scenario on either backend, with per-flow FCT stats."""
+    from repro.analysis.fct_tables import fct_row, format_fct_table
+    from repro.sim.rng import derive_seed
+    from repro.traffic.scenarios import get_scenario
+
+    try:
+        spec = get_scenario(args.name)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    slots = args.slots if args.slots is not None else spec.slots
+    if args.warmup is not None:
+        warmup = args.warmup
+    elif args.slots is not None:
+        # Shortened run: scale the warmup down with it, or the whole
+        # arrival window could fall inside the discarded transient.
+        warmup = min(spec.warmup, slots // 5)
+    else:
+        warmup = spec.warmup
+    drain = args.drain if args.drain is not None else max(600, 2 * slots)
+    ports = args.ports if args.ports is not None else spec.ports
+    load = args.load if args.load is not None else spec.load
+
+    if args.parity:
+        from repro.check.differential import scenario_parity
+        from repro.check.invariants import InvariantViolation
+
+        try:
+            report = scenario_parity(
+                args.name,
+                scheduler=args.scheduler,
+                slots=slots,
+                seed=args.seed,
+                warmup=warmup,
+                drain_slots=drain,
+                iterations=args.iterations,
+                ports=args.ports,
+                load=args.load,
+            )
+        except InvariantViolation as exc:
+            print(f"PARITY FAILURE: {exc}", file=sys.stderr)
+            return 1
+        print(report)
+        rows = [
+            fct_row(args.name, args.scheduler, "object",
+                    report.object_result.fct, report.object_result),
+            fct_row(args.name, args.scheduler, "fastpath",
+                    report.fast_result.fct, report.fast_result),
+        ]
+        print()
+        print(format_fct_table(rows))
+        return 0
+
+    print(
+        f"scenario {spec.name}: {spec.description}\n"
+        f"  {ports}x{ports}, load {load}, {slots} arrival slots "
+        f"(warmup {warmup}, drain {drain}), scheduler {args.scheduler}, "
+        f"backend {args.backend}"
+    )
+    if args.backend == "fastpath":
+        from repro.sim.fastpath import run_fastpath
+
+        sources = [
+            spec.build_source(
+                derive_seed(args.seed, f"cli/scenario-traffic/{replica}"),
+                ports=args.ports,
+                load=args.load,
+            )
+            for replica in range(args.replicas)
+        ]
+        result = run_fastpath(
+            ports,
+            load,
+            slots,
+            replicas=args.replicas,
+            warmup=warmup,
+            iterations=args.iterations,
+            scheduler=args.scheduler,
+            seed=args.seed,
+            sources=sources,
+            drain_slots=drain,
+            warmup_mode="arrival",
+        )
+    else:
+        if args.replicas != 1:
+            print("error: --replicas needs --backend fastpath", file=sys.stderr)
+            return 2
+        from repro.core.batch import build_object_scheduler
+        from repro.switch.switch import CrossbarSwitch
+        from repro.traffic.flows import WindowedSource
+
+        scheduler = build_object_scheduler(
+            args.scheduler,
+            iterations=args.iterations,
+            seed=derive_seed(args.seed, "cli/scenario-match"),
+            ports=ports,
+        )
+        source = spec.build_source(
+            derive_seed(args.seed, "cli/scenario-traffic/0"),
+            ports=args.ports,
+            load=args.load,
+        )
+        switch = CrossbarSwitch(ports, scheduler)
+        result = switch.run(
+            WindowedSource(source, slots), slots=slots + drain, warmup=warmup
+        )
+    print(result.summary())
+    print()
+    print(format_fct_table(
+        [fct_row(spec.name, args.scheduler, args.backend, result.fct, result)]
+    ))
+    return 0
+
+
+def cmd_scenario_smoke(args: argparse.Namespace) -> int:
+    """One small scenario per kernel, both backends, parity-checked.
+
+    Kernel ``i`` runs scenario ``i mod len(registry)``, so every batched
+    kernel and every named scenario appears at least once.  Each run is
+    a full :func:`repro.check.differential.scenario_parity` comparison;
+    the combined FCT table goes to stdout and, with ``--out``, to a
+    file for CI artifacting.
+    """
+    from repro.analysis.fct_tables import fct_row, format_fct_table
+    from repro.check.differential import scenario_parity
+    from repro.check.invariants import InvariantViolation
+    from repro.core.batch import BATCH_SCHEDULERS
+    from repro.traffic.scenarios import SCENARIOS
+
+    names = list(SCENARIOS)
+    rows = []
+    failures = []
+    for index, scheduler in enumerate(BATCH_SCHEDULERS):
+        scenario = names[index % len(names)]
+        try:
+            report = scenario_parity(
+                scenario,
+                scheduler=scheduler,
+                slots=args.slots,
+                seed=args.seed,
+                warmup=args.warmup,
+            )
+        except InvariantViolation as exc:
+            failures.append(str(exc))
+            print(f"PARITY FAILURE: {exc}", file=sys.stderr)
+            continue
+        print(report)
+        rows.append(
+            fct_row(scenario, scheduler, "object",
+                    report.object_result.fct, report.object_result)
+        )
+        rows.append(
+            fct_row(scenario, scheduler, "fastpath",
+                    report.fast_result.fct, report.fast_result)
+        )
+    table = format_fct_table(rows)
+    print()
+    print(table)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(table + "\n")
+            for failure in failures:
+                handle.write(f"PARITY FAILURE: {failure}\n")
+        print(f"\nwrote FCT table to {args.out}")
+    if failures:
+        print(f"\n{len(failures)} parity failures", file=sys.stderr)
+        return 1
+    print(f"\nall {len(BATCH_SCHEDULERS)} kernel/scenario parity runs passed")
+    return 0
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     """Randomized invariant/differential sweeps (see repro.check)."""
-    from repro.check import fuzz, fuzz_cbr, fuzz_churn, fuzz_network, fuzz_statistical
+    from repro.check import (
+        fuzz,
+        fuzz_cbr,
+        fuzz_churn,
+        fuzz_network,
+        fuzz_scenarios,
+        fuzz_statistical,
+    )
 
     suites = {
         "switch": fuzz,
@@ -632,6 +824,7 @@ def cmd_check(args: argparse.Namespace) -> int:
         "churn": fuzz_churn,
         "statistical": fuzz_statistical,
         "network": fuzz_network,
+        "scenario": fuzz_scenarios,
     }
     selected = list(suites) if args.suite == "all" else [args.suite]
     ok = True
@@ -1248,6 +1441,66 @@ def build_parser() -> argparse.ArgumentParser:
                             "(benchmarks/perf/history/sched_study.jsonl)")
     study.set_defaults(func=cmd_sched_study)
 
+    scenario = sub.add_parser(
+        "scenario",
+        help="named flow-level workload scenarios with per-flow FCT stats "
+             "(repro.traffic.scenarios)",
+    )
+    scenario_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+
+    slist = scenario_sub.add_parser("list", help="the scenario registry")
+    slist.set_defaults(func=cmd_scenario_list)
+
+    srun = scenario_sub.add_parser(
+        "run",
+        help="run one named scenario on either backend (defaults: the "
+             "scenario's own geometry), reporting per-flow FCT stats",
+    )
+    srun.add_argument("name", help="scenario name (see 'scenario list')")
+    srun.add_argument("--backend", default="object",
+                      choices=["object", "fastpath"],
+                      help="object = per-cell CrossbarSwitch; fastpath = "
+                           "count-based vectorized simulator with a "
+                           "flow-exact VOQ shadow (default object)")
+    srun.add_argument("--scheduler", default="islip",
+                      choices=list(BATCH_SCHEDULERS),
+                      help="matching kernel (default islip)")
+    srun.add_argument("--replicas", type=_positive_int, default=1,
+                      help="independent replicas (fastpath only, default 1)")
+    srun.add_argument("--slots", type=int, default=None,
+                      help="arrival-carrying slots (default: the scenario's)")
+    srun.add_argument("--warmup", type=int, default=None,
+                      help="warmup slots (default: the scenario's)")
+    srun.add_argument("--drain", type=int, default=None,
+                      help="extra arrival-free slots to drain flow tails "
+                           "(default max(600, 2*slots))")
+    srun.add_argument("--iterations", type=_positive_int, default=4,
+                      help="PIM/iSLIP iterations and QPS rounds (default 4)")
+    srun.add_argument("--seed", type=int, default=0)
+    srun.add_argument("--ports", type=int, default=None,
+                      help="override the scenario's port count")
+    srun.add_argument("--load", type=float, default=None,
+                      help="override the scenario's offered load")
+    srun.add_argument("--parity", action="store_true",
+                      help="run BOTH backends seed-matched and check exact "
+                           "agreement (scenario_parity), printing both FCT "
+                           "rows")
+    srun.set_defaults(func=cmd_scenario_run)
+
+    ssmoke = scenario_sub.add_parser(
+        "smoke",
+        help="one small scenario per batched kernel, object vs fastpath "
+             "with exact parity; prints the combined FCT table",
+    )
+    ssmoke.add_argument("--slots", type=int, default=250,
+                        help="arrival slots per run (default 250)")
+    ssmoke.add_argument("--warmup", type=int, default=0,
+                        help="warmup slots (default 0, keeps parity exact)")
+    ssmoke.add_argument("--seed", type=int, default=0)
+    ssmoke.add_argument("--out", metavar="PATH", default=None,
+                        help="also write the FCT table to PATH (CI artifact)")
+    ssmoke.set_defaults(func=cmd_scenario_smoke)
+
     check = sub.add_parser(
         "check",
         help="randomized invariant & differential sweep across schedulers "
@@ -1255,14 +1508,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check.add_argument("--suite", default="switch",
                        choices=["switch", "cbr", "churn", "statistical",
-                                "network", "all"],
+                                "network", "scenario", "all"],
                        help="switch = scheduler invariants + PIM parity; "
                             "cbr = integrated CBR+VBR object-vs-fastpath "
                             "parity; churn = Slepian-Duguid add/remove "
                             "consistency; statistical = slot-exact "
                             "statistical-matching object-vs-fastpath parity; "
                             "network = slot-exact whole-fabric "
-                            "object-vs-fastpath parity (default switch)")
+                            "object-vs-fastpath parity; scenario = named "
+                            "flow-level scenario parity with FCT samples "
+                            "(default switch)")
     check.add_argument("--seeds", type=_positive_int, default=25,
                        help="number of random cases to sweep (default 25)")
     check.add_argument("--budget", type=_budget_seconds, default=None,

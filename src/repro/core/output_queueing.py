@@ -20,6 +20,7 @@ from repro.sim.stats import DelayStats, ThroughputCounter
 from repro.switch.buffers import OutputQueue
 from repro.switch.cell import Cell
 from repro.switch.results import SwitchResult
+from repro.switch.switch import reset_traffic
 
 __all__ = ["OutputQueuedSwitch"]
 
@@ -62,6 +63,9 @@ class OutputQueuedSwitch:
             raise ValueError(
                 f"traffic is for {traffic.ports} ports, switch has {self.ports}"
             )
+        reset_traffic(traffic)
+        # Rerun contract: every run starts from empty output queues.
+        self.queues = [OutputQueue() for _ in range(self.ports)]
         delay = DelayStats(warmup=warmup)
         counter = ThroughputCounter(warmup=warmup)
         for slot in range(slots):

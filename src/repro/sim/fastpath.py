@@ -14,9 +14,13 @@ but slow.  This module trades cell identity for speed:
   :class:`repro.core.batch.BatchScheduler` kernel call (any registry
   scheduler -- PIM by default).
 
-What it cannot model: per-cell flow ids, per-flow FIFO order checking,
-per-cell delay histograms/percentiles, or trace-driven workloads --
-anything that needs cell identity.  Mean delay is instead recovered
+What the count model cannot carry: per-cell flow ids, per-flow FIFO
+order checking, per-cell delay histograms/percentiles -- anything that
+needs cell identity inside the hot loop.  Scenario mode (``sources=``)
+recovers flow identity *outside* the loop: arbitrary TrafficSource
+objects drive each replica and a shadow FIFO of flow ids per VOQ
+(exact, because both backends preserve per-VOQ FIFO order) yields
+slot-exact flow completion times.  Mean delay is instead recovered
 exactly via Little's law: with arrivals at slot start and departures
 at slot end, a cell with delay d is present in exactly d end-of-slot
 backlog samples, so over a run that starts empty and is drained to
@@ -36,8 +40,9 @@ randomness -- and hence the delay sample -- differs.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -45,6 +50,7 @@ from repro.core.batch import BatchScheduler, build_batch_scheduler
 from repro.core.pim import AN2_ITERATIONS, AcceptPolicy
 from repro.obs.perf import NULL_PHASE_TIMER
 from repro.sim.rng import RandomStreams
+from repro.sim.stats import FlowStats
 
 __all__ = ["FastpathCrossbar", "FastpathResult", "run_fastpath"]
 
@@ -108,6 +114,9 @@ class FastpathResult:
     warmup_mode: str = "slot"
     delay_cells: Optional[np.ndarray] = None
     delay_integral: Optional[np.ndarray] = None
+    #: Per-flow completion times pooled over replicas; present only in
+    #: scenario mode (``sources=``) with flow-aware sources.
+    fct: Optional[FlowStats] = None
 
     @property
     def mean_delay(self) -> float:
@@ -168,12 +177,15 @@ class FastpathResult:
 
     def summary(self) -> str:
         """One-line human-readable summary."""
-        return (
+        text = (
             f"{self.ports}x{self.ports} fastpath x{self.replicas} replicas, "
             f"{self.slots}+{self.drain_slots} slots: offered {self.offered:.3f}, "
             f"carried {self.throughput:.3f} per link, mean delay "
             f"{self.mean_delay:.2f} slots, backlog {int(self.final_backlog.sum())}"
         )
+        if self.fct is not None:
+            text += f"; {self.fct.summary()}"
+        return text
 
 
 class FastpathCrossbar:
@@ -315,6 +327,103 @@ class _ObjectCompatArrivals:
         return counts
 
 
+class _ScenarioArrivals:
+    """Arrival counts from B arbitrary TrafficSource objects.
+
+    Scenario mode trades the vectorized arrival draw for generality:
+    replica b is driven by ``sources[b].arrivals(slot)`` (any object
+    implementing the protocol -- notably
+    :class:`repro.traffic.flows.FlowTraffic`).  Because the fast path
+    is count-based it forgets cell identity at arrival, so for
+    flow-aware sources this adapter shadows each VOQ with the object
+    backend's exact service discipline (a
+    :class:`repro.switch.buffers.VOQBuffer` serves the flows of one
+    (input, output) pair round-robin, each flow internally FIFO).
+    Replaying that discipline on the matched pairs makes per-flow
+    departure attribution -- hence completion slots and FCT --
+    slot-exact rather than estimated.
+    """
+
+    def __init__(self, ports: int, sources: Sequence):
+        for b, src in enumerate(sources):
+            if src.ports != ports:
+                raise ValueError(
+                    f"sources[{b}] is for {src.ports} ports, fastpath has {ports}"
+                )
+        self.ports = ports
+        self.replicas = len(sources)
+        self.sources = list(sources)
+        self.track_flows = all(
+            callable(getattr(src, "flow_records", None)) for src in sources
+        )
+        self._slot = 0
+        # Round-robin eligible-flow list per (replica, input, output),
+        # mirroring VOQBuffer._eligible, plus queued-cell counts per
+        # (replica, flow) standing in for the per-flow cell queues.
+        self._eligible: Dict[Tuple[int, int, int], deque] = {}
+        self._queued: List[Dict[int, int]] = [{} for _ in sources]
+        self._departed: List[Dict[int, int]] = [{} for _ in sources]
+        self._completion: List[Dict[int, int]] = [{} for _ in sources]
+
+    def slot_counts(self) -> np.ndarray:
+        """(B, N, N) arrival counts for the next slot."""
+        counts = np.zeros((self.replicas, self.ports, self.ports), dtype=np.int64)
+        slot = self._slot
+        self._slot += 1
+        for b, src in enumerate(self.sources):
+            for input_port, cell in src.arrivals(slot):
+                counts[b, input_port, cell.output] += 1
+                if self.track_flows:
+                    queued = self._queued[b]
+                    before = queued.get(cell.flow_id, 0)
+                    if before == 0:
+                        # Empty -> non-empty: the flow joins the back of
+                        # its VOQ's round-robin list (VOQBuffer.enqueue).
+                        key = (b, input_port, cell.output)
+                        eligible = self._eligible.get(key)
+                        if eligible is None:
+                            eligible = self._eligible[key] = deque()
+                        eligible.append(cell.flow_id)
+                    queued[cell.flow_id] = before + 1
+        return counts
+
+    def on_departures(
+        self, bb: np.ndarray, ii: np.ndarray, jj: np.ndarray, slot: int
+    ) -> None:
+        """Serve each matched VOQ's next round-robin flow (VOQBuffer.dequeue)."""
+        if not self.track_flows:
+            return
+        for b, i, j in zip(bb.tolist(), ii.tolist(), jj.tolist()):
+            eligible = self._eligible[(b, i, j)]
+            flow_id = eligible.popleft()
+            queued = self._queued[b]
+            remaining = queued[flow_id] - 1
+            if remaining:
+                queued[flow_id] = remaining
+                eligible.append(flow_id)
+            else:
+                del queued[flow_id]
+            departed = self._departed[b]
+            count = departed.get(flow_id, 0) + 1
+            departed[flow_id] = count
+            if count == self.sources[b].flow_records()[flow_id].size:
+                self._completion[b][flow_id] = slot
+
+    def fct_stats(self, warmup: int) -> Optional[FlowStats]:
+        """Pooled per-flow completion stats (None for cell-level sources)."""
+        if not self.track_flows:
+            return None
+        fct = FlowStats(warmup=warmup)
+        for b, src in enumerate(self.sources):
+            completion = self._completion[b]
+            for flow_id, record in src.flow_records().items():
+                if flow_id in completion:
+                    fct.record(record.size, record.start_slot, completion[flow_id])
+                else:
+                    fct.incomplete += 1
+        return fct
+
+
 def run_fastpath(
     ports: int,
     load: float,
@@ -327,6 +436,7 @@ def run_fastpath(
     scheduler: str = "pim",
     seed: int = 0,
     arrival_seeds: Optional[Sequence[Optional[int]]] = None,
+    sources: Optional[Sequence] = None,
     drain_slots: int = 0,
     check: bool = False,
     probe=None,
@@ -365,6 +475,16 @@ def run_fastpath(
         ``UniformTraffic(ports, load, seed=arrival_seeds[b])`` draw for
         draw instead of using the batched stream -- the seed-for-seed
         parity mode.
+    sources:
+        Scenario mode (mutually exclusive with ``arrival_seeds``): a
+        length-B sequence of TrafficSource objects; replica b's
+        arrivals come from ``sources[b].arrivals(slot)``.  Each source
+        is ``reset()`` first (rerun contract), so an identically-seeded
+        source drives the object backend to the same trace.  ``load``
+        is not used for generation (pass the nominal load for the
+        record).  Flow-aware sources (``flow_records()``) additionally
+        produce slot-exact per-flow completion-time stats in the
+        result's ``fct``.
     drain_slots:
         Arrival-free slots appended after ``slots`` so the backlog can
         flush; with enough drain the Little's-law delay identity is
@@ -442,7 +562,22 @@ def run_fastpath(
                 track_sizes=False,
             )
             switch = FastpathCrossbar(ports, replicas, kernel)
-            if arrival_seeds is not None:
+            if sources is not None:
+                if arrival_seeds is not None:
+                    raise ValueError(
+                        "sources and arrival_seeds are mutually exclusive"
+                    )
+                if len(sources) != replicas:
+                    raise ValueError(
+                        f"sources has {len(sources)} entries for "
+                        f"{replicas} replicas"
+                    )
+                for src in sources:
+                    reset = getattr(src, "reset", None)
+                    if callable(reset):
+                        reset()
+                source = _ScenarioArrivals(ports, sources)
+            elif arrival_seeds is not None:
                 if len(arrival_seeds) != replicas:
                     raise ValueError(
                         f"arrival_seeds has {len(arrival_seeds)} entries for "
@@ -464,6 +599,7 @@ def run_fastpath(
                 probe.stride = trace_stride
             kernel.attach_probe(probe)
 
+        scenario_mode = sources is not None
         offered = np.zeros(replicas, dtype=np.int64)
         carried = np.zeros(replicas, dtype=np.int64)
         backlog_integral = np.zeros(replicas, dtype=np.int64)
@@ -494,6 +630,10 @@ def run_fastpath(
                 )
             with timer.phase("kernel"):
                 bb, ii, jj = switch.step(counts, check=check)
+            if scenario_mode:
+                # Flow bookkeeping covers the whole run; FlowStats does
+                # its own arrival-keyed warmup filtering at the end.
+                source.on_departures(bb, ii, jj, slot)
             if traced:
                 probe.transfer(int(bb.size))
                 if probe.sampling:
@@ -541,4 +681,5 @@ def run_fastpath(
         warmup_mode=warmup_mode,
         delay_cells=delay_cells,
         delay_integral=delay_integral,
+        fct=source.fct_stats(warmup) if scenario_mode else None,
     )

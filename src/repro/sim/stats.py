@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 __all__ = [
     "RunningMeanVar",
     "DelayStats",
+    "FlowStats",
     "ThroughputCounter",
     "batch_means_ci",
     "stationarity_ratio",
@@ -288,3 +289,113 @@ def batch_means_ci(samples: List[float], batches: int = 20, z: float = 1.96) -> 
     var = sum((m - grand) ** 2 for m in means) / (batches - 1)
     half = z * math.sqrt(var / batches)
     return grand, half
+
+
+class FlowStats:
+    """Per-flow completion-time statistics with warm-up discarding.
+
+    A flow of ``size`` cells that starts injecting at ``start_slot`` and
+    whose last cell departs at ``completion_slot`` has flow completion
+    time (FCT) ``completion_slot - start_slot + 1`` -- the same
+    inclusive slot convention as per-cell delay, so a one-cell flow
+    scheduled immediately has FCT 1.  Slowdown is FCT divided by the
+    flow's ideal service time at line rate (``size`` slots, since an
+    input injects at most one cell per slot), so slowdown >= 1 always.
+
+    Warm-up mirrors :class:`DelayStats`'s arrival-keyed convention:
+    flows that *start* before ``warmup`` are discarded, regardless of
+    when they complete.  Flows still incomplete when the run ends are
+    counted in ``incomplete`` but contribute no FCT sample.
+    """
+
+    def __init__(self, warmup: int = 0):
+        if warmup < 0:
+            raise ValueError(f"warmup must be >= 0, got {warmup}")
+        self.warmup = warmup
+        self.incomplete = 0
+        self.warm_discarded = 0
+        self._samples: List[Tuple[int, int]] = []  # (size, fct)
+
+    def record(self, size: int, start_slot: int, completion_slot: int) -> None:
+        """Record one completed flow."""
+        if size <= 0:
+            raise ValueError(f"flow size must be positive, got {size}")
+        if completion_slot < start_slot + size - 1:
+            raise ValueError(
+                f"flow of {size} cells cannot finish at slot {completion_slot} "
+                f"having started at slot {start_slot}"
+            )
+        if start_slot < self.warmup:
+            self.warm_discarded += 1
+            return
+        self._samples.append((size, completion_slot - start_slot + 1))
+
+    def merge(self, other: "FlowStats") -> None:
+        """Pool another accumulator's samples (e.g. across replicas)."""
+        self.incomplete += other.incomplete
+        self.warm_discarded += other.warm_discarded
+        self._samples.extend(other._samples)
+
+    @property
+    def count(self) -> int:
+        """Completed post-warm-up flows."""
+        return len(self._samples)
+
+    def observations(self) -> List[Tuple[int, int]]:
+        """The ``(size, fct)`` samples, in completion order."""
+        return list(self._samples)
+
+    @property
+    def mean_fct(self) -> float:
+        if not self._samples:
+            return 0.0
+        return sum(f for _, f in self._samples) / len(self._samples)
+
+    @property
+    def mean_slowdown(self) -> float:
+        if not self._samples:
+            return 0.0
+        return sum(f / s for s, f in self._samples) / len(self._samples)
+
+    @staticmethod
+    def _percentile(values: List[float], q: float) -> float:
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not values:
+            return 0.0
+        ordered = sorted(values)
+        rank = max(0, math.ceil(q / 100.0 * len(ordered)) - 1)
+        return ordered[rank]
+
+    def fct_percentile(self, q: float) -> float:
+        """FCT at percentile ``q`` (nearest-rank)."""
+        return self._percentile([float(f) for _, f in self._samples], q)
+
+    def slowdown_percentile(self, q: float) -> float:
+        """Slowdown at percentile ``q`` (nearest-rank)."""
+        return self._percentile([f / s for s, f in self._samples], q)
+
+    @property
+    def p99_fct(self) -> float:
+        return self.fct_percentile(99.0)
+
+    @property
+    def p99_slowdown(self) -> float:
+        return self.slowdown_percentile(99.0)
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        if not self._samples:
+            return f"no completed flows ({self.incomplete} incomplete)"
+        return (
+            f"{self.count} flows: FCT mean {self.mean_fct:.2f} "
+            f"p99 {self.p99_fct:.0f} slots, slowdown mean "
+            f"{self.mean_slowdown:.2f} p99 {self.p99_slowdown:.2f}"
+            f" ({self.incomplete} incomplete)"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"FlowStats(count={self.count}, incomplete={self.incomplete}, "
+            f"warmup={self.warmup})"
+        )

@@ -8,9 +8,9 @@ algorithms uniformly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
-from repro.sim.stats import DelayStats, ThroughputCounter
+from repro.sim.stats import DelayStats, FlowStats, ThroughputCounter
 
 __all__ = ["SwitchResult"]
 
@@ -47,6 +47,10 @@ class SwitchResult:
         Cells dropped (always 0 for the AN2-style switch; non-zero only
         for lossy baselines such as the k-replicated output switch with
         finite output speedup admission).
+    fct:
+        Per-flow completion-time statistics, populated only when the
+        traffic source is flow-aware (exposes ``flow_records()``, see
+        :mod:`repro.traffic.flows`); ``None`` for cell-level sources.
     """
 
     delay: DelayStats
@@ -58,6 +62,7 @@ class SwitchResult:
     dropped: int = 0
     arrivals_by_input: Tuple[int, ...] = ()
     departures_by_output: Tuple[int, ...] = ()
+    fct: Optional[FlowStats] = None
 
     @property
     def mean_delay(self) -> float:
@@ -81,8 +86,11 @@ class SwitchResult:
 
     def summary(self) -> str:
         """One-line human-readable summary."""
-        return (
+        text = (
             f"{self.ports}x{self.ports} switch, {self.slots} slots: "
             f"offered {self.offered:.3f}, carried {self.throughput:.3f} per link, "
             f"mean delay {self.mean_delay:.2f} slots, backlog {self.backlog}"
         )
+        if self.fct is not None:
+            text += f"; {self.fct.summary()}"
+        return text

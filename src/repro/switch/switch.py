@@ -23,13 +23,20 @@ import numpy as np
 
 from repro.core.matching import Matching
 from repro.obs.perf import NULL_PHASE_TIMER
-from repro.sim.stats import DelayStats, ThroughputCounter
+from repro.sim.stats import DelayStats, FlowStats, ThroughputCounter
 from repro.switch.buffers import FIFOInputBuffer, OutputQueue, VOQBuffer
 from repro.switch.cell import Cell
 from repro.switch.fabric import CrossbarFabric, Fabric
 from repro.switch.results import SwitchResult
 
-__all__ = ["MatchScheduler", "TrafficSource", "CrossbarSwitch", "FIFOSwitch", "SwitchResult"]
+__all__ = [
+    "MatchScheduler",
+    "TrafficSource",
+    "reset_traffic",
+    "CrossbarSwitch",
+    "FIFOSwitch",
+    "SwitchResult",
+]
 
 
 @runtime_checkable
@@ -45,12 +52,29 @@ class MatchScheduler(Protocol):
 
 @runtime_checkable
 class TrafficSource(Protocol):
-    """A single-switch arrival process."""
+    """A single-switch arrival process.
+
+    Sources that carry cross-slot state (RNG streams, sequence numbers,
+    burst/on-off state) also expose ``reset()`` restoring the
+    as-constructed state; run entry points call it (when present) so a
+    rerun with the same source replays the identical arrival trace --
+    the same rerun contract schedulers honour.  Flow-aware sources
+    additionally expose ``flow_records()`` (see
+    :mod:`repro.traffic.flows`) which switches use to report per-flow
+    completion-time statistics.
+    """
 
     ports: int
 
     def arrivals(self, slot: int) -> List[Tuple[int, Cell]]:
         """Cells arriving in ``slot`` as (input_port, cell) pairs."""
+
+
+def reset_traffic(traffic) -> None:
+    """Rewind a traffic source if it supports the rerun contract."""
+    reset = getattr(traffic, "reset", None)
+    if callable(reset):
+        reset()
 
 
 class _OrderChecker:
@@ -234,6 +258,13 @@ class CrossbarSwitch:
         )
         with timer.phase("run"):
             self.scheduler.reset()
+            reset_traffic(traffic)
+            # The other half of the rerun contract: a run starts from an
+            # empty switch, so rerunning the same (switch, traffic) pair
+            # replays the same trajectory instead of draining leftovers.
+            self.buffers = [VOQBuffer(self.ports) for _ in range(self.ports)]
+            if self.output_queues is not None:
+                self.output_queues = [OutputQueue() for _ in range(self.ports)]
             traced = probe is not None and probe.enabled
             if traced and hasattr(self.scheduler, "attach_probe"):
                 self.scheduler.attach_probe(probe)
@@ -244,6 +275,10 @@ class CrossbarSwitch:
             input_of_cell: Dict[int, int] = {}
             arrivals_by_input = [0] * self.ports
             departures_by_output = [0] * self.ports
+            flow_records = getattr(traffic, "flow_records", None)
+            track_fct = callable(flow_records)
+            departed_of_flow: Dict[int, int] = {}
+            last_departure_slot: Dict[int, int] = {}
 
             for slot in range(slots):
                 with timer.phase("arrivals"):
@@ -267,6 +302,10 @@ class CrossbarSwitch:
                     for cell in departures:
                         delay.record(cell.arrival_slot, slot)
                         order.observe(cell)
+                        if track_fct:
+                            fid = cell.flow_id
+                            departed_of_flow[fid] = departed_of_flow.get(fid, 0) + 1
+                            last_departure_slot[fid] = slot
                         if slot >= warmup:
                             departures_by_output[cell.output] += 1
                         src = input_of_cell.pop(cell.uid, None)
@@ -291,6 +330,14 @@ class CrossbarSwitch:
             raise AssertionError(
                 f"{order.violations} per-flow order violations -- switch bug"
             )
+        fct = None
+        if track_fct:
+            fct = FlowStats(warmup=warmup)
+            for fid, record in flow_records().items():
+                if departed_of_flow.get(fid, 0) >= record.size:
+                    fct.record(record.size, record.start_slot, last_departure_slot[fid])
+                else:
+                    fct.incomplete += 1
         return SwitchResult(
             delay=delay,
             counter=counter,
@@ -301,6 +348,7 @@ class CrossbarSwitch:
             dropped=0,
             arrivals_by_input=tuple(arrivals_by_input),
             departures_by_output=tuple(departures_by_output),
+            fct=fct,
         )
 
 
@@ -349,6 +397,8 @@ class FIFOSwitch:
                 f"traffic is for {traffic.ports} ports, switch has {self.ports}"
             )
         self.scheduler.reset()
+        reset_traffic(traffic)
+        self.buffers = [FIFOInputBuffer() for _ in range(self.ports)]
         delay = DelayStats(warmup=warmup)
         counter = ThroughputCounter(warmup=warmup)
         arrivals_by_input = [0] * self.ports

@@ -14,7 +14,16 @@ the switch's per-flow FIFO machinery is exercised:
 - :mod:`repro.traffic.bursty` -- on/off markov-modulated bursts,
 - :mod:`repro.traffic.cbr_source` -- reserved cells-per-frame sources
   for the Section 4 guarantees,
+- :mod:`repro.traffic.flows` -- flow-level traffic (heavy-tailed sizes,
+  ON/OFF bursts, incast/hotspot/permutation/skewed demand matrices)
+  with per-flow completion-time bookkeeping,
+- :mod:`repro.traffic.scenarios` -- the named-scenario registry over
+  the flow generator (``repro-an2 scenario run websearch-incast``),
 - :mod:`repro.traffic.trace` -- record/replay of any other source.
+
+Every generator with cross-slot state also implements ``reset()``
+(the rerun contract): run entry points rewind the source so repeated
+runs with the same object replay identical arrival traces.
 """
 
 from repro.traffic.uniform import UniformTraffic
@@ -22,6 +31,8 @@ from repro.traffic.clientserver import ClientServerTraffic
 from repro.traffic.periodic import PeriodicTraffic
 from repro.traffic.bursty import BurstyTraffic
 from repro.traffic.cbr_source import CBRSource
+from repro.traffic.flows import FlowRecord, FlowTraffic, SizeDist, WindowedSource
+from repro.traffic.scenarios import SCENARIOS, Scenario, get_scenario, list_scenarios
 from repro.traffic.trace import TraceRecorder, TraceTraffic
 
 __all__ = [
@@ -30,6 +41,14 @@ __all__ = [
     "PeriodicTraffic",
     "BurstyTraffic",
     "CBRSource",
+    "FlowRecord",
+    "FlowTraffic",
+    "SizeDist",
+    "WindowedSource",
+    "Scenario",
+    "SCENARIOS",
+    "get_scenario",
+    "list_scenarios",
     "TraceRecorder",
     "TraceTraffic",
 ]

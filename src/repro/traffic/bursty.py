@@ -59,13 +59,12 @@ class BurstyTraffic:
         self.ports = ports
         self.load = load
         self.burst_length = burst_length
-        if seed is not None:
-            self._rng = np.random.default_rng(seed)
-        else:
+        if seed is None:
             # Deterministic fallback (repro.sim.rng default-seed policy).
-            from repro.sim.rng import default_generator
+            from repro.sim.rng import default_seed
 
-            self._rng = default_generator("traffic/bursty")
+            seed = default_seed("traffic/bursty")
+        self._seed = int(seed)
         self._p_end_on = 1.0 / burst_length
         if load > 0:
             mean_off = burst_length * (1.0 - load) / load
@@ -75,6 +74,18 @@ class BurstyTraffic:
         self._on = np.zeros(ports, dtype=bool)
         self._burst_dest = np.zeros(ports, dtype=np.int64)
         self._seqno: Dict[int, int] = {}
+        self.reset()
+
+    def reset(self) -> None:
+        """Restore the as-constructed state (rerun contract).
+
+        Rewinds the RNG stream and clears the on/off modulation state,
+        per-burst destinations, and per-flow sequence numbers.
+        """
+        self._rng = np.random.default_rng(self._seed)
+        self._on[:] = False
+        self._burst_dest[:] = 0
+        self._seqno.clear()
 
     def _next_seqno(self, flow_id: int) -> int:
         seq = self._seqno.get(flow_id, 0)

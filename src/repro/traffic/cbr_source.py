@@ -65,15 +65,25 @@ class CBRSource:
         self.flows = list(flows)
         self.frame_slots = frame_slots
         self.jitter = jitter
-        if seed is not None:
-            self._rng = np.random.default_rng(seed)
-        else:
+        if seed is None:
             # Deterministic fallback (repro.sim.rng default-seed policy).
-            from repro.sim.rng import default_generator
+            from repro.sim.rng import default_seed
 
-            self._rng = default_generator("traffic/cbr")
+            seed = default_seed("traffic/cbr")
+        self._seed = int(seed)
         self._seqno: Dict[int, int] = {}
         self._emission_slots: Dict[int, set] = {}
+        self.reset()
+
+    def reset(self) -> None:
+        """Restore the as-constructed state (rerun contract).
+
+        Rewinds the jitter RNG, discards the planned frame, and clears
+        per-flow sequence numbers so a rerun replays the same emissions.
+        """
+        self._rng = np.random.default_rng(self._seed)
+        self._seqno.clear()
+        self._emission_slots = {}
         self._current_frame = -1
 
     def _plan_frame(self, frame_index: int) -> None:

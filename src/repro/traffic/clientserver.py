@@ -95,14 +95,23 @@ class ClientServerTraffic:
         for i in range(ports):
             if row_loads[i] > 0:
                 self._dest_p[i] = self._rates[i] / row_loads[i]
-        if seed is not None:
-            self._rng = np.random.default_rng(seed)
-        else:
+        if seed is None:
             # Deterministic fallback (repro.sim.rng default-seed policy).
-            from repro.sim.rng import default_generator
+            from repro.sim.rng import default_seed
 
-            self._rng = default_generator("traffic/clientserver")
+            seed = default_seed("traffic/clientserver")
+        self._seed = int(seed)
         self._seqno: Dict[int, int] = {}
+        self.reset()
+
+    def reset(self) -> None:
+        """Restore the as-constructed state (rerun contract).
+
+        The rate matrix is immutable; only the RNG stream and per-flow
+        sequence numbers need rewinding.
+        """
+        self._rng = np.random.default_rng(self._seed)
+        self._seqno.clear()
 
     @property
     def connection_rates(self) -> np.ndarray:

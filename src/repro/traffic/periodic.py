@@ -74,15 +74,25 @@ class PeriodicTraffic:
         self.load = load
         self.staggered = staggered
         self.burst = burst
-        if seed is not None:
-            self._rng = np.random.default_rng(seed)
-        else:
+        if seed is None:
             # Deterministic fallback (repro.sim.rng default-seed policy).
-            from repro.sim.rng import default_generator
+            from repro.sim.rng import default_seed
 
-            self._rng = default_generator("traffic/periodic")
+            seed = default_seed("traffic/periodic")
+        self._seed = int(seed)
         self._position = np.zeros(ports, dtype=np.int64)
         self._seqno: Dict[int, int] = {}
+        self.reset()
+
+    def reset(self) -> None:
+        """Restore the as-constructed state (rerun contract).
+
+        Rewinds the thinning RNG, the per-input cycle cursors, and the
+        per-flow sequence numbers.
+        """
+        self._rng = np.random.default_rng(self._seed)
+        self._position[:] = 0
+        self._seqno.clear()
 
     def _next_seqno(self, flow_id: int) -> int:
         seq = self._seqno.get(flow_id, 0)

@@ -1,0 +1,157 @@
+"""Named workload scenarios over :class:`repro.traffic.flows.FlowTraffic`.
+
+A scenario bundles a demand matrix, size distribution, arrival process,
+and default run geometry under a stable name, so the same workload can
+be invoked from the CLI (``repro-an2 scenario run websearch-incast``),
+the differential-parity fuzzer, the benches, and the examples -- and a
+number quoted in one place is reproducible everywhere else.
+
+Scenario defaults are chosen *feasible*: the hottest output's long-run
+offered load stays below 1 cell/slot so steady state exists (the
+constructor of :class:`FlowTraffic` enforces this).  ``ports``, ``load``
+and run lengths are defaults, overridable at build time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.traffic.flows import FlowTraffic, SizeDist
+
+__all__ = ["Scenario", "SCENARIOS", "get_scenario", "list_scenarios"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named flow-level workload with default run geometry."""
+
+    name: str
+    description: str
+    ports: int
+    load: float
+    slots: int
+    warmup: int
+    flow_kwargs: dict = field(default_factory=dict)
+
+    def build_source(
+        self,
+        seed: int,
+        ports: Optional[int] = None,
+        load: Optional[float] = None,
+    ) -> FlowTraffic:
+        """Instantiate the scenario's traffic source.
+
+        Two sources built with the same arguments generate identical
+        arrival traces, which is what the cross-backend parity oracle
+        relies on.
+        """
+        return FlowTraffic(
+            ports if ports is not None else self.ports,
+            load if load is not None else self.load,
+            seed=seed,
+            **self.flow_kwargs,
+        )
+
+
+# Websearch-style response sizes (in cells): mostly mice, a few
+# multi-cell responses, the occasional large transfer.
+_WEBSEARCH_SIZES = SizeDist.empirical(
+    sizes=[1, 2, 4, 16, 64, 256],
+    weights=[0.30, 0.20, 0.20, 0.15, 0.10, 0.05],
+)
+
+SCENARIOS: Dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in [
+        Scenario(
+            name="websearch-incast",
+            description=(
+                "Partition-aggregate fan-in: each request triggers 4 "
+                "responses from distinct sources converging on one "
+                "output in the same slot, websearch-style size mix"
+            ),
+            ports=8,
+            load=0.60,
+            slots=2000,
+            warmup=200,
+            flow_kwargs=dict(
+                sizes=_WEBSEARCH_SIZES,
+                process="poisson",
+                matrix="incast",
+                fanin=4,
+            ),
+        ),
+        Scenario(
+            name="hotspot",
+            description=(
+                "Half of all heavy-tailed flows target port 0 (a "
+                "server link); the hot output runs near saturation "
+                "while the rest idle"
+            ),
+            ports=8,
+            load=0.20,
+            slots=2000,
+            warmup=200,
+            flow_kwargs=dict(
+                sizes=SizeDist.pareto(alpha=1.3, min_size=2, max_size=200),
+                process="poisson",
+                matrix="hotspot",
+                hot_port=0,
+                hot_fraction=0.5,
+            ),
+        ),
+        Scenario(
+            name="permutation-churn",
+            description=(
+                "Conflict-free permutation demand re-drawn every 200 "
+                "slots, fixed-size flows arriving in ON/OFF bursts -- "
+                "stresses how fast schedulers re-converge after churn"
+            ),
+            ports=8,
+            load=0.70,
+            slots=2000,
+            warmup=200,
+            flow_kwargs=dict(
+                sizes=SizeDist.fixed(8),
+                process="onoff",
+                matrix="permutation",
+                churn_every=200,
+                burst_slots=50.0,
+                duty=0.3,
+            ),
+        ),
+        Scenario(
+            name="skewed-uniform",
+            description=(
+                "Zipf(1.0) output popularity with heavy-tailed sizes: "
+                "port 0 sees ~37% of all cells, the tail ports starve-"
+                "test fairness"
+            ),
+            ports=8,
+            load=0.25,
+            slots=2000,
+            warmup=200,
+            flow_kwargs=dict(
+                sizes=SizeDist.pareto(alpha=1.5, min_size=1, max_size=100),
+                process="poisson",
+                matrix="skewed",
+                zipf_s=1.0,
+            ),
+        ),
+    ]
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario by name; errors list what exists."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise ValueError(f"unknown scenario {name!r}; known: {known}") from None
+
+
+def list_scenarios() -> List[Scenario]:
+    """All scenarios in registration order."""
+    return list(SCENARIOS.values())

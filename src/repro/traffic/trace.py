@@ -35,10 +35,27 @@ class TraceRecorder:
         self.trace: Dict[int, Arrivals] = {}
 
     def arrivals(self, slot: int) -> Arrivals:
-        """Delegate to the wrapped source, keeping a deep copy."""
+        """Delegate to the wrapped source, keeping a deep copy.
+
+        Recording the same slot twice would silently corrupt the trace
+        (the second recording overwrites the first, so a replay would no
+        longer match either run); it is rejected instead.  Re-driving a
+        recorder from slot 0 is done via :meth:`reset`.
+        """
+        if slot in self.trace:
+            raise ValueError(
+                f"slot {slot} already recorded; call reset() before "
+                f"re-driving a TraceRecorder from the start"
+            )
         cells = self.source.arrivals(slot)
         self.trace[slot] = copy.deepcopy(cells)
         return cells
+
+    def reset(self) -> None:
+        """Clear the trace and rewind the wrapped source (rerun contract)."""
+        if hasattr(self.source, "reset"):
+            self.source.reset()
+        self.trace = {}
 
     def replay(self) -> "TraceTraffic":
         """A replayable source over everything recorded so far."""
@@ -78,6 +95,9 @@ class TraceTraffic:
         """The recorded arrivals for ``slot`` (fresh copies)."""
         return copy.deepcopy(self._trace.get(slot, []))
 
+    def reset(self) -> None:
+        """No-op: a trace is immutable and every replay starts fresh."""
+
     @property
     def total_cells(self) -> int:
         """Number of cells in the whole trace."""
@@ -109,16 +129,43 @@ class TraceTraffic:
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "TraceTraffic":
-        """Read a trace previously written by :meth:`save`."""
+        """Read a trace previously written by :meth:`save`.
+
+        Trace files are hand-editable JSON, so every record is validated
+        before it can poison a run: ports must be positive, each cell's
+        input and output must lie in ``[0, ports)``, and slots must be
+        non-negative.  Errors name the offending record.
+        """
         payload = json.loads(Path(path).read_text())
+        ports = payload["ports"]
+        if not isinstance(ports, int) or ports <= 0:
+            raise ValueError(f"{path}: ports must be a positive int, got {ports!r}")
         trace: Dict[int, Arrivals] = {}
-        for record in payload["cells"]:
+        for index, record in enumerate(payload["cells"]):
+            slot = record["slot"]
+            input_port = record["input"]
+            output = record["output"]
+            if not isinstance(slot, int) or slot < 0:
+                raise ValueError(
+                    f"{path}: cell {index} has negative or non-integer "
+                    f"slot {slot!r}"
+                )
+            if not isinstance(input_port, int) or not 0 <= input_port < ports:
+                raise ValueError(
+                    f"{path}: cell {index} (slot {slot}) has input "
+                    f"{input_port!r} outside [0, {ports})"
+                )
+            if not isinstance(output, int) or not 0 <= output < ports:
+                raise ValueError(
+                    f"{path}: cell {index} (slot {slot}) has output "
+                    f"{output!r} outside [0, {ports})"
+                )
             cell = Cell(
                 flow_id=record["flow"],
-                output=record["output"],
+                output=output,
                 service=ServiceClass(record["service"]),
                 seqno=record["seqno"],
                 injected_slot=record["injected"],
             )
-            trace.setdefault(record["slot"], []).append((record["input"], cell))
-        return cls(payload["ports"], trace)
+            trace.setdefault(slot, []).append((input_port, cell))
+        return cls(ports, trace)

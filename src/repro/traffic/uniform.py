@@ -56,14 +56,23 @@ class UniformTraffic:
         self.ports = ports
         self.load = load
         self.exclude_self = exclude_self
-        if seed is not None:
-            self._rng = np.random.default_rng(seed)
-        else:
+        if seed is None:
             # Deterministic fallback (repro.sim.rng default-seed policy).
-            from repro.sim.rng import default_generator
+            from repro.sim.rng import default_seed
 
-            self._rng = default_generator("traffic/uniform")
+            seed = default_seed("traffic/uniform")
+        self._seed = int(seed)
         self._seqno: Dict[int, int] = {}
+        self.reset()
+
+    def reset(self) -> None:
+        """Restore the as-constructed state (rerun contract).
+
+        Rewinds the RNG stream and clears per-flow sequence numbers so a
+        rerun replays the exact same arrival trace.
+        """
+        self._rng = np.random.default_rng(self._seed)
+        self._seqno.clear()
 
     def _flow_id(self, input_port: int, output_port: int) -> int:
         return input_port * self.ports + output_port

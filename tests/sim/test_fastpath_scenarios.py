@@ -1,0 +1,120 @@
+"""Fast path driven by scenario sources (run_fastpath(sources=...))."""
+
+import pytest
+
+from repro.sim.fastpath import run_fastpath
+from repro.traffic.scenarios import get_scenario
+from repro.traffic.uniform import UniformTraffic
+
+
+def _run(scenario="websearch-incast", slots=200, drain=600, seed=0, **kw):
+    spec = get_scenario(scenario)
+    defaults = dict(
+        replicas=1,
+        iterations=4,
+        scheduler="islip",
+        seed=seed,
+        sources=[spec.build_source(seed)],
+        drain_slots=drain,
+        warmup_mode="arrival",
+        check=True,
+    )
+    defaults.update(kw)
+    return run_fastpath(spec.ports, spec.load, slots, **defaults)
+
+
+class TestScenarioMode:
+    def test_conservation_with_sources(self):
+        result = _run()
+        assert result.offered_cells > 0
+        assert result.carried_cells + result.final_backlog == result.offered_cells
+
+    def test_fct_present_for_flow_aware_sources(self):
+        result = _run()
+        assert result.fct is not None
+        assert result.fct.count > 0
+        assert result.fct.mean_fct >= 1.0
+        assert result.fct.mean_slowdown >= 1.0
+
+    def test_fct_absent_for_cell_level_sources(self):
+        spec = get_scenario("websearch-incast")
+        result = run_fastpath(
+            spec.ports, 0.5, 200, replicas=1, scheduler="islip",
+            sources=[UniformTraffic(spec.ports, load=0.5, seed=0)],
+        )
+        assert result.fct is None
+
+    def test_fct_absent_without_sources(self):
+        result = run_fastpath(8, 0.5, 200, replicas=1, scheduler="islip",
+                              arrival_seeds=[3])
+        assert result.fct is None
+
+    def test_every_scheduler_accepts_sources(self):
+        from repro.core.batch import BATCH_SCHEDULERS
+
+        for scheduler in BATCH_SCHEDULERS:
+            result = _run(slots=120, drain=400, scheduler=scheduler)
+            assert result.carried_cells > 0, scheduler
+            assert result.fct is not None, scheduler
+
+
+class TestArgumentErrors:
+    def test_sources_and_arrival_seeds_are_mutually_exclusive(self):
+        spec = get_scenario("websearch-incast")
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            run_fastpath(
+                spec.ports, spec.load, 100, replicas=1,
+                sources=[spec.build_source(0)], arrival_seeds=[0],
+            )
+
+    def test_sources_length_must_match_replicas(self):
+        spec = get_scenario("websearch-incast")
+        with pytest.raises(ValueError, match="sources has 1 entries"):
+            run_fastpath(
+                spec.ports, spec.load, 100, replicas=2,
+                sources=[spec.build_source(0)],
+            )
+
+    def test_source_ports_must_match(self):
+        spec = get_scenario("websearch-incast")
+        with pytest.raises(ValueError, match="ports"):
+            run_fastpath(
+                4, spec.load, 100, replicas=1,
+                sources=[spec.build_source(0)],  # 8-port source
+            )
+
+
+class TestDeterminism:
+    def test_rerun_with_fresh_sources_is_identical(self):
+        a, b = _run(seed=5), _run(seed=5)
+        assert a.carried_cells == b.carried_cells
+        assert a.delay_integral == b.delay_integral
+        assert a.fct.observations() == b.fct.observations()
+
+    def test_reused_source_is_reset_by_the_run(self):
+        """run_fastpath must reset() the sources it is handed, so the
+        same source object can drive two runs identically."""
+        spec = get_scenario("hotspot")
+        source = spec.build_source(9)
+        common = dict(
+            replicas=1, iterations=4, scheduler="islip", seed=9,
+            drain_slots=600, warmup_mode="arrival",
+        )
+        first = run_fastpath(spec.ports, spec.load, 200,
+                             sources=[source], **common)
+        second = run_fastpath(spec.ports, spec.load, 200,
+                              sources=[source], **common)
+        assert first.carried_cells == second.carried_cells
+        assert first.fct.observations() == second.fct.observations()
+
+    def test_replicas_with_distinct_sources(self):
+        spec = get_scenario("skewed-uniform")
+        result = run_fastpath(
+            spec.ports, spec.load, 150, replicas=2, iterations=4,
+            scheduler="islip", seed=0,
+            sources=[spec.build_source(0), spec.build_source(1)],
+            drain_slots=500, warmup_mode="arrival",
+        )
+        assert result.replicas == 2
+        assert result.fct is not None
+        assert result.fct.count > 0

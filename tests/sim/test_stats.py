@@ -186,3 +186,82 @@ class TestBatchMeansCI:
     def test_too_few_batches(self):
         with pytest.raises(ValueError, match="at least 2 batches"):
             batch_means_ci([1.0] * 5, batches=1)
+
+
+class TestFlowStats:
+    def _filled(self, warmup=0):
+        from repro.sim.stats import FlowStats
+
+        fct = FlowStats(warmup=warmup)
+        # (size, start, completion) -> FCT = completion - start + 1
+        fct.record(1, 10, 10)   # FCT 1, slowdown 1.0
+        fct.record(4, 10, 15)   # FCT 6, slowdown 1.5
+        fct.record(2, 12, 19)   # FCT 8, slowdown 4.0
+        return fct
+
+    def test_fct_inclusive_convention(self):
+        from repro.sim.stats import FlowStats
+
+        fct = FlowStats()
+        fct.record(1, 5, 5)  # scheduled immediately
+        assert fct.observations() == [(1, 1)]
+        assert fct.mean_slowdown == 1.0
+
+    def test_means_and_percentiles(self):
+        fct = self._filled()
+        assert fct.count == 3
+        assert fct.mean_fct == pytest.approx((1 + 6 + 8) / 3)
+        assert fct.mean_slowdown == pytest.approx((1.0 + 1.5 + 4.0) / 3)
+        # Nearest-rank: p50 of [1, 6, 8] is the 2nd order statistic.
+        assert fct.fct_percentile(50) == 6.0
+        assert fct.p99_fct == 8.0
+        assert fct.p99_slowdown == 4.0
+
+    def test_record_validation(self):
+        from repro.sim.stats import FlowStats
+
+        fct = FlowStats()
+        with pytest.raises(ValueError, match="size must be positive"):
+            fct.record(0, 0, 0)
+        with pytest.raises(ValueError, match="cannot finish"):
+            fct.record(3, 10, 11)  # 3 cells need >= 3 slots
+
+    def test_warmup_discards_by_start_slot(self):
+        from repro.sim.stats import FlowStats
+
+        fct = FlowStats(warmup=12)
+        fct.record(1, 11, 30)  # started pre-warmup: discarded
+        fct.record(1, 12, 13)  # started at the boundary: kept
+        assert fct.count == 1
+        assert fct.warm_discarded == 1
+
+    def test_negative_warmup_rejected(self):
+        from repro.sim.stats import FlowStats
+
+        with pytest.raises(ValueError, match="warmup"):
+            FlowStats(warmup=-1)
+
+    def test_merge_pools_samples_and_counters(self):
+        from repro.sim.stats import FlowStats
+
+        a, b = self._filled(), self._filled()
+        b.incomplete = 2
+        b.warm_discarded = 1
+        a.merge(b)
+        assert a.count == 6
+        assert a.incomplete == 2
+        assert a.warm_discarded == 1
+        assert a.mean_fct == pytest.approx((1 + 6 + 8) / 3)
+
+    def test_empty_summary_and_zero_stats(self):
+        from repro.sim.stats import FlowStats
+
+        fct = FlowStats()
+        fct.incomplete = 3
+        assert fct.mean_fct == 0.0
+        assert fct.mean_slowdown == 0.0
+        assert fct.p99_fct == 0.0
+        assert "3 incomplete" in fct.summary()
+
+    def test_summary_mentions_counts(self):
+        assert "3 flows" in self._filled().summary()

@@ -120,3 +120,69 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "[cbr]" in out
         assert "all invariants held" in out
+
+
+class TestScenarioCommands:
+    def test_scenario_list(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "websearch-incast" in out
+        assert "hotspot" in out
+        assert "permutation-churn" in out
+        assert "skewed-uniform" in out
+
+    def test_scenario_run_fastpath(self, capsys):
+        code = main([
+            "scenario", "run", "websearch-incast",
+            "--slots", "150", "--warmup", "0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "websearch-incast" in out
+        assert "FCT" in out or "flows" in out
+
+    def test_scenario_run_object_backend(self, capsys):
+        code = main([
+            "scenario", "run", "hotspot", "--backend", "object",
+            "--slots", "150", "--warmup", "0",
+        ])
+        assert code == 0
+
+    def test_scenario_run_object_rejects_replicas(self, capsys):
+        code = main([
+            "scenario", "run", "hotspot", "--backend", "object",
+            "--replicas", "2", "--slots", "100",
+        ])
+        assert code == 2
+
+    def test_scenario_run_unknown_name(self, capsys):
+        assert main(["scenario", "run", "bogus"]) == 2
+        err = capsys.readouterr()
+        assert "unknown scenario" in err.out + err.err
+
+    def test_scenario_run_parity(self, capsys):
+        code = main([
+            "scenario", "run", "skewed-uniform", "--parity",
+            "--slots", "120", "--warmup", "0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "object" in out and "fastpath" in out
+
+    def test_scenario_smoke(self, capsys, tmp_path):
+        out_file = tmp_path / "fct.txt"
+        code = main([
+            "scenario", "smoke", "--slots", "120", "--out", str(out_file),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "islip" in out
+        assert out_file.exists()
+        assert "scenario" in out_file.read_text()
+
+    def test_check_scenario_suite(self, capsys, tmp_path):
+        code = main([
+            "check", "--suite", "scenario", "--seeds", "2",
+            "--out", str(tmp_path),
+        ])
+        assert code == 0

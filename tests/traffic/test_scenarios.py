@@ -1,0 +1,90 @@
+"""Tests for the named-scenario registry (repro.traffic.scenarios)."""
+
+import pytest
+
+from repro.traffic.scenarios import SCENARIOS, get_scenario, list_scenarios
+from repro.traffic.trace import TraceRecorder
+
+
+class TestRegistry:
+    def test_at_least_four_scenarios(self):
+        assert len(SCENARIOS) >= 4
+
+    def test_names_are_keys(self):
+        for name, scenario in SCENARIOS.items():
+            assert scenario.name == name
+
+    def test_list_scenarios_matches_registry(self):
+        assert {s.name for s in list_scenarios()} == set(SCENARIOS)
+
+    def test_get_scenario(self):
+        assert get_scenario("websearch-incast") is SCENARIOS["websearch-incast"]
+
+    def test_get_scenario_unknown_name_lists_known(self):
+        with pytest.raises(ValueError, match="unknown scenario 'nope'"):
+            get_scenario("nope")
+        with pytest.raises(ValueError, match="websearch-incast"):
+            get_scenario("nope")
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_defaults_are_feasible(self, name):
+        """FlowTraffic's constructor enforces per-output feasibility;
+        every registered scenario must build without tripping it."""
+        spec = SCENARIOS[name]
+        source = spec.build_source(seed=0)
+        assert source.ports == spec.ports
+        assert 0 < spec.warmup < spec.slots
+
+
+class TestBuildSource:
+    def test_same_seed_same_trace(self):
+        spec = get_scenario("hotspot")
+        a, b = spec.build_source(seed=11), spec.build_source(seed=11)
+        for slot in range(150):
+            left = [(i, c.flow_id, c.output, c.seqno) for i, c in a.arrivals(slot)]
+            right = [(i, c.flow_id, c.output, c.seqno) for i, c in b.arrivals(slot)]
+            assert left == right
+
+    def test_different_seed_different_trace(self):
+        spec = get_scenario("hotspot")
+        a, b = spec.build_source(seed=11), spec.build_source(seed=12)
+        traces = []
+        for source in (a, b):
+            traces.append([
+                [(i, c.flow_id) for i, c in source.arrivals(s)]
+                for s in range(150)
+            ])
+        assert traces[0] != traces[1]
+
+    def test_overrides(self):
+        spec = get_scenario("websearch-incast")
+        source = spec.build_source(seed=0, ports=16, load=0.3)
+        assert source.ports == 16
+        assert source.load == 0.3
+
+
+class TestScenarioTraceRoundTrip:
+    def test_recorded_scenario_run_replays_exactly(self, tmp_path):
+        """Record a scenario-driven switch run, save the trace, reload
+        it, and re-run: the replay must reproduce the original result
+        exactly (ISSUE: record/replay composes with flow traffic)."""
+        from repro.core.islip import ISLIPScheduler
+        from repro.switch.switch import CrossbarSwitch
+
+        spec = get_scenario("websearch-incast")
+        recorder = TraceRecorder(spec.build_source(seed=21))
+        first = CrossbarSwitch(spec.ports, ISLIPScheduler(iterations=4)).run(
+            recorder, slots=300
+        )
+        path = tmp_path / "scenario-trace.json"
+        recorder.replay().save(path)
+
+        from repro.traffic.trace import TraceTraffic
+
+        second = CrossbarSwitch(spec.ports, ISLIPScheduler(iterations=4)).run(
+            TraceTraffic.load(path), slots=300
+        )
+        assert first.counter.offered == second.counter.offered
+        assert first.counter.carried == second.counter.carried
+        assert first.mean_delay == second.mean_delay
+        assert first.backlog == second.backlog

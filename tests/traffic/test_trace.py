@@ -95,3 +95,85 @@ class TestTraceTraffic:
     def test_validation(self):
         with pytest.raises(ValueError, match="positive"):
             TraceTraffic(0, {})
+
+
+class TestRecorderDoubleDrive:
+    def test_recording_same_slot_twice_raises(self):
+        """A recorder re-driven from the start without reset() used to
+        silently overwrite slot 0's recording with a *different* draw
+        (the inner source's RNG had advanced) -- the saved trace then
+        disagreed with the run that produced it."""
+        recorder = TraceRecorder(UniformTraffic(4, load=0.9, seed=3))
+        recorder.arrivals(0)
+        recorder.arrivals(1)
+        with pytest.raises(ValueError, match="already recorded"):
+            recorder.arrivals(0)
+
+    def test_reset_allows_re_driving_identically(self):
+        recorder = TraceRecorder(UniformTraffic(4, load=0.9, seed=3))
+        first = [
+            [(i, c.flow_id, c.output) for i, c in recorder.arrivals(slot)]
+            for slot in range(30)
+        ]
+        recorder.reset()
+        second = [
+            [(i, c.flow_id, c.output) for i, c in recorder.arrivals(slot)]
+            for slot in range(30)
+        ]
+        assert first == second
+
+    def test_reset_clears_the_trace(self):
+        recorder = TraceRecorder(UniformTraffic(4, load=0.9, seed=3))
+        for slot in range(10):
+            recorder.arrivals(slot)
+        recorder.reset()
+        assert recorder.trace == {}
+
+
+class TestLoadValidation:
+    def _write(self, tmp_path, payload):
+        import json
+
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(payload))
+        return path
+
+    def _cell(self, **overrides):
+        record = {"slot": 0, "input": 0, "flow": 1, "output": 1,
+                  "service": "vbr", "seqno": 0, "injected": 0}
+        record.update(overrides)
+        return record
+
+    def test_rejects_nonpositive_ports(self, tmp_path):
+        path = self._write(tmp_path, {"ports": 0, "cells": []})
+        with pytest.raises(ValueError, match="ports must be a positive int"):
+            TraceTraffic.load(path)
+
+    def test_rejects_negative_slot(self, tmp_path):
+        path = self._write(
+            tmp_path, {"ports": 4, "cells": [self._cell(slot=-1)]}
+        )
+        with pytest.raises(ValueError, match="cell 0.*slot"):
+            TraceTraffic.load(path)
+
+    def test_rejects_out_of_range_input(self, tmp_path):
+        path = self._write(
+            tmp_path, {"ports": 4, "cells": [self._cell(input=4)]}
+        )
+        with pytest.raises(ValueError, match=r"input 4 outside \[0, 4\)"):
+            TraceTraffic.load(path)
+
+    def test_rejects_out_of_range_output(self, tmp_path):
+        path = self._write(
+            tmp_path, {"ports": 4, "cells": [self._cell(output=-2)]}
+        )
+        with pytest.raises(ValueError, match=r"output -2 outside \[0, 4\)"):
+            TraceTraffic.load(path)
+
+    def test_error_names_the_bad_record(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            {"ports": 4, "cells": [self._cell(), self._cell(slot=2, input=9)]},
+        )
+        with pytest.raises(ValueError, match=r"cell 1 \(slot 2\)"):
+            TraceTraffic.load(path)
