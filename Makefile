@@ -1,6 +1,6 @@
 # Convenience targets for the AN2 reproduction.
 
-.PHONY: install test check check-full bench bench-fastpath cbr-bench stat-bench network-bench sched-bench scenario-bench sched-study scenario-smoke bench-full perf-report perf-gate trace-demo examples lint clean
+.PHONY: install test check check-full bench bench-fastpath cbr-bench stat-bench network-bench sched-bench scenario-bench sched-study scenario-smoke fleet-smoke bench-full perf-report perf-gate trace-demo examples lint clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -62,6 +62,22 @@ sched-study:
 # slot-exact parity; prints (and optionally saves) the FCT table.
 scenario-smoke:
 	PYTHONPATH=src python -m repro.cli scenario smoke --slots 250 --out scenario-fct-table.txt
+
+# Tiny fleet sweep (pim/islip x object/fastpath) through the declarative
+# runner: run (resumable, 2 workers), status, gate on the deterministic
+# throughput metric against the committed fleet_smoke trajectory, and
+# write the report table (CI uploads it as an artifact).
+FLEET_SMOKE_SPEC = benchmarks/perf/specs/fleet_smoke.json
+FLEET_SMOKE_STORE = fleet-results/fleet_smoke.jsonl
+fleet-smoke:
+	PYTHONPATH=src python -m repro.cli fleet run $(FLEET_SMOKE_SPEC) \
+		--results $(FLEET_SMOKE_STORE) --pool 2
+	PYTHONPATH=src python -m repro.cli fleet status $(FLEET_SMOKE_SPEC) \
+		--results $(FLEET_SMOKE_STORE)
+	PYTHONPATH=src python -m repro.cli fleet gate $(FLEET_SMOKE_SPEC) \
+		--results $(FLEET_SMOKE_STORE) --metric throughput
+	PYTHONPATH=src python -m repro.cli fleet report $(FLEET_SMOKE_SPEC) \
+		--results $(FLEET_SMOKE_STORE) --out fleet-report.txt
 
 bench-full:
 	REPRO_FULL=1 pytest benchmarks/ --benchmark-only -q

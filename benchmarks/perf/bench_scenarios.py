@@ -1,12 +1,12 @@
 """Timing harness: named flow-level scenarios, object vs fast path.
 
-For each scenario in the registry
-(:data:`repro.traffic.scenarios.SCENARIOS`) this measures simulation
-throughput (slots per wall second) for the per-cell object backend and
-the count-based fast path running the *same* flow-level traffic, and
-records both rates plus ``speedup_vs_object`` through
-:func:`repro.obs.store.record_result` (snapshot ``BENCH_scenarios.json``
-plus an append to ``benchmarks/perf/history/scenarios.jsonl``).
+Since the fleet runner landed this script is a thin driver over the
+committed sweep spec ``benchmarks/perf/specs/scenarios.json``: one
+cell per registry scenario, both backends timed on the same flow-level
+traffic (``measure = "speedup"``), recorded config shape identical to
+the pre-port history so the trajectory stays gateable.  The same sweep
+runs directly with ``repro-an2 fleet run benchmarks/perf/specs/
+scenarios.json``.
 
 Run from the repo root::
 
@@ -23,55 +23,14 @@ uniform-traffic headline, and no hard floor is asserted.
 from __future__ import annotations
 
 import argparse
-import time
+import dataclasses
+import os
+import tempfile
 
-from repro.core.batch import build_object_scheduler
+from repro.fleet import load_spec, run_sweep
 from repro.obs.store import DEFAULT_HISTORY_DIR, record_result
-from repro.sim.fastpath import run_fastpath
-from repro.sim.rng import derive_seed
-from repro.switch.switch import CrossbarSwitch
-from repro.traffic.flows import WindowedSource
-from repro.traffic.scenarios import SCENARIOS
 
-SCHEDULER = "islip"
-ITERATIONS = 4
-
-
-def time_object_backend(spec, slots: int, drain: int, seed: int) -> float:
-    """Object-backend slots per second for one scenario."""
-    scheduler = build_object_scheduler(
-        SCHEDULER,
-        iterations=ITERATIONS,
-        seed=derive_seed(seed, "bench/scenario-match"),
-        ports=spec.ports,
-    )
-    switch = CrossbarSwitch(spec.ports, scheduler)
-    source = spec.build_source(derive_seed(seed, f"bench/{spec.name}"))
-    total = slots + drain
-    start = time.perf_counter()
-    switch.run(WindowedSource(source, slots), slots=total)
-    elapsed = time.perf_counter() - start
-    return total / elapsed
-
-
-def time_fastpath_backend(spec, slots: int, drain: int, seed: int) -> float:
-    """Fast-path slots per second for one scenario (B=1, flow shadow on)."""
-    source = spec.build_source(derive_seed(seed, f"bench/{spec.name}"))
-    total = slots + drain
-    start = time.perf_counter()
-    run_fastpath(
-        spec.ports,
-        spec.load,
-        slots,
-        replicas=1,
-        iterations=ITERATIONS,
-        scheduler=SCHEDULER,
-        seed=seed,
-        sources=[source],
-        drain_slots=drain,
-    )
-    elapsed = time.perf_counter() - start
-    return total / elapsed
+SPEC_PATH = os.path.join(os.path.dirname(__file__), "specs", "scenarios.json")
 
 
 def main() -> None:
@@ -94,42 +53,52 @@ def main() -> None:
         help="write the snapshot only; skip the history append",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--pool", type=int, default=1,
+        help="fleet worker processes (default 1: parallel cells distort "
+             "each other's wall-clock timing)",
+    )
     args = parser.parse_args()
 
-    slots, drain = (200, 400) if args.quick else (1_000, 2_000)
+    spec = load_spec(SPEC_PATH)
+    if args.seed != spec.seed:
+        spec = dataclasses.replace(spec, seed=args.seed)
+    extra = {"slots": 200, "drain": 400} if args.quick else {}
+
+    with tempfile.TemporaryDirectory() as scratch:
+        outcome = run_sweep(
+            spec,
+            os.path.join(scratch, "scenarios.jsonl"),
+            pool=args.pool,
+            extra_defaults=extra,
+        )
+    if not outcome.ok:
+        raise SystemExit(outcome.describe())
 
     results = []
-    for spec in SCENARIOS.values():
-        object_sps = time_object_backend(spec, slots, drain, args.seed)
-        fast_sps = time_fastpath_backend(spec, slots, drain, args.seed)
-        speedup = fast_sps / object_sps
+    for record in outcome.records:
+        timing = record["timing"]
         results.append(
-            {
-                "config": {
-                    "scenario": spec.name,
-                    "scheduler": SCHEDULER,
-                    "ports": spec.ports,
-                    "slots": slots,
-                    "drain": drain,
-                    "load": spec.load,
-                    "iterations": ITERATIONS,
-                },
-                "object_slots_per_sec": object_sps,
-                "slots_per_sec": fast_sps,
-                "speedup_vs_object": speedup,
-            }
+            {"config": record["config"], **record["metrics"], **timing}
         )
         print(
-            f"{spec.name:<19} object {object_sps:>8.0f} slots/s | fastpath "
-            f"{fast_sps:>8.0f} slots/s | {speedup:5.1f}x"
+            f"{record['config']['scenario']:<19} object "
+            f"{timing['object_slots_per_sec']:>8.0f} slots/s | fastpath "
+            f"{timing['slots_per_sec']:>8.0f} slots/s | "
+            f"{timing['speedup_vs_object']:5.1f}x"
         )
 
+    slots = extra.get("slots", spec.defaults["slots"])
+    drain = extra.get("drain", spec.defaults["drain"])
     entry = record_result(
-        "scenarios",
+        spec.bench_name,
         results,
         config={
-            "scheduler": SCHEDULER, "slots": slots, "drain": drain,
-            "iterations": ITERATIONS, "quick": args.quick,
+            "scheduler": spec.defaults["scheduler"],
+            "slots": slots,
+            "drain": drain,
+            "iterations": spec.defaults["iterations"],
+            "quick": args.quick,
         },
         seed=args.seed,
         snapshot=args.out,

@@ -1,13 +1,19 @@
 """Timing harness: every batched kernel vs its object scheduler.
 
-For each scheduler in the registry
-(:data:`repro.core.batch.BATCH_SCHEDULERS`) this measures simulation
-throughput (replica-slots per wall second) for the vectorized fast
-path at the acceptance grid point (N=16, B=64) against the same
-scheduler running per-cell inside :class:`CrossbarSwitch`, and records
-``speedup_vs_object`` per kernel through
-:func:`repro.obs.store.record_result` (snapshot ``BENCH_sched_zoo.json``
-plus an append to ``benchmarks/perf/history/sched_zoo.jsonl``).
+Since the fleet runner landed this script is a thin driver over the
+committed sweep spec ``benchmarks/perf/specs/sched_zoo.json``: the
+grid (one cell per registry kernel at the acceptance point N=16,
+B=64), the per-cell seeds, and the recorded config shape all live in
+the spec, and the same sweep can be run, resumed, and gated directly
+with ``repro-an2 fleet run|gate benchmarks/perf/specs/sched_zoo.json``.
+
+This wrapper keeps the legacy bench CLI and history contract: it runs
+the sweep against a throwaway store (timing must be re-measured every
+run, never resumed), prints the per-kernel table, and records one
+``sched_zoo`` entry through :func:`repro.obs.store.record_result`
+(snapshot ``BENCH_sched_zoo.json`` plus a history append) with the
+exact per-result config keys earlier entries used, so the recorded
+trajectory stays gateable across the port.
 
 Run from the repo root::
 
@@ -22,47 +28,14 @@ speedup is ``fastpath_replica_slots_per_sec / object_slots_per_sec``.
 from __future__ import annotations
 
 import argparse
-import time
+import dataclasses
+import os
+import tempfile
 
-from repro.core.batch import BATCH_SCHEDULERS, build_object_scheduler
+from repro.fleet import load_spec, run_sweep
 from repro.obs.store import DEFAULT_HISTORY_DIR, record_result
-from repro.sim.fastpath import run_fastpath
-from repro.switch.switch import CrossbarSwitch
-from repro.traffic.uniform import UniformTraffic
 
-LOAD = 0.8
-ITERATIONS = 4
-PORTS = 16
-REPLICAS = 64
-
-
-def time_object_backend(name: str, slots: int, seed: int = 0) -> float:
-    """Object-backend slots per second for one registry scheduler."""
-    scheduler = build_object_scheduler(
-        name, iterations=ITERATIONS, seed=seed, ports=PORTS
-    )
-    switch = CrossbarSwitch(PORTS, scheduler)
-    traffic = UniformTraffic(PORTS, load=LOAD, seed=seed + 1)
-    start = time.perf_counter()
-    switch.run(traffic, slots=slots)
-    elapsed = time.perf_counter() - start
-    return slots / elapsed
-
-
-def time_fastpath_backend(name: str, slots: int, seed: int = 0) -> float:
-    """Fast-path replica-slots per second for one registry kernel."""
-    start = time.perf_counter()
-    run_fastpath(
-        PORTS,
-        LOAD,
-        slots,
-        replicas=REPLICAS,
-        iterations=ITERATIONS,
-        scheduler=name,
-        seed=seed,
-    )
-    elapsed = time.perf_counter() - start
-    return REPLICAS * slots / elapsed
+SPEC_PATH = os.path.join(os.path.dirname(__file__), "specs", "sched_zoo.json")
 
 
 def main() -> None:
@@ -85,41 +58,52 @@ def main() -> None:
         help="write the snapshot only; skip the history append",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--pool", type=int, default=1,
+        help="fleet worker processes (default 1: parallel cells distort "
+             "each other's wall-clock timing)",
+    )
     args = parser.parse_args()
 
-    slots, object_slots = (100, 100) if args.quick else (300, 300)
+    spec = load_spec(SPEC_PATH)
+    if args.seed != spec.seed:
+        spec = dataclasses.replace(spec, seed=args.seed)
+    extra = {"slots": 100} if args.quick else {}
+
+    with tempfile.TemporaryDirectory() as scratch:
+        outcome = run_sweep(
+            spec,
+            os.path.join(scratch, "sched_zoo.jsonl"),
+            pool=args.pool,
+            extra_defaults=extra,
+        )
+    if not outcome.ok:
+        raise SystemExit(outcome.describe())
 
     results = []
-    for name in BATCH_SCHEDULERS:
-        object_sps = time_object_backend(name, object_slots, args.seed)
-        fast_sps = time_fastpath_backend(name, slots, args.seed)
-        speedup = fast_sps / object_sps
+    for record in outcome.records:
+        timing = record["timing"]
         results.append(
-            {
-                "config": {
-                    "scheduler": name,
-                    "ports": PORTS,
-                    "replicas": REPLICAS,
-                    "slots": slots,
-                    "load": LOAD,
-                    "iterations": ITERATIONS,
-                },
-                "object_slots_per_sec": object_sps,
-                "slots_per_sec": fast_sps,
-                "speedup_vs_object": speedup,
-            }
+            {"config": record["config"], **record["metrics"], **timing}
         )
         print(
-            f"{name:<10} object {object_sps:>9.0f} slots/s | fastpath "
-            f"{fast_sps:>11.0f} replica-slots/s | {speedup:6.1f}x"
+            f"{record['config']['scheduler']:<10} object "
+            f"{timing['object_slots_per_sec']:>9.0f} slots/s | fastpath "
+            f"{timing['slots_per_sec']:>11.0f} replica-slots/s | "
+            f"{timing['speedup_vs_object']:6.1f}x"
         )
 
+    slots = extra.get("slots", spec.defaults["slots"])
     entry = record_result(
-        "sched_zoo",
+        spec.bench_name,
         results,
         config={
-            "ports": PORTS, "replicas": REPLICAS, "slots": slots,
-            "load": LOAD, "iterations": ITERATIONS, "quick": args.quick,
+            "ports": spec.defaults["ports"],
+            "replicas": spec.defaults["replicas"],
+            "slots": slots,
+            "load": spec.defaults["load"],
+            "iterations": spec.defaults["iterations"],
+            "quick": args.quick,
         },
         seed=args.seed,
         snapshot=args.out,

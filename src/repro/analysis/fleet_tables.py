@@ -1,0 +1,98 @@
+"""Table renderers for fleet sweep reports.
+
+A fleet sweep's cells are heterogeneous -- a delay sweep carries
+different metrics than an FCT scenario sweep -- so the generic renderer
+(:func:`format_sweep_table`) derives its columns from the rows: the
+union of config keys in first-appearance order, then the requested
+metric columns.  Scenario-kind sweeps additionally re-render through
+the existing :mod:`repro.analysis.fct_tables` helpers so fleet reports
+and ``repro-an2 scenario`` quote numbers through the same code path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.analysis.fct_tables import FctRow
+
+__all__ = ["format_sweep_table", "fct_rows_from_cells"]
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_sweep_table(
+    rows: Sequence[Dict[str, Any]], metrics: Sequence[str]
+) -> str:
+    """Render aggregated sweep rows as a fixed-width text table.
+
+    Each row is ``{"config": {...}, "n": samples, <metric>: value}``
+    (the shape :func:`repro.fleet.report.aggregate_cells` produces).
+    Config columns appear in first-appearance order; a metric missing
+    from a row renders as ``-`` so mixed grids still tabulate.
+    """
+    if not rows:
+        return "(no completed cells)"
+    config_cols: List[str] = []
+    for row in rows:
+        for key in row.get("config", {}):
+            if key not in config_cols:
+                config_cols.append(key)
+    columns = config_cols + ["n"] + [m for m in metrics]
+
+    def cell_text(row: Dict[str, Any], column: str) -> str:
+        if column in config_cols:
+            return _format_value(row.get("config", {}).get(column, "-"))
+        if column not in row:
+            return "-"
+        return _format_value(row[column])
+
+    widths = {
+        column: max(len(column), *(len(cell_text(row, column)) for row in rows))
+        for column in columns
+    }
+    header = "  ".join(f"{c:>{widths[c]}}" for c in columns)
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            "  ".join(f"{cell_text(row, c):>{widths[c]}}" for c in columns)
+        )
+    return "\n".join(lines)
+
+
+def fct_rows_from_cells(records: Sequence[Dict[str, Any]]) -> List[FctRow]:
+    """Rebuild :class:`FctRow` rows from scenario-kind cell records.
+
+    Lets ``fleet report`` reuse ``format_fct_table`` verbatim, so the
+    fleet's FCT tables match ``repro-an2 scenario run`` column for
+    column.  Cells without flow metrics (e.g. an object-backend cell
+    that tracked no flows) get NaN flow columns, same as the live path.
+    """
+    nan = float("nan")
+    rows: List[FctRow] = []
+    for record in records:
+        config = record.get("config", {})
+        metrics = record.get("metrics", {})
+        rows.append(
+            FctRow(
+                scenario=str(config.get("scenario", "?")),
+                scheduler=str(config.get("scheduler", "?")),
+                backend=str(config.get("backend", "fastpath")),
+                flows=int(metrics.get("flows", 0)),
+                incomplete=int(metrics.get("incomplete", 0)),
+                mean_fct=float(metrics.get("mean_fct", nan)),
+                p99_fct=float(metrics.get("p99_fct", nan)),
+                mean_slowdown=float(metrics.get("mean_slowdown", nan)),
+                p99_slowdown=float(metrics.get("p99_slowdown", nan)),
+                mean_delay=float(metrics.get("mean_delay", nan)),
+                throughput=float(metrics.get("throughput", nan)),
+            )
+        )
+    return rows

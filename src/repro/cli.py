@@ -20,6 +20,11 @@ Installed as the ``repro-an2`` console script::
     repro-an2 perf compare prev latest --bench fastpath
     repro-an2 perf gate --tolerance 0.4
     repro-an2 perf list
+    repro-an2 scenario run --trace run.csv --ports 8 --backend fastpath
+    repro-an2 fleet run benchmarks/perf/specs/sched_zoo.json --pool 4
+    repro-an2 fleet status benchmarks/perf/specs/sched_zoo.json
+    repro-an2 fleet report benchmarks/perf/specs/sched_zoo.json --out report.txt
+    repro-an2 fleet gate benchmarks/perf/specs/fleet_smoke.json --metric throughput
 
 Each subcommand is a thin wrapper over the library; the full
 regeneration harness lives in ``benchmarks/``.
@@ -635,12 +640,105 @@ def cmd_scenario_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_trace_replay(args: argparse.Namespace) -> int:
+    """``scenario run --trace``: replay a recorded trace file.
+
+    JSON traces carry their own port count; rotorsim-style CSV traces
+    (``slot,input,output`` rows) need ``--ports``.  The replay runs on
+    either backend; flow-completion stats need flow-aware sources, so
+    the FCT columns come out blank (the cell-level summary still
+    prints).
+    """
+    from repro.analysis.fct_tables import fct_row, format_fct_table
+    from repro.core.batch import build_object_scheduler
+    from repro.sim.rng import derive_seed
+    from repro.traffic.trace import TraceTraffic
+
+    if args.parity:
+        print("error: --parity and --trace are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.replicas != 1:
+        print("error: --trace replays one fixed schedule; --replicas "
+              "must stay 1", file=sys.stderr)
+        return 2
+    try:
+        if args.trace.endswith(".csv"):
+            if args.ports is None:
+                print("error: CSV traces carry no port count; pass --ports",
+                      file=sys.stderr)
+                return 2
+            traffic = TraceTraffic.load_csv(args.trace, args.ports)
+        else:
+            traffic = TraceTraffic.load(args.trace)
+    except (OSError, KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    ports = traffic.ports
+    slots = args.slots if args.slots is not None else traffic.last_slot + 1
+    if slots < 1:
+        print(f"error: {args.trace}: trace is empty", file=sys.stderr)
+        return 2
+    warmup = args.warmup if args.warmup is not None else 0
+    drain = args.drain if args.drain is not None else max(600, 2 * slots)
+    load = traffic.total_cells / (ports * slots) if slots else 0.0
+    print(
+        f"trace replay {args.trace}: {traffic.total_cells} cells, "
+        f"{ports}x{ports}, {slots} arrival slots (warmup {warmup}, "
+        f"drain {drain}), scheduler {args.scheduler}, backend {args.backend}"
+    )
+    if args.backend == "fastpath":
+        from repro.sim.fastpath import run_fastpath
+
+        result = run_fastpath(
+            ports,
+            load,
+            slots,
+            replicas=1,
+            warmup=warmup,
+            iterations=args.iterations,
+            scheduler=args.scheduler,
+            seed=args.seed,
+            sources=[traffic],
+            drain_slots=drain,
+            warmup_mode="arrival",
+        )
+    else:
+        from repro.switch.switch import CrossbarSwitch
+
+        scheduler = build_object_scheduler(
+            args.scheduler,
+            iterations=args.iterations,
+            seed=derive_seed(args.seed, "cli/scenario-match"),
+            ports=ports,
+        )
+        switch = CrossbarSwitch(ports, scheduler)
+        result = switch.run(traffic, slots=slots + drain, warmup=warmup)
+    print(result.summary())
+    print()
+    print(format_fct_table(
+        [fct_row(args.trace, args.scheduler, args.backend,
+                 getattr(result, "fct", None), result)]
+    ))
+    return 0
+
+
 def cmd_scenario_run(args: argparse.Namespace) -> int:
     """One named scenario on either backend, with per-flow FCT stats."""
     from repro.analysis.fct_tables import fct_row, format_fct_table
     from repro.sim.rng import derive_seed
     from repro.traffic.scenarios import get_scenario
 
+    if args.trace is not None:
+        if args.name is not None:
+            print("error: --trace replays a file; omit the scenario name",
+                  file=sys.stderr)
+            return 2
+        return _run_trace_replay(args)
+    if args.name is None:
+        print("error: pass a scenario name (see 'scenario list') or --trace",
+              file=sys.stderr)
+        return 2
     try:
         spec = get_scenario(args.name)
     except ValueError as exc:
@@ -1244,6 +1342,151 @@ def cmd_perf_gate(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _parse_set(items: Optional[List[str]]) -> dict:
+    """Parse repeated ``--set key=value`` flags into a parameter dict.
+
+    Values parse as JSON when they can (``--set slots=100`` is an int,
+    ``--set measure='"speedup"'`` a string) and fall back to the raw
+    string otherwise, so bare words work without quoting gymnastics.
+    """
+    out = {}
+    for item in items or []:
+        key, sep, text = item.partition("=")
+        if not sep or not key.strip():
+            raise argparse.ArgumentTypeError(
+                f"--set needs key=value, got {item!r}"
+            )
+        try:
+            out[key.strip()] = json.loads(text)
+        except json.JSONDecodeError:
+            out[key.strip()] = text
+    return out
+
+
+def _load_fleet_spec(args: argparse.Namespace):
+    """(spec, results_path, extra_defaults) from the shared fleet flags."""
+    import os
+
+    from repro.fleet import load_spec
+
+    spec = load_spec(args.spec)
+    results = args.results or os.path.join("fleet-results", f"{spec.name}.jsonl")
+    extra = _parse_set(args.set)
+    return spec, results, extra
+
+
+def cmd_fleet_run(args: argparse.Namespace) -> int:
+    """Run (or resume) a sweep spec across a worker pool."""
+    from repro.fleet import record_sweep, render_report, run_sweep
+
+    try:
+        spec, results, extra = _load_fleet_spec(args)
+    except (OSError, ValueError, argparse.ArgumentTypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(spec.summary())
+    print(f"results: {results}  pool: {args.pool}")
+    outcome = run_sweep(
+        spec, results, pool=args.pool, extra_defaults=extra, progress=print
+    )
+    print()
+    print(outcome.describe())
+    if not outcome.ok:
+        return 1
+    print()
+    print(render_report(spec, outcome.records))
+    if args.record:
+        from repro.obs.store import DEFAULT_HISTORY_DIR
+
+        entry = record_sweep(
+            spec,
+            outcome.records,
+            history_dir=args.history or DEFAULT_HISTORY_DIR,
+            snapshot=args.snapshot,
+        )
+        print(f"\nrecorded {entry.bench} run {entry.run_id}")
+    return 0
+
+
+def cmd_fleet_status(args: argparse.Namespace) -> int:
+    """Where a sweep stands: done / error / pending cells vs the spec."""
+    from repro.fleet import sweep_status
+
+    try:
+        spec, results, extra = _load_fleet_spec(args)
+        print(sweep_status(spec, results, extra))
+    except (OSError, ValueError, argparse.ArgumentTypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_fleet_report(args: argparse.Namespace) -> int:
+    """Aggregate a sweep's completed cells into tables."""
+    from repro.fleet import SweepStore, render_report
+
+    try:
+        spec, results, _ = _load_fleet_spec(args)
+        records = list(SweepStore(results).latest_done().values())
+    except (OSError, ValueError, argparse.ArgumentTypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    records.sort(key=lambda r: r["index"])
+    text = render_report(spec, records, metrics=args.metrics)
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"\nwrote report to {args.out}")
+    return 0 if records else 1
+
+
+def cmd_fleet_gate(args: argparse.Namespace) -> int:
+    """Gate the current sweep against the bench's recorded trajectory.
+
+    The sweep store's completed cells become the candidate entry; the
+    baseline is every entry recorded for the spec's bench name in the
+    perf history (``fleet run --record`` appends them).  Same median /
+    tolerance policy as ``perf gate``.
+    """
+    from repro.fleet import SweepStore, sweep_entry
+    from repro.obs.store import DEFAULT_TOLERANCE, gate
+
+    try:
+        spec, results, _ = _load_fleet_spec(args)
+        records = list(SweepStore(results).latest_done().values())
+    except (OSError, ValueError, argparse.ArgumentTypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not records:
+        print(f"error: no completed cells in {results}; run the sweep first",
+              file=sys.stderr)
+        return 1
+    records.sort(key=lambda r: r["index"])
+    candidate = sweep_entry(spec, records)
+    store = _history_store(args)
+    try:
+        baseline = store.load(spec.bench_name)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    tolerance = args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+    try:
+        report = gate(
+            baseline + [candidate],
+            bench=spec.bench_name,
+            metric=args.metric,
+            tolerance=tolerance,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"[{spec.bench_name}] candidate: current sweep store "
+          f"({len(records)} cells), baseline: {len(baseline)} recorded runs")
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro-an2`` argument parser."""
     from repro.core.batch import BATCH_SCHEDULERS
@@ -1456,7 +1699,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="run one named scenario on either backend (defaults: the "
              "scenario's own geometry), reporting per-flow FCT stats",
     )
-    srun.add_argument("name", help="scenario name (see 'scenario list')")
+    srun.add_argument("name", nargs="?", default=None,
+                      help="scenario name (see 'scenario list'); omit "
+                           "with --trace")
+    srun.add_argument("--trace", metavar="PATH", default=None,
+                      help="replay a recorded trace instead of a named "
+                           "scenario: .json (TraceTraffic.save) or "
+                           "rotorsim-style .csv (slot,input,output rows; "
+                           "needs --ports)")
     srun.add_argument("--backend", default="object",
                       choices=["object", "fastpath"],
                       help="object = per-cell CrossbarSwitch; fastpath = "
@@ -1618,6 +1868,82 @@ def build_parser() -> argparse.ArgumentParser:
     pgate.add_argument("--history", metavar="DIR", default=None,
                        help="history root (default benchmarks/perf/history)")
     pgate.set_defaults(func=cmd_perf_gate)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="declarative sweep orchestration: run a spec file's grid "
+             "across a worker pool with a crash-safe resumable results "
+             "store (repro.fleet)",
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    def _fleet_common(p):
+        p.add_argument("spec", help="sweep spec file (.toml on Python >= "
+                                    "3.11, or .json)")
+        p.add_argument("--results", metavar="PATH", default=None,
+                       help="sweep results store (default "
+                            "fleet-results/<name>.jsonl)")
+        p.add_argument("--set", metavar="KEY=VALUE", action="append",
+                       default=None,
+                       help="layer a parameter under the spec's defaults "
+                            "(repeatable); changed parameters invalidate "
+                            "completed cells, which then rerun")
+
+    frun = fleet_sub.add_parser(
+        "run",
+        help="run (or resume) the sweep; completed cells are skipped, "
+             "each worker appends its results crash-safely",
+    )
+    _fleet_common(frun)
+    frun.add_argument("--pool", type=_positive_int, default=1,
+                      help="worker processes (default 1; cell results are "
+                           "pool-size-independent)")
+    frun.add_argument("--record", action="store_true",
+                      help="append the aggregated sweep to the perf history "
+                           "under the spec's bench name")
+    frun.add_argument("--history", metavar="DIR", default=None,
+                      help="history root for --record "
+                           "(default benchmarks/perf/history)")
+    frun.add_argument("--snapshot", metavar="PATH", default=None,
+                      help="also write a human-facing JSON snapshot "
+                           "(with --record)")
+    frun.set_defaults(func=cmd_fleet_run)
+
+    fstatus = fleet_sub.add_parser(
+        "status", help="done/error/pending cells of the sweep vs its spec"
+    )
+    _fleet_common(fstatus)
+    fstatus.set_defaults(func=cmd_fleet_status)
+
+    freport = fleet_sub.add_parser(
+        "report",
+        help="aggregate completed cells (median across repeats) into "
+             "delay/FCT/speedup tables",
+    )
+    _fleet_common(freport)
+    freport.add_argument("--metrics", nargs="+", default=None,
+                         help="metric columns (default: the kind's standard "
+                              "set plus any timing fields present)")
+    freport.add_argument("--out", metavar="PATH", default=None,
+                         help="also write the report to PATH (CI artifact)")
+    freport.set_defaults(func=cmd_fleet_report)
+
+    fgate = fleet_sub.add_parser(
+        "gate",
+        help="regression gate: the current sweep store vs the trajectory "
+             "recorded for the spec's bench (same policy as 'perf gate')",
+    )
+    _fleet_common(fgate)
+    fgate.add_argument("--metric", default="speedup_vs_object",
+                       help="result field to gate on (default "
+                            "speedup_vs_object; use a deterministic metric "
+                            "like throughput for machine-independent gates)")
+    fgate.add_argument("--tolerance", type=float, default=None,
+                       help="allowed fractional drop below the baseline "
+                            "median (default 0.4)")
+    fgate.add_argument("--history", metavar="DIR", default=None,
+                       help="history root (default benchmarks/perf/history)")
+    fgate.set_defaults(func=cmd_fleet_gate)
 
     return parser
 

@@ -1,0 +1,302 @@
+"""Declarative sweep specifications for the fleet runner.
+
+A *spec* names one parameter sweep: a grid of axes (scheduler x ports
+x replicas x load x scenario/topology ...), shared default parameters,
+optional per-cell overrides, and a ``repeat`` count for seed
+replication.  Specs are data (TOML or JSON files), so the exact grid a
+number came from can be committed, diffed, and rerun -- the same move
+FireSim's manager makes with its run-farm configs.
+
+Spec document shape (TOML shown; the JSON form is isomorphic)::
+
+    name = "sched-zoo"
+    kind = "delay"              # delay | scenario | network
+    repeat = 1                  # seed replicas per grid point
+    seed = 0                    # root seed; per-cell seeds derive from it
+    bench = "sched_zoo"         # history bench name (default: name)
+    config_keys = ["scheduler", "ports"]   # recorded per-result config
+                                # (default: the grid axis names)
+
+    [grid]                      # axes; the sweep is their product
+    scheduler = ["pim", "islip"]
+    load = [0.6, 0.9]
+
+    [defaults]                  # parameters shared by every cell
+    ports = 16
+    slots = 300
+
+    [[override]]                # per-cell parameter patches
+    match = { scheduler = "lqf" }
+    set = { slots = 200 }
+
+Expansion (:func:`expand_cells`) is deterministic: cells enumerate the
+axis product in document order, repeats innermost.  Each cell's seed is
+``derive_seed(spec.seed, cell_key)`` where the *cell key* is the
+canonical JSON of its axis values plus repeat index -- a pure function
+of the cell's coordinates, so seeds are independent of worker-pool
+size and scheduling order, and a cell reruns identically on resume.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.obs.perf import hash_config
+from repro.obs.store import config_key
+from repro.sim.rng import derive_seed
+
+__all__ = ["FleetSpec", "Cell", "KINDS", "parse_spec", "load_spec", "expand_cells"]
+
+#: Runner kinds a spec may name (dispatched in :mod:`repro.fleet.runner`).
+KINDS = ("delay", "scenario", "network")
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One grid point of an expanded spec: coordinates, params, seed."""
+
+    index: int  # position in expansion order
+    axes: Dict[str, Any]  # one value per grid axis
+    rep: int  # repeat index, 0-based
+    params: Dict[str, Any]  # defaults + axes + matching overrides
+    seed: int  # derive_seed(spec.seed, cell_key)
+    config: Dict[str, Any]  # the recorded per-result config dict
+
+    @property
+    def key(self) -> str:
+        """Canonical coordinate key (axes + repeat), pool-independent."""
+        return cell_key(self.axes, self.rep)
+
+    @property
+    def params_hash(self) -> str:
+        """Stable hash of the resolved parameters (resume guard)."""
+        return hash_config(self.params)
+
+    def label(self) -> str:
+        """Short human-readable coordinate label."""
+        coords = ",".join(f"{k}={v}" for k, v in self.axes.items())
+        if self.rep:
+            coords += f",rep={self.rep}"
+        return coords or f"cell{self.index}"
+
+
+def cell_key(axes: Dict[str, Any], rep: int) -> str:
+    """The canonical coordinate key of a (axes, repeat) grid point."""
+    return config_key({**axes, "__rep__": rep})
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """A parsed, validated sweep specification."""
+
+    name: str
+    kind: str
+    grid: Dict[str, List[Any]]
+    defaults: Dict[str, Any] = field(default_factory=dict)
+    overrides: List[Dict[str, Any]] = field(default_factory=list)
+    repeat: int = 1
+    seed: int = 0
+    bench: Optional[str] = None
+    config_keys: Optional[List[str]] = None
+    description: str = ""
+
+    @property
+    def bench_name(self) -> str:
+        """History bench name this spec records under."""
+        return self.bench or self.name
+
+    @property
+    def cell_count(self) -> int:
+        """Grid size times repeats."""
+        count = self.repeat
+        for values in self.grid.values():
+            count *= len(values)
+        return count
+
+    def summary(self) -> str:
+        """One-line description of the sweep's shape."""
+        axes = " x ".join(f"{k}[{len(v)}]" for k, v in self.grid.items())
+        rep = f" x {self.repeat} reps" if self.repeat > 1 else ""
+        return (
+            f"{self.name} (kind={self.kind}, seed={self.seed}): "
+            f"{axes}{rep} = {self.cell_count} cells"
+        )
+
+
+def parse_spec(document: Dict[str, Any], name: Optional[str] = None) -> FleetSpec:
+    """Validate a spec document (already parsed TOML/JSON) into a
+    :class:`FleetSpec`.  Errors name the offending field."""
+    if not isinstance(document, dict):
+        raise ValueError(f"spec must be a table/object, got {type(document).__name__}")
+    known = {
+        "name", "kind", "grid", "defaults", "override", "overrides",
+        "repeat", "seed", "bench", "config_keys", "description",
+    }
+    unknown = sorted(set(document) - known)
+    if unknown:
+        raise ValueError(f"unknown spec fields: {', '.join(unknown)}")
+
+    spec_name = document.get("name", name)
+    if not spec_name or not isinstance(spec_name, str):
+        raise ValueError("spec needs a non-empty string 'name'")
+    kind = document.get("kind")
+    if kind not in KINDS:
+        raise ValueError(f"spec 'kind' must be one of {'/'.join(KINDS)}, got {kind!r}")
+
+    grid = document.get("grid")
+    if not isinstance(grid, dict) or not grid:
+        raise ValueError("spec needs a non-empty 'grid' table of axes")
+    for axis, values in grid.items():
+        if not isinstance(values, list) or not values:
+            raise ValueError(f"grid axis {axis!r} must be a non-empty list")
+
+    defaults = document.get("defaults", {})
+    if not isinstance(defaults, dict):
+        raise ValueError("'defaults' must be a table of parameters")
+    clash = sorted(set(defaults) & set(grid))
+    if clash:
+        raise ValueError(
+            f"parameters cannot be both a default and a grid axis: "
+            f"{', '.join(clash)}"
+        )
+
+    overrides = document.get("override", document.get("overrides", []))
+    if isinstance(overrides, dict):
+        overrides = [overrides]
+    if not isinstance(overrides, list):
+        raise ValueError("'override' must be a list of {match, set} tables")
+    for idx, override in enumerate(overrides):
+        if not isinstance(override, dict) or set(override) - {"match", "set"}:
+            raise ValueError(f"override #{idx} must have only 'match' and 'set'")
+        match = override.get("match", {})
+        if not isinstance(match, dict) or not isinstance(override.get("set"), dict):
+            raise ValueError(f"override #{idx} needs 'match' and 'set' tables")
+        bad_axes = sorted(set(match) - set(grid))
+        if bad_axes:
+            raise ValueError(
+                f"override #{idx} matches on non-axis keys: {', '.join(bad_axes)} "
+                f"(axes: {', '.join(grid)})"
+            )
+
+    repeat = document.get("repeat", 1)
+    if not isinstance(repeat, int) or repeat < 1:
+        raise ValueError(f"'repeat' must be an integer >= 1, got {repeat!r}")
+    seed = document.get("seed", 0)
+    if not isinstance(seed, int):
+        raise ValueError(f"'seed' must be an integer, got {seed!r}")
+
+    config_keys = document.get("config_keys")
+    if config_keys is not None and (
+        not isinstance(config_keys, list)
+        or not all(isinstance(k, str) for k in config_keys)
+    ):
+        raise ValueError("'config_keys' must be a list of parameter names")
+
+    return FleetSpec(
+        name=spec_name,
+        kind=kind,
+        grid={axis: list(values) for axis, values in grid.items()},
+        defaults=dict(defaults),
+        overrides=[dict(o) for o in overrides],
+        repeat=repeat,
+        seed=seed,
+        bench=document.get("bench"),
+        config_keys=list(config_keys) if config_keys is not None else None,
+        description=document.get("description", ""),
+    )
+
+
+def load_spec(path: Union[str, Path]) -> FleetSpec:
+    """Parse a spec file by suffix: ``.json`` always, ``.toml`` when the
+    stdlib ``tomllib`` is available (Python >= 3.11)."""
+    path = Path(path)
+    if path.suffix == ".toml":
+        try:
+            import tomllib
+        except ImportError:  # Python < 3.11: no TOML parser baked in
+            raise ValueError(
+                f"{path}: TOML specs need Python >= 3.11 (tomllib); "
+                f"use the JSON form on this interpreter"
+            ) from None
+        with open(path, "rb") as handle:
+            document = tomllib.load(handle)
+    elif path.suffix == ".json":
+        document = json.loads(path.read_text())
+    else:
+        raise ValueError(f"{path}: spec files must end in .toml or .json")
+    try:
+        return parse_spec(document, name=path.stem)
+    except ValueError as exc:
+        raise ValueError(f"{path}: {exc}") from None
+
+
+def expand_cells(
+    spec: FleetSpec, extra_defaults: Optional[Dict[str, Any]] = None
+) -> List[Cell]:
+    """Expand a spec into its cells, in deterministic document order.
+
+    ``extra_defaults`` layers command-line ``--set`` patches *under*
+    the grid axes and overrides (axes always win).  Seeds and cell
+    keys depend only on (spec.seed, axes, rep), never on parameters or
+    pool size, so a cell reruns identically wherever it lands.
+    """
+    axes_names = list(spec.grid)
+    cells: List[Cell] = []
+    index = 0
+    for combo in itertools.product(*(spec.grid[a] for a in axes_names)):
+        axes = dict(zip(axes_names, combo))
+        params: Dict[str, Any] = dict(spec.defaults)
+        if extra_defaults:
+            params.update(extra_defaults)
+        params.update(axes)
+        for override in spec.overrides:
+            match = override.get("match", {})
+            if all(axes.get(k) == v for k, v in match.items()):
+                params.update(override["set"])
+        for rep in range(spec.repeat):
+            key = cell_key(axes, rep)
+            config = _cell_config(spec, axes, params, rep)
+            cells.append(
+                Cell(
+                    index=index,
+                    axes=dict(axes),
+                    rep=rep,
+                    params=dict(params),
+                    seed=derive_seed(spec.seed, key),
+                    config=config,
+                )
+            )
+            index += 1
+    return cells
+
+
+def _cell_config(
+    spec: FleetSpec,
+    axes: Dict[str, Any],
+    params: Dict[str, Any],
+    rep: int,
+) -> Dict[str, Any]:
+    """The per-result config dict recorded (and gated) for one cell.
+
+    Defaults to the grid axis values; ``config_keys`` widens or
+    reorders it (values resolve from params, so a ported bench spec
+    can reproduce a legacy config shape exactly).  The repeat index
+    rides along only when the spec actually repeats, so single-shot
+    specs keep legacy-compatible keys.
+    """
+    if spec.config_keys is None:
+        config = dict(axes)
+    else:
+        config = {}
+        for key in spec.config_keys:
+            if key in params:
+                config[key] = params[key]
+            # Keys resolved only at run time (e.g. a scenario's default
+            # ports/load) are filled in by the runner.
+    if spec.repeat > 1:
+        config["rep"] = rep
+    return config

@@ -38,10 +38,11 @@ from __future__ import annotations
 import json
 import os
 import uuid
+import warnings
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.obs.perf import RunManifest
 
@@ -55,6 +56,8 @@ __all__ = [
     "gate",
     "compare_entries",
     "config_key",
+    "append_jsonl_line",
+    "read_jsonl_records",
 ]
 
 #: Where the repo keeps its committed perf history (relative to the
@@ -71,6 +74,66 @@ DEFAULT_TOLERANCE = 0.4
 def config_key(config: Dict[str, Any]) -> str:
     """Canonical string key of a result's config dict."""
     return json.dumps(config, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def append_jsonl_line(path: Union[str, Path], record: Dict[str, Any]) -> None:
+    """Append ``record`` to a JSONL file as ONE ``write()`` call.
+
+    ``json.dump(record, handle)`` issues many small writes, so two
+    processes appending to the same history (the fleet worker pool)
+    interleave their chunks and corrupt the file.  Serializing first
+    and writing ``line + "\\n"`` in a single call keeps each record
+    contiguous: for a regular file opened in append mode the kernel
+    performs the seek-to-end and write atomically, so concurrent
+    appenders can only ever produce whole, ordered lines.
+    """
+    line = json.dumps(record, separators=(",", ":"))
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+
+
+def read_jsonl_records(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """All records of a JSONL file, tolerating a torn final line.
+
+    A process killed mid-append (a SIGTERMed fleet worker, a power
+    cut) leaves a truncated record at the *end* of the file; treating
+    that as fatal would make every such file unresumable.  A malformed
+    **final** line is therefore dropped with a :class:`UserWarning`
+    naming the file and line.  A malformed **interior** line cannot be
+    explained by a torn append -- the file is genuinely corrupt -- so
+    it raises :class:`ValueError` with its line number.
+    """
+    path = Path(path)
+    records: List[Dict[str, Any]] = []
+    pending_error: Optional[str] = None
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            if pending_error is not None:
+                # The bad line was not the last one after all.
+                raise ValueError(pending_error)
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                pending_error = f"{path}:{lineno}: bad history line: {exc}"
+                continue
+            if not isinstance(record, dict):
+                pending_error = (
+                    f"{path}:{lineno}: bad history line: expected a JSON "
+                    f"object, got {type(record).__name__}"
+                )
+                continue
+            records.append(record)
+    if pending_error is not None:
+        warnings.warn(
+            f"{pending_error} (torn trailing record dropped; likely a "
+            f"crash mid-append)",
+            UserWarning,
+            stacklevel=2,
+        )
+    return records
 
 
 @dataclass
@@ -142,35 +205,36 @@ class PerfStore:
         return sorted(p.stem for p in self.root.glob("*.jsonl"))
 
     def append(self, entry: PerfEntry) -> Path:
-        """Append one entry to its bench's history file."""
+        """Append one entry to its bench's history file.
+
+        The entry lands as one ``write()`` call (see
+        :func:`append_jsonl_line`), so concurrent appenders -- fleet
+        workers recording cells in parallel -- cannot tear each
+        other's lines.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path(entry.bench)
-        with open(path, "a", encoding="utf-8") as handle:
-            json.dump(entry.to_record(), handle, separators=(",", ":"))
-            handle.write("\n")
+        append_jsonl_line(path, entry.to_record())
         return path
 
     def load(self, bench: str) -> List[PerfEntry]:
         """All entries of ``bench`` in append (chronological) order.
 
-        Missing history is an empty list; a malformed line raises with
-        its line number so a corrupted file is diagnosable.
+        Missing history is an empty list.  A malformed *final* line is
+        dropped with a warning (a crash mid-append leaves a torn
+        trailing record; see :func:`read_jsonl_records`); a malformed
+        interior line raises with its line number so a genuinely
+        corrupted file stays diagnosable.
         """
         path = self.path(bench)
         if not path.exists():
             return []
         entries = []
-        with open(path, "r", encoding="utf-8") as handle:
-            for lineno, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    entries.append(PerfEntry.from_record(json.loads(line)))
-                except (json.JSONDecodeError, KeyError, TypeError) as exc:
-                    raise ValueError(
-                        f"{path}:{lineno}: bad history line: {exc}"
-                    ) from exc
+        for record in read_jsonl_records(path):
+            try:
+                entries.append(PerfEntry.from_record(record))
+            except (KeyError, TypeError) as exc:
+                raise ValueError(f"{path}: bad history entry: {exc}") from exc
         return entries
 
     def resolve(self, bench: str, ref: str) -> PerfEntry:
@@ -318,7 +382,16 @@ class GateReport:
         return "\n".join(lines)
 
 
-def _median(values: Sequence[float]) -> float:
+def _median(values: Sequence[float], what: str = "sample list") -> float:
+    """Median of a non-empty sample list.
+
+    An empty list used to fall through to a bare ``IndexError`` deep
+    inside the caller; it is a usage error and is named as such.
+    ``what`` lets gating paths say *which* config produced the empty
+    sample (see :func:`repro.fleet.report.aggregate_cells`).
+    """
+    if not values:
+        raise ValueError(f"median of empty {what}")
     ordered = sorted(values)
     mid = len(ordered) // 2
     if len(ordered) % 2:
@@ -362,7 +435,7 @@ def gate(
         if not samples:
             report.skipped.append(key)
             continue
-        median = _median(samples)
+        median = _median(samples, what=f"baseline samples for config {key}")
         threshold = median * (1.0 - tolerance)
         ok = value >= threshold
         report.checks.append(

@@ -9,12 +9,16 @@ queueing, so every difference in the curves is due to the scheduler.
 Traces can be saved to and loaded from JSON
 (:meth:`TraceTraffic.save` / :meth:`TraceTraffic.load`), so a workload
 captured once -- including hand-crafted adversarial patterns -- can be
-shared and rerun across machines and versions.
+shared and rerun across machines and versions.  A rotorsim-style
+``slot,input,output`` CSV form (:meth:`TraceTraffic.load_csv` /
+:meth:`TraceTraffic.save_csv`) covers traces exported from other
+simulators, where per-cell flow/service metadata does not exist.
 """
 
 from __future__ import annotations
 
 import copy
+import csv
 import json
 from pathlib import Path
 from typing import Dict, List, Sequence, Tuple, Union
@@ -103,6 +107,11 @@ class TraceTraffic:
         """Number of cells in the whole trace."""
         return sum(len(v) for v in self._trace.values())
 
+    @property
+    def last_slot(self) -> int:
+        """The last slot carrying an arrival (-1 for an empty trace)."""
+        return max(self._trace) if self._trace else -1
+
     def save(self, path: Union[str, Path]) -> None:
         """Write the trace as JSON.
 
@@ -168,4 +177,87 @@ class TraceTraffic:
                 injected_slot=record["injected"],
             )
             trace.setdefault(slot, []).append((input_port, cell))
+        return cls(ports, trace)
+
+    def save_csv(self, path: Union[str, Path]) -> None:
+        """Write the trace in the rotorsim-style CSV form.
+
+        One ``slot,input,output`` row per cell, header included.  The
+        CSV form keeps only the routing triple -- flow ids, service
+        class, and sequence numbers do not survive a round trip (use
+        :meth:`save` for those).
+        """
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["slot", "input", "output"])
+            for slot in sorted(self._trace):
+                for input_port, cell in self._trace[slot]:
+                    writer.writerow([slot, input_port, cell.output])
+
+    @classmethod
+    def load_csv(cls, path: Union[str, Path], ports: int) -> "TraceTraffic":
+        """Read a rotorsim-style ``(slot, input, output)`` CSV trace.
+
+        The first data row may be a ``slot,input,output`` header; blank
+        rows and ``#`` comment rows are skipped.  ``ports`` must be given
+        because the CSV form carries no geometry.  Every row gets the
+        same range validation as the JSON loader -- slot non-negative,
+        input and output in ``[0, ports)`` -- with errors naming the
+        offending line.  Cells synthesize one flow per (input, output)
+        pair with per-flow sequence numbers, so FCT-free replays still
+        satisfy the per-flow FIFO invariant checks.
+        """
+        if not isinstance(ports, int) or ports <= 0:
+            raise ValueError(f"{path}: ports must be a positive int, got {ports!r}")
+        trace: Dict[int, Arrivals] = {}
+        seqno: Dict[int, int] = {}
+        first_data_row = True
+        with open(path, "r", encoding="utf-8", newline="") as handle:
+            for lineno, row in enumerate(csv.reader(handle), start=1):
+                if not row or row[0].lstrip().startswith("#"):
+                    continue
+                fields = [field.strip() for field in row]
+                is_header = (
+                    first_data_row
+                    and fields[:3] == ["slot", "input", "output"]
+                )
+                first_data_row = False
+                if is_header:
+                    continue
+                if len(fields) != 3:
+                    raise ValueError(
+                        f"{path}:{lineno}: expected 3 fields "
+                        f"(slot,input,output), got {len(fields)}"
+                    )
+                try:
+                    slot, input_port, output = (int(field) for field in fields)
+                except ValueError:
+                    raise ValueError(
+                        f"{path}:{lineno}: non-integer field in "
+                        f"{','.join(fields)!r}"
+                    ) from None
+                if slot < 0:
+                    raise ValueError(
+                        f"{path}:{lineno}: negative slot {slot}"
+                    )
+                if not 0 <= input_port < ports:
+                    raise ValueError(
+                        f"{path}:{lineno}: input {input_port} outside "
+                        f"[0, {ports})"
+                    )
+                if not 0 <= output < ports:
+                    raise ValueError(
+                        f"{path}:{lineno}: output {output} outside "
+                        f"[0, {ports})"
+                    )
+                flow_id = input_port * ports + output + 1
+                cell = Cell(
+                    flow_id=flow_id,
+                    output=output,
+                    service=ServiceClass.VBR,
+                    seqno=seqno.get(flow_id, 0),
+                    injected_slot=slot,
+                )
+                seqno[flow_id] = cell.seqno + 1
+                trace.setdefault(slot, []).append((input_port, cell))
         return cls(ports, trace)

@@ -1,0 +1,144 @@
+"""Fleet status/report aggregation and the sweep table renderer."""
+
+import pytest
+
+from repro.analysis.fleet_tables import fct_rows_from_cells, format_sweep_table
+from repro.fleet.report import aggregate_cells, render_report, sweep_status
+from repro.fleet.runner import run_sweep
+from repro.fleet.spec import expand_cells, parse_spec
+from repro.fleet.store import cell_record
+
+
+def make_spec(**overrides):
+    document = {
+        "name": "mini",
+        "kind": "delay",
+        "grid": {"scheduler": ["pim", "islip"]},
+        "defaults": {"ports": 4, "slots": 30, "replicas": 2, "iterations": 1},
+    }
+    document.update(overrides)
+    return parse_spec(document)
+
+
+def fake_records(spec, metric_values):
+    """Done records with hand-picked metrics, one per cell."""
+    cells = expand_cells(spec)
+    return [
+        cell_record(cell, "done", metrics={"m": value}, timing={})
+        for cell, value in zip(cells, metric_values)
+    ]
+
+
+class TestSweepStatus:
+    def test_fresh_sweep_all_pending(self, tmp_path):
+        text = sweep_status(make_spec(), tmp_path / "r.jsonl")
+        assert "0/2 done, 2 pending" in text
+        assert "not created yet" in text
+        assert "pending scheduler=pim" in text
+
+    def test_complete_sweep(self, tmp_path):
+        spec = make_spec()
+        path = tmp_path / "r.jsonl"
+        run_sweep(spec, path)
+        text = sweep_status(spec, path)
+        assert "2/2 done, 0 pending" in text
+
+    def test_error_cells_name_their_failure(self, tmp_path):
+        spec = make_spec(grid={"scheduler": ["warp-drive"]})
+        path = tmp_path / "r.jsonl"
+        run_sweep(spec, path)
+        text = sweep_status(spec, path)
+        assert "last attempt errored" in text
+
+    def test_stale_params_are_flagged(self, tmp_path):
+        spec = make_spec()
+        path = tmp_path / "r.jsonl"
+        run_sweep(spec, path)
+        text = sweep_status(spec, path, extra_defaults={"slots": 40})
+        assert "stale params; will rerun" in text
+
+
+class TestAggregateCells:
+    def test_repeats_pool_to_median(self):
+        spec = make_spec(repeat=3)
+        rows = aggregate_cells(fake_records(spec, [1.0, 2.0, 9.0, 4.0, 5.0, 6.0]))
+        assert len(rows) == 2  # rep collapses into the group
+        assert rows[0]["config"] == {"scheduler": "pim"}
+        assert rows[0]["n"] == 3
+        assert rows[0]["m"] == 2.0  # median of 1, 2, 9
+        assert rows[1]["m"] == 5.0
+
+    def test_missing_metric_is_absent_not_zero(self):
+        spec = make_spec()
+        records = fake_records(spec, [1.0, 2.0])
+        del records[1]["metrics"]["m"]
+        rows = aggregate_cells(records, metrics=["m"])
+        assert rows[0]["m"] == 1.0
+        assert "m" not in rows[1]
+
+    def test_timing_fields_pool_too(self):
+        spec = make_spec()
+        records = fake_records(spec, [1.0, 2.0])
+        for record in records:
+            record["timing"] = {"slots_per_sec": 100.0}
+        rows = aggregate_cells(records)
+        assert rows[0]["slots_per_sec"] == 100.0
+
+
+class TestRenderReport:
+    def test_empty_sweep(self):
+        text = render_report(make_spec(), [])
+        assert "no completed cells" in text
+
+    def test_delay_report_has_metric_columns(self, tmp_path):
+        spec = make_spec()
+        outcome = run_sweep(spec, tmp_path / "r.jsonl")
+        text = render_report(spec, outcome.records)
+        assert "mean_delay" in text and "throughput" in text
+        assert "slots_per_sec" in text  # timing appended when present
+        assert "pim" in text and "islip" in text
+
+    def test_scenario_report_includes_fct_detail(self, tmp_path):
+        spec = parse_spec({
+            "name": "s",
+            "kind": "scenario",
+            "grid": {"scenario": ["websearch-incast"]},
+            "defaults": {"slots": 40, "drain": 200, "iterations": 1},
+        })
+        outcome = run_sweep(spec, tmp_path / "r.jsonl")
+        text = render_report(spec, outcome.records)
+        assert "per-cell FCT detail" in text
+        assert "mean_fct" in text
+
+    def test_explicit_metric_selection(self, tmp_path):
+        spec = make_spec()
+        outcome = run_sweep(spec, tmp_path / "r.jsonl")
+        text = render_report(spec, outcome.records, metrics=["throughput"])
+        assert "throughput" in text
+        assert "mean_delay" not in text
+
+
+class TestSweepTable:
+    def test_columns_and_missing_values(self):
+        rows = [
+            {"config": {"scheduler": "pim", "load": 0.5}, "n": 1, "m": 1.25},
+            {"config": {"scheduler": "islip", "load": 0.9}, "n": 2},
+        ]
+        text = format_sweep_table(rows, ["m"])
+        lines = text.splitlines()
+        assert "scheduler" in lines[0] and "load" in lines[0]
+        assert lines[0].rstrip().endswith("m")
+        assert "1.25" in lines[2]  # lines[1] is the separator rule
+        assert lines[3].rstrip().endswith("-")  # islip row has no m
+
+    def test_fct_rows_from_cells_tolerates_missing_fct(self):
+        records = [
+            {
+                "config": {"scenario": "x", "scheduler": "pim",
+                           "backend": "fastpath"},
+                "metrics": {"mean_delay": 1.0, "throughput": 0.5},
+            }
+        ]
+        rows = fct_rows_from_cells(records)
+        assert len(rows) == 1
+        assert rows[0].scenario == "x"

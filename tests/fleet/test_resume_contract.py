@@ -1,0 +1,124 @@
+"""The fleet resume contract, end to end.
+
+A sweep killed mid-run (SIGTERM to the whole process group, so workers
+die too) must leave a store from which a restart:
+
+- skips every cell that already has a ``done`` record (no recompute --
+  the surviving records still carry the dead process's pid),
+- runs exactly the cells that were pending, and
+- ends with cell-for-cell the same ``metrics`` as a never-interrupted
+  run of the same spec.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import warnings
+from pathlib import Path
+
+from repro.fleet.runner import run_sweep
+from repro.fleet.spec import load_spec
+from repro.fleet.store import SweepStore
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+# Object-backend cells are slow enough (hundreds of ms each) that the
+# kill reliably lands while later cells are still pending, but the
+# whole test stays a few seconds.
+SPEC = {
+    "name": "interrupt",
+    "kind": "delay",
+    "grid": {"scheduler": ["pim", "islip", "lqf"], "load": [0.6, 0.9]},
+    "defaults": {
+        "ports": 8, "slots": 1200, "iterations": 1, "backend": "object",
+    },
+}
+
+
+def write_spec(tmp_path):
+    path = tmp_path / "interrupt.json"
+    path.write_text(json.dumps(SPEC))
+    return path
+
+
+def start_sweep(spec_path, store_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "fleet", "run",
+            str(spec_path), "--results", str(store_path),
+        ],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        env=env,
+        start_new_session=True,  # its own process group, killable as one
+    )
+
+
+def load_quietly(store):
+    """Store records, tolerating the torn trailing line a kill leaves."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        return store.load()
+
+
+def test_sigterm_mid_sweep_then_resume(tmp_path):
+    spec_path = write_spec(tmp_path)
+    store_path = tmp_path / "results.jsonl"
+    store = SweepStore(store_path)
+
+    proc = start_sweep(spec_path, store_path)
+    try:
+        # Wait for at least one completed cell, then kill the group.
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                break
+            if store.exists() and store.completed(load_quietly(store)):
+                break
+            time.sleep(0.02)
+        else:
+            raise AssertionError("sweep produced no completed cell in 120s")
+    finally:
+        if proc.poll() is None:
+            os.killpg(os.getpgid(proc.pid), signal.SIGTERM)
+        proc.wait(timeout=60)
+
+    survivors = load_quietly(store)
+    done_before = store.completed(survivors)
+    assert done_before, "kill landed before any cell finished"
+    pids_before = {
+        record["cell_key"]: record["pid"]
+        for record in survivors
+        if record["status"] == "done"
+    }
+
+    # Restart: completed cells skip, pending cells run, sweep finishes.
+    spec = load_spec(spec_path)
+    resumed = run_sweep(spec, store_path)
+    assert resumed.ok
+    assert resumed.skipped == len(done_before)
+    assert resumed.ran == spec.cell_count - len(done_before)
+
+    # Skipped cells were NOT recomputed: their records still carry the
+    # dead sweep's pid, and each still has exactly one done record.
+    final_records = load_quietly(store)
+    for key, pid in pids_before.items():
+        matching = [
+            record for record in final_records
+            if record["cell_key"] == key and record["status"] == "done"
+        ]
+        assert len(matching) == 1
+        assert matching[0]["pid"] == pid
+        assert matching[0]["pid"] != os.getpid()
+
+    # The merged store equals an uninterrupted run, cell for cell.
+    fresh = run_sweep(spec, tmp_path / "fresh.jsonl")
+    assert fresh.ok
+    merged = {r["cell_key"]: r["metrics"] for r in resumed.records}
+    uninterrupted = {r["cell_key"]: r["metrics"] for r in fresh.records}
+    assert merged == uninterrupted

@@ -1,0 +1,246 @@
+"""Fleet spec parsing, validation, and deterministic cell expansion."""
+
+import json
+import sys
+
+import pytest
+
+from repro.fleet.spec import (
+    KINDS,
+    FleetSpec,
+    cell_key,
+    expand_cells,
+    load_spec,
+    parse_spec,
+)
+
+
+def doc(**overrides):
+    """A minimal valid spec document."""
+    base = {
+        "name": "mini",
+        "kind": "delay",
+        "grid": {"scheduler": ["pim", "islip"], "load": [0.5, 0.9]},
+        "defaults": {"ports": 4, "slots": 50},
+    }
+    base.update(overrides)
+    return base
+
+
+class TestParseSpec:
+    def test_minimal_document(self):
+        spec = parse_spec(doc())
+        assert spec.name == "mini"
+        assert spec.kind == "delay"
+        assert spec.cell_count == 4
+        assert spec.bench_name == "mini"  # bench defaults to the name
+        assert spec.repeat == 1 and spec.seed == 0
+
+    def test_bench_and_config_keys(self):
+        spec = parse_spec(doc(bench="zoo", config_keys=["scheduler", "ports"]))
+        assert spec.bench_name == "zoo"
+        assert spec.config_keys == ["scheduler", "ports"]
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(ValueError, match="table/object"):
+            parse_spec(["not", "a", "spec"])
+
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown spec fields: gird"):
+            parse_spec(doc(gird={"x": [1]}))
+
+    def test_rejects_missing_name(self):
+        document = doc()
+        del document["name"]
+        with pytest.raises(ValueError, match="non-empty string 'name'"):
+            parse_spec(document)
+
+    def test_filename_stem_supplies_name(self):
+        document = doc()
+        del document["name"]
+        assert parse_spec(document, name="from_file").name == "from_file"
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(ValueError, match="delay/scenario/network"):
+            parse_spec(doc(kind="warp"))
+        assert "delay" in KINDS
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError, match="non-empty 'grid'"):
+            parse_spec(doc(grid={}))
+
+    def test_rejects_non_list_axis(self):
+        with pytest.raises(ValueError, match="axis 'load'"):
+            parse_spec(doc(grid={"load": 0.5}))
+        with pytest.raises(ValueError, match="axis 'load'"):
+            parse_spec(doc(grid={"load": []}))
+
+    def test_rejects_default_grid_clash(self):
+        with pytest.raises(ValueError, match="both a default and a grid axis"):
+            parse_spec(doc(defaults={"scheduler": "pim"}))
+
+    def test_rejects_override_on_non_axis(self):
+        with pytest.raises(ValueError, match="non-axis keys: ports"):
+            parse_spec(
+                doc(override=[{"match": {"ports": 4}, "set": {"slots": 10}}])
+            )
+
+    def test_rejects_override_extra_keys(self):
+        with pytest.raises(ValueError, match="override #0"):
+            parse_spec(
+                doc(override=[{"match": {}, "set": {}, "also": 1}])
+            )
+
+    def test_single_override_table_is_accepted(self):
+        spec = parse_spec(
+            doc(override={"match": {"scheduler": "pim"}, "set": {"slots": 10}})
+        )
+        assert len(spec.overrides) == 1
+
+    def test_rejects_bad_repeat_and_seed(self):
+        with pytest.raises(ValueError, match="'repeat'"):
+            parse_spec(doc(repeat=0))
+        with pytest.raises(ValueError, match="'seed'"):
+            parse_spec(doc(seed="zero"))
+
+    def test_rejects_bad_config_keys(self):
+        with pytest.raises(ValueError, match="'config_keys'"):
+            parse_spec(doc(config_keys="scheduler"))
+
+    def test_summary_names_the_shape(self):
+        text = parse_spec(doc(repeat=3)).summary()
+        assert "scheduler[2] x load[2] x 3 reps = 12 cells" in text
+
+
+class TestLoadSpec:
+    def test_json_round_trip(self, tmp_path):
+        path = tmp_path / "mini.json"
+        path.write_text(json.dumps(doc()))
+        spec = load_spec(path)
+        assert spec.name == "mini"
+        assert spec.grid["scheduler"] == ["pim", "islip"]
+
+    def test_error_names_the_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(doc(kind="warp")))
+        with pytest.raises(ValueError, match="bad.json"):
+            load_spec(path)
+
+    def test_rejects_unknown_suffix(self, tmp_path):
+        path = tmp_path / "spec.yaml"
+        path.write_text("{}")
+        with pytest.raises(ValueError, match=".toml or .json"):
+            load_spec(path)
+
+    def test_toml_form(self, tmp_path):
+        path = tmp_path / "mini.toml"
+        path.write_text(
+            'name = "mini"\nkind = "delay"\n\n'
+            "[grid]\nscheduler = [\"pim\"]\n\n[defaults]\nports = 4\n"
+        )
+        if sys.version_info >= (3, 11):
+            spec = load_spec(path)
+            assert spec.grid == {"scheduler": ["pim"]}
+        else:
+            with pytest.raises(ValueError, match="tomllib"):
+                load_spec(path)
+
+    def test_committed_specs_parse(self):
+        # The specs the ported benches and CI depend on must stay valid.
+        for name in ("sched_zoo", "scenarios", "fleet_smoke"):
+            spec = load_spec(f"benchmarks/perf/specs/{name}.json")
+            assert spec.cell_count >= 4
+
+
+class TestExpandCells:
+    def test_document_order_repeats_innermost(self):
+        cells = expand_cells(parse_spec(doc(repeat=2)))
+        assert len(cells) == 8
+        assert [c.index for c in cells] == list(range(8))
+        assert [(c.axes["scheduler"], c.axes["load"], c.rep) for c in cells] == [
+            ("pim", 0.5, 0), ("pim", 0.5, 1),
+            ("pim", 0.9, 0), ("pim", 0.9, 1),
+            ("islip", 0.5, 0), ("islip", 0.5, 1),
+            ("islip", 0.9, 0), ("islip", 0.9, 1),
+        ]
+
+    def test_params_layering(self):
+        # defaults < extra_defaults < axes < overrides
+        spec = parse_spec(
+            doc(override=[{"match": {"scheduler": "pim"}, "set": {"slots": 7}}])
+        )
+        cells = expand_cells(spec, extra_defaults={"slots": 99, "warmup": 5})
+        pim = [c for c in cells if c.axes["scheduler"] == "pim"][0]
+        islip = [c for c in cells if c.axes["scheduler"] == "islip"][0]
+        assert pim.params["slots"] == 7  # override beats --set
+        assert islip.params["slots"] == 99  # --set beats defaults
+        assert islip.params["warmup"] == 5
+        assert islip.params["ports"] == 4
+
+    def test_seed_depends_only_on_coordinates(self):
+        spec = parse_spec(doc())
+        baseline = {c.key: c.seed for c in expand_cells(spec)}
+        # Changing parameters (via --set) must not move any cell's seed,
+        # or a resumed sweep would silently change its draws.
+        patched = {
+            c.key: c.seed
+            for c in expand_cells(spec, extra_defaults={"slots": 9})
+        }
+        assert baseline == patched
+        # But the root seed does.
+        import dataclasses
+
+        reseeded = dataclasses.replace(spec, seed=1)
+        assert any(
+            baseline[c.key] != c.seed for c in expand_cells(reseeded)
+        )
+
+    def test_seeds_distinct_across_cells_and_reps(self):
+        cells = expand_cells(parse_spec(doc(repeat=3)))
+        assert len({c.seed for c in cells}) == len(cells)
+
+    def test_params_hash_tracks_parameters(self):
+        spec = parse_spec(doc())
+        a = expand_cells(spec)[0]
+        b = expand_cells(spec, extra_defaults={"slots": 9})[0]
+        assert a.key == b.key
+        assert a.params_hash != b.params_hash
+
+    def test_default_config_is_the_axes(self):
+        cell = expand_cells(parse_spec(doc()))[0]
+        assert cell.config == {"scheduler": "pim", "load": 0.5}
+
+    def test_config_keys_resolve_from_params(self):
+        spec = parse_spec(doc(config_keys=["scheduler", "ports", "missing"]))
+        cell = expand_cells(spec)[0]
+        # Known keys resolve from params; unresolved ones wait for the
+        # runner (a scenario's own geometry).
+        assert cell.config == {"scheduler": "pim", "ports": 4}
+
+    def test_rep_rides_along_only_when_repeating(self):
+        single = expand_cells(parse_spec(doc()))[0]
+        repeated = expand_cells(parse_spec(doc(repeat=2)))[1]
+        assert "rep" not in single.config
+        assert repeated.config["rep"] == 1
+
+    def test_cell_key_is_pool_independent(self):
+        # Pure function of (axes, rep): no index, params, or ordering.
+        assert cell_key({"a": 1, "b": 2}, 0) == cell_key({"b": 2, "a": 1}, 0)
+        assert cell_key({"a": 1}, 0) != cell_key({"a": 1}, 1)
+
+    def test_label(self):
+        cells = expand_cells(parse_spec(doc(repeat=2)))
+        assert cells[0].label() == "scheduler=pim,load=0.5"
+        assert cells[1].label() == "scheduler=pim,load=0.5,rep=1"
+
+
+class TestFleetSpecDataclass:
+    def test_frozen(self):
+        spec = parse_spec(doc())
+        with pytest.raises(Exception):
+            spec.seed = 5
+
+    def test_cell_count(self):
+        assert FleetSpec(
+            name="x", kind="delay", grid={"a": [1, 2, 3]}, repeat=4
+        ).cell_count == 12

@@ -1,0 +1,118 @@
+"""The sweep results store: crash-safe appends and resume bookkeeping."""
+
+import json
+
+import pytest
+
+from repro.fleet.spec import expand_cells, parse_spec
+from repro.fleet.store import SweepStore, cell_record
+
+
+def make_cells(repeat=1):
+    return expand_cells(
+        parse_spec(
+            {
+                "name": "mini",
+                "kind": "delay",
+                "grid": {"scheduler": ["pim", "islip"]},
+                "defaults": {"ports": 4},
+                "repeat": repeat,
+            }
+        )
+    )
+
+
+class TestCellRecord:
+    def test_shape(self):
+        cell = make_cells()[0]
+        record = cell_record(
+            cell, "done", metrics={"m": 1.0}, timing={"t": 2.0}, elapsed=0.5
+        )
+        assert record["cell_key"] == cell.key
+        assert record["params_hash"] == cell.params_hash
+        assert record["status"] == "done"
+        assert record["config"] == cell.config
+        assert record["seed"] == cell.seed
+        assert record["index"] == cell.index
+        assert record["metrics"] == {"m": 1.0}
+        assert record["timing"] == {"t": 2.0}
+        assert "error" not in record
+        assert record["pid"] > 0
+
+    def test_error_field(self):
+        record = cell_record(make_cells()[0], "error", error="boom")
+        assert record["error"] == "boom"
+        assert record["metrics"] == {}
+
+
+class TestSweepStore:
+    def test_missing_store_is_empty(self, tmp_path):
+        store = SweepStore(tmp_path / "absent.jsonl")
+        assert not store.exists()
+        assert store.load() == []
+        assert store.completed() == set()
+        assert store.latest_done() == {}
+
+    def test_append_creates_parents_and_round_trips(self, tmp_path):
+        store = SweepStore(tmp_path / "deep" / "nest" / "r.jsonl")
+        for cell in make_cells():
+            store.append(cell_record(cell, "done", metrics={"m": 1.0}))
+        loaded = store.load()
+        assert len(loaded) == 2
+        assert loaded[0]["metrics"] == {"m": 1.0}
+
+    def test_completed_tracks_done_only(self, tmp_path):
+        store = SweepStore(tmp_path / "r.jsonl")
+        done, errored = make_cells()
+        store.append(cell_record(done, "done"))
+        store.append(cell_record(errored, "error", error="boom"))
+        assert store.completed() == {(done.key, done.params_hash)}
+
+    def test_latest_done_keeps_newest(self, tmp_path):
+        store = SweepStore(tmp_path / "r.jsonl")
+        cell = make_cells()[0]
+        store.append(cell_record(cell, "done", metrics={"m": 1.0}))
+        store.append(cell_record(cell, "done", metrics={"m": 2.0}))
+        assert store.latest_done()[cell.key]["metrics"] == {"m": 2.0}
+
+    def test_torn_trailing_line_warns_and_drops(self, tmp_path):
+        # A SIGKILLed worker leaves a truncated final record; resume
+        # must shrug it off rather than refuse the whole store.
+        path = tmp_path / "r.jsonl"
+        store = SweepStore(path)
+        store.append(cell_record(make_cells()[0], "done"))
+        with open(path, "a") as handle:
+            handle.write('{"cell_key": "torn", "params_ha')
+        with pytest.warns(UserWarning, match="torn trailing"):
+            assert len(store.load()) == 1
+
+    def test_interior_corruption_raises_with_lineno(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        store = SweepStore(path)
+        with open(path, "w") as handle:
+            handle.write("{broken\n")
+        store.append(cell_record(make_cells()[0], "done"))
+        with pytest.raises(ValueError, match=":1:"):
+            store.load()
+
+    def test_records_missing_fields_are_dropped_with_warning(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        store = SweepStore(path)
+        store.append(cell_record(make_cells()[0], "done"))
+        with open(path, "a") as handle:
+            handle.write(json.dumps({"cell_key": "x", "status": "done"}) + "\n")
+        with pytest.warns(UserWarning, match="missing.*params_hash"):
+            records = store.load()
+        assert len(records) == 1
+        # The malformed record must not poison resume either.
+        assert len(store.completed(records)) == 1
+
+    def test_each_record_is_one_line(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        store = SweepStore(path)
+        for cell in make_cells():
+            store.append(cell_record(cell, "done", metrics={"m": 1.0}))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            json.loads(line)

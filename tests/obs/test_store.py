@@ -1,6 +1,7 @@
 """Perf-history store: record_result, resolve, gate, compare."""
 
 import json
+import multiprocessing
 
 import pytest
 
@@ -8,9 +9,12 @@ from repro.obs.perf import RunManifest
 from repro.obs.store import (
     PerfEntry,
     PerfStore,
+    _median,
+    append_jsonl_line,
     compare_entries,
     config_key,
     gate,
+    read_jsonl_records,
     record_result,
 )
 
@@ -99,13 +103,29 @@ class TestPerfStore:
         record(tmp_path, 1.0, bench="alpha")
         assert PerfStore(tmp_path).benches() == ["alpha", "zeta"]
 
-    def test_malformed_line_raises_with_lineno(self, tmp_path):
+    def test_malformed_interior_line_raises_with_lineno(self, tmp_path):
+        # An interior bad line cannot be a torn append: fail loudly.
         record(tmp_path, 1.0)
         path = PerfStore(tmp_path).path("fastpath")
         with open(path, "a") as handle:
             handle.write("{not json\n")
+        record(tmp_path, 2.0)  # a good line AFTER the corruption
         with pytest.raises(ValueError, match=":2:"):
             PerfStore(tmp_path).load("fastpath")
+
+    def test_torn_trailing_line_warns_and_loads_the_rest(self, tmp_path):
+        # A crash mid-append leaves a truncated FINAL line; that used to
+        # raise and make the whole history unreadable.  Now it is
+        # dropped with a warning and everything before it survives.
+        record(tmp_path, 1.0)
+        record(tmp_path, 2.0)
+        path = PerfStore(tmp_path).path("fastpath")
+        with open(path, "a") as handle:
+            handle.write('{"run_id": "torn", "bench": "fastp')
+        with pytest.warns(UserWarning, match="torn trailing"):
+            entries = PerfStore(tmp_path).load("fastpath")
+        assert len(entries) == 2
+        assert entries[-1].results[0]["speedup_vs_object"] == 2.0
 
     def test_resolve_references(self, tmp_path):
         first = record(tmp_path, 1.0)
@@ -173,6 +193,63 @@ class TestGate:
             gate(entries, tolerance=1.0)
         with pytest.raises(ValueError):
             gate([], tolerance=0.4)
+
+
+class TestMedian:
+    def test_median_odd_and_even(self):
+        assert _median([3.0, 1.0, 2.0]) == 2.0
+        assert _median([4.0, 1.0, 2.0, 3.0]) == 2.5
+
+    def test_empty_list_is_a_named_value_error(self):
+        # Used to escape as a bare IndexError from deep inside sorting
+        # arithmetic; now it is a usage error that says what was empty.
+        with pytest.raises(ValueError, match="median of empty sample list"):
+            _median([])
+
+    def test_what_names_the_config_in_gating_paths(self):
+        with pytest.raises(
+            ValueError,
+            match='median of empty baseline samples for config {"ports":16}',
+        ):
+            _median([], what='baseline samples for config {"ports":16}')
+
+
+def _append_payloads(path, worker, count):
+    """Worker: append ``count`` large records to a shared history file."""
+    # ~50 KB per record: far past any stdio buffer, so the pre-fix
+    # json.dump write path would emit each record as many small writes.
+    blob = "x" * 200
+    for i in range(count):
+        append_jsonl_line(
+            path,
+            {"worker": worker, "i": i, "chunks": [blob] * 256},
+        )
+
+
+class TestConcurrentAppend:
+    def test_parallel_appenders_never_tear_lines(self, tmp_path):
+        # Regression: PerfStore.append used to stream json.dump straight
+        # to the file handle, so two processes appending at once could
+        # interleave their chunks and corrupt the history.  The fix
+        # serializes first and appends each record as ONE write.
+        path = tmp_path / "history.jsonl"
+        workers, per_worker = 4, 16
+        ctx = multiprocessing.get_context("fork")
+        procs = [
+            ctx.Process(
+                target=_append_payloads, args=(path, worker, per_worker)
+            )
+            for worker in range(workers)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=120)
+            assert proc.exitcode == 0
+        records = read_jsonl_records(path)  # raises on any torn line
+        assert len(records) == workers * per_worker
+        seen = {(r["worker"], r["i"]) for r in records}
+        assert len(seen) == workers * per_worker
 
 
 class TestCompare:

@@ -186,3 +186,231 @@ class TestScenarioCommands:
             "--out", str(tmp_path),
         ])
         assert code == 0
+
+
+class TestTraceReplay:
+    def _csv_trace(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text(
+            "slot,input,output\n" + "".join(
+                f"{slot},{slot % 4},{(slot + 1) % 4}\n" for slot in range(40)
+            )
+        )
+        return path
+
+    def _json_trace(self, tmp_path):
+        from repro.traffic.trace import TraceRecorder
+        from repro.traffic.uniform import UniformTraffic
+
+        recorder = TraceRecorder(UniformTraffic(4, load=0.6, seed=3))
+        for slot in range(40):
+            recorder.arrivals(slot)
+        path = tmp_path / "trace.json"
+        recorder.replay().save(path)
+        return path
+
+    def test_csv_replay_on_both_backends(self, capsys, tmp_path):
+        path = self._csv_trace(tmp_path)
+        for backend in ("object", "fastpath"):
+            code = main([
+                "scenario", "run", "--trace", str(path), "--ports", "4",
+                "--backend", backend, "--drain", "100",
+            ])
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "trace replay" in out
+            assert "40 cells" in out
+
+    def test_json_replay_carries_its_own_ports(self, capsys, tmp_path):
+        path = self._json_trace(tmp_path)
+        code = main([
+            "scenario", "run", "--trace", str(path), "--drain", "100",
+        ])
+        assert code == 0
+        assert "4x4" in capsys.readouterr().out
+
+    def test_csv_needs_ports(self, capsys, tmp_path):
+        path = self._csv_trace(tmp_path)
+        assert main(["scenario", "run", "--trace", str(path)]) == 2
+        err = capsys.readouterr()
+        assert "pass --ports" in err.out + err.err
+
+    def test_trace_conflicts_with_a_scenario_name(self, capsys, tmp_path):
+        path = self._csv_trace(tmp_path)
+        code = main([
+            "scenario", "run", "hotspot", "--trace", str(path),
+            "--ports", "4",
+        ])
+        assert code == 2
+        err = capsys.readouterr()
+        assert "omit the scenario name" in err.out + err.err
+
+    def test_trace_conflicts_with_parity(self, capsys, tmp_path):
+        path = self._csv_trace(tmp_path)
+        code = main([
+            "scenario", "run", "--trace", str(path), "--ports", "4",
+            "--parity",
+        ])
+        assert code == 2
+        err = capsys.readouterr()
+        assert "mutually exclusive" in err.out + err.err
+
+    def test_run_without_name_or_trace_errors(self, capsys):
+        assert main(["scenario", "run"]) == 2
+        err = capsys.readouterr()
+        assert "scenario list" in err.out + err.err
+
+    def test_bad_trace_file_is_a_clean_error(self, capsys, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("0,9,0\n")
+        code = main([
+            "scenario", "run", "--trace", str(path), "--ports", "4",
+        ])
+        assert code == 2
+        err = capsys.readouterr()
+        assert "outside" in err.out + err.err
+
+
+class TestFleetCommands:
+    def _spec(self, tmp_path, **overrides):
+        import json as jsonlib
+
+        document = {
+            "name": "clitest",
+            "kind": "delay",
+            "grid": {"scheduler": ["pim", "islip"]},
+            "defaults": {
+                "ports": 4, "slots": 30, "replicas": 2, "iterations": 1,
+            },
+        }
+        document.update(overrides)
+        path = tmp_path / "clitest.json"
+        path.write_text(jsonlib.dumps(document))
+        return path
+
+    def test_fleet_run_and_resume(self, capsys, tmp_path):
+        spec = self._spec(tmp_path)
+        results = tmp_path / "r.jsonl"
+        argv = ["fleet", "run", str(spec), "--results", str(results)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "2 cells (0 resumed, 2 run, 0 errors) -- complete" in out
+        assert "mean_delay" in out
+        # Second invocation resumes: nothing reruns.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "(2 resumed, 0 run, 0 errors)" in out
+
+    def test_fleet_run_set_overrides_and_pool(self, capsys, tmp_path):
+        spec = self._spec(tmp_path)
+        results = tmp_path / "r.jsonl"
+        code = main([
+            "fleet", "run", str(spec), "--results", str(results),
+            "--set", "slots=40", "--pool", "2",
+        ])
+        assert code == 0
+        assert "complete" in capsys.readouterr().out
+
+    def test_fleet_run_reports_errors_and_fails(self, capsys, tmp_path):
+        spec = self._spec(tmp_path, grid={"scheduler": ["warp-drive"]})
+        code = main([
+            "fleet", "run", str(spec), "--results", str(tmp_path / "r.jsonl"),
+        ])
+        assert code == 1
+        assert "ERROR" in capsys.readouterr().out
+
+    def test_fleet_status(self, capsys, tmp_path):
+        spec = self._spec(tmp_path)
+        results = tmp_path / "r.jsonl"
+        assert main(["fleet", "status", str(spec),
+                     "--results", str(results)]) == 0
+        assert "0/2 done" in capsys.readouterr().out
+        main(["fleet", "run", str(spec), "--results", str(results)])
+        capsys.readouterr()
+        assert main(["fleet", "status", str(spec),
+                     "--results", str(results)]) == 0
+        assert "2/2 done" in capsys.readouterr().out
+
+    def test_fleet_report(self, capsys, tmp_path):
+        spec = self._spec(tmp_path)
+        results = tmp_path / "r.jsonl"
+        # No cells yet: report exits 1.
+        assert main(["fleet", "report", str(spec),
+                     "--results", str(results)]) == 1
+        capsys.readouterr()
+        main(["fleet", "run", str(spec), "--results", str(results)])
+        capsys.readouterr()
+        out_file = tmp_path / "report.txt"
+        code = main([
+            "fleet", "report", str(spec), "--results", str(results),
+            "--metrics", "throughput", "--out", str(out_file),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert out_file.exists()
+        assert "throughput" in out_file.read_text()
+
+    def test_fleet_record_and_gate(self, capsys, tmp_path):
+        spec = self._spec(tmp_path)
+        results = tmp_path / "r.jsonl"
+        history = tmp_path / "history"
+        code = main([
+            "fleet", "run", str(spec), "--results", str(results),
+            "--record", "--history", str(history),
+        ])
+        assert code == 0
+        assert "recorded clitest run" in capsys.readouterr().out
+        # Deterministic metric: the sweep gates against its own record.
+        code = main([
+            "fleet", "gate", str(spec), "--results", str(results),
+            "--history", str(history), "--metric", "throughput",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "baseline: 1 recorded runs" in out
+        assert "PASS" in out
+        assert "2 checks" in out
+
+    def test_fleet_gate_without_cells_errors(self, capsys, tmp_path):
+        spec = self._spec(tmp_path)
+        code = main([
+            "fleet", "gate", str(spec),
+            "--results", str(tmp_path / "empty.jsonl"),
+        ])
+        assert code == 1
+        err = capsys.readouterr()
+        assert "run the sweep first" in err.out + err.err
+
+    def test_fleet_gate_fails_on_regression(self, capsys, tmp_path):
+        import json as jsonlib
+
+        spec = self._spec(tmp_path)
+        results = tmp_path / "r.jsonl"
+        history = tmp_path / "history"
+        main([
+            "fleet", "run", str(spec), "--results", str(results),
+            "--record", "--history", str(history),
+        ])
+        capsys.readouterr()
+        # Sabotage the current store: halve every throughput.
+        lines = []
+        for line in results.read_text().splitlines():
+            record = jsonlib.loads(line)
+            record["metrics"]["throughput"] *= 0.25
+            lines.append(jsonlib.dumps(record))
+        results.write_text("\n".join(lines) + "\n")
+        code = main([
+            "fleet", "gate", str(spec), "--results", str(results),
+            "--history", str(history), "--metric", "throughput",
+            "--tolerance", "0.4",
+        ])
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_fleet_bad_spec_is_a_clean_error(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"name": "x", "kind": "warp", "grid": {"a": [1]}}')
+        assert main(["fleet", "run", str(path)]) == 2
+        err = capsys.readouterr()
+        assert "kind" in err.out + err.err
